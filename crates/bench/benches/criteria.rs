@@ -1,0 +1,79 @@
+//! Criterion bench: direct per-configuration criteria vs the general
+//! reduction, and flat-history CSR vs the embedding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use compc_classic::{is_csr, History, HistOp};
+use compc_configs::{is_jcc, is_scc};
+use compc_core::check;
+use compc_model::{CommutativityTable, ItemId, OpSpec};
+use compc_workload::random::{generate, GenParams, Shape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_direct_vs_reduction(c: &mut Criterion) {
+    let stack = generate(&GenParams {
+        shape: Shape::Stack { depth: 4 },
+        roots: 8,
+        ops_per_tx: (1, 3),
+        conflict_density: 0.3,
+        sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+        seed: 21,
+    });
+    let join = generate(&GenParams {
+        shape: Shape::Join { branches: 4 },
+        roots: 8,
+        ops_per_tx: (1, 3),
+        conflict_density: 0.3,
+        sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+        seed: 22,
+    });
+    let mut group = c.benchmark_group("criteria");
+    group.bench_function("stack/scc-direct", |b| {
+        b.iter(|| is_scc(std::hint::black_box(&stack)))
+    });
+    group.bench_function("stack/comp-c-reduction", |b| {
+        b.iter(|| check(std::hint::black_box(&stack)).is_correct())
+    });
+    group.bench_function("join/jcc-direct", |b| {
+        b.iter(|| is_jcc(std::hint::black_box(&join)))
+    });
+    group.bench_function("join/comp-c-reduction", |b| {
+        b.iter(|| check(std::hint::black_box(&join)).is_correct())
+    });
+    group.finish();
+}
+
+fn bench_flat(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(33);
+    let ops = (0..60)
+        .map(|_| {
+            let tx = rng.gen_range(0..8);
+            let item = ItemId(rng.gen_range(0..6));
+            let spec = if rng.gen_bool(0.5) {
+                OpSpec::read(item)
+            } else {
+                OpSpec::write(item)
+            };
+            HistOp { tx, spec }
+        })
+        .collect();
+    let h = History::new(ops, CommutativityTable::read_write());
+    let embedded = h.to_composite().unwrap();
+    let mut group = c.benchmark_group("flat");
+    group.bench_function("csr-conflict-graph", |b| {
+        b.iter(|| is_csr(std::hint::black_box(&h)))
+    });
+    group.bench_function("comp-c-embedding", |b| {
+        b.iter(|| check(std::hint::black_box(&embedded)).is_correct())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct_vs_reduction, bench_flat);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion bench: cost of the Comp-C reduction (E10's timing companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use compc_bench::bench_check;
+use compc_workload::random::{generate, GenParams, Shape};
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    for (label, params) in [
+        (
+            "general-small",
+            GenParams {
+                shape: Shape::General { levels: 2, scheds_per_level: 2 },
+                roots: 4,
+                ops_per_tx: (1, 2),
+                conflict_density: 0.3,
+                sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+                seed: 1,
+            },
+        ),
+        (
+            "general-medium",
+            GenParams {
+                shape: Shape::General { levels: 3, scheds_per_level: 2 },
+                roots: 12,
+                ops_per_tx: (1, 3),
+                conflict_density: 0.3,
+                sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+                seed: 2,
+            },
+        ),
+        (
+            "general-large",
+            GenParams {
+                shape: Shape::General { levels: 4, scheds_per_level: 3 },
+                roots: 32,
+                ops_per_tx: (1, 3),
+                conflict_density: 0.2,
+                sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+                seed: 3,
+            },
+        ),
+        (
+            "stack-deep",
+            GenParams {
+                shape: Shape::Stack { depth: 5 },
+                roots: 8,
+                ops_per_tx: (1, 2),
+                conflict_density: 0.3,
+                sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+                seed: 4,
+            },
+        ),
+        (
+            "join-wide",
+            GenParams {
+                shape: Shape::Join { branches: 6 },
+                roots: 12,
+                ops_per_tx: (1, 3),
+                conflict_density: 0.3,
+                sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+                seed: 5,
+            },
+        ),
+    ] {
+        let sys = generate(&params);
+        group.bench_with_input(
+            BenchmarkId::new("check", format!("{label}/{}n", sys.node_count())),
+            &sys,
+            |b, sys| b.iter(|| bench_check(std::hint::black_box(sys))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

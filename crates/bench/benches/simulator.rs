@@ -1,0 +1,30 @@
+//! Criterion bench: simulator throughput per protocol (E11's timing
+//! companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use compc_bench::all_protocols;
+use compc_sim::{Engine, SimConfig};
+use compc_workload::scenarios::banking_tpmonitor;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    for protocol in all_protocols() {
+        group.bench_with_input(
+            BenchmarkId::new("banking", protocol.tag()),
+            &protocol,
+            |b, &p| {
+                b.iter(|| {
+                    let s = banking_tpmonitor(p, 16, 4, 5);
+                    let report =
+                        Engine::new(s.topology, s.templates, SimConfig::default()).run();
+                    std::hint::black_box(report.metrics.committed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

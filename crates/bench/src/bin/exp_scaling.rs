@@ -1,0 +1,27 @@
+//! E10: wall-clock scaling of the Comp-C reduction with system size.
+
+use compc_bench::{scaling_experiment, scaling_table};
+
+fn main() {
+    let reps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    println!("E10: reduction scaling (mean over {reps} random systems per point)\n");
+    let points = [
+        (2, 4, 2),
+        (2, 8, 3),
+        (3, 8, 3),
+        (3, 16, 3),
+        (4, 16, 3),
+        (4, 32, 3),
+        (5, 32, 3),
+    ];
+    let rows = scaling_experiment(&points, reps);
+    println!("{}", scaling_table(&rows));
+    if std::env::args().any(|a| a == "--json") {
+        for r in &rows {
+            println!("{}", serde_json::to_string(r).unwrap());
+        }
+    }
+}

@@ -1,0 +1,782 @@
+//! The experiment implementations (DESIGN.md §4, E5–E12).
+//!
+//! Each function computes one experiment's data; the binaries render it.
+
+use crate::table::Table;
+use compc_configs::{is_fcc, is_jcc, is_scc};
+use compc_classic::{is_llsr_stack, is_opsr_stack};
+use compc_core::{check, Reducer};
+use compc_model::CompositeSystem;
+use compc_sim::{Engine, LockScope, Protocol, SimConfig, SimReport};
+use compc_workload::random::{generate, GenParams, Shape};
+use compc_workload::scenarios::{
+    banking_tpmonitor, enterprise_diamond, federated_travel, inventory_join, Scenario,
+};
+use serde::Serialize;
+
+/// Classification of one simulated run by the checker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum RunOutcome {
+    /// Exported and proven Comp-C.
+    CompC,
+    /// Exported but the reduction found a counterexample.
+    NotCompC,
+    /// The committed execution violates Definition 3/4 (a component ignored
+    /// an obligation) — flagged before reduction.
+    ModelViolation,
+}
+
+/// Checks one report.
+pub fn classify(report: &SimReport) -> RunOutcome {
+    match report.export_system() {
+        Err(_) => RunOutcome::ModelViolation,
+        Ok(sys) => {
+            if check(&sys).is_correct() {
+                RunOutcome::CompC
+            } else {
+                RunOutcome::NotCompC
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// E6–E8: theorem-equivalence measurements
+// ---------------------------------------------------------------------
+
+/// One shape's agreement statistics between a direct criterion and Comp-C.
+#[derive(Clone, Debug, Serialize)]
+pub struct EquivalenceRow {
+    /// The configuration family.
+    pub shape: String,
+    /// Samples drawn.
+    pub samples: usize,
+    /// How many the direct criterion accepted.
+    pub direct_accepts: usize,
+    /// How many Comp-C accepted.
+    pub comp_c_accepts: usize,
+    /// Verdict disagreements (must be 0 — Theorems 2–4).
+    pub disagreements: usize,
+}
+
+/// E6–E8: runs `samples` random systems per shape and per conflict density
+/// and compares SCC/FCC/JCC with the reduction verdict.
+///
+/// The populations use sound conflict abstractions (see EXPERIMENTS.md,
+/// "Theorem 4 requires sound abstractions") — the hypothesis under which
+/// the paper's equivalence proofs operate.
+pub fn equivalence_experiment(samples: usize, densities: &[f64]) -> Vec<EquivalenceRow> {
+    let mut rows = Vec::new();
+    for &density in densities {
+        for (label, shape) in [
+            ("stack/3", Shape::Stack { depth: 3 }),
+            ("fork/3", Shape::Fork { branches: 3 }),
+            ("join/3", Shape::Join { branches: 3 }),
+        ] {
+            let mut direct_accepts = 0;
+            let mut comp_c_accepts = 0;
+            let mut disagreements = 0;
+            for seed in 0..samples as u64 {
+                let sys = generate(&GenParams {
+                    shape,
+                    roots: 4,
+                    ops_per_tx: (1, 3),
+                    conflict_density: density,
+                    sequential_tx_prob: 0.7,
+                    client_input_prob: 0.0,
+                    strong_input_prob: 0.0,
+                    sound_abstractions: true,
+                    seed: seed.wrapping_mul(7919) + (density * 1000.0) as u64,
+                });
+                let direct = match shape {
+                    Shape::Stack { .. } => is_scc(&sys),
+                    Shape::Fork { .. } => is_fcc(&sys).expect("fork"),
+                    Shape::Join { .. } => is_jcc(&sys).expect("join"),
+                    Shape::General { .. } => unreachable!(),
+                };
+                let comp_c = check(&sys).is_correct();
+                direct_accepts += direct as usize;
+                comp_c_accepts += comp_c as usize;
+                disagreements += (direct != comp_c) as usize;
+            }
+            rows.push(EquivalenceRow {
+                shape: format!("{label} @d={density:.1}"),
+                samples,
+                direct_accepts,
+                comp_c_accepts,
+                disagreements,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders E6–E8.
+pub fn equivalence_table(rows: &[EquivalenceRow]) -> Table {
+    let mut t = Table::new(["shape", "samples", "direct", "Comp-C", "disagree"]);
+    for r in rows {
+        t.row([
+            r.shape.clone(),
+            r.samples.to_string(),
+            r.direct_accepts.to_string(),
+            r.comp_c_accepts.to_string(),
+            r.disagreements.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E9: permissiveness of the criteria chain
+// ---------------------------------------------------------------------
+
+/// Acceptance counts of each criterion over one random-stack population.
+#[derive(Clone, Debug, Serialize)]
+pub struct PermissivenessRow {
+    /// Conflict density of the population.
+    pub density: f64,
+    /// Samples drawn.
+    pub samples: usize,
+    /// LLSR acceptances.
+    pub llsr: usize,
+    /// OPSR acceptances.
+    pub opsr: usize,
+    /// SCC acceptances.
+    pub scc: usize,
+    /// Comp-C acceptances (must equal `scc` on stacks).
+    pub comp_c: usize,
+}
+
+/// E9: sweeps conflict density over random 3-stacks and counts which
+/// criteria accept, reproducing the paper's `LLSR ⊆ OPSR ⊆ SCC ≡ Comp-C`
+/// permissiveness claim quantitatively.
+pub fn permissiveness_experiment(samples: usize, densities: &[f64]) -> Vec<PermissivenessRow> {
+    densities
+        .iter()
+        .map(|&density| {
+            let mut row = PermissivenessRow {
+                density,
+                samples,
+                llsr: 0,
+                opsr: 0,
+                scc: 0,
+                comp_c: 0,
+            };
+            for seed in 0..samples as u64 {
+                let sys = generate(&GenParams {
+                    shape: Shape::Stack { depth: 3 },
+                    roots: 4,
+                    ops_per_tx: (1, 3),
+                    conflict_density: density,
+                    sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+                    seed: seed.wrapping_mul(104_729) + (density * 1000.0) as u64,
+                });
+                row.llsr += is_llsr_stack(&sys).expect("stack") as usize;
+                row.opsr += is_opsr_stack(&sys).expect("stack") as usize;
+                row.scc += is_scc(&sys) as usize;
+                row.comp_c += check(&sys).is_correct() as usize;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Renders E9.
+pub fn permissiveness_table(rows: &[PermissivenessRow]) -> Table {
+    let mut t = Table::new(["density", "samples", "LLSR", "OPSR", "SCC", "Comp-C"]);
+    for r in rows {
+        t.row([
+            format!("{:.2}", r.density),
+            r.samples.to_string(),
+            r.llsr.to_string(),
+            r.opsr.to_string(),
+            r.scc.to_string(),
+            r.comp_c.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E10: reduction scaling
+// ---------------------------------------------------------------------
+
+/// A scaling measurement point.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingRow {
+    /// Sweep label (what grew).
+    pub label: String,
+    /// Nodes in the generated system.
+    pub nodes: usize,
+    /// Schedules in the system.
+    pub schedules: usize,
+    /// Mean check time in microseconds.
+    pub mean_us: f64,
+    /// Fraction of sampled systems that were Comp-C.
+    pub accept_rate: f64,
+}
+
+/// E10: measures `check` wall time while growing the system along one axis.
+pub fn scaling_experiment(points: &[(usize, usize, usize)], reps: usize) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for &(levels, roots, max_ops) in points {
+        let mut total = std::time::Duration::ZERO;
+        let mut accepted = 0usize;
+        let mut nodes = 0;
+        let mut schedules = 0;
+        for seed in 0..reps as u64 {
+            let sys = generate(&GenParams {
+                shape: Shape::General {
+                    levels,
+                    scheds_per_level: 2,
+                },
+                roots,
+                ops_per_tx: (1, max_ops),
+                conflict_density: 0.3,
+                sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+                seed: seed + 31,
+            });
+            nodes = nodes.max(sys.node_count());
+            schedules = sys.schedule_count();
+            let start = std::time::Instant::now();
+            let v = check(&sys);
+            total += start.elapsed();
+            accepted += v.is_correct() as usize;
+        }
+        rows.push(ScalingRow {
+            label: format!("levels={levels} roots={roots} ops≤{max_ops}"),
+            nodes,
+            schedules,
+            mean_us: total.as_secs_f64() * 1e6 / reps as f64,
+            accept_rate: accepted as f64 / reps as f64,
+        });
+    }
+    rows
+}
+
+/// Renders E10.
+pub fn scaling_table(rows: &[ScalingRow]) -> Table {
+    let mut t = Table::new(["sweep", "max nodes", "schedules", "mean µs", "accept"]);
+    for r in rows {
+        t.row([
+            r.label.clone(),
+            r.nodes.to_string(),
+            r.schedules.to_string(),
+            format!("{:.1}", r.mean_us),
+            format!("{:.2}", r.accept_rate),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E11: simulator protocol × scenario matrix
+// ---------------------------------------------------------------------
+
+/// One protocol × scenario measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct SimulatorRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol tag.
+    pub protocol: String,
+    /// Runs performed.
+    pub runs: usize,
+    /// Mean committed transactions per run.
+    pub committed: f64,
+    /// Mean aborted attempts per run.
+    pub aborts: f64,
+    /// Mean throughput (commits per 1000 ticks).
+    pub throughput: f64,
+    /// Mean commit latency in ticks.
+    pub latency: f64,
+    /// Runs proven Comp-C.
+    pub comp_c: usize,
+    /// Runs with a Comp-C counterexample.
+    pub not_comp_c: usize,
+    /// Runs flagged as model violations.
+    pub violations: usize,
+}
+
+/// A named scenario factory used by the E11 matrix.
+type ScenarioFactory<'a> = (&'a str, Box<dyn Fn(u64) -> Scenario>);
+
+/// The protocols compared by E11/E12.
+pub fn all_protocols() -> Vec<Protocol> {
+    vec![
+        Protocol::TwoPhase {
+            scope: LockScope::Composite,
+        },
+        Protocol::TwoPhase {
+            scope: LockScope::Subtransaction,
+        },
+        Protocol::Sgt,
+        Protocol::Timestamp,
+        Protocol::CcSched,
+        Protocol::None,
+    ]
+}
+
+/// E11: runs every protocol on every scenario for `runs` seeds; reports
+/// performance and the checker's classification. The 2PL rows appear twice:
+/// once with deadlock detection, once under wound-wait (suffix `/ww`).
+pub fn simulator_experiment(runs: usize, clients: usize) -> Vec<SimulatorRow> {
+    use compc_sim::DeadlockPolicy;
+    let mut variants: Vec<(Protocol, DeadlockPolicy, String)> = Vec::new();
+    for protocol in all_protocols() {
+        variants.push((protocol, DeadlockPolicy::Detect, protocol.tag().to_string()));
+        if matches!(protocol, Protocol::TwoPhase { .. }) {
+            variants.push((
+                protocol,
+                DeadlockPolicy::WoundWait,
+                format!("{}/ww", protocol.tag()),
+            ));
+        }
+    }
+    let mut rows = Vec::new();
+    for (protocol, deadlock, tag) in variants {
+        let scenarios: Vec<ScenarioFactory> = vec![
+            (
+                "banking (stack)",
+                Box::new(move |seed| banking_tpmonitor(protocol, clients, 4, seed)),
+            ),
+            (
+                "travel (fork)",
+                Box::new(move |seed| federated_travel(protocol, clients, 3, seed)),
+            ),
+            (
+                "inventory (join)",
+                Box::new(move |seed| inventory_join(protocol, clients, 3, seed)),
+            ),
+            (
+                "diamond (general)",
+                Box::new(move |seed| enterprise_diamond(protocol, clients, 3, seed)),
+            ),
+        ];
+        for (name, make) in scenarios {
+            let mut row = SimulatorRow {
+                scenario: name.to_string(),
+                protocol: tag.clone(),
+                runs,
+                committed: 0.0,
+                aborts: 0.0,
+                throughput: 0.0,
+                latency: 0.0,
+                comp_c: 0,
+                not_comp_c: 0,
+                violations: 0,
+            };
+            for seed in 0..runs as u64 {
+                let s = make(seed);
+                let report = Engine::new(
+                    s.topology,
+                    s.templates,
+                    SimConfig {
+                        seed,
+                        deadlock,
+                        ..SimConfig::default()
+                    },
+                )
+                .run();
+                row.committed += report.metrics.committed as f64;
+                row.aborts += report.metrics.aborts as f64;
+                row.throughput += report.metrics.throughput();
+                row.latency += report.metrics.mean_latency();
+                match classify(&report) {
+                    RunOutcome::CompC => row.comp_c += 1,
+                    RunOutcome::NotCompC => row.not_comp_c += 1,
+                    RunOutcome::ModelViolation => row.violations += 1,
+                }
+            }
+            row.committed /= runs as f64;
+            row.aborts /= runs as f64;
+            row.throughput /= runs as f64;
+            row.latency /= runs as f64;
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Renders E11.
+pub fn simulator_table(rows: &[SimulatorRow]) -> Table {
+    let mut t = Table::new([
+        "scenario", "protocol", "runs", "commit", "aborts", "thrpt", "latency", "Comp-C",
+        "incorrect", "violation",
+    ]);
+    for r in rows {
+        t.row([
+            r.scenario.clone(),
+            r.protocol.clone(),
+            r.runs.to_string(),
+            format!("{:.1}", r.committed),
+            format!("{:.1}", r.aborts),
+            format!("{:.2}", r.throughput),
+            format!("{:.1}", r.latency),
+            r.comp_c.to_string(),
+            r.not_comp_c.to_string(),
+            r.violations.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E12: semantic-parallelism gain
+// ---------------------------------------------------------------------
+
+/// Semantic vs read/write table comparison on the same workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct SemanticsRow {
+    /// Which commutativity table the stores used.
+    pub table: String,
+    /// Mean throughput.
+    pub throughput: f64,
+    /// Mean latency.
+    pub latency: f64,
+    /// Mean aborted attempts per run.
+    pub aborts: f64,
+}
+
+/// E12: the §2 claim that semantic (weak-order) knowledge admits more
+/// parallelism — an increment-heavy inventory workload under semantic vs
+/// classical read/write lock tables.
+pub fn semantics_experiment(runs: usize, clients: usize) -> Vec<SemanticsRow> {
+    use compc_model::{CommutativityTable, ItemId, OpSpec};
+    use compc_sim::{Topology, TxNode, TxTemplate};
+
+    let run_with = |semantic: bool| -> SemanticsRow {
+        let mut throughput = 0.0;
+        let mut latency = 0.0;
+        let mut aborts = 0.0;
+        for seed in 0..runs as u64 {
+            let table = if semantic {
+                CommutativityTable::semantic()
+            } else {
+                CommutativityTable::read_write()
+            };
+            let mut topo = Topology::new();
+            let front = topo.add(
+                "front",
+                Protocol::TwoPhase {
+                    scope: LockScope::Subtransaction,
+                },
+                table.clone(),
+            );
+            let store = topo.add(
+                "store",
+                Protocol::TwoPhase {
+                    scope: LockScope::Subtransaction,
+                },
+                table.clone(),
+            );
+            // Everyone increments the same hot counter.
+            let templates: Vec<TxTemplate> = (0..clients)
+                .map(|i| TxTemplate {
+                    name: format!("inc{i}"),
+                    home: front,
+                    body: vec![TxNode::call(
+                        store,
+                        OpSpec::increment(ItemId(0)),
+                        vec![TxNode::data(OpSpec::increment(ItemId(0)))],
+                    )],
+                })
+                .collect();
+            let report = Engine::new(
+                topo,
+                templates,
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            )
+            .run();
+            throughput += report.metrics.throughput();
+            latency += report.metrics.mean_latency();
+            aborts += report.metrics.aborts as f64;
+        }
+        SemanticsRow {
+            table: if semantic { "semantic" } else { "read/write" }.into(),
+            throughput: throughput / runs as f64,
+            latency: latency / runs as f64,
+            aborts: aborts / runs as f64,
+        }
+    };
+    vec![run_with(false), run_with(true)]
+}
+
+/// Renders E12.
+pub fn semantics_table(rows: &[SemanticsRow]) -> Table {
+    let mut t = Table::new(["lock table", "thrpt", "latency", "aborts"]);
+    for r in rows {
+        t.row([
+            r.table.clone(),
+            format!("{:.2}", r.throughput),
+            format!("{:.1}", r.latency),
+            format!("{:.1}", r.aborts),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Ablation: literal Definition-13 CC vs commuting-aware CC
+// ---------------------------------------------------------------------
+
+/// Acceptance with and without Definition 10's order forgetting
+/// (DESIGN.md §5.3).
+#[derive(Clone, Debug, Serialize)]
+pub struct AblationRow {
+    /// Conflict density.
+    pub density: f64,
+    /// Samples.
+    pub samples: usize,
+    /// Accepted by the faithful reduction (forgetting on).
+    pub with_forgetting: usize,
+    /// Accepted with forgetting disabled (every pulled pair binds).
+    pub without_forgetting: usize,
+}
+
+/// Quantifies how much of Comp-C's permissiveness comes from trusting the
+/// schedules' commutativity declarations: the same populations are checked
+/// with the faithful reduction and with forgetting disabled.
+pub fn cc_ablation_experiment(samples: usize, densities: &[f64]) -> Vec<AblationRow> {
+    use compc_core::{check_with, ReduceOptions};
+    densities
+        .iter()
+        .map(|&density| {
+            let mut with_forgetting = 0;
+            let mut without_forgetting = 0;
+            for seed in 0..samples as u64 {
+                let sys = generate(&GenParams {
+                    shape: Shape::General {
+                        levels: 3,
+                        scheds_per_level: 2,
+                    },
+                    roots: 4,
+                    ops_per_tx: (1, 3),
+                    conflict_density: density,
+                    sequential_tx_prob: 0.7,
+                    client_input_prob: 0.0,
+                    strong_input_prob: 0.0,
+                sound_abstractions: false,
+                    seed: seed.wrapping_mul(613) + 7,
+                });
+                let faithful = check(&sys).is_correct();
+                let strict = check_with(
+                    &sys,
+                    ReduceOptions {
+                        forget_commuting: false,
+                    },
+                )
+                .is_correct();
+                with_forgetting += faithful as usize;
+                without_forgetting += strict as usize;
+                debug_assert!(!strict || faithful, "no-forgetting must be stricter");
+            }
+            AblationRow {
+                density,
+                samples,
+                with_forgetting,
+                without_forgetting,
+            }
+        })
+        .collect()
+}
+
+/// One full reduction, exposed for the Criterion benches.
+pub fn bench_check(sys: &CompositeSystem) -> bool {
+    check(sys).is_correct()
+}
+
+/// One stepwise reduction via the public `Reducer`, for the observed-order
+/// bench.
+pub fn bench_reduce_steps(sys: &CompositeSystem) -> usize {
+    let mut red = Reducer::new(sys);
+    let mut steps = 0;
+    for level in 1..=sys.order() {
+        if red.step(level).is_err() {
+            break;
+        }
+        steps += 1;
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalence_rows_never_disagree() {
+        let rows = equivalence_experiment(30, &[0.4]);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.disagreements, 0, "{}", r.shape);
+        }
+    }
+
+    #[test]
+    fn permissiveness_is_monotone() {
+        for r in permissiveness_experiment(40, &[0.3, 0.6]) {
+            assert!(r.llsr <= r.opsr);
+            assert!(r.opsr <= r.scc);
+            assert_eq!(r.scc, r.comp_c);
+        }
+    }
+
+    #[test]
+    fn simulator_experiment_classifies_everything() {
+        for r in simulator_experiment(2, 6) {
+            assert_eq!(r.comp_c + r.not_comp_c + r.violations, r.runs);
+        }
+    }
+
+    #[test]
+    fn semantics_experiment_shows_the_gain() {
+        let rows = semantics_experiment(3, 10);
+        assert_eq!(rows.len(), 2);
+        // Semantic locking on a pure-increment workload must not be slower.
+        assert!(rows[1].throughput >= rows[0].throughput);
+        assert!(rows[1].aborts <= rows[0].aborts);
+    }
+
+    #[test]
+    fn scaling_reports_points() {
+        let rows = scaling_experiment(&[(2, 3, 2), (3, 4, 2)], 3);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.mean_us > 0.0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// E13: expressiveness of earlier models
+// ---------------------------------------------------------------------
+
+/// How much of a random composite population earlier models can describe.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExpressivenessRow {
+    /// Population label.
+    pub population: String,
+    /// Samples drawn.
+    pub samples: usize,
+    /// Expressible as multilevel transactions (stack configuration).
+    pub multilevel: usize,
+    /// Expressible as nested transactions (pairwise shared scheduler).
+    pub nested_pairwise: usize,
+    /// Expressible under the centralized nested reading (one scheduler
+    /// common to all transactions).
+    pub nested_centralized: usize,
+}
+
+/// E13: the §1 expressiveness argument measured — every composite system is
+/// checkable by Comp-C, but only a fraction fits the earlier frameworks.
+pub fn expressiveness_experiment(samples: usize) -> Vec<ExpressivenessRow> {
+    use compc_configs::{
+        multilevel_expressible, nested_expressible_centralized, nested_expressible_pairwise,
+    };
+    let populations = [
+        (
+            "general 3x2",
+            Shape::General {
+                levels: 3,
+                scheds_per_level: 2,
+            },
+        ),
+        ("stack/3", Shape::Stack { depth: 3 }),
+        ("fork/3", Shape::Fork { branches: 3 }),
+        ("join/3", Shape::Join { branches: 3 }),
+    ];
+    populations
+        .into_iter()
+        .map(|(label, shape)| {
+            let mut row = ExpressivenessRow {
+                population: label.to_string(),
+                samples,
+                multilevel: 0,
+                nested_pairwise: 0,
+                nested_centralized: 0,
+            };
+            for seed in 0..samples as u64 {
+                let sys = generate(&GenParams {
+                    shape,
+                    roots: 4,
+                    ops_per_tx: (1, 3),
+                    conflict_density: 0.4,
+                    sequential_tx_prob: 0.7,
+                    client_input_prob: 0.0,
+                    strong_input_prob: 0.0,
+                sound_abstractions: false,
+                    seed: seed.wrapping_mul(17) + 3,
+                });
+                row.multilevel += multilevel_expressible(&sys) as usize;
+                row.nested_pairwise += nested_expressible_pairwise(&sys) as usize;
+                row.nested_centralized += nested_expressible_centralized(&sys) as usize;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Renders E13.
+pub fn expressiveness_table(rows: &[ExpressivenessRow]) -> Table {
+    let mut t = Table::new([
+        "population",
+        "samples",
+        "multilevel",
+        "nested (pairwise)",
+        "nested (central)",
+    ]);
+    for r in rows {
+        t.row([
+            r.population.clone(),
+            r.samples.to_string(),
+            r.multilevel.to_string(),
+            r.nested_pairwise.to_string(),
+            r.nested_centralized.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn expressiveness_general_population_is_mostly_inexpressible() {
+        let rows = expressiveness_experiment(40);
+        let general = &rows[0];
+        assert_eq!(general.multilevel, 0, "general configs are never stacks");
+        assert!(general.nested_pairwise < general.samples);
+        assert!(general.nested_centralized <= general.nested_pairwise);
+        let stack = &rows[1];
+        assert_eq!(stack.multilevel, stack.samples);
+    }
+
+    #[test]
+    fn ablation_is_monotone() {
+        for r in cc_ablation_experiment(60, &[0.2, 0.6]) {
+            assert!(
+                r.without_forgetting <= r.with_forgetting,
+                "no-forgetting must be stricter"
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_has_wound_wait_rows() {
+        let rows = simulator_experiment(1, 4);
+        assert!(rows.iter().any(|r| r.protocol.ends_with("/ww")));
+        // Wound-wait rows are also fully classified.
+        for r in rows.iter().filter(|r| r.protocol.ends_with("/ww")) {
+            assert_eq!(r.comp_c + r.not_comp_c + r.violations, r.runs);
+        }
+    }
+}

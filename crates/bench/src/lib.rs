@@ -1,0 +1,14 @@
+//! Shared machinery for the experiment harnesses and Criterion benches.
+//!
+//! Each experiment in DESIGN.md §4 has a function here that *computes* its
+//! result table; the `src/bin/*` harnesses print the tables (and optionally
+//! dump JSON), and the `benches/*` targets time the underlying algorithms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

@@ -1,0 +1,55 @@
+//! Classical correctness baselines and their embeddings into the composite
+//! model.
+//!
+//! The paper positions Comp-C against the pre-existing notions it strictly
+//! generalizes: conflict serializability on flat histories, *order
+//! preserving* serializability (OPSR, \[BBG89\]) and *level-by-level*
+//! serializability (LLSR, \[Wei91\]) on layered (multilevel) schedules. §1 and
+//! §4 claim the chain
+//!
+//! ```text
+//! LLSR ⊂ OPSR ⊂ SCC ≡ Comp-C            (on stack configurations)
+//! CSR  ≡ Comp-C                          (on flat, single-level systems)
+//! ```
+//!
+//! This crate makes those comparisons executable:
+//!
+//! * [`History`] — flat read/write histories with conflict graphs, [`is_csr`]
+//!   and order-preserving [`is_opsr_flat`], plus [`History::to_composite`]
+//!   embedding a history as a one-schedule composite system so the same input
+//!   can be judged by `compc_core::check` (the `CSR ≡ Comp-C` property test).
+//! * [`layered`] — OPSR and LLSR checkers over *stack-shaped* composite
+//!   systems, operationalized as per-schedule conditions (see module docs for
+//!   the precise readings and why they give the strict containments).
+//! * [`viewser`] — brute-force view and final-state serializability,
+//!   completing the classical hierarchy `FSR ⊃ VSR ⊃ CSR` that positions
+//!   conflict-based criteria (and hence the composite theory).
+//!
+//! The permissiveness experiment (E9 in DESIGN.md) sweeps random layered
+//! schedules through all four checkers and reports acceptance rates.
+
+//! # Example
+//!
+//! ```
+//! use compc_classic::{is_csr, is_opsr_flat, HistOp, History};
+//!
+//! // The lost-update anomaly: r0(x) r1(x) w0(x) w1(x).
+//! let h = History::read_write(vec![
+//!     HistOp::r(0, 0), HistOp::r(1, 0), HistOp::w(0, 0), HistOp::w(1, 0),
+//! ]);
+//! assert!(!is_csr(&h));
+//! assert!(!is_opsr_flat(&h));
+//! // And the composite model agrees through the embedding:
+//! assert!(!compc_core::check(&h.to_composite().unwrap()).is_correct());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod history;
+pub mod layered;
+pub mod viewser;
+
+pub use history::{is_csr, is_opsr_flat, History, HistOp};
+pub use layered::{is_llsr_stack, is_opsr_stack};
+pub use viewser::{is_fsr_bruteforce, is_vsr_bruteforce};

@@ -1,0 +1,139 @@
+//! Expressiveness of earlier transaction models (the paper's §1 argument).
+//!
+//! The introduction dismisses two prior frameworks not because their
+//! criteria are wrong but because they *cannot describe* general composite
+//! systems:
+//!
+//! * **multilevel transactions** \[We91\] fix the configuration to a stack
+//!   ("a sequence of schedulers where the output of one constitutes the
+//!   input to the next");
+//! * **nested transactions** \[Mos85\] "assume that all transactions share at
+//!   least one scheduler and can therefore be related to one another. This
+//!   premise does not hold in composite systems, where two transactions may
+//!   not have any scheduler in common and still interfere with each other
+//!   through transitive dependencies."
+//!
+//! These predicates make the argument measurable: the expressiveness
+//! experiment counts how much of a random composite population each earlier
+//! model can even talk about (Figure 1 is the canonical inexpressible
+//! example — `T4` and `T5` share no scheduler).
+
+use compc_model::{CompositeSystem, SchedId};
+use std::collections::BTreeSet;
+
+/// Whether the system is expressible as multilevel transactions: the
+/// configuration must be a stack ([`crate::stack_shape`]).
+pub fn multilevel_expressible(sys: &CompositeSystem) -> bool {
+    crate::stack_shape(sys).is_some()
+}
+
+/// The set of schedules a composite transaction touches (homes and
+/// containers of every node in its execution tree).
+fn touched(sys: &CompositeSystem, root: compc_model::NodeId) -> BTreeSet<SchedId> {
+    sys.composite_transaction(root)
+        .into_iter()
+        .flat_map(|n| {
+            let info = sys.node(n);
+            [info.home, info.container]
+        })
+        .flatten()
+        .collect()
+}
+
+/// Whether the system is expressible as (Moss-style) nested transactions:
+/// every pair of composite transactions shares at least one scheduler, so a
+/// common coordinator can relate them all. (We check the paper's stated
+/// premise pairwise; a single shared scheduler across *all* transactions is
+/// the stronger centralized reading, also provided.)
+pub fn nested_expressible_pairwise(sys: &CompositeSystem) -> bool {
+    let roots: Vec<_> = sys.roots().collect();
+    let sets: Vec<BTreeSet<SchedId>> = roots.iter().map(|&r| touched(sys, r)).collect();
+    for (i, a) in sets.iter().enumerate() {
+        for b in &sets[i + 1..] {
+            if a.intersection(b).next().is_none() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The centralized reading: one scheduler common to every composite
+/// transaction.
+pub fn nested_expressible_centralized(sys: &CompositeSystem) -> bool {
+    let mut iter = sys.roots().map(|r| touched(sys, r));
+    let Some(mut common) = iter.next() else {
+        return true;
+    };
+    for s in iter {
+        common = common.intersection(&s).copied().collect();
+        if common.is_empty() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_model::SystemBuilder;
+
+    #[test]
+    fn stack_is_expressible_by_both() {
+        let mut b = SystemBuilder::new();
+        let top = b.schedule("top");
+        let bot = b.schedule("bot");
+        let t1 = b.root("T1", top);
+        let t2 = b.root("T2", top);
+        let u1 = b.subtx("u1", t1, bot);
+        let u2 = b.subtx("u2", t2, bot);
+        b.leaf("o1", u1);
+        b.leaf("o2", u2);
+        let sys = b.build().unwrap();
+        assert!(multilevel_expressible(&sys));
+        assert!(nested_expressible_pairwise(&sys));
+        assert!(nested_expressible_centralized(&sys));
+    }
+
+    #[test]
+    fn disjoint_transactions_are_not_nested_expressible() {
+        // Two transactions on two disjoint stores: no shared scheduler.
+        let mut b = SystemBuilder::new();
+        let s1 = b.schedule("S1");
+        let s2 = b.schedule("S2");
+        let t1 = b.root("T1", s1);
+        let t2 = b.root("T2", s2);
+        b.leaf("o1", t1);
+        b.leaf("o2", t2);
+        let sys = b.build().unwrap();
+        assert!(!nested_expressible_pairwise(&sys));
+        assert!(!nested_expressible_centralized(&sys));
+        assert!(!multilevel_expressible(&sys));
+    }
+
+    #[test]
+    fn pairwise_weaker_than_centralized() {
+        // T1 shares A with T2, T2 shares B with T3, T1 and T3 share C:
+        // pairwise yes, centralized (one scheduler for all three) no.
+        let mut b = SystemBuilder::new();
+        let top1 = b.schedule("top1");
+        let top2 = b.schedule("top2");
+        let top3 = b.schedule("top3");
+        let sa = b.schedule("A");
+        let sb = b.schedule("B");
+        let sc = b.schedule("C");
+        let t1 = b.root("T1", top1);
+        let t2 = b.root("T2", top2);
+        let t3 = b.root("T3", top3);
+        for (t, stores) in [(t1, [sa, sc]), (t2, [sa, sb]), (t3, [sb, sc])] {
+            for (k, s) in stores.into_iter().enumerate() {
+                let u = b.subtx(format!("u{t}{k}"), t, s);
+                b.leaf(format!("o{t}{k}"), u);
+            }
+        }
+        let sys = b.build().unwrap();
+        assert!(nested_expressible_pairwise(&sys));
+        assert!(!nested_expressible_centralized(&sys));
+    }
+}

@@ -1,0 +1,118 @@
+//! Fork conflict consistency (Definition 24).
+
+use crate::shape::fork_shape;
+use compc_model::CompositeSystem;
+
+/// Fork conflict consistency (Definition 24): the top schedule `S_F` is
+/// conflict consistent and every branch schedule is conflict consistent.
+///
+/// (Definition 24 states the branch condition as acyclicity of the union of
+/// the branches' serialization and input orders; since branches have
+/// pairwise-disjoint transaction sets and — Definition 23 point 3 —
+/// cross-branch operations commute, that union is acyclic iff each branch is
+/// individually CC.)
+///
+/// Returns `None` if the system is not fork-shaped.
+pub fn is_fcc(sys: &CompositeSystem) -> Option<bool> {
+    let shape = fork_shape(sys)?;
+    let top_cc = sys.schedule(shape.top).is_conflict_consistent();
+    let branches_cc = shape
+        .branches
+        .iter()
+        .all(|&s| sys.schedule(s).is_conflict_consistent());
+    Some(top_cc && branches_cc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_core::check;
+    use compc_model::SystemBuilder;
+
+    /// Two roots forking to two independent branch schedules; each branch
+    /// serializes consistently (possibly in different directions — that is
+    /// fine for a fork because the branches touch disjoint data).
+    fn fork(dir1: bool, dir2: bool) -> CompositeSystem {
+        let mut b = SystemBuilder::new();
+        let sf = b.schedule("SF");
+        let s1 = b.schedule("S1");
+        let s2 = b.schedule("S2");
+        let t1 = b.root("T1", sf);
+        let t2 = b.root("T2", sf);
+        let u11 = b.subtx("u11", t1, s1);
+        let u21 = b.subtx("u21", t2, s1);
+        let u12 = b.subtx("u12", t1, s2);
+        let u22 = b.subtx("u22", t2, s2);
+        let o11 = b.leaf("o11", u11);
+        let o21 = b.leaf("o21", u21);
+        let o12 = b.leaf("o12", u12);
+        let o22 = b.leaf("o22", u22);
+        b.conflict(o11, o21).unwrap();
+        b.conflict(o12, o22).unwrap();
+        if dir1 {
+            b.output_weak(o11, o21).unwrap();
+        } else {
+            b.output_weak(o21, o11).unwrap();
+        }
+        if dir2 {
+            b.output_weak(o12, o22).unwrap();
+        } else {
+            b.output_weak(o22, o12).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn agreeing_branches_fcc_and_comp_c() {
+        let sys = fork(true, true);
+        assert_eq!(is_fcc(&sys), Some(true));
+        assert!(check(&sys).is_correct());
+    }
+
+    /// Opposing branch serializations of the SAME root pair: each branch is
+    /// individually CC, so the fork is FCC — but the cross-branch
+    /// serialization orders of T1/T2 disagree. Definition 23's commuting
+    /// assumption is what reconciles this: the top schedule declares no
+    /// conflict between the subtransactions, so per Definition 11 the
+    /// pulled-up orders are forgotten at SF and Comp-C holds too.
+    #[test]
+    fn opposing_branches_still_fcc_and_comp_c() {
+        let sys = fork(true, false);
+        assert_eq!(is_fcc(&sys), Some(true));
+        assert!(check(&sys).is_correct(), "{:?}", check(&sys).counterexample());
+    }
+
+    /// A branch that is internally inconsistent (two conflicting pairs
+    /// serializing opposite ways) breaks both FCC and Comp-C.
+    #[test]
+    fn inconsistent_branch_breaks_fcc_and_comp_c() {
+        let mut b = SystemBuilder::new();
+        let sf = b.schedule("SF");
+        let s1 = b.schedule("S1");
+        let t1 = b.root("T1", sf);
+        let t2 = b.root("T2", sf);
+        let u1 = b.subtx("u1", t1, s1);
+        let u2 = b.subtx("u2", t2, s1);
+        let a1 = b.leaf("a1", u1);
+        let b1 = b.leaf("b1", u1);
+        let a2 = b.leaf("a2", u2);
+        let b2 = b.leaf("b2", u2);
+        b.conflict(a1, a2).unwrap();
+        b.conflict(b1, b2).unwrap();
+        b.output_weak(a1, a2).unwrap();
+        b.output_weak(b2, b1).unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(is_fcc(&sys), Some(false));
+        assert!(!check(&sys).is_correct());
+    }
+
+    #[test]
+    fn non_fork_returns_none() {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t = b.root("T", s);
+        b.leaf("o", t);
+        let sys = b.build().unwrap();
+        assert_eq!(is_fcc(&sys), None);
+    }
+}

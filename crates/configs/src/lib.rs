@@ -1,0 +1,67 @@
+//! Special composite configurations and their direct correctness criteria.
+//!
+//! The paper's §4 relates Comp-C to three earlier, configuration-specific
+//! criteria:
+//!
+//! * **stack** configurations and *stack conflict consistency* (SCC,
+//!   Definitions 21–22, Theorem 2);
+//! * **fork** configurations and *fork conflict consistency* (FCC,
+//!   Definitions 23–24, Theorem 3);
+//! * **join** configurations, the *ghost graph* and *join conflict
+//!   consistency* (JCC, Definitions 25–27, Theorem 4).
+//!
+//! This crate provides shape recognizers for the three configurations and
+//! direct implementations of the three criteria — each decided **without**
+//! running the general reduction, exactly as the original per-configuration
+//! papers (\[ABFS97\], \[AFPS99\]) would. The equivalence theorems then become
+//! executable: property tests (in the workspace-level test suite) generate
+//! random stacks/forks/joins and assert that the direct criterion and
+//! `compc_core::check` always agree.
+//!
+//! Per-schedule *conflict consistency* — the building block of all three
+//! criteria — lives on [`compc_model::Schedule::is_conflict_consistent`]:
+//! the union of a schedule's weak input order and its serialization order
+//! must be acyclic.
+
+//! # Example
+//!
+//! ```
+//! use compc_configs::{is_scc, stack_shape};
+//! use compc_model::SystemBuilder;
+//!
+//! // A 2-level stack whose bottom serializes consistently.
+//! let mut b = SystemBuilder::new();
+//! let top = b.schedule("top");
+//! let bot = b.schedule("bot");
+//! let t1 = b.root("T1", top);
+//! let t2 = b.root("T2", top);
+//! let u1 = b.subtx("u1", t1, bot);
+//! let u2 = b.subtx("u2", t2, bot);
+//! let o1 = b.leaf("o1", u1);
+//! let o2 = b.leaf("o2", u2);
+//! b.conflict(o1, o2)?;
+//! b.output_weak(o1, o2)?;
+//! let sys = b.build()?;
+//!
+//! assert!(stack_shape(&sys).is_some());
+//! assert!(is_scc(&sys));                      // the direct criterion …
+//! assert!(compc_core::check(&sys).is_correct()); // … agrees with Theorem 2
+//! # Ok::<(), compc_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expressiveness;
+mod fork;
+mod join;
+mod shape;
+mod stack;
+
+pub use expressiveness::{
+    multilevel_expressible, nested_expressible_centralized, nested_expressible_pairwise,
+};
+pub use fork::is_fcc;
+pub use join::{ghost_graph, is_jcc};
+pub use shape::{fork_shape, join_shape, stack_shape, ForkShape, JoinShape};
+pub use stack::is_scc;

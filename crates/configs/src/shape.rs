@@ -1,0 +1,258 @@
+//! Recognizers for the stack, fork and join configurations.
+
+use compc_model::{CompositeSystem, NodeRole, SchedId};
+
+/// The decomposition of a fork configuration (Definition 23): the upper
+/// schedule `S_F` hosting the roots, and the lower schedules `S_1..S_n` its
+/// operations are transactions of.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForkShape {
+    /// The root-hosting schedule.
+    pub top: SchedId,
+    /// The invoked lower schedules.
+    pub branches: Vec<SchedId>,
+}
+
+/// The decomposition of a join configuration (Definition 25): the upper
+/// schedules `S_1..S_n` hosting the roots, all funnelling into a single
+/// lower schedule `S_J`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinShape {
+    /// The root-hosting upper schedules.
+    pub branches: Vec<SchedId>,
+    /// The shared lower schedule.
+    pub join: SchedId,
+}
+
+/// Recognizes an n-level stack (Definition 21): exactly one schedule per
+/// level; every operation of the level-`i` schedule is a transaction of the
+/// level-`i−1` schedule (for `i > 1`), and the level-1 schedule has only
+/// leaf operations. Returns the schedules ordered top (level n) to bottom
+/// (level 1), or `None`.
+pub fn stack_shape(sys: &CompositeSystem) -> Option<Vec<SchedId>> {
+    let n = sys.order();
+    if sys.schedule_count() != n || n == 0 {
+        return None;
+    }
+    let mut by_level = vec![None; n + 1];
+    for s in sys.schedules() {
+        let l = sys.level(s.id);
+        if by_level[l].replace(s.id).is_some() {
+            return None; // two schedules on one level
+        }
+    }
+    let mut top_down = Vec::with_capacity(n);
+    for l in (1..=n).rev() {
+        top_down.push(by_level[l]?);
+    }
+    // Roots must all live at the top; every op of level i must be a
+    // transaction of level i-1 (or a leaf at level 1).
+    for node in sys.nodes() {
+        match node.role() {
+            NodeRole::Root => {
+                if node.home != Some(top_down[0]) {
+                    return None;
+                }
+            }
+            NodeRole::Internal => {
+                let (Some(c), Some(h)) = (node.container, node.home) else {
+                    return None;
+                };
+                if sys.level(c) != sys.level(h) + 1 {
+                    return None;
+                }
+            }
+            NodeRole::Leaf => {
+                let c = node.container?;
+                if sys.level(c) != 1 {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(top_down)
+}
+
+/// Recognizes a fork (Definition 23): one level-2 schedule hosting all
+/// roots, whose operations are all transactions of level-1 schedules.
+pub fn fork_shape(sys: &CompositeSystem) -> Option<ForkShape> {
+    if sys.order() != 2 {
+        return None;
+    }
+    let mut top = None;
+    let mut branches = Vec::new();
+    for s in sys.schedules() {
+        match sys.level(s.id) {
+            2 => {
+                if top.replace(s.id).is_some() {
+                    return None;
+                }
+            }
+            1 => branches.push(s.id),
+            _ => return None,
+        }
+    }
+    let top = top?;
+    for node in sys.nodes() {
+        match node.role() {
+            NodeRole::Root => {
+                if node.home != Some(top) {
+                    return None;
+                }
+            }
+            NodeRole::Internal => {
+                if node.container != Some(top) {
+                    return None;
+                }
+            }
+            NodeRole::Leaf => {
+                // Leaves must belong to branch schedules — a leaf directly
+                // under a root would make the top schedule also a leaf
+                // schedule, which Definition 23 excludes.
+                let c = node.container?;
+                if sys.level(c) != 1 {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(ForkShape { top, branches })
+}
+
+/// Recognizes a join (Definition 25): roots spread over several level-2
+/// schedules whose operations are all transactions of one shared level-1
+/// schedule.
+pub fn join_shape(sys: &CompositeSystem) -> Option<JoinShape> {
+    if sys.order() != 2 {
+        return None;
+    }
+    let mut branches = Vec::new();
+    let mut join = None;
+    for s in sys.schedules() {
+        match sys.level(s.id) {
+            2 => branches.push(s.id),
+            1 => {
+                if join.replace(s.id).is_some() {
+                    return None; // more than one lower schedule
+                }
+            }
+            _ => return None,
+        }
+    }
+    let join = join?;
+    for node in sys.nodes() {
+        match node.role() {
+            NodeRole::Root => {
+                let h = node.home?;
+                if !branches.contains(&h) {
+                    return None;
+                }
+            }
+            NodeRole::Internal => {
+                if node.home != Some(join) {
+                    return None;
+                }
+            }
+            NodeRole::Leaf => {
+                if node.container != Some(join) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(JoinShape { branches, join })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_model::SystemBuilder;
+
+    fn stack3() -> CompositeSystem {
+        let mut b = SystemBuilder::new();
+        let s3 = b.schedule("S3");
+        let s2 = b.schedule("S2");
+        let s1 = b.schedule("S1");
+        let t = b.root("T", s3);
+        let u = b.subtx("u", t, s2);
+        let v = b.subtx("v", u, s1);
+        let _o = b.leaf("o", v);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn recognizes_stack() {
+        let sys = stack3();
+        let shape = stack_shape(&sys).unwrap();
+        assert_eq!(shape, vec![SchedId(0), SchedId(1), SchedId(2)]);
+        assert!(fork_shape(&sys).is_none());
+        assert!(join_shape(&sys).is_none());
+    }
+
+    #[test]
+    fn recognizes_fork() {
+        let mut b = SystemBuilder::new();
+        let sf = b.schedule("SF");
+        let s1 = b.schedule("S1");
+        let s2 = b.schedule("S2");
+        let t = b.root("T", sf);
+        let u1 = b.subtx("u1", t, s1);
+        let u2 = b.subtx("u2", t, s2);
+        let _o1 = b.leaf("o1", u1);
+        let _o2 = b.leaf("o2", u2);
+        let sys = b.build().unwrap();
+        let shape = fork_shape(&sys).unwrap();
+        assert_eq!(shape.top, sf);
+        assert_eq!(shape.branches, vec![s1, s2]);
+        assert!(stack_shape(&sys).is_none());
+        assert!(join_shape(&sys).is_none());
+    }
+
+    #[test]
+    fn recognizes_join() {
+        let mut b = SystemBuilder::new();
+        let s1 = b.schedule("S1");
+        let s2 = b.schedule("S2");
+        let sj = b.schedule("SJ");
+        let t1 = b.root("T1", s1);
+        let t2 = b.root("T2", s2);
+        let u1 = b.subtx("u1", t1, sj);
+        let u2 = b.subtx("u2", t2, sj);
+        let _o1 = b.leaf("o1", u1);
+        let _o2 = b.leaf("o2", u2);
+        let sys = b.build().unwrap();
+        let shape = join_shape(&sys).unwrap();
+        assert_eq!(shape.join, sj);
+        assert_eq!(shape.branches, vec![s1, s2]);
+        assert!(stack_shape(&sys).is_none());
+        assert!(fork_shape(&sys).is_none());
+    }
+
+    #[test]
+    fn two_level_single_branch_is_stack_and_degenerate_join() {
+        // One upper, one lower schedule: a 2-stack. It is also a degenerate
+        // join with a single branch.
+        let mut b = SystemBuilder::new();
+        let s2 = b.schedule("S2");
+        let s1 = b.schedule("S1");
+        let t = b.root("T", s2);
+        let u = b.subtx("u", t, s1);
+        let _o = b.leaf("o", u);
+        let sys = b.build().unwrap();
+        assert!(stack_shape(&sys).is_some());
+        assert!(join_shape(&sys).is_some());
+    }
+
+    #[test]
+    fn mixed_leaf_under_root_is_not_fork() {
+        let mut b = SystemBuilder::new();
+        let sf = b.schedule("SF");
+        let s1 = b.schedule("S1");
+        let t = b.root("T", sf);
+        let u1 = b.subtx("u1", t, s1);
+        let _o1 = b.leaf("o1", u1);
+        let _ox = b.leaf("ox", t); // leaf directly in the top schedule
+        let sys = b.build().unwrap();
+        assert!(fork_shape(&sys).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! Counterexample minimization: shrink an incorrect composite execution to
+//! a minimal set of composite transactions that still violates Comp-C.
+//!
+//! Cycle witnesses point at *where* the reduction failed; the minimizer
+//! answers *who is involved*: it greedily drops whole execution trees while
+//! the projection stays incorrect, ending with a 1-minimal root set (no
+//! single remaining transaction can be removed). Diagnostics from real
+//! systems shrink dramatically — a violation among dozens of transactions
+//! usually involves two or three.
+
+use crate::reduce::check;
+use compc_model::{CompositeSystem, NodeId};
+
+/// The result of minimization.
+#[derive(Clone, Debug)]
+pub struct MinimalCounterexample {
+    /// The 1-minimal set of root transactions whose projection is still
+    /// incorrect.
+    pub roots: Vec<NodeId>,
+    /// The projected system (checkable, incorrect).
+    pub system: CompositeSystem,
+}
+
+/// Greedily minimizes an incorrect system to a 1-minimal set of composite
+/// transactions. Returns `None` if the system is correct to begin with.
+///
+/// Worst case runs `O(roots²)` reductions; each reduction is fast (see the
+/// E10 scaling numbers), so this is practical for diagnostics.
+pub fn minimize(sys: &CompositeSystem) -> Option<MinimalCounterexample> {
+    if check(sys).is_correct() {
+        return None;
+    }
+    let mut roots: Vec<NodeId> = sys.roots().collect();
+    // Seed with the cycle witness: restricting to the roots of the cycle's
+    // nodes often is already minimal, which saves most of the greedy work.
+    if let Some(cex) = check(sys).counterexample() {
+        let mut seed: Vec<NodeId> = cex
+            .cycle
+            .iter()
+            .map(|&n| root_of(sys, n))
+            .collect();
+        seed.sort_unstable();
+        seed.dedup();
+        if let Ok(proj) = sys.project_roots(&seed) {
+            if !check(&proj).is_correct() {
+                roots = seed;
+            }
+        }
+    }
+    // Greedy 1-minimization.
+    let mut i = 0;
+    while i < roots.len() {
+        if roots.len() == 1 {
+            break;
+        }
+        let mut candidate = roots.clone();
+        candidate.remove(i);
+        let still_bad = sys
+            .project_roots(&candidate)
+            .map(|proj| !check(&proj).is_correct())
+            .unwrap_or(false);
+        if still_bad {
+            roots = candidate; // keep the removal, retry same index
+        } else {
+            i += 1;
+        }
+    }
+    let system = sys
+        .project_roots(&roots)
+        .expect("projection of an incorrect core stays buildable");
+    debug_assert!(!check(&system).is_correct());
+    Some(MinimalCounterexample { roots, system })
+}
+
+fn root_of(sys: &CompositeSystem, mut n: NodeId) -> NodeId {
+    while let Some(p) = sys.node(n).parent {
+        n = p;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_model::SystemBuilder;
+
+    /// Two conflicting transactions in a cycle plus three bystanders: the
+    /// minimizer must strip the bystanders.
+    #[test]
+    fn minimizer_strips_bystanders() {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t1 = b.root("T1", s);
+        let t2 = b.root("T2", s);
+        let a1 = b.leaf("a1", t1);
+        let b1 = b.leaf("b1", t1);
+        let a2 = b.leaf("a2", t2);
+        let b2 = b.leaf("b2", t2);
+        b.conflict(a1, a2).unwrap();
+        b.conflict(b1, b2).unwrap();
+        b.output_weak(a1, a2).unwrap();
+        b.output_weak(b2, b1).unwrap();
+        // Bystanders with their own (consistent) conflicts.
+        for i in 0..3 {
+            let t = b.root(format!("X{i}"), s);
+            let o = b.leaf(format!("x{i}"), t);
+            b.conflict(o, a1).unwrap();
+            b.output_weak(a1, o).unwrap();
+        }
+        let sys = b.build().unwrap();
+        let min = minimize(&sys).expect("system is incorrect");
+        assert_eq!(min.roots, vec![t1, t2]);
+        assert_eq!(min.system.roots().count(), 2);
+    }
+
+    #[test]
+    fn correct_systems_do_not_minimize() {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t = b.root("T", s);
+        b.leaf("o", t);
+        let sys = b.build().unwrap();
+        assert!(minimize(&sys).is_none());
+    }
+
+    /// A three-party cycle (T1→T2→T3→T1) is already 1-minimal: removing any
+    /// single transaction breaks it, so the minimizer must keep all three.
+    #[test]
+    fn three_party_cycle_is_kept_whole() {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t1 = b.root("T1", s);
+        let t2 = b.root("T2", s);
+        let t3 = b.root("T3", s);
+        let (a1, c1) = (b.leaf("a1", t1), b.leaf("c1", t1));
+        let (a2, c2) = (b.leaf("a2", t2), b.leaf("c2", t2));
+        let (a3, c3) = (b.leaf("a3", t3), b.leaf("c3", t3));
+        // T1 → T2 on item x, T2 → T3 on item y, T3 → T1 on item z.
+        b.conflict(a1, c2).unwrap();
+        b.output_weak(a1, c2).unwrap();
+        b.conflict(a2, c3).unwrap();
+        b.output_weak(a2, c3).unwrap();
+        b.conflict(a3, c1).unwrap();
+        b.output_weak(a3, c1).unwrap();
+        let sys = b.build().unwrap();
+        let min = minimize(&sys).expect("cyclic");
+        assert_eq!(min.roots.len(), 3);
+    }
+}

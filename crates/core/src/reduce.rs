@@ -1,0 +1,880 @@
+//! The level-by-level reduction (Definition 16) and the Comp-C decision
+//! procedure (Definition 20 / Theorem 1).
+
+use crate::front::Front;
+use compc_graph::{condense, find_cycle, topological_sort, transitive_closure, DiGraph};
+use compc_model::{CompositeSystem, NodeId, Schedule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which phase of a reduction step failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailurePhase {
+    /// Definition 16 step 1: no simultaneous calculations exist for the
+    /// level's transactions (a forced interleaving or order contradiction).
+    Calculation,
+    /// Definition 16 step 6: the new front is not conflict consistent.
+    ConflictConsistency,
+}
+
+/// Why a composite schedule is not Comp-C: the reduction level that failed,
+/// the phase, and a cycle witness over (representatives of) front nodes.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The reduction step (1-based level) at which the failure occurred.
+    pub level: usize,
+    /// Which check failed.
+    pub phase: FailurePhase,
+    /// The nodes on the offending cycle. For calculation failures these are
+    /// group representatives: a transaction id where a whole transaction was
+    /// contracted, a plain node otherwise.
+    pub cycle: Vec<NodeId>,
+    /// Human-readable names for `cycle`, resolved against the system.
+    pub cycle_names: Vec<String>,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reduction failed at level {} ({}): cycle {}",
+            self.level,
+            match self.phase {
+                FailurePhase::Calculation => "no calculation exists",
+                FailurePhase::ConflictConsistency => "front not conflict consistent",
+            },
+            self.cycle_names.join(" -> ")
+        )
+    }
+}
+
+/// A per-level record of the reduction, for traces and the figure harness.
+#[derive(Clone, Debug)]
+pub struct FrontSnapshot {
+    /// The front's level.
+    pub level: usize,
+    /// Front members in id order.
+    pub nodes: Vec<NodeId>,
+    /// Observed pairs among members.
+    pub observed: Vec<(NodeId, NodeId)>,
+    /// Generalized-conflict pairs among members (normalized `(min, max)`).
+    pub conflicts: Vec<(NodeId, NodeId)>,
+    /// Input-order pairs among members.
+    pub input: Vec<(NodeId, NodeId)>,
+}
+
+/// Evidence of correctness: every front of the successful reduction plus a
+/// serial witness — a total order of the roots to which the execution is
+/// conflict equivalent (the topological sort from Theorem 1's proof).
+#[derive(Clone, Debug)]
+pub struct Proof {
+    /// Snapshots of fronts 0..=N.
+    pub fronts: Vec<FrontSnapshot>,
+    /// The equivalent serial order over the root transactions.
+    pub serial_witness: Vec<NodeId>,
+}
+
+/// The outcome of a Comp-C check.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The composite schedule is Comp-C (has a level-N front, Theorem 1).
+    Correct(Proof),
+    /// The composite schedule is not Comp-C.
+    Incorrect(Counterexample),
+}
+
+impl Verdict {
+    /// Whether the verdict is `Correct`.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Verdict::Correct(_))
+    }
+
+    /// The proof, if correct.
+    pub fn proof(&self) -> Option<&Proof> {
+        match self {
+            Verdict::Correct(p) => Some(p),
+            Verdict::Incorrect(_) => None,
+        }
+    }
+
+    /// The counterexample, if incorrect.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Correct(_) => None,
+            Verdict::Incorrect(c) => Some(c),
+        }
+    }
+}
+
+/// Decides Comp-C for a composite system (Theorem 1): runs the reduction to
+/// the system's order `N` and reports a proof or a counterexample.
+pub fn check(sys: &CompositeSystem) -> Verdict {
+    Reducer::new(sys).run()
+}
+
+/// Tuning knobs for the reduction, used by the ablation experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct ReduceOptions {
+    /// Definition 10's *forgetting*: a pulled-up pair whose endpoints land
+    /// in a common schedule survives only if that schedule declares the
+    /// pair conflicting. Disabling this (the ablation) keeps every pulled
+    /// pair binding — Figure 4's execution then flips to incorrect,
+    /// quantifying how much permissiveness the schedules' commutativity
+    /// knowledge buys.
+    pub forget_commuting: bool,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> Self {
+        ReduceOptions {
+            forget_commuting: true,
+        }
+    }
+}
+
+/// [`check`] with explicit [`ReduceOptions`].
+pub fn check_with(sys: &CompositeSystem, options: ReduceOptions) -> Verdict {
+    Reducer::with_options(sys, options).run()
+}
+
+/// The stepwise reduction engine. Use [`check`] for the one-shot API; the
+/// `Reducer` itself exposes per-level stepping for traces and the examples.
+pub struct Reducer<'a> {
+    sys: &'a CompositeSystem,
+    front: Front,
+    options: ReduceOptions,
+}
+
+impl<'a> Reducer<'a> {
+    /// Starts a reduction at the level-0 front.
+    pub fn new(sys: &'a CompositeSystem) -> Self {
+        Self::with_options(sys, ReduceOptions::default())
+    }
+
+    /// Starts a reduction with explicit options.
+    pub fn with_options(sys: &'a CompositeSystem, options: ReduceOptions) -> Self {
+        Reducer {
+            sys,
+            front: Front::level0(sys),
+            options,
+        }
+    }
+
+    /// The current front.
+    pub fn front(&self) -> &Front {
+        &self.front
+    }
+
+    /// A snapshot of the current front.
+    pub fn snapshot(&self) -> FrontSnapshot {
+        FrontSnapshot {
+            level: self.front.level,
+            nodes: self.front.nodes.iter().copied().collect(),
+            observed: self.front.observed_pairs(),
+            conflicts: self.front.conflict_pairs(self.sys),
+            input: self.front.input_pairs(),
+        }
+    }
+
+    /// Runs the reduction to completion.
+    pub fn run(mut self) -> Verdict {
+        let mut fronts = vec![self.snapshot()];
+        // Front 0 is CC by construction (per-schedule partial orders), but we
+        // check anyway so the invariant is uniform across levels.
+        if let Some(cycle) = self.front.is_cc() {
+            return Verdict::Incorrect(self.counterexample(
+                0,
+                FailurePhase::ConflictConsistency,
+                cycle,
+            ));
+        }
+        for level in 1..=self.sys.order() {
+            match self.step(level) {
+                Ok(()) => fronts.push(self.snapshot()),
+                Err(cex) => return Verdict::Incorrect(cex),
+            }
+        }
+        debug_assert_eq!(
+            self.front.nodes,
+            self.sys.roots().collect::<BTreeSet<_>>(),
+            "a completed reduction must leave exactly the roots"
+        );
+        let witness = self.serial_witness();
+        Verdict::Correct(Proof {
+            fronts,
+            serial_witness: witness,
+        })
+    }
+
+    /// Performs reduction step `level` (Definition 16), replacing the
+    /// current front by the level-`level` front or failing with a
+    /// counterexample.
+    pub fn step(&mut self, level: usize) -> Result<(), Counterexample> {
+        let scheds: Vec<compc_model::SchedId> = self
+            .sys
+            .schedules_at_level(level)
+            .map(|s| s.id)
+            .collect();
+        self.step_schedules(&scheds, level)
+    }
+
+    /// Reduces an arbitrary set of schedules at once — the level-by-level
+    /// [`Reducer::step`] is the batch instance. A schedule may be reduced
+    /// only after every schedule it invokes (its transactions' operations
+    /// must all be in the front); the `confluence` property tests verify
+    /// that any invocation-respecting reduction order yields the same
+    /// verdict as the canonical level order.
+    pub fn step_schedules(
+        &mut self,
+        scheds: &[compc_model::SchedId],
+        level: usize,
+    ) -> Result<(), Counterexample> {
+        let sys = self.sys;
+        // The transactions to reduce. `replaced` maps each of their
+        // operations to the owning transaction.
+        let mut replaced: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut new_txs: Vec<NodeId> = Vec::new();
+        for s in scheds.iter().map(|&sid| sys.schedule(sid)) {
+            for t in &s.transactions {
+                new_txs.push(t.id);
+                for &o in &t.ops {
+                    debug_assert!(
+                        self.front.nodes.contains(&o),
+                        "operation {o} of {t:?} must be in the level-{} front",
+                        level - 1
+                    );
+                    replaced.insert(o, t.id);
+                }
+            }
+        }
+
+        // --- Step 1: simultaneous calculations exist iff the constraint
+        // graph, contracted by transaction grouping, is acyclic. Under the
+        // no-forgetting ablation every observed pair constrains.
+        let constraint = if self.options.forget_commuting {
+            self.front.constraint_graph(sys)
+        } else {
+            let mut g = self.front.input.clone();
+            g.ensure_node(sys.node_count().saturating_sub(1));
+            g.union_with(&self.front.observed);
+            g
+        };
+        let node_to_comp: Vec<usize> = (0..sys.node_count())
+            .map(|i| {
+                replaced
+                    .get(&NodeId(i as u32))
+                    .map_or(i, |t| t.index())
+            })
+            .collect();
+        let contracted = condense(&constraint, &node_to_comp, sys.node_count());
+        if let Some(cycle) = find_cycle(&contracted) {
+            let cycle: Vec<NodeId> = cycle.nodes.into_iter().map(|i| NodeId(i as u32)).collect();
+            return Err(self.counterexample(level, FailurePhase::Calculation, cycle));
+        }
+
+        // --- Steps 2–4: replace operations by their transactions and pull
+        // the observed order up (Definition 10 rules 2–4, Definition 11).
+        let mut new_nodes: BTreeSet<NodeId> = self
+            .front
+            .nodes
+            .iter()
+            .filter(|n| !replaced.contains_key(n))
+            .copied()
+            .collect();
+        // Step 5 (propagation): kept nodes stay; the new transactions enter.
+        new_nodes.extend(new_txs.iter().copied());
+
+        let mut observed = DiGraph::with_nodes(sys.node_count());
+        let map = |n: NodeId| replaced.get(&n).copied().unwrap_or(n);
+        for (u, v) in self.front.observed.edges() {
+            let (a, b) = (NodeId(u as u32), NodeId(v as u32));
+            if !self.front.nodes.contains(&a) || !self.front.nodes.contains(&b) {
+                continue;
+            }
+            let (big_a, big_b) = (map(a), map(b));
+            if big_a == big_b {
+                continue; // absorbed into one transaction
+            }
+            let pushed = big_a != a || big_b != b;
+            if !pushed {
+                // Neither endpoint replaced: the pair simply persists.
+                observed.add_edge(big_a.index(), big_b.index());
+                continue;
+            }
+            // Definition 10: a pair whose endpoints sit in a common schedule
+            // is pushed only via rule 2 — the schedule's own order and
+            // conflict declaration (handled below from schedule data); a
+            // cross-schedule pair is pushed unconditionally (rule 3). The
+            // no-forgetting ablation pushes everything.
+            if !self.options.forget_commuting || sys.common_container(a, b).is_none() {
+                observed.add_edge(big_a.index(), big_b.index());
+            }
+        }
+        // Rule 2 for the schedules being reduced: conflicting operation
+        // pairs executed `o ≺_S o'` serialize their parents. This also
+        // covers conflicting internal pairs whose subtrees never interacted.
+        for s in scheds.iter().map(|&sid| sys.schedule(sid)) {
+            for (t, t2) in s.serialization_pairs() {
+                observed.add_edge(t.index(), t2.index());
+            }
+        }
+        // Entry-time observed pairs between new transactions and other
+        // members of their *container* schedules (rule 1 when the other
+        // member is a leaf; the conflicting-output rule otherwise).
+        for &t in &new_txs {
+            self.entry_pairs(t, &new_nodes, &mut observed);
+        }
+        // Rule 4: transitive closure.
+        let observed = transitive_closure(&observed);
+
+        // --- Step 6: add the level's input orders and check CC.
+        let mut input = self.front.input.clone();
+        input.ensure_node(sys.node_count().saturating_sub(1));
+        for s in scheds.iter().map(|&sid| sys.schedule(sid)) {
+            for (a, b) in s.input.weak_pairs() {
+                input.add_edge(a.index(), b.index());
+            }
+        }
+        self.front = Front {
+            level,
+            nodes: new_nodes,
+            observed,
+            input,
+        };
+        if let Some(cycle) = self.front.is_cc() {
+            return Err(self.counterexample(level, FailurePhase::ConflictConsistency, cycle));
+        }
+        Ok(())
+    }
+
+    /// Observed pairs created when `t` enters the front, against members of
+    /// the schedule that contains `t` as an operation. Definition 10 rule 1
+    /// relates a pair as soon as *either* side is a leaf, in the schedule's
+    /// weak output order. Internal–internal pairs of a common schedule are
+    /// deliberately NOT added to `<ₒ` — no rule derives them; their
+    /// conflicting instances constrain calculations via
+    /// [`Front::constraint_graph`] instead, and their parent-level effect is
+    /// rule 2's serialization pairs.
+    fn entry_pairs(&self, t: NodeId, members: &BTreeSet<NodeId>, observed: &mut DiGraph) {
+        let sys = self.sys;
+        let Some(container) = sys.node(t).container else {
+            return; // roots are operations of nothing
+        };
+        let s: &Schedule = sys.schedule(container);
+        for other in s.ops() {
+            if other == t || !members.contains(&other) {
+                continue;
+            }
+            let other_is_leaf = sys.node(other).home.is_none();
+            if !other_is_leaf {
+                continue;
+            }
+            if s.output.weak_lt(t, other) {
+                observed.add_edge(t.index(), other.index());
+            }
+            if s.output.weak_lt(other, t) {
+                observed.add_edge(other.index(), t.index());
+            }
+        }
+    }
+
+    /// A total serial order over the final front (the roots), obtained by
+    /// topologically sorting `<ₒ ∪ →` — the constructive half of Theorem 1's
+    /// proof ("by topological sorting, we convert (<ₒ, →) into a total
+    /// order").
+    fn serial_witness(&self) -> Vec<NodeId> {
+        let mut g = self.front.input.clone();
+        g.union_with(&self.front.observed);
+        g.ensure_node(self.sys.node_count().saturating_sub(1));
+        let order = topological_sort(&g)
+            .expect("a conflict-consistent front's order union is acyclic");
+        order
+            .into_iter()
+            .map(|i| NodeId(i as u32))
+            .filter(|n| self.front.nodes.contains(n))
+            .collect()
+    }
+
+    fn counterexample(
+        &self,
+        level: usize,
+        phase: FailurePhase,
+        cycle: Vec<NodeId>,
+    ) -> Counterexample {
+        let cycle_names = cycle
+            .iter()
+            .map(|&n| self.sys.name(n).to_string())
+            .collect();
+        Counterexample {
+            level,
+            phase,
+            cycle,
+            cycle_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_model::SystemBuilder;
+
+    /// Flat serializable execution: two roots on one schedule, conflicting
+    /// leaves executed in one consistent direction.
+    #[test]
+    fn flat_serializable_is_correct() {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t1 = b.root("T1", s);
+        let t2 = b.root("T2", s);
+        let a1 = b.leaf("r1(x)", t1);
+        let b1 = b.leaf("w1(y)", t1);
+        let a2 = b.leaf("w2(x)", t2);
+        let b2 = b.leaf("r2(y)", t2);
+        b.conflict(a1, a2).unwrap();
+        b.conflict(b1, b2).unwrap();
+        b.output_weak(a1, a2).unwrap();
+        b.output_weak(b1, b2).unwrap();
+        let sys = b.build().unwrap();
+        let v = check(&sys);
+        assert!(v.is_correct(), "{:?}", v.counterexample());
+        let proof = v.proof().unwrap();
+        assert_eq!(proof.serial_witness, vec![t1, t2]);
+        assert_eq!(proof.fronts.len(), 2); // level 0 and level 1
+    }
+
+    /// Flat non-serializable execution: the two conflicts point opposite
+    /// ways, so no serial order exists — the classical lost-update cycle.
+    #[test]
+    fn flat_nonserializable_is_incorrect() {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t1 = b.root("T1", s);
+        let t2 = b.root("T2", s);
+        let a1 = b.leaf("r1(x)", t1);
+        let b1 = b.leaf("w1(y)", t1);
+        let a2 = b.leaf("w2(x)", t2);
+        let b2 = b.leaf("r2(y)", t2);
+        b.conflict(a1, a2).unwrap();
+        b.conflict(b1, b2).unwrap();
+        b.output_weak(a1, a2).unwrap(); // T1 before T2 on x
+        b.output_weak(b2, b1).unwrap(); // T2 before T1 on y
+        let sys = b.build().unwrap();
+        let v = check(&sys);
+        let cex = v.counterexample().expect("must be incorrect");
+        assert_eq!(cex.level, 1);
+        assert_eq!(cex.phase, FailurePhase::Calculation);
+        assert!(cex.cycle.contains(&t1) && cex.cycle.contains(&t2));
+    }
+
+    /// Interleaving without conflicts is fine: the observed orders commute.
+    #[test]
+    fn commuting_interleaving_is_correct() {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t1 = b.root("T1", s);
+        let t2 = b.root("T2", s);
+        let a1 = b.leaf("a1", t1);
+        let b1 = b.leaf("b1", t1);
+        let a2 = b.leaf("a2", t2);
+        // Executed a1, a2, b1 — t2's op between t1's ops, but nothing
+        // conflicts, so calculations exist.
+        b.output_weak(a1, a2).unwrap();
+        b.output_weak(a2, b1).unwrap();
+        let sys = b.build().unwrap();
+        assert!(check(&sys).is_correct());
+    }
+
+    /// A conflicting wrap-around: t2's conflicting op forced between two of
+    /// t1's ops. No isolated execution of T1 can exist.
+    #[test]
+    fn forced_interleaving_is_incorrect() {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t1 = b.root("T1", s);
+        let t2 = b.root("T2", s);
+        let a1 = b.leaf("r1(x)", t1);
+        let b1 = b.leaf("r1(y)", t1);
+        let a2 = b.leaf("w2(xy)", t2);
+        b.conflict(a1, a2).unwrap();
+        b.conflict(b1, a2).unwrap();
+        b.output_weak(a1, a2).unwrap();
+        b.output_weak(a2, b1).unwrap();
+        let sys = b.build().unwrap();
+        let v = check(&sys);
+        let cex = v.counterexample().expect("wrap-around must fail");
+        assert_eq!(cex.phase, FailurePhase::Calculation);
+    }
+
+    /// Two-level stack where the lower schedule serializes consistently.
+    #[test]
+    fn stack_consistent_is_correct() {
+        let mut b = SystemBuilder::new();
+        let s_top = b.schedule("top");
+        let s_bot = b.schedule("bot");
+        let t1 = b.root("T1", s_top);
+        let t2 = b.root("T2", s_top);
+        let u1 = b.subtx("u1", t1, s_bot);
+        let u2 = b.subtx("u2", t2, s_bot);
+        let o1 = b.leaf("w1(x)", u1);
+        let o2 = b.leaf("w2(x)", u2);
+        b.conflict(o1, o2).unwrap();
+        b.output_weak(o1, o2).unwrap();
+        let sys = b.build().unwrap();
+        let v = check(&sys);
+        assert!(v.is_correct(), "{:?}", v.counterexample());
+        assert_eq!(v.proof().unwrap().serial_witness, vec![t1, t2]);
+    }
+
+    /// Cross-schedule interference with no common schedule between the
+    /// roots: the observed order must still propagate and detect the cycle
+    /// (the key capability beyond nested-transaction models).
+    #[test]
+    fn transitive_cross_schedule_cycle_detected() {
+        let mut b = SystemBuilder::new();
+        let s_a = b.schedule("A"); // home of T1
+        let s_b = b.schedule("B"); // home of T2
+        let s_x = b.schedule("X"); // shared low-level store 1
+        let s_y = b.schedule("Y"); // shared low-level store 2
+        let t1 = b.root("T1", s_a);
+        let t2 = b.root("T2", s_b);
+        let u1x = b.subtx("u1x", t1, s_x);
+        let u1y = b.subtx("u1y", t1, s_y);
+        let u2x = b.subtx("u2x", t2, s_x);
+        let u2y = b.subtx("u2y", t2, s_y);
+        let o1x = b.leaf("o1x", u1x);
+        let o2x = b.leaf("o2x", u2x);
+        let o1y = b.leaf("o1y", u1y);
+        let o2y = b.leaf("o2y", u2y);
+        b.conflict(o1x, o2x).unwrap();
+        b.conflict(o1y, o2y).unwrap();
+        // X serializes T1 before T2; Y serializes T2 before T1.
+        b.output_weak(o1x, o2x).unwrap();
+        b.output_weak(o2y, o1y).unwrap();
+        let sys = b.build().unwrap();
+        let v = check(&sys);
+        let cex = v.counterexample().expect("cross-schedule cycle must fail");
+        assert_eq!(cex.phase, FailurePhase::Calculation);
+        assert_eq!(cex.level, 2);
+    }
+
+    /// Same shape, consistent directions: correct, with the right witness.
+    #[test]
+    fn transitive_cross_schedule_consistent_is_correct() {
+        let mut b = SystemBuilder::new();
+        let s_a = b.schedule("A");
+        let s_b = b.schedule("B");
+        let s_x = b.schedule("X");
+        let s_y = b.schedule("Y");
+        let t1 = b.root("T1", s_a);
+        let t2 = b.root("T2", s_b);
+        let u1x = b.subtx("u1x", t1, s_x);
+        let u1y = b.subtx("u1y", t1, s_y);
+        let u2x = b.subtx("u2x", t2, s_x);
+        let u2y = b.subtx("u2y", t2, s_y);
+        let o1x = b.leaf("o1x", u1x);
+        let o2x = b.leaf("o2x", u2x);
+        let o1y = b.leaf("o1y", u1y);
+        let o2y = b.leaf("o2y", u2y);
+        b.conflict(o1x, o2x).unwrap();
+        b.conflict(o1y, o2y).unwrap();
+        b.output_weak(o1x, o2x).unwrap();
+        b.output_weak(o1y, o2y).unwrap();
+        let sys = b.build().unwrap();
+        let v = check(&sys);
+        assert!(v.is_correct(), "{:?}", v.counterexample());
+        assert_eq!(v.proof().unwrap().serial_witness, vec![t1, t2]);
+    }
+
+    /// The "forgetting" behaviour of Figure 4: two subtransactions interfere
+    /// through a lower schedule, but their common *upper* schedule declares
+    /// them non-conflicting, so the pulled-up order must NOT make the
+    /// outcome incorrect even when a sibling pair points the other way.
+    #[test]
+    fn common_schedule_forgets_nonconflicting_orders() {
+        let mut b = SystemBuilder::new();
+        let s_top = b.schedule("top"); // level 3: hosts T1, T2
+        let s_mid = b.schedule("mid"); // level 2: hosts t11, t12, t21, t22
+        let s_l1 = b.schedule("l1"); // level 1 stores
+        let s_l2 = b.schedule("l2");
+        let t1 = b.root("T1", s_top);
+        let t2 = b.root("T2", s_top);
+        let t11 = b.subtx("t11", t1, s_mid);
+        let t21 = b.subtx("t21", t2, s_mid);
+        let u11 = b.subtx("u11", t11, s_l1);
+        let u21 = b.subtx("u21", t21, s_l1);
+        let u12 = b.subtx("u12", t11, s_l2);
+        let u22 = b.subtx("u22", t21, s_l2);
+        let o11 = b.leaf("o11", u11);
+        let o21 = b.leaf("o21", u21);
+        let o12 = b.leaf("o12", u12);
+        let o22 = b.leaf("o22", u22);
+        // l1 serializes t11-side before t21-side; l2 the opposite.
+        b.conflict(o11, o21).unwrap();
+        b.conflict(o12, o22).unwrap();
+        b.output_weak(o11, o21).unwrap();
+        b.output_weak(o22, o12).unwrap();
+        // The mid schedule declares NO conflict between the u-nodes: it
+        // knows they commute, so the opposing pulled-up orders are forgotten
+        // at mid (Definition 11 rule 1 / Figure 4) and T1/T2 are never
+        // forced into a cycle.
+        let sys = b.build().unwrap();
+        let v = check(&sys);
+        assert!(
+            v.is_correct(),
+            "orders through a non-conflicting common schedule must be forgotten: {:?}",
+            v.counterexample()
+        );
+    }
+
+    /// Same topology, but the mid schedule DECLARES the subtransaction pairs
+    /// conflicting (and, per Definition 3, orders each pair the way it
+    /// executed them). The opposing directions now survive the pull-up as
+    /// generalized conflicts, and no calculation for t11/t21 exists.
+    #[test]
+    fn common_schedule_keeps_conflicting_orders() {
+        let mut b = SystemBuilder::new();
+        let s_top = b.schedule("top");
+        let s_mid = b.schedule("mid");
+        let s_l1 = b.schedule("l1");
+        let s_l2 = b.schedule("l2");
+        let t1 = b.root("T1", s_top);
+        let t2 = b.root("T2", s_top);
+        let t11 = b.subtx("t11", t1, s_mid);
+        let t21 = b.subtx("t21", t2, s_mid);
+        let u11 = b.subtx("u11", t11, s_l1);
+        let u21 = b.subtx("u21", t21, s_l1);
+        let u12 = b.subtx("u12", t11, s_l2);
+        let u22 = b.subtx("u22", t21, s_l2);
+        let o11 = b.leaf("o11", u11);
+        let o21 = b.leaf("o21", u21);
+        let o12 = b.leaf("o12", u12);
+        let o22 = b.leaf("o22", u22);
+        b.conflict(o11, o21).unwrap();
+        b.conflict(o12, o22).unwrap();
+        b.output_weak(o11, o21).unwrap();
+        b.output_weak(o22, o12).unwrap();
+        // mid declares the u-pairs conflicting and orders them the way the
+        // lower schedules executed them — one pair each way.
+        b.conflict(u11, u21).unwrap();
+        b.conflict(u12, u22).unwrap();
+        b.output_weak(u11, u21).unwrap();
+        b.output_weak(u22, u12).unwrap();
+        // Definition 4.7: mid's output orders over l1/l2 transactions become
+        // l1/l2 input orders.
+        b.propagate_orders().unwrap();
+        let sys = b.build().unwrap();
+        let v = check(&sys);
+        let cex = v
+            .counterexample()
+            .expect("conflicting common-schedule pairs must keep both pulled orders and cycle");
+        assert_eq!(cex.level, 2);
+        assert_eq!(cex.phase, FailurePhase::Calculation);
+    }
+
+    /// Transactions with no operations reduce trivially.
+    #[test]
+    fn empty_transaction_is_correct() {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let _t = b.root("T", s);
+        let sys = b.build().unwrap();
+        assert!(check(&sys).is_correct());
+    }
+
+    /// Snapshots record the pulled-up conflicts (Figure 2's shape).
+    #[test]
+    fn snapshots_expose_front_evolution() {
+        let mut b = SystemBuilder::new();
+        let s_top = b.schedule("top");
+        let s_bot = b.schedule("bot");
+        let t1 = b.root("T1", s_top);
+        let t2 = b.root("T2", s_top);
+        let u1 = b.subtx("u1", t1, s_bot);
+        let u2 = b.subtx("u2", t2, s_bot);
+        let o1 = b.leaf("o1", u1);
+        let o2 = b.leaf("o2", u2);
+        b.conflict(o1, o2).unwrap();
+        b.output_weak(o1, o2).unwrap();
+        // The top schedule also declares the subtransactions conflicting and
+        // ordered the way they ran; Definition 4.7 propagates that order to
+        // the bottom schedule's input.
+        b.conflict(u1, u2).unwrap();
+        b.output_weak(u1, u2).unwrap();
+        b.propagate_orders().unwrap();
+        let sys = b.build().unwrap();
+        let v = check(&sys);
+        let proof = v.proof().unwrap();
+        assert_eq!(proof.fronts.len(), 3);
+        // Level-1 front: u1, u2 with a (declared) conflict and the
+        // serialization order pulled up by Definition 10 rule 2.
+        let f1 = &proof.fronts[1];
+        assert_eq!(f1.nodes, vec![u1, u2]);
+        assert!(f1.observed.contains(&(u1, u2)));
+        assert!(f1.conflicts.contains(&(u1, u2)));
+        // Level-2 front: the roots, serialized T1 before T2.
+        let f2 = &proof.fronts[2];
+        assert_eq!(f2.nodes, vec![t1, t2]);
+        assert!(f2.observed.contains(&(t1, t2)));
+        assert_eq!(proof.serial_witness, vec![t1, t2]);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use compc_model::SystemBuilder;
+
+    /// The Figure-4 shape: correct with forgetting, incorrect without — the
+    /// ablation isolates exactly the schedules'-commutativity contribution.
+    #[test]
+    fn forgetting_ablation_flips_figure4() {
+        let mut b = SystemBuilder::new();
+        let s_top = b.schedule("top");
+        let s_m1 = b.schedule("M1");
+        let s_m2 = b.schedule("M2");
+        let s_m3 = b.schedule("M3");
+        let s_m4 = b.schedule("M4");
+        let s_a = b.schedule("A");
+        let s_b = b.schedule("B");
+        let t1 = b.root("T1", s_top);
+        let t2 = b.root("T2", s_top);
+        let t11 = b.subtx("t11", t1, s_m1);
+        let t12 = b.subtx("t12", t1, s_m3);
+        let t21 = b.subtx("t21", t2, s_m2);
+        let t22 = b.subtx("t22", t2, s_m4);
+        let u11 = b.subtx("u11", t11, s_a);
+        let u21 = b.subtx("u21", t21, s_a);
+        let u12 = b.subtx("u12", t12, s_b);
+        let u22 = b.subtx("u22", t22, s_b);
+        let x11 = b.leaf("x11", u11);
+        let x21 = b.leaf("x21", u21);
+        let x12 = b.leaf("x12", u12);
+        let x22 = b.leaf("x22", u22);
+        b.conflict(x11, x21).unwrap();
+        b.output_weak(x11, x21).unwrap();
+        b.conflict(x22, x12).unwrap();
+        b.output_weak(x22, x12).unwrap();
+        let sys = b.build().unwrap();
+        assert!(check(&sys).is_correct());
+        let strict = check_with(
+            &sys,
+            ReduceOptions {
+                forget_commuting: false,
+            },
+        );
+        assert!(
+            !strict.is_correct(),
+            "without forgetting the opposing pulled-up orders must cycle"
+        );
+    }
+
+    /// No-forgetting is strictly more conservative: it never accepts a
+    /// system the default reduction rejects.
+    #[test]
+    fn no_forgetting_is_monotonically_stricter() {
+        use compc_model::SystemBuilder;
+        // A couple of hand shapes; the randomized version lives in the
+        // workspace-level test suite.
+        for correct_first in [true, false] {
+            let mut b = SystemBuilder::new();
+            let s = b.schedule("S");
+            let t1 = b.root("T1", s);
+            let t2 = b.root("T2", s);
+            let a1 = b.leaf("a1", t1);
+            let a2 = b.leaf("a2", t2);
+            let b1 = b.leaf("b1", t1);
+            let b2 = b.leaf("b2", t2);
+            b.conflict(a1, a2).unwrap();
+            b.conflict(b1, b2).unwrap();
+            b.output_weak(a1, a2).unwrap();
+            if correct_first {
+                b.output_weak(b1, b2).unwrap();
+            } else {
+                b.output_weak(b2, b1).unwrap();
+            }
+            let sys = b.build().unwrap();
+            let default = check(&sys).is_correct();
+            let strict = check_with(
+                &sys,
+                ReduceOptions {
+                    forget_commuting: false,
+                },
+            )
+            .is_correct();
+            if strict {
+                assert!(default, "strict acceptance must imply default acceptance");
+            }
+            assert_eq!(default, correct_first);
+        }
+    }
+}
+
+impl FrontSnapshot {
+    /// Renders the front as Graphviz DOT: solid edges for observed-order
+    /// pairs, dashed edges for input orders, bold red edges where the pair
+    /// is also a generalized conflict.
+    pub fn to_dot(&self, sys: &CompositeSystem) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "digraph \"front-{}\" {{", self.level).unwrap();
+        writeln!(out, "  rankdir=LR; label=\"level-{} front\";", self.level).unwrap();
+        for &n in &self.nodes {
+            writeln!(
+                out,
+                "  n{} [label=\"{}\"];",
+                n.0,
+                sys.name(n).replace('"', "\\\"")
+            )
+            .unwrap();
+        }
+        let conflicts: std::collections::BTreeSet<(NodeId, NodeId)> =
+            self.conflicts.iter().copied().collect();
+        for &(a, b) in &self.observed {
+            let hot = conflicts.contains(&(a.min(b), a.max(b)));
+            writeln!(
+                out,
+                "  n{} -> n{}{};",
+                a.0,
+                b.0,
+                if hot {
+                    " [color=red, penwidth=2]"
+                } else {
+                    ""
+                }
+            )
+            .unwrap();
+        }
+        for &(a, b) in &self.input {
+            writeln!(out, "  n{} -> n{} [style=dashed];", a.0, b.0).unwrap();
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use compc_model::SystemBuilder;
+
+    #[test]
+    fn front_dot_renders_nodes_and_edge_styles() {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t1 = b.root("T1", s);
+        let t2 = b.root("T2", s);
+        let o1 = b.leaf("o1", t1);
+        let o2 = b.leaf("o2", t2);
+        b.conflict(o1, o2).unwrap();
+        b.output_weak(o1, o2).unwrap();
+        let sys = b.build().unwrap();
+        let proof = match check(&sys) {
+            Verdict::Correct(p) => p,
+            Verdict::Incorrect(c) => panic!("{c}"),
+        };
+        let dot = proof.fronts[0].to_dot(&sys);
+        assert!(dot.contains("level-0 front"));
+        assert!(dot.contains("[label=\"o1\"]"));
+        assert!(dot.contains("color=red"), "conflicting pair rendered hot");
+    }
+}

@@ -1,0 +1,452 @@
+//! Classic graph algorithms used throughout the composite-systems theory.
+
+use crate::DiGraph;
+
+/// A witness for non-acyclicity: the node sequence of a directed cycle.
+///
+/// `nodes` lists the cycle without repeating the closing node, e.g. the cycle
+/// `1 -> 4 -> 2 -> 1` is reported as `[1, 4, 2]`. A self-loop is `[n]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleInfo {
+    /// Nodes of the cycle in edge order.
+    pub nodes: Vec<usize>,
+}
+
+impl CycleInfo {
+    /// Rotates the cycle so its smallest node comes first — a canonical form
+    /// that makes cycle witnesses comparable in tests.
+    pub fn canonicalize(mut self) -> Self {
+        if let Some(min_pos) = self
+            .nodes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &n)| n)
+            .map(|(i, _)| i)
+        {
+            self.nodes.rotate_left(min_pos);
+        }
+        self
+    }
+}
+
+/// Error from [`topological_sort`]: the graph has a cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopoError(pub CycleInfo);
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph is cyclic: cycle through {:?}", self.0.nodes)
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Topologically sorts the graph, or returns a cycle witness.
+///
+/// Deterministic: among ready nodes, the smallest index is emitted first, so
+/// the same graph always yields the same order (important for reproducible
+/// serial witnesses in the reduction engine).
+pub fn topological_sort(g: &DiGraph) -> Result<Vec<usize>, TopoError> {
+    let n = g.node_count();
+    let mut indeg = g.in_degrees();
+    // A BinaryHeap<Reverse<_>> would be asymptotically nicer for huge graphs,
+    // but fronts here are small; a BTreeSet keeps the code simple and ordered.
+    let mut ready: std::collections::BTreeSet<usize> =
+        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut out = Vec::with_capacity(n);
+    while let Some(&v) = ready.iter().next() {
+        ready.remove(&v);
+        out.push(v);
+        for w in g.successors(v) {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                ready.insert(w);
+            }
+        }
+    }
+    if out.len() == n {
+        Ok(out)
+    } else {
+        Err(TopoError(
+            find_cycle(g).expect("Kahn's algorithm stalled, so a cycle must exist"),
+        ))
+    }
+}
+
+/// Finds some directed cycle, if any, via iterative DFS with colors.
+pub fn find_cycle(g: &DiGraph) -> Option<CycleInfo> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = g.node_count();
+    let mut color = vec![Color::White; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Iterative DFS; stack entries are (node, successor iterator state).
+        let mut stack: Vec<(usize, Vec<usize>)> = Vec::new();
+        color[start] = Color::Gray;
+        stack.push((start, g.successors(start).collect()));
+        while let Some((u, succ)) = stack.last_mut() {
+            if let Some(v) = succ.pop() {
+                let u = *u;
+                match color[v] {
+                    Color::White => {
+                        parent[v] = u;
+                        color[v] = Color::Gray;
+                        stack.push((v, g.successors(v).collect()));
+                    }
+                    Color::Gray => {
+                        // Back edge u -> v closes a cycle v ..-> u -> v.
+                        let mut nodes = vec![u];
+                        let mut cur = u;
+                        while cur != v {
+                            cur = parent[cur];
+                            nodes.push(cur);
+                        }
+                        nodes.reverse();
+                        return Some(CycleInfo { nodes }.canonicalize());
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[*u] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Whether there is a directed path `u ->* v` (including `u == v` with a path
+/// of length ≥ 1 only if a cycle exists through `u`; a trivial zero-length
+/// path does *not* count — callers of strict orders need `u < u` to be false).
+pub fn has_path(g: &DiGraph, u: usize, v: usize) -> bool {
+    if u >= g.node_count() {
+        return false;
+    }
+    let mut seen = vec![false; g.node_count()];
+    let mut stack: Vec<usize> = g.successors(u).collect();
+    while let Some(x) = stack.pop() {
+        if x == v {
+            return true;
+        }
+        if !seen[x] {
+            seen[x] = true;
+            stack.extend(g.successors(x));
+        }
+    }
+    false
+}
+
+/// The set of nodes reachable from `start` by paths of length ≥ 1.
+pub fn reachable_from(g: &DiGraph, start: usize) -> Vec<usize> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack: Vec<usize> = g.successors(start).collect();
+    let mut out = Vec::new();
+    while let Some(x) = stack.pop() {
+        if !seen[x] {
+            seen[x] = true;
+            out.push(x);
+            stack.extend(g.successors(x));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Transitive closure: result has an edge `u -> v` iff `g` has a nonempty
+/// path `u ->* v`.
+pub fn transitive_closure(g: &DiGraph) -> DiGraph {
+    let mut out = DiGraph::with_nodes(g.node_count());
+    for u in 0..g.node_count() {
+        for v in reachable_from(g, u) {
+            out.add_edge(u, v);
+        }
+    }
+    out
+}
+
+/// Transitive reduction of a DAG: the unique minimal graph with the same
+/// closure. Panics if `g` is cyclic (reduction is not unique then).
+pub fn transitive_reduction(g: &DiGraph) -> DiGraph {
+    assert!(find_cycle(g).is_none(), "transitive reduction requires a DAG");
+    let closure = transitive_closure(g);
+    let mut out = DiGraph::with_nodes(g.node_count());
+    for (u, v) in g.edges() {
+        // u -> v is redundant iff some other successor w of u reaches v.
+        let redundant = g
+            .successors(u)
+            .any(|w| w != v && closure.has_edge(w, v));
+        if !redundant {
+            out.add_edge(u, v);
+        }
+    }
+    out
+}
+
+/// Tarjan's strongly connected components, returned in reverse topological
+/// order of the condensation (i.e. a component is emitted after all
+/// components it can reach). Each component's node list is sorted.
+pub fn strongly_connected_components(g: &DiGraph) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan to avoid recursion-depth limits on long chains.
+    // Each call frame is (node, remaining successors).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        let mut call: Vec<(usize, Vec<usize>)> =
+            vec![(root, g.successors(root).collect())];
+        while let Some((v, succ)) = call.last_mut() {
+            let v = *v;
+            if let Some(w) = succ.pop() {
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, g.successors(w).collect()));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// Condensation of `g`: contracts each node to its SCC representative per
+/// `node_to_comp`, dropping self-edges. Returns the contracted graph over
+/// component indices.
+pub fn condense(g: &DiGraph, node_to_comp: &[usize], comp_count: usize) -> DiGraph {
+    let mut out = DiGraph::with_nodes(comp_count);
+    for (u, v) in g.edges() {
+        let (cu, cv) = (node_to_comp[u], node_to_comp[v]);
+        if cu != cv {
+            out.add_edge(cu, cv);
+        }
+    }
+    out
+}
+
+/// For a DAG, the length of the longest path *starting* at each node
+/// (counted in edges). This is exactly the paper's Definition 9 level
+/// computation (level = longest path + 1) applied to the invocation graph.
+///
+/// Panics if the graph is cyclic.
+pub fn longest_path_lengths(g: &DiGraph) -> Vec<usize> {
+    let order = topological_sort(g).expect("longest paths require a DAG");
+    let mut len = vec![0usize; g.node_count()];
+    for &u in order.iter().rev() {
+        for v in g.successors(u) {
+            len[u] = len[u].max(len[v] + 1);
+        }
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> DiGraph {
+        let mut g = DiGraph::with_nodes(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn topo_sort_chain() {
+        let g = chain(5);
+        assert_eq!(topological_sort(&g).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn topo_sort_detects_cycle() {
+        let mut g = chain(3);
+        g.add_edge(2, 0);
+        let err = topological_sort(&g).unwrap_err();
+        assert_eq!(err.0.nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn topo_sort_deterministic_among_ready() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(3, 1);
+        // 0, 2, 3 are all ready; smallest first.
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn find_cycle_none_on_dag() {
+        assert!(find_cycle(&chain(4)).is_none());
+    }
+
+    #[test]
+    fn find_cycle_self_loop() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(1, 1);
+        assert_eq!(find_cycle(&g).unwrap().nodes, vec![1]);
+    }
+
+    #[test]
+    fn find_cycle_reports_actual_cycle() {
+        let mut g = DiGraph::with_nodes(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 1); // cycle 1->2->3->1
+        let c = find_cycle(&g).unwrap();
+        assert_eq!(c.nodes, vec![1, 2, 3]);
+        // Every consecutive pair is an edge, and it closes.
+        for w in c.nodes.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        assert!(g.has_edge(*c.nodes.last().unwrap(), c.nodes[0]));
+    }
+
+    #[test]
+    fn has_path_basics() {
+        let g = chain(4);
+        assert!(has_path(&g, 0, 3));
+        assert!(!has_path(&g, 3, 0));
+        // Zero-length paths do not count.
+        assert!(!has_path(&g, 2, 2));
+    }
+
+    #[test]
+    fn has_path_self_via_cycle() {
+        let mut g = chain(3);
+        g.add_edge(2, 0);
+        assert!(has_path(&g, 1, 1));
+    }
+
+    #[test]
+    fn closure_of_chain_is_full_upper_triangle() {
+        let c = transitive_closure(&chain(4));
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(c.has_edge(u, v), u < v, "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_removes_shortcuts() {
+        let mut g = chain(3);
+        g.add_edge(0, 2); // shortcut
+        let r = transitive_reduction(&g);
+        assert!(r.has_edge(0, 1));
+        assert!(r.has_edge(1, 2));
+        assert!(!r.has_edge(0, 2));
+    }
+
+    #[test]
+    fn reduction_closure_roundtrip() {
+        let mut g = DiGraph::with_nodes(5);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4), (1, 4)] {
+            g.add_edge(u, v);
+        }
+        let r = transitive_reduction(&g);
+        assert_eq!(transitive_closure(&r), transitive_closure(&g));
+    }
+
+    #[test]
+    fn scc_singletons_on_dag() {
+        let comps = strongly_connected_components(&chain(3));
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn scc_finds_cycle_component() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(2, 3);
+        let comps = strongly_connected_components(&g);
+        assert!(comps.contains(&vec![1, 2]));
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn scc_reverse_topological_emission() {
+        // 0 -> 1 -> 2; components must be emitted sink-first.
+        let comps = strongly_connected_components(&chain(3));
+        assert_eq!(comps, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn condense_contracts() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        // components: {0,1} -> comp 0, {2} -> comp 1, {3} -> comp 2
+        let node_to_comp = vec![0, 0, 1, 2];
+        let c = condense(&g, &node_to_comp, 3);
+        assert!(c.has_edge(0, 1));
+        assert!(c.has_edge(1, 2));
+        assert!(!c.has_edge(0, 0));
+        assert_eq!(c.edge_count(), 2);
+    }
+
+    #[test]
+    fn longest_paths_on_diamond() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        assert_eq!(longest_path_lengths(&g), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn reachable_excludes_start_without_cycle() {
+        let g = chain(3);
+        assert_eq!(reachable_from(&g, 0), vec![1, 2]);
+        assert_eq!(reachable_from(&g, 2), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,214 @@
+//! A dense directed graph over `0..n` node indices.
+
+use std::collections::BTreeSet;
+
+/// A directed graph over node indices `0..self.node_count()`.
+///
+/// Edges are kept both as per-node sorted successor sets (for deterministic
+/// iteration) and are deduplicated on insertion. Self-loops are allowed at
+/// this layer — the order layer above rejects them, but cycle detection must
+/// be able to *report* them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiGraph {
+    succs: Vec<BTreeSet<usize>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates an empty graph with no nodes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn with_nodes(n: usize) -> Self {
+        DiGraph {
+            succs: vec![BTreeSet::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds a fresh node and returns its index.
+    pub fn add_node(&mut self) -> usize {
+        self.succs.push(BTreeSet::new());
+        self.succs.len() - 1
+    }
+
+    /// Grows the graph so `idx` is a valid node.
+    pub fn ensure_node(&mut self, idx: usize) {
+        if idx >= self.succs.len() {
+            self.succs.resize(idx + 1, BTreeSet::new());
+        }
+    }
+
+    /// Adds edge `u -> v`, growing the node set if needed.
+    /// Returns `true` if the edge is new.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        self.ensure_node(u.max(v));
+        let fresh = self.succs[u].insert(v);
+        if fresh {
+            self.edge_count += 1;
+        }
+        fresh
+    }
+
+    /// Removes edge `u -> v` if present; returns whether it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if u < self.succs.len() && self.succs[u].remove(&v) {
+            self.edge_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether edge `u -> v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.succs.len() && self.succs[u].contains(&v)
+    }
+
+    /// Successors of `u` in ascending order.
+    pub fn successors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succs.get(u).into_iter().flatten().copied()
+    }
+
+    /// All edges `(u, v)` in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.succs.get(u).map_or(0, BTreeSet::len)
+    }
+
+    /// In-degrees of all nodes.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.node_count()];
+        for (_, v) in self.edges() {
+            deg[v] += 1;
+        }
+        deg
+    }
+
+    /// Merges all edges of `other` into `self` (node sets are unioned).
+    pub fn union_with(&mut self, other: &DiGraph) {
+        for (u, v) in other.edges() {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Returns the union of two graphs.
+    pub fn union(&self, other: &DiGraph) -> DiGraph {
+        let mut g = self.clone();
+        g.union_with(other);
+        g
+    }
+
+    /// Graph with every edge reversed.
+    pub fn reversed(&self) -> DiGraph {
+        let mut g = DiGraph::with_nodes(self.node_count());
+        for (u, v) in self.edges() {
+            g.add_edge(v, u);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.edges().next().is_none());
+    }
+
+    #[test]
+    fn add_edge_grows_nodes() {
+        let mut g = DiGraph::new();
+        assert!(g.add_edge(2, 5));
+        assert_eq!(g.node_count(), 6);
+        assert!(g.has_edge(2, 5));
+        assert!(!g.has_edge(5, 2));
+    }
+
+    #[test]
+    fn duplicate_edges_not_counted() {
+        let mut g = DiGraph::with_nodes(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, 1);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn successors_sorted() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let succ: Vec<_> = g.successors(0).collect();
+        assert_eq!(succ, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_merges_edges() {
+        let mut a = DiGraph::with_nodes(3);
+        a.add_edge(0, 1);
+        let mut b = DiGraph::with_nodes(3);
+        b.add_edge(1, 2);
+        let u = a.union(&b);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(1, 2));
+        assert_eq!(u.edge_count(), 2);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, 1);
+        let r = g.reversed();
+        assert!(r.has_edge(1, 0));
+        assert!(!r.has_edge(0, 1));
+    }
+
+    #[test]
+    fn in_degrees_counted() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        assert_eq!(g.in_degrees(), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn self_loop_allowed_at_this_layer() {
+        let mut g = DiGraph::with_nodes(1);
+        assert!(g.add_edge(0, 0));
+        assert!(g.has_edge(0, 0));
+    }
+}

@@ -1,0 +1,28 @@
+//! Graph substrate for the composite-transactions library.
+//!
+//! Everything in the PODS'99 composite-systems theory is ultimately a question
+//! about binary relations: weak/strong orders are strict partial orders, the
+//! invocation graph must be acyclic, conflict consistency is acyclicity of a
+//! union of relations, levels are longest paths, and serial witnesses are
+//! topological orders. This crate provides those primitives over dense
+//! `usize`-indexed directed graphs plus an id-interning layer so callers can
+//! use their own node types.
+//!
+//! The crate is dependency-free and forms the bottom of the workspace stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algo;
+mod digraph;
+mod dot;
+mod order;
+
+pub use algo::{
+    condense, find_cycle, has_path, longest_path_lengths, reachable_from,
+    strongly_connected_components, topological_sort, transitive_closure, transitive_reduction,
+    CycleInfo, TopoError,
+};
+pub use digraph::DiGraph;
+pub use dot::dot_string;
+pub use order::{OrderError, PartialOrderRel};

@@ -1,0 +1,144 @@
+//! Conflict predicates (`CON_S`).
+//!
+//! Two operations conflict if they do not commute — if their relative
+//! execution order matters. Each schedule owns a conflict predicate over its
+//! operation set; the composite theory's *generalized* conflict relation
+//! (Definition 11, in `compc-core`) extends it across schedules.
+
+use crate::ids::NodeId;
+use std::collections::BTreeSet;
+
+/// A symmetric, irreflexive conflict relation over [`NodeId`]s.
+///
+/// Pairs are stored normalized `(min, max)` so symmetry is structural.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConflictRel {
+    pairs: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl ConflictRel {
+    /// The empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a relation from pairs; reflexive pairs are ignored (an
+    /// operation trivially "conflicts" with itself but the theory never
+    /// consults such pairs, so we keep the relation irreflexive).
+    pub fn from_pairs<I: IntoIterator<Item = (NodeId, NodeId)>>(pairs: I) -> Self {
+        let mut rel = ConflictRel::new();
+        for (a, b) in pairs {
+            rel.insert(a, b);
+        }
+        rel
+    }
+
+    /// Declares `a` and `b` conflicting. Returns `true` if the pair is new.
+    /// Reflexive pairs are silently ignored.
+    pub fn insert(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        self.pairs.insert(Self::norm(a, b))
+    }
+
+    /// Removes a pair; returns whether it was present.
+    pub fn remove(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.pairs.remove(&Self::norm(a, b))
+    }
+
+    /// Whether `a` and `b` conflict.
+    pub fn conflicts(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.pairs.contains(&Self::norm(a, b))
+    }
+
+    /// Number of conflicting pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pair conflicts.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// All pairs, normalized and sorted.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Merges another relation into this one.
+    pub fn union_with(&mut self, other: &ConflictRel) {
+        self.pairs.extend(other.pairs.iter().copied());
+    }
+
+    /// The relation restricted to pairs with both endpoints in `keep`.
+    pub fn restricted_to(&self, keep: &BTreeSet<NodeId>) -> ConflictRel {
+        ConflictRel {
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|(a, b)| keep.contains(a) && keep.contains(b))
+                .copied()
+                .collect(),
+        }
+    }
+
+    fn norm(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn symmetric_by_construction() {
+        let mut c = ConflictRel::new();
+        c.insert(n(2), n(1));
+        assert!(c.conflicts(n(1), n(2)));
+        assert!(c.conflicts(n(2), n(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reflexive_ignored() {
+        let mut c = ConflictRel::new();
+        assert!(!c.insert(n(3), n(3)));
+        assert!(!c.conflicts(n(3), n(3)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_once() {
+        let mut c = ConflictRel::new();
+        assert!(c.insert(n(0), n(1)));
+        assert!(!c.insert(n(1), n(0)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_roundtrip() {
+        let mut c = ConflictRel::from_pairs([(n(0), n(1))]);
+        assert!(c.remove(n(1), n(0)));
+        assert!(!c.conflicts(n(0), n(1)));
+    }
+
+    #[test]
+    fn restriction_filters() {
+        let c = ConflictRel::from_pairs([(n(0), n(1)), (n(1), n(2))]);
+        let keep: BTreeSet<NodeId> = [n(0), n(1)].into_iter().collect();
+        let r = c.restricted_to(&keep);
+        assert!(r.conflicts(n(0), n(1)));
+        assert!(!r.conflicts(n(1), n(2)));
+    }
+}

@@ -1,0 +1,229 @@
+//! Errors raised while constructing or validating the formal model.
+
+use crate::ids::{NodeId, SchedId};
+use crate::orders::OrderKind;
+use compc_graph::OrderError;
+
+/// Every way a transaction, schedule or composite system can violate
+/// Definitions 2–4 of the paper, with enough context to point at the
+/// offending nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// An order insertion was reflexive or contradictory.
+    OrderViolation {
+        /// First node of the attempted pair.
+        a: NodeId,
+        /// Second node of the attempted pair.
+        b: NodeId,
+        /// Which relation was being extended.
+        kind: OrderKind,
+        /// The underlying relation error.
+        source: OrderError,
+    },
+
+    /// A node id was used that the builder/system does not know.
+    UnknownNode(NodeId),
+
+    /// A schedule id was used that the builder/system does not know.
+    UnknownSchedule(SchedId),
+
+    /// A child was attached to a leaf node (leaves have no home schedule to
+    /// host the child as a transaction).
+    ParentIsLeaf {
+        /// The leaf that was used as a parent.
+        parent: NodeId,
+    },
+
+    /// An operation pair was declared (conflict or output order) on a
+    /// schedule that does not contain both operations.
+    PairOutsideSchedule {
+        /// The schedule the declaration targeted.
+        sched: SchedId,
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+    },
+
+    /// An input-order pair was declared between nodes that are not both
+    /// transactions of the schedule.
+    InputPairOutsideSchedule {
+        /// The schedule the declaration targeted.
+        sched: SchedId,
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+    },
+
+    /// Definition 3, axiom 1(a)/1(b): a (weak) input order between two
+    /// transactions demands the matching output order on every conflicting
+    /// operation pair, but the schedule's output order disagrees or is
+    /// missing.
+    InputOrderNotHonored {
+        /// The offending schedule.
+        sched: SchedId,
+        /// Transaction required to come first.
+        first_tx: NodeId,
+        /// Transaction required to come second.
+        second_tx: NodeId,
+        /// The conflicting operation of `first_tx`.
+        o_first: NodeId,
+        /// The conflicting operation of `second_tx`.
+        o_second: NodeId,
+    },
+
+    /// Definition 3, axiom 1(c): a conflicting operation pair of two
+    /// unrelated transactions was left unordered by the output order.
+    ConflictUnordered {
+        /// The offending schedule.
+        sched: SchedId,
+        /// One operation of the unordered conflicting pair.
+        a: NodeId,
+        /// The other operation.
+        b: NodeId,
+    },
+
+    /// Definition 3, axiom 2: an intra-transaction order was not reflected
+    /// in the schedule's output order.
+    IntraTxOrderNotHonored {
+        /// The offending schedule.
+        sched: SchedId,
+        /// The transaction whose intra-order was violated.
+        tx: NodeId,
+        /// Operation required first.
+        a: NodeId,
+        /// Operation required second.
+        b: NodeId,
+        /// Whether the violated intra-order was weak or strong.
+        kind: OrderKind,
+    },
+
+    /// Definition 3, axiom 3: a strong input order `t →→ t'` demands
+    /// `o ≪ o'` for every operation pair, but some pair is not strongly
+    /// output-ordered.
+    StrongInputNotHonored {
+        /// The offending schedule.
+        sched: SchedId,
+        /// Transaction required to finish first.
+        first_tx: NodeId,
+        /// Transaction required to start after.
+        second_tx: NodeId,
+        /// Operation of `first_tx` missing the strong order.
+        a: NodeId,
+        /// Operation of `second_tx` missing the strong order.
+        b: NodeId,
+    },
+
+    /// Definition 4, point 6: the invocation graph is cyclic (direct or
+    /// indirect recursion between schedules).
+    RecursiveInvocation {
+        /// The schedules on the cycle.
+        cycle: Vec<SchedId>,
+    },
+
+    /// Definition 4, point 7: an output order of one schedule between two
+    /// operations that are both transactions of another schedule was not
+    /// passed on as an input order there.
+    OrderNotPropagated {
+        /// The schedule producing the output order.
+        from: SchedId,
+        /// The schedule that should have received the input order.
+        to: SchedId,
+        /// First node of the pair.
+        a: NodeId,
+        /// Second node of the pair.
+        b: NodeId,
+        /// Weak or strong propagation.
+        kind: OrderKind,
+    },
+
+    /// Definition 4, point 6 (second clause): a descendant of a transaction
+    /// is a transaction of the same schedule.
+    DescendantInSameSchedule {
+        /// The schedule hosting both.
+        sched: SchedId,
+        /// The ancestor transaction.
+        ancestor: NodeId,
+        /// The offending descendant.
+        descendant: NodeId,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::OrderViolation { a, b, kind, source } => {
+                write!(f, "cannot order {a} before {b} ({kind:?}): {source}")
+            }
+            ModelError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ModelError::UnknownSchedule(s) => write!(f, "unknown schedule {s}"),
+            ModelError::ParentIsLeaf { parent } => {
+                write!(f, "{parent} is a leaf operation and cannot have children")
+            }
+            ModelError::PairOutsideSchedule { sched, a, b } => {
+                write!(f, "({a},{b}) are not both operations of {sched}")
+            }
+            ModelError::InputPairOutsideSchedule { sched, a, b } => {
+                write!(f, "({a},{b}) are not both transactions of {sched}")
+            }
+            ModelError::InputOrderNotHonored {
+                sched,
+                first_tx,
+                second_tx,
+                o_first,
+                o_second,
+            } => write!(
+                f,
+                "{sched}: input order {first_tx} → {second_tx} demands output order \
+                 {o_first} ≺ {o_second} on this conflicting pair (Def. 3 axiom 1a/1b)"
+            ),
+            ModelError::ConflictUnordered { sched, a, b } => write!(
+                f,
+                "{sched}: conflicting operations {a}, {b} of different transactions \
+                 are unordered in the output (Def. 3 axiom 1c)"
+            ),
+            ModelError::IntraTxOrderNotHonored {
+                sched,
+                tx,
+                a,
+                b,
+                kind,
+            } => write!(
+                f,
+                "{sched}: intra-transaction {kind:?} order {a} before {b} of {tx} \
+                 is not honored by the output order (Def. 3 axiom 2)"
+            ),
+            ModelError::StrongInputNotHonored {
+                sched,
+                first_tx,
+                second_tx,
+                a,
+                b,
+            } => write!(
+                f,
+                "{sched}: strong input order {first_tx} →→ {second_tx} demands \
+                 {a} ≪ {b} (Def. 3 axiom 3)"
+            ),
+            ModelError::RecursiveInvocation { cycle } => {
+                write!(f, "recursive invocation between schedules {cycle:?} (Def. 4.6)")
+            }
+            ModelError::OrderNotPropagated { from, to, a, b, kind } => write!(
+                f,
+                "{from}: output {kind:?} order {a} before {b} not passed to {to} \
+                 as an input order (Def. 4.7)"
+            ),
+            ModelError::DescendantInSameSchedule {
+                sched,
+                ancestor,
+                descendant,
+            } => write!(
+                f,
+                "{sched}: {descendant} is a descendant of {ancestor} but is a \
+                 transaction of the same schedule (Def. 4.6)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,78 @@
+//! Dense identifier newtypes for nodes, schedules and data items.
+
+/// Identity of a transactional node in the computational forest: a root
+/// transaction, an internal subtransaction, or a leaf operation.
+///
+/// `NodeId`s are dense (`0..system.node_count()`), so they double as indices
+/// into per-node tables and into [`compc_graph::PartialOrderRel`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identity of a schedule (one scheduler component of the composite system).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SchedId(pub u32);
+
+/// Identity of a data item in a leaf store (used by the semantic conflict
+/// tables and the simulator's storage substrate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl NodeId {
+    /// The id as a table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SchedId {
+    /// The id as a table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// The id as a table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for SchedId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(SchedId(1).to_string(), "S1");
+        assert_eq!(ItemId(7).to_string(), "x7");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(NodeId(9).index(), 9);
+        assert_eq!(SchedId(0).index(), 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Transactions (Definition 2) and schedules (Definition 3).
+
+use crate::conflict::ConflictRel;
+use crate::error::ModelError;
+use crate::ids::{NodeId, SchedId};
+use crate::orders::{OrderKind, OrderPair};
+
+/// A transaction `t = (O_t, ≺_t, ≪_t)` (Definition 2).
+///
+/// `ops` is the operation set `O_t` in declaration order; `intra` carries the
+/// weak and strong intra-transaction orders with `≪_t ⊆ ≺_t` enforced
+/// structurally by [`OrderPair`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// The node representing this transaction in the computational forest.
+    pub id: NodeId,
+    /// The operation set `O_t`.
+    pub ops: Vec<NodeId>,
+    /// Weak (`≺_t`) and strong (`≪_t`) intra-transaction orders.
+    pub intra: OrderPair,
+}
+
+impl Transaction {
+    /// A transaction with no operations or orders yet.
+    pub fn new(id: NodeId) -> Self {
+        Transaction {
+            id,
+            ops: Vec::new(),
+            intra: OrderPair::new(),
+        }
+    }
+
+    /// Whether `op` belongs to `O_t`.
+    pub fn contains_op(&self, op: NodeId) -> bool {
+        self.ops.contains(&op)
+    }
+}
+
+/// A schedule `S = (T, →, →→, ≺, ≪, CON_S)` (Definition 3).
+///
+/// The schedule abstracts one scheduler component: `T` is the set of
+/// transactions submitted to it, the *input* orders `→`/`→→` are the
+/// requirements it receives, and the *output* orders `≺`/`≪` describe the
+/// execution it produced over its operation set `O_S = ⋃ O_t`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// This schedule's identity.
+    pub id: SchedId,
+    /// Human-readable name (used in traces and DOT output).
+    pub name: String,
+    /// The transactions `T_S` assigned to this schedule.
+    pub transactions: Vec<Transaction>,
+    /// The conflict predicate `CON_S` over `O_S`.
+    pub conflicts: ConflictRel,
+    /// Weak (`→`) and strong (`→→`) input orders over `T_S`.
+    pub input: OrderPair,
+    /// Weak (`≺`) and strong (`≪`) output orders over `O_S`.
+    pub output: OrderPair,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new(id: SchedId, name: impl Into<String>) -> Self {
+        Schedule {
+            id,
+            name: name.into(),
+            transactions: Vec::new(),
+            conflicts: ConflictRel::new(),
+            input: OrderPair::new(),
+            output: OrderPair::new(),
+        }
+    }
+
+    /// All operations `O_S`, grouped by transaction, in declaration order.
+    pub fn ops(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.transactions.iter().flat_map(|t| t.ops.iter().copied())
+    }
+
+    /// The transaction ids `T_S`.
+    pub fn tx_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.transactions.iter().map(|t| t.id)
+    }
+
+    /// Looks up a transaction of this schedule by node id.
+    pub fn transaction(&self, id: NodeId) -> Option<&Transaction> {
+        self.transactions.iter().find(|t| t.id == id)
+    }
+
+    /// The transaction owning operation `op`, if any.
+    pub fn tx_of_op(&self, op: NodeId) -> Option<&Transaction> {
+        self.transactions.iter().find(|t| t.contains_op(op))
+    }
+
+    /// Validates the four Definition-3 axioms for this schedule in
+    /// isolation. Structural containment (conflicts/orders staying inside
+    /// `O_S`/`T_S`) is the builder's job; this checks the semantic axioms:
+    ///
+    /// 1. conflicting operations of input-ordered transactions follow the
+    ///    input order, and conflicting operations of unrelated transactions
+    ///    are output-ordered some way (axioms 1a–1c);
+    /// 2. intra-transaction orders are honored (axiom 2);
+    /// 3. strong input orders force strong output orders on all operation
+    ///    pairs (axiom 3);
+    /// 4. `≪ ⊆ ≺` — guaranteed structurally by [`OrderPair`].
+    pub fn validate(&self) -> Result<(), ModelError> {
+        // Axiom 1 over all conflicting cross-transaction operation pairs.
+        for (i, t) in self.transactions.iter().enumerate() {
+            for t2 in &self.transactions[i + 1..] {
+                for &o in &t.ops {
+                    for &o2 in &t2.ops {
+                        if !self.conflicts.conflicts(o, o2) {
+                            continue;
+                        }
+                        self.check_axiom1(t.id, t2.id, o, o2)?;
+                    }
+                }
+            }
+        }
+        // Axiom 2: intra-transaction orders reflected in the output.
+        for t in &self.transactions {
+            for (a, b) in t.intra.weak_pairs() {
+                if !self.output.weak_lt(a, b) {
+                    return Err(ModelError::IntraTxOrderNotHonored {
+                        sched: self.id,
+                        tx: t.id,
+                        a,
+                        b,
+                        kind: OrderKind::Weak,
+                    });
+                }
+            }
+            for (a, b) in t.intra.strong_pairs() {
+                if !self.output.strong_lt(a, b) {
+                    return Err(ModelError::IntraTxOrderNotHonored {
+                        sched: self.id,
+                        tx: t.id,
+                        a,
+                        b,
+                        kind: OrderKind::Strong,
+                    });
+                }
+            }
+        }
+        // Axiom 3: strong input order means total strong output order
+        // between the two transactions' operations.
+        for t in &self.transactions {
+            for t2 in &self.transactions {
+                if t.id == t2.id || !self.input.strong_lt(t.id, t2.id) {
+                    continue;
+                }
+                for &a in &t.ops {
+                    for &b in &t2.ops {
+                        if !self.output.strong_lt(a, b) {
+                            return Err(ModelError::StrongInputNotHonored {
+                                sched: self.id,
+                                first_tx: t.id,
+                                second_tx: t2.id,
+                                a,
+                                b,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_axiom1(
+        &self,
+        t: NodeId,
+        t2: NodeId,
+        o: NodeId,
+        o2: NodeId,
+    ) -> Result<(), ModelError> {
+        if self.input.weak_lt(t, t2) {
+            if !self.output.weak_lt(o, o2) {
+                return Err(ModelError::InputOrderNotHonored {
+                    sched: self.id,
+                    first_tx: t,
+                    second_tx: t2,
+                    o_first: o,
+                    o_second: o2,
+                });
+            }
+        } else if self.input.weak_lt(t2, t) {
+            if !self.output.weak_lt(o2, o) {
+                return Err(ModelError::InputOrderNotHonored {
+                    sched: self.id,
+                    first_tx: t2,
+                    second_tx: t,
+                    o_first: o2,
+                    o_second: o,
+                });
+            }
+        } else if !self.output.weak_lt(o, o2) && !self.output.weak_lt(o2, o) {
+            return Err(ModelError::ConflictUnordered {
+                sched: self.id,
+                a: o,
+                b: o2,
+            });
+        }
+        Ok(())
+    }
+
+    /// The schedule's *serialization order*: transaction pairs `(T, T')`
+    /// such that some conflicting operation pair was executed `o ≺ o'` with
+    /// `o ∈ O_T`, `o' ∈ O_T'`. This is the classical serialization graph of
+    /// the schedule and the source of Definition 10's rule 2.
+    pub fn serialization_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for (i, t) in self.transactions.iter().enumerate() {
+            for t2 in &self.transactions[i + 1..] {
+                for &o in &t.ops {
+                    for &o2 in &t2.ops {
+                        if !self.conflicts.conflicts(o, o2) {
+                            continue;
+                        }
+                        if self.output.weak_lt(o, o2) {
+                            out.push((t.id, t2.id));
+                        }
+                        if self.output.weak_lt(o2, o) {
+                            out.push((t2.id, t.id));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Schedule-level *conflict consistency* (the per-schedule CC notion of
+    /// \[ABFS97\]/\[AFPS99\] used by SCC/FCC/JCC): the union of the weak input
+    /// order `→` and the serialization order is acyclic over `T_S`.
+    ///
+    /// Intuitively: the schedule's execution can be abstracted to a serial
+    /// order of its transactions that both honors the input requirements and
+    /// is conflict-equivalent to what actually ran.
+    pub fn is_conflict_consistent(&self) -> bool {
+        let mut g = compc_graph::DiGraph::new();
+        for (a, b) in self.input.weak_pairs() {
+            g.add_edge(a.index(), b.index());
+        }
+        for (a, b) in self.serialization_pairs() {
+            g.add_edge(a.index(), b.index());
+        }
+        compc_graph::find_cycle(&g).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Two transactions t0 = {o2, o3}, t1 = {o4, o5} on one schedule.
+    fn two_tx_schedule() -> Schedule {
+        let mut s = Schedule::new(SchedId(0), "S");
+        let mut t0 = Transaction::new(n(0));
+        t0.ops = vec![n(2), n(3)];
+        let mut t1 = Transaction::new(n(1));
+        t1.ops = vec![n(4), n(5)];
+        s.transactions = vec![t0, t1];
+        s
+    }
+
+    #[test]
+    fn empty_schedule_is_valid_and_cc() {
+        let s = Schedule::new(SchedId(0), "empty");
+        assert!(s.validate().is_ok());
+        assert!(s.is_conflict_consistent());
+    }
+
+    #[test]
+    fn axiom1c_unordered_conflict_rejected() {
+        let mut s = two_tx_schedule();
+        s.conflicts.insert(n(2), n(4));
+        let err = s.validate().unwrap_err();
+        assert!(matches!(err, ModelError::ConflictUnordered { .. }));
+    }
+
+    #[test]
+    fn axiom1c_satisfied_by_either_direction() {
+        let mut s = two_tx_schedule();
+        s.conflicts.insert(n(2), n(4));
+        s.output.add_weak(n(4), n(2)).unwrap();
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn axiom1a_input_order_forces_output_direction() {
+        let mut s = two_tx_schedule();
+        s.conflicts.insert(n(2), n(4));
+        s.input.add_weak(n(0), n(1)).unwrap(); // t0 → t1
+        s.output.add_weak(n(4), n(2)).unwrap(); // but executed o4 before o2
+        let err = s.validate().unwrap_err();
+        assert!(matches!(err, ModelError::InputOrderNotHonored { .. }));
+    }
+
+    #[test]
+    fn axiom2_intra_order_must_be_respected() {
+        let mut s = two_tx_schedule();
+        s.transactions[0].intra.add_weak(n(2), n(3)).unwrap();
+        let err = s.validate().unwrap_err();
+        assert!(matches!(err, ModelError::IntraTxOrderNotHonored { .. }));
+        s.output.add_weak(n(2), n(3)).unwrap();
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn axiom2_strong_intra_needs_strong_output() {
+        let mut s = two_tx_schedule();
+        s.transactions[0].intra.add_strong(n(2), n(3)).unwrap();
+        s.output.add_weak(n(2), n(3)).unwrap(); // weak is not enough
+        let err = s.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::IntraTxOrderNotHonored {
+                kind: OrderKind::Strong,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn axiom3_strong_input_needs_total_strong_output() {
+        let mut s = two_tx_schedule();
+        s.input.add_strong(n(0), n(1)).unwrap();
+        let err = s.validate().unwrap_err();
+        assert!(matches!(err, ModelError::StrongInputNotHonored { .. }));
+        for &a in &[n(2), n(3)] {
+            for &b in &[n(4), n(5)] {
+                s.output.add_strong(a, b).unwrap();
+            }
+        }
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn serialization_pairs_follow_conflicting_output() {
+        let mut s = two_tx_schedule();
+        s.conflicts.insert(n(3), n(4));
+        s.output.add_weak(n(3), n(4)).unwrap();
+        assert_eq!(s.serialization_pairs(), vec![(n(0), n(1))]);
+    }
+
+    #[test]
+    fn non_conflicting_output_produces_no_serialization() {
+        let mut s = two_tx_schedule();
+        s.output.add_weak(n(3), n(4)).unwrap();
+        assert!(s.serialization_pairs().is_empty());
+    }
+
+    #[test]
+    fn cc_detects_input_vs_serialization_cycle() {
+        let mut s = two_tx_schedule();
+        s.conflicts.insert(n(3), n(4));
+        s.output.add_weak(n(3), n(4)).unwrap(); // serializes t0 before t1
+        s.input.add_weak(n(1), n(0)).unwrap(); // but input demands t1 → t0
+        assert!(!s.is_conflict_consistent());
+    }
+
+    #[test]
+    fn cc_holds_when_orders_agree() {
+        let mut s = two_tx_schedule();
+        s.conflicts.insert(n(3), n(4));
+        s.output.add_weak(n(3), n(4)).unwrap();
+        s.input.add_weak(n(0), n(1)).unwrap();
+        assert!(s.is_conflict_consistent());
+    }
+}

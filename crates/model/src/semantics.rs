@@ -1,0 +1,223 @@
+//! Operation semantics: access modes and commutativity tables.
+//!
+//! The paper motivates composite schedulers that exploit *semantic*
+//! knowledge: "a schedule can use semantic knowledge to ascertain that two
+//! operations do not commute" (§2). This module supplies that knowledge for
+//! leaf operations: each leaf may carry an [`OpSpec`] — a data item plus an
+//! [`AccessMode`] — and a [`CommutativityTable`] decides which mode pairs
+//! commute on the same item. Schedules can then *derive* their `CON_S` from
+//! specs instead of enumerating pairs by hand; the simulator's semantic lock
+//! manager reuses the same table.
+
+use crate::ids::ItemId;
+
+/// Semantic class of a leaf operation on a data item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessMode {
+    /// Read the item's value.
+    Read,
+    /// Overwrite the item's value.
+    Write,
+    /// Add a delta to a counter item (commutes with other increments).
+    Increment,
+    /// Subtract a delta from a counter item (commutes with other decrements
+    /// and with increments when over/underflow is out of scope, which is the
+    /// classical escrow assumption we adopt).
+    Decrement,
+    /// Insert a fresh entry into a collection item.
+    Insert,
+    /// Delete an entry from a collection item.
+    Delete,
+}
+
+impl AccessMode {
+    /// All modes, for exhaustive table construction and random generation.
+    pub const ALL: [AccessMode; 6] = [
+        AccessMode::Read,
+        AccessMode::Write,
+        AccessMode::Increment,
+        AccessMode::Decrement,
+        AccessMode::Insert,
+        AccessMode::Delete,
+    ];
+
+    /// Short display tag (`r`, `w`, `inc`, `dec`, `ins`, `del`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            AccessMode::Read => "r",
+            AccessMode::Write => "w",
+            AccessMode::Increment => "inc",
+            AccessMode::Decrement => "dec",
+            AccessMode::Insert => "ins",
+            AccessMode::Delete => "del",
+        }
+    }
+}
+
+impl std::fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A leaf operation's semantics: which item it touches and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpSpec {
+    /// The data item accessed.
+    pub item: ItemId,
+    /// The semantic access class.
+    pub mode: AccessMode,
+}
+
+impl OpSpec {
+    /// Read of `item`.
+    pub fn read(item: ItemId) -> Self {
+        OpSpec {
+            item,
+            mode: AccessMode::Read,
+        }
+    }
+
+    /// Write of `item`.
+    pub fn write(item: ItemId) -> Self {
+        OpSpec {
+            item,
+            mode: AccessMode::Write,
+        }
+    }
+
+    /// Increment of `item`.
+    pub fn increment(item: ItemId) -> Self {
+        OpSpec {
+            item,
+            mode: AccessMode::Increment,
+        }
+    }
+
+    /// Decrement of `item`.
+    pub fn decrement(item: ItemId) -> Self {
+        OpSpec {
+            item,
+            mode: AccessMode::Decrement,
+        }
+    }
+}
+
+impl std::fmt::Display for OpSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.mode, self.item)
+    }
+}
+
+/// Decides whether two access modes commute on the *same* item; operations on
+/// different items always commute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommutativityTable {
+    // Indexed by (mode, mode); true = the pair commutes on a shared item.
+    commutes: [[bool; 6]; 6],
+}
+
+fn mode_index(m: AccessMode) -> usize {
+    match m {
+        AccessMode::Read => 0,
+        AccessMode::Write => 1,
+        AccessMode::Increment => 2,
+        AccessMode::Decrement => 3,
+        AccessMode::Insert => 4,
+        AccessMode::Delete => 5,
+    }
+}
+
+impl CommutativityTable {
+    /// The classical read/write table: only read–read commutes; every
+    /// semantic mode is treated like a write.
+    pub fn read_write() -> Self {
+        let mut t = CommutativityTable {
+            commutes: [[false; 6]; 6],
+        };
+        t.set(AccessMode::Read, AccessMode::Read, true);
+        t
+    }
+
+    /// The semantic table: read–read commutes; increments and decrements
+    /// commute with each other (escrow semantics); inserts commute with
+    /// inserts; everything else conflicts.
+    pub fn semantic() -> Self {
+        let mut t = Self::read_write();
+        t.set(AccessMode::Increment, AccessMode::Increment, true);
+        t.set(AccessMode::Decrement, AccessMode::Decrement, true);
+        t.set(AccessMode::Increment, AccessMode::Decrement, true);
+        t.set(AccessMode::Insert, AccessMode::Insert, true);
+        t
+    }
+
+    /// Sets (symmetrically) whether `a` and `b` commute on a shared item.
+    pub fn set(&mut self, a: AccessMode, b: AccessMode, commutes: bool) {
+        self.commutes[mode_index(a)][mode_index(b)] = commutes;
+        self.commutes[mode_index(b)][mode_index(a)] = commutes;
+    }
+
+    /// Whether two mode accesses to a shared item commute.
+    pub fn modes_commute(&self, a: AccessMode, b: AccessMode) -> bool {
+        self.commutes[mode_index(a)][mode_index(b)]
+    }
+
+    /// Whether two full op specs conflict (same item and non-commuting modes).
+    pub fn conflicts(&self, a: OpSpec, b: OpSpec) -> bool {
+        a.item == b.item && !self.modes_commute(a.mode, b.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    #[test]
+    fn read_read_commutes() {
+        let t = CommutativityTable::read_write();
+        assert!(!t.conflicts(OpSpec::read(x(0)), OpSpec::read(x(0))));
+    }
+
+    #[test]
+    fn read_write_conflicts_same_item_only() {
+        let t = CommutativityTable::read_write();
+        assert!(t.conflicts(OpSpec::read(x(0)), OpSpec::write(x(0))));
+        assert!(!t.conflicts(OpSpec::read(x(0)), OpSpec::write(x(1))));
+    }
+
+    #[test]
+    fn rw_table_treats_increment_as_write() {
+        let t = CommutativityTable::read_write();
+        assert!(t.conflicts(OpSpec::increment(x(0)), OpSpec::increment(x(0))));
+    }
+
+    #[test]
+    fn semantic_table_escrow() {
+        let t = CommutativityTable::semantic();
+        assert!(!t.conflicts(OpSpec::increment(x(0)), OpSpec::increment(x(0))));
+        assert!(!t.conflicts(OpSpec::increment(x(0)), OpSpec::decrement(x(0))));
+        // Increments still conflict with reads (the read observes the value).
+        assert!(t.conflicts(OpSpec::increment(x(0)), OpSpec::read(x(0))));
+        assert!(t.conflicts(OpSpec::increment(x(0)), OpSpec::write(x(0))));
+    }
+
+    #[test]
+    fn table_symmetry() {
+        let t = CommutativityTable::semantic();
+        for a in AccessMode::ALL {
+            for b in AccessMode::ALL {
+                assert_eq!(t.modes_commute(a, b), t.modes_commute(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_display() {
+        assert_eq!(OpSpec::read(x(3)).to_string(), "r(x3)");
+        assert_eq!(OpSpec::increment(x(1)).to_string(), "inc(x1)");
+    }
+}

@@ -1,0 +1,324 @@
+//! Turning a simulation run into a formal composite schedule.
+
+use crate::engine::SimReport;
+use crate::template::TxNode;
+use compc_model::{CompositeSystem, ModelError, NodeId, SystemBuilder};
+use std::collections::BTreeMap;
+
+/// Why an execution could not be exported as a (valid) composite system.
+#[derive(Debug)]
+pub enum ExportError {
+    /// The committed execution violates the model itself — e.g. a component
+    /// ignored an input order that Definition 4.7 obliges it to honor. Such
+    /// runs are *incorrect by construction*: the checker flags them before
+    /// reduction even starts.
+    InvalidModel(ModelError),
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::InvalidModel(e) => write!(f, "execution violates the model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+impl From<ModelError> for ExportError {
+    fn from(e: ModelError) -> Self {
+        ExportError::InvalidModel(e)
+    }
+}
+
+impl SimReport {
+    /// Like [`SimReport::export_system`], but also returns the mapping from
+    /// exported root nodes to composite-transaction ids — needed to replay a
+    /// serial witness (see [`SimReport::replay_serially`]).
+    pub fn export_with_roots(
+        &self,
+    ) -> Result<(CompositeSystem, BTreeMap<NodeId, u32>), ExportError> {
+        let sys = self.export_system()?;
+        let roots: Vec<NodeId> = sys.roots().collect();
+        debug_assert_eq!(roots.len(), self.committed.len());
+        let map: BTreeMap<NodeId, u32> = roots
+            .into_iter()
+            .zip(self.committed.iter().copied())
+            .collect();
+        Ok((sys, map))
+    }
+
+    /// Replays the committed transactions *serially* in the given order on
+    /// fresh stores and returns the resulting per-component state. If the
+    /// order is a valid serial witness for the execution, the result must
+    /// equal [`SimReport::stores`] — the semantic (state-based) half of
+    /// conflict equivalence. Exact agreement is guaranteed when no aborted
+    /// transaction's effects could leak (e.g. composite-scope 2PL, or any
+    /// abort-free run).
+    pub fn replay_serially(&self, order: &[u32]) -> Vec<BTreeMap<compc_model::ItemId, i64>> {
+        let mut stores: Vec<BTreeMap<compc_model::ItemId, i64>> =
+            vec![BTreeMap::new(); self.topology.len()];
+        for &tx in order {
+            let template = &self.templates[tx as usize];
+            let mut counter = 0usize;
+            replay_nodes(
+                &template.body,
+                template.home,
+                tx,
+                &mut counter,
+                &mut stores,
+            );
+        }
+        fn replay_nodes(
+            nodes: &[TxNode],
+            comp: crate::topology::CompId,
+            tx: u32,
+            counter: &mut usize,
+            stores: &mut [BTreeMap<compc_model::ItemId, i64>],
+        ) {
+            use compc_model::AccessMode;
+            for node in nodes {
+                let node_id = *counter;
+                *counter += 1;
+                match node {
+                    TxNode::Data { spec } => {
+                        let store = &mut stores[comp.index()];
+                        let old = store.get(&spec.item).copied().unwrap_or(0);
+                        let new = match spec.mode {
+                            AccessMode::Read => continue,
+                            AccessMode::Write => (tx as i64) * 1000 + node_id as i64,
+                            AccessMode::Increment | AccessMode::Insert => old + 1,
+                            AccessMode::Decrement | AccessMode::Delete => old - 1,
+                        };
+                        store.insert(spec.item, new);
+                    }
+                    TxNode::Call {
+                        target, children, ..
+                    } => {
+                        replay_nodes(children, *target, tx, counter, stores);
+                    }
+                }
+            }
+        }
+        stores
+    }
+
+    /// Exports the committed execution as a [`CompositeSystem`]:
+    ///
+    /// * every component becomes a schedule;
+    /// * every committed composite transaction becomes an execution tree
+    ///   (root, subtransactions, leaves) mirroring its template;
+    /// * each component's weak output order is its grant-log order,
+    ///   restricted to *related* pairs — conflicting pairs (per the
+    ///   component's ground-truth commutativity table) and same-transaction
+    ///   pairs (which also become intra-transaction orders);
+    /// * conflicts are the ground-truth table applied to logged pairs;
+    /// * input orders follow Definition 4.7 (output orders propagated to
+    ///   the schedules where both operations are transactions).
+    ///
+    /// Fails with [`ExportError::InvalidModel`] when the execution violates
+    /// Definition 3/4 — which for a run under a broken protocol is itself
+    /// the correctness verdict.
+    pub fn export_system(&self) -> Result<CompositeSystem, ExportError> {
+        let mut b = SystemBuilder::new();
+        // Schedules mirror components.
+        let scheds: Vec<_> = self
+            .topology
+            .iter()
+            .map(|(_, c)| b.schedule(c.name.clone()))
+            .collect();
+        // Build the committed transactions' trees; map (tx, template node)
+        // to model NodeIds.
+        let mut node_map: BTreeMap<(u32, usize), NodeId> = BTreeMap::new();
+        for &tx in &self.committed {
+            let template = &self.templates[tx as usize];
+            let root = b.root(
+                format!("{}#{}", template.name, tx),
+                scheds[template.home.index()],
+            );
+            let mut counter = 0usize;
+            build_tree(&mut b, &scheds, &template.body, root, tx, &mut counter, &mut node_map);
+        }
+        // Output orders, conflicts and intra-transaction orders from the
+        // per-component grant logs.
+        for (comp, component) in self.topology.iter() {
+            let entries: Vec<_> = self.logs[comp.index()]
+                .iter()
+                .filter(|e| self.committed.contains(&e.tx))
+                .collect();
+            for (i, a) in entries.iter().enumerate() {
+                for e in &entries[i + 1..] {
+                    let na = node_map[&(a.tx, a.node)];
+                    let nb = node_map[&(e.tx, e.node)];
+                    let same_tx = a.tx == e.tx && a.subtx == e.subtx;
+                    if same_tx {
+                        b.tx_weak_order(na, nb)?;
+                        b.output_weak(na, nb)?;
+                    } else if component.table.conflicts(a.spec, e.spec) {
+                        b.conflict(na, nb)?;
+                        b.output_weak(na, nb)?;
+                    }
+                }
+            }
+        }
+        // Definition 4.7.
+        b.propagate_orders()?;
+        Ok(b.build()?)
+    }
+}
+
+fn build_tree(
+    b: &mut SystemBuilder,
+    scheds: &[compc_model::SchedId],
+    nodes: &[TxNode],
+    parent: NodeId,
+    tx: u32,
+    counter: &mut usize,
+    node_map: &mut BTreeMap<(u32, usize), NodeId>,
+) {
+    for node in nodes {
+        let node_id = *counter;
+        *counter += 1;
+        match node {
+            TxNode::Data { spec } => {
+                let leaf = b.leaf_spec(parent, *spec);
+                node_map.insert((tx, node_id), leaf);
+            }
+            TxNode::Call {
+                target,
+                spec,
+                children,
+            } => {
+                let sub = b.subtx(
+                    format!("{spec}@{target}#{tx}"),
+                    parent,
+                    scheds[target.index()],
+                );
+                node_map.insert((tx, node_id), sub);
+                build_tree(b, scheds, children, sub, tx, counter, node_map);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Engine, SimConfig};
+    use crate::protocol::{LockScope, Protocol};
+    use crate::template::{TxNode, TxTemplate};
+    use crate::topology::{CompId, Topology};
+    use compc_core::check;
+    use compc_model::{CommutativityTable, ItemId, OpSpec};
+
+    fn two_level_topology(protocol: Protocol) -> (Topology, CompId, CompId) {
+        let mut t = Topology::new();
+        let front = t.add("front", protocol, CommutativityTable::read_write());
+        let store = t.add("store", protocol, CommutativityTable::read_write());
+        (t, front, store)
+    }
+
+    fn transfer(front: CompId, store: CompId, a: u32, b: u32, tag: &str) -> TxTemplate {
+        TxTemplate {
+            name: format!("transfer-{tag}"),
+            home: front,
+            body: vec![TxNode::call(
+                store,
+                OpSpec::write(ItemId(a.min(b))),
+                vec![
+                    TxNode::data(OpSpec::write(ItemId(a))),
+                    TxNode::data(OpSpec::write(ItemId(b))),
+                ],
+            )],
+        }
+    }
+
+    #[test]
+    fn locked_run_exports_and_is_comp_c() {
+        let (topo, front, store) = two_level_topology(Protocol::TwoPhase {
+            scope: LockScope::Composite,
+        });
+        let templates = vec![
+            transfer(front, store, 0, 1, "a"),
+            transfer(front, store, 1, 0, "b"),
+            transfer(front, store, 2, 3, "c"),
+        ];
+        let report = Engine::new(topo, templates, SimConfig::default()).run();
+        assert_eq!(report.metrics.committed, 3);
+        let sys = report.export_system().expect("locked run must be valid");
+        let verdict = check(&sys);
+        assert!(verdict.is_correct(), "{:?}", verdict.counterexample());
+    }
+
+    #[test]
+    fn export_builds_expected_shape() {
+        let (topo, front, store) = two_level_topology(Protocol::TwoPhase {
+            scope: LockScope::Composite,
+        });
+        let report = Engine::new(
+            topo,
+            vec![transfer(front, store, 0, 1, "solo")],
+            SimConfig::default(),
+        )
+        .run();
+        let sys = report.export_system().unwrap();
+        assert_eq!(sys.schedule_count(), 2);
+        assert_eq!(sys.order(), 2);
+        assert_eq!(sys.roots().count(), 1);
+        assert_eq!(sys.leaves().count(), 2);
+    }
+
+    #[test]
+    fn chaos_run_flagged_one_way_or_another() {
+        // With no concurrency control and heavy contention, across seeds the
+        // checker must flag at least one run (model violation or Comp-C
+        // counterexample); correct-looking interleavings may also occur.
+        let mut flagged = 0;
+        let mut total = 0;
+        for seed in 0..20 {
+            let (topo, front, store) = two_level_topology(Protocol::None);
+            let templates = vec![
+                transfer(front, store, 0, 1, "a"),
+                transfer(front, store, 1, 0, "b"),
+                transfer(front, store, 0, 1, "c"),
+            ];
+            let config = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
+            let report = Engine::new(topo, templates, config).run();
+            total += 1;
+            match report.export_system() {
+                Err(_) => flagged += 1,
+                Ok(sys) => {
+                    if !check(&sys).is_correct() {
+                        flagged += 1;
+                    }
+                }
+            }
+        }
+        assert!(total == 20);
+        assert!(
+            flagged > 0,
+            "twenty contended chaos runs should produce at least one violation"
+        );
+    }
+
+    #[test]
+    fn sgt_and_to_runs_are_comp_c() {
+        for protocol in [Protocol::Sgt, Protocol::Timestamp] {
+            let (topo, front, store) = two_level_topology(protocol);
+            let templates = vec![
+                transfer(front, store, 0, 1, "a"),
+                transfer(front, store, 1, 0, "b"),
+            ];
+            let report = Engine::new(topo, templates, SimConfig::default()).run();
+            let sys = report
+                .export_system()
+                .unwrap_or_else(|e| panic!("{protocol}: {e}"));
+            assert!(
+                check(&sys).is_correct(),
+                "{protocol} must produce Comp-C executions"
+            );
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Composite-transaction templates and their flattened programs.
+
+use crate::topology::CompId;
+use compc_model::OpSpec;
+
+/// One node of a composite-transaction template.
+#[derive(Clone, Debug)]
+pub enum TxNode {
+    /// A service call: an operation of the current transaction, seen by the
+    /// current component with semantics `spec`, implemented by a
+    /// subtransaction at `target` executing `children` in program order.
+    Call {
+        /// The component the subtransaction runs at.
+        target: CompId,
+        /// How the *current* component classifies this call (its conflict
+        /// behaviour against sibling operations).
+        spec: OpSpec,
+        /// The subtransaction's body.
+        children: Vec<TxNode>,
+    },
+    /// A data operation executed directly by the current component's store.
+    Data {
+        /// Item and access mode.
+        spec: OpSpec,
+    },
+}
+
+impl TxNode {
+    /// Convenience: a call node.
+    pub fn call(target: CompId, spec: OpSpec, children: Vec<TxNode>) -> Self {
+        TxNode::Call {
+            target,
+            spec,
+            children,
+        }
+    }
+
+    /// Convenience: a data node.
+    pub fn data(spec: OpSpec) -> Self {
+        TxNode::Data { spec }
+    }
+}
+
+/// A composite-transaction template: where the root transaction is homed and
+/// what it does. Bodies execute sequentially (one client thread per
+/// composite transaction); concurrency in the system comes from many
+/// concurrent composite transactions.
+#[derive(Clone, Debug)]
+pub struct TxTemplate {
+    /// Display name.
+    pub name: String,
+    /// The root transaction's home component.
+    pub home: CompId,
+    /// The root transaction's body.
+    pub body: Vec<TxNode>,
+}
+
+/// A flattened template: the step sequence the engine interprets.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The steps in execution order.
+    pub steps: Vec<Step>,
+    /// Per subtransaction: `(home component, parent subtransaction)`;
+    /// index 0 is the root (parent = itself).
+    pub subtxs: Vec<(CompId, usize)>,
+}
+
+/// One step of a flattened program. `subtx` indices refer to
+/// [`Program::subtxs`].
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Acquire-and-execute an operation owned by `subtx` at `comp`. For a
+    /// call operation, `spawns` names the subtransaction the call opens;
+    /// data operations spawn nothing.
+    Op {
+        /// The issuing subtransaction.
+        subtx: usize,
+        /// The component scheduling the operation (the subtransaction's
+        /// home).
+        comp: CompId,
+        /// The operation's semantics at `comp`.
+        spec: OpSpec,
+        /// For call operations, the spawned subtransaction index.
+        spawns: Option<usize>,
+        /// Stable identifier of the template node (for export).
+        node: usize,
+    },
+    /// Commit `subtx`, releasing its locks under
+    /// [`crate::LockScope::Subtransaction`].
+    Commit {
+        /// The committing subtransaction.
+        subtx: usize,
+    },
+}
+
+impl TxTemplate {
+    /// Flattens the template into the engine's step sequence.
+    pub fn compile(&self) -> Program {
+        let mut prog = Program {
+            steps: Vec::new(),
+            subtxs: vec![(self.home, 0)],
+        };
+        let mut node_counter = 0usize;
+        flatten(&self.body, 0, self.home, &mut prog, &mut node_counter);
+        prog.steps.push(Step::Commit { subtx: 0 });
+        prog
+    }
+
+    /// Number of operations (call + data) in the template.
+    pub fn op_count(&self) -> usize {
+        fn count(nodes: &[TxNode]) -> usize {
+            nodes
+                .iter()
+                .map(|n| match n {
+                    TxNode::Call { children, .. } => 1 + count(children),
+                    TxNode::Data { .. } => 1,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+fn flatten(
+    nodes: &[TxNode],
+    subtx: usize,
+    comp: CompId,
+    prog: &mut Program,
+    node_counter: &mut usize,
+) {
+    for node in nodes {
+        let node_id = *node_counter;
+        *node_counter += 1;
+        match node {
+            TxNode::Data { spec } => prog.steps.push(Step::Op {
+                subtx,
+                comp,
+                spec: *spec,
+                spawns: None,
+                node: node_id,
+            }),
+            TxNode::Call {
+                target,
+                spec,
+                children,
+            } => {
+                let child = prog.subtxs.len();
+                prog.subtxs.push((*target, subtx));
+                prog.steps.push(Step::Op {
+                    subtx,
+                    comp,
+                    spec: *spec,
+                    spawns: Some(child),
+                    node: node_id,
+                });
+                flatten(children, child, *target, prog, node_counter);
+                prog.steps.push(Step::Commit { subtx: child });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_model::ItemId;
+
+    fn spec(i: u32) -> OpSpec {
+        OpSpec::write(ItemId(i))
+    }
+
+    #[test]
+    fn flat_template_compiles_to_ops_and_root_commit() {
+        let t = TxTemplate {
+            name: "flat".into(),
+            home: CompId(0),
+            body: vec![TxNode::data(spec(0)), TxNode::data(spec(1))],
+        };
+        let p = t.compile();
+        assert_eq!(p.subtxs.len(), 1);
+        assert_eq!(p.steps.len(), 3);
+        assert!(matches!(p.steps[2], Step::Commit { subtx: 0 }));
+        assert_eq!(t.op_count(), 2);
+    }
+
+    #[test]
+    fn nested_template_opens_and_commits_subtx() {
+        let t = TxTemplate {
+            name: "nested".into(),
+            home: CompId(0),
+            body: vec![TxNode::call(
+                CompId(1),
+                spec(9),
+                vec![TxNode::data(spec(0))],
+            )],
+        };
+        let p = t.compile();
+        assert_eq!(p.subtxs, vec![(CompId(0), 0), (CompId(1), 0)]);
+        // call op, child data op, child commit, root commit
+        assert_eq!(p.steps.len(), 4);
+        match &p.steps[0] {
+            Step::Op { subtx, comp, spawns, .. } => {
+                assert_eq!(*subtx, 0);
+                assert_eq!(*comp, CompId(0));
+                assert_eq!(*spawns, Some(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.steps[1] {
+            Step::Op { subtx, comp, .. } => {
+                assert_eq!(*subtx, 1);
+                assert_eq!(*comp, CompId(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(p.steps[2], Step::Commit { subtx: 1 }));
+        assert_eq!(t.op_count(), 2);
+    }
+
+    #[test]
+    fn deep_nesting_tracks_parents() {
+        let t = TxTemplate {
+            name: "deep".into(),
+            home: CompId(0),
+            body: vec![TxNode::call(
+                CompId(1),
+                spec(9),
+                vec![TxNode::call(CompId(2), spec(8), vec![TxNode::data(spec(0))])],
+            )],
+        };
+        let p = t.compile();
+        assert_eq!(
+            p.subtxs,
+            vec![(CompId(0), 0), (CompId(1), 0), (CompId(2), 1)]
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Component topologies.
+
+use crate::protocol::Protocol;
+use compc_model::CommutativityTable;
+
+/// Identity of a component (one scheduler of the composite system).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompId(pub u32);
+
+impl CompId {
+    /// The id as a table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CompId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// One component: a named scheduler with a concurrency-control protocol and
+/// a ground-truth commutativity table for the operations submitted to it.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// Display name (becomes the schedule name on export).
+    pub name: String,
+    /// The concurrency-control protocol this component runs.
+    pub protocol: Protocol,
+    /// Ground truth for which operation pairs commute at this component.
+    /// Used by the protocol (lock compatibility / conflict edges) *and* by
+    /// the exporter (the schedule's `CON_S`) — except that
+    /// [`Protocol::None`] ignores it at runtime, which is exactly the bug
+    /// the checker then catches.
+    pub table: CommutativityTable,
+}
+
+/// A set of components. Invocation structure is implied by the transaction
+/// templates (which component calls which); recursion is impossible because
+/// templates are finite trees.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    components: Vec<Component>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, protocol: Protocol, table: CommutativityTable) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Component {
+            name: name.into(),
+            protocol,
+            table,
+        });
+        id
+    }
+
+    /// The component with the given id.
+    pub fn component(&self, id: CompId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the topology has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// All components with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (CompId, &Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CompId(i as u32), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::LockScope;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut t = Topology::new();
+        let a = t.add(
+            "store",
+            Protocol::TwoPhase {
+                scope: LockScope::Subtransaction,
+            },
+            CommutativityTable::read_write(),
+        );
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.component(a).name, "store");
+        assert_eq!(a.to_string(), "C0");
+    }
+}

@@ -1,0 +1,45 @@
+//! Workloads and scenarios for the composite-transactions library.
+//!
+//! Three families:
+//!
+//! * [`figures`] — the paper's Figures 1–4, reconstructed as executable
+//!   scenarios (the originals are hand-drawn; we rebuild the *shapes* the
+//!   running text describes and machine-check the narratives: Figure 3's
+//!   reduction must fail exactly where the paper says, Figure 4's forgotten
+//!   orders must rescue the execution, and so on).
+//! * [`random`] — a seeded generator of *valid-by-construction* composite
+//!   systems with tunable shape (general / stack / fork / join), size and
+//!   conflict density. Validity is guaranteed by generating each schedule's
+//!   output order as a random linear extension of its obligations
+//!   (intra-transaction orders and input-order-constrained conflicting
+//!   pairs), processing schedules top-down so Definition 4.7 propagation is
+//!   complete before a schedule linearizes. Incorrect executions still
+//!   arise naturally — schedules serialize independently — which is exactly
+//!   the population the permissiveness and equivalence experiments need.
+//! * [`scenarios`] — domain scenarios for the simulator (topologies plus
+//!   transaction templates): a TP-monitor banking stack, a federated
+//!   travel-booking fork, a replicated-inventory join and an
+//!   enterprise-diamond general configuration.
+//! * [`random_sim`] — random simulator workloads (random topologies and
+//!   templates), stressing the engine and export paths beyond the fixed
+//!   scenarios.
+
+//! # Example
+//!
+//! ```
+//! use compc_workload::figures::figure3_incorrect;
+//! use compc_core::{check, FailurePhase};
+//!
+//! let fig = figure3_incorrect();
+//! let cex = check(&fig.system).counterexample().cloned().expect("Figure 3 is incorrect");
+//! assert_eq!(cex.phase, FailurePhase::Calculation);
+//! assert!(cex.cycle.contains(&fig.node("T1")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod random;
+pub mod random_sim;
+pub mod scenarios;

@@ -1,0 +1,742 @@
+//! Seeded random composite systems, valid by construction.
+//!
+//! # How validity is guaranteed
+//!
+//! A generated system must satisfy every Definition-3/4 axiom, so the
+//! generator works in two passes over its own plain data model:
+//!
+//! 1. **Forest pass** — build schedules in layers and transaction trees
+//!    whose subtransactions always descend strictly in layer (the
+//!    invocation graph is acyclic by construction), then sprinkle conflicts
+//!    over same-schedule cross-transaction operation pairs.
+//! 2. **Execution pass** — process schedules from the *top layer down*;
+//!    for each schedule collect its obligations — intra-transaction program
+//!    orders and, for conflicting pairs of input-ordered transactions, the
+//!    input direction (input orders are complete at this point because every
+//!    container schedule was linearized first and its output propagated per
+//!    Definition 4.7) — and emit a **random linear extension** of those
+//!    obligations as the schedule's total weak output order.
+//!
+//! The obligations are always acyclic (intra edges stay within a
+//! transaction; cross edges follow the acyclic transaction-level input
+//! order), so a linear extension always exists. Randomizing the extension
+//! is what makes *incorrect* executions — schedules serializing common
+//! clients in opposite directions — appear naturally in the population.
+
+use compc_graph::DiGraph;
+use compc_model::{CompositeSystem, SystemBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The configuration family to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// An arbitrary layered configuration: `levels` layers with
+    /// `scheds_per_level` schedules each; roots may be homed at any layer;
+    /// transactions may call any strictly lower layer and may own leaves at
+    /// any schedule.
+    General {
+        /// Number of layers (the system's order is at most this).
+        levels: usize,
+        /// Schedules per layer.
+        scheds_per_level: usize,
+    },
+    /// A stack (Definition 21) of the given depth.
+    Stack {
+        /// Number of stacked schedules.
+        depth: usize,
+    },
+    /// A fork (Definition 23) with the given branch count.
+    Fork {
+        /// Number of lower schedules.
+        branches: usize,
+    },
+    /// A join (Definition 25) with the given branch count.
+    Join {
+        /// Number of upper schedules.
+        branches: usize,
+    },
+}
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GenParams {
+    /// Configuration family and size.
+    pub shape: Shape,
+    /// Number of composite transactions (roots).
+    pub roots: usize,
+    /// Operations per transaction, inclusive range.
+    pub ops_per_tx: (usize, usize),
+    /// Probability that a same-schedule cross-transaction operation pair is
+    /// declared conflicting.
+    pub conflict_density: f64,
+    /// Probability that a transaction's operations are chained in program
+    /// order (otherwise they stay unordered within the transaction).
+    pub sequential_tx_prob: f64,
+    /// Probability that a pair of roots sharing a home schedule receives a
+    /// client-imposed weak input order (Definition 1's `<` between
+    /// composite transactions).
+    pub client_input_prob: f64,
+    /// Probability that a client-imposed input order is *strong* (`≪`),
+    /// forcing sequential execution: every operation pair must be strongly
+    /// output-ordered (Definition 3 axiom 3), and the obligation cascades
+    /// down the configuration via Definition 4.7.
+    pub strong_input_prob: f64,
+    /// Close conflict declarations upward so every schedule's abstraction is
+    /// *sound*: whenever the subtrees of two operations contain a declared
+    /// conflict anywhere below, the operations' own schedule declares them
+    /// conflicting too. The equivalence theorems for forks and joins
+    /// implicitly assume this (see EXPERIMENTS.md, "Theorem 4 requires
+    /// sound abstractions"); with it off, upper schedules may (unsoundly)
+    /// claim commutativity over genuinely conflicting implementations.
+    pub sound_abstractions: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            shape: Shape::General {
+                levels: 3,
+                scheds_per_level: 2,
+            },
+            roots: 4,
+            ops_per_tx: (1, 3),
+            conflict_density: 0.4,
+            sequential_tx_prob: 0.7,
+            client_input_prob: 0.0,
+            strong_input_prob: 0.0,
+            sound_abstractions: false,
+            seed: 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plain data model used during generation (indices, not builder ids).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct GNode {
+    parent: Option<usize>,
+    /// Schedule index this node is a transaction of (None = leaf).
+    home: Option<usize>,
+    /// Whether this transaction's ops are program-ordered.
+    sequential: bool,
+    children: Vec<usize>,
+}
+
+struct Gen<'a> {
+    params: &'a GenParams,
+    rng: StdRng,
+    /// layers[0] = bottom; each entry is a list of schedule indices.
+    layers: Vec<Vec<usize>>,
+    nodes: Vec<GNode>,
+    /// Per schedule: transactions homed there.
+    sched_txs: Vec<Vec<usize>>,
+    /// Per schedule: conflicting op pairs.
+    conflicts: Vec<Vec<(usize, usize)>>,
+    /// Per schedule: its full execution order (a permutation of its ops).
+    linearizations: Vec<Vec<usize>>,
+    /// Per schedule: the declared output pairs (intra + conflicting).
+    declared: Vec<Vec<(usize, usize)>>,
+    /// Per schedule: the declared *strong* output pairs.
+    declared_strong: Vec<Vec<(usize, usize)>>,
+    /// Per schedule: weak input-order edges over its transactions.
+    inputs: Vec<Vec<(usize, usize)>>,
+    /// Per schedule: strong input-order edges (⊆ the weak ones).
+    inputs_strong: Vec<Vec<(usize, usize)>>,
+    /// Client-imposed root orders: (first, second, strong?).
+    client_inputs: Vec<(usize, usize, bool)>,
+}
+
+/// Generates a valid composite system for the given parameters.
+pub fn generate(params: &GenParams) -> CompositeSystem {
+    let mut g = Gen::new(params);
+    g.grow_forest();
+    g.sprinkle_conflicts();
+    if params.sound_abstractions {
+        g.close_conflicts_upward();
+    }
+    g.impose_client_orders();
+    g.linearize_top_down();
+    g.emit()
+}
+
+impl<'a> Gen<'a> {
+    fn new(params: &'a GenParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed);
+        Gen {
+            params,
+            rng,
+            layers: Vec::new(),
+            nodes: Vec::new(),
+            sched_txs: Vec::new(),
+            conflicts: Vec::new(),
+            linearizations: Vec::new(),
+            declared: Vec::new(),
+            declared_strong: Vec::new(),
+            inputs: Vec::new(),
+            inputs_strong: Vec::new(),
+            client_inputs: Vec::new(),
+        }
+    }
+
+    fn sched_count(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    fn grow_forest(&mut self) {
+        // Lay out schedules.
+        let params_roots = self.params.roots.max(1);
+        let mut next = 0usize;
+        let mut mk_layer = |n: usize| -> Vec<usize> {
+            let l: Vec<usize> = (next..next + n.max(1)).collect();
+            next += n.max(1);
+            l
+        };
+        self.layers = match self.params.shape {
+            Shape::General {
+                levels,
+                scheds_per_level,
+            } => (0..levels.max(1)).map(|_| mk_layer(scheds_per_level)).collect(),
+            Shape::Stack { depth } => (0..depth.max(1)).map(|_| mk_layer(1)).collect(),
+            Shape::Fork { branches } => vec![mk_layer(branches), mk_layer(1)],
+            // A join never gets more branches than roots: an unpopulated
+            // upper schedule would not register in the invocation graph and
+            // the shape would degenerate.
+            Shape::Join { branches } => {
+                vec![mk_layer(1), mk_layer(branches.min(params_roots))]
+            }
+        };
+        let n_scheds = self.sched_count();
+        self.sched_txs = vec![Vec::new(); n_scheds];
+        self.conflicts = vec![Vec::new(); n_scheds];
+        self.linearizations = vec![Vec::new(); n_scheds];
+        self.declared = vec![Vec::new(); n_scheds];
+        self.declared_strong = vec![Vec::new(); n_scheds];
+        self.inputs = vec![Vec::new(); n_scheds];
+        self.inputs_strong = vec![Vec::new(); n_scheds];
+
+        let top = self.layers.len() - 1;
+        for r in 0..self.params.roots {
+            let home_layer = match self.params.shape {
+                Shape::General { .. } => {
+                    if top == 0 || self.rng.gen_bool(0.7) {
+                        top
+                    } else {
+                        self.rng.gen_range(1..=top)
+                    }
+                }
+                _ => top,
+            };
+            // Joins distribute roots round-robin so every branch schedule
+            // is populated (an empty branch would not register in the
+            // invocation graph and the shape would degenerate).
+            let home = match self.params.shape {
+                Shape::Join { .. } => {
+                    self.layers[home_layer][r % self.layers[home_layer].len()]
+                }
+                _ => *self.layers[home_layer]
+                    .as_slice()
+                    .choose(&mut self.rng)
+                    .expect("layers are nonempty"),
+            };
+            let sequential = self.rng.gen_bool(self.params.sequential_tx_prob);
+            let root = self.push_node(GNode {
+                parent: None,
+                home: Some(home),
+                sequential,
+                children: Vec::new(),
+            });
+            self.sched_txs[home].push(root);
+            self.grow_tx(root, home_layer);
+        }
+    }
+
+    fn push_node(&mut self, n: GNode) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    /// Gives transaction `tx` (homed at a layer-`layer` schedule) its ops.
+    fn grow_tx(&mut self, tx: usize, layer: usize) {
+        let (lo, hi) = self.params.ops_per_tx;
+        let n_ops = self.rng.gen_range(lo..=hi.max(lo));
+        debug_assert!(self.nodes[tx].home.is_some(), "transactions have homes");
+        for _ in 0..n_ops {
+            // In shaped configurations the op kind is fixed; in general
+            // configurations ops at non-bottom layers are subtransactions
+            // with probability 0.7, leaves otherwise.
+            let make_subtx = match self.params.shape {
+                Shape::General { .. } => layer > 0 && self.rng.gen_bool(0.7),
+                _ => layer > 0,
+            };
+            if make_subtx {
+                // Stacks must descend exactly one layer; general
+                // configurations may skip layers.
+                let child_layer = match self.params.shape {
+                    Shape::General { .. } => self.rng.gen_range(0..layer),
+                    _ => layer - 1,
+                };
+                let child_home = *self.layers[child_layer]
+                    .as_slice()
+                    .choose(&mut self.rng)
+                    .expect("layers are nonempty");
+                let sequential = self.rng.gen_bool(self.params.sequential_tx_prob);
+                let child = self.push_node(GNode {
+                    parent: Some(tx),
+                    home: Some(child_home),
+                    sequential,
+                    children: Vec::new(),
+                });
+                self.nodes[tx].children.push(child);
+                self.sched_txs[child_home].push(child);
+                self.grow_tx(child, child_layer);
+            } else {
+                let leaf = self.push_node(GNode {
+                    parent: Some(tx),
+                    home: None,
+                    sequential: false,
+                    children: Vec::new(),
+                });
+                self.nodes[tx].children.push(leaf);
+            }
+        }
+    }
+
+    /// Ops of a schedule: all children of its transactions.
+    fn sched_ops(&self, s: usize) -> Vec<usize> {
+        self.sched_txs[s]
+            .iter()
+            .flat_map(|&t| self.nodes[t].children.iter().copied())
+            .collect()
+    }
+
+    fn sprinkle_conflicts(&mut self) {
+        for s in 0..self.sched_count() {
+            let ops = self.sched_ops(s);
+            let mut pairs = Vec::new();
+            for (i, &a) in ops.iter().enumerate() {
+                for &b in &ops[i + 1..] {
+                    if self.nodes[a].parent != self.nodes[b].parent
+                        && self.rng.gen_bool(self.params.conflict_density)
+                    {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+            self.conflicts[s] = pairs;
+        }
+    }
+
+    /// Soundness closure: a declared conflict between `a` and `b` implies a
+    /// declared conflict between every ancestor pair of `a` and `b` that
+    /// shares a schedule (with distinct parents). One pass suffices — the
+    /// added pairs are themselves ancestor pairs of the original conflict
+    /// and the enumeration below already visits every such pair.
+    fn close_conflicts_upward(&mut self) {
+        let container = |nodes: &[GNode], n: usize| -> Option<usize> {
+            nodes[n].parent.map(|p| nodes[p].home.expect("parents are transactions"))
+        };
+        let ancestors = |nodes: &[GNode], mut n: usize| -> Vec<usize> {
+            let mut out = vec![n];
+            while let Some(p) = nodes[n].parent {
+                out.push(p);
+                n = p;
+            }
+            out
+        };
+        let base: Vec<(usize, usize)> = self
+            .conflicts
+            .iter()
+            .flat_map(|pairs| pairs.iter().copied())
+            .collect();
+        for (a, b) in base {
+            for &p in &ancestors(&self.nodes, a) {
+                for &q in &ancestors(&self.nodes, b) {
+                    if p == q {
+                        continue;
+                    }
+                    let (Some(cp), Some(cq)) = (
+                        container(&self.nodes, p),
+                        container(&self.nodes, q),
+                    ) else {
+                        continue;
+                    };
+                    if cp != cq || self.nodes[p].parent == self.nodes[q].parent {
+                        continue;
+                    }
+                    let pair = if p < q { (p, q) } else { (q, p) };
+                    if !self.conflicts[cp].contains(&pair) {
+                        self.conflicts[cp].push(pair);
+                    }
+                }
+            }
+        }
+        for pairs in &mut self.conflicts {
+            pairs.sort_unstable();
+            pairs.dedup();
+        }
+    }
+
+    /// Client-imposed input orders between roots sharing a home schedule.
+    /// Directions follow a random global priority, so the imposed relation
+    /// is acyclic by construction.
+    fn impose_client_orders(&mut self) {
+        if self.params.client_input_prob <= 0.0 {
+            return;
+        }
+        let mut priority: Vec<usize> = (0..self.nodes.len()).collect();
+        priority.shuffle(&mut self.rng);
+        for s in 0..self.sched_count() {
+            let roots: Vec<usize> = self.sched_txs[s]
+                .iter()
+                .copied()
+                .filter(|&t| self.nodes[t].parent.is_none())
+                .collect();
+            for (i, &r1) in roots.iter().enumerate() {
+                for &r2 in &roots[i + 1..] {
+                    if !self.rng.gen_bool(self.params.client_input_prob) {
+                        continue;
+                    }
+                    let (first, second) = if priority[r1] < priority[r2] {
+                        (r1, r2)
+                    } else {
+                        (r2, r1)
+                    };
+                    let strong = self.rng.gen_bool(self.params.strong_input_prob);
+                    self.inputs[s].push((first, second));
+                    if strong {
+                        self.inputs_strong[s].push((first, second));
+                    }
+                    self.client_inputs.push((first, second, strong));
+                }
+            }
+        }
+    }
+
+    /// Linearizes every schedule, top layer first, propagating input orders
+    /// (Definition 4.7) as it goes.
+    fn linearize_top_down(&mut self) {
+        for layer in (0..self.layers.len()).rev() {
+            for s_pos in 0..self.layers[layer].len() {
+                let s = self.layers[layer][s_pos];
+                self.linearize_schedule(s);
+            }
+        }
+    }
+
+    fn linearize_schedule(&mut self, s: usize) {
+        let ops = self.sched_ops(s);
+        let index_of: BTreeMap<usize, usize> =
+            ops.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        // Obligation edges over local op indices.
+        let mut g = DiGraph::with_nodes(ops.len());
+        // Intra-transaction program order for sequential transactions.
+        for &t in &self.sched_txs[s] {
+            if self.nodes[t].sequential {
+                for w in self.nodes[t].children.windows(2) {
+                    g.add_edge(index_of[&w[0]], index_of[&w[1]]);
+                }
+            }
+        }
+        // Input-ordered conflicting pairs (Definition 3 axiom 1a/1b).
+        let input_closure = {
+            let mut ig = DiGraph::with_nodes(self.nodes.len());
+            for &(a, b) in &self.inputs[s] {
+                ig.add_edge(a, b);
+            }
+            compc_graph::transitive_closure(&ig)
+        };
+        for &(a, b) in &self.conflicts[s] {
+            let (ta, tb) = (
+                self.nodes[a].parent.expect("ops have parents"),
+                self.nodes[b].parent.expect("ops have parents"),
+            );
+            if input_closure.has_edge(ta, tb) {
+                g.add_edge(index_of[&a], index_of[&b]);
+            } else if input_closure.has_edge(tb, ta) {
+                g.add_edge(index_of[&b], index_of[&a]);
+            }
+        }
+        // Strong input orders force *every* operation pair sequentially
+        // (Definition 3 axiom 3).
+        let strong_in = self.inputs_strong[s].clone();
+        for &(t, t2) in &strong_in {
+            for &a in &self.nodes[t].children {
+                for &b in &self.nodes[t2].children {
+                    g.add_edge(index_of[&a], index_of[&b]);
+                }
+            }
+        }
+        // Random linear extension (Kahn with random ready choice).
+        let mut indeg = g.in_degrees();
+        let mut ready: Vec<usize> = (0..ops.len()).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(ops.len());
+        while !ready.is_empty() {
+            let pick = self.rng.gen_range(0..ready.len());
+            let v = ready.swap_remove(pick);
+            order.push(ops[v]);
+            for w in g.successors(v) {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    ready.push(w);
+                }
+            }
+        }
+        assert_eq!(
+            order.len(),
+            ops.len(),
+            "obligations must be acyclic by construction"
+        );
+        // The schedule *declares* only its required output pairs — the
+        // intra-transaction program orders and the conflicting pairs, in the
+        // direction it executed them. Declaring a total order would be
+        // valid too, but gratuitously strong: the paper's §2 points out that
+        // weak orders between non-conflicting operations "disappear", and
+        // over-declaring them would propagate phantom obligations downwards
+        // (Definition 4.7) and reject semantically innocent executions.
+        let pos: BTreeMap<usize, usize> =
+            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        let mut decl = DiGraph::with_nodes(ops.len());
+        for &t in &self.sched_txs[s] {
+            if self.nodes[t].sequential {
+                for w in self.nodes[t].children.windows(2) {
+                    decl.add_edge(index_of[&w[0]], index_of[&w[1]]);
+                }
+            }
+        }
+        for &(a, b) in &self.conflicts[s] {
+            if pos[&a] < pos[&b] {
+                decl.add_edge(index_of[&a], index_of[&b]);
+            } else {
+                decl.add_edge(index_of[&b], index_of[&a]);
+            }
+        }
+        // Strong obligations are declared strongly (and strength is
+        // contained in the weak declaration: ≪ ⊆ ≺).
+        let mut decl_strong = DiGraph::with_nodes(ops.len());
+        for &(t, t2) in &strong_in {
+            for &a in &self.nodes[t].children {
+                for &b in &self.nodes[t2].children {
+                    decl.add_edge(index_of[&a], index_of[&b]);
+                    decl_strong.add_edge(index_of[&a], index_of[&b]);
+                }
+            }
+        }
+        // Definition 4.7 works on the transitive closure of the declared
+        // order; propagate every closure pair whose endpoints share a home.
+        let closure = compc_graph::transitive_closure(&decl);
+        for (u, v) in closure.edges() {
+            let (a, b) = (ops[u], ops[v]);
+            if let (Some(ha), Some(hb)) = (self.nodes[a].home, self.nodes[b].home) {
+                if ha == hb {
+                    self.inputs[ha].push((a, b));
+                }
+            }
+        }
+        let closure_strong = compc_graph::transitive_closure(&decl_strong);
+        for (u, v) in closure_strong.edges() {
+            let (a, b) = (ops[u], ops[v]);
+            if let (Some(ha), Some(hb)) = (self.nodes[a].home, self.nodes[b].home) {
+                if ha == hb {
+                    self.inputs_strong[ha].push((a, b));
+                }
+            }
+        }
+        self.linearizations[s] = order;
+        self.declared[s] = decl
+            .edges()
+            .map(|(u, v)| (ops[u], ops[v]))
+            .collect();
+        self.declared_strong[s] = decl_strong
+            .edges()
+            .map(|(u, v)| (ops[u], ops[v]))
+            .collect();
+    }
+
+    /// Emits the generated data through [`SystemBuilder`].
+    fn emit(&mut self) -> CompositeSystem {
+        let mut b = SystemBuilder::new();
+        let sched_ids: Vec<_> = (0..self.sched_count())
+            .map(|s| b.schedule(format!("S{s}")))
+            .collect();
+        // Nodes in index order: parents always precede children (grow order
+        // is depth-first with parents pushed first).
+        let mut ids = Vec::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = match (n.parent, n.home) {
+                (None, Some(h)) => b.root(format!("T{i}"), sched_ids[h]),
+                (Some(p), Some(h)) => b.subtx(format!("t{i}"), ids[p], sched_ids[h]),
+                (Some(p), None) => b.leaf(format!("o{i}"), ids[p]),
+                (None, None) => unreachable!("roots are transactions"),
+            };
+            ids.push(id);
+        }
+        // Conflicts.
+        for pairs in &self.conflicts {
+            for &(a, c) in pairs {
+                b.conflict(ids[a], ids[c]).expect("same-schedule pair");
+            }
+        }
+        // Intra-transaction program orders.
+        for n in &self.nodes {
+            if n.sequential {
+                for w in n.children.windows(2) {
+                    b.tx_weak_order(ids[w[0]], ids[w[1]])
+                        .expect("program order is consistent");
+                }
+            }
+        }
+        // Declared output orders (intra program order + conflicting pairs).
+        for pairs in &self.declared {
+            for &(x, y) in pairs {
+                b.output_weak(ids[x], ids[y])
+                    .expect("declared order is consistent");
+            }
+        }
+        for pairs in &self.declared_strong {
+            for &(x, y) in pairs {
+                b.output_strong(ids[x], ids[y])
+                    .expect("declared strong order is consistent");
+            }
+        }
+        // Client-imposed root orders.
+        for &(x, y, strong) in &self.client_inputs {
+            if strong {
+                b.input_strong(ids[x], ids[y])
+                    .expect("client order is consistent");
+            } else {
+                b.input_weak(ids[x], ids[y])
+                    .expect("client order is consistent");
+            }
+        }
+        // Definition 4.7.
+        b.propagate_orders().expect("propagation of a total order");
+        b.build().expect("generated systems are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_configs::{fork_shape, join_shape, stack_shape};
+
+    #[test]
+    fn default_params_generate_valid_systems() {
+        for seed in 0..50 {
+            let params = GenParams {
+                seed,
+                ..GenParams::default()
+            };
+            let sys = generate(&params);
+            assert!(sys.validate().is_ok());
+            assert!(sys.roots().count() <= params.roots);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = GenParams::default();
+        let a = generate(&params);
+        let b = generate(&params);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.forest_dot(), b.forest_dot());
+    }
+
+    #[test]
+    fn stack_shape_recognized() {
+        for seed in 0..20 {
+            let params = GenParams {
+                shape: Shape::Stack { depth: 3 },
+                roots: 3,
+                seed,
+                ..GenParams::default()
+            };
+            let sys = generate(&params);
+            assert!(
+                stack_shape(&sys).is_some(),
+                "seed {seed} did not produce a stack"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_shape_recognized() {
+        for seed in 0..20 {
+            let params = GenParams {
+                shape: Shape::Fork { branches: 3 },
+                roots: 3,
+                seed,
+                ..GenParams::default()
+            };
+            let sys = generate(&params);
+            assert!(
+                fork_shape(&sys).is_some(),
+                "seed {seed} did not produce a fork"
+            );
+        }
+    }
+
+    #[test]
+    fn join_shape_recognized() {
+        for seed in 0..20 {
+            let params = GenParams {
+                shape: Shape::Join { branches: 3 },
+                roots: 3,
+                seed,
+                ..GenParams::default()
+            };
+            let sys = generate(&params);
+            assert!(
+                join_shape(&sys).is_some(),
+                "seed {seed} did not produce a join"
+            );
+        }
+    }
+
+    #[test]
+    fn population_contains_both_verdicts() {
+        // With enough contention the random population must include both
+        // correct and incorrect executions — otherwise the permissiveness
+        // experiments would be vacuous.
+        let mut correct = 0;
+        let mut incorrect = 0;
+        for seed in 0..60 {
+            let params = GenParams {
+                conflict_density: 0.6,
+                roots: 4,
+                seed,
+                ..GenParams::default()
+            };
+            let sys = generate(&params);
+            if compc_core::check(&sys).is_correct() {
+                correct += 1;
+            } else {
+                incorrect += 1;
+            }
+        }
+        assert!(correct > 0, "no correct executions in 60 seeds");
+        assert!(incorrect > 0, "no incorrect executions in 60 seeds");
+    }
+
+    #[test]
+    fn zero_conflict_density_is_always_correct() {
+        for seed in 0..20 {
+            let params = GenParams {
+                conflict_density: 0.0,
+                seed,
+                ..GenParams::default()
+            };
+            let sys = generate(&params);
+            assert!(
+                compc_core::check(&sys).is_correct(),
+                "without conflicts every execution is trivially correct (seed {seed})"
+            );
+        }
+    }
+}

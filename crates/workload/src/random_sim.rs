@@ -1,0 +1,332 @@
+//! Random *simulator* workloads: layered component topologies with random
+//! transaction templates — the runtime counterpart of [`crate::random`].
+//!
+//! Where [`crate::random::generate`] fabricates a *recorded execution*
+//! directly, this module fabricates a *system to run*: the engine then
+//! produces the execution, and the export/check pipeline judges it. Random
+//! sim workloads exercise the engine's interleavings, deadlock handling and
+//! export logic far beyond the fixed scenarios.
+
+use compc_model::{CommutativityTable, ItemId, OpSpec};
+use compc_sim::{CompId, Protocol, Topology, TxNode, TxTemplate};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The conservative region item used as every call operation's footprint.
+///
+/// A call's exact footprint cannot be expressed as one item, and
+/// under-declaring conflicts makes the component's abstraction *unsound*
+/// (see `crates/workload/src/scenarios.rs` module docs): a subtree can leak
+/// dependencies through shared grandchildren, so two calls from the same
+/// component must conflict unless both subtrees are read-only. Calls are
+/// therefore classified as `write(REGION)` — or `read(REGION)` when the
+/// whole subtree only reads.
+pub const REGION: ItemId = ItemId(1_000_000);
+
+/// Parameters for a random simulator workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SimGenParams {
+    /// Component layers (bottom layer components own the data).
+    pub layers: usize,
+    /// Components per layer.
+    pub comps_per_layer: usize,
+    /// Number of composite transactions.
+    pub clients: usize,
+    /// Items per (bottom-layer) component store.
+    pub items: u32,
+    /// Maximum operations per transaction node.
+    pub max_ops: usize,
+    /// Maximum call depth (template height).
+    pub max_depth: usize,
+    /// Probability that a data op writes (vs reads).
+    pub write_prob: f64,
+    /// Use semantic commutativity tables (vs read/write) at every component.
+    pub semantic: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimGenParams {
+    fn default() -> Self {
+        SimGenParams {
+            layers: 3,
+            comps_per_layer: 2,
+            clients: 8,
+            items: 4,
+            max_ops: 3,
+            max_depth: 3,
+            write_prob: 0.5,
+            semantic: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random layered topology (every component running `protocol`)
+/// plus a random client workload.
+pub fn generate_sim(params: &SimGenParams, protocol: Protocol) -> (Topology, Vec<TxTemplate>) {
+    let table = if params.semantic {
+        CommutativityTable::semantic()
+    } else {
+        CommutativityTable::read_write()
+    };
+    generate_sim_with_table(params, protocol, table)
+}
+
+/// [`generate_sim`] with an explicit commutativity table — lets experiments
+/// compare tables on identical workloads.
+pub fn generate_sim_with_table(
+    params: &SimGenParams,
+    protocol: Protocol,
+    table: CommutativityTable,
+) -> (Topology, Vec<TxTemplate>) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut topo = Topology::new();
+    let mut layers: Vec<Vec<CompId>> = Vec::new();
+    for l in 0..params.layers.max(1) {
+        layers.push(
+            (0..params.comps_per_layer.max(1))
+                .map(|i| topo.add(format!("L{l}C{i}"), protocol, table.clone()))
+                .collect(),
+        );
+    }
+    let top = layers.len() - 1;
+    let templates = (0..params.clients)
+        .map(|i| {
+            let home_layer = if top == 0 || rng.gen_bool(0.7) {
+                top
+            } else {
+                rng.gen_range(1..=top)
+            };
+            let home = *layers[home_layer].as_slice().choose(&mut rng).unwrap();
+            let body = grow_body(params, &layers, home_layer, params.max_depth, &mut rng);
+            TxTemplate {
+                name: format!("tx{i}"),
+                home,
+                body,
+            }
+        })
+        .collect();
+    (topo, templates)
+}
+
+fn grow_body(
+    params: &SimGenParams,
+    layers: &[Vec<CompId>],
+    layer: usize,
+    depth_left: usize,
+    rng: &mut StdRng,
+) -> Vec<TxNode> {
+    let n_ops = rng.gen_range(1..=params.max_ops.max(1));
+    (0..n_ops)
+        .map(|_| {
+            let can_call = layer > 0 && depth_left > 0;
+            if can_call && rng.gen_bool(0.6) {
+                let child_layer = rng.gen_range(0..layer);
+                let target = *layers[child_layer].as_slice().choose(rng).unwrap();
+                let children = grow_body(params, layers, child_layer, depth_left - 1, rng);
+                // Sound, conservative call footprint: region read iff the
+                // whole subtree only reads, region write otherwise.
+                let mode = if subtree_reads_only(&children) {
+                    compc_model::AccessMode::Read
+                } else {
+                    compc_model::AccessMode::Write
+                };
+                TxNode::call(target, OpSpec { item: REGION, mode }, children)
+            } else {
+                let item = ItemId(rng.gen_range(0..params.items.max(1)));
+                let mode = pick_mode(params, rng);
+                TxNode::data(OpSpec { item, mode })
+            }
+        })
+        .collect()
+}
+
+fn subtree_reads_only(nodes: &[TxNode]) -> bool {
+    nodes.iter().all(|n| match n {
+        TxNode::Data { spec } => spec.mode == compc_model::AccessMode::Read,
+        TxNode::Call { children, .. } => subtree_reads_only(children),
+    })
+}
+
+fn pick_mode(params: &SimGenParams, rng: &mut StdRng) -> compc_model::AccessMode {
+    use compc_model::AccessMode;
+    if params.semantic && rng.gen_bool(0.4) {
+        if rng.gen_bool(0.5) {
+            AccessMode::Increment
+        } else {
+            AccessMode::Decrement
+        }
+    } else if rng.gen_bool(params.write_prob) {
+        AccessMode::Write
+    } else {
+        AccessMode::Read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_core::check;
+    use compc_sim::{Engine, LockScope, SimConfig};
+
+    fn run(params: &SimGenParams, protocol: Protocol) -> compc_sim::SimReport {
+        let (topo, templates) = generate_sim(params, protocol);
+        Engine::new(
+            topo,
+            templates,
+            SimConfig {
+                seed: params.seed,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+    }
+
+    #[test]
+    fn random_workloads_terminate_and_commit() {
+        for seed in 0..15 {
+            let params = SimGenParams {
+                seed,
+                ..SimGenParams::default()
+            };
+            let report = run(
+                &params,
+                Protocol::TwoPhase {
+                    scope: LockScope::Composite,
+                },
+            );
+            assert!(report.metrics.committed + report.metrics.failed == params.clients as u64);
+            assert!(report.metrics.committed > 0, "seed {seed}: nothing committed");
+        }
+    }
+
+    #[test]
+    fn closed_2pl_random_runs_are_comp_c() {
+        for seed in 0..15 {
+            let params = SimGenParams {
+                seed,
+                clients: 6,
+                ..SimGenParams::default()
+            };
+            let report = run(
+                &params,
+                Protocol::TwoPhase {
+                    scope: LockScope::Composite,
+                },
+            );
+            let sys = report
+                .export_system()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                check(&sys).is_correct(),
+                "seed {seed}: closed 2PL must be Comp-C on random workloads"
+            );
+        }
+    }
+
+    #[test]
+    fn timestamp_random_runs_are_comp_c() {
+        for seed in 0..15 {
+            let params = SimGenParams {
+                seed: seed + 100,
+                clients: 6,
+                ..SimGenParams::default()
+            };
+            let report = run(&params, Protocol::Timestamp);
+            let sys = report
+                .export_system()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                check(&sys).is_correct(),
+                "seed {seed}: TO must be Comp-C on random workloads"
+            );
+        }
+    }
+
+    #[test]
+    fn cc_scheduler_random_runs_never_violate_the_model() {
+        for seed in 0..15 {
+            let params = SimGenParams {
+                seed: seed + 200,
+                clients: 6,
+                ..SimGenParams::default()
+            };
+            let report = run(&params, Protocol::CcSched);
+            assert!(
+                report.export_system().is_ok(),
+                "seed {seed}: CC scheduler must stay obedient"
+            );
+        }
+    }
+
+    #[test]
+    fn semantic_tables_commit_more_with_fewer_aborts() {
+        // Identical workload (increment-heavy), two tables: the semantic
+        // table must not abort more under timestamp ordering.
+        let mut rw_aborts = 0;
+        let mut sem_aborts = 0;
+        for seed in 0..10 {
+            let base = SimGenParams {
+                seed,
+                clients: 10,
+                items: 2,
+                semantic: true, // increment/decrement modes in the workload
+                ..SimGenParams::default()
+            };
+            let run_with = |table: compc_model::CommutativityTable| {
+                let (topo, templates) =
+                    generate_sim_with_table(&base, Protocol::Timestamp, table);
+                Engine::new(
+                    topo,
+                    templates,
+                    SimConfig {
+                        seed,
+                        ..SimConfig::default()
+                    },
+                )
+                .run()
+            };
+            rw_aborts += run_with(compc_model::CommutativityTable::read_write())
+                .metrics
+                .aborts;
+            sem_aborts += run_with(compc_model::CommutativityTable::semantic())
+                .metrics
+                .aborts;
+        }
+        assert!(
+            sem_aborts <= rw_aborts,
+            "semantic tables should not abort more ({sem_aborts} vs {rw_aborts})"
+        );
+    }
+
+    #[test]
+    fn replay_matches_on_abort_free_random_runs() {
+        let mut checked = 0;
+        for seed in 0..20 {
+            let params = SimGenParams {
+                seed: seed + 300,
+                clients: 6,
+                ..SimGenParams::default()
+            };
+            let report = run(
+                &params,
+                Protocol::TwoPhase {
+                    scope: LockScope::Composite,
+                },
+            );
+            let (sys, roots) = report.export_with_roots().unwrap();
+            if let Some(proof) = check(&sys).proof() {
+                let order: Vec<u32> = proof.serial_witness.iter().map(|n| roots[n]).collect();
+                assert_eq!(
+                    report.replay_serially(&order),
+                    report.stores,
+                    "seed {seed}: witness replay must reproduce state"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+}

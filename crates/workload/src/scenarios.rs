@@ -1,0 +1,466 @@
+//! Domain scenarios for the simulator: the component-based applications the
+//! paper's introduction motivates (TP monitors, federated systems,
+//! web-based information systems).
+//!
+//! # Soundness of conflict abstractions
+//!
+//! The composite theory *trusts* each component's conflict predicate: "if
+//! the operations in a schedule do not conflict then this schedule 'knows'
+//! that there is commutativity" (§2). That knowledge must be a **sound
+//! over-approximation** of the implementation below — a call spec that
+//! claims to touch account `a` while its subtransaction also reads account
+//! `b` under-declares, and the checker may then certify executions that are
+//! not state-equivalent to any serial order (see the
+//! `unsound_abstraction_*` test). The scenarios below therefore use either
+//! exact per-item call specs or a conservative *region* item
+//! ([`REGION`]) that serializes whole-service calls.
+
+use compc_model::{CommutativityTable, ItemId, OpSpec};
+use compc_sim::{Protocol, Topology, TxNode, TxTemplate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A coarse "whole service" lock item used where a call's exact footprint
+/// cannot be expressed as a single item: writes on the region conflict with
+/// everything, reads on the region conflict with writes only. Sound by
+/// construction.
+pub const REGION: ItemId = ItemId(1_000_000);
+
+/// A ready-to-run simulator scenario.
+pub struct Scenario {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The component topology.
+    pub topology: Topology,
+    /// The client workload.
+    pub templates: Vec<TxTemplate>,
+}
+
+/// **Banking through a TP monitor** (stack): clients call a TP monitor,
+/// which calls a banking service, which reads and writes account records in
+/// a single database. Transfers move money between random accounts;
+/// audits read a pair of accounts.
+///
+/// The monitor and the service treat transfers on disjoint account pairs as
+/// commuting (semantic conflict tables); the database sees raw reads and
+/// writes.
+pub fn banking_tpmonitor(protocol: Protocol, clients: usize, accounts: u32, seed: u64) -> Scenario {
+    let mut topo = Topology::new();
+    let monitor = topo.add("tp-monitor", protocol, CommutativityTable::read_write());
+    let service = topo.add("banking-svc", protocol, CommutativityTable::read_write());
+    let db = topo.add("accounts-db", protocol, CommutativityTable::read_write());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut templates = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let a = rng.gen_range(0..accounts);
+        let b = (a + 1 + rng.gen_range(0..accounts.saturating_sub(1).max(1))) % accounts;
+        let template = if rng.gen_bool(0.7) {
+            // transfer(a, b): debit a, credit b — through the stack. The
+            // monitor classifies the whole call as a region write (a
+            // transfer touches two accounts, which one item cannot express
+            // exactly); the service's per-account call specs are exact.
+            TxTemplate {
+                name: format!("transfer{i}"),
+                home: monitor,
+                body: vec![TxNode::call(
+                    service,
+                    OpSpec::write(REGION),
+                    vec![
+                        TxNode::call(
+                            db,
+                            OpSpec::write(ItemId(a)),
+                            vec![
+                                TxNode::data(OpSpec::read(ItemId(a))),
+                                TxNode::data(OpSpec::write(ItemId(a))),
+                            ],
+                        ),
+                        TxNode::call(
+                            db,
+                            OpSpec::write(ItemId(b)),
+                            vec![
+                                TxNode::data(OpSpec::read(ItemId(b))),
+                                TxNode::data(OpSpec::write(ItemId(b))),
+                            ],
+                        ),
+                    ],
+                )],
+            }
+        } else {
+            // audit(a, b): read both balances — a region *read* at the
+            // monitor (audits commute with audits), one exact read call per
+            // account at the service.
+            TxTemplate {
+                name: format!("audit{i}"),
+                home: monitor,
+                body: vec![TxNode::call(
+                    service,
+                    OpSpec::read(REGION),
+                    vec![
+                        TxNode::call(
+                            db,
+                            OpSpec::read(ItemId(a)),
+                            vec![TxNode::data(OpSpec::read(ItemId(a)))],
+                        ),
+                        TxNode::call(
+                            db,
+                            OpSpec::read(ItemId(b)),
+                            vec![TxNode::data(OpSpec::read(ItemId(b)))],
+                        ),
+                    ],
+                )],
+            }
+        };
+        templates.push(template);
+    }
+    Scenario {
+        name: "banking-tpmonitor",
+        topology: topo,
+        templates,
+    }
+}
+
+/// **Federated travel booking** (fork): a travel agency component books a
+/// flight and a hotel in one composite transaction; flights and hotels live
+/// in two independent reservation systems (the classic federated-database
+/// motivation). Seat/room counters use semantic increment/decrement modes,
+/// so concurrent bookings of the same flight commute at the stores.
+pub fn federated_travel(protocol: Protocol, clients: usize, resources: u32, seed: u64) -> Scenario {
+    let mut topo = Topology::new();
+    // The agency classifies bookings as semantic decrements: two bookings
+    // commute even when they hit the same flight, so the agency's own
+    // scheduler never serializes them against each other.
+    let agency = topo.add("travel-agency", protocol, CommutativityTable::semantic());
+    let flights = topo.add("flights", protocol, CommutativityTable::semantic());
+    let hotels = topo.add("hotels", protocol, CommutativityTable::semantic());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut templates = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let f = rng.gen_range(0..resources);
+        let h = rng.gen_range(0..resources);
+        templates.push(TxTemplate {
+            name: format!("trip{i}"),
+            home: agency,
+            body: vec![
+                TxNode::call(
+                    flights,
+                    OpSpec::decrement(ItemId(f)),
+                    vec![TxNode::data(OpSpec::decrement(ItemId(f)))],
+                ),
+                TxNode::call(
+                    hotels,
+                    OpSpec::decrement(ItemId(h)),
+                    vec![TxNode::data(OpSpec::decrement(ItemId(h)))],
+                ),
+            ],
+        });
+    }
+    Scenario {
+        name: "federated-travel",
+        topology: topo,
+        templates,
+    }
+}
+
+/// **Replicated inventory** (join): several regional storefront components
+/// each run their own root transactions, all funnelling into one shared
+/// warehouse inventory — the configuration where transactions meet *below*
+/// their roots and the ghost graph matters.
+pub fn inventory_join(protocol: Protocol, clients: usize, items: u32, seed: u64) -> Scenario {
+    let mut topo = Topology::new();
+    let east = topo.add("store-east", protocol, CommutativityTable::read_write());
+    let west = topo.add("store-west", protocol, CommutativityTable::read_write());
+    let warehouse = topo.add("warehouse", protocol, CommutativityTable::semantic());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut templates = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let home = if rng.gen_bool(0.5) { east } else { west };
+        let item = rng.gen_range(0..items);
+        let body = if rng.gen_bool(0.8) {
+            // Sell one unit.
+            vec![TxNode::call(
+                warehouse,
+                OpSpec::decrement(ItemId(item)),
+                vec![TxNode::data(OpSpec::decrement(ItemId(item)))],
+            )]
+        } else {
+            // Stock check: read the level.
+            vec![TxNode::call(
+                warehouse,
+                OpSpec::read(ItemId(item)),
+                vec![TxNode::data(OpSpec::read(ItemId(item)))],
+            )]
+        };
+        templates.push(TxTemplate {
+            name: format!("order{i}"),
+            home,
+            body,
+        });
+    }
+    Scenario {
+        name: "inventory-join",
+        topology: topo,
+        templates,
+    }
+}
+
+/// **Enterprise mash-up** (general configuration): two application servers
+/// share a pricing service and two databases in a diamond — the arbitrary
+/// configuration of Figure 1, as a live workload. Roots live on different
+/// components and interfere only transitively.
+pub fn enterprise_diamond(protocol: Protocol, clients: usize, items: u32, seed: u64) -> Scenario {
+    let mut topo = Topology::new();
+    let app_a = topo.add("app-a", protocol, CommutativityTable::read_write());
+    let app_b = topo.add("app-b", protocol, CommutativityTable::read_write());
+    let pricing = topo.add("pricing", protocol, CommutativityTable::read_write());
+    let db1 = topo.add("db1", protocol, CommutativityTable::read_write());
+    let db2 = topo.add("db2", protocol, CommutativityTable::read_write());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut templates = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let home = if rng.gen_bool(0.5) { app_a } else { app_b };
+        let x = rng.gen_range(0..items);
+        let y = rng.gen_range(0..items);
+        // App-level specs are region-coarse (a quote's footprint spans two
+        // stores); pricing- and store-level specs are exact.
+        templates.push(TxTemplate {
+            name: format!("quote{i}"),
+            home,
+            body: vec![
+                TxNode::call(
+                    pricing,
+                    OpSpec::write(REGION),
+                    vec![
+                        TxNode::call(
+                            db1,
+                            OpSpec::write(ItemId(x)),
+                            vec![
+                                TxNode::data(OpSpec::read(ItemId(x))),
+                                TxNode::data(OpSpec::write(ItemId(x))),
+                            ],
+                        ),
+                        TxNode::call(
+                            db2,
+                            OpSpec::write(ItemId(y)),
+                            vec![TxNode::data(OpSpec::write(ItemId(y)))],
+                        ),
+                    ],
+                ),
+                TxNode::call(
+                    db2,
+                    OpSpec::read(REGION),
+                    vec![TxNode::data(OpSpec::read(ItemId(x)))],
+                ),
+            ],
+        });
+    }
+    Scenario {
+        name: "enterprise-diamond",
+        topology: topo,
+        templates,
+    }
+}
+
+/// **Order-processing saga** (stack of long chains): each composite
+/// transaction is a multi-step business process — reserve stock, charge
+/// payment, schedule shipping — executed as a chain of subtransactions
+/// against a fulfillment service whose steps commit early (open nesting).
+/// The paper's §4 points out that sagas are expressible in the
+/// stack/fork/join framework; here the saga's steps are semantic
+/// increments/decrements, so concurrent sagas interleave step-wise and the
+/// checker still certifies the composite execution.
+pub fn order_saga(protocol: Protocol, clients: usize, products: u32, seed: u64) -> Scenario {
+    let mut topo = Topology::new();
+    let workflow = topo.add("workflow", protocol, CommutativityTable::semantic());
+    let fulfillment = topo.add("fulfillment", protocol, CommutativityTable::semantic());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut templates = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let product = rng.gen_range(0..products);
+        // Item spaces at fulfillment: stock 0.., payments 100.., shipments 200..
+        let stock = ItemId(product);
+        let payment = ItemId(100 + product);
+        let shipment = ItemId(200 + product);
+        templates.push(TxTemplate {
+            name: format!("saga{i}"),
+            home: workflow,
+            body: vec![
+                TxNode::call(
+                    fulfillment,
+                    OpSpec::decrement(stock),
+                    vec![TxNode::data(OpSpec::decrement(stock))],
+                ),
+                TxNode::call(
+                    fulfillment,
+                    OpSpec::increment(payment),
+                    vec![TxNode::data(OpSpec::increment(payment))],
+                ),
+                TxNode::call(
+                    fulfillment,
+                    OpSpec::increment(shipment),
+                    vec![TxNode::data(OpSpec::increment(shipment))],
+                ),
+            ],
+        });
+    }
+    Scenario {
+        name: "order-saga",
+        topology: topo,
+        templates,
+    }
+}
+
+/// **Heterogeneous diamond**: the enterprise diamond with a *per-component*
+/// protocol assignment — the practical question the paper closes with
+/// ("appropriate concurrency control protocols with which to implement
+/// general composite systems"): which components actually need the strong
+/// protocol? `strong_at_shared` upgrades only the components shared by both
+/// application servers (pricing + both stores) to `strong`, leaving the
+/// apps on `weak`.
+pub fn heterogeneous_diamond(
+    weak: Protocol,
+    strong: Protocol,
+    strong_at_shared: bool,
+    clients: usize,
+    items: u32,
+    seed: u64,
+) -> Scenario {
+    let mut topo = Topology::new();
+    let shared = |yes: bool| if yes && strong_at_shared { strong } else { weak };
+    let app_a = topo.add("app-a", weak, CommutativityTable::read_write());
+    let app_b = topo.add("app-b", weak, CommutativityTable::read_write());
+    let pricing = topo.add("pricing", shared(true), CommutativityTable::read_write());
+    let db1 = topo.add("db1", shared(true), CommutativityTable::read_write());
+    let db2 = topo.add("db2", shared(true), CommutativityTable::read_write());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut templates = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let home = if rng.gen_bool(0.5) { app_a } else { app_b };
+        let x = rng.gen_range(0..items);
+        let y = rng.gen_range(0..items);
+        templates.push(TxTemplate {
+            name: format!("quote{i}"),
+            home,
+            body: vec![
+                TxNode::call(
+                    pricing,
+                    OpSpec::write(REGION),
+                    vec![
+                        TxNode::call(
+                            db1,
+                            OpSpec::write(ItemId(x)),
+                            vec![
+                                TxNode::data(OpSpec::read(ItemId(x))),
+                                TxNode::data(OpSpec::write(ItemId(x))),
+                            ],
+                        ),
+                        TxNode::call(
+                            db2,
+                            OpSpec::write(ItemId(y)),
+                            vec![TxNode::data(OpSpec::write(ItemId(y)))],
+                        ),
+                    ],
+                ),
+                TxNode::call(
+                    db2,
+                    OpSpec::read(REGION),
+                    vec![TxNode::data(OpSpec::read(ItemId(x)))],
+                ),
+            ],
+        });
+    }
+    Scenario {
+        name: "heterogeneous-diamond",
+        topology: topo,
+        templates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_core::check;
+    use compc_sim::{Engine, LockScope, SimConfig};
+
+    #[test]
+    fn sagas_interleave_and_stay_correct() {
+        let protocol = Protocol::TwoPhase {
+            scope: LockScope::Subtransaction,
+        };
+        let report = run(order_saga(protocol, 12, 3, 5), 5);
+        assert_eq!(report.metrics.committed, 12);
+        assert_eq!(report.metrics.aborts, 0, "saga steps commute semantically");
+        let sys = report.export_system().expect("valid export");
+        assert!(check(&sys).is_correct());
+        // Stock went down once per saga; shipments up once per saga.
+        let fulfillment_store = &report.stores[1];
+        let total_shipped: i64 = fulfillment_store
+            .iter()
+            .filter(|(k, _)| k.0 >= 200)
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(total_shipped, 12);
+    }
+
+    fn run(s: Scenario, seed: u64) -> compc_sim::SimReport {
+        Engine::new(
+            s.topology,
+            s.templates,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+    }
+
+    #[test]
+    fn banking_under_closed_2pl_is_comp_c() {
+        let protocol = Protocol::TwoPhase {
+            scope: LockScope::Composite,
+        };
+        let report = run(banking_tpmonitor(protocol, 8, 4, 7), 7);
+        assert!(report.metrics.committed >= 6);
+        let sys = report.export_system().expect("valid export");
+        assert!(check(&sys).is_correct());
+    }
+
+    #[test]
+    fn travel_fork_commits_concurrent_bookings() {
+        let protocol = Protocol::TwoPhase {
+            scope: LockScope::Subtransaction,
+        };
+        let report = run(federated_travel(protocol, 10, 3, 1), 1);
+        assert_eq!(report.metrics.committed, 10);
+        let sys = report.export_system().expect("valid export");
+        assert!(check(&sys).is_correct());
+    }
+
+    #[test]
+    fn inventory_join_exports_join_shape() {
+        let protocol = Protocol::TwoPhase {
+            scope: LockScope::Composite,
+        };
+        let report = run(inventory_join(protocol, 6, 3, 3), 3);
+        let sys = report.export_system().expect("valid export");
+        // Committed orders all call into the single warehouse: a join.
+        assert!(compc_configs::join_shape(&sys).is_some());
+        assert!(check(&sys).is_correct());
+    }
+
+    #[test]
+    fn diamond_scenario_runs_and_checks() {
+        let protocol = Protocol::TwoPhase {
+            scope: LockScope::Composite,
+        };
+        let report = run(enterprise_diamond(protocol, 6, 3, 11), 11);
+        assert!(report.metrics.committed >= 4);
+        let sys = report.export_system().expect("valid export");
+        assert!(check(&sys).is_correct());
+    }
+}

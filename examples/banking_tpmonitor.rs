@@ -1,0 +1,71 @@
+//! A TP-monitor banking stack, simulated end to end.
+//!
+//! ```sh
+//! cargo run --example banking_tpmonitor
+//! ```
+//!
+//! Runs the same client workload (transfers and audits through a TP monitor,
+//! a banking service and an accounts database) under four different
+//! concurrency-control protocols, then feeds each execution to the Comp-C
+//! checker. This is the paper's motivating architecture: every component has
+//! its own transaction management logic, and composite correctness is what
+//! ties them together.
+
+use compc::core::check;
+use compc::sim::{Engine, LockScope, Protocol, SimConfig};
+use compc::workload::scenarios::banking_tpmonitor;
+
+fn main() {
+    let protocols = [
+        Protocol::TwoPhase {
+            scope: LockScope::Composite,
+        },
+        Protocol::TwoPhase {
+            scope: LockScope::Subtransaction,
+        },
+        Protocol::CcSched,
+        Protocol::None,
+    ];
+    println!("banking through a TP monitor: 16 clients, 4 accounts, seed 7\n");
+    println!(
+        "{:<12} {:>9} {:>8} {:>8} {:>9}   verdict",
+        "protocol", "committed", "aborts", "thrpt", "latency"
+    );
+    for protocol in protocols {
+        let scenario = banking_tpmonitor(protocol, 16, 4, 7);
+        let report = Engine::new(
+            scenario.topology,
+            scenario.templates,
+            SimConfig {
+                seed: 7,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        let verdict = match report.export_system() {
+            Err(e) => format!("model violation ({e})"),
+            Ok(sys) => match check(&sys) {
+                compc::core::Verdict::Correct(proof) => format!(
+                    "Comp-C; serial witness over {} roots",
+                    proof.serial_witness.len()
+                ),
+                compc::core::Verdict::Incorrect(cex) => format!("NOT Comp-C ({cex})"),
+            },
+        };
+        println!(
+            "{:<12} {:>9} {:>8} {:>8.2} {:>9.1}   {}",
+            protocol.tag(),
+            report.metrics.committed,
+            report.metrics.aborts,
+            report.metrics.throughput(),
+            report.metrics.mean_latency(),
+            verdict
+        );
+    }
+    println!(
+        "\nOpen (subtransaction-scope) locking releases each level's locks early, \
+         trading isolation work for throughput; the checker confirms the stack \
+         configuration keeps it correct. The unsynchronized baseline is fast and \
+         flagged."
+    );
+}

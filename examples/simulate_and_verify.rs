@@ -1,0 +1,107 @@
+//! The full loop on a *general* configuration: simulate, export, verify —
+//! and watch local correctness fail to compose.
+//!
+//! ```sh
+//! cargo run --example simulate_and_verify
+//! ```
+//!
+//! The enterprise-diamond scenario puts roots on two different application
+//! servers that share a pricing service and two databases — transactions
+//! that never meet at any common scheduler can still interfere transitively,
+//! which is exactly the situation the paper's general theory (and nothing
+//! weaker) handles. We sweep seeds under two protocols:
+//!
+//! * globally timestamped TO — serializes identically everywhere, so every
+//!   run is Comp-C;
+//! * uncoordinated per-component SGT — each component is locally
+//!   serializable, yet runs still get flagged, demonstrating that local
+//!   serializability does not compose in general configurations.
+
+use compc::core::check;
+use compc::sim::{Engine, Protocol, SimConfig};
+use compc::workload::scenarios::enterprise_diamond;
+
+/// Shows the counterexample minimizer on one flagged chaos run: the
+/// violation among ten composite transactions shrinks to its minimal core.
+fn demo_minimization() {
+    for seed in 0..50 {
+        let scenario = enterprise_diamond(Protocol::Sgt, 10, 3, seed);
+        let report = Engine::new(
+            scenario.topology,
+            scenario.templates,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        let Ok(sys) = report.export_system() else {
+            continue;
+        };
+        if check(&sys).is_correct() {
+            continue;
+        }
+        let min = compc::core::minimize(&sys).expect("incorrect");
+        let names: Vec<&str> = min.roots.iter().map(|&n| sys.name(n)).collect();
+        println!(
+            "example violation (seed {seed}): {} of {} transactions suffice: {}\n",
+            min.roots.len(),
+            sys.roots().count(),
+            names.join(", ")
+        );
+        return;
+    }
+    println!("(no incorrect SGT run found to minimize in 50 seeds)\n");
+}
+
+fn classify(protocol: Protocol, seeds: u64) -> (u32, u32, u32) {
+    let (mut ok, mut bad, mut violation) = (0, 0, 0);
+    for seed in 0..seeds {
+        let scenario = enterprise_diamond(protocol, 10, 3, seed);
+        let report = Engine::new(
+            scenario.topology,
+            scenario.templates,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        match report.export_system() {
+            Err(_) => violation += 1,
+            Ok(sys) => {
+                if check(&sys).is_correct() {
+                    ok += 1;
+                } else {
+                    bad += 1;
+                }
+            }
+        }
+    }
+    (ok, bad, violation)
+}
+
+fn main() {
+    let seeds = 20;
+    demo_minimization();
+    println!("general configuration (diamond), {seeds} seeded runs per protocol\n");
+    println!(
+        "{:<10} {:>8} {:>11} {:>16}",
+        "protocol", "Comp-C", "not Comp-C", "model violation"
+    );
+    for protocol in [Protocol::Timestamp, Protocol::Sgt, Protocol::None] {
+        let (ok, bad, violation) = classify(protocol, seeds);
+        println!(
+            "{:<10} {:>8} {:>11} {:>16}",
+            protocol.tag(),
+            ok,
+            bad,
+            violation
+        );
+    }
+    println!(
+        "\nGlobal timestamps compose; uncoordinated local schedulers do not — \
+         the checker pinpoints every violation, which is the practical value \
+         of the Comp-C criterion."
+    );
+}

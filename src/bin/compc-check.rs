@@ -1,0 +1,95 @@
+//! `compc-check` — validate and check a composite execution from JSON.
+//!
+//! ```sh
+//! compc-check system.json             # verdict + witness/counterexample
+//! compc-check system.json --trace     # also print the reduction fronts
+//! compc-check system.json --dot       # also print the forest in DOT
+//! compc-check system.json --minimize  # shrink a violation to its core
+//! ```
+//!
+//! Exit codes: 0 = Comp-C, 1 = not Comp-C, 2 = invalid input/model.
+
+use compc::core::{check, Verdict};
+use compc::spec::SystemSpec;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: compc-check <system.json> [--trace] [--dot]");
+        return ExitCode::from(2);
+    };
+    let trace = args.iter().any(|a| a == "--trace");
+    let dot = args.iter().any(|a| a == "--dot");
+    let minimize = args.iter().any(|a| a == "--minimize");
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec: SystemSpec = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let system = match spec.build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid composite system: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "loaded: {} schedules, {} nodes, order N = {}",
+        system.schedule_count(),
+        system.node_count(),
+        system.order()
+    );
+    if dot {
+        println!("{}", system.forest_dot());
+    }
+    match check(&system) {
+        Verdict::Correct(proof) => {
+            println!("verdict: Comp-C (correct)");
+            if trace {
+                for f in &proof.fronts {
+                    let names: Vec<&str> =
+                        f.nodes.iter().map(|&n| system.name(n)).collect();
+                    println!("  level-{} front: [{}]", f.level, names.join(", "));
+                    for (a, b) in &f.observed {
+                        println!("    {} <o {}", system.name(*a), system.name(*b));
+                    }
+                }
+            }
+            let witness: Vec<&str> = proof
+                .serial_witness
+                .iter()
+                .map(|&n| system.name(n))
+                .collect();
+            println!("serial witness: {}", witness.join(" ; "));
+            ExitCode::SUCCESS
+        }
+        Verdict::Incorrect(cex) => {
+            println!("verdict: NOT Comp-C");
+            println!("{cex}");
+            if minimize {
+                if let Some(min) = compc::core::minimize(&system) {
+                    let names: Vec<&str> =
+                        min.roots.iter().map(|&n| system.name(n)).collect();
+                    println!(
+                        "minimal violating transaction set ({} of {}): {}",
+                        min.roots.len(),
+                        system.roots().count(),
+                        names.join(", ")
+                    );
+                }
+            }
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate re-exporting the composite-transactions workspace.
+//!
+//! See the repository README for the architecture overview; the individual
+//! crates carry the definitional documentation:
+//!
+//! * [`model`] — Definitions 1–9 (transactions, schedules, composite systems)
+//! * [`core`] — Definitions 10–20 and Theorem 1 (the Comp-C checker)
+//! * [`configs`] — stacks/forks/joins and SCC/FCC/JCC (Definitions 21–27)
+//! * [`classic`] — CSR/OPSR/LLSR baselines and embeddings
+//! * [`sim`] — the composite-system simulator
+//! * [`workload`] — figures, scenarios and random system generation
+//! * [`spec`] — the JSON system format consumed by `compc-check`
+
+pub mod spec;
+
+pub use compc_classic as classic;
+pub use compc_configs as configs;
+pub use compc_core as core;
+pub use compc_graph as graph;
+pub use compc_model as model;
+pub use compc_sim as sim;
+pub use compc_workload as workload;

@@ -1,0 +1,425 @@
+//! A JSON-friendly description of composite systems.
+//!
+//! [`SystemSpec`] lets executions be written down (or logged by an external
+//! component system) as plain data and fed to the checker without writing
+//! Rust — the `compc-check` CLI consumes exactly this format:
+//!
+//! ```json
+//! {
+//!   "schedules": ["middleware", "db"],
+//!   "nodes": [
+//!     { "name": "T1", "kind": "root", "home": "middleware" },
+//!     { "name": "u1", "kind": "subtx", "parent": "T1", "home": "db" },
+//!     { "name": "r1", "kind": "leaf", "parent": "u1" }
+//!   ],
+//!   "conflicts": [["r1", "r2"]],
+//!   "output_weak": [["r1", "r2"]],
+//!   "auto_propagate": true
+//! }
+//! ```
+//!
+//! Node order matters only in that parents must be declared before their
+//! children. All relations refer to nodes by name.
+
+use compc_model::{CompositeSystem, ModelError, NodeId, SystemBuilder};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One node of the computational forest.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Unique display name.
+    pub name: String,
+    /// `"root"`, `"subtx"` or `"leaf"`.
+    pub kind: String,
+    /// Required for `subtx` and `leaf`: the parent transaction's name.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parent: Option<String>,
+    /// Required for `root` and `subtx`: the home schedule's name.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub home: Option<String>,
+}
+
+/// A whole composite system as declarative data.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SystemSpec {
+    /// Schedule names (components).
+    pub schedules: Vec<String>,
+    /// The forest, parents before children.
+    pub nodes: Vec<NodeSpec>,
+    /// Conflicting operation pairs (per the pair's common schedule).
+    #[serde(default)]
+    pub conflicts: Vec<(String, String)>,
+    /// Weak output-order pairs `a ≺_S b`.
+    #[serde(default)]
+    pub output_weak: Vec<(String, String)>,
+    /// Strong output-order pairs `a ≪_S b`.
+    #[serde(default)]
+    pub output_strong: Vec<(String, String)>,
+    /// Weak input-order pairs `t → t'`.
+    #[serde(default)]
+    pub input_weak: Vec<(String, String)>,
+    /// Strong input-order pairs `t →→ t'`.
+    #[serde(default)]
+    pub input_strong: Vec<(String, String)>,
+    /// Weak intra-transaction order pairs `o ≺_t o'`.
+    #[serde(default)]
+    pub tx_weak: Vec<(String, String)>,
+    /// Strong intra-transaction order pairs `o ≪_t o'`.
+    #[serde(default)]
+    pub tx_strong: Vec<(String, String)>,
+    /// Apply Definition 4.7 automatically after loading (recommended).
+    #[serde(default = "default_true")]
+    pub auto_propagate: bool,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+/// Errors when materializing a [`SystemSpec`].
+#[derive(Debug)]
+pub enum SpecError {
+    /// A name was referenced but never declared.
+    UnknownName(String),
+    /// A name was declared twice.
+    DuplicateName(String),
+    /// A node's kind/parent/home combination is inconsistent.
+    BadNode(String),
+    /// The resulting system violates the model.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownName(n) => write!(f, "unknown name: {n}"),
+            SpecError::DuplicateName(n) => write!(f, "duplicate name: {n}"),
+            SpecError::BadNode(n) => write!(f, "inconsistent node declaration: {n}"),
+            SpecError::Model(e) => write!(f, "model violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ModelError> for SpecError {
+    fn from(e: ModelError) -> Self {
+        SpecError::Model(e)
+    }
+}
+
+impl SystemSpec {
+    /// Builds and validates the composite system this spec describes.
+    pub fn build(&self) -> Result<CompositeSystem, SpecError> {
+        let mut b = SystemBuilder::new();
+        let mut scheds = BTreeMap::new();
+        for name in &self.schedules {
+            if scheds.insert(name.clone(), b.schedule(name.clone())).is_some() {
+                return Err(SpecError::DuplicateName(name.clone()));
+            }
+        }
+        let mut nodes: BTreeMap<String, NodeId> = BTreeMap::new();
+        let mut is_tx: BTreeMap<String, bool> = BTreeMap::new();
+        for n in &self.nodes {
+            // The builder panics (by contract) when a leaf is used as a
+            // parent; the data layer must turn that into a typed error.
+            if let Some(parent) = &n.parent {
+                if is_tx.get(parent).copied() == Some(false) {
+                    return Err(SpecError::BadNode(format!(
+                        "{}: parent {parent} is a leaf",
+                        n.name
+                    )));
+                }
+            }
+            let id = match n.kind.as_str() {
+                "root" => {
+                    let home = n
+                        .home
+                        .as_ref()
+                        .ok_or_else(|| SpecError::BadNode(n.name.clone()))?;
+                    let home = *scheds
+                        .get(home)
+                        .ok_or_else(|| SpecError::UnknownName(home.clone()))?;
+                    b.root(n.name.clone(), home)
+                }
+                "subtx" => {
+                    let parent = self.lookup(&nodes, n.parent.as_deref())?;
+                    let home = n
+                        .home
+                        .as_ref()
+                        .ok_or_else(|| SpecError::BadNode(n.name.clone()))?;
+                    let home = *scheds
+                        .get(home)
+                        .ok_or_else(|| SpecError::UnknownName(home.clone()))?;
+                    b.subtx(n.name.clone(), parent, home)
+                }
+                "leaf" => {
+                    let parent = self.lookup(&nodes, n.parent.as_deref())?;
+                    b.leaf(n.name.clone(), parent)
+                }
+                _ => return Err(SpecError::BadNode(n.name.clone())),
+            };
+            if nodes.insert(n.name.clone(), id).is_some() {
+                return Err(SpecError::DuplicateName(n.name.clone()));
+            }
+            is_tx.insert(n.name.clone(), n.kind != "leaf");
+        }
+        let look = |nodes: &BTreeMap<String, NodeId>, name: &String| {
+            nodes
+                .get(name)
+                .copied()
+                .ok_or_else(|| SpecError::UnknownName(name.clone()))
+        };
+        for (a, c) in &self.conflicts {
+            b.conflict(look(&nodes, a)?, look(&nodes, c)?)?;
+        }
+        for (a, c) in &self.tx_weak {
+            b.tx_weak_order(look(&nodes, a)?, look(&nodes, c)?)?;
+        }
+        for (a, c) in &self.tx_strong {
+            b.tx_strong_order(look(&nodes, a)?, look(&nodes, c)?)?;
+        }
+        for (a, c) in &self.output_weak {
+            b.output_weak(look(&nodes, a)?, look(&nodes, c)?)?;
+        }
+        for (a, c) in &self.output_strong {
+            b.output_strong(look(&nodes, a)?, look(&nodes, c)?)?;
+        }
+        for (a, c) in &self.input_weak {
+            b.input_weak(look(&nodes, a)?, look(&nodes, c)?)?;
+        }
+        for (a, c) in &self.input_strong {
+            b.input_strong(look(&nodes, a)?, look(&nodes, c)?)?;
+        }
+        if self.auto_propagate {
+            b.propagate_orders()?;
+        }
+        Ok(b.build()?)
+    }
+
+    fn lookup(
+        &self,
+        nodes: &BTreeMap<String, NodeId>,
+        name: Option<&str>,
+    ) -> Result<NodeId, SpecError> {
+        let name = name.ok_or_else(|| SpecError::BadNode("missing parent".into()))?;
+        nodes
+            .get(name)
+            .copied()
+            .ok_or_else(|| SpecError::UnknownName(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_core::check;
+
+    fn transfer_spec() -> SystemSpec {
+        serde_json::from_str(
+            r#"{
+                "schedules": ["mw", "db"],
+                "nodes": [
+                    {"name": "T1", "kind": "root", "home": "mw"},
+                    {"name": "T2", "kind": "root", "home": "mw"},
+                    {"name": "u1", "kind": "subtx", "parent": "T1", "home": "db"},
+                    {"name": "u2", "kind": "subtx", "parent": "T2", "home": "db"},
+                    {"name": "w1", "kind": "leaf", "parent": "u1"},
+                    {"name": "w2", "kind": "leaf", "parent": "u2"}
+                ],
+                "conflicts": [["w1", "w2"]],
+                "output_weak": [["w1", "w2"]]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn json_spec_builds_and_checks() {
+        let sys = transfer_spec().build().unwrap();
+        assert_eq!(sys.schedule_count(), 2);
+        assert_eq!(sys.order(), 2);
+        assert!(check(&sys).is_correct());
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let mut spec = transfer_spec();
+        spec.conflicts.push(("w1".into(), "nope".into()));
+        assert!(matches!(spec.build(), Err(SpecError::UnknownName(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut spec = transfer_spec();
+        spec.nodes.push(NodeSpec {
+            name: "T1".into(),
+            kind: "root".into(),
+            parent: None,
+            home: Some("mw".into()),
+        });
+        assert!(matches!(spec.build(), Err(SpecError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut spec = transfer_spec();
+        spec.nodes[0].kind = "banana".into();
+        assert!(matches!(spec.build(), Err(SpecError::BadNode(_))));
+    }
+
+    #[test]
+    fn model_violations_surface() {
+        let mut spec = transfer_spec();
+        // A second conflicting pair left unordered breaks axiom 1c.
+        spec.output_weak.clear();
+        assert!(matches!(spec.build(), Err(SpecError::Model(_))));
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let spec = transfer_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SystemSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}
+
+impl SystemSpec {
+    /// Extracts a spec from an existing system — the reverse of
+    /// [`SystemSpec::build`]. Output orders are emitted as covering pairs
+    /// (the transitive reduction), which rebuild the same closures. If node
+    /// names are not unique, every name is disambiguated with `#<id>`.
+    pub fn from_system(sys: &CompositeSystem) -> SystemSpec {
+        use std::collections::BTreeSet;
+        let names: Vec<String> = {
+            let raw: Vec<&str> = sys.nodes().map(|n| n.name.as_str()).collect();
+            let unique: BTreeSet<&str> = raw.iter().copied().collect();
+            if unique.len() == raw.len() {
+                raw.into_iter().map(str::to_string).collect()
+            } else {
+                sys.nodes()
+                    .map(|n| format!("{}#{}", n.name, n.id.0))
+                    .collect()
+            }
+        };
+        let name = |n: NodeId| names[n.index()].clone();
+        let mut spec = SystemSpec {
+            schedules: sys.schedules().map(|s| s.name.clone()).collect(),
+            auto_propagate: false,
+            ..SystemSpec::default()
+        };
+        for info in sys.nodes() {
+            spec.nodes.push(NodeSpec {
+                name: name(info.id),
+                kind: match (info.parent, info.home) {
+                    (None, _) => "root",
+                    (Some(_), Some(_)) => "subtx",
+                    (Some(_), None) => "leaf",
+                }
+                .into(),
+                parent: info.parent.map(name),
+                home: info
+                    .home
+                    .map(|h| sys.schedule(h).name.clone()),
+            });
+        }
+        let pairs = |rel: &compc_graph::PartialOrderRel| -> Vec<(String, String)> {
+            rel.covering_pairs()
+                .into_iter()
+                .map(|(a, b)| (names[a].clone(), names[b].clone()))
+                .collect()
+        };
+        for s in sys.schedules() {
+            for (a, b) in s.conflicts.iter() {
+                spec.conflicts.push((name(a), name(b)));
+            }
+            spec.output_weak.extend(pairs(s.output.weak()));
+            spec.output_strong.extend(pairs(s.output.strong()));
+            spec.input_weak.extend(pairs(s.input.weak()));
+            spec.input_strong.extend(pairs(s.input.strong()));
+            for t in &s.transactions {
+                spec.tx_weak.extend(pairs(t.intra.weak()));
+                spec.tx_strong.extend(pairs(t.intra.strong()));
+            }
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+    use compc_core::check;
+    use compc_workload::random::{generate, GenParams, Shape};
+
+    #[test]
+    fn system_to_spec_to_system_preserves_verdicts() {
+        for seed in 0..40 {
+            let sys = generate(&GenParams {
+                shape: Shape::General {
+                    levels: 3,
+                    scheds_per_level: 2,
+                },
+                roots: 4,
+                ops_per_tx: (1, 3),
+                conflict_density: 0.5,
+                sequential_tx_prob: 0.7,
+                client_input_prob: 0.3,
+                strong_input_prob: 0.3,
+                sound_abstractions: false,
+                seed,
+            });
+            let spec = SystemSpec::from_system(&sys);
+            let rebuilt = spec.build().unwrap_or_else(|e| {
+                panic!("seed {seed}: extracted spec must rebuild: {e}")
+            });
+            assert_eq!(sys.node_count(), rebuilt.node_count());
+            assert_eq!(sys.schedule_count(), rebuilt.schedule_count());
+            assert_eq!(
+                check(&sys).is_correct(),
+                check(&rebuilt).is_correct(),
+                "seed {seed}: verdicts must survive the spec round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_names_get_disambiguated() {
+        use compc_model::SystemBuilder;
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t1 = b.root("T", s);
+        let t2 = b.root("T", s); // same display name
+        b.leaf("o", t1);
+        b.leaf("o", t2);
+        let sys = b.build().unwrap();
+        let spec = SystemSpec::from_system(&sys);
+        let names: std::collections::BTreeSet<&String> =
+            spec.nodes.iter().map(|n| &n.name).collect();
+        assert_eq!(names.len(), spec.nodes.len());
+        assert!(spec.build().is_ok());
+    }
+}
+
+#[cfg(test)]
+mod hardening_tests {
+    use super::*;
+
+    #[test]
+    fn leaf_as_parent_is_a_typed_error_not_a_panic() {
+        let spec: SystemSpec = serde_json::from_str(
+            r#"{
+                "schedules": ["S"],
+                "nodes": [
+                    {"name": "T", "kind": "root", "home": "S"},
+                    {"name": "o", "kind": "leaf", "parent": "T"},
+                    {"name": "x", "kind": "leaf", "parent": "o"}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.build(), Err(SpecError::BadNode(_))));
+    }
+}

@@ -1,0 +1,142 @@
+//! Confluence of the reduction: Definition 16 processes schedules level by
+//! level, but any *invocation-respecting* order (a schedule after everything
+//! it invokes) must yield the same verdict — otherwise "has a level-N front"
+//! would be ill-defined as a correctness criterion. These tests reduce
+//! random systems one schedule at a time in random valid orders and compare
+//! against the canonical engine.
+
+use compc::core::{check, Reducer};
+use compc::model::{CompositeSystem, SchedId};
+use compc::workload::random::{generate, GenParams, Shape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A random linear order of the schedules in which every schedule appears
+/// after all schedules it invokes (children of the invocation DAG first).
+fn random_reduction_order(sys: &CompositeSystem, seed: u64) -> Vec<SchedId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ig = sys.invocation_graph();
+    let mut remaining: Vec<usize> = (0..sys.schedule_count()).collect();
+    let mut done = vec![false; sys.schedule_count()];
+    let mut order = Vec::new();
+    while !remaining.is_empty() {
+        // Ready = all invoked schedules already reduced.
+        let ready: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&s| ig.successors(s).all(|t| done[t]))
+            .collect();
+        assert!(!ready.is_empty(), "invocation graph is acyclic");
+        let pick = *ready.as_slice().choose(&mut rng).unwrap();
+        done[pick] = true;
+        remaining.retain(|&s| s != pick);
+        order.push(SchedId(pick as u32));
+    }
+    order
+}
+
+/// Runs the reduction one schedule at a time in the given order.
+fn check_schedulewise(sys: &CompositeSystem, order: &[SchedId]) -> bool {
+    let mut red = Reducer::new(sys);
+    if red.front().is_cc().is_some() {
+        return false;
+    }
+    for (i, &sid) in order.iter().enumerate() {
+        if red.step_schedules(&[sid], i + 1).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Any invocation-respecting schedule-at-a-time reduction agrees with
+    /// the canonical level-by-level verdict.
+    #[test]
+    fn reduction_is_confluent(
+        seed in 0u64..100_000,
+        order_seed in 0u64..1_000,
+        density in 0u8..=90,
+    ) {
+        let sys = generate(&GenParams {
+            shape: Shape::General {
+                levels: 3,
+                scheds_per_level: 2,
+            },
+            roots: 4,
+            ops_per_tx: (1, 3),
+            conflict_density: density as f64 / 100.0,
+            sequential_tx_prob: 0.7,
+            client_input_prob: 0.2,
+            strong_input_prob: 0.2,
+            sound_abstractions: false,
+            seed,
+        });
+        let canonical = check(&sys).is_correct();
+        let order = random_reduction_order(&sys, order_seed);
+        let schedulewise = check_schedulewise(&sys, &order);
+        prop_assert_eq!(
+            canonical,
+            schedulewise,
+            "divergent verdicts for order {:?} at seed {}",
+            order,
+            seed
+        );
+    }
+
+    /// Batch steps of random *ready antichains* also agree (a middle ground
+    /// between per-schedule and per-level). A batch may not contain a
+    /// schedule that invokes another schedule of the same batch — exactly
+    /// the property levels have.
+    #[test]
+    fn random_batching_is_confluent(
+        seed in 0u64..100_000,
+        order_seed in 0u64..1_000,
+    ) {
+        let sys = generate(&GenParams {
+            shape: Shape::General {
+                levels: 3,
+                scheds_per_level: 2,
+            },
+            roots: 4,
+            ops_per_tx: (1, 3),
+            conflict_density: 0.5,
+            sequential_tx_prob: 0.7,
+            client_input_prob: 0.0,
+            strong_input_prob: 0.0,
+                sound_abstractions: false,
+            seed,
+        });
+        let canonical = check(&sys).is_correct();
+        let ig = sys.invocation_graph();
+        let mut rng = StdRng::seed_from_u64(order_seed ^ 0xfeed);
+        let mut done = vec![false; sys.schedule_count()];
+        let mut red = Reducer::new(&sys);
+        let mut ok = red.front().is_cc().is_none();
+        let mut label = 0;
+        while ok && done.iter().any(|&d| !d) {
+            let ready: Vec<SchedId> = (0..sys.schedule_count())
+                .filter(|&s| !done[s] && ig.successors(s).all(|t| done[t]))
+                .map(|s| SchedId(s as u32))
+                .collect();
+            prop_assert!(!ready.is_empty());
+            // A random nonempty subset of the ready antichain.
+            let take = rng.gen_range(1..=ready.len());
+            let mut batch = ready;
+            batch.shuffle(&mut rng);
+            batch.truncate(take);
+            for &s in &batch {
+                done[s.index()] = true;
+            }
+            label += 1;
+            if red.step_schedules(&batch, label).is_err() {
+                ok = false;
+            }
+        }
+        prop_assert_eq!(canonical, ok);
+    }
+}

@@ -1,0 +1,200 @@
+//! The paper's §1/§4 comparative claims: on stacks,
+//! `LLSR ⊆ OPSR ⊆ SCC ≡ Comp-C`, with every inclusion strict somewhere;
+//! and on flat systems `CSR ≡ Comp-C` with OPSR strictly inside.
+
+use compc::classic::{is_csr, is_llsr_stack, is_opsr_flat, is_opsr_stack, HistOp, History};
+use compc::configs::is_scc;
+use compc::core::check;
+use compc::model::{CommutativityTable, ItemId, OpSpec};
+use compc::workload::random::{generate, GenParams, Shape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_history(seed: u64, txs: usize, ops: usize, items: u32) -> History {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ops = (0..ops)
+        .map(|_| {
+            let tx = rng.gen_range(0..txs);
+            let item = ItemId(rng.gen_range(0..items));
+            let spec = if rng.gen_bool(0.5) {
+                OpSpec::read(item)
+            } else {
+                OpSpec::write(item)
+            };
+            HistOp { tx, spec }
+        })
+        .collect();
+    History::new(ops, CommutativityTable::read_write())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Flat embedding: classical conflict serializability coincides with
+    /// Comp-C on one-level systems.
+    #[test]
+    fn csr_iff_comp_c_on_flat_histories(
+        seed in 0u64..100_000,
+        txs in 2usize..=4,
+        ops in 2usize..=10,
+    ) {
+        let h = random_history(seed, txs, ops, 3);
+        let sys = h.to_composite().expect("embedding is always valid");
+        prop_assert_eq!(is_csr(&h), check(&sys).is_correct());
+    }
+
+    /// OPSR implies CSR on flat histories (order preservation only shrinks
+    /// the class).
+    #[test]
+    fn opsr_implies_csr_flat(seed in 0u64..100_000, ops in 2usize..=10) {
+        let h = random_history(seed, 3, ops, 3);
+        if is_opsr_flat(&h) {
+            prop_assert!(is_csr(&h));
+        }
+    }
+
+    /// The containment chain on random stacks: every LLSR stack is OPSR,
+    /// every OPSR stack is SCC, and SCC coincides with Comp-C (Theorem 2).
+    #[test]
+    fn chain_on_random_stacks(
+        seed in 0u64..100_000,
+        depth in 2usize..=4,
+        density in 0u8..=90,
+    ) {
+        let sys = generate(&GenParams {
+            shape: Shape::Stack { depth },
+            roots: 4,
+            ops_per_tx: (1, 3),
+            conflict_density: density as f64 / 100.0,
+            sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+            seed,
+        });
+        let llsr = is_llsr_stack(&sys).expect("stack shaped");
+        let opsr = is_opsr_stack(&sys).expect("stack shaped");
+        let scc = is_scc(&sys);
+        let comp_c = check(&sys).is_correct();
+        if llsr {
+            prop_assert!(opsr, "LLSR ⊆ OPSR violated at seed {}", seed);
+        }
+        if opsr {
+            prop_assert!(scc, "OPSR ⊆ SCC violated at seed {}", seed);
+        }
+        prop_assert_eq!(scc, comp_c, "SCC ≡ Comp-C violated at seed {}", seed);
+    }
+}
+
+/// Each inclusion is strict: the separators from the paper's §1 argument
+/// exist as concrete systems.
+#[test]
+fn chain_inclusions_are_strict() {
+    use compc::model::SystemBuilder;
+
+    // OPSR ⊊ SCC: a weak input order satisfied by commutativity while the
+    // execution ran the other way (see compc-classic's layered module docs).
+    let mut b = SystemBuilder::new();
+    let s2 = b.schedule("S2");
+    let s1 = b.schedule("S1");
+    let t1 = b.root("T1", s2);
+    let t2 = b.root("T2", s2);
+    let u1 = b.subtx("u1", t1, s1);
+    let u2 = b.subtx("u2", t2, s1);
+    b.leaf("o1", u1);
+    b.leaf("o2", u2);
+    b.input_weak(t2, t1).unwrap();
+    b.output_weak(u1, u2).unwrap();
+    b.propagate_orders().unwrap();
+    let sys = b.build().unwrap();
+    assert_eq!(is_opsr_stack(&sys), Some(false));
+    assert!(is_scc(&sys));
+    assert!(check(&sys).is_correct());
+
+    // LLSR ⊊ OPSR: a top-level conflict implemented by commuting lower
+    // operations (outside LLSR's conflict-implication model).
+    let mut b = SystemBuilder::new();
+    let s2 = b.schedule("S2");
+    let s1 = b.schedule("S1");
+    let t1 = b.root("T1", s2);
+    let t2 = b.root("T2", s2);
+    let u1 = b.subtx("u1", t1, s1);
+    let u2 = b.subtx("u2", t2, s1);
+    b.leaf("o1", u1);
+    b.leaf("o2", u2);
+    b.conflict(u1, u2).unwrap();
+    b.output_weak(u1, u2).unwrap();
+    b.propagate_orders().unwrap();
+    let sys = b.build().unwrap();
+    assert_eq!(is_llsr_stack(&sys), Some(false));
+    assert_eq!(is_opsr_stack(&sys), Some(true));
+
+    // OPSR ⊊ CSR flat: the textbook order-preservation separator.
+    let h = History::read_write(vec![
+        HistOp::w(0, 0),
+        HistOp::r(1, 0),
+        HistOp::r(2, 1),
+        HistOp::w(0, 1),
+    ]);
+    assert!(is_csr(&h));
+    assert!(!is_opsr_flat(&h));
+}
+
+/// Acceptance rates must be ordered over a contended population — the
+/// quantitative form of the chain (the E9 experiment in miniature).
+#[test]
+fn acceptance_rates_are_monotone() {
+    let mut counts = (0u32, 0u32, 0u32); // (llsr, opsr, scc/compc)
+    let total = 300;
+    for seed in 0..total {
+        let sys = generate(&GenParams {
+            shape: Shape::Stack { depth: 3 },
+            roots: 4,
+            ops_per_tx: (1, 3),
+            conflict_density: 0.5,
+            sequential_tx_prob: 0.7,
+                client_input_prob: 0.0,
+                strong_input_prob: 0.0,
+                sound_abstractions: false,
+            seed,
+        });
+        if is_llsr_stack(&sys).unwrap() {
+            counts.0 += 1;
+        }
+        if is_opsr_stack(&sys).unwrap() {
+            counts.1 += 1;
+        }
+        if is_scc(&sys) {
+            counts.2 += 1;
+        }
+    }
+    assert!(counts.0 <= counts.1);
+    assert!(counts.1 <= counts.2);
+    assert!(counts.2 > 0, "population must contain accepted stacks");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The classical hierarchy on random small histories:
+    /// CSR ⊆ VSR ⊆ FSR.
+    #[test]
+    fn classical_hierarchy_csr_vsr_fsr(
+        seed in 0u64..100_000,
+        txs in 2usize..=4,
+        ops in 2usize..=8,
+    ) {
+        use compc::classic::{is_fsr_bruteforce, is_vsr_bruteforce};
+        let h = random_history(seed, txs, ops, 2);
+        let csr = is_csr(&h);
+        let vsr = is_vsr_bruteforce(&h);
+        let fsr = is_fsr_bruteforce(&h);
+        if csr {
+            prop_assert!(vsr, "CSR ⊆ VSR violated at seed {}", seed);
+        }
+        if vsr {
+            prop_assert!(fsr, "VSR ⊆ FSR violated at seed {}", seed);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Robustness of the JSON spec layer: arbitrary (garbage) specs must never
+//! panic — every failure mode is a typed error.
+
+use compc::spec::{NodeSpec, SystemSpec};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("S".to_string()),
+        Just("missing".to_string()),
+        "[a-z]{1,4}",
+    ]
+}
+
+fn arb_node() -> impl Strategy<Value = NodeSpec> {
+    (
+        arb_name(),
+        prop_oneof![
+            Just("root".to_string()),
+            Just("subtx".to_string()),
+            Just("leaf".to_string()),
+            Just("bogus".to_string()),
+        ],
+        proptest::option::of(arb_name()),
+        proptest::option::of(arb_name()),
+    )
+        .prop_map(|(name, kind, parent, home)| NodeSpec {
+            name,
+            kind,
+            parent,
+            home,
+        })
+}
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((arb_name(), arb_name()), 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `SystemSpec::build` is total: any input yields `Ok` or a typed
+    /// error, never a panic.
+    #[test]
+    fn arbitrary_specs_never_panic(
+        schedules in proptest::collection::vec(arb_name(), 0..4),
+        nodes in proptest::collection::vec(arb_node(), 0..8),
+        conflicts in arb_pairs(),
+        output_weak in arb_pairs(),
+        output_strong in arb_pairs(),
+        input_weak in arb_pairs(),
+        tx_weak in arb_pairs(),
+        auto_propagate in proptest::bool::ANY,
+    ) {
+        let spec = SystemSpec {
+            schedules,
+            nodes,
+            conflicts,
+            output_weak,
+            output_strong,
+            input_weak,
+            input_strong: vec![],
+            tx_weak,
+            tx_strong: vec![],
+            auto_propagate,
+        };
+        // Either outcome is fine; panicking is not.
+        let _ = spec.build();
+        // And serialization round-trips regardless of validity.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SystemSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(spec, back);
+    }
+}
