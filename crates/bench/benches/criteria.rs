@@ -1,12 +1,12 @@
 //! Criterion bench: direct per-configuration criteria vs the general
 //! reduction, and flat-history CSR vs the embedding.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use compc_classic::{is_csr, History, HistOp};
+use compc_classic::{is_csr, HistOp, History};
 use compc_configs::{is_jcc, is_scc};
 use compc_core::check;
 use compc_model::{CommutativityTable, ItemId, OpSpec};
 use compc_workload::random::{generate, GenParams, Shape};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -17,9 +17,9 @@ fn bench_direct_vs_reduction(c: &mut Criterion) {
         ops_per_tx: (1, 3),
         conflict_density: 0.3,
         sequential_tx_prob: 0.7,
-                client_input_prob: 0.0,
-                strong_input_prob: 0.0,
-                sound_abstractions: false,
+        client_input_prob: 0.0,
+        strong_input_prob: 0.0,
+        sound_abstractions: false,
         seed: 21,
     });
     let join = generate(&GenParams {
@@ -28,9 +28,9 @@ fn bench_direct_vs_reduction(c: &mut Criterion) {
         ops_per_tx: (1, 3),
         conflict_density: 0.3,
         sequential_tx_prob: 0.7,
-                client_input_prob: 0.0,
-                strong_input_prob: 0.0,
-                sound_abstractions: false,
+        client_input_prob: 0.0,
+        strong_input_prob: 0.0,
+        sound_abstractions: false,
         seed: 22,
     });
     let mut group = c.benchmark_group("criteria");

@@ -1,10 +1,10 @@
 //! Criterion bench: order-maintenance strategies (DESIGN.md §5.1 ablation)
 //! and the per-step front evolution.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use compc_bench::bench_reduce_steps;
 use compc_graph::{transitive_closure, DiGraph, PartialOrderRel};
 use compc_workload::random::{generate, GenParams, Shape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,9 +66,9 @@ fn bench_front_steps(c: &mut Criterion) {
         ops_per_tx: (1, 3),
         conflict_density: 0.3,
         sequential_tx_prob: 0.7,
-                client_input_prob: 0.0,
-                strong_input_prob: 0.0,
-                sound_abstractions: false,
+        client_input_prob: 0.0,
+        strong_input_prob: 0.0,
+        sound_abstractions: false,
         seed: 11,
     });
     c.bench_function("front-evolution/steps", |b| {

@@ -1,8 +1,8 @@
 //! Criterion bench: cost of the Comp-C reduction (E10's timing companion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use compc_bench::bench_check;
 use compc_workload::random::{generate, GenParams, Shape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_reduction(c: &mut Criterion) {
     let mut group = c.benchmark_group("reduction");
@@ -10,7 +10,10 @@ fn bench_reduction(c: &mut Criterion) {
         (
             "general-small",
             GenParams {
-                shape: Shape::General { levels: 2, scheds_per_level: 2 },
+                shape: Shape::General {
+                    levels: 2,
+                    scheds_per_level: 2,
+                },
                 roots: 4,
                 ops_per_tx: (1, 2),
                 conflict_density: 0.3,
@@ -24,7 +27,10 @@ fn bench_reduction(c: &mut Criterion) {
         (
             "general-medium",
             GenParams {
-                shape: Shape::General { levels: 3, scheds_per_level: 2 },
+                shape: Shape::General {
+                    levels: 3,
+                    scheds_per_level: 2,
+                },
                 roots: 12,
                 ops_per_tx: (1, 3),
                 conflict_density: 0.3,
@@ -38,7 +44,10 @@ fn bench_reduction(c: &mut Criterion) {
         (
             "general-large",
             GenParams {
-                shape: Shape::General { levels: 4, scheds_per_level: 3 },
+                shape: Shape::General {
+                    levels: 4,
+                    scheds_per_level: 3,
+                },
                 roots: 32,
                 ops_per_tx: (1, 3),
                 conflict_density: 0.2,

@@ -1,10 +1,10 @@
 //! Criterion bench: simulator throughput per protocol (E11's timing
 //! companion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use compc_bench::all_protocols;
 use compc_sim::{Engine, SimConfig};
 use compc_workload::scenarios::banking_tpmonitor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_protocols(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
@@ -16,8 +16,7 @@ fn bench_protocols(c: &mut Criterion) {
             |b, &p| {
                 b.iter(|| {
                     let s = banking_tpmonitor(p, 16, 4, 5);
-                    let report =
-                        Engine::new(s.topology, s.templates, SimConfig::default()).run();
+                    let report = Engine::new(s.topology, s.templates, SimConfig::default()).run();
                     std::hint::black_box(report.metrics.committed)
                 })
             },

@@ -12,12 +12,10 @@ fn main() {
     let rows = equivalence_experiment(samples, &[0.2, 0.5, 0.8]);
     println!("{}", equivalence_table(&rows));
     let disagreements: usize = rows.iter().map(|r| r.disagreements).sum();
-    println!(
-        "total disagreements: {disagreements} (Theorems 2-4 predict 0)"
-    );
+    println!("total disagreements: {disagreements} (Theorems 2-4 predict 0)");
     if std::env::args().any(|a| a == "--json") {
         for r in &rows {
-            println!("{}", serde_json::to_string(r).unwrap());
+            println!("{}", r.to_json().to_compact());
         }
     }
     assert_eq!(disagreements, 0);

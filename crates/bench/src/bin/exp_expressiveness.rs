@@ -16,7 +16,7 @@ fn main() {
     println!("how many each earlier framework can even represent (paper §1).");
     if std::env::args().any(|a| a == "--json") {
         for r in &rows {
-            println!("{}", serde_json::to_string(r).unwrap());
+            println!("{}", r.to_json().to_compact());
         }
     }
 }

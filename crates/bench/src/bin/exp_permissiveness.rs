@@ -19,7 +19,12 @@ fn main() {
 
     println!("Ablation: Definition-10 order forgetting on vs off (DESIGN.md §5.3)\n");
     let ab = cc_ablation_experiment(samples.min(200), &[0.1, 0.3, 0.6, 0.9]);
-    let mut t = Table::new(["density", "samples", "with forgetting", "without forgetting"]);
+    let mut t = Table::new([
+        "density",
+        "samples",
+        "with forgetting",
+        "without forgetting",
+    ]);
     for r in &ab {
         t.row([
             format!("{:.1}", r.density),
@@ -33,7 +38,7 @@ fn main() {
     println!("disabling it makes the criterion strictly smaller (Figure 4 flips to incorrect).");
     if std::env::args().any(|a| a == "--json") {
         for r in &rows {
-            println!("{}", serde_json::to_string(r).unwrap());
+            println!("{}", r.to_json().to_compact());
         }
     }
 }

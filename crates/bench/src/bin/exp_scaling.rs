@@ -21,7 +21,7 @@ fn main() {
     println!("{}", scaling_table(&rows));
     if std::env::args().any(|a| a == "--json") {
         for r in &rows {
-            println!("{}", serde_json::to_string(r).unwrap());
+            println!("{}", r.to_json().to_compact());
         }
     }
 }

@@ -12,14 +12,16 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(16);
-    println!("E12: semantic vs read/write lock tables, {clients} clients incrementing one counter\n");
+    println!(
+        "E12: semantic vs read/write lock tables, {clients} clients incrementing one counter\n"
+    );
     let rows = semantics_experiment(runs, clients);
     println!("{}", semantics_table(&rows));
     println!("\nweak orders + commutativity admit the concurrency the paper promises:");
     println!("increments coexist under the semantic table and serialize under read/write.");
     if std::env::args().any(|a| a == "--json") {
         for r in &rows {
-            println!("{}", serde_json::to_string(r).unwrap());
+            println!("{}", r.to_json().to_compact());
         }
     }
 }

@@ -22,7 +22,7 @@ fn main() {
     println!("  none: the chaos baseline the checker flags.");
     if std::env::args().any(|a| a == "--json") {
         for r in &rows {
-            println!("{}", serde_json::to_string(r).unwrap());
+            println!("{}", r.to_json().to_compact());
         }
     }
 }

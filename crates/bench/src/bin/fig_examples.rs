@@ -14,10 +14,7 @@ fn dump_dots(fig: &Figure, tag: &str, dir: &str) {
             let _ = std::fs::write(&path, front.to_dot(&fig.system));
         }
     }
-    let _ = std::fs::write(
-        format!("{dir}/{tag}_forest.dot"),
-        fig.system.forest_dot(),
-    );
+    let _ = std::fs::write(format!("{dir}/{tag}_forest.dot"), fig.system.forest_dot());
 }
 
 fn describe(fig: &Figure, title: &str, expect_correct: bool) {
@@ -56,11 +53,7 @@ fn describe(fig: &Figure, title: &str, expect_correct: bool) {
                     println!("    {} <o {}", sys.name(*a), sys.name(*b));
                 }
             }
-            let witness: Vec<&str> = proof
-                .serial_witness
-                .iter()
-                .map(|&n| sys.name(n))
-                .collect();
+            let witness: Vec<&str> = proof.serial_witness.iter().map(|&n| sys.name(n)).collect();
             println!("  serial witness: {}", witness.join(" ; "));
         }
         compc_core::Verdict::Incorrect(cex) => {
@@ -103,7 +96,13 @@ fn main() {
     // (T1,T3) at the top front.
     let fig2 = figure2();
     let v = check(&fig2.system);
-    let top = v.proof().expect("figure 2 is correct").fronts.last().unwrap().clone();
+    let top = v
+        .proof()
+        .expect("figure 2 is correct")
+        .fronts
+        .last()
+        .unwrap()
+        .clone();
     let t1 = fig2.node("T1");
     assert!(top.observed.contains(&(t1, fig2.node("T2"))));
     assert!(top.observed.contains(&(t1, fig2.node("T3"))));

@@ -3,19 +3,34 @@
 //! Each function computes one experiment's data; the binaries render it.
 
 use crate::table::Table;
-use compc_configs::{is_fcc, is_jcc, is_scc};
 use compc_classic::{is_llsr_stack, is_opsr_stack};
+use compc_configs::{is_fcc, is_jcc, is_scc};
 use compc_core::{check, Reducer};
+use compc_json::{object, Value};
 use compc_model::CompositeSystem;
 use compc_sim::{Engine, LockScope, Protocol, SimConfig, SimReport};
 use compc_workload::random::{generate, GenParams, Shape};
 use compc_workload::scenarios::{
     banking_tpmonitor, enterprise_diamond, federated_travel, inventory_join, Scenario,
 };
-use serde::Serialize;
+
+/// Implements `to_json` for a flat experiment-row struct by listing its
+/// fields; the exp_* binaries print these as NDJSON.
+macro_rules! impl_row_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $ty {
+            /// The row as a JSON object, field order preserved.
+            pub fn to_json(&self) -> Value {
+                object(vec![
+                    $((stringify!($field), Value::from(self.$field.clone()))),+
+                ])
+            }
+        }
+    };
+}
 
 /// Classification of one simulated run by the checker.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunOutcome {
     /// Exported and proven Comp-C.
     CompC,
@@ -45,7 +60,7 @@ pub fn classify(report: &SimReport) -> RunOutcome {
 // ---------------------------------------------------------------------
 
 /// One shape's agreement statistics between a direct criterion and Comp-C.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct EquivalenceRow {
     /// The configuration family.
     pub shape: String,
@@ -131,7 +146,7 @@ pub fn equivalence_table(rows: &[EquivalenceRow]) -> Table {
 // ---------------------------------------------------------------------
 
 /// Acceptance counts of each criterion over one random-stack population.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct PermissivenessRow {
     /// Conflict density of the population.
     pub density: f64,
@@ -169,9 +184,9 @@ pub fn permissiveness_experiment(samples: usize, densities: &[f64]) -> Vec<Permi
                     ops_per_tx: (1, 3),
                     conflict_density: density,
                     sequential_tx_prob: 0.7,
-                client_input_prob: 0.0,
-                strong_input_prob: 0.0,
-                sound_abstractions: false,
+                    client_input_prob: 0.0,
+                    strong_input_prob: 0.0,
+                    sound_abstractions: false,
                     seed: seed.wrapping_mul(104_729) + (density * 1000.0) as u64,
                 });
                 row.llsr += is_llsr_stack(&sys).expect("stack") as usize;
@@ -205,7 +220,7 @@ pub fn permissiveness_table(rows: &[PermissivenessRow]) -> Table {
 // ---------------------------------------------------------------------
 
 /// A scaling measurement point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ScalingRow {
     /// Sweep label (what grew).
     pub label: String,
@@ -280,7 +295,7 @@ pub fn scaling_table(rows: &[ScalingRow]) -> Table {
 // ---------------------------------------------------------------------
 
 /// One protocol × scenario measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SimulatorRow {
     /// Scenario name.
     pub scenario: String,
@@ -407,8 +422,16 @@ pub fn simulator_experiment(runs: usize, clients: usize) -> Vec<SimulatorRow> {
 /// Renders E11.
 pub fn simulator_table(rows: &[SimulatorRow]) -> Table {
     let mut t = Table::new([
-        "scenario", "protocol", "runs", "commit", "aborts", "thrpt", "latency", "Comp-C",
-        "incorrect", "violation",
+        "scenario",
+        "protocol",
+        "runs",
+        "commit",
+        "aborts",
+        "thrpt",
+        "latency",
+        "Comp-C",
+        "incorrect",
+        "violation",
     ]);
     for r in rows {
         t.row([
@@ -432,7 +455,7 @@ pub fn simulator_table(rows: &[SimulatorRow]) -> Table {
 // ---------------------------------------------------------------------
 
 /// Semantic vs read/write table comparison on the same workload.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SemanticsRow {
     /// Which commutativity table the stores used.
     pub table: String,
@@ -531,7 +554,7 @@ pub fn semantics_table(rows: &[SemanticsRow]) -> Table {
 
 /// Acceptance with and without Definition 10's order forgetting
 /// (DESIGN.md §5.3).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationRow {
     /// Conflict density.
     pub density: f64,
@@ -547,7 +570,7 @@ pub struct AblationRow {
 /// schedules' commutativity declarations: the same populations are checked
 /// with the faithful reduction and with forgetting disabled.
 pub fn cc_ablation_experiment(samples: usize, densities: &[f64]) -> Vec<AblationRow> {
-    use compc_core::{check_with, ReduceOptions};
+    use compc_core::Checker;
     densities
         .iter()
         .map(|&density| {
@@ -565,17 +588,11 @@ pub fn cc_ablation_experiment(samples: usize, densities: &[f64]) -> Vec<Ablation
                     sequential_tx_prob: 0.7,
                     client_input_prob: 0.0,
                     strong_input_prob: 0.0,
-                sound_abstractions: false,
+                    sound_abstractions: false,
                     seed: seed.wrapping_mul(613) + 7,
                 });
                 let faithful = check(&sys).is_correct();
-                let strict = check_with(
-                    &sys,
-                    ReduceOptions {
-                        forget_commuting: false,
-                    },
-                )
-                .is_correct();
+                let strict = Checker::new().forgetting(false).check(&sys).is_correct();
                 with_forgetting += faithful as usize;
                 without_forgetting += strict as usize;
                 debug_assert!(!strict || faithful, "no-forgetting must be stricter");
@@ -660,7 +677,7 @@ mod tests {
 // ---------------------------------------------------------------------
 
 /// How much of a random composite population earlier models can describe.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExpressivenessRow {
     /// Population label.
     pub population: String,
@@ -712,7 +729,7 @@ pub fn expressiveness_experiment(samples: usize) -> Vec<ExpressivenessRow> {
                     sequential_tx_prob: 0.7,
                     client_input_prob: 0.0,
                     strong_input_prob: 0.0,
-                sound_abstractions: false,
+                    sound_abstractions: false,
                     seed: seed.wrapping_mul(17) + 3,
                 });
                 row.multilevel += multilevel_expressible(&sys) as usize;
@@ -778,5 +795,80 @@ mod more_tests {
         for r in rows.iter().filter(|r| r.protocol.ends_with("/ww")) {
             assert_eq!(r.comp_c + r.not_comp_c + r.violations, r.runs);
         }
+    }
+}
+
+impl_row_json!(EquivalenceRow {
+    shape,
+    samples,
+    direct_accepts,
+    comp_c_accepts,
+    disagreements
+});
+impl_row_json!(PermissivenessRow {
+    density,
+    samples,
+    llsr,
+    opsr,
+    scc,
+    comp_c
+});
+impl_row_json!(ScalingRow {
+    label,
+    nodes,
+    schedules,
+    mean_us,
+    accept_rate
+});
+impl_row_json!(SimulatorRow {
+    scenario,
+    protocol,
+    runs,
+    committed,
+    aborts,
+    throughput,
+    latency,
+    comp_c,
+    not_comp_c,
+    violations
+});
+impl_row_json!(SemanticsRow {
+    table,
+    throughput,
+    latency,
+    aborts
+});
+impl_row_json!(AblationRow {
+    density,
+    samples,
+    with_forgetting,
+    without_forgetting
+});
+impl_row_json!(ExpressivenessRow {
+    population,
+    samples,
+    multilevel,
+    nested_pairwise,
+    nested_centralized
+});
+
+#[cfg(test)]
+mod json_row_tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_as_json_objects() {
+        let row = EquivalenceRow {
+            shape: "stack/3".into(),
+            samples: 10,
+            direct_accepts: 7,
+            comp_c_accepts: 7,
+            disagreements: 0,
+        };
+        let line = row.to_json().to_compact();
+        assert_eq!(
+            line,
+            r#"{"shape":"stack/3","samples":10,"direct_accepts":7,"comp_c_accepts":7,"disagreements":0}"#
+        );
     }
 }

@@ -1,9 +1,7 @@
 //! Flat (single-level) histories and classical serializability.
 
 use compc_graph::{find_cycle, DiGraph};
-use compc_model::{
-    CommutativityTable, CompositeSystem, ItemId, ModelError, OpSpec, SystemBuilder,
-};
+use compc_model::{CommutativityTable, CompositeSystem, ItemId, ModelError, OpSpec, SystemBuilder};
 
 /// One operation of a flat history: transaction index plus item/mode
 /// semantics.
@@ -270,11 +268,7 @@ mod tests {
 
     #[test]
     fn precedence_graph_requires_full_separation() {
-        let h = History::read_write(vec![
-            HistOp::r(0, 0),
-            HistOp::r(1, 1),
-            HistOp::w(0, 2),
-        ]);
+        let h = History::read_write(vec![HistOp::r(0, 0), HistOp::r(1, 1), HistOp::w(0, 2)]);
         let p = h.precedence_graph();
         // t0 overlaps t1 (r0 … w0 straddles r1): no precedence edge.
         assert!(!p.has_edge(0, 1));

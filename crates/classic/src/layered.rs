@@ -110,8 +110,7 @@ fn subtrees_conflict_at(sys: &CompositeSystem, a: NodeId, b: NodeId, sched: Sche
         .filter(|&n| in_sched(n))
         .collect();
     let cons = &sys.schedule(sched).conflicts;
-    xs.iter()
-        .any(|&x| ys.iter().any(|&y| cons.conflicts(x, y)))
+    xs.iter().any(|&x| ys.iter().any(|&y| cons.conflicts(x, y)))
 }
 
 #[cfg(test)]

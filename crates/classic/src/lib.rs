@@ -50,6 +50,6 @@ mod history;
 pub mod layered;
 pub mod viewser;
 
-pub use history::{is_csr, is_opsr_flat, History, HistOp};
+pub use history::{is_csr, is_opsr_flat, HistOp, History};
 pub use layered::{is_llsr_stack, is_opsr_stack};
 pub use viewser::{is_fsr_bruteforce, is_vsr_bruteforce};

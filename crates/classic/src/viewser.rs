@@ -62,8 +62,7 @@ pub fn view_of(ops: &[HistOp]) -> View {
             *idx += 1;
         }
     }
-    let items: std::collections::BTreeSet<ItemId> =
-        ops.iter().map(|o| o.spec.item).collect();
+    let items: std::collections::BTreeSet<ItemId> = ops.iter().map(|o| o.spec.item).collect();
     View {
         reads_from,
         final_writes: items
@@ -195,7 +194,10 @@ mod tests {
             HistOp::w(2, 1), // w3(y)
         ]);
         assert!(!is_csr(&h));
-        assert!(is_vsr_bruteforce(&h), "equivalent to the serial order T0 T1 T2");
+        assert!(
+            is_vsr_bruteforce(&h),
+            "equivalent to the serial order T0 T1 T2"
+        );
         assert!(is_fsr_bruteforce(&h));
     }
 
@@ -224,11 +226,7 @@ mod tests {
 
     #[test]
     fn view_of_tracks_sources_and_finals() {
-        let h = History::read_write(vec![
-            HistOp::w(0, 0),
-            HistOp::r(1, 0),
-            HistOp::w(1, 0),
-        ]);
+        let h = History::read_write(vec![HistOp::w(0, 0), HistOp::r(1, 0), HistOp::w(1, 0)]);
         let v = view_of(h.ops());
         assert_eq!(v.reads_from[&(1, 0, ItemId(0))], Some((0, 0)));
         assert_eq!(v.final_writes[&ItemId(0)], Some((1, 0)));
@@ -239,7 +237,8 @@ mod tests {
         let a = herbrand_final_state(&[HistOp::r(0, 0), HistOp::w(0, 1)]);
         let b = herbrand_final_state(&[HistOp::w(1, 0), HistOp::r(0, 0), HistOp::w(0, 1)]);
         assert_ne!(
-            a[&ItemId(1)], b[&ItemId(1)],
+            a[&ItemId(1)],
+            b[&ItemId(1)],
             "a write fed by a different read value must differ"
         );
     }

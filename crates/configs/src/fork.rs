@@ -79,7 +79,11 @@ mod tests {
     fn opposing_branches_still_fcc_and_comp_c() {
         let sys = fork(true, false);
         assert_eq!(is_fcc(&sys), Some(true));
-        assert!(check(&sys).is_correct(), "{:?}", check(&sys).counterexample());
+        assert!(
+            check(&sys).is_correct(),
+            "{:?}",
+            check(&sys).counterexample()
+        );
     }
 
     /// A branch that is internally inconsistent (two conflicting pairs

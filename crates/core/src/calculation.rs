@@ -49,9 +49,10 @@ pub fn calculations_exist_bruteforce(
                 }
             }
             // All constraint predecessors must already be placed.
-            let ready = nodes.iter().enumerate().all(|(j, &m)| {
-                placed[j] || !constraint.has_edge(m.index(), n.index())
-            });
+            let ready = nodes
+                .iter()
+                .enumerate()
+                .all(|(j, &m)| placed[j] || !constraint.has_edge(m.index(), n.index()));
             if !ready {
                 continue;
             }
@@ -139,9 +140,12 @@ mod tests {
         let mut g = DiGraph::with_nodes(3);
         g.add_edge(0, 1);
         g.add_edge(1, 2);
-        let groups: BTreeMap<NodeId, NodeId> =
-            [(n(0), n(9)), (n(2), n(9))].into_iter().collect();
-        assert!(!calculations_exist_bruteforce(&[n(0), n(1), n(2)], &g, &groups));
+        let groups: BTreeMap<NodeId, NodeId> = [(n(0), n(9)), (n(2), n(9))].into_iter().collect();
+        assert!(!calculations_exist_bruteforce(
+            &[n(0), n(1), n(2)],
+            &g,
+            &groups
+        ));
     }
 
     #[test]
@@ -150,9 +154,12 @@ mod tests {
         let mut g = DiGraph::with_nodes(3);
         g.add_edge(0, 1);
         g.add_edge(1, 2);
-        let groups: BTreeMap<NodeId, NodeId> =
-            [(n(0), n(9)), (n(1), n(9))].into_iter().collect();
-        assert!(calculations_exist_bruteforce(&[n(0), n(1), n(2)], &g, &groups));
+        let groups: BTreeMap<NodeId, NodeId> = [(n(0), n(9)), (n(1), n(9))].into_iter().collect();
+        assert!(calculations_exist_bruteforce(
+            &[n(0), n(1), n(2)],
+            &g,
+            &groups
+        ));
     }
 
     #[test]
@@ -161,14 +168,10 @@ mod tests {
         let mut g = DiGraph::with_nodes(4);
         g.add_edge(0, 2);
         g.add_edge(3, 1);
-        let groups: BTreeMap<NodeId, NodeId> = [
-            (n(0), n(8)),
-            (n(1), n(8)),
-            (n(2), n(9)),
-            (n(3), n(9)),
-        ]
-        .into_iter()
-        .collect();
+        let groups: BTreeMap<NodeId, NodeId> =
+            [(n(0), n(8)), (n(1), n(8)), (n(2), n(9)), (n(3), n(9))]
+                .into_iter()
+                .collect();
         assert!(!calculations_exist_bruteforce(
             &[n(0), n(1), n(2), n(3)],
             &g,
@@ -181,14 +184,10 @@ mod tests {
         let mut g = DiGraph::with_nodes(4);
         g.add_edge(0, 2);
         g.add_edge(1, 3);
-        let groups: BTreeMap<NodeId, NodeId> = [
-            (n(0), n(8)),
-            (n(1), n(8)),
-            (n(2), n(9)),
-            (n(3), n(9)),
-        ]
-        .into_iter()
-        .collect();
+        let groups: BTreeMap<NodeId, NodeId> =
+            [(n(0), n(8)), (n(1), n(8)), (n(2), n(9)), (n(3), n(9))]
+                .into_iter()
+                .collect();
         assert!(calculations_exist_bruteforce(
             &[n(0), n(1), n(2), n(3)],
             &g,

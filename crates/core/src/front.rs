@@ -1,8 +1,9 @@
 //! Computational fronts (Definition 12) and conflict consistency
 //! (Definition 13).
 
+use crate::par::{self, CheckScratch};
+use compc_graph::{find_cycle, DiGraph};
 use compc_model::{CompositeSystem, NodeId};
-use compc_graph::{find_cycle, transitive_closure, DiGraph};
 use std::collections::BTreeSet;
 
 /// A computational front `F = (O, →, <ₒ, CON)`: a maximal antichain of the
@@ -38,23 +39,40 @@ impl Front {
     /// common schedule are observed in that schedule's weak output order,
     /// conflicting or not.
     pub fn level0(sys: &CompositeSystem) -> Front {
+        Self::level0_jobs(sys, 1, &mut CheckScratch::new())
+    }
+
+    /// [`Front::level0`] with `jobs` workers and reusable buffers: the
+    /// per-schedule output-order extraction runs one schedule per task and
+    /// the closing normalization uses the parallel closure. Identical output
+    /// to the sequential path for every `jobs`.
+    pub fn level0_jobs(sys: &CompositeSystem, jobs: usize, scratch: &mut CheckScratch) -> Front {
         let mut observed = DiGraph::with_nodes(sys.node_count());
         let leaves: BTreeSet<NodeId> = sys.leaves().collect();
-        for s in sys.schedules() {
+        let scheds: Vec<_> = sys.schedules().collect();
+        let per_sched = par::map_indices(scheds.len(), jobs, |i| {
+            let s = scheds[i];
             let ops: Vec<NodeId> = s.ops().filter(|o| leaves.contains(o)).collect();
+            let mut edges: Vec<(usize, usize)> = Vec::new();
             for &a in &ops {
                 for &b in &ops {
                     if a != b && s.output.weak_lt(a, b) {
-                        observed.add_edge(a.index(), b.index());
+                        edges.push((a.index(), b.index()));
                     }
                 }
+            }
+            edges
+        });
+        for edges in per_sched {
+            for (u, v) in edges {
+                observed.add_edge(u, v);
             }
         }
         // Rule 4 (transitivity) is a no-op here — all pairs are
         // intra-schedule and each schedule's output order is already closed —
         // but we normalize anyway so the invariant "observed is closed" holds
         // unconditionally.
-        let observed = transitive_closure(&observed);
+        let observed = par::transitive_closure_jobs(&observed, jobs, scratch);
         Front {
             level: 0,
             nodes: leaves,
@@ -97,17 +115,31 @@ impl Front {
     ///   may declare subtransaction conflicts whose order merely
     ///   *constrains* without ever joining the observed order.
     pub fn constraint_graph(&self, sys: &CompositeSystem) -> DiGraph {
+        self.constraint_graph_jobs(sys, 1)
+    }
+
+    /// [`Front::constraint_graph`] with `jobs` workers: the observed-edge
+    /// conflict filter and the quadratic same-schedule member scan are split
+    /// across scoped threads. Identical output for every `jobs`.
+    pub fn constraint_graph_jobs(&self, sys: &CompositeSystem, jobs: usize) -> DiGraph {
         let mut g = self.input.clone();
         g.ensure_node(sys.node_count().saturating_sub(1));
-        for (u, v) in self.observed.edges() {
+        let observed_edges: Vec<(usize, usize)> = self.observed.edges().collect();
+        let kept = par::map_indices(observed_edges.len(), jobs, |i| {
+            let (u, v) = observed_edges[i];
             let (a, b) = (NodeId(u as u32), NodeId(v as u32));
-            if self.nodes.contains(&a) && self.nodes.contains(&b) && self.gen_con(sys, a, b) {
+            self.nodes.contains(&a) && self.nodes.contains(&b) && self.gen_con(sys, a, b)
+        });
+        for (&(u, v), keep) in observed_edges.iter().zip(kept) {
+            if keep {
                 g.add_edge(u, v);
             }
         }
         // Same-schedule conflicting pairs ordered by the schedule itself.
         let members: Vec<NodeId> = self.nodes.iter().copied().collect();
-        for (i, &a) in members.iter().enumerate() {
+        let per_member = par::map_indices(members.len(), jobs, |i| {
+            let a = members[i];
+            let mut edges: Vec<(usize, usize)> = Vec::new();
             for &b in &members[i + 1..] {
                 let Some(sched) = sys.common_container(a, b) else {
                     continue;
@@ -117,11 +149,17 @@ impl Front {
                     continue;
                 }
                 if s.output.weak_lt(a, b) {
-                    g.add_edge(a.index(), b.index());
+                    edges.push((a.index(), b.index()));
                 }
                 if s.output.weak_lt(b, a) {
-                    g.add_edge(b.index(), a.index());
+                    edges.push((b.index(), a.index()));
                 }
+            }
+            edges
+        });
+        for edges in per_member {
+            for (u, v) in edges {
+                g.add_edge(u, v);
             }
         }
         g
@@ -173,16 +211,23 @@ impl Front {
 
     /// Conflicting (generalized) pairs among front members, normalized.
     pub fn conflict_pairs(&self, sys: &CompositeSystem) -> Vec<(NodeId, NodeId)> {
+        self.conflict_pairs_jobs(sys, 1)
+    }
+
+    /// [`Front::conflict_pairs`] with `jobs` workers over the quadratic scan.
+    pub fn conflict_pairs_jobs(&self, sys: &CompositeSystem, jobs: usize) -> Vec<(NodeId, NodeId)> {
         let nodes: Vec<NodeId> = self.nodes.iter().copied().collect();
-        let mut out = Vec::new();
-        for (i, &a) in nodes.iter().enumerate() {
+        let per_node = par::map_indices(nodes.len(), jobs, |i| {
+            let a = nodes[i];
+            let mut out = Vec::new();
             for &b in &nodes[i + 1..] {
                 if self.gen_con(sys, a, b) {
                     out.push((a, b));
                 }
             }
-        }
-        out
+            out
+        });
+        per_node.into_iter().flatten().collect()
     }
 }
 

@@ -74,12 +74,14 @@
 mod calculation;
 mod front;
 mod minimize;
+mod par;
 mod reduce;
 
 pub use calculation::calculations_exist_bruteforce;
 pub use front::Front;
 pub use minimize::{minimize, MinimalCounterexample};
+pub use par::{effective_jobs, CheckScratch};
 pub use reduce::{
-    check, check_with, Counterexample, FailurePhase, FrontSnapshot, Proof, ReduceOptions,
-    Reducer, Verdict,
+    check, Checker, Counterexample, FailurePhase, FrontSnapshot, Proof, ReduceOptions, Reducer,
+    Verdict,
 };

@@ -34,11 +34,7 @@ pub fn minimize(sys: &CompositeSystem) -> Option<MinimalCounterexample> {
     // Seed with the cycle witness: restricting to the roots of the cycle's
     // nodes often is already minimal, which saves most of the greedy work.
     if let Some(cex) = check(sys).counterexample() {
-        let mut seed: Vec<NodeId> = cex
-            .cycle
-            .iter()
-            .map(|&n| root_of(sys, n))
-            .collect();
+        let mut seed: Vec<NodeId> = cex.cycle.iter().map(|&n| root_of(sys, n)).collect();
         seed.sort_unstable();
         seed.dedup();
         if let Ok(proj) = sys.project_roots(&seed) {

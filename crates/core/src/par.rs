@@ -1,0 +1,179 @@
+//! Scoped-thread parallel helpers for the within-level checks.
+//!
+//! The reduction is strictly sequential *across* levels (level `i` needs the
+//! level-`i-1` front), but inside one level the expensive work — per-source
+//! reachability for the observed order's transitive closure, the `O(n²)`
+//! generalized-conflict scans, and the per-schedule serialization pairs — is
+//! embarrassingly parallel. These helpers split index ranges into contiguous
+//! chunks across `std::thread::scope` workers and reassemble results in
+//! chunk order, so the outcome is bit-identical to the sequential path for
+//! any `jobs` value (the verdict-equivalence property tests pin this down).
+//!
+//! No thread pool is kept alive: scoped threads borrow the graph and scratch
+//! directly, which keeps the engine dependency-free. Thread spawn costs
+//! ~10–50 µs, so small inputs stay on the sequential path.
+
+use compc_graph::{reachable_from_with, DiGraph, ReachScratch, SccScratch};
+
+/// Below this many nodes a transitive closure is not worth spawning threads
+/// for (the closure is `O(V·E)`, the spawn overhead a few tens of µs).
+const CLOSURE_PAR_THRESHOLD: usize = 64;
+
+/// Below this many items a generic index map stays sequential.
+const MAP_PAR_THRESHOLD: usize = 16;
+
+/// Resolves a `jobs` knob: `0` means one worker per available core.
+pub fn effective_jobs(jobs: usize) -> usize {
+    match jobs {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Reusable allocation state for one checking session.
+///
+/// Holds per-worker reachability buffers (epoch-stamped visited sets) and a
+/// Tarjan scratch. A `CheckScratch` kept across systems — as the batch
+/// engine's workers do — makes repeated checks allocation-light: buffers grow
+/// to the largest system seen and are then reused.
+#[derive(Debug, Default)]
+pub struct CheckScratch {
+    pub(crate) reach: Vec<ReachScratch>,
+    /// Exposed for callers that interleave their own SCC passes with checks.
+    pub scc: SccScratch,
+}
+
+impl CheckScratch {
+    /// An empty scratch; buffers are created on first use.
+    pub fn new() -> Self {
+        CheckScratch::default()
+    }
+
+    /// Make sure at least `jobs` per-worker reachability buffers exist.
+    pub(crate) fn ensure_workers(&mut self, jobs: usize) {
+        let want = jobs.max(1);
+        while self.reach.len() < want {
+            self.reach.push(ReachScratch::new());
+        }
+    }
+}
+
+/// Transitive closure with `jobs` workers, reusing `scratch` buffers.
+///
+/// Sources are split into contiguous chunks; each worker computes its rows
+/// with a private [`ReachScratch`], and rows are reassembled in source order.
+/// Deterministic for every `jobs` value.
+pub(crate) fn transitive_closure_jobs(
+    g: &DiGraph,
+    jobs: usize,
+    scratch: &mut CheckScratch,
+) -> DiGraph {
+    let n = g.node_count();
+    let jobs = effective_jobs(jobs).min(n.max(1));
+    scratch.ensure_workers(jobs);
+    if jobs <= 1 || n < CLOSURE_PAR_THRESHOLD {
+        return compc_graph::transitive_closure_with(g, &mut scratch.reach[0]);
+    }
+    let chunk = n.div_ceil(jobs);
+    let mut rows: Vec<Vec<usize>> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = scratch
+            .reach
+            .iter_mut()
+            .take(jobs)
+            .enumerate()
+            .map(|(i, sc)| {
+                let lo = (i * chunk).min(n);
+                let hi = ((i + 1) * chunk).min(n);
+                s.spawn(move || {
+                    (lo..hi)
+                        .map(|u| reachable_from_with(g, u, sc))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            rows.extend(h.join().expect("closure worker panicked"));
+        }
+    });
+    let mut out = DiGraph::with_nodes(n);
+    for (u, row) in rows.iter().enumerate() {
+        for &v in row {
+            out.add_edge(u, v);
+        }
+    }
+    out
+}
+
+/// Maps `0..n` through `f` across `jobs` scoped workers, preserving index
+/// order in the result. Falls back to a plain sequential map for small `n`
+/// or `jobs <= 1`.
+pub(crate) fn map_indices<R, F>(n: usize, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(n.max(1));
+    if jobs <= 1 || n < MAP_PAR_THRESHOLD {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(jobs);
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|i| {
+                let lo = (i * chunk).min(n);
+                let hi = ((i + 1) * chunk).min(n);
+                let f = &f;
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("map worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_jobs_resolves_auto() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn map_indices_preserves_order() {
+        for jobs in [1, 2, 3, 8] {
+            let out = map_indices(100, jobs, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_closure_matches_sequential() {
+        // A graph big enough to cross the threshold, with interesting SCCs.
+        let n = 150;
+        let mut g = DiGraph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(i, (i * 7 + 3) % n);
+            if i % 3 == 0 {
+                g.add_edge(i, (i + 1) % n);
+            }
+        }
+        let seq = compc_graph::transitive_closure(&g);
+        for jobs in [1, 2, 4, 8] {
+            let par = transitive_closure_jobs(&g, jobs, &mut CheckScratch::new());
+            assert_eq!(
+                seq.edges().collect::<Vec<_>>(),
+                par.edges().collect::<Vec<_>>(),
+                "closure must be identical at jobs={jobs}"
+            );
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //! procedure (Definition 20 / Theorem 1).
 
 use crate::front::Front;
-use compc_graph::{condense, find_cycle, topological_sort, transitive_closure, DiGraph};
+use crate::par::{self, CheckScratch};
+use compc_graph::{condense, find_cycle, topological_sort, DiGraph};
 use compc_model::{CompositeSystem, NodeId, Schedule};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -111,7 +112,8 @@ pub fn check(sys: &CompositeSystem) -> Verdict {
     Reducer::new(sys).run()
 }
 
-/// Tuning knobs for the reduction, used by the ablation experiments.
+/// Tuning knobs for the reduction. Build them fluently with [`Checker`];
+/// the struct itself stays public so options can be inspected and stored.
 #[derive(Clone, Copy, Debug)]
 pub struct ReduceOptions {
     /// Definition 10's *forgetting*: a pulled-up pair whose endpoints land
@@ -121,19 +123,89 @@ pub struct ReduceOptions {
     /// quantifying how much permissiveness the schedules' commutativity
     /// knowledge buys.
     pub forget_commuting: bool,
+    /// Worker threads for the within-level checks (closure, conflict scans,
+    /// per-schedule serialization pairs). `1` = fully sequential (the
+    /// default); `0` = one worker per available core. Every value yields an
+    /// identical [`Verdict`] — parallelism only changes wall-clock time.
+    pub jobs: usize,
 }
 
 impl Default for ReduceOptions {
     fn default() -> Self {
         ReduceOptions {
             forget_commuting: true,
+            jobs: 1,
         }
     }
 }
 
-/// [`check`] with explicit [`ReduceOptions`].
-pub fn check_with(sys: &CompositeSystem, options: ReduceOptions) -> Verdict {
-    Reducer::with_options(sys, options).run()
+/// Fluent, reusable configuration for Comp-C checks — the single entry point
+/// for anything beyond the plain [`check`] convenience wrapper.
+///
+/// ```
+/// use compc_core::Checker;
+/// # use compc_model::SystemBuilder;
+/// # let mut b = SystemBuilder::new();
+/// # let s = b.schedule("S");
+/// # let _t = b.root("T", s);
+/// # let sys = b.build().unwrap();
+/// let verdict = Checker::new().forgetting(true).jobs(4).check(&sys);
+/// assert!(verdict.is_correct());
+/// ```
+///
+/// A `Checker` is `Copy` and cheap: it is just validated options. For
+/// high-throughput loops, pair it with a [`CheckScratch`] via
+/// [`Checker::check_reusing`] so graph buffers are reused between systems
+/// (the batch engine does this per worker).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Checker {
+    options: ReduceOptions,
+}
+
+impl Checker {
+    /// A checker with default options (forgetting on, sequential).
+    pub fn new() -> Self {
+        Checker::default()
+    }
+
+    /// Enable/disable Definition 10's commutativity forgetting (default
+    /// `true`; `false` is the conservative ablation).
+    pub fn forgetting(mut self, on: bool) -> Self {
+        self.options.forget_commuting = on;
+        self
+    }
+
+    /// Worker threads for within-level checks: `1` sequential (default),
+    /// `0` one per core, `n` exactly `n`.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.options.jobs = jobs;
+        self
+    }
+
+    /// The options this checker runs with.
+    pub fn options(&self) -> ReduceOptions {
+        self.options
+    }
+
+    /// Decides Comp-C for `sys` (Theorem 1) under this configuration.
+    pub fn check(&self, sys: &CompositeSystem) -> Verdict {
+        self.check_reusing(sys, &mut CheckScratch::new())
+    }
+
+    /// [`Checker::check`] reusing buffers from `scratch` — the hot-loop
+    /// variant for checking many systems on one thread/worker.
+    pub fn check_reusing(&self, sys: &CompositeSystem, scratch: &mut CheckScratch) -> Verdict {
+        let mut reducer = Reducer::with_scratch(sys, self.options, std::mem::take(scratch));
+        let verdict = reducer.run();
+        *scratch = reducer.into_scratch();
+        verdict
+    }
+
+    /// A stepwise [`Reducer`] over `sys` under this configuration, for
+    /// traces and per-level inspection.
+    pub fn reducer<'a>(&self, sys: &'a CompositeSystem) -> Reducer<'a> {
+        Reducer::with_scratch(sys, self.options, CheckScratch::new())
+    }
 }
 
 /// The stepwise reduction engine. Use [`check`] for the one-shot API; the
@@ -142,20 +214,28 @@ pub struct Reducer<'a> {
     sys: &'a CompositeSystem,
     front: Front,
     options: ReduceOptions,
+    scratch: CheckScratch,
 }
 
 impl<'a> Reducer<'a> {
-    /// Starts a reduction at the level-0 front.
+    /// Starts a reduction at the level-0 front with default options.
     pub fn new(sys: &'a CompositeSystem) -> Self {
-        Self::with_options(sys, ReduceOptions::default())
+        Self::with_scratch(sys, ReduceOptions::default(), CheckScratch::new())
     }
 
-    /// Starts a reduction with explicit options.
-    pub fn with_options(sys: &'a CompositeSystem, options: ReduceOptions) -> Self {
+    /// Starts a reduction with explicit options and pre-allocated buffers
+    /// (the [`Checker`] entry points construct reducers through this).
+    pub(crate) fn with_scratch(
+        sys: &'a CompositeSystem,
+        options: ReduceOptions,
+        mut scratch: CheckScratch,
+    ) -> Self {
+        let front = Front::level0_jobs(sys, options.jobs, &mut scratch);
         Reducer {
             sys,
-            front: Front::level0(sys),
+            front,
             options,
+            scratch,
         }
     }
 
@@ -164,19 +244,25 @@ impl<'a> Reducer<'a> {
         &self.front
     }
 
+    /// Recovers the reusable buffers (for scratch-pooling callers).
+    pub fn into_scratch(self) -> CheckScratch {
+        self.scratch
+    }
+
     /// A snapshot of the current front.
     pub fn snapshot(&self) -> FrontSnapshot {
         FrontSnapshot {
             level: self.front.level,
             nodes: self.front.nodes.iter().copied().collect(),
             observed: self.front.observed_pairs(),
-            conflicts: self.front.conflict_pairs(self.sys),
+            conflicts: self.front.conflict_pairs_jobs(self.sys, self.options.jobs),
             input: self.front.input_pairs(),
         }
     }
 
-    /// Runs the reduction to completion.
-    pub fn run(mut self) -> Verdict {
+    /// Runs the reduction to completion. Idempotent only from a fresh
+    /// reducer: a completed run leaves the front at the final level.
+    pub fn run(&mut self) -> Verdict {
         let mut fronts = vec![self.snapshot()];
         // Front 0 is CC by construction (per-schedule partial orders), but we
         // check anyway so the invariant is uniform across levels.
@@ -209,11 +295,8 @@ impl<'a> Reducer<'a> {
     /// current front by the level-`level` front or failing with a
     /// counterexample.
     pub fn step(&mut self, level: usize) -> Result<(), Counterexample> {
-        let scheds: Vec<compc_model::SchedId> = self
-            .sys
-            .schedules_at_level(level)
-            .map(|s| s.id)
-            .collect();
+        let scheds: Vec<compc_model::SchedId> =
+            self.sys.schedules_at_level(level).map(|s| s.id).collect();
         self.step_schedules(&scheds, level)
     }
 
@@ -251,7 +334,7 @@ impl<'a> Reducer<'a> {
         // graph, contracted by transaction grouping, is acyclic. Under the
         // no-forgetting ablation every observed pair constrains.
         let constraint = if self.options.forget_commuting {
-            self.front.constraint_graph(sys)
+            self.front.constraint_graph_jobs(sys, self.options.jobs)
         } else {
             let mut g = self.front.input.clone();
             g.ensure_node(sys.node_count().saturating_sub(1));
@@ -259,11 +342,7 @@ impl<'a> Reducer<'a> {
             g
         };
         let node_to_comp: Vec<usize> = (0..sys.node_count())
-            .map(|i| {
-                replaced
-                    .get(&NodeId(i as u32))
-                    .map_or(i, |t| t.index())
-            })
+            .map(|i| replaced.get(&NodeId(i as u32)).map_or(i, |t| t.index()))
             .collect();
         let contracted = condense(&constraint, &node_to_comp, sys.node_count());
         if let Some(cycle) = find_cycle(&contracted) {
@@ -312,8 +391,12 @@ impl<'a> Reducer<'a> {
         // Rule 2 for the schedules being reduced: conflicting operation
         // pairs executed `o ≺_S o'` serialize their parents. This also
         // covers conflicting internal pairs whose subtrees never interacted.
-        for s in scheds.iter().map(|&sid| sys.schedule(sid)) {
-            for (t, t2) in s.serialization_pairs() {
+        // Each schedule's quadratic pair scan is an independent task.
+        let per_sched = par::map_indices(scheds.len(), self.options.jobs, |i| {
+            sys.schedule(scheds[i]).serialization_pairs()
+        });
+        for pairs in per_sched {
+            for (t, t2) in pairs {
                 observed.add_edge(t.index(), t2.index());
             }
         }
@@ -324,7 +407,8 @@ impl<'a> Reducer<'a> {
             self.entry_pairs(t, &new_nodes, &mut observed);
         }
         // Rule 4: transitive closure.
-        let observed = transitive_closure(&observed);
+        let observed =
+            par::transitive_closure_jobs(&observed, self.options.jobs, &mut self.scratch);
 
         // --- Step 6: add the level's input orders and check CC.
         let mut input = self.front.input.clone();
@@ -385,8 +469,8 @@ impl<'a> Reducer<'a> {
         let mut g = self.front.input.clone();
         g.union_with(&self.front.observed);
         g.ensure_node(self.sys.node_count().saturating_sub(1));
-        let order = topological_sort(&g)
-            .expect("a conflict-consistent front's order union is acyclic");
+        let order =
+            topological_sort(&g).expect("a conflict-consistent front's order union is acyclic");
         order
             .into_iter()
             .map(|i| NodeId(i as u32))
@@ -756,12 +840,7 @@ mod ablation_tests {
         b.output_weak(x22, x12).unwrap();
         let sys = b.build().unwrap();
         assert!(check(&sys).is_correct());
-        let strict = check_with(
-            &sys,
-            ReduceOptions {
-                forget_commuting: false,
-            },
-        );
+        let strict = Checker::new().forgetting(false).check(&sys);
         assert!(
             !strict.is_correct(),
             "without forgetting the opposing pulled-up orders must cycle"
@@ -794,13 +873,7 @@ mod ablation_tests {
             }
             let sys = b.build().unwrap();
             let default = check(&sys).is_correct();
-            let strict = check_with(
-                &sys,
-                ReduceOptions {
-                    forget_commuting: false,
-                },
-            )
-            .is_correct();
+            let strict = Checker::new().forgetting(false).check(&sys).is_correct();
             if strict {
                 assert!(default, "strict acceptance must imply default acceptance");
             }
@@ -836,11 +909,7 @@ impl FrontSnapshot {
                 "  n{} -> n{}{};",
                 a.0,
                 b.0,
-                if hot {
-                    " [color=red, penwidth=2]"
-                } else {
-                    ""
-                }
+                if hot { " [color=red, penwidth=2]" } else { "" }
             )
             .unwrap();
         }

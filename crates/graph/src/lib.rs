@@ -19,9 +19,10 @@ mod dot;
 mod order;
 
 pub use algo::{
-    condense, find_cycle, has_path, longest_path_lengths, reachable_from,
-    strongly_connected_components, topological_sort, transitive_closure, transitive_reduction,
-    CycleInfo, TopoError,
+    condense, find_cycle, has_path, longest_path_lengths, reachable_from, reachable_from_with,
+    strongly_connected_components, strongly_connected_components_with, topological_sort,
+    transitive_closure, transitive_closure_with, transitive_reduction, CycleInfo, ReachScratch,
+    SccScratch, TopoError,
 };
 pub use digraph::DiGraph;
 pub use dot::dot_string;

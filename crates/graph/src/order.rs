@@ -65,7 +65,9 @@ impl PartialOrderRel {
     }
 
     /// Builds an order from pairs, failing on the first violation.
-    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(pairs: I) -> Result<Self, OrderError> {
+    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(
+        pairs: I,
+    ) -> Result<Self, OrderError> {
         let mut rel = PartialOrderRel::new();
         for (a, b) in pairs {
             rel.insert(a, b)?;
@@ -173,7 +175,8 @@ impl PartialOrderRel {
         let mut out = PartialOrderRel::new();
         for (a, b) in self.pairs() {
             if set.contains(&a) && set.contains(&b) {
-                out.insert(a, b).expect("restriction of a valid order stays valid");
+                out.insert(a, b)
+                    .expect("restriction of a valid order stays valid");
             }
         }
         out

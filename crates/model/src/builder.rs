@@ -267,11 +267,7 @@ impl SystemBuilder {
         let cb = self.info(b)?.container;
         match (ca, cb) {
             (Some(x), Some(y)) if x == y => Ok(x),
-            (Some(x), _) | (_, Some(x)) => Err(ModelError::PairOutsideSchedule {
-                sched: x,
-                a,
-                b,
-            }),
+            (Some(x), _) | (_, Some(x)) => Err(ModelError::PairOutsideSchedule { sched: x, a, b }),
             _ => Err(ModelError::UnknownNode(a)),
         }
     }
@@ -281,11 +277,9 @@ impl SystemBuilder {
         let hb = self.info(b)?.home;
         match (ha, hb) {
             (Some(x), Some(y)) if x == y => Ok(x),
-            (Some(x), _) | (_, Some(x)) => Err(ModelError::InputPairOutsideSchedule {
-                sched: x,
-                a,
-                b,
-            }),
+            (Some(x), _) | (_, Some(x)) => {
+                Err(ModelError::InputPairOutsideSchedule { sched: x, a, b })
+            }
             _ => Err(ModelError::UnknownNode(a)),
         }
     }

@@ -206,9 +206,18 @@ impl std::fmt::Display for ModelError {
                  {a} ≪ {b} (Def. 3 axiom 3)"
             ),
             ModelError::RecursiveInvocation { cycle } => {
-                write!(f, "recursive invocation between schedules {cycle:?} (Def. 4.6)")
+                write!(
+                    f,
+                    "recursive invocation between schedules {cycle:?} (Def. 4.6)"
+                )
             }
-            ModelError::OrderNotPropagated { from, to, a, b, kind } => write!(
+            ModelError::OrderNotPropagated {
+                from,
+                to,
+                a,
+                b,
+                kind,
+            } => write!(
                 f,
                 "{from}: output {kind:?} order {a} before {b} not passed to {to} \
                  as an input order (Def. 4.7)"

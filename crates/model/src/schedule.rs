@@ -166,13 +166,7 @@ impl Schedule {
         Ok(())
     }
 
-    fn check_axiom1(
-        &self,
-        t: NodeId,
-        t2: NodeId,
-        o: NodeId,
-        o2: NodeId,
-    ) -> Result<(), ModelError> {
+    fn check_axiom1(&self, t: NodeId, t2: NodeId, o: NodeId, o2: NodeId) -> Result<(), ModelError> {
         if self.input.weak_lt(t, t2) {
             if !self.output.weak_lt(o, o2) {
                 return Err(ModelError::InputOrderNotHonored {

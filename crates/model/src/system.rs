@@ -71,10 +71,7 @@ impl CompositeSystem {
     /// Assembles a system from raw parts and validates it.
     ///
     /// `nodes` must be dense in id order; `schedules` dense in id order.
-    pub fn assemble(
-        nodes: Vec<NodeInfo>,
-        schedules: Vec<Schedule>,
-    ) -> Result<Self, ModelError> {
+    pub fn assemble(nodes: Vec<NodeInfo>, schedules: Vec<Schedule>) -> Result<Self, ModelError> {
         let mut children = vec![Vec::new(); nodes.len()];
         for s in &schedules {
             for t in &s.transactions {
@@ -221,7 +218,10 @@ impl CompositeSystem {
 
     /// Whether two nodes are operations of a common schedule, and which.
     pub fn common_container(&self, a: NodeId, b: NodeId) -> Option<SchedId> {
-        match (self.nodes[a.index()].container, self.nodes[b.index()].container) {
+        match (
+            self.nodes[a.index()].container,
+            self.nodes[b.index()].container,
+        ) {
             (Some(x), Some(y)) if x == y => Some(x),
             _ => None,
         }
@@ -243,7 +243,10 @@ impl CompositeSystem {
                 cycle: cycle.nodes.into_iter().map(|i| SchedId(i as u32)).collect(),
             });
         }
-        Ok(longest_path_lengths(&ig).into_iter().map(|l| l + 1).collect())
+        Ok(longest_path_lengths(&ig)
+            .into_iter()
+            .map(|l| l + 1)
+            .collect())
     }
 
     /// Validates Definitions 3 and 4 over the whole system.
@@ -439,24 +442,21 @@ impl CompositeSystem {
             nodes.push(NodeInfo {
                 id: NodeId(new_idx as u32),
                 name: info.name.clone(),
-                parent: info.parent,     // remapped below
+                parent: info.parent, // remapped below
                 home: info.home,
                 container: info.container,
                 spec: info.spec,
             });
         }
         for n in &mut nodes {
-            n.parent = n.parent.map(|p| remap[p.index()].expect("parents are kept"));
+            n.parent = n
+                .parent
+                .map(|p| remap[p.index()].expect("parents are kept"));
         }
         let remap_pairs = |rel: &compc_graph::PartialOrderRel| {
             rel.restricted_to(&keep_idx)
                 .pairs()
-                .map(|(a, b)| {
-                    (
-                        remap[a].expect("kept"),
-                        remap[b].expect("kept"),
-                    )
-                })
+                .map(|(a, b)| (remap[a].expect("kept"), remap[b].expect("kept")))
                 .collect::<Vec<_>>()
         };
         let schedules = self
@@ -499,7 +499,9 @@ impl CompositeSystem {
                     out.output.add_weak(a, b).expect("restriction stays valid");
                 }
                 for (a, b) in remap_pairs(s.output.strong()) {
-                    out.output.add_strong(a, b).expect("restriction stays valid");
+                    out.output
+                        .add_strong(a, b)
+                        .expect("restriction stays valid");
                 }
                 out
             })
@@ -548,10 +550,7 @@ mod projection_tests {
         assert_eq!(proj.node_count(), 4);
         assert_eq!(proj.order(), 2);
         // The intra order survived the renumbering.
-        let bot_sched = proj
-            .schedules()
-            .find(|s| s.name == "bot")
-            .unwrap();
+        let bot_sched = proj.schedules().find(|s| s.name == "bot").unwrap();
         let tx = &bot_sched.transactions[0];
         assert_eq!(tx.ops.len(), 2);
         assert!(tx.intra.weak_lt(tx.ops[0], tx.ops[1]));

@@ -2,8 +2,8 @@
 //! node roles, forest navigation and semantics edge cases.
 
 use compc_model::{
-    AccessMode, CommutativityTable, CompositeSystem, ItemId, ModelError, NodeId, OpSpec,
-    OrderKind, SchedId, SystemBuilder,
+    AccessMode, CommutativityTable, CompositeSystem, ItemId, ModelError, NodeId, OpSpec, OrderKind,
+    SchedId, SystemBuilder,
 };
 
 fn tiny() -> (CompositeSystem, NodeId, NodeId, NodeId) {

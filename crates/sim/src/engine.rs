@@ -425,7 +425,11 @@ impl Engine {
     fn finish_op(&self, st: &mut RunState, tx: u32) {
         let s = &st.txs[tx as usize];
         let Step::Op {
-            comp, spec, spawns, node, ..
+            comp,
+            spec,
+            spawns,
+            node,
+            ..
         } = s.program.steps[s.pc].clone()
         else {
             return;
@@ -752,10 +756,7 @@ mod tests {
     fn timestamp_ordering_commits_or_retries() {
         let report = run(
             Protocol::Timestamp,
-            vec![
-                tmpl("a", vec![w(0), w(1)]),
-                tmpl("b", vec![w(1), w(0)]),
-            ],
+            vec![tmpl("a", vec![w(0), w(1)]), tmpl("b", vec![w(1), w(0)])],
         );
         assert_eq!(report.metrics.committed, 2);
     }
@@ -764,10 +765,7 @@ mod tests {
     fn chaos_protocol_never_blocks_or_aborts() {
         let report = run(
             Protocol::None,
-            vec![
-                tmpl("a", vec![w(0), w(1)]),
-                tmpl("b", vec![w(1), w(0)]),
-            ],
+            vec![tmpl("a", vec![w(0), w(1)]), tmpl("b", vec![w(1), w(0)])],
         );
         assert_eq!(report.metrics.committed, 2);
         assert_eq!(report.metrics.aborts, 0);
@@ -814,10 +812,7 @@ mod tests {
             Protocol::TwoPhase {
                 scope: LockScope::Composite,
             },
-            vec![
-                tmpl("a", vec![w(0), w(1)]),
-                tmpl("b", vec![w(1), w(0)]),
-            ],
+            vec![tmpl("a", vec![w(0), w(1)]), tmpl("b", vec![w(1), w(0)])],
         );
         assert_eq!(report.metrics.committed, 2);
         // Depending on arrival spacing a deadlock may or may not form; the
@@ -836,10 +831,7 @@ mod tests {
             flat_topology(Protocol::TwoPhase {
                 scope: LockScope::Composite,
             }),
-            vec![
-                tmpl("a", vec![w(0), w(1)]),
-                tmpl("b", vec![w(1), w(0)]),
-            ],
+            vec![tmpl("a", vec![w(0), w(1)]), tmpl("b", vec![w(1), w(0)])],
             config,
         )
         .run();
@@ -896,10 +888,7 @@ mod tests {
         // bound: every committed writer wrote *something*.
         let report = run(
             Protocol::Timestamp,
-            vec![
-                tmpl("a", vec![w(0), w(1)]),
-                tmpl("b", vec![w(0), w(1)]),
-            ],
+            vec![tmpl("a", vec![w(0), w(1)]), tmpl("b", vec![w(0), w(1)])],
         );
         assert_eq!(report.metrics.committed, 2);
         assert!(report.stores[0].contains_key(&ItemId(0)));

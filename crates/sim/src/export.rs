@@ -61,13 +61,7 @@ impl SimReport {
         for &tx in order {
             let template = &self.templates[tx as usize];
             let mut counter = 0usize;
-            replay_nodes(
-                &template.body,
-                template.home,
-                tx,
-                &mut counter,
-                &mut stores,
-            );
+            replay_nodes(&template.body, template.home, tx, &mut counter, &mut stores);
         }
         fn replay_nodes(
             nodes: &[TxNode],
@@ -137,7 +131,15 @@ impl SimReport {
                 scheds[template.home.index()],
             );
             let mut counter = 0usize;
-            build_tree(&mut b, &scheds, &template.body, root, tx, &mut counter, &mut node_map);
+            build_tree(
+                &mut b,
+                &scheds,
+                &template.body,
+                root,
+                tx,
+                &mut counter,
+                &mut node_map,
+            );
         }
         // Output orders, conflicts and intra-transaction orders from the
         // per-component grant logs.

@@ -70,9 +70,11 @@ mod locks;
 mod protocol;
 mod template;
 mod topology;
+mod verify;
 
 pub use engine::{Engine, SimConfig, SimMetrics, SimReport};
 pub use export::ExportError;
 pub use protocol::{DeadlockPolicy, LockScope, Protocol};
 pub use template::{Program, Step, TxNode, TxTemplate};
 pub use topology::{CompId, Component, Topology};
+pub use verify::{RunVerdict, Verifier, VerifyReport};

@@ -199,7 +199,12 @@ mod tests {
         // call op, child data op, child commit, root commit
         assert_eq!(p.steps.len(), 4);
         match &p.steps[0] {
-            Step::Op { subtx, comp, spawns, .. } => {
+            Step::Op {
+                subtx,
+                comp,
+                spawns,
+                ..
+            } => {
                 assert_eq!(*subtx, 0);
                 assert_eq!(*comp, CompId(0));
                 assert_eq!(*spawns, Some(1));
@@ -225,7 +230,11 @@ mod tests {
             body: vec![TxNode::call(
                 CompId(1),
                 spec(9),
-                vec![TxNode::call(CompId(2), spec(8), vec![TxNode::data(spec(0))])],
+                vec![TxNode::call(
+                    CompId(2),
+                    spec(8),
+                    vec![TxNode::data(spec(0))],
+                )],
             )],
         };
         let p = t.compile();

@@ -52,7 +52,12 @@ impl Topology {
     }
 
     /// Adds a component and returns its id.
-    pub fn add(&mut self, name: impl Into<String>, protocol: Protocol, table: CommutativityTable) -> CompId {
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        protocol: Protocol,
+        table: CommutativityTable,
+    ) -> CompId {
         let id = CompId(self.components.len() as u32);
         self.components.push(Component {
             name: name.into(),

@@ -1,0 +1,179 @@
+//! Batch verification of simulator runs.
+//!
+//! A sweep produces many [`SimReport`]s; verifying them is embarrassingly
+//! parallel. [`Verifier`] exports each committed execution to a
+//! [`compc_model::CompositeSystem`] and pushes the exports through the
+//! [`compc_engine::Batch`] worker pool, so scratch buffers are reused across
+//! runs and the sweep scales with cores. Runs whose executions violate
+//! Definition 3/4 (a component ignored an obligation) are flagged *before*
+//! reduction as model violations, exactly like the sequential path.
+
+use crate::engine::SimReport;
+use crate::export::ExportError;
+use compc_engine::{Batch, BatchItem, BatchStats};
+
+/// The verification outcome of one simulated run.
+#[derive(Debug)]
+pub enum RunVerdict {
+    /// The execution exported cleanly and was checked.
+    Checked(compc_core::Verdict),
+    /// The committed execution violates the model (Definition 3/4).
+    ModelViolation(ExportError),
+}
+
+impl RunVerdict {
+    /// Whether the run was proven Comp-C.
+    pub fn is_comp_c(&self) -> bool {
+        matches!(self, RunVerdict::Checked(v) if v.is_correct())
+    }
+}
+
+/// Batch verification results, in input order.
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// One verdict per input report.
+    pub runs: Vec<RunVerdict>,
+    /// Runs proven Comp-C.
+    pub comp_c: usize,
+    /// Runs with a reduction counterexample.
+    pub not_comp_c: usize,
+    /// Runs that violated the model before reduction.
+    pub violations: usize,
+    /// Pool statistics for the checked (exported) runs.
+    pub stats: BatchStats,
+}
+
+/// A configured batch verifier for simulator sweeps.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Verifier {
+    batch: Batch,
+}
+
+impl Verifier {
+    /// A verifier with default settings (auto workers, sequential jobs).
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// Worker threads distributing runs: `0` auto, `1` sequential.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.batch = self.batch.workers(workers);
+        self
+    }
+
+    /// Within-system `jobs` for each check.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.batch = self.batch.jobs(jobs);
+        self
+    }
+
+    /// Verifies every report: export, batch-check, classify. Order and
+    /// verdicts are identical to verifying each run alone.
+    pub fn verify<'r>(&self, reports: impl IntoIterator<Item = &'r SimReport>) -> VerifyReport {
+        let mut runs: Vec<Option<RunVerdict>> = Vec::new();
+        let mut items: Vec<BatchItem> = Vec::new();
+        let mut checked_slots: Vec<usize> = Vec::new();
+        for (idx, report) in reports.into_iter().enumerate() {
+            match report.export_system() {
+                Ok(sys) => {
+                    items.push(BatchItem::new(format!("run-{idx}"), sys));
+                    checked_slots.push(idx);
+                    runs.push(None);
+                }
+                Err(e) => runs.push(Some(RunVerdict::ModelViolation(e))),
+            }
+        }
+        let batch_report = self.batch.check_all(items);
+        let stats = batch_report.stats;
+        for (outcome, idx) in batch_report.outcomes.into_iter().zip(checked_slots) {
+            runs[idx] = Some(RunVerdict::Checked(outcome.verdict));
+        }
+        let runs: Vec<RunVerdict> = runs
+            .into_iter()
+            .map(|r| r.expect("every run classified"))
+            .collect();
+        let comp_c = runs.iter().filter(|r| r.is_comp_c()).count();
+        let violations = runs
+            .iter()
+            .filter(|r| matches!(r, RunVerdict::ModelViolation(_)))
+            .count();
+        VerifyReport {
+            not_comp_c: runs.len() - comp_c - violations,
+            comp_c,
+            violations,
+            runs,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, LockScope, Protocol, SimConfig, Topology, TxNode, TxTemplate};
+    use compc_model::{CommutativityTable, ItemId, OpSpec};
+
+    fn run_once(protocol: Protocol, seed: u64, clients: usize) -> SimReport {
+        let mut topo = Topology::new();
+        let db = topo.add("db", protocol, CommutativityTable::read_write());
+        let templates: Vec<TxTemplate> = (0..clients)
+            .map(|i| TxTemplate {
+                name: format!("w{i}"),
+                home: db,
+                body: vec![
+                    TxNode::data(OpSpec::read(ItemId(0))),
+                    TxNode::data(OpSpec::write(ItemId(0))),
+                ],
+            })
+            .collect();
+        Engine::new(
+            topo,
+            templates,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+    }
+
+    #[test]
+    fn locked_runs_all_verify_comp_c() {
+        let reports: Vec<SimReport> = (0..6)
+            .map(|seed| {
+                run_once(
+                    Protocol::TwoPhase {
+                        scope: LockScope::Composite,
+                    },
+                    seed,
+                    4,
+                )
+            })
+            .collect();
+        let report = Verifier::new().workers(2).verify(&reports);
+        assert_eq!(report.runs.len(), 6);
+        assert_eq!(report.comp_c, 6, "2PL runs must be Comp-C");
+        assert_eq!(report.not_comp_c + report.violations, 0);
+        assert_eq!(report.stats.systems, 6);
+    }
+
+    #[test]
+    fn parallel_verification_matches_sequential() {
+        let reports: Vec<SimReport> = (0..8)
+            .map(|seed| run_once(Protocol::None, seed, 5))
+            .collect();
+        let seq = Verifier::new().workers(1).verify(&reports);
+        let par = Verifier::new().workers(4).jobs(2).verify(&reports);
+        assert_eq!(seq.runs.len(), par.runs.len());
+        for (a, b) in seq.runs.iter().zip(par.runs.iter()) {
+            assert_eq!(
+                std::mem::discriminant(a),
+                std::mem::discriminant(b),
+                "classification must not depend on worker count"
+            );
+            assert_eq!(a.is_comp_c(), b.is_comp_c());
+        }
+        assert_eq!(seq.comp_c, par.comp_c);
+        assert_eq!(seq.violations, par.violations);
+    }
+}

@@ -202,7 +202,9 @@ impl<'a> Gen<'a> {
             Shape::General {
                 levels,
                 scheds_per_level,
-            } => (0..levels.max(1)).map(|_| mk_layer(scheds_per_level)).collect(),
+            } => (0..levels.max(1))
+                .map(|_| mk_layer(scheds_per_level))
+                .collect(),
             Shape::Stack { depth } => (0..depth.max(1)).map(|_| mk_layer(1)).collect(),
             Shape::Fork { branches } => vec![mk_layer(branches), mk_layer(1)],
             // A join never gets more branches than roots: an unpopulated
@@ -237,9 +239,7 @@ impl<'a> Gen<'a> {
             // is populated (an empty branch would not register in the
             // invocation graph and the shape would degenerate).
             let home = match self.params.shape {
-                Shape::Join { .. } => {
-                    self.layers[home_layer][r % self.layers[home_layer].len()]
-                }
+                Shape::Join { .. } => self.layers[home_layer][r % self.layers[home_layer].len()],
                 _ => *self.layers[home_layer]
                     .as_slice()
                     .choose(&mut self.rng)
@@ -340,7 +340,9 @@ impl<'a> Gen<'a> {
     /// and the enumeration below already visits every such pair.
     fn close_conflicts_upward(&mut self) {
         let container = |nodes: &[GNode], n: usize| -> Option<usize> {
-            nodes[n].parent.map(|p| nodes[p].home.expect("parents are transactions"))
+            nodes[n]
+                .parent
+                .map(|p| nodes[p].home.expect("parents are transactions"))
         };
         let ancestors = |nodes: &[GNode], mut n: usize| -> Vec<usize> {
             let mut out = vec![n];
@@ -361,10 +363,9 @@ impl<'a> Gen<'a> {
                     if p == q {
                         continue;
                     }
-                    let (Some(cp), Some(cq)) = (
-                        container(&self.nodes, p),
-                        container(&self.nodes, q),
-                    ) else {
+                    let (Some(cp), Some(cq)) =
+                        (container(&self.nodes, p), container(&self.nodes, q))
+                    else {
                         continue;
                     };
                     if cp != cq || self.nodes[p].parent == self.nodes[q].parent {
@@ -500,8 +501,7 @@ impl<'a> Gen<'a> {
         // weak orders between non-conflicting operations "disappear", and
         // over-declaring them would propagate phantom obligations downwards
         // (Definition 4.7) and reject semantically innocent executions.
-        let pos: BTreeMap<usize, usize> =
-            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        let pos: BTreeMap<usize, usize> = order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
         let mut decl = DiGraph::with_nodes(ops.len());
         for &t in &self.sched_txs[s] {
             if self.nodes[t].sequential {
@@ -549,14 +549,8 @@ impl<'a> Gen<'a> {
             }
         }
         self.linearizations[s] = order;
-        self.declared[s] = decl
-            .edges()
-            .map(|(u, v)| (ops[u], ops[v]))
-            .collect();
-        self.declared_strong[s] = decl_strong
-            .edges()
-            .map(|(u, v)| (ops[u], ops[v]))
-            .collect();
+        self.declared[s] = decl.edges().map(|(u, v)| (ops[u], ops[v])).collect();
+        self.declared_strong[s] = decl_strong.edges().map(|(u, v)| (ops[u], ops[v])).collect();
     }
 
     /// Emits the generated data through [`SystemBuilder`].
@@ -617,7 +611,8 @@ impl<'a> Gen<'a> {
         }
         // Definition 4.7.
         b.propagate_orders().expect("propagation of a total order");
-        b.build().expect("generated systems are valid by construction")
+        b.build()
+            .expect("generated systems are valid by construction")
     }
 }
 

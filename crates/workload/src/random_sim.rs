@@ -198,7 +198,10 @@ mod tests {
                 },
             );
             assert!(report.metrics.committed + report.metrics.failed == params.clients as u64);
-            assert!(report.metrics.committed > 0, "seed {seed}: nothing committed");
+            assert!(
+                report.metrics.committed > 0,
+                "seed {seed}: nothing committed"
+            );
         }
     }
 
@@ -276,8 +279,7 @@ mod tests {
                 ..SimGenParams::default()
             };
             let run_with = |table: compc_model::CommutativityTable| {
-                let (topo, templates) =
-                    generate_sim_with_table(&base, Protocol::Timestamp, table);
+                let (topo, templates) = generate_sim_with_table(&base, Protocol::Timestamp, table);
                 Engine::new(
                     topo,
                     templates,

@@ -330,7 +330,13 @@ pub fn heterogeneous_diamond(
     seed: u64,
 ) -> Scenario {
     let mut topo = Topology::new();
-    let shared = |yes: bool| if yes && strong_at_shared { strong } else { weak };
+    let shared = |yes: bool| {
+        if yes && strong_at_shared {
+            strong
+        } else {
+            weak
+        }
+    };
     let app_a = topo.add("app-a", weak, CommutativityTable::read_write());
     let app_b = topo.add("app-b", weak, CommutativityTable::read_write());
     let pricing = topo.add("pricing", shared(true), CommutativityTable::read_write());

@@ -45,7 +45,9 @@ fn main() {
         report.stores[1].values().collect::<Vec<_>>()
     );
 
-    let sys = report.export_system().expect("obedient protocols export cleanly");
+    let sys = report
+        .export_system()
+        .expect("obedient protocols export cleanly");
     let shape = fork_shape(&sys).expect("the booking workload is a fork");
     println!(
         "\nexported composite schedule: fork with top {} and {} branches",

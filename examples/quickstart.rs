@@ -10,7 +10,7 @@
 //! one consistent direction, so the composite execution is correct, and the
 //! checker produces a serial witness.
 
-use compc::core::{check, Verdict};
+use compc::core::{Checker, Verdict};
 use compc::model::SystemBuilder;
 
 fn main() {
@@ -57,7 +57,11 @@ fn main() {
         system.order()
     );
 
-    match check(&system) {
+    // `Checker` is the configurable entry point: `forgetting` toggles the
+    // Definition-10 ablation and `jobs` parallelizes the within-level
+    // checks (plain `compc::check(&system)` is the shorthand for the
+    // defaults).
+    match Checker::new().jobs(0).check(&system) {
         Verdict::Correct(proof) => {
             println!("verdict: Comp-C (correct)");
             println!("reduction trace:");

@@ -18,7 +18,7 @@
 //!   serializability does not compose in general configurations.
 
 use compc::core::check;
-use compc::sim::{Engine, Protocol, SimConfig};
+use compc::sim::{Engine, Protocol, SimConfig, SimReport, Verifier};
 use compc::workload::scenarios::enterprise_diamond;
 
 /// Shows the counterexample minimizer on one flagged chaos run: the
@@ -54,31 +54,27 @@ fn demo_minimization() {
     println!("(no incorrect SGT run found to minimize in 50 seeds)\n");
 }
 
-fn classify(protocol: Protocol, seeds: u64) -> (u32, u32, u32) {
-    let (mut ok, mut bad, mut violation) = (0, 0, 0);
-    for seed in 0..seeds {
-        let scenario = enterprise_diamond(protocol, 10, 3, seed);
-        let report = Engine::new(
-            scenario.topology,
-            scenario.templates,
-            SimConfig {
-                seed,
-                ..SimConfig::default()
-            },
-        )
-        .run();
-        match report.export_system() {
-            Err(_) => violation += 1,
-            Ok(sys) => {
-                if check(&sys).is_correct() {
-                    ok += 1;
-                } else {
-                    bad += 1;
-                }
-            }
-        }
-    }
-    (ok, bad, violation)
+/// Simulates `seeds` runs, then verifies them all at once on the batch
+/// engine (`workers = 0` → one worker per core): exports and checks run
+/// concurrently with scratch reuse, and the verdicts are identical to
+/// checking each run alone.
+fn classify(protocol: Protocol, seeds: u64) -> (usize, usize, usize) {
+    let reports: Vec<SimReport> = (0..seeds)
+        .map(|seed| {
+            let scenario = enterprise_diamond(protocol, 10, 3, seed);
+            Engine::new(
+                scenario.topology,
+                scenario.templates,
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            )
+            .run()
+        })
+        .collect();
+    let verified = Verifier::new().workers(0).verify(&reports);
+    (verified.comp_c, verified.not_comp_c, verified.violations)
 }
 
 fn main() {

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 gate + lint gate. Run from the workspace root.
+#
+#   scripts/ci.sh          # everything (tier-1, clippy, fmt)
+#   scripts/ci.sh tier1    # just the build + test gate
+#   scripts/ci.sh lint     # just clippy + rustfmt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+
+tier1() {
+    echo "==> tier-1: cargo build --release"
+    cargo build --release
+    echo "==> tier-1: cargo test -q"
+    cargo test -q
+}
+
+lint() {
+    echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> lint: cargo fmt --check"
+    cargo fmt --check
+}
+
+case "$stage" in
+    tier1) tier1 ;;
+    lint) lint ;;
+    all)
+        tier1
+        lint
+        ;;
+    *)
+        echo "usage: scripts/ci.sh [tier1|lint|all]" >&2
+        exit 2
+        ;;
+esac
+
+echo "==> ci: OK"

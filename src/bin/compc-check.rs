@@ -1,28 +1,102 @@
-//! `compc-check` — validate and check a composite execution from JSON.
+//! `compc-check` — validate and check composite executions from JSON.
+//!
+//! Single-system mode:
 //!
 //! ```sh
 //! compc-check system.json             # verdict + witness/counterexample
 //! compc-check system.json --trace     # also print the reduction fronts
 //! compc-check system.json --dot       # also print the forest in DOT
 //! compc-check system.json --minimize  # shrink a violation to its core
+//! compc-check system.json --jobs 8    # parallelize the within-level checks
 //! ```
 //!
-//! Exit codes: 0 = Comp-C, 1 = not Comp-C, 2 = invalid input/model.
+//! Batch mode — a directory of `*.json` specs, an NDJSON file (one spec per
+//! line, `.ndjson`/`.jsonl`), or several paths at once. Systems are checked
+//! concurrently on a worker pool and an aggregate throughput line closes the
+//! report:
+//!
+//! ```sh
+//! compc-check specs/ --jobs 8
+//! compc-check corpus.ndjson --jobs 0    # 0 = one worker per core
+//! compc-check a.json b.json c.json
+//! ```
+//!
+//! Exit codes: 0 = all Comp-C, 1 = some system not Comp-C, 2 = invalid
+//! input/model (takes precedence).
 
-use compc::core::{check, Verdict};
+use compc::core::{Checker, Verdict};
+use compc::engine::{Batch, BatchItem};
 use compc::spec::SystemSpec;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: compc-check <system.json> [--trace] [--dot]");
+    let mut paths: Vec<String> = Vec::new();
+    let mut jobs: usize = 1;
+    let mut trace = false;
+    let mut dot = false;
+    let mut minimize = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => trace = true,
+            "--dot" => dot = true,
+            "--minimize" => minimize = true,
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--jobs needs a number (0 = one per core)");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    if paths.is_empty() {
+        eprintln!(
+            "usage: compc-check <system.json | dir | corpus.ndjson>... \
+             [--jobs N] [--trace] [--dot] [--minimize]"
+        );
         return ExitCode::from(2);
-    };
-    let trace = args.iter().any(|a| a == "--trace");
-    let dot = args.iter().any(|a| a == "--dot");
-    let minimize = args.iter().any(|a| a == "--minimize");
+    }
 
+    let single = paths.len() == 1 && {
+        let p = Path::new(&paths[0]);
+        p.is_file() && !is_ndjson(p)
+    };
+    if single {
+        check_single(&paths[0], jobs, trace, dot, minimize)
+    } else {
+        check_batch(&paths, jobs)
+    }
+}
+
+fn is_ndjson(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("ndjson") | Some("jsonl")
+    )
+}
+
+fn load_spec(text: &str) -> Result<compc::model::CompositeSystem, String> {
+    let spec = SystemSpec::parse(text).map_err(|e| e.to_string())?;
+    spec.build().map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Single-system mode
+// ---------------------------------------------------------------------
+
+fn check_single(path: &str, jobs: usize, trace: bool, dot: bool, minimize: bool) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -30,17 +104,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let spec: SystemSpec = match serde_json::from_str(&text) {
+    let system = match load_spec(&text) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("invalid JSON: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let system = match spec.build() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("invalid composite system: {e}");
+            eprintln!("{path}: {e}");
             return ExitCode::from(2);
         }
     };
@@ -53,13 +120,12 @@ fn main() -> ExitCode {
     if dot {
         println!("{}", system.forest_dot());
     }
-    match check(&system) {
+    match Checker::new().jobs(jobs).check(&system) {
         Verdict::Correct(proof) => {
             println!("verdict: Comp-C (correct)");
             if trace {
                 for f in &proof.fronts {
-                    let names: Vec<&str> =
-                        f.nodes.iter().map(|&n| system.name(n)).collect();
+                    let names: Vec<&str> = f.nodes.iter().map(|&n| system.name(n)).collect();
                     println!("  level-{} front: [{}]", f.level, names.join(", "));
                     for (a, b) in &f.observed {
                         println!("    {} <o {}", system.name(*a), system.name(*b));
@@ -79,8 +145,7 @@ fn main() -> ExitCode {
             println!("{cex}");
             if minimize {
                 if let Some(min) = compc::core::minimize(&system) {
-                    let names: Vec<&str> =
-                        min.roots.iter().map(|&n| system.name(n)).collect();
+                    let names: Vec<&str> = min.roots.iter().map(|&n| system.name(n)).collect();
                     println!(
                         "minimal violating transaction set ({} of {}): {}",
                         min.roots.len(),
@@ -92,4 +157,92 @@ fn main() -> ExitCode {
             ExitCode::from(1)
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Batch mode
+// ---------------------------------------------------------------------
+
+fn check_batch(paths: &[String], jobs: usize) -> ExitCode {
+    let mut items: Vec<BatchItem> = Vec::new();
+    let mut invalid = 0usize;
+    for path in paths {
+        if let Err(e) = collect_items(Path::new(path), &mut items, &mut invalid) {
+            eprintln!("{path}: {e}");
+            invalid += 1;
+        }
+    }
+    if items.is_empty() {
+        eprintln!("no checkable systems found");
+        return ExitCode::from(2);
+    }
+
+    let report = Batch::new().workers(jobs).check_all(items);
+    for o in &report.outcomes {
+        match &o.verdict {
+            Verdict::Correct(_) => println!("{}: Comp-C", o.label),
+            Verdict::Incorrect(cex) => println!("{}: NOT Comp-C — {cex}", o.label),
+        }
+    }
+    println!("{}", report.stats);
+
+    if invalid > 0 {
+        eprintln!("{invalid} input(s) were invalid");
+        ExitCode::from(2)
+    } else if report.stats.incorrect > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Expands one path into batch items: directories contribute their `*.json`
+/// files (sorted), NDJSON files one item per non-empty line, plain files one
+/// item. Invalid specs are reported and counted, not fatal.
+fn collect_items(
+    path: &Path,
+    items: &mut Vec<BatchItem>,
+    invalid: &mut usize,
+) -> Result<(), String> {
+    if path.is_dir() {
+        let mut files: Vec<_> = std::fs::read_dir(path)
+            .map_err(|e| e.to_string())?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+            .collect();
+        files.sort();
+        for file in files {
+            if let Err(e) = collect_items(&file, items, invalid) {
+                eprintln!("{}: {e}", file.display());
+                *invalid += 1;
+            }
+        }
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let label_base = path.display().to_string();
+    if is_ndjson(path) {
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let label = format!("{label_base}:{}", lineno + 1);
+            match load_spec(line) {
+                Ok(sys) => items.push(BatchItem::new(label, sys)),
+                Err(e) => {
+                    eprintln!("{label}: {e}");
+                    *invalid += 1;
+                }
+            }
+        }
+    } else {
+        match load_spec(&text) {
+            Ok(sys) => items.push(BatchItem::new(label_base, sys)),
+            Err(e) => {
+                eprintln!("{label_base}: {e}");
+                *invalid += 1;
+            }
+        }
+    }
+    Ok(())
 }

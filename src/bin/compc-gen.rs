@@ -40,5 +40,5 @@ fn main() {
     };
     let sys = generate(&params);
     let spec = SystemSpec::from_system(&sys);
-    println!("{}", serde_json::to_string_pretty(&spec).unwrap());
+    println!("{}", spec.to_json().to_pretty());
 }

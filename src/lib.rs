@@ -5,18 +5,25 @@
 //!
 //! * [`model`] — Definitions 1–9 (transactions, schedules, composite systems)
 //! * [`core`] — Definitions 10–20 and Theorem 1 (the Comp-C checker)
+//! * [`engine`] — the parallel batch-checking engine (worker pools, stats)
 //! * [`configs`] — stacks/forks/joins and SCC/FCC/JCC (Definitions 21–27)
 //! * [`classic`] — CSR/OPSR/LLSR baselines and embeddings
 //! * [`sim`] — the composite-system simulator
 //! * [`workload`] — figures, scenarios and random system generation
-//! * [`spec`] — the JSON system format consumed by `compc-check`
+//! * [`spec`] — the versioned JSON system format consumed by `compc-check`
+//! * [`json`] — the dependency-free JSON value/parser the spec format uses
 
 pub mod spec;
 
 pub use compc_classic as classic;
 pub use compc_configs as configs;
 pub use compc_core as core;
+pub use compc_engine as engine;
 pub use compc_graph as graph;
+pub use compc_json as json;
 pub use compc_model as model;
 pub use compc_sim as sim;
 pub use compc_workload as workload;
+
+pub use compc_core::{check, Checker, Verdict};
+pub use compc_engine::{Batch, BatchItem, BatchReport};

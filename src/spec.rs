@@ -6,6 +6,7 @@
 //!
 //! ```json
 //! {
+//!   "version": 1,
 //!   "schedules": ["middleware", "db"],
 //!   "nodes": [
 //!     { "name": "T1", "kind": "root", "home": "middleware" },
@@ -18,271 +19,467 @@
 //! }
 //! ```
 //!
-//! Node order matters only in that parents must be declared before their
-//! children. All relations refer to nodes by name.
+//! The `"version"` field is optional (it defaults to the current version,
+//! [`SPEC_VERSION`]) but is rejected when it names a version this build does
+//! not understand — forward-incompatible documents fail loudly instead of
+//! being misread. Node order matters only in that parents must be declared
+//! before their children. All relations refer to nodes by name, and every
+//! load error names the offending node or relation entry.
 
+use compc_json::Value;
 use compc_model::{CompositeSystem, ModelError, NodeId, SystemBuilder};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// The spec format version this build reads and writes.
+pub const SPEC_VERSION: u64 = 1;
+
 /// One node of the computational forest.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeSpec {
     /// Unique display name.
     pub name: String,
     /// `"root"`, `"subtx"` or `"leaf"`.
     pub kind: String,
     /// Required for `subtx` and `leaf`: the parent transaction's name.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub parent: Option<String>,
     /// Required for `root` and `subtx`: the home schedule's name.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub home: Option<String>,
 }
 
 /// A whole composite system as declarative data.
-#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SystemSpec {
+    /// Format version (see [`SPEC_VERSION`]).
+    pub version: u64,
     /// Schedule names (components).
     pub schedules: Vec<String>,
     /// The forest, parents before children.
     pub nodes: Vec<NodeSpec>,
     /// Conflicting operation pairs (per the pair's common schedule).
-    #[serde(default)]
     pub conflicts: Vec<(String, String)>,
     /// Weak output-order pairs `a ≺_S b`.
-    #[serde(default)]
     pub output_weak: Vec<(String, String)>,
     /// Strong output-order pairs `a ≪_S b`.
-    #[serde(default)]
     pub output_strong: Vec<(String, String)>,
     /// Weak input-order pairs `t → t'`.
-    #[serde(default)]
     pub input_weak: Vec<(String, String)>,
     /// Strong input-order pairs `t →→ t'`.
-    #[serde(default)]
     pub input_strong: Vec<(String, String)>,
     /// Weak intra-transaction order pairs `o ≺_t o'`.
-    #[serde(default)]
     pub tx_weak: Vec<(String, String)>,
     /// Strong intra-transaction order pairs `o ≪_t o'`.
-    #[serde(default)]
     pub tx_strong: Vec<(String, String)>,
     /// Apply Definition 4.7 automatically after loading (recommended).
-    #[serde(default = "default_true")]
     pub auto_propagate: bool,
 }
 
-fn default_true() -> bool {
-    true
+impl Default for SystemSpec {
+    fn default() -> Self {
+        SystemSpec {
+            version: SPEC_VERSION,
+            schedules: Vec::new(),
+            nodes: Vec::new(),
+            conflicts: Vec::new(),
+            output_weak: Vec::new(),
+            output_strong: Vec::new(),
+            input_weak: Vec::new(),
+            input_strong: Vec::new(),
+            tx_weak: Vec::new(),
+            tx_strong: Vec::new(),
+            auto_propagate: true,
+        }
+    }
 }
 
-/// Errors when materializing a [`SystemSpec`].
+/// Errors when reading or materializing a [`SystemSpec`].
 #[derive(Debug)]
 pub enum SpecError {
-    /// A name was referenced but never declared.
-    UnknownName(String),
+    /// The document is not valid JSON, or a field has the wrong shape. The
+    /// message names the offending position or field.
+    Parse(String),
+    /// The document declares a format version this build does not know.
+    UnsupportedVersion(u64),
+    /// A name was referenced but never declared; `context` names the
+    /// relation entry or node field that referenced it.
+    UnknownName {
+        /// The undeclared name.
+        name: String,
+        /// Where it was referenced, e.g. `conflicts[2]` or `nodes[0].home`.
+        context: String,
+    },
     /// A name was declared twice.
     DuplicateName(String),
-    /// A node's kind/parent/home combination is inconsistent.
+    /// A node's kind/parent/home combination is inconsistent; the message
+    /// names the node.
     BadNode(String),
-    /// The resulting system violates the model.
-    Model(ModelError),
+    /// The resulting system violates the model; `context` names the
+    /// relation entry that triggered the violation.
+    Model {
+        /// The relation entry, e.g. `output_weak[3] [w1, w2]`, or
+        /// `propagate_orders` / `build` for whole-system violations.
+        context: String,
+        /// The underlying model error.
+        source: ModelError,
+    },
 }
 
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpecError::UnknownName(n) => write!(f, "unknown name: {n}"),
+            SpecError::Parse(msg) => write!(f, "spec parse error: {msg}"),
+            SpecError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported spec version {v} (this build reads version {SPEC_VERSION})"
+            ),
+            SpecError::UnknownName { name, context } => {
+                write!(f, "unknown name \"{name}\" in {context}")
+            }
             SpecError::DuplicateName(n) => write!(f, "duplicate name: {n}"),
             SpecError::BadNode(n) => write!(f, "inconsistent node declaration: {n}"),
-            SpecError::Model(e) => write!(f, "model violation: {e}"),
+            SpecError::Model { context, source } => {
+                write!(f, "model violation at {context}: {source}")
+            }
         }
     }
 }
 
 impl std::error::Error for SpecError {}
 
-impl From<ModelError> for SpecError {
-    fn from(e: ModelError) -> Self {
-        SpecError::Model(e)
+// ---------------------------------------------------------------------------
+// JSON reading
+// ---------------------------------------------------------------------------
+
+fn parse_err(msg: impl Into<String>) -> SpecError {
+    SpecError::Parse(msg.into())
+}
+
+fn expect_string(v: &Value, ctx: &str) -> Result<String, SpecError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| parse_err(format!("{ctx}: expected a string, got {}", v.type_name())))
+}
+
+fn expect_string_list(v: &Value, ctx: &str) -> Result<Vec<String>, SpecError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| parse_err(format!("{ctx}: expected an array, got {}", v.type_name())))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| expect_string(item, &format!("{ctx}[{i}]")))
+        .collect()
+}
+
+fn expect_pair_list(v: &Value, ctx: &str) -> Result<Vec<(String, String)>, SpecError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| parse_err(format!("{ctx}: expected an array, got {}", v.type_name())))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let pair = item
+                .as_array()
+                .ok_or_else(|| parse_err(format!("{ctx}[{i}]: expected a [from, to] pair")))?;
+            if pair.len() != 2 {
+                return Err(parse_err(format!(
+                    "{ctx}[{i}]: expected exactly 2 names, got {}",
+                    pair.len()
+                )));
+            }
+            Ok((
+                expect_string(&pair[0], &format!("{ctx}[{i}][0]"))?,
+                expect_string(&pair[1], &format!("{ctx}[{i}][1]"))?,
+            ))
+        })
+        .collect()
+}
+
+fn node_from_json(v: &Value, idx: usize) -> Result<NodeSpec, SpecError> {
+    let ctx = format!("nodes[{idx}]");
+    let entries = v
+        .as_object()
+        .ok_or_else(|| parse_err(format!("{ctx}: expected an object, got {}", v.type_name())))?;
+    let mut name = None;
+    let mut kind = None;
+    let mut parent = None;
+    let mut home = None;
+    for (key, val) in entries {
+        match key.as_str() {
+            "name" => name = Some(expect_string(val, &format!("{ctx}.name"))?),
+            "kind" => kind = Some(expect_string(val, &format!("{ctx}.kind"))?),
+            "parent" => parent = Some(expect_string(val, &format!("{ctx}.parent"))?),
+            "home" => home = Some(expect_string(val, &format!("{ctx}.home"))?),
+            other => {
+                return Err(parse_err(format!("{ctx}: unknown field \"{other}\"")));
+            }
+        }
+    }
+    let name = name.ok_or_else(|| parse_err(format!("{ctx}: missing \"name\"")))?;
+    let kind = kind.ok_or_else(|| parse_err(format!("{ctx} (\"{name}\"): missing \"kind\"")))?;
+    Ok(NodeSpec {
+        name,
+        kind,
+        parent,
+        home,
+    })
+}
+
+impl SystemSpec {
+    /// Reads a spec from JSON text. Errors carry source positions (for
+    /// malformed JSON) or the offending field/entry (for shape problems).
+    pub fn parse(input: &str) -> Result<SystemSpec, SpecError> {
+        let value = compc_json::parse(input).map_err(|e| SpecError::Parse(e.to_string()))?;
+        Self::from_json(&value)
+    }
+
+    /// Reads a spec from an already-parsed JSON value.
+    pub fn from_json(value: &Value) -> Result<SystemSpec, SpecError> {
+        let entries = value.as_object().ok_or_else(|| {
+            parse_err(format!(
+                "top level: expected an object, got {}",
+                value.type_name()
+            ))
+        })?;
+        let mut spec = SystemSpec {
+            auto_propagate: true,
+            ..SystemSpec::default()
+        };
+        for (key, val) in entries {
+            match key.as_str() {
+                "version" => {
+                    let v = val
+                        .as_u64()
+                        .ok_or_else(|| parse_err("version: expected a non-negative integer"))?;
+                    if v != SPEC_VERSION {
+                        return Err(SpecError::UnsupportedVersion(v));
+                    }
+                    spec.version = v;
+                }
+                "schedules" => spec.schedules = expect_string_list(val, "schedules")?,
+                "nodes" => {
+                    let items = val.as_array().ok_or_else(|| {
+                        parse_err(format!("nodes: expected an array, got {}", val.type_name()))
+                    })?;
+                    spec.nodes = items
+                        .iter()
+                        .enumerate()
+                        .map(|(i, item)| node_from_json(item, i))
+                        .collect::<Result<_, _>>()?;
+                }
+                "conflicts" => spec.conflicts = expect_pair_list(val, "conflicts")?,
+                "output_weak" => spec.output_weak = expect_pair_list(val, "output_weak")?,
+                "output_strong" => spec.output_strong = expect_pair_list(val, "output_strong")?,
+                "input_weak" => spec.input_weak = expect_pair_list(val, "input_weak")?,
+                "input_strong" => spec.input_strong = expect_pair_list(val, "input_strong")?,
+                "tx_weak" => spec.tx_weak = expect_pair_list(val, "tx_weak")?,
+                "tx_strong" => spec.tx_strong = expect_pair_list(val, "tx_strong")?,
+                "auto_propagate" => {
+                    spec.auto_propagate = val
+                        .as_bool()
+                        .ok_or_else(|| parse_err("auto_propagate: expected a boolean"))?;
+                }
+                other => {
+                    return Err(parse_err(format!("top level: unknown field \"{other}\"")));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Renders the spec as a JSON value (always stamped with the current
+    /// [`SPEC_VERSION`]).
+    pub fn to_json(&self) -> Value {
+        let pairs = |rel: &[(String, String)]| -> Value {
+            Value::Array(
+                rel.iter()
+                    .map(|(a, b)| {
+                        Value::Array(vec![Value::from(a.as_str()), Value::from(b.as_str())])
+                    })
+                    .collect(),
+            )
+        };
+        let mut entries: Vec<(String, Value)> = vec![
+            ("version".into(), Value::from(SPEC_VERSION)),
+            (
+                "schedules".into(),
+                Value::Array(
+                    self.schedules
+                        .iter()
+                        .map(|s| Value::from(s.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "nodes".into(),
+                Value::Array(
+                    self.nodes
+                        .iter()
+                        .map(|n| {
+                            let mut e: Vec<(String, Value)> = vec![
+                                ("name".into(), Value::from(n.name.as_str())),
+                                ("kind".into(), Value::from(n.kind.as_str())),
+                            ];
+                            if let Some(p) = &n.parent {
+                                e.push(("parent".into(), Value::from(p.as_str())));
+                            }
+                            if let Some(h) = &n.home {
+                                e.push(("home".into(), Value::from(h.as_str())));
+                            }
+                            Value::Object(e)
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        for (key, rel) in [
+            ("conflicts", &self.conflicts),
+            ("output_weak", &self.output_weak),
+            ("output_strong", &self.output_strong),
+            ("input_weak", &self.input_weak),
+            ("input_strong", &self.input_strong),
+            ("tx_weak", &self.tx_weak),
+            ("tx_strong", &self.tx_strong),
+        ] {
+            if !rel.is_empty() {
+                entries.push((key.into(), pairs(rel)));
+            }
+        }
+        entries.push(("auto_propagate".into(), Value::Bool(self.auto_propagate)));
+        Value::Object(entries)
     }
 }
+
+// ---------------------------------------------------------------------------
+// Building the system
+// ---------------------------------------------------------------------------
 
 impl SystemSpec {
     /// Builds and validates the composite system this spec describes.
     pub fn build(&self) -> Result<CompositeSystem, SpecError> {
+        if self.version != SPEC_VERSION {
+            return Err(SpecError::UnsupportedVersion(self.version));
+        }
         let mut b = SystemBuilder::new();
         let mut scheds = BTreeMap::new();
         for name in &self.schedules {
-            if scheds.insert(name.clone(), b.schedule(name.clone())).is_some() {
+            if scheds
+                .insert(name.clone(), b.schedule(name.clone()))
+                .is_some()
+            {
                 return Err(SpecError::DuplicateName(name.clone()));
             }
         }
         let mut nodes: BTreeMap<String, NodeId> = BTreeMap::new();
         let mut is_tx: BTreeMap<String, bool> = BTreeMap::new();
-        for n in &self.nodes {
+        for (idx, n) in self.nodes.iter().enumerate() {
             // The builder panics (by contract) when a leaf is used as a
             // parent; the data layer must turn that into a typed error.
             if let Some(parent) = &n.parent {
                 if is_tx.get(parent).copied() == Some(false) {
                     return Err(SpecError::BadNode(format!(
-                        "{}: parent {parent} is a leaf",
+                        "nodes[{idx}] (\"{}\"): parent \"{parent}\" is a leaf",
                         n.name
                     )));
                 }
             }
+            let lookup_home = |home: &Option<String>| -> Result<_, SpecError> {
+                let home = home.as_ref().ok_or_else(|| {
+                    SpecError::BadNode(format!(
+                        "nodes[{idx}] (\"{}\"): kind \"{}\" requires \"home\"",
+                        n.name, n.kind
+                    ))
+                })?;
+                scheds
+                    .get(home)
+                    .copied()
+                    .ok_or_else(|| SpecError::UnknownName {
+                        name: home.clone(),
+                        context: format!("nodes[{idx}].home (\"{}\")", n.name),
+                    })
+            };
+            let lookup_parent = |nodes: &BTreeMap<String, NodeId>| -> Result<NodeId, SpecError> {
+                let parent = n.parent.as_ref().ok_or_else(|| {
+                    SpecError::BadNode(format!(
+                        "nodes[{idx}] (\"{}\"): kind \"{}\" requires \"parent\"",
+                        n.name, n.kind
+                    ))
+                })?;
+                nodes
+                    .get(parent)
+                    .copied()
+                    .ok_or_else(|| SpecError::UnknownName {
+                        name: parent.clone(),
+                        context: format!("nodes[{idx}].parent (\"{}\")", n.name),
+                    })
+            };
             let id = match n.kind.as_str() {
-                "root" => {
-                    let home = n
-                        .home
-                        .as_ref()
-                        .ok_or_else(|| SpecError::BadNode(n.name.clone()))?;
-                    let home = *scheds
-                        .get(home)
-                        .ok_or_else(|| SpecError::UnknownName(home.clone()))?;
-                    b.root(n.name.clone(), home)
-                }
+                "root" => b.root(n.name.clone(), lookup_home(&n.home)?),
                 "subtx" => {
-                    let parent = self.lookup(&nodes, n.parent.as_deref())?;
-                    let home = n
-                        .home
-                        .as_ref()
-                        .ok_or_else(|| SpecError::BadNode(n.name.clone()))?;
-                    let home = *scheds
-                        .get(home)
-                        .ok_or_else(|| SpecError::UnknownName(home.clone()))?;
-                    b.subtx(n.name.clone(), parent, home)
+                    let parent = lookup_parent(&nodes)?;
+                    b.subtx(n.name.clone(), parent, lookup_home(&n.home)?)
                 }
-                "leaf" => {
-                    let parent = self.lookup(&nodes, n.parent.as_deref())?;
-                    b.leaf(n.name.clone(), parent)
+                "leaf" => b.leaf(n.name.clone(), lookup_parent(&nodes)?),
+                other => {
+                    return Err(SpecError::BadNode(format!(
+                        "nodes[{idx}] (\"{}\"): unknown kind \"{other}\"",
+                        n.name
+                    )))
                 }
-                _ => return Err(SpecError::BadNode(n.name.clone())),
             };
             if nodes.insert(n.name.clone(), id).is_some() {
                 return Err(SpecError::DuplicateName(n.name.clone()));
             }
             is_tx.insert(n.name.clone(), n.kind != "leaf");
         }
-        let look = |nodes: &BTreeMap<String, NodeId>, name: &String| {
-            nodes
-                .get(name)
-                .copied()
-                .ok_or_else(|| SpecError::UnknownName(name.clone()))
-        };
-        for (a, c) in &self.conflicts {
-            b.conflict(look(&nodes, a)?, look(&nodes, c)?)?;
-        }
-        for (a, c) in &self.tx_weak {
-            b.tx_weak_order(look(&nodes, a)?, look(&nodes, c)?)?;
-        }
-        for (a, c) in &self.tx_strong {
-            b.tx_strong_order(look(&nodes, a)?, look(&nodes, c)?)?;
-        }
-        for (a, c) in &self.output_weak {
-            b.output_weak(look(&nodes, a)?, look(&nodes, c)?)?;
-        }
-        for (a, c) in &self.output_strong {
-            b.output_strong(look(&nodes, a)?, look(&nodes, c)?)?;
-        }
-        for (a, c) in &self.input_weak {
-            b.input_weak(look(&nodes, a)?, look(&nodes, c)?)?;
-        }
-        for (a, c) in &self.input_strong {
-            b.input_strong(look(&nodes, a)?, look(&nodes, c)?)?;
+
+        type Apply = fn(&mut SystemBuilder, NodeId, NodeId) -> Result<(), ModelError>;
+        type Relation<'a> = (&'a str, &'a Vec<(String, String)>, Apply);
+        let relations: [Relation<'_>; 7] = [
+            ("conflicts", &self.conflicts, SystemBuilder::conflict),
+            ("tx_weak", &self.tx_weak, SystemBuilder::tx_weak_order),
+            ("tx_strong", &self.tx_strong, SystemBuilder::tx_strong_order),
+            ("output_weak", &self.output_weak, SystemBuilder::output_weak),
+            (
+                "output_strong",
+                &self.output_strong,
+                SystemBuilder::output_strong,
+            ),
+            ("input_weak", &self.input_weak, SystemBuilder::input_weak),
+            (
+                "input_strong",
+                &self.input_strong,
+                SystemBuilder::input_strong,
+            ),
+        ];
+        for (rel_name, pairs, apply) in relations {
+            for (i, (from, to)) in pairs.iter().enumerate() {
+                let context = format!("{rel_name}[{i}] [{from}, {to}]");
+                let look = |name: &String| -> Result<NodeId, SpecError> {
+                    nodes
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| SpecError::UnknownName {
+                            name: name.clone(),
+                            context: context.clone(),
+                        })
+                };
+                apply(&mut b, look(from)?, look(to)?).map_err(|source| SpecError::Model {
+                    context: context.clone(),
+                    source,
+                })?;
+            }
         }
         if self.auto_propagate {
-            b.propagate_orders()?;
+            b.propagate_orders().map_err(|source| SpecError::Model {
+                context: "propagate_orders".into(),
+                source,
+            })?;
         }
-        Ok(b.build()?)
-    }
-
-    fn lookup(
-        &self,
-        nodes: &BTreeMap<String, NodeId>,
-        name: Option<&str>,
-    ) -> Result<NodeId, SpecError> {
-        let name = name.ok_or_else(|| SpecError::BadNode("missing parent".into()))?;
-        nodes
-            .get(name)
-            .copied()
-            .ok_or_else(|| SpecError::UnknownName(name.to_string()))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use compc_core::check;
-
-    fn transfer_spec() -> SystemSpec {
-        serde_json::from_str(
-            r#"{
-                "schedules": ["mw", "db"],
-                "nodes": [
-                    {"name": "T1", "kind": "root", "home": "mw"},
-                    {"name": "T2", "kind": "root", "home": "mw"},
-                    {"name": "u1", "kind": "subtx", "parent": "T1", "home": "db"},
-                    {"name": "u2", "kind": "subtx", "parent": "T2", "home": "db"},
-                    {"name": "w1", "kind": "leaf", "parent": "u1"},
-                    {"name": "w2", "kind": "leaf", "parent": "u2"}
-                ],
-                "conflicts": [["w1", "w2"]],
-                "output_weak": [["w1", "w2"]]
-            }"#,
-        )
-        .unwrap()
-    }
-
-    #[test]
-    fn json_spec_builds_and_checks() {
-        let sys = transfer_spec().build().unwrap();
-        assert_eq!(sys.schedule_count(), 2);
-        assert_eq!(sys.order(), 2);
-        assert!(check(&sys).is_correct());
-    }
-
-    #[test]
-    fn unknown_names_rejected() {
-        let mut spec = transfer_spec();
-        spec.conflicts.push(("w1".into(), "nope".into()));
-        assert!(matches!(spec.build(), Err(SpecError::UnknownName(_))));
-    }
-
-    #[test]
-    fn duplicate_names_rejected() {
-        let mut spec = transfer_spec();
-        spec.nodes.push(NodeSpec {
-            name: "T1".into(),
-            kind: "root".into(),
-            parent: None,
-            home: Some("mw".into()),
-        });
-        assert!(matches!(spec.build(), Err(SpecError::DuplicateName(_))));
-    }
-
-    #[test]
-    fn bad_kind_rejected() {
-        let mut spec = transfer_spec();
-        spec.nodes[0].kind = "banana".into();
-        assert!(matches!(spec.build(), Err(SpecError::BadNode(_))));
-    }
-
-    #[test]
-    fn model_violations_surface() {
-        let mut spec = transfer_spec();
-        // A second conflicting pair left unordered breaks axiom 1c.
-        spec.output_weak.clear();
-        assert!(matches!(spec.build(), Err(SpecError::Model(_))));
-    }
-
-    #[test]
-    fn roundtrips_through_json() {
-        let spec = transfer_spec();
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: SystemSpec = serde_json::from_str(&json).unwrap();
-        assert_eq!(spec, back);
+        b.build().map_err(|source| SpecError::Model {
+            context: "build".into(),
+            source,
+        })
     }
 }
 
@@ -320,9 +517,7 @@ impl SystemSpec {
                 }
                 .into(),
                 parent: info.parent.map(name),
-                home: info
-                    .home
-                    .map(|h| sys.schedule(h).name.clone()),
+                home: info.home.map(|h| sys.schedule(h).name.clone()),
             });
         }
         let pairs = |rel: &compc_graph::PartialOrderRel| -> Vec<(String, String)> {
@@ -345,6 +540,137 @@ impl SystemSpec {
             }
         }
         spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_core::check;
+
+    fn transfer_spec() -> SystemSpec {
+        SystemSpec::parse(
+            r#"{
+                "schedules": ["mw", "db"],
+                "nodes": [
+                    {"name": "T1", "kind": "root", "home": "mw"},
+                    {"name": "T2", "kind": "root", "home": "mw"},
+                    {"name": "u1", "kind": "subtx", "parent": "T1", "home": "db"},
+                    {"name": "u2", "kind": "subtx", "parent": "T2", "home": "db"},
+                    {"name": "w1", "kind": "leaf", "parent": "u1"},
+                    {"name": "w2", "kind": "leaf", "parent": "u2"}
+                ],
+                "conflicts": [["w1", "w2"]],
+                "output_weak": [["w1", "w2"]]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn json_spec_builds_and_checks() {
+        let sys = transfer_spec().build().unwrap();
+        assert_eq!(sys.schedule_count(), 2);
+        assert_eq!(sys.order(), 2);
+        assert!(check(&sys).is_correct());
+    }
+
+    #[test]
+    fn unknown_names_rejected_with_context() {
+        let mut spec = transfer_spec();
+        spec.conflicts.push(("w1".into(), "nope".into()));
+        match spec.build() {
+            Err(SpecError::UnknownName { name, context }) => {
+                assert_eq!(name, "nope");
+                assert_eq!(context, "conflicts[1] [w1, nope]");
+            }
+            other => panic!("expected UnknownName, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut spec = transfer_spec();
+        spec.nodes.push(NodeSpec {
+            name: "T1".into(),
+            kind: "root".into(),
+            parent: None,
+            home: Some("mw".into()),
+        });
+        assert!(matches!(spec.build(), Err(SpecError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn bad_kind_rejected_names_the_node() {
+        let mut spec = transfer_spec();
+        spec.nodes[0].kind = "banana".into();
+        match spec.build() {
+            Err(SpecError::BadNode(msg)) => {
+                assert!(msg.contains("T1") && msg.contains("banana"), "{msg}");
+            }
+            other => panic!("expected BadNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_violations_name_the_relation() {
+        let mut spec = transfer_spec();
+        // A second conflicting pair left unordered breaks axiom 1c.
+        spec.output_weak.clear();
+        match spec.build() {
+            Err(SpecError::Model { context, .. }) => {
+                // The violation surfaces when the whole system is assembled.
+                assert!(!context.is_empty());
+            }
+            other => panic!("expected Model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let spec = transfer_spec();
+        let json = spec.to_json().to_compact();
+        let back = SystemSpec::parse(&json).unwrap();
+        assert_eq!(spec, back);
+        let pretty = spec.to_json().to_pretty();
+        assert_eq!(SystemSpec::parse(&pretty).unwrap(), back);
+    }
+
+    #[test]
+    fn version_field_accepted_and_gated() {
+        let ok = SystemSpec::parse(r#"{"version": 1, "schedules": [], "nodes": []}"#);
+        assert!(ok.is_ok());
+        let newer = SystemSpec::parse(r#"{"version": 2, "schedules": [], "nodes": []}"#);
+        assert!(matches!(newer, Err(SpecError::UnsupportedVersion(2))));
+        let junk = SystemSpec::parse(r#"{"version": "one"}"#);
+        assert!(matches!(junk, Err(SpecError::Parse(_))));
+    }
+
+    #[test]
+    fn shape_errors_name_the_offending_entry() {
+        let err =
+            SystemSpec::parse(r#"{"schedules": ["S"], "nodes": [{"kind": "root"}]}"#).unwrap_err();
+        assert!(err.to_string().contains("nodes[0]"), "{err}");
+
+        let err = SystemSpec::parse(
+            r#"{"schedules": [], "nodes": [], "conflicts": [["a", "b"], ["only-one"]]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("conflicts[1]"), "{err}");
+
+        let err = SystemSpec::parse(r#"{"schedules": [], "nodes": [], "mystery": 3}"#).unwrap_err();
+        assert!(err.to_string().contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn missing_home_names_node_and_kind() {
+        let err =
+            SystemSpec::parse(r#"{"schedules": ["S"], "nodes": [{"name": "T", "kind": "root"}]}"#)
+                .unwrap()
+                .build()
+                .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("\"T\"") && msg.contains("home"), "{msg}");
     }
 }
 
@@ -372,9 +698,9 @@ mod roundtrip_tests {
                 seed,
             });
             let spec = SystemSpec::from_system(&sys);
-            let rebuilt = spec.build().unwrap_or_else(|e| {
-                panic!("seed {seed}: extracted spec must rebuild: {e}")
-            });
+            let rebuilt = spec
+                .build()
+                .unwrap_or_else(|e| panic!("seed {seed}: extracted spec must rebuild: {e}"));
             assert_eq!(sys.node_count(), rebuilt.node_count());
             assert_eq!(sys.schedule_count(), rebuilt.schedule_count());
             assert_eq!(
@@ -409,7 +735,7 @@ mod hardening_tests {
 
     #[test]
     fn leaf_as_parent_is_a_typed_error_not_a_panic() {
-        let spec: SystemSpec = serde_json::from_str(
+        let spec = SystemSpec::parse(
             r#"{
                 "schedules": ["S"],
                 "nodes": [

@@ -154,9 +154,9 @@ fn acceptance_rates_are_monotone() {
             ops_per_tx: (1, 3),
             conflict_density: 0.5,
             sequential_tx_prob: 0.7,
-                client_input_prob: 0.0,
-                strong_input_prob: 0.0,
-                sound_abstractions: false,
+            client_input_prob: 0.0,
+            strong_input_prob: 0.0,
+            sound_abstractions: false,
             seed,
         });
         if is_llsr_stack(&sys).unwrap() {

@@ -30,8 +30,8 @@ fn full_pipeline_on_static_systems() {
 
         // JSON round trip preserves the verdict.
         let spec = SystemSpec::from_system(&sys);
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: SystemSpec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json().to_compact();
+        let back = SystemSpec::parse(&json).unwrap();
         let rebuilt = back.build().expect("extracted specs rebuild");
         assert_eq!(
             check(&sys).is_correct(),

@@ -183,7 +183,10 @@ fn semantic_locking_admits_increment_concurrency() {
         let scenario = federated_travel(p, 12, 2, seed);
         let report = run(scenario, seed);
         assert_eq!(report.metrics.committed, 12);
-        assert_eq!(report.metrics.aborts, 0, "decrements commute; no aborts expected");
+        assert_eq!(
+            report.metrics.aborts, 0,
+            "decrements commute; no aborts expected"
+        );
         let sys = report.export_system().unwrap();
         assert!(check(&sys).is_correct());
     }
@@ -250,11 +253,7 @@ fn serial_witness_replay_reproduces_store_state() {
                     panic!("{name} seed {seed}: closed 2PL must be Comp-C: {c}")
                 }
             };
-            let order: Vec<u32> = proof
-                .serial_witness
-                .iter()
-                .map(|n| roots[n])
-                .collect();
+            let order: Vec<u32> = proof.serial_witness.iter().map(|n| roots[n]).collect();
             let replayed = report.replay_serially(&order);
             assert_eq!(
                 replayed, report.stores,
@@ -284,7 +283,10 @@ fn replay_check_is_not_vacuous() {
             differs += 1;
         }
     }
-    assert!(differs > 0, "reversing the witness should change some final state");
+    assert!(
+        differs > 0,
+        "reversing the witness should change some final state"
+    );
 }
 
 /// The theory trusts each component's conflict declaration (§2: a schedule
@@ -303,11 +305,7 @@ fn unsound_abstraction_breaks_state_equivalence() {
     let mut mismatches = 0;
     for seed in 0..20 {
         let mut topo = Topology::new();
-        let monitor = topo.add(
-            "monitor",
-            Protocol::Sgt,
-            CommutativityTable::read_write(),
-        );
+        let monitor = topo.add("monitor", Protocol::Sgt, CommutativityTable::read_write());
         let db = topo.add("db", Protocol::Sgt, CommutativityTable::read_write());
         // Both calls *claim* disjoint items (7 vs 8) at the monitor but
         // write the same item 3 at the database.

@@ -4,6 +4,17 @@
 use compc::spec::{NodeSpec, SystemSpec};
 use proptest::prelude::*;
 
+/// A short random lowercase identifier (1–4 chars), built from combinators
+/// so the strategy needs no regex support.
+fn arb_word() -> impl Strategy<Value = String> {
+    (1usize..=4, 0u32..26, 0u32..26, 0u32..26, 0u32..26).prop_map(|(len, a, b, c, d)| {
+        [a, b, c, d][..len]
+            .iter()
+            .map(|&x| char::from(b'a' + x as u8))
+            .collect()
+    })
+}
+
 fn arb_name() -> impl Strategy<Value = String> {
     prop_oneof![
         Just("a".to_string()),
@@ -11,7 +22,7 @@ fn arb_name() -> impl Strategy<Value = String> {
         Just("c".to_string()),
         Just("S".to_string()),
         Just("missing".to_string()),
-        "[a-z]{1,4}",
+        arb_word(),
     ]
 }
 
@@ -56,6 +67,7 @@ proptest! {
         auto_propagate in proptest::bool::ANY,
     ) {
         let spec = SystemSpec {
+            version: 1,
             schedules,
             nodes,
             conflicts,
@@ -70,8 +82,8 @@ proptest! {
         // Either outcome is fine; panicking is not.
         let _ = spec.build();
         // And serialization round-trips regardless of validity.
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: SystemSpec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json().to_compact();
+        let back = SystemSpec::parse(&json).unwrap();
         prop_assert_eq!(spec, back);
     }
 }

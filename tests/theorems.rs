@@ -25,7 +25,7 @@ fn params(shape: Shape, roots: usize, density: f64, seed: u64) -> GenParams {
         sequential_tx_prob: 0.7,
         client_input_prob: 0.0,
         strong_input_prob: 0.0,
-                sound_abstractions: false,
+        sound_abstractions: false,
         seed,
     }
 }
