@@ -72,12 +72,14 @@
 #![warn(missing_docs)]
 
 mod calculation;
+mod explain;
 mod front;
 mod minimize;
 mod par;
 mod reduce;
 
 pub use calculation::calculations_exist_bruteforce;
+pub use explain::Explanation;
 pub use front::Front;
 pub use minimize::{minimize, MinimalCounterexample};
 pub use par::{effective_jobs, CheckScratch};

@@ -5,7 +5,9 @@ use crate::front::Front;
 use crate::par::{self, CheckScratch};
 use compc_graph::{condense, find_cycle, topological_sort, DiGraph};
 use compc_model::{CompositeSystem, NodeId, Schedule};
+use compc_trace::{TraceEvent, TraceSink};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// Which phase of a reduction step failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -15,6 +17,24 @@ pub enum FailurePhase {
     Calculation,
     /// Definition 16 step 6: the new front is not conflict consistent.
     ConflictConsistency,
+}
+
+impl FailurePhase {
+    /// A stable machine-readable tag (used in trace events and NDJSON).
+    pub fn tag(self) -> &'static str {
+        match self {
+            FailurePhase::Calculation => "calculation",
+            FailurePhase::ConflictConsistency => "conflict-consistency",
+        }
+    }
+
+    /// The paper-language description of what failed.
+    pub fn describe(self) -> &'static str {
+        match self {
+            FailurePhase::Calculation => "no calculation exists",
+            FailurePhase::ConflictConsistency => "front not conflict consistent",
+        }
+    }
 }
 
 /// Why a composite schedule is not Comp-C: the reduction level that failed,
@@ -39,10 +59,7 @@ impl std::fmt::Display for Counterexample {
             f,
             "reduction failed at level {} ({}): cycle {}",
             self.level,
-            match self.phase {
-                FailurePhase::Calculation => "no calculation exists",
-                FailurePhase::ConflictConsistency => "front not conflict consistent",
-            },
+            self.phase.describe(),
             self.cycle_names.join(" -> ")
         )
     }
@@ -201,11 +218,48 @@ impl Checker {
         verdict
     }
 
+    /// [`Checker::check`] with a [`TraceSink`] receiving structured events:
+    /// `check_start`, one `level` per reduction step, `check_end`.
+    pub fn check_traced(&self, sys: &CompositeSystem, sink: &mut dyn TraceSink) -> Verdict {
+        self.check_reusing_traced(sys, &mut CheckScratch::new(), sink)
+    }
+
+    /// [`Checker::check_reusing`] with a [`TraceSink`] — the batch engine's
+    /// traced hot-loop variant.
+    pub fn check_reusing_traced(
+        &self,
+        sys: &CompositeSystem,
+        scratch: &mut CheckScratch,
+        sink: &mut dyn TraceSink,
+    ) -> Verdict {
+        let mut reducer =
+            Reducer::with_scratch(sys, self.options, std::mem::take(scratch)).traced(sink);
+        let verdict = reducer.run();
+        *scratch = reducer.into_scratch();
+        verdict
+    }
+
     /// A stepwise [`Reducer`] over `sys` under this configuration, for
     /// traces and per-level inspection.
     pub fn reducer<'a>(&self, sys: &'a CompositeSystem) -> Reducer<'a> {
         Reducer::with_scratch(sys, self.options, CheckScratch::new())
     }
+}
+
+/// Per-step counters carried to the `level` trace event (see
+/// `Reducer::emit_level`); `elapsed_ns` and `observed_edges` are resolved at
+/// emission time.
+#[derive(Clone, Copy)]
+struct LevelCounts {
+    level: usize,
+    schedules_reduced: usize,
+    front_before: usize,
+    front_after: usize,
+    constraint_edges: usize,
+    closure_edges: usize,
+    pairs_forgotten: usize,
+    serialization_pairs: usize,
+    ok: bool,
 }
 
 /// The stepwise reduction engine. Use [`check`] for the one-shot API; the
@@ -215,6 +269,9 @@ pub struct Reducer<'a> {
     front: Front,
     options: ReduceOptions,
     scratch: CheckScratch,
+    /// Structured-event sink. `None` costs one branch per level — the
+    /// `trace_overhead` bench pins the disabled path at <2% of a check.
+    sink: Option<&'a mut dyn TraceSink>,
 }
 
 impl<'a> Reducer<'a> {
@@ -236,7 +293,16 @@ impl<'a> Reducer<'a> {
             front,
             options,
             scratch,
+            sink: None,
         }
+    }
+
+    /// Attaches a [`TraceSink`]: every subsequent [`Reducer::step`] emits a
+    /// `level` event, and [`Reducer::run`] brackets them with `check_start`
+    /// / `check_end`.
+    pub fn traced(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// The current front.
@@ -262,7 +328,41 @@ impl<'a> Reducer<'a> {
 
     /// Runs the reduction to completion. Idempotent only from a fresh
     /// reducer: a completed run leaves the front at the final level.
+    ///
+    /// With a sink attached (see [`Reducer::traced`]), the run is bracketed
+    /// by `check_start` / `check_end` events around the per-level events.
     pub fn run(&mut self) -> Verdict {
+        let t0 = self.sink.is_some().then(Instant::now);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(&TraceEvent::CheckStart {
+                nodes: self.sys.node_count(),
+                schedules: self.sys.schedule_count(),
+                order: self.sys.order(),
+            });
+        }
+        let verdict = self.run_levels();
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let (correct, levels_completed, failed_level, failed_phase) = match &verdict {
+                Verdict::Correct(p) => (true, p.fronts.len().saturating_sub(1), None, None),
+                Verdict::Incorrect(c) => (
+                    false,
+                    c.level.saturating_sub(1),
+                    Some(c.level),
+                    Some(c.phase.tag()),
+                ),
+            };
+            sink.emit(&TraceEvent::CheckEnd {
+                correct,
+                levels_completed,
+                failed_level,
+                failed_phase,
+                elapsed_ns: t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            });
+        }
+        verdict
+    }
+
+    fn run_levels(&mut self) -> Verdict {
         let mut fronts = vec![self.snapshot()];
         // Front 0 is CC by construction (per-schedule partial orders), but we
         // check anyway so the invariant is uniform across levels.
@@ -311,6 +411,8 @@ impl<'a> Reducer<'a> {
         scheds: &[compc_model::SchedId],
         level: usize,
     ) -> Result<(), Counterexample> {
+        let t0 = self.sink.is_some().then(Instant::now);
+        let front_before = self.front.nodes.len();
         let sys = self.sys;
         // The transactions to reduce. `replaced` maps each of their
         // operations to the owning transaction.
@@ -344,9 +446,24 @@ impl<'a> Reducer<'a> {
         let node_to_comp: Vec<usize> = (0..sys.node_count())
             .map(|i| replaced.get(&NodeId(i as u32)).map_or(i, |t| t.index()))
             .collect();
+        let constraint_edges = constraint.edge_count();
         let contracted = condense(&constraint, &node_to_comp, sys.node_count());
         if let Some(cycle) = find_cycle(&contracted) {
             let cycle: Vec<NodeId> = cycle.nodes.into_iter().map(|i| NodeId(i as u32)).collect();
+            self.emit_level(
+                t0,
+                LevelCounts {
+                    level,
+                    schedules_reduced: scheds.len(),
+                    front_before,
+                    front_after: front_before,
+                    constraint_edges,
+                    closure_edges: 0,
+                    pairs_forgotten: 0,
+                    serialization_pairs: 0,
+                    ok: false,
+                },
+            );
             return Err(self.counterexample(level, FailurePhase::Calculation, cycle));
         }
 
@@ -363,6 +480,7 @@ impl<'a> Reducer<'a> {
         new_nodes.extend(new_txs.iter().copied());
 
         let mut observed = DiGraph::with_nodes(sys.node_count());
+        let mut pairs_forgotten = 0usize;
         let map = |n: NodeId| replaced.get(&n).copied().unwrap_or(n);
         for (u, v) in self.front.observed.edges() {
             let (a, b) = (NodeId(u as u32), NodeId(v as u32));
@@ -386,6 +504,8 @@ impl<'a> Reducer<'a> {
             // no-forgetting ablation pushes everything.
             if !self.options.forget_commuting || sys.common_container(a, b).is_none() {
                 observed.add_edge(big_a.index(), big_b.index());
+            } else {
+                pairs_forgotten += 1;
             }
         }
         // Rule 2 for the schedules being reduced: conflicting operation
@@ -395,7 +515,9 @@ impl<'a> Reducer<'a> {
         let per_sched = par::map_indices(scheds.len(), self.options.jobs, |i| {
             sys.schedule(scheds[i]).serialization_pairs()
         });
+        let mut serialization_pairs = 0usize;
         for pairs in per_sched {
+            serialization_pairs += pairs.len();
             for (t, t2) in pairs {
                 observed.add_edge(t.index(), t2.index());
             }
@@ -407,8 +529,10 @@ impl<'a> Reducer<'a> {
             self.entry_pairs(t, &new_nodes, &mut observed);
         }
         // Rule 4: transitive closure.
+        let pre_closure_edges = observed.edge_count();
         let observed =
             par::transitive_closure_jobs(&observed, self.options.jobs, &mut self.scratch);
+        let closure_edges = observed.edge_count().saturating_sub(pre_closure_edges);
 
         // --- Step 6: add the level's input orders and check CC.
         let mut input = self.front.input.clone();
@@ -424,10 +548,51 @@ impl<'a> Reducer<'a> {
             observed,
             input,
         };
+        let counts = LevelCounts {
+            level,
+            schedules_reduced: scheds.len(),
+            front_before,
+            front_after: self.front.nodes.len(),
+            constraint_edges,
+            closure_edges,
+            pairs_forgotten,
+            serialization_pairs,
+            ok: true,
+        };
         if let Some(cycle) = self.front.is_cc() {
+            self.emit_level(
+                t0,
+                LevelCounts {
+                    ok: false,
+                    ..counts
+                },
+            );
             return Err(self.counterexample(level, FailurePhase::ConflictConsistency, cycle));
         }
+        self.emit_level(t0, counts);
         Ok(())
+    }
+
+    /// Emits a `level` event for the step just performed (no-op without a
+    /// sink). `observed_edges` and `elapsed_ns` are resolved here so the
+    /// callers stay branch-free.
+    fn emit_level(&mut self, t0: Option<Instant>, counts: LevelCounts) {
+        let observed_edges = self.front.observed.edge_count();
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(&TraceEvent::Level {
+                level: counts.level,
+                schedules_reduced: counts.schedules_reduced,
+                front_before: counts.front_before,
+                front_after: counts.front_after,
+                constraint_edges: counts.constraint_edges,
+                observed_edges,
+                closure_edges: counts.closure_edges,
+                pairs_forgotten: counts.pairs_forgotten,
+                serialization_pairs: counts.serialization_pairs,
+                elapsed_ns: t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                ok: counts.ok,
+            });
+        }
     }
 
     /// Observed pairs created when `t` enters the front, against members of
@@ -800,6 +965,139 @@ mod tests {
         assert_eq!(f2.nodes, vec![t1, t2]);
         assert!(f2.observed.contains(&(t1, t2)));
         assert_eq!(proof.serial_witness, vec![t1, t2]);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use compc_model::SystemBuilder;
+    use compc_trace::{MemorySink, TraceEvent};
+
+    fn two_level_correct() -> CompositeSystem {
+        let mut b = SystemBuilder::new();
+        let s_top = b.schedule("top");
+        let s_bot = b.schedule("bot");
+        let t1 = b.root("T1", s_top);
+        let t2 = b.root("T2", s_top);
+        let u1 = b.subtx("u1", t1, s_bot);
+        let u2 = b.subtx("u2", t2, s_bot);
+        let o1 = b.leaf("o1", u1);
+        let o2 = b.leaf("o2", u2);
+        b.conflict(o1, o2).unwrap();
+        b.output_weak(o1, o2).unwrap();
+        b.build().unwrap()
+    }
+
+    fn lost_update() -> CompositeSystem {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t1 = b.root("T1", s);
+        let t2 = b.root("T2", s);
+        let a1 = b.leaf("r1(x)", t1);
+        let b1 = b.leaf("w1(y)", t1);
+        let a2 = b.leaf("w2(x)", t2);
+        let b2 = b.leaf("r2(y)", t2);
+        b.conflict(a1, a2).unwrap();
+        b.conflict(b1, b2).unwrap();
+        b.output_weak(a1, a2).unwrap();
+        b.output_weak(b2, b1).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A correct check emits check_start, one ok level event per reduction
+    /// step, and a correct check_end — and the traced verdict matches the
+    /// untraced one.
+    #[test]
+    fn traced_check_narrates_every_level() {
+        let sys = two_level_correct();
+        let mut sink = MemorySink::new();
+        let v = Checker::new().check_traced(&sys, &mut sink);
+        assert!(v.is_correct());
+        assert_eq!(sink.events.len(), 2 + sys.order());
+        assert!(matches!(
+            sink.events[0],
+            TraceEvent::CheckStart { order: 2, .. }
+        ));
+        for (i, ev) in sink.events[1..=sys.order()].iter().enumerate() {
+            match *ev {
+                TraceEvent::Level {
+                    level,
+                    ok,
+                    front_before,
+                    front_after,
+                    ..
+                } => {
+                    assert_eq!(level, i + 1);
+                    assert!(ok);
+                    assert!(front_after <= front_before);
+                }
+                ref other => panic!("expected a level event, got {other:?}"),
+            }
+        }
+        match *sink.events.last().unwrap() {
+            TraceEvent::CheckEnd {
+                correct,
+                levels_completed,
+                failed_level,
+                ..
+            } => {
+                assert!(correct);
+                assert_eq!(levels_completed, 2);
+                assert_eq!(failed_level, None);
+            }
+            ref other => panic!("expected check_end, got {other:?}"),
+        }
+    }
+
+    /// A failing check emits a failing level event and a check_end naming
+    /// the level and phase.
+    #[test]
+    fn traced_failure_names_level_and_phase() {
+        let sys = lost_update();
+        let mut sink = MemorySink::new();
+        let v = Checker::new().check_traced(&sys, &mut sink);
+        assert!(!v.is_correct());
+        let kinds: Vec<&str> = sink.events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["check_start", "level", "check_end"]);
+        assert!(matches!(
+            sink.events[1],
+            TraceEvent::Level {
+                level: 1,
+                ok: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            sink.events[2],
+            TraceEvent::CheckEnd {
+                correct: false,
+                failed_level: Some(1),
+                failed_phase: Some("calculation"),
+                ..
+            }
+        ));
+    }
+
+    /// The level events record the work the reduction actually did
+    /// (serialization pairs and, in a forgetting scenario, dropped pairs).
+    #[test]
+    fn level_events_count_reduction_work() {
+        let sys = two_level_correct();
+        let mut sink = MemorySink::new();
+        Checker::new().check_traced(&sys, &mut sink);
+        let TraceEvent::Level {
+            serialization_pairs,
+            schedules_reduced,
+            ..
+        } = sink.events[1]
+        else {
+            panic!("expected level event");
+        };
+        // Level 1 reduces `bot`, whose conflicting pair (o1, o2) serializes
+        // u1 before u2.
+        assert_eq!(schedules_reduced, 1);
+        assert_eq!(serialization_pairs, 1);
     }
 }
 

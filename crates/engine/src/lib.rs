@@ -16,6 +16,17 @@
 //! are independent of worker and job counts, and the report preserves input
 //! order.
 //!
+//! **Fault isolation:** a check that panics (a corrupted input, a bug in a
+//! custom work function) is caught per item — the panicking item reports a
+//! [`BatchFault`], its worker replaces its scratch buffers and moves on, and
+//! every other item still completes. A batch is never poisoned by one bad
+//! system.
+//!
+//! **Observability:** [`Batch::tracing`] records the reduction's structured
+//! events per item (see [`compc_trace`]), and every report carries
+//! [`BatchMetrics`] — histograms of per-check latency, system size, and
+//! levels completed — on top of the flat [`BatchStats`].
+//!
 //! ```
 //! use compc_engine::{Batch, BatchItem};
 //! # use compc_model::SystemBuilder;
@@ -33,8 +44,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use compc_core::{CheckScratch, Checker, Verdict};
+use compc_core::{effective_jobs, CheckScratch, Checker, Verdict};
 use compc_model::CompositeSystem;
+use compc_trace::{replay, Histogram, MemorySink, TraceEvent, TraceStats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -57,28 +70,64 @@ impl BatchItem {
     }
 }
 
+/// Why an item produced no verdict: its check panicked (or its worker was
+/// lost). The message is the panic payload when one was recoverable.
+#[derive(Clone, Debug)]
+pub struct BatchFault {
+    /// The panic message (or a generic description).
+    pub message: String,
+}
+
+impl std::fmt::Display for BatchFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "check failed: {}", self.message)
+    }
+}
+
 /// The checked result for one [`BatchItem`], in input order.
 #[derive(Clone, Debug)]
 pub struct BatchOutcome {
     /// The item's label.
     pub label: String,
-    /// The verdict, with proof or counterexample.
-    pub verdict: Verdict,
+    /// The verdict — or the fault that prevented one.
+    pub result: Result<Verdict, BatchFault>,
     /// Wall-clock time this one check took on its worker.
     pub elapsed: Duration,
     /// Node count of the system (for throughput normalization).
     pub nodes: usize,
+    /// Structured reduction events, when [`Batch::tracing`] is on (empty
+    /// otherwise, and after a fault).
+    pub events: Vec<TraceEvent>,
+}
+
+impl BatchOutcome {
+    /// The verdict, if the check completed.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        self.result.as_ref().ok()
+    }
+
+    /// Whether the check completed with a Comp-C verdict.
+    pub fn is_correct(&self) -> bool {
+        matches!(&self.result, Ok(v) if v.is_correct())
+    }
+
+    /// The fault, if the check did not complete.
+    pub fn fault(&self) -> Option<&BatchFault> {
+        self.result.as_ref().err()
+    }
 }
 
 /// Aggregate statistics for a batch run.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchStats {
-    /// Systems checked.
+    /// Systems submitted (correct + incorrect + faults).
     pub systems: usize,
     /// How many were Comp-C.
     pub correct: usize,
     /// How many were not.
     pub incorrect: usize,
+    /// How many produced no verdict because their check panicked.
+    pub faults: usize,
     /// Total nodes across all systems.
     pub nodes: usize,
     /// Wall-clock time for the whole batch (pool start to pool end).
@@ -126,10 +175,15 @@ impl std::fmt::Display for BatchStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} systems ({} correct, {} incorrect), {} nodes in {:.3}s on {} workers: {:.1} systems/s, {:.0} nodes/s, {:.0}% utilization",
+            "{} systems ({} correct, {} incorrect{}), {} nodes in {:.3}s on {} workers: {:.1} systems/s, {:.0} nodes/s, {:.0}% utilization",
             self.systems,
             self.correct,
             self.incorrect,
+            if self.faults > 0 {
+                format!(", {} faults", self.faults)
+            } else {
+                String::new()
+            },
             self.nodes,
             self.wall.as_secs_f64(),
             self.workers,
@@ -140,6 +194,33 @@ impl std::fmt::Display for BatchStats {
     }
 }
 
+/// Distribution metrics for a batch run — the histogram companion to the
+/// flat [`BatchStats`] counters.
+#[derive(Clone, Debug, Default)]
+pub struct BatchMetrics {
+    /// Per-check wall time in nanoseconds.
+    pub check_ns: Histogram,
+    /// Node count per system.
+    pub nodes: Histogram,
+    /// Reduction levels completed per checked system.
+    pub levels_completed: Histogram,
+    /// Per-level aggregates from the reduction's own trace events
+    /// (populated only when [`Batch::tracing`] is on).
+    pub trace: TraceStats,
+}
+
+impl std::fmt::Display for BatchMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "check time (ns):  {}", self.check_ns)?;
+        writeln!(f, "system nodes:     {}", self.nodes)?;
+        write!(f, "levels completed: {}", self.levels_completed)?;
+        if self.trace.checks > 0 {
+            write!(f, "\nper-level trace:\n{}", self.trace)?;
+        }
+        Ok(())
+    }
+}
+
 /// A full batch report: per-item outcomes (input order) plus aggregates.
 #[derive(Clone, Debug)]
 pub struct BatchReport {
@@ -147,14 +228,25 @@ pub struct BatchReport {
     pub outcomes: Vec<BatchOutcome>,
     /// Aggregate statistics.
     pub stats: BatchStats,
+    /// Aggregate distributions (latency, size, depth, trace).
+    pub metrics: BatchMetrics,
 }
 
 impl BatchReport {
-    /// Labels of the systems that were *not* Comp-C.
+    /// Labels of the systems that were checked and were *not* Comp-C.
     pub fn incorrect_labels(&self) -> Vec<&str> {
         self.outcomes
             .iter()
-            .filter(|o| !o.verdict.is_correct())
+            .filter(|o| matches!(&o.result, Ok(v) if !v.is_correct()))
+            .map(|o| o.label.as_str())
+            .collect()
+    }
+
+    /// Labels of the items whose check faulted.
+    pub fn fault_labels(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.result.is_err())
             .map(|o| o.label.as_str())
             .collect()
     }
@@ -163,20 +255,22 @@ impl BatchReport {
 /// A configured batch-checking session — the across-systems counterpart of
 /// [`compc_core::Checker`].
 ///
-/// `workers = 0` (the default) means one worker per available core;
-/// `workers = 1` checks sequentially on the calling thread (no pool spun
-/// up). Work is distributed by atomic index claiming, so stragglers don't
-/// serialize the tail; each worker keeps one `CheckScratch` for its whole
-/// lifetime.
+/// `workers = 0` (the default) means one worker per available core — the
+/// same normalization as [`Checker::jobs`], via
+/// [`compc_core::effective_jobs`]; `workers = 1` checks sequentially on the
+/// calling thread (no pool spun up). Work is distributed by atomic index
+/// claiming, so stragglers don't serialize the tail; each worker keeps one
+/// `CheckScratch` for its whole lifetime.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Batch {
     checker: Checker,
     workers: usize,
+    tracing: bool,
 }
 
 impl Batch {
     /// A batch session with default settings (auto workers, sequential
-    /// per-check jobs, forgetting on).
+    /// per-check jobs, forgetting on, tracing off).
     pub fn new() -> Self {
         Batch::default()
     }
@@ -206,37 +300,67 @@ impl Batch {
         self
     }
 
+    /// Record the reduction's structured trace events for every item (in
+    /// [`BatchOutcome::events`]) and aggregate them into
+    /// [`BatchMetrics::trace`].
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
     /// Checks every item, returning outcomes in input order plus aggregate
-    /// stats. Verdicts are identical to checking each item alone.
+    /// stats. Verdicts are identical to checking each item alone; a
+    /// panicking check yields a per-item [`BatchFault`] and the rest of the
+    /// batch completes.
     pub fn check_all(&self, items: Vec<BatchItem>) -> BatchReport {
-        let workers = match self.workers {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            n => n,
-        }
-        .min(items.len().max(1));
+        let tracing = self.tracing;
+        self.run(items, move |checker, item, scratch| {
+            if tracing {
+                let mut sink = MemorySink::new();
+                let verdict = checker.check_reusing_traced(&item.system, scratch, &mut sink);
+                (verdict, sink.events)
+            } else {
+                (checker.check_reusing(&item.system, scratch), Vec::new())
+            }
+        })
+    }
+
+    /// [`Batch::check_all`] with a custom per-item work function — the seam
+    /// for callers that wrap the check (extra validation, timeouts, fault
+    /// injection in tests). The function runs under the same panic
+    /// isolation as the built-in check.
+    pub fn check_all_with<F>(&self, items: Vec<BatchItem>, f: F) -> BatchReport
+    where
+        F: Fn(Checker, &BatchItem, &mut CheckScratch) -> Verdict + Sync,
+    {
+        self.run(items, move |checker, item, scratch| {
+            (f(checker, item, scratch), Vec::new())
+        })
+    }
+
+    fn run<F>(&self, items: Vec<BatchItem>, work: F) -> BatchReport
+    where
+        F: Fn(Checker, &BatchItem, &mut CheckScratch) -> (Verdict, Vec<TraceEvent>) + Sync,
+    {
+        let workers = effective_jobs(self.workers).min(items.len().max(1));
         let start = Instant::now();
         let mut slots: Vec<Option<BatchOutcome>> = Vec::new();
         slots.resize_with(items.len(), || None);
-        let mut busy = Duration::ZERO;
 
         if workers <= 1 {
             let mut scratch = CheckScratch::new();
-            for (item, slot) in items.into_iter().zip(slots.iter_mut()) {
-                let outcome = check_one(self.checker, item, &mut scratch);
-                busy += outcome.elapsed;
-                *slot = Some(outcome);
+            for (item, slot) in items.iter().zip(slots.iter_mut()) {
+                *slot = Some(guarded_check(self.checker, item, &mut scratch, &work));
             }
         } else {
             let next = AtomicUsize::new(0);
-            let items: Vec<BatchItem> = items;
-            let mut worker_results: Vec<Vec<(usize, BatchOutcome)>> = Vec::new();
+            let items = &items;
+            let work = &work;
+            let mut worker_results: Vec<(usize, BatchOutcome)> = Vec::new();
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
-                        let items = &items;
                         let checker = self.checker;
                         s.spawn(move || {
                             let mut scratch = CheckScratch::new();
@@ -246,18 +370,23 @@ impl Batch {
                                 let Some(item) = items.get(idx) else {
                                     break;
                                 };
-                                done.push((idx, check_one(checker, item.clone(), &mut scratch)));
+                                done.push((idx, guarded_check(checker, item, &mut scratch, work)));
                             }
                             done
                         })
                     })
                     .collect();
                 for h in handles {
-                    worker_results.push(h.join().expect("batch worker panicked"));
+                    // Per-item panic isolation makes a worker-level panic
+                    // unreachable in practice; if one happens anyway, its
+                    // claimed-but-unreported items become faults below
+                    // instead of aborting the batch.
+                    if let Ok(results) = h.join() {
+                        worker_results.extend(results);
+                    }
                 }
             });
-            for (idx, outcome) in worker_results.into_iter().flatten() {
-                busy += outcome.elapsed;
+            for (idx, outcome) in worker_results {
                 slots[idx] = Some(outcome);
             }
         }
@@ -265,32 +394,104 @@ impl Batch {
         let wall = start.elapsed();
         let outcomes: Vec<BatchOutcome> = slots
             .into_iter()
-            .map(|s| s.expect("every item claimed exactly once"))
+            .zip(&items)
+            .map(|(slot, item)| {
+                slot.unwrap_or_else(|| BatchOutcome {
+                    label: item.label.clone(),
+                    result: Err(BatchFault {
+                        message: "batch worker terminated unexpectedly".into(),
+                    }),
+                    elapsed: Duration::ZERO,
+                    nodes: item.system.node_count(),
+                    events: Vec::new(),
+                })
+            })
             .collect();
-        let correct = outcomes.iter().filter(|o| o.verdict.is_correct()).count();
+
+        let busy = outcomes.iter().map(|o| o.elapsed).sum();
+        let correct = outcomes.iter().filter(|o| o.is_correct()).count();
+        let faults = outcomes.iter().filter(|o| o.result.is_err()).count();
         let nodes = outcomes.iter().map(|o| o.nodes).sum();
         let stats = BatchStats {
             systems: outcomes.len(),
             correct,
-            incorrect: outcomes.len() - correct,
+            incorrect: outcomes.len() - correct - faults,
+            faults,
             nodes,
             wall,
             busy,
             workers,
         };
-        BatchReport { outcomes, stats }
+        let metrics = collect_metrics(&outcomes);
+        BatchReport {
+            outcomes,
+            stats,
+            metrics,
+        }
     }
 }
 
-fn check_one(checker: Checker, item: BatchItem, scratch: &mut CheckScratch) -> BatchOutcome {
+fn collect_metrics(outcomes: &[BatchOutcome]) -> BatchMetrics {
+    let mut metrics = BatchMetrics::default();
+    for o in outcomes {
+        metrics.check_ns.record(o.elapsed.as_nanos() as u64);
+        metrics.nodes.record(o.nodes as u64);
+        if let Ok(verdict) = &o.result {
+            let levels = match verdict {
+                Verdict::Correct(p) => p.fronts.len().saturating_sub(1),
+                Verdict::Incorrect(c) => c.level.saturating_sub(1),
+            };
+            metrics.levels_completed.record(levels as u64);
+        }
+        replay(&o.events, &mut metrics.trace);
+    }
+    metrics
+}
+
+/// Runs one item's work under panic isolation. On a panic the scratch is
+/// discarded (its buffers may be mid-update) and the item reports a
+/// [`BatchFault`] carrying the panic message.
+fn guarded_check<F>(
+    checker: Checker,
+    item: &BatchItem,
+    scratch: &mut CheckScratch,
+    work: &F,
+) -> BatchOutcome
+where
+    F: Fn(Checker, &BatchItem, &mut CheckScratch) -> (Verdict, Vec<TraceEvent>) + Sync,
+{
     let nodes = item.system.node_count();
     let t0 = Instant::now();
-    let verdict = checker.check_reusing(&item.system, scratch);
-    BatchOutcome {
-        label: item.label,
-        verdict,
-        elapsed: t0.elapsed(),
-        nodes,
+    match catch_unwind(AssertUnwindSafe(|| work(checker, item, scratch))) {
+        Ok((verdict, events)) => BatchOutcome {
+            label: item.label.clone(),
+            result: Ok(verdict),
+            elapsed: t0.elapsed(),
+            nodes,
+            events,
+        },
+        Err(payload) => {
+            *scratch = CheckScratch::new();
+            BatchOutcome {
+                label: item.label.clone(),
+                result: Err(BatchFault {
+                    message: panic_message(payload),
+                }),
+                elapsed: t0.elapsed(),
+                nodes,
+                events: Vec::new(),
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "check panicked (non-string payload)".to_string()
     }
 }
 
@@ -341,6 +542,7 @@ mod tests {
         assert_eq!(report.stats.systems, 18);
         assert_eq!(report.stats.correct, 17);
         assert_eq!(report.stats.incorrect, 1);
+        assert_eq!(report.stats.faults, 0);
         assert_eq!(report.stats.workers, 1);
         assert_eq!(report.incorrect_labels(), vec!["bad"]);
         assert_eq!(report.outcomes[5].label, "bad");
@@ -359,12 +561,12 @@ mod tests {
             let verdicts: Vec<(String, bool)> = par
                 .outcomes
                 .iter()
-                .map(|o| (o.label.clone(), o.verdict.is_correct()))
+                .map(|o| (o.label.clone(), o.is_correct()))
                 .collect();
             let expect: Vec<(String, bool)> = seq
                 .outcomes
                 .iter()
-                .map(|o| (o.label.clone(), o.verdict.is_correct()))
+                .map(|o| (o.label.clone(), o.is_correct()))
                 .collect();
             assert_eq!(verdicts, expect, "workers={workers}");
         }
@@ -397,6 +599,7 @@ mod tests {
         let report = Batch::new().check_all(Vec::new());
         assert_eq!(report.stats.systems, 0);
         assert_eq!(report.outcomes.len(), 0);
+        assert_eq!(report.metrics.check_ns.count(), 0);
     }
 
     #[test]
@@ -405,5 +608,106 @@ mod tests {
         let line = report.stats.to_string();
         assert!(line.contains("18 systems"), "{line}");
         assert!(line.contains("systems/s"), "{line}");
+        assert!(!line.contains("faults"), "no faults, no mention: {line}");
+    }
+
+    /// Regression (ISSUE 2): a panicking check must not poison the batch —
+    /// the panicking item reports a fault, everything else completes, and
+    /// this holds for sequential and parallel pools alike.
+    #[test]
+    fn panicking_item_does_not_poison_the_batch() {
+        for workers in [1, 2, 4] {
+            let report = Batch::new().workers(workers).check_all_with(
+                batch_items(),
+                |checker, item, scratch| {
+                    if item.label == "ok-9" {
+                        panic!("deliberate test panic in {}", item.label);
+                    }
+                    checker.check_reusing(&item.system, scratch)
+                },
+            );
+            assert_eq!(report.stats.systems, 18, "workers={workers}");
+            assert_eq!(report.stats.faults, 1, "workers={workers}");
+            assert_eq!(report.stats.correct, 16, "workers={workers}");
+            assert_eq!(report.stats.incorrect, 1, "workers={workers}");
+            assert_eq!(report.fault_labels(), vec!["ok-9"]);
+            assert_eq!(report.incorrect_labels(), vec!["bad"]);
+            let faulted = report.outcomes.iter().find(|o| o.label == "ok-9").unwrap();
+            let fault = faulted.fault().expect("ok-9 must carry a fault");
+            assert!(
+                fault.message.contains("deliberate test panic"),
+                "fault message preserves the panic payload: {}",
+                fault.message
+            );
+            // Input order is preserved around the fault.
+            assert_eq!(report.outcomes[5].label, "bad");
+            let line = report.stats.to_string();
+            assert!(line.contains("1 faults"), "{line}");
+        }
+    }
+
+    /// Every worker keeps checking after a fault (scratch replacement does
+    /// not lose items): many panics, interleaved, all non-panicking items
+    /// still complete.
+    #[test]
+    fn repeated_faults_still_complete_everything_else() {
+        let report =
+            Batch::new()
+                .workers(3)
+                .check_all_with(batch_items(), |checker, item, scratch| {
+                    if item.label.ends_with('2') {
+                        panic!("boom");
+                    }
+                    checker.check_reusing(&item.system, scratch)
+                });
+        // ok-2 and ok-12 panic.
+        assert_eq!(report.stats.faults, 2);
+        assert_eq!(report.stats.correct + report.stats.incorrect, 16);
+    }
+
+    #[test]
+    fn tracing_collects_per_item_events_and_aggregates() {
+        let report = Batch::new()
+            .workers(2)
+            .tracing(true)
+            .check_all(batch_items());
+        for o in &report.outcomes {
+            assert!(
+                !o.events.is_empty(),
+                "{} should carry trace events",
+                o.label
+            );
+            assert_eq!(o.events.first().unwrap().kind(), "check_start");
+            assert_eq!(o.events.last().unwrap().kind(), "check_end");
+        }
+        assert_eq!(report.metrics.trace.checks, 18);
+        assert_eq!(report.metrics.trace.correct, 17);
+        // Untraced runs carry no events but still fill the histograms.
+        let untraced = Batch::new().workers(2).check_all(batch_items());
+        assert!(untraced.outcomes.iter().all(|o| o.events.is_empty()));
+        assert_eq!(untraced.metrics.trace.checks, 0);
+        assert_eq!(untraced.metrics.check_ns.count(), 18);
+    }
+
+    #[test]
+    fn metrics_histograms_cover_all_items() {
+        let report = Batch::new().workers(1).check_all(batch_items());
+        assert_eq!(report.metrics.check_ns.count(), 18);
+        assert_eq!(report.metrics.nodes.count(), 18);
+        assert_eq!(report.metrics.levels_completed.count(), 18);
+        assert!(report.metrics.nodes.max() >= 6);
+        let text = report.metrics.to_string();
+        assert!(text.contains("levels completed"), "{text}");
+    }
+
+    /// `workers(0)` means one per core — same normalization as
+    /// `Checker::jobs(0)` — and still produces identical verdicts.
+    #[test]
+    fn auto_workers_normalize_like_checker_jobs() {
+        let auto = Batch::new().workers(0).check_all(batch_items());
+        let seq = Batch::new().workers(1).check_all(batch_items());
+        assert_eq!(auto.stats.workers, effective_jobs(0).min(18));
+        assert_eq!(auto.stats.correct, seq.stats.correct);
+        assert_eq!(auto.stats.incorrect, seq.stats.incorrect);
     }
 }

@@ -6,11 +6,15 @@
 //! [`compc_engine::Batch`] worker pool, so scratch buffers are reused across
 //! runs and the sweep scales with cores. Runs whose executions violate
 //! Definition 3/4 (a component ignored an obligation) are flagged *before*
-//! reduction as model violations, exactly like the sequential path.
+//! reduction as model violations, exactly like the sequential path; a run
+//! whose check panics is reported as a per-run [`RunVerdict::Fault`] without
+//! aborting the sweep. With [`Verifier::explain`] every non-Comp-C run also
+//! carries a rendered [`Explanation`] of its failing reduction.
 
 use crate::engine::SimReport;
 use crate::export::ExportError;
-use compc_engine::{Batch, BatchItem, BatchStats};
+use compc_core::Explanation;
+use compc_engine::{Batch, BatchFault, BatchItem, BatchMetrics, BatchStats};
 
 /// The verification outcome of one simulated run.
 #[derive(Debug)]
@@ -19,6 +23,8 @@ pub enum RunVerdict {
     Checked(compc_core::Verdict),
     /// The committed execution violates the model (Definition 3/4).
     ModelViolation(ExportError),
+    /// The check itself panicked; the rest of the sweep still completed.
+    Fault(BatchFault),
 }
 
 impl RunVerdict {
@@ -39,14 +45,23 @@ pub struct VerifyReport {
     pub not_comp_c: usize,
     /// Runs that violated the model before reduction.
     pub violations: usize,
+    /// Runs whose check faulted (panicked).
+    pub faults: usize,
     /// Pool statistics for the checked (exported) runs.
     pub stats: BatchStats,
+    /// Latency/size/depth distributions for the checked runs (and per-level
+    /// trace aggregates when [`Verifier::tracing`] is on).
+    pub metrics: BatchMetrics,
+    /// `(run index, explanation)` for each non-Comp-C checked run, when
+    /// [`Verifier::explain`] is on.
+    pub explanations: Vec<(usize, Explanation)>,
 }
 
 /// A configured batch verifier for simulator sweeps.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Verifier {
     batch: Batch,
+    explain: bool,
 }
 
 impl Verifier {
@@ -67,15 +82,33 @@ impl Verifier {
         self
     }
 
+    /// Record structured reduction trace events for every checked run and
+    /// aggregate them into [`VerifyReport::metrics`].
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.batch = self.batch.tracing(on);
+        self
+    }
+
+    /// Render an [`Explanation`] for every run that checks as not Comp-C.
+    pub fn explain(mut self, on: bool) -> Self {
+        self.explain = on;
+        self
+    }
+
     /// Verifies every report: export, batch-check, classify. Order and
-    /// verdicts are identical to verifying each run alone.
+    /// verdicts are identical to verifying each run alone, and a run whose
+    /// check faults does not stop the others.
     pub fn verify<'r>(&self, reports: impl IntoIterator<Item = &'r SimReport>) -> VerifyReport {
         let mut runs: Vec<Option<RunVerdict>> = Vec::new();
         let mut items: Vec<BatchItem> = Vec::new();
         let mut checked_slots: Vec<usize> = Vec::new();
+        let mut systems: Vec<compc_model::CompositeSystem> = Vec::new();
         for (idx, report) in reports.into_iter().enumerate() {
             match report.export_system() {
                 Ok(sys) => {
+                    if self.explain {
+                        systems.push(sys.clone());
+                    }
                     items.push(BatchItem::new(format!("run-{idx}"), sys));
                     checked_slots.push(idx);
                     runs.push(None);
@@ -85,8 +118,26 @@ impl Verifier {
         }
         let batch_report = self.batch.check_all(items);
         let stats = batch_report.stats;
-        for (outcome, idx) in batch_report.outcomes.into_iter().zip(checked_slots) {
-            runs[idx] = Some(RunVerdict::Checked(outcome.verdict));
+        let metrics = batch_report.metrics;
+        let mut explanations = Vec::new();
+        for (slot, (outcome, &idx)) in batch_report
+            .outcomes
+            .into_iter()
+            .zip(&checked_slots)
+            .enumerate()
+        {
+            let verdict = match outcome.result {
+                Ok(v) => {
+                    if self.explain {
+                        if let Some(cex) = v.counterexample() {
+                            explanations.push((idx, cex.explain(&systems[slot])));
+                        }
+                    }
+                    RunVerdict::Checked(v)
+                }
+                Err(fault) => RunVerdict::Fault(fault),
+            };
+            runs[idx] = Some(verdict);
         }
         let runs: Vec<RunVerdict> = runs
             .into_iter()
@@ -97,12 +148,19 @@ impl Verifier {
             .iter()
             .filter(|r| matches!(r, RunVerdict::ModelViolation(_)))
             .count();
+        let faults = runs
+            .iter()
+            .filter(|r| matches!(r, RunVerdict::Fault(_)))
+            .count();
         VerifyReport {
-            not_comp_c: runs.len() - comp_c - violations,
+            not_comp_c: runs.len() - comp_c - violations - faults,
             comp_c,
             violations,
+            faults,
             runs,
             stats,
+            metrics,
+            explanations,
         }
     }
 }
@@ -153,8 +211,9 @@ mod tests {
         let report = Verifier::new().workers(2).verify(&reports);
         assert_eq!(report.runs.len(), 6);
         assert_eq!(report.comp_c, 6, "2PL runs must be Comp-C");
-        assert_eq!(report.not_comp_c + report.violations, 0);
+        assert_eq!(report.not_comp_c + report.violations + report.faults, 0);
         assert_eq!(report.stats.systems, 6);
+        assert_eq!(report.metrics.check_ns.count(), 6);
     }
 
     #[test]
@@ -175,5 +234,34 @@ mod tests {
         }
         assert_eq!(seq.comp_c, par.comp_c);
         assert_eq!(seq.violations, par.violations);
+    }
+
+    #[test]
+    fn tracing_and_explanations_cover_unlocked_sweeps() {
+        // Unprotected concurrent read-modify-write runs produce a mix of
+        // Comp-C and non-Comp-C executions across seeds; with tracing and
+        // explanations on, every checked run aggregates into the trace
+        // stats and every non-Comp-C run gets a story.
+        let reports: Vec<SimReport> = (0..10)
+            .map(|seed| run_once(Protocol::None, seed, 5))
+            .collect();
+        let report = Verifier::new()
+            .workers(2)
+            .tracing(true)
+            .explain(true)
+            .verify(&reports);
+        let checked = report.comp_c + report.not_comp_c;
+        assert_eq!(report.metrics.trace.checks, checked as u64);
+        assert_eq!(report.explanations.len(), report.not_comp_c);
+        for (idx, ex) in &report.explanations {
+            assert!(matches!(report.runs[*idx], RunVerdict::Checked(_)));
+            assert!(!report.runs[*idx].is_comp_c());
+            assert!(ex.level >= 1);
+            assert!(
+                ex.story.iter().any(|l| l.contains("FAILED")),
+                "run {idx} explanation must narrate the failure: {:?}",
+                ex.story
+            );
+        }
     }
 }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 gate + lint gate. Run from the workspace root.
+# Tier-1 gate + lint gate + CLI smoke test. Run from the workspace root.
 #
-#   scripts/ci.sh          # everything (tier-1, clippy, fmt)
+#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke)
 #   scripts/ci.sh tier1    # just the build + test gate
 #   scripts/ci.sh lint     # just clippy + rustfmt
+#   scripts/ci.sh smoke    # just the compc-check observability smoke test
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,15 +24,37 @@ lint() {
     cargo fmt --check
 }
 
+# End-to-end observability smoke: the Figure 3 scenario must fail at level 3
+# with a T1/T2 witness cycle, --trace must narrate every reduction level as
+# NDJSON, and --explain must name the failing level.
+smoke() {
+    echo "==> smoke: compc-check --trace --explain on Figure 3"
+    cargo build --release -q --bin compc-check
+    out="$(./target/release/compc-check examples/figure3_incorrect.json --trace --explain || true)"
+    echo "$out" | grep -q '"event":"check_start"' \
+        || { echo "smoke: missing check_start trace event" >&2; exit 1; }
+    [ "$(echo "$out" | grep -c '"event":"level"')" -eq 3 ] \
+        || { echo "smoke: expected 3 level trace events" >&2; exit 1; }
+    echo "$out" | grep -q '"failed_level":3' \
+        || { echo "smoke: trace does not name failing level 3" >&2; exit 1; }
+    echo "$out" | grep -q 'failed at level 3 of 3' \
+        || { echo "smoke: --explain does not name failing level 3" >&2; exit 1; }
+    echo "$out" | grep -q 'witness cycle: T1 -> T2 -> T1' \
+        || { echo "smoke: --explain does not render the witness cycle" >&2; exit 1; }
+    echo "==> smoke: OK"
+}
+
 case "$stage" in
     tier1) tier1 ;;
     lint) lint ;;
+    smoke) smoke ;;
     all)
         tier1
         lint
+        smoke
         ;;
     *)
-        echo "usage: scripts/ci.sh [tier1|lint|all]" >&2
+        echo "usage: scripts/ci.sh [tier1|lint|smoke|all]" >&2
         exit 2
         ;;
 esac

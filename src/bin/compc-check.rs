@@ -4,7 +4,9 @@
 //!
 //! ```sh
 //! compc-check system.json             # verdict + witness/counterexample
-//! compc-check system.json --trace     # also print the reduction fronts
+//! compc-check system.json --trace     # NDJSON reduction events, one per level
+//! compc-check system.json --stats     # per-level timing/front histograms
+//! compc-check system.json --explain   # narrate a failing reduction
 //! compc-check system.json --dot       # also print the forest in DOT
 //! compc-check system.json --minimize  # shrink a violation to its core
 //! compc-check system.json --jobs 8    # parallelize the within-level checks
@@ -13,60 +15,84 @@
 //! Batch mode — a directory of `*.json` specs, an NDJSON file (one spec per
 //! line, `.ndjson`/`.jsonl`), or several paths at once. Systems are checked
 //! concurrently on a worker pool and an aggregate throughput line closes the
-//! report:
+//! report. `--trace`, `--stats`, `--explain` and `--minimize` apply per item
+//! (trace lines carry a `"label"` field naming the item); `--dot` is
+//! single-system only and is a usage error in batch mode. A system whose
+//! check panics is reported as a per-item fault and the rest of the batch
+//! still completes:
 //!
 //! ```sh
 //! compc-check specs/ --jobs 8
 //! compc-check corpus.ndjson --jobs 0    # 0 = one worker per core
-//! compc-check a.json b.json c.json
+//! compc-check a.json b.json --trace --explain
 //! ```
 //!
 //! Exit codes: 0 = all Comp-C, 1 = some system not Comp-C, 2 = invalid
-//! input/model (takes precedence).
+//! input/model or a faulted check (takes precedence).
 
 use compc::core::{Checker, Verdict};
 use compc::engine::{Batch, BatchItem};
 use compc::spec::SystemSpec;
+use compc::trace::{event_to_ndjson_line, replay, MemorySink, TraceStats};
 use std::path::Path;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, Default)]
+struct Flags {
+    jobs: usize,
+    trace: bool,
+    stats: bool,
+    explain: bool,
+    dot: bool,
+    minimize: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: compc-check <system.json | dir | corpus.ndjson>... \
+         [--jobs N] [--trace] [--stats] [--explain] [--dot] [--minimize]"
+    );
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<String> = Vec::new();
-    let mut jobs: usize = 1;
-    let mut trace = false;
-    let mut dot = false;
-    let mut minimize = false;
+    let mut flags = Flags {
+        jobs: 1,
+        ..Flags::default()
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--trace" => trace = true,
-            "--dot" => dot = true,
-            "--minimize" => minimize = true,
+            "--trace" => flags.trace = true,
+            "--stats" => flags.stats = true,
+            "--explain" => flags.explain = true,
+            "--dot" => flags.dot = true,
+            "--minimize" => flags.minimize = true,
             "--jobs" => {
                 i += 1;
-                jobs = match args.get(i).and_then(|v| v.parse().ok()) {
+                flags.jobs = match args.get(i).and_then(|v| v.parse().ok()) {
                     Some(n) => n,
                     None => {
-                        eprintln!("--jobs needs a number (0 = one per core)");
-                        return ExitCode::from(2);
+                        eprintln!(
+                            "--jobs needs a non-negative number (0 = one per core), got {}",
+                            args.get(i).map(String::as_str).unwrap_or("nothing")
+                        );
+                        return usage();
                     }
                 };
             }
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag {flag}");
-                return ExitCode::from(2);
+                return usage();
             }
             path => paths.push(path.to_string()),
         }
         i += 1;
     }
     if paths.is_empty() {
-        eprintln!(
-            "usage: compc-check <system.json | dir | corpus.ndjson>... \
-             [--jobs N] [--trace] [--dot] [--minimize]"
-        );
-        return ExitCode::from(2);
+        return usage();
     }
 
     let single = paths.len() == 1 && {
@@ -74,9 +100,13 @@ fn main() -> ExitCode {
         p.is_file() && !is_ndjson(p)
     };
     if single {
-        check_single(&paths[0], jobs, trace, dot, minimize)
+        check_single(&paths[0], flags)
     } else {
-        check_batch(&paths, jobs)
+        if flags.dot {
+            eprintln!("--dot renders one system's forest and only applies in single-system mode");
+            return usage();
+        }
+        check_batch(&paths, flags)
     }
 }
 
@@ -92,11 +122,18 @@ fn load_spec(text: &str) -> Result<compc::model::CompositeSystem, String> {
     spec.build().map_err(|e| e.to_string())
 }
 
+/// Prints one item's trace as NDJSON, each line tagged with the item label.
+fn print_ndjson(label: &str, events: &[compc::trace::TraceEvent]) {
+    for event in events {
+        println!("{}", event_to_ndjson_line(event, Some(label)));
+    }
+}
+
 // ---------------------------------------------------------------------
 // Single-system mode
 // ---------------------------------------------------------------------
 
-fn check_single(path: &str, jobs: usize, trace: bool, dot: bool, minimize: bool) -> ExitCode {
+fn check_single(path: &str, flags: Flags) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -117,21 +154,28 @@ fn check_single(path: &str, jobs: usize, trace: bool, dot: bool, minimize: bool)
         system.node_count(),
         system.order()
     );
-    if dot {
+    if flags.dot {
         println!("{}", system.forest_dot());
     }
-    match Checker::new().jobs(jobs).check(&system) {
+    let checker = Checker::new().jobs(flags.jobs);
+    let verdict = if flags.trace || flags.stats {
+        let mut sink = MemorySink::new();
+        let verdict = checker.check_traced(&system, &mut sink);
+        if flags.trace {
+            print_ndjson(path, &sink.events);
+        }
+        if flags.stats {
+            let mut stats = TraceStats::default();
+            replay(&sink.events, &mut stats);
+            println!("{stats}");
+        }
+        verdict
+    } else {
+        checker.check(&system)
+    };
+    match verdict {
         Verdict::Correct(proof) => {
             println!("verdict: Comp-C (correct)");
-            if trace {
-                for f in &proof.fronts {
-                    let names: Vec<&str> = f.nodes.iter().map(|&n| system.name(n)).collect();
-                    println!("  level-{} front: [{}]", f.level, names.join(", "));
-                    for (a, b) in &f.observed {
-                        println!("    {} <o {}", system.name(*a), system.name(*b));
-                    }
-                }
-            }
             let witness: Vec<&str> = proof
                 .serial_witness
                 .iter()
@@ -143,7 +187,10 @@ fn check_single(path: &str, jobs: usize, trace: bool, dot: bool, minimize: bool)
         Verdict::Incorrect(cex) => {
             println!("verdict: NOT Comp-C");
             println!("{cex}");
-            if minimize {
+            if flags.explain {
+                println!("{}", cex.explain(&system));
+            }
+            if flags.minimize && !flags.explain {
                 if let Some(min) = compc::core::minimize(&system) {
                     let names: Vec<&str> = min.roots.iter().map(|&n| system.name(n)).collect();
                     println!(
@@ -163,7 +210,7 @@ fn check_single(path: &str, jobs: usize, trace: bool, dot: bool, minimize: bool)
 // Batch mode
 // ---------------------------------------------------------------------
 
-fn check_batch(paths: &[String], jobs: usize) -> ExitCode {
+fn check_batch(paths: &[String], flags: Flags) -> ExitCode {
     let mut items: Vec<BatchItem> = Vec::new();
     let mut invalid = 0usize;
     for path in paths {
@@ -177,17 +224,58 @@ fn check_batch(paths: &[String], jobs: usize) -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let report = Batch::new().workers(jobs).check_all(items);
-    for o in &report.outcomes {
-        match &o.verdict {
-            Verdict::Correct(_) => println!("{}: Comp-C", o.label),
-            Verdict::Incorrect(cex) => println!("{}: NOT Comp-C — {cex}", o.label),
+    // Explaining or minimizing a violation needs the system after the pool
+    // consumed the items, so keep a copy per item.
+    let systems: Vec<compc::model::CompositeSystem> = if flags.explain || flags.minimize {
+        items.iter().map(|it| it.system.clone()).collect()
+    } else {
+        Vec::new()
+    };
+
+    let report = Batch::new()
+        .workers(flags.jobs)
+        .tracing(flags.trace || flags.stats)
+        .check_all(items);
+    for (idx, o) in report.outcomes.iter().enumerate() {
+        if flags.trace {
+            print_ndjson(&o.label, &o.events);
+        }
+        match &o.result {
+            Ok(Verdict::Correct(_)) => println!("{}: Comp-C", o.label),
+            Ok(Verdict::Incorrect(cex)) => {
+                println!("{}: NOT Comp-C — {cex}", o.label);
+                if flags.explain {
+                    for line in cex.explain(&systems[idx]).to_string().lines() {
+                        println!("  {line}");
+                    }
+                } else if flags.minimize {
+                    if let Some(min) = compc::core::minimize(&systems[idx]) {
+                        let names: Vec<&str> =
+                            min.roots.iter().map(|&n| systems[idx].name(n)).collect();
+                        println!(
+                            "  minimal violating transaction set ({} of {}): {}",
+                            min.roots.len(),
+                            systems[idx].roots().count(),
+                            names.join(", ")
+                        );
+                    }
+                }
+            }
+            Err(fault) => println!("{}: FAULT — {fault}", o.label),
         }
     }
     println!("{}", report.stats);
+    if flags.stats {
+        println!("{}", report.metrics);
+    }
 
-    if invalid > 0 {
-        eprintln!("{invalid} input(s) were invalid");
+    if invalid > 0 || report.stats.faults > 0 {
+        if invalid > 0 {
+            eprintln!("{invalid} input(s) were invalid");
+        }
+        if report.stats.faults > 0 {
+            eprintln!("{} check(s) faulted", report.stats.faults);
+        }
         ExitCode::from(2)
     } else if report.stats.incorrect > 0 {
         ExitCode::from(1)
@@ -198,7 +286,8 @@ fn check_batch(paths: &[String], jobs: usize) -> ExitCode {
 
 /// Expands one path into batch items: directories contribute their `*.json`
 /// files (sorted), NDJSON files one item per non-empty line, plain files one
-/// item. Invalid specs are reported and counted, not fatal.
+/// item. Invalid specs are reported and counted, not fatal — the remaining
+/// lines and files are still checked.
 fn collect_items(
     path: &Path,
     items: &mut Vec<BatchItem>,
@@ -223,6 +312,7 @@ fn collect_items(
     let label_base = path.display().to_string();
     if is_ndjson(path) {
         for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end_matches('\r');
             if line.trim().is_empty() {
                 continue;
             }

@@ -12,6 +12,7 @@
 //! * [`workload`] — figures, scenarios and random system generation
 //! * [`spec`] — the versioned JSON system format consumed by `compc-check`
 //! * [`json`] — the dependency-free JSON value/parser the spec format uses
+//! * [`trace`] — structured reduction events, NDJSON sinks and histograms
 
 pub mod spec;
 
@@ -23,6 +24,7 @@ pub use compc_graph as graph;
 pub use compc_json as json;
 pub use compc_model as model;
 pub use compc_sim as sim;
+pub use compc_trace as trace;
 pub use compc_workload as workload;
 
 pub use compc_core::{check, Checker, Verdict};

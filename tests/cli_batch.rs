@@ -1,0 +1,237 @@
+//! End-to-end tests for the `compc-check` binary: NDJSON corpus edge cases,
+//! the `--trace`/`--stats`/`--explain` observability flags, and flag
+//! validation — all through the real executable.
+
+use compc::model::CompositeSystem;
+use compc::spec::SystemSpec;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// A tiny correct system: two conflicting writes, serialized consistently.
+fn correct_system(tag: &str) -> CompositeSystem {
+    let mut b = compc::model::SystemBuilder::new();
+    let s = b.schedule("db");
+    let t1 = b.root(format!("T1{tag}"), s);
+    let t2 = b.root(format!("T2{tag}"), s);
+    let w1 = b.leaf("w1(x)", t1);
+    let w2 = b.leaf("w2(x)", t2);
+    b.conflict(w1, w2).unwrap();
+    b.output_weak(w1, w2).unwrap();
+    b.build().unwrap()
+}
+
+/// The classical lost update: not Comp-C.
+fn incorrect_system() -> CompositeSystem {
+    let mut b = compc::model::SystemBuilder::new();
+    let s = b.schedule("db");
+    let t1 = b.root("T1", s);
+    let t2 = b.root("T2", s);
+    let a1 = b.leaf("r1(x)", t1);
+    let b1 = b.leaf("w1(y)", t1);
+    let a2 = b.leaf("w2(x)", t2);
+    let b2 = b.leaf("r2(y)", t2);
+    b.conflict(a1, a2).unwrap();
+    b.conflict(b1, b2).unwrap();
+    b.output_weak(a1, a2).unwrap();
+    b.output_weak(b2, b1).unwrap();
+    b.build().unwrap()
+}
+
+fn spec_line(sys: &CompositeSystem) -> String {
+    SystemSpec::from_system(sys).to_json().to_compact()
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_compc-check"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("compc-check runs")
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("compc-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn figure3_path() -> String {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/figure3_incorrect.json"
+    )
+    .to_string()
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+#[test]
+fn ndjson_corpus_tolerates_blank_lines_crlf_and_trailing_newline() {
+    // Blank lines (including whitespace-only), CRLF endings, and a trailing
+    // newline are all cosmetic; every spec line is still checked.
+    let corpus = format!(
+        "{}\r\n\r\n   \n{}\r\n{}\n",
+        spec_line(&correct_system("a")),
+        spec_line(&incorrect_system()),
+        spec_line(&correct_system("b")),
+    );
+    let path = tmpfile("edge.ndjsonl.ndjson");
+    std::fs::write(&path, corpus).unwrap();
+    let out = run(&[path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One system was incorrect, none invalid.
+    assert_eq!(exit_code(&out), 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("3 systems (2 correct, 1 incorrect)"),
+        "{stdout}"
+    );
+    // Labels point at the original line numbers (1, 4, 5).
+    assert!(stdout.contains(":1: Comp-C"), "{stdout}");
+    assert!(stdout.contains(":4: NOT Comp-C"), "{stdout}");
+    assert!(stdout.contains(":5: Comp-C"), "{stdout}");
+}
+
+#[test]
+fn ndjson_corpus_reports_invalid_line_but_checks_the_rest() {
+    // An invalid spec mid-file exits 2, but the remaining lines are still
+    // checked and reported.
+    let corpus = format!(
+        "{}\n{{\"version\":1,\"nope\":true}}\nnot even json\n{}\n",
+        spec_line(&correct_system("a")),
+        spec_line(&incorrect_system()),
+    );
+    let path = tmpfile("invalid-mid.ndjson");
+    std::fs::write(&path, corpus).unwrap();
+    let out = run(&[path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(exit_code(&out), 2, "invalid input wins: {stdout}\n{stderr}");
+    assert!(stdout.contains(":1: Comp-C"), "{stdout}");
+    assert!(stdout.contains(":4: NOT Comp-C"), "{stdout}");
+    assert!(
+        stdout.contains("2 systems (1 correct, 1 incorrect)"),
+        "{stdout}"
+    );
+    assert!(stderr.contains(":2:"), "invalid lines are named: {stderr}");
+    assert!(stderr.contains(":3:"), "invalid lines are named: {stderr}");
+    assert!(stderr.contains("2 input(s) were invalid"), "{stderr}");
+}
+
+#[test]
+fn trace_emits_valid_ndjson_one_event_per_level() {
+    let corpus = format!(
+        "{}\n{}\n",
+        spec_line(&correct_system("a")),
+        spec_line(&incorrect_system())
+    );
+    let path = tmpfile("trace.ndjson");
+    std::fs::write(&path, corpus).unwrap();
+    let out = run(&[path.to_str().unwrap(), "--trace", "--jobs", "2"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut starts = 0;
+    let mut levels = 0;
+    let mut ends = 0;
+    for line in stdout.lines().filter(|l| l.starts_with('{')) {
+        let v = compc::json::parse(line).unwrap_or_else(|e| panic!("bad NDJSON {line}: {e}"));
+        let kind = v.get("event").and_then(|e| e.as_str()).expect("event kind");
+        assert!(
+            v.get("label").and_then(|l| l.as_str()).is_some(),
+            "batch trace lines carry the item label: {line}"
+        );
+        match kind {
+            "check_start" => starts += 1,
+            "level" => {
+                levels += 1;
+                assert!(v.get("level").and_then(|x| x.as_u64()).is_some(), "{line}");
+                assert!(v.get("elapsed_ns").is_some(), "{line}");
+                assert!(v.get("front_before").is_some(), "{line}");
+            }
+            "check_end" => ends += 1,
+            other => panic!("unexpected event kind {other}"),
+        }
+    }
+    assert_eq!(starts, 2);
+    assert_eq!(ends, 2);
+    // Both systems are order-1: exactly one level event each.
+    assert_eq!(levels, 2);
+}
+
+#[test]
+fn single_mode_trace_and_stats_narrate_figure3() {
+    let out = run(&[&figure3_path(), "--trace", "--stats"]);
+    assert_eq!(exit_code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let level_events = stdout
+        .lines()
+        .filter(|l| l.starts_with('{'))
+        .filter_map(|l| compc::json::parse(l).ok())
+        .filter(|v| v.get("event").and_then(|e| e.as_str()) == Some("level"))
+        .count();
+    // Figure 3 fails at level 3: three level events (two ok, one failing).
+    assert_eq!(level_events, 3, "{stdout}");
+    assert!(
+        stdout.contains("level time (ns):"),
+        "--stats histograms: {stdout}"
+    );
+    assert!(stdout.contains("front sizes:"), "{stdout}");
+}
+
+#[test]
+fn explain_names_failing_level_and_witness_cycle() {
+    let out = run(&[&figure3_path(), "--explain"]);
+    assert_eq!(exit_code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("failed at level 3 of 3"), "{stdout}");
+    assert!(stdout.contains("witness cycle: T1 -> T2 -> T1"), "{stdout}");
+    assert!(
+        stdout.contains("minimal violating transaction set (2 of 3 roots): T1, T2"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn batch_mode_honors_explain_per_item() {
+    let corpus = format!(
+        "{}\n{}\n",
+        spec_line(&incorrect_system()),
+        spec_line(&correct_system("a"))
+    );
+    let path = tmpfile("explain.ndjson");
+    std::fs::write(&path, corpus).unwrap();
+    let out = run(&[path.to_str().unwrap(), "--explain"]);
+    assert_eq!(exit_code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("witness cycle:"), "{stdout}");
+    assert!(stdout.contains("failed at level 1 of 1"), "{stdout}");
+}
+
+#[test]
+fn jobs_flag_rejects_missing_and_negative_arguments() {
+    for args in [
+        vec![figure3_path(), "--jobs".to_string()],
+        vec![figure3_path(), "--jobs".to_string(), "-3".to_string()],
+        vec![figure3_path(), "--jobs".to_string(), "lots".to_string()],
+        vec!["--jobs".to_string(), "2".to_string()], // jobs but no input
+    ] {
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let out = run(&argv);
+        assert_eq!(exit_code(&out), 2, "args {args:?} must be a usage error");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "{stderr}");
+    }
+}
+
+#[test]
+fn dot_is_a_usage_error_in_batch_mode() {
+    let fig = figure3_path();
+    let out = run(&[&fig, &fig, "--dot"]);
+    assert_eq!(exit_code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("single-system"), "{stderr}");
+    // Single mode still accepts it.
+    let out = run(&[&fig, "--dot"]);
+    assert_eq!(exit_code(&out), 1, "incorrect system, valid flags");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("digraph"));
+}

@@ -158,7 +158,7 @@ proptest! {
             let got: Vec<String> = report
                 .outcomes
                 .iter()
-                .map(|o| fingerprint(&o.verdict))
+                .map(|o| fingerprint(o.verdict().expect("no faults in this batch")))
                 .collect();
             prop_assert_eq!(&got, &solo, "workers={} jobs={}", workers, jobs);
         }
