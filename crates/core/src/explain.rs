@@ -285,6 +285,64 @@ mod tests {
     }
 
     #[test]
+    fn correct_figure4_run_reaches_level_n_and_has_nothing_to_explain() {
+        // Figure 4 of the paper: two roots fanning out through four
+        // intermediate schedulers into two shared leaf schedules, with
+        // opposing serialization orders at the leaves that order forgetting
+        // erases. The default reduction accepts it — the success path of
+        // the explainer story: a full ladder of fronts 0..=N and no
+        // counterexample to narrate.
+        let mut b = SystemBuilder::new();
+        let s_top = b.schedule("top");
+        let s_m1 = b.schedule("M1");
+        let s_m2 = b.schedule("M2");
+        let s_m3 = b.schedule("M3");
+        let s_m4 = b.schedule("M4");
+        let s_a = b.schedule("A");
+        let s_b = b.schedule("B");
+        let t1 = b.root("T1", s_top);
+        let t2 = b.root("T2", s_top);
+        let t11 = b.subtx("t11", t1, s_m1);
+        let t12 = b.subtx("t12", t1, s_m3);
+        let t21 = b.subtx("t21", t2, s_m2);
+        let t22 = b.subtx("t22", t2, s_m4);
+        let u11 = b.subtx("u11", t11, s_a);
+        let u21 = b.subtx("u21", t21, s_a);
+        let u12 = b.subtx("u12", t12, s_b);
+        let u22 = b.subtx("u22", t22, s_b);
+        let x11 = b.leaf("x11", u11);
+        let x21 = b.leaf("x21", u21);
+        let x12 = b.leaf("x12", u12);
+        let x22 = b.leaf("x22", u22);
+        b.conflict(x11, x21).unwrap();
+        b.output_weak(x11, x21).unwrap();
+        b.conflict(x22, x12).unwrap();
+        b.output_weak(x22, x12).unwrap();
+        let sys = b.build().unwrap();
+
+        let verdict = check(&sys);
+        assert!(verdict.is_correct(), "Figure 4 is Comp-C under forgetting");
+        assert!(
+            verdict.counterexample().is_none(),
+            "a correct run has nothing to explain"
+        );
+        let proof = match verdict {
+            crate::Verdict::Correct(p) => p,
+            crate::Verdict::Incorrect(c) => panic!("unexpected counterexample: {c}"),
+        };
+        // The reduction climbed the whole ladder: fronts 0..=N inclusive.
+        assert_eq!(sys.order(), 3);
+        assert_eq!(proof.fronts.len(), sys.order() + 1);
+        assert_eq!(proof.fronts.first().unwrap().level, 0);
+        assert_eq!(proof.fronts.last().unwrap().level, sys.order());
+        // The witness serializes exactly the roots.
+        assert_eq!(proof.serial_witness.len(), 2);
+        for &n in &proof.serial_witness {
+            assert!([t1, t2].contains(&n));
+        }
+    }
+
+    #[test]
     fn correct_systems_explain_gracefully_from_stale_counterexamples() {
         // A counterexample explained against a *correct* system (stale or
         // mismatched data) must not panic and must say the failure did not

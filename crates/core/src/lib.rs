@@ -84,6 +84,6 @@ pub use front::Front;
 pub use minimize::{minimize, MinimalCounterexample};
 pub use par::{effective_jobs, CheckScratch};
 pub use reduce::{
-    check, Checker, Counterexample, FailurePhase, FrontSnapshot, Proof, ReduceOptions, Reducer,
-    Verdict,
+    check, Checker, Counterexample, Deadline, FailurePhase, FrontSnapshot, Interrupted, Proof,
+    ReduceOptions, Reducer, Verdict,
 };

@@ -129,6 +129,62 @@ pub fn check(sys: &CompositeSystem) -> Verdict {
     Reducer::new(sys).run()
 }
 
+/// A wall-clock cancellation point for a reduction, checked cooperatively at
+/// level boundaries. `Deadline::none()` (the default) never expires and
+/// costs one `Option` branch per level.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn none() -> Self {
+        Deadline::default()
+    }
+
+    /// Expires `budget` from now. A zero budget expires at the first level
+    /// boundary — useful for deterministic timeout tests.
+    pub fn after(budget: std::time::Duration) -> Self {
+        Deadline {
+            at: Some(Instant::now() + budget),
+        }
+    }
+
+    /// Expires at an absolute instant (for sharing one deadline across many
+    /// checks).
+    pub fn at(instant: Instant) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// Whether a deadline is set at all.
+    pub fn is_set(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|t| Instant::now() >= t)
+    }
+}
+
+/// A reduction stopped cooperatively — its [`Deadline`] expired or its
+/// cancel token was set — before reaching a verdict. The system is neither
+/// proven Comp-C nor refuted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interrupted {
+    /// The reduction level whose step did not run.
+    pub level: usize,
+}
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reduction interrupted before level {}", self.level)
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
 /// Tuning knobs for the reduction. Build them fluently with [`Checker`];
 /// the struct itself stays public so options can be inspected and stored.
 #[derive(Clone, Copy, Debug)]
@@ -177,6 +233,7 @@ impl Default for ReduceOptions {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Checker {
     options: ReduceOptions,
+    deadline: Option<std::time::Duration>,
 }
 
 impl Checker {
@@ -199,42 +256,101 @@ impl Checker {
         self
     }
 
+    /// A per-check wall-clock budget, checked cooperatively at level
+    /// boundaries. Use the `try_check*` variants to observe the resulting
+    /// [`Interrupted`]; the plain `check*` methods panic on interruption.
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
     /// The options this checker runs with.
     pub fn options(&self) -> ReduceOptions {
         self.options
     }
 
+    fn start_deadline(&self) -> Deadline {
+        self.deadline.map_or_else(Deadline::none, Deadline::after)
+    }
+
     /// Decides Comp-C for `sys` (Theorem 1) under this configuration.
+    ///
+    /// # Panics
+    /// If a [`Checker::deadline`] is set and expires mid-check; use
+    /// [`Checker::try_check`] to handle interruption.
     pub fn check(&self, sys: &CompositeSystem) -> Verdict {
         self.check_reusing(sys, &mut CheckScratch::new())
     }
 
+    /// [`Checker::check`] that surfaces deadline/cancel interruption
+    /// instead of panicking.
+    pub fn try_check(&self, sys: &CompositeSystem) -> Result<Verdict, Interrupted> {
+        self.try_check_reusing(sys, &mut CheckScratch::new())
+    }
+
     /// [`Checker::check`] reusing buffers from `scratch` — the hot-loop
     /// variant for checking many systems on one thread/worker.
+    ///
+    /// # Panics
+    /// If a [`Checker::deadline`] is set and expires mid-check; use
+    /// [`Checker::try_check_reusing`] to handle interruption.
     pub fn check_reusing(&self, sys: &CompositeSystem, scratch: &mut CheckScratch) -> Verdict {
-        let mut reducer = Reducer::with_scratch(sys, self.options, std::mem::take(scratch));
-        let verdict = reducer.run();
+        self.try_check_reusing(sys, scratch)
+            .unwrap_or_else(interruption_panic)
+    }
+
+    /// [`Checker::check_reusing`] that surfaces deadline/cancel
+    /// interruption instead of panicking.
+    pub fn try_check_reusing(
+        &self,
+        sys: &CompositeSystem,
+        scratch: &mut CheckScratch,
+    ) -> Result<Verdict, Interrupted> {
+        let mut reducer = Reducer::with_scratch(sys, self.options, std::mem::take(scratch))
+            .deadline(self.start_deadline());
+        let verdict = reducer.try_run();
         *scratch = reducer.into_scratch();
         verdict
     }
 
     /// [`Checker::check`] with a [`TraceSink`] receiving structured events:
     /// `check_start`, one `level` per reduction step, `check_end`.
+    ///
+    /// # Panics
+    /// If a [`Checker::deadline`] is set and expires mid-check.
     pub fn check_traced(&self, sys: &CompositeSystem, sink: &mut dyn TraceSink) -> Verdict {
         self.check_reusing_traced(sys, &mut CheckScratch::new(), sink)
     }
 
     /// [`Checker::check_reusing`] with a [`TraceSink`] — the batch engine's
     /// traced hot-loop variant.
+    ///
+    /// # Panics
+    /// If a [`Checker::deadline`] is set and expires mid-check; use
+    /// [`Checker::try_check_reusing_traced`] to handle interruption.
     pub fn check_reusing_traced(
         &self,
         sys: &CompositeSystem,
         scratch: &mut CheckScratch,
         sink: &mut dyn TraceSink,
     ) -> Verdict {
-        let mut reducer =
-            Reducer::with_scratch(sys, self.options, std::mem::take(scratch)).traced(sink);
-        let verdict = reducer.run();
+        self.try_check_reusing_traced(sys, scratch, sink)
+            .unwrap_or_else(interruption_panic)
+    }
+
+    /// [`Checker::check_reusing_traced`] that surfaces deadline/cancel
+    /// interruption instead of panicking. An interrupted check emits its
+    /// `check_start` and completed `level` events but no `check_end`.
+    pub fn try_check_reusing_traced(
+        &self,
+        sys: &CompositeSystem,
+        scratch: &mut CheckScratch,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Verdict, Interrupted> {
+        let mut reducer = Reducer::with_scratch(sys, self.options, std::mem::take(scratch))
+            .deadline(self.start_deadline())
+            .traced(sink);
+        let verdict = reducer.try_run();
         *scratch = reducer.into_scratch();
         verdict
     }
@@ -243,7 +359,12 @@ impl Checker {
     /// traces and per-level inspection.
     pub fn reducer<'a>(&self, sys: &'a CompositeSystem) -> Reducer<'a> {
         Reducer::with_scratch(sys, self.options, CheckScratch::new())
+            .deadline(self.start_deadline())
     }
+}
+
+fn interruption_panic(i: Interrupted) -> Verdict {
+    panic!("{i}; use a try_check* variant when setting Checker::deadline or a cancel token")
 }
 
 /// Per-step counters carried to the `level` trace event (see
@@ -272,6 +393,11 @@ pub struct Reducer<'a> {
     /// Structured-event sink. `None` costs one branch per level — the
     /// `trace_overhead` bench pins the disabled path at <2% of a check.
     sink: Option<&'a mut dyn TraceSink>,
+    /// Cooperative wall-clock bound, polled at level boundaries; an unset
+    /// deadline costs the same single branch as the disabled sink.
+    deadline: Deadline,
+    /// External cancel token, also polled at level boundaries.
+    cancel: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 impl<'a> Reducer<'a> {
@@ -294,7 +420,30 @@ impl<'a> Reducer<'a> {
             options,
             scratch,
             sink: None,
+            deadline: Deadline::none(),
+            cancel: None,
         }
+    }
+
+    /// Bounds the reduction by a [`Deadline`], polled at level boundaries;
+    /// observe expiry through [`Reducer::try_run`].
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Attaches a cancel token, polled at level boundaries: setting it to
+    /// `true` interrupts the reduction at the next boundary.
+    pub fn cancel_token(mut self, token: &'a std::sync::atomic::AtomicBool) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    fn interrupted(&self) -> bool {
+        self.deadline.expired()
+            || self
+                .cancel
+                .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
     }
 
     /// Attaches a [`TraceSink`]: every subsequent [`Reducer::step`] emits a
@@ -331,7 +480,18 @@ impl<'a> Reducer<'a> {
     ///
     /// With a sink attached (see [`Reducer::traced`]), the run is bracketed
     /// by `check_start` / `check_end` events around the per-level events.
+    ///
+    /// # Panics
+    /// If a [`Reducer::deadline`] or cancel token interrupts the run; use
+    /// [`Reducer::try_run`] to handle interruption.
     pub fn run(&mut self) -> Verdict {
+        self.try_run().unwrap_or_else(interruption_panic)
+    }
+
+    /// [`Reducer::run`] that surfaces deadline/cancel interruption instead
+    /// of panicking. An interrupted traced run has emitted `check_start`
+    /// and the completed `level` events, but no `check_end`.
+    pub fn try_run(&mut self) -> Result<Verdict, Interrupted> {
         let t0 = self.sink.is_some().then(Instant::now);
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.emit(&TraceEvent::CheckStart {
@@ -340,7 +500,7 @@ impl<'a> Reducer<'a> {
                 order: self.sys.order(),
             });
         }
-        let verdict = self.run_levels();
+        let verdict = self.run_levels()?;
         if let Some(sink) = self.sink.as_deref_mut() {
             let (correct, levels_completed, failed_level, failed_phase) = match &verdict {
                 Verdict::Correct(p) => (true, p.fronts.len().saturating_sub(1), None, None),
@@ -359,24 +519,29 @@ impl<'a> Reducer<'a> {
                 elapsed_ns: t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
             });
         }
-        verdict
+        Ok(verdict)
     }
 
-    fn run_levels(&mut self) -> Verdict {
+    fn run_levels(&mut self) -> Result<Verdict, Interrupted> {
         let mut fronts = vec![self.snapshot()];
         // Front 0 is CC by construction (per-schedule partial orders), but we
         // check anyway so the invariant is uniform across levels.
         if let Some(cycle) = self.front.is_cc() {
-            return Verdict::Incorrect(self.counterexample(
+            return Ok(Verdict::Incorrect(self.counterexample(
                 0,
                 FailurePhase::ConflictConsistency,
                 cycle,
-            ));
+            )));
         }
         for level in 1..=self.sys.order() {
+            // The cooperative cancellation point: one branch per level when
+            // no deadline/token is set.
+            if self.interrupted() {
+                return Err(Interrupted { level });
+            }
             match self.step(level) {
                 Ok(()) => fronts.push(self.snapshot()),
-                Err(cex) => return Verdict::Incorrect(cex),
+                Err(cex) => return Ok(Verdict::Incorrect(cex)),
             }
         }
         debug_assert_eq!(
@@ -385,10 +550,10 @@ impl<'a> Reducer<'a> {
             "a completed reduction must leave exactly the roots"
         );
         let witness = self.serial_witness();
-        Verdict::Correct(Proof {
+        Ok(Verdict::Correct(Proof {
             fronts,
             serial_witness: witness,
-        })
+        }))
     }
 
     /// Performs reduction step `level` (Definition 16), replacing the
@@ -689,6 +854,73 @@ mod tests {
         let proof = v.proof().unwrap();
         assert_eq!(proof.serial_witness, vec![t1, t2]);
         assert_eq!(proof.fronts.len(), 2); // level 0 and level 1
+    }
+
+    fn flat_two_root_system() -> compc_model::CompositeSystem {
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("S");
+        let t1 = b.root("T1", s);
+        let t2 = b.root("T2", s);
+        let a1 = b.leaf("r1(x)", t1);
+        let b1 = b.leaf("w1(y)", t1);
+        let a2 = b.leaf("w2(x)", t2);
+        let b2 = b.leaf("r2(y)", t2);
+        b.conflict(a1, a2).unwrap();
+        b.conflict(b1, b2).unwrap();
+        b.output_weak(a1, a2).unwrap();
+        b.output_weak(b1, b2).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A zero deadline expires at the first level boundary — deterministic
+    /// interruption — while the plain path is unaffected.
+    #[test]
+    fn zero_deadline_interrupts_at_level_one() {
+        let sys = flat_two_root_system();
+        let checker = Checker::new().deadline(std::time::Duration::ZERO);
+        assert!(matches!(
+            checker.try_check(&sys),
+            Err(Interrupted { level: 1 })
+        ));
+        // Without a deadline the same checker options complete normally.
+        assert!(Checker::new().try_check(&sys).unwrap().is_correct());
+    }
+
+    /// A generous deadline never fires; verdicts match the plain path.
+    #[test]
+    fn generous_deadline_completes_normally() {
+        let sys = flat_two_root_system();
+        let v = Checker::new()
+            .deadline(std::time::Duration::from_secs(3600))
+            .try_check(&sys)
+            .expect("an hour is plenty");
+        assert!(v.is_correct());
+    }
+
+    /// A pre-set cancel token interrupts the run at the first boundary.
+    #[test]
+    fn cancel_token_interrupts_reduction() {
+        use std::sync::atomic::AtomicBool;
+        let sys = flat_two_root_system();
+        let stop = AtomicBool::new(true);
+        let mut reducer = Reducer::new(&sys).cancel_token(&stop);
+        assert!(matches!(reducer.try_run(), Err(Interrupted { level: 1 })));
+        let go = AtomicBool::new(false);
+        let mut reducer = Reducer::new(&sys).cancel_token(&go);
+        assert!(reducer.try_run().unwrap().is_correct());
+    }
+
+    /// An interrupted traced run leaves `check_start` without `check_end`.
+    #[test]
+    fn interrupted_traced_run_has_no_check_end() {
+        use compc_trace::MemorySink;
+        let sys = flat_two_root_system();
+        let mut sink = MemorySink::new();
+        let checker = Checker::new().deadline(std::time::Duration::ZERO);
+        let r = checker.try_check_reusing_traced(&sys, &mut CheckScratch::new(), &mut sink);
+        assert!(matches!(r, Err(Interrupted { level: 1 })));
+        let kinds: Vec<&str> = sink.events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["check_start"]);
     }
 
     /// Flat non-serializable execution: the two conflicts point opposite

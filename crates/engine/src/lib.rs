@@ -44,7 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use compc_core::{effective_jobs, CheckScratch, Checker, Verdict};
+use compc_core::{effective_jobs, CheckScratch, Checker, Interrupted, Verdict};
 use compc_model::CompositeSystem;
 use compc_trace::{replay, Histogram, MemorySink, TraceEvent, TraceStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -70,17 +70,39 @@ impl BatchItem {
     }
 }
 
-/// Why an item produced no verdict: its check panicked (or its worker was
-/// lost). The message is the panic payload when one was recoverable.
-#[derive(Clone, Debug)]
-pub struct BatchFault {
-    /// The panic message (or a generic description).
-    pub message: String,
+/// Why an item produced no verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchFault {
+    /// The check panicked (or its worker was lost). The message is the
+    /// panic payload when one was recoverable.
+    Panic {
+        /// The panic message (or a generic description).
+        message: String,
+    },
+    /// The check was cooperatively interrupted by [`Batch::deadline`]
+    /// before reaching a verdict. The item is neither proven Comp-C nor
+    /// refuted; the rest of the batch is unaffected.
+    Timeout {
+        /// The reduction level whose step did not run.
+        level: usize,
+    },
+}
+
+impl BatchFault {
+    /// Whether this fault is a deadline timeout (as opposed to a panic).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, BatchFault::Timeout { .. })
+    }
 }
 
 impl std::fmt::Display for BatchFault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "check failed: {}", self.message)
+        match self {
+            BatchFault::Panic { message } => write!(f, "check failed: {message}"),
+            BatchFault::Timeout { level } => {
+                write!(f, "deadline exceeded before level {level}")
+            }
+        }
     }
 }
 
@@ -118,7 +140,7 @@ impl BatchOutcome {
 }
 
 /// Aggregate statistics for a batch run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct BatchStats {
     /// Systems submitted (correct + incorrect + faults).
     pub systems: usize,
@@ -128,6 +150,9 @@ pub struct BatchStats {
     pub incorrect: usize,
     /// How many produced no verdict because their check panicked.
     pub faults: usize,
+    /// How many produced no verdict because their check exceeded the
+    /// [`Batch::deadline`].
+    pub timeouts: usize,
     /// Total nodes across all systems.
     pub nodes: usize,
     /// Wall-clock time for the whole batch (pool start to pool end).
@@ -160,6 +185,22 @@ impl BatchStats {
         }
     }
 
+    /// Folds another batch's counters into this one — for aggregating
+    /// sequential chunked runs (e.g. a checkpointed corpus check) into one
+    /// summary. Wall and busy times add (the chunks ran back to back);
+    /// the worker count takes the max.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.systems += other.systems;
+        self.correct += other.correct;
+        self.incorrect += other.incorrect;
+        self.faults += other.faults;
+        self.timeouts += other.timeouts;
+        self.nodes += other.nodes;
+        self.wall += other.wall;
+        self.busy += other.busy;
+        self.workers = self.workers.max(other.workers);
+    }
+
     /// Fraction of the pool's capacity that was doing check work (0..=1).
     pub fn utilization(&self) -> f64 {
         let cap = self.wall.as_secs_f64() * self.workers.max(1) as f64;
@@ -179,10 +220,15 @@ impl std::fmt::Display for BatchStats {
             self.systems,
             self.correct,
             self.incorrect,
-            if self.faults > 0 {
-                format!(", {} faults", self.faults)
-            } else {
-                String::new()
+            {
+                let mut extra = String::new();
+                if self.faults > 0 {
+                    extra.push_str(&format!(", {} faults", self.faults));
+                }
+                if self.timeouts > 0 {
+                    extra.push_str(&format!(", {} timeouts", self.timeouts));
+                }
+                extra
             },
             self.nodes,
             self.wall.as_secs_f64(),
@@ -207,6 +253,17 @@ pub struct BatchMetrics {
     /// Per-level aggregates from the reduction's own trace events
     /// (populated only when [`Batch::tracing`] is on).
     pub trace: TraceStats,
+}
+
+impl BatchMetrics {
+    /// Folds another batch's distributions into this one — the histogram
+    /// companion to [`BatchStats::merge`] for chunked runs.
+    pub fn merge(&mut self, other: &BatchMetrics) {
+        self.check_ns.merge(&other.check_ns);
+        self.nodes.merge(&other.nodes);
+        self.levels_completed.merge(&other.levels_completed);
+        self.trace.merge(&other.trace);
+    }
 }
 
 impl std::fmt::Display for BatchMetrics {
@@ -242,11 +299,20 @@ impl BatchReport {
             .collect()
     }
 
-    /// Labels of the items whose check faulted.
+    /// Labels of the items whose check faulted (panicked).
     pub fn fault_labels(&self) -> Vec<&str> {
         self.outcomes
             .iter()
-            .filter(|o| o.result.is_err())
+            .filter(|o| matches!(&o.result, Err(BatchFault::Panic { .. })))
+            .map(|o| o.label.as_str())
+            .collect()
+    }
+
+    /// Labels of the items whose check exceeded the [`Batch::deadline`].
+    pub fn timeout_labels(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(&o.result, Err(BatchFault::Timeout { .. })))
             .map(|o| o.label.as_str())
             .collect()
     }
@@ -300,6 +366,14 @@ impl Batch {
         self
     }
 
+    /// A per-item wall-clock budget (see [`Checker::deadline`]): an item
+    /// whose check exceeds it reports [`BatchFault::Timeout`] and the rest
+    /// of the batch completes normally.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.checker = self.checker.deadline(budget);
+        self
+    }
+
     /// Record the reduction's structured trace events for every item (in
     /// [`BatchOutcome::events`]) and aggregate them into
     /// [`BatchMetrics::trace`].
@@ -317,10 +391,17 @@ impl Batch {
         self.run(items, move |checker, item, scratch| {
             if tracing {
                 let mut sink = MemorySink::new();
-                let verdict = checker.check_reusing_traced(&item.system, scratch, &mut sink);
-                (verdict, sink.events)
+                let result = checker
+                    .try_check_reusing_traced(&item.system, scratch, &mut sink)
+                    .map_err(timeout_fault);
+                // A timed-out item keeps its partial trace (check_start and
+                // the completed levels, no check_end).
+                (result, sink.events)
             } else {
-                (checker.check_reusing(&item.system, scratch), Vec::new())
+                let result = checker
+                    .try_check_reusing(&item.system, scratch)
+                    .map_err(timeout_fault);
+                (result, Vec::new())
             }
         })
     }
@@ -328,19 +409,27 @@ impl Batch {
     /// [`Batch::check_all`] with a custom per-item work function — the seam
     /// for callers that wrap the check (extra validation, timeouts, fault
     /// injection in tests). The function runs under the same panic
-    /// isolation as the built-in check.
+    /// isolation as the built-in check. A [`Batch::deadline`] reaches the
+    /// function through its `Checker` argument; call a `try_check*` variant
+    /// there to honor it (a plain `check*` panics on expiry, which the
+    /// batch then reports as [`BatchFault::Panic`]).
     pub fn check_all_with<F>(&self, items: Vec<BatchItem>, f: F) -> BatchReport
     where
         F: Fn(Checker, &BatchItem, &mut CheckScratch) -> Verdict + Sync,
     {
         self.run(items, move |checker, item, scratch| {
-            (f(checker, item, scratch), Vec::new())
+            (Ok(f(checker, item, scratch)), Vec::new())
         })
     }
 
     fn run<F>(&self, items: Vec<BatchItem>, work: F) -> BatchReport
     where
-        F: Fn(Checker, &BatchItem, &mut CheckScratch) -> (Verdict, Vec<TraceEvent>) + Sync,
+        F: Fn(
+                Checker,
+                &BatchItem,
+                &mut CheckScratch,
+            ) -> (Result<Verdict, BatchFault>, Vec<TraceEvent>)
+            + Sync,
     {
         let workers = effective_jobs(self.workers).min(items.len().max(1));
         let start = Instant::now();
@@ -398,7 +487,7 @@ impl Batch {
             .map(|(slot, item)| {
                 slot.unwrap_or_else(|| BatchOutcome {
                     label: item.label.clone(),
-                    result: Err(BatchFault {
+                    result: Err(BatchFault::Panic {
                         message: "batch worker terminated unexpectedly".into(),
                     }),
                     elapsed: Duration::ZERO,
@@ -410,13 +499,18 @@ impl Batch {
 
         let busy = outcomes.iter().map(|o| o.elapsed).sum();
         let correct = outcomes.iter().filter(|o| o.is_correct()).count();
-        let faults = outcomes.iter().filter(|o| o.result.is_err()).count();
+        let timeouts = outcomes
+            .iter()
+            .filter(|o| matches!(&o.result, Err(f) if f.is_timeout()))
+            .count();
+        let faults = outcomes.iter().filter(|o| o.result.is_err()).count() - timeouts;
         let nodes = outcomes.iter().map(|o| o.nodes).sum();
         let stats = BatchStats {
             systems: outcomes.len(),
             correct,
-            incorrect: outcomes.len() - correct - faults,
+            incorrect: outcomes.len() - correct - faults - timeouts,
             faults,
+            timeouts,
             nodes,
             wall,
             busy,
@@ -458,14 +552,15 @@ fn guarded_check<F>(
     work: &F,
 ) -> BatchOutcome
 where
-    F: Fn(Checker, &BatchItem, &mut CheckScratch) -> (Verdict, Vec<TraceEvent>) + Sync,
+    F: Fn(Checker, &BatchItem, &mut CheckScratch) -> (Result<Verdict, BatchFault>, Vec<TraceEvent>)
+        + Sync,
 {
     let nodes = item.system.node_count();
     let t0 = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| work(checker, item, scratch))) {
-        Ok((verdict, events)) => BatchOutcome {
+        Ok((result, events)) => BatchOutcome {
             label: item.label.clone(),
-            result: Ok(verdict),
+            result,
             elapsed: t0.elapsed(),
             nodes,
             events,
@@ -474,7 +569,7 @@ where
             *scratch = CheckScratch::new();
             BatchOutcome {
                 label: item.label.clone(),
-                result: Err(BatchFault {
+                result: Err(BatchFault::Panic {
                     message: panic_message(payload),
                 }),
                 elapsed: t0.elapsed(),
@@ -483,6 +578,10 @@ where
             }
         }
     }
+}
+
+fn timeout_fault(i: Interrupted) -> BatchFault {
+    BatchFault::Timeout { level: i.level }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -634,10 +733,10 @@ mod tests {
             assert_eq!(report.incorrect_labels(), vec!["bad"]);
             let faulted = report.outcomes.iter().find(|o| o.label == "ok-9").unwrap();
             let fault = faulted.fault().expect("ok-9 must carry a fault");
+            assert!(!fault.is_timeout());
             assert!(
-                fault.message.contains("deliberate test panic"),
-                "fault message preserves the panic payload: {}",
-                fault.message
+                fault.to_string().contains("deliberate test panic"),
+                "fault message preserves the panic payload: {fault}"
             );
             // Input order is preserved around the fault.
             assert_eq!(report.outcomes[5].label, "bad");
@@ -663,6 +762,54 @@ mod tests {
         // ok-2 and ok-12 panic.
         assert_eq!(report.stats.faults, 2);
         assert_eq!(report.stats.correct + report.stats.incorrect, 16);
+    }
+
+    /// A deadline-exceeding check reports `BatchFault::Timeout` without
+    /// poisoning the batch: counted apart from panics, the pool keeps
+    /// running, and a generous deadline changes nothing.
+    #[test]
+    fn zero_deadline_times_out_items_without_poisoning() {
+        for workers in [1, 3] {
+            let report = Batch::new()
+                .workers(workers)
+                .deadline(Duration::ZERO)
+                .check_all(batch_items());
+            assert_eq!(report.stats.systems, 18, "workers={workers}");
+            assert_eq!(report.stats.timeouts, 18, "workers={workers}");
+            assert_eq!(report.stats.faults, 0, "workers={workers}");
+            assert_eq!(report.stats.correct + report.stats.incorrect, 0);
+            assert_eq!(report.timeout_labels().len(), 18);
+            assert!(report.fault_labels().is_empty());
+            for o in &report.outcomes {
+                assert_eq!(o.fault(), Some(&BatchFault::Timeout { level: 1 }));
+            }
+            let line = report.stats.to_string();
+            assert!(line.contains("18 timeouts"), "{line}");
+            assert!(!line.contains("faults"), "{line}");
+        }
+        let generous = Batch::new()
+            .workers(2)
+            .deadline(Duration::from_secs(3600))
+            .check_all(batch_items());
+        assert_eq!(generous.stats.timeouts, 0);
+        assert_eq!(generous.stats.correct, 17);
+        assert_eq!(generous.stats.incorrect, 1);
+    }
+
+    /// With tracing on, a timed-out item keeps its partial event stream:
+    /// `check_start` but no `check_end`.
+    #[test]
+    fn timed_out_items_keep_partial_traces() {
+        let report = Batch::new()
+            .workers(1)
+            .tracing(true)
+            .deadline(Duration::ZERO)
+            .check_all(batch_items());
+        for o in &report.outcomes {
+            assert!(o.fault().is_some_and(BatchFault::is_timeout));
+            assert_eq!(o.events.first().map(|e| e.kind()), Some("check_start"));
+            assert!(o.events.iter().all(|e| e.kind() != "check_end"));
+        }
     }
 
     #[test]

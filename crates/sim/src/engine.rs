@@ -1,5 +1,6 @@
 //! The discrete-event execution engine.
 
+use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultStats};
 use crate::locks::{LockOutcome, LockTable};
 use crate::protocol::{DeadlockPolicy, LockScope, Protocol};
 use crate::template::{Program, Step, TxTemplate};
@@ -61,10 +62,22 @@ pub struct LogEntry {
 pub struct SimMetrics {
     /// Composite transactions that committed.
     pub committed: u64,
-    /// Composite transactions that exhausted their attempts.
+    /// Composite transactions that exhausted their attempts
+    /// ([`SimConfig::max_attempts`]) and gave up.
     pub failed: u64,
-    /// Total aborted attempts (retries included).
+    /// Total aborted attempts (retries included); the sum of the per-reason
+    /// counters below.
     pub aborts: u64,
+    /// Aborted attempts caused by waits-for deadlock detection.
+    pub deadlock_aborts: u64,
+    /// Aborted attempts of wound-wait victims.
+    pub wound_aborts: u64,
+    /// Aborted attempts refused by a protocol (SGT cycle, timestamp
+    /// too-late).
+    pub protocol_aborts: u64,
+    /// Aborted attempts caused by injected faults (component crashes and
+    /// outages, transient operation failures).
+    pub fault_aborts: u64,
     /// Operations granted (committed and aborted attempts alike).
     pub ops_executed: u64,
     /// Simulated end time.
@@ -101,6 +114,21 @@ impl SimMetrics {
             self.aborts as f64 / self.committed as f64
         }
     }
+
+    /// Sums another run's counters into this one (sweep summaries). Times
+    /// aggregate as max end time and summed latency.
+    pub fn merge(&mut self, other: &SimMetrics) {
+        self.committed += other.committed;
+        self.failed += other.failed;
+        self.aborts += other.aborts;
+        self.deadlock_aborts += other.deadlock_aborts;
+        self.wound_aborts += other.wound_aborts;
+        self.protocol_aborts += other.protocol_aborts;
+        self.fault_aborts += other.fault_aborts;
+        self.ops_executed += other.ops_executed;
+        self.end_time = self.end_time.max(other.end_time);
+        self.total_latency += other.total_latency;
+    }
 }
 
 /// Everything a finished run exposes: metrics, per-component grant logs,
@@ -120,6 +148,11 @@ pub struct SimReport {
     pub stores: Vec<BTreeMap<ItemId, i64>>,
     /// Run counters.
     pub metrics: SimMetrics,
+    /// Fault injections recorded during the run, in injection order (empty
+    /// without a [`FaultPlan`]).
+    pub faults: Vec<FaultEvent>,
+    /// Aggregate per-kind fault counters.
+    pub fault_stats: FaultStats,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -149,14 +182,32 @@ enum Event {
     OpDone(u32),
     Resume(u32),
     Retry(u32),
+    /// A scheduled component crash (index into the fault plan's crash list).
+    Crash(u32),
+    /// A crashed component comes back up (component id).
+    Restart(u32),
+    /// Reap expired lock leases at a component (component id).
+    ExpireLeases(u32),
+}
+
+/// Why a transaction attempt was aborted (drives the per-reason counters in
+/// [`SimMetrics`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AbortReason {
+    Deadlock,
+    Wound,
+    Protocol,
+    Fault,
 }
 
 /// The simulator. Construct with a topology, templates and a config, then
-/// [`Engine::run`].
+/// [`Engine::run`]. Optionally attach a [`FaultPlan`] with
+/// [`Engine::faults`].
 pub struct Engine {
     topology: Topology,
     templates: Vec<TxTemplate>,
     config: SimConfig,
+    faults: Option<FaultPlan>,
 }
 
 struct RunState {
@@ -185,12 +236,31 @@ struct RunState {
     ts_counter: u64,
     metrics: SimMetrics,
     rng: StdRng,
+    /// Dedicated fault RNG, drawn from the plan's seed — never from
+    /// `SimConfig::seed` — so fault decisions cannot perturb the workload's
+    /// randomness (and a fault-free run never touches it at all).
+    fault_rng: StdRng,
+    /// Per-component outage deadline: the component refuses operations
+    /// while `now < down_until[comp]`.
+    down_until: Vec<u64>,
+    fault_events: Vec<FaultEvent>,
+    fault_stats: FaultStats,
 }
 
 impl RunState {
     fn push(&mut self, time: u64, ev: Event) {
         self.seq += 1;
         self.queue.push(Reverse((time, self.seq, ev)));
+    }
+
+    fn record_fault(&mut self, kind: FaultKind, comp: CompId, tx: Option<u32>) {
+        self.fault_stats.record(kind);
+        self.fault_events.push(FaultEvent {
+            kind,
+            comp,
+            tx,
+            time: self.now,
+        });
     }
 }
 
@@ -201,7 +271,16 @@ impl Engine {
             topology,
             templates,
             config,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault plan. A disabled plan (see
+    /// [`FaultPlan::is_disabled`]) is dropped outright, so the run stays
+    /// byte-identical to one with no plan at all.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = if plan.is_disabled() { None } else { Some(plan) };
+        self
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -225,6 +304,20 @@ impl Engine {
             ts_counter: 0,
             metrics: SimMetrics::default(),
             rng: StdRng::seed_from_u64(self.config.seed),
+            fault_rng: self
+                .faults
+                .as_ref()
+                .map(|p| p.rng())
+                .unwrap_or_else(|| StdRng::seed_from_u64(0)),
+            // Only faulted runs pay for the outage table; the fault hooks
+            // that read it are themselves gated on a plan being installed.
+            down_until: if self.faults.is_some() {
+                vec![0; n_comp]
+            } else {
+                Vec::new()
+            },
+            fault_events: Vec::new(),
+            fault_stats: FaultStats::default(),
         };
         // Schedule arrivals.
         let mut t = 0u64;
@@ -241,6 +334,15 @@ impl Engine {
             st.push(t, Event::Arrive(i as u32));
             let (lo, hi) = self.config.arrival_spacing;
             t += st.rng.gen_range(lo..=hi);
+        }
+        // Schedule planned component crashes (out-of-topology targets are
+        // ignored rather than panicking mid-run).
+        if let Some(plan) = &self.faults {
+            for (i, crash) in plan.crashes().iter().enumerate() {
+                if crash.comp.index() < n_comp {
+                    st.push(crash.at, Event::Crash(i as u32));
+                }
+            }
         }
         // Event loop.
         while let Some(Reverse((time, _, ev))) = st.queue.pop() {
@@ -282,6 +384,15 @@ impl Engine {
                         self.execute_current_op(&mut st, tx);
                     }
                 }
+                Event::Crash(idx) => {
+                    self.crash_component(&mut st, idx as usize);
+                }
+                Event::Restart(c) => {
+                    self.restart_component(&mut st, CompId(c));
+                }
+                Event::ExpireLeases(c) => {
+                    self.expire_component_leases(&mut st, CompId(c));
+                }
             }
         }
         st.metrics.end_time = st.now;
@@ -298,6 +409,69 @@ impl Engine {
             logs: st.logs,
             stores: st.stores,
             metrics: st.metrics,
+            faults: st.fault_events,
+            fault_stats: st.fault_stats,
+        }
+    }
+
+    /// Takes down the component named by crash spec `idx`: every composite
+    /// transaction with in-flight work there (log entries, held or awaited
+    /// locks) aborts, and the component refuses new operations until the
+    /// outage ends.
+    /// Handles an [`Event::Restart`]: the component's outage ended. Stale
+    /// if a later crash extended the outage past this event's time.
+    #[cold]
+    #[inline(never)]
+    fn restart_component(&self, st: &mut RunState, comp: CompId) {
+        if st.down_until[comp.index()] <= st.now {
+            st.record_fault(FaultKind::Restart, comp, None);
+        }
+    }
+
+    /// Handles an [`Event::ExpireLeases`]: reaps the component's orphaned
+    /// grants whose lease expired and wakes the requests they blocked.
+    #[cold]
+    #[inline(never)]
+    fn expire_component_leases(&self, st: &mut RunState, comp: CompId) {
+        let table = &self.topology.component(comp).table;
+        let (expired, woken) = st.locks[comp.index()].expire_orphans(table, st.now);
+        for &e in &expired {
+            // Scrub stale waits-for edges onto the reaped transaction so
+            // deadlock detection stays sound.
+            for w in st.waits_for.values_mut() {
+                w.retain(|&b| b != e);
+            }
+            st.record_fault(FaultKind::LeaseExpiry, comp, Some(e));
+        }
+        let now = st.now;
+        for w in woken {
+            st.push(now, Event::Resume(w.tx));
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn crash_component(&self, st: &mut RunState, idx: usize) {
+        let plan = self.faults.as_ref().expect("crash event without a plan");
+        let spec = plan.crashes()[idx];
+        let comp = spec.comp;
+        st.down_until[comp.index()] = st.down_until[comp.index()].max(st.now + spec.outage);
+        st.record_fault(FaultKind::Crash, comp, None);
+        let restart_at = st.down_until[comp.index()];
+        st.push(restart_at, Event::Restart(comp.0));
+        let victims: Vec<u32> = st
+            .txs
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| {
+                matches!(s.status, TxStatus::Running | TxStatus::Blocked)
+                    && (st.logs[comp.index()].iter().any(|e| e.tx == i as u32)
+                        || st.locks[comp.index()].involves(i as u32))
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        for v in victims {
+            self.abort(st, v, AbortReason::Fault);
         }
     }
 
@@ -329,6 +503,9 @@ impl Engine {
                     st.txs[tx as usize].pc += 1;
                 }
                 Step::Op { comp, spec, .. } => {
+                    if self.faults.is_some() && self.op_fault_interferes(st, tx, comp) {
+                        return;
+                    }
                     match self.try_grant(st, tx, comp, spec) {
                         Decision::Granted => {
                             self.execute_current_op(st, tx);
@@ -340,10 +517,17 @@ impl Engine {
                             ) && self.config.deadlock == DeadlockPolicy::WoundWait;
                             if wound_wait {
                                 let my_ts = st.txs[tx as usize].timestamp;
+                                // Never wound a committed blocker: with
+                                // dropped lock releases a blocker may be an
+                                // already-committed orphan whose lease must
+                                // simply expire.
                                 let victims: Vec<u32> = blockers
                                     .iter()
                                     .copied()
-                                    .filter(|&b| st.txs[b as usize].timestamp > my_ts)
+                                    .filter(|&b| {
+                                        st.txs[b as usize].timestamp > my_ts
+                                            && st.txs[b as usize].status != TxStatus::Committed
+                                    })
                                     .collect();
                                 if !victims.is_empty() {
                                     // Older requester wounds younger
@@ -351,7 +535,7 @@ impl Engine {
                                     // and retries the step immediately.
                                     st.locks[comp.index()].cancel_waiting(tx);
                                     for v in victims {
-                                        self.abort(st, v);
+                                        self.abort(st, v, AbortReason::Wound);
                                     }
                                     continue;
                                 }
@@ -359,12 +543,12 @@ impl Engine {
                             st.txs[tx as usize].status = TxStatus::Blocked;
                             st.waits_for.insert(tx, blockers);
                             if !wound_wait && self.deadlocked(st, tx) {
-                                self.abort(st, tx);
+                                self.abort(st, tx, AbortReason::Deadlock);
                             }
                             return;
                         }
                         Decision::Abort => {
-                            self.abort(st, tx);
+                            self.abort(st, tx, AbortReason::Protocol);
                             return;
                         }
                     }
@@ -417,8 +601,51 @@ impl Engine {
         });
         st.metrics.ops_executed += 1;
         let (lo, hi) = self.config.op_duration;
-        let dur = st.rng.gen_range(lo..=hi);
+        let mut dur = st.rng.gen_range(lo..=hi);
+        if self.faults.is_some() {
+            dur += self.stall_fault(st, tx, comp);
+        }
         st.push(now + dur, Event::OpDone(tx));
+    }
+
+    /// Fault hooks on an operation attempt — outage refusal (a crashed
+    /// component refuses operations until its outage ends) and transient
+    /// operation failure, both aborting with the normal retry backoff.
+    /// Outlined so the fault-free hot loop pays one predictable branch;
+    /// only called with a plan installed. Returns true when the attempt
+    /// aborted.
+    #[cold]
+    #[inline(never)]
+    fn op_fault_interferes(&self, st: &mut RunState, tx: u32, comp: CompId) -> bool {
+        let plan = self.faults.as_ref().expect("caller checked");
+        if st.down_until[comp.index()] > st.now {
+            self.abort(st, tx, AbortReason::Fault);
+            return true;
+        }
+        let p = plan.op_fail_prob();
+        if p > 0.0 && st.fault_rng.gen_bool(p) {
+            st.record_fault(FaultKind::OpFailure, comp, Some(tx));
+            self.abort(st, tx, AbortReason::Fault);
+            return true;
+        }
+        false
+    }
+
+    /// Grant-stall fault hook: a latency spike on a granted operation,
+    /// drawn from the dedicated fault RNG. Outlined like
+    /// [`Engine::op_fault_interferes`]; only called with a plan installed.
+    #[cold]
+    #[inline(never)]
+    fn stall_fault(&self, st: &mut RunState, tx: u32, comp: CompId) -> u64 {
+        let plan = self.faults.as_ref().expect("caller checked");
+        let p = plan.stall_prob();
+        if p > 0.0 && st.fault_rng.gen_bool(p) {
+            let (slo, shi) = plan.stall_ticks();
+            st.record_fault(FaultKind::Stall, comp, Some(tx));
+            st.fault_rng.gen_range(slo..=shi)
+        } else {
+            0
+        }
     }
 
     /// Applies the current (data) op's store effect as it completes.
@@ -558,7 +785,10 @@ impl Engine {
     }
 
     fn commit_root(&self, st: &mut RunState, tx: u32) {
-        self.release_everything(st, tx);
+        let dropped = self.faults.is_some() && self.commit_fault_drops_releases(st, tx);
+        if !dropped {
+            self.release_everything(st, tx);
+        }
         let s = &mut st.txs[tx as usize];
         s.status = TxStatus::Committed;
         s.undo.clear();
@@ -566,8 +796,53 @@ impl Engine {
         st.metrics.total_latency += st.now - s.first_arrival;
     }
 
-    fn abort(&self, st: &mut RunState, tx: u32) {
+    /// Dropped-release fault hook on a root commit: draws the drop
+    /// decision and, when it fires, orphans the transaction's grants.
+    /// Outlined like [`Engine::op_fault_interferes`]; only called with a
+    /// plan installed.
+    #[cold]
+    #[inline(never)]
+    fn commit_fault_drops_releases(&self, st: &mut RunState, tx: u32) -> bool {
+        let plan = self.faults.as_ref().expect("caller checked");
+        let p = plan.drop_release_prob();
+        p > 0.0 && st.fault_rng.gen_bool(p) && {
+            let lease = plan.lease();
+            self.drop_releases(st, tx, lease)
+        }
+    }
+
+    /// Fault path of a root commit: the transaction's lock releases are
+    /// lost. Its grants stay in the tables as orphans under a lease, still
+    /// blocking conflicting requests, until an [`Event::ExpireLeases`] reaps
+    /// them. Returns false when the transaction held no locks (nothing to
+    /// drop — the caller releases normally).
+    fn drop_releases(&self, st: &mut RunState, tx: u32, lease: u64) -> bool {
+        let expires = st.now + lease;
+        let mut any = false;
+        for (comp, _) in self.topology.iter() {
+            if st.locks[comp.index()].orphan_tx(tx, expires) > 0 {
+                any = true;
+                st.record_fault(FaultKind::DroppedRelease, comp, Some(tx));
+                st.push(expires, Event::ExpireLeases(comp.0));
+            }
+        }
+        if any {
+            // The committed transaction itself waits on nobody; waiters
+            // blocked on *it* keep their waits-for edges until the lease
+            // expires.
+            st.waits_for.remove(&tx);
+        }
+        any
+    }
+
+    fn abort(&self, st: &mut RunState, tx: u32, reason: AbortReason) {
         st.metrics.aborts += 1;
+        match reason {
+            AbortReason::Deadlock => st.metrics.deadlock_aborts += 1,
+            AbortReason::Wound => st.metrics.wound_aborts += 1,
+            AbortReason::Protocol => st.metrics.protocol_aborts += 1,
+            AbortReason::Fault => st.metrics.fault_aborts += 1,
+        }
         self.release_everything(st, tx);
         // Undo store effects in reverse order (best effort — see crate docs
         // on open-nesting compensation).
@@ -879,6 +1154,153 @@ mod tests {
         assert_eq!(r1.metrics.committed, r2.metrics.committed);
         assert_eq!(r1.metrics.end_time, r2.metrics.end_time);
         assert_eq!(r1.logs[0].len(), r2.logs[0].len());
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_byte_identical_to_no_plan() {
+        let templates = || {
+            vec![
+                tmpl("a", vec![w(0), w(1), r(2)]),
+                tmpl("b", vec![w(1), w(0)]),
+                tmpl("c", vec![r(0), w(2)]),
+            ]
+        };
+        let base = run(Protocol::Sgt, templates());
+        let faulted = Engine::new(
+            flat_topology(Protocol::Sgt),
+            templates(),
+            SimConfig::default(),
+        )
+        .faults(FaultPlan::new(9)) // empty plan: injects nothing
+        .run();
+        assert_eq!(base.metrics.end_time, faulted.metrics.end_time);
+        assert_eq!(base.metrics.committed, faulted.metrics.committed);
+        assert_eq!(base.metrics.ops_executed, faulted.metrics.ops_executed);
+        let key = |r: &SimReport| -> Vec<(u32, u64)> {
+            r.logs[0].iter().map(|e| (e.tx, e.time)).collect()
+        };
+        assert_eq!(key(&base), key(&faulted));
+        assert!(faulted.faults.is_empty());
+        assert_eq!(faulted.fault_stats.total(), 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed_and_plan() {
+        let templates = || {
+            vec![
+                tmpl("a", vec![w(0), w(1)]),
+                tmpl("b", vec![w(1), w(0)]),
+                tmpl("c", vec![r(0), w(2)]),
+            ]
+        };
+        let go = || {
+            Engine::new(
+                flat_topology(Protocol::TwoPhase {
+                    scope: LockScope::Composite,
+                }),
+                templates(),
+                SimConfig::default(),
+            )
+            .faults(FaultPlan::random(11, 1, 100))
+            .run()
+        };
+        let r1 = go();
+        let r2 = go();
+        assert_eq!(r1.faults, r2.faults);
+        assert_eq!(r1.fault_stats, r2.fault_stats);
+        assert_eq!(r1.metrics.end_time, r2.metrics.end_time);
+        assert_eq!(r1.metrics.committed, r2.metrics.committed);
+        assert_eq!(r1.metrics.fault_aborts, r2.metrics.fault_aborts);
+    }
+
+    #[test]
+    fn crash_aborts_inflight_work_then_recovers() {
+        let config = SimConfig {
+            arrival_spacing: (0, 0), // all arrive at t=0: surely in flight
+            ..SimConfig::default()
+        };
+        let report = Engine::new(
+            flat_topology(Protocol::TwoPhase {
+                scope: LockScope::Composite,
+            }),
+            vec![tmpl("a", vec![w(0), w(1)]), tmpl("b", vec![w(2), w(3)])],
+            config,
+        )
+        .faults(FaultPlan::new(1).crash(CompId(0), 1, 6))
+        .run();
+        assert_eq!(report.fault_stats.crashes, 1);
+        assert_eq!(report.fault_stats.restarts, 1);
+        assert!(report.metrics.fault_aborts >= 1, "{:?}", report.metrics);
+        // Both transactions recover after the outage and commit.
+        assert_eq!(report.metrics.committed, 2);
+        let sys = report.export_system().expect("valid export");
+        assert!(compc_core::check(&sys).is_correct());
+    }
+
+    #[test]
+    fn dropped_releases_expire_and_unblock_waiters() {
+        let report = Engine::new(
+            flat_topology(Protocol::TwoPhase {
+                scope: LockScope::Composite,
+            }),
+            vec![tmpl("a", vec![w(0), w(1)]), tmpl("b", vec![w(0), w(1)])],
+            SimConfig::default(),
+        )
+        .faults(FaultPlan::new(2).drop_releases(1.0, 10))
+        .run();
+        assert_eq!(report.metrics.committed, 2);
+        assert!(report.fault_stats.dropped_releases >= 1);
+        assert!(report.fault_stats.lease_expiries >= 1);
+        let sys = report.export_system().expect("valid export");
+        assert!(compc_core::check(&sys).is_correct());
+    }
+
+    #[test]
+    fn permanent_op_failures_exhaust_attempts_distinctly() {
+        let config = SimConfig {
+            max_attempts: 3,
+            ..SimConfig::default()
+        };
+        let report = Engine::new(
+            flat_topology(Protocol::TwoPhase {
+                scope: LockScope::Composite,
+            }),
+            vec![tmpl("a", vec![w(0)]), tmpl("b", vec![w(1)])],
+            config,
+        )
+        .faults(FaultPlan::new(3).op_failures(1.0))
+        .run();
+        // Every attempt dies to an injected failure: both give up, and the
+        // exhaustion is visible apart from the abort-reason counters.
+        assert_eq!(report.metrics.committed, 0);
+        assert_eq!(report.metrics.failed, 2);
+        assert_eq!(report.metrics.aborts, 6);
+        assert_eq!(report.metrics.fault_aborts, 6);
+        assert_eq!(report.metrics.deadlock_aborts, 0);
+        assert_eq!(report.fault_stats.op_failures, 6);
+    }
+
+    #[test]
+    fn stalls_lengthen_the_run_without_changing_outcomes() {
+        let templates = || vec![tmpl("a", vec![w(0), w(1)]), tmpl("b", vec![w(2), w(3)])];
+        let base = run(
+            Protocol::TwoPhase {
+                scope: LockScope::Composite,
+            },
+            templates(),
+        );
+        let stalled = Engine::new(
+            flat_topology(Protocol::TwoPhase {
+                scope: LockScope::Composite,
+            }),
+            templates(),
+            SimConfig::default(),
+        )
+        .faults(FaultPlan::new(4).stalls(1.0, (5, 5)))
+        .run();
+        assert_eq!(stalled.metrics.committed, base.metrics.committed);
+        assert_eq!(stalled.fault_stats.stalls, stalled.metrics.ops_executed);
+        assert!(stalled.metrics.end_time > base.metrics.end_time);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Deterministic, seed-driven fault injection for the simulator.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* during a run, independently
+//! of the workload: scheduled component crashes (every in-flight composite
+//! transaction at the component is aborted and the component refuses work
+//! until it restarts), transient operation failures (an admitted operation
+//! fails and the composite transaction retries through the existing backoff
+//! machinery), grant stalls (latency spikes added to an operation's service
+//! time), and dropped lock releases at commit (a committed transaction's
+//! locks are never released and must be reaped by the lease-expiry timeout
+//! in `locks.rs`).
+//!
+//! Two properties make the plans usable in CI chaos sweeps:
+//!
+//! * **Determinism** — a plan draws randomness only from its own seed, on a
+//!   dedicated RNG separate from the simulation's. The same `(SimConfig,
+//!   FaultPlan)` pair always produces the identical run, fault events
+//!   included.
+//! * **Baseline identity** — an engine without a plan never touches the
+//!   fault RNG or any fault branch beyond one `Option` check per decision
+//!   point, so the no-fault run is byte-identical to the pre-fault engine.
+//!
+//! Every injection is recorded as a [`FaultEvent`], convertible to a
+//! [`compc_trace::TraceEvent::Fault`] so chaos sweeps and reduction checks
+//! share one observability stream.
+
+use crate::topology::CompId;
+use compc_trace::TraceEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kinds of faults the plan can inject (plus the two recovery events
+/// that bracket them: a restart ends an outage, a lease expiry ends a
+/// dropped release).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A component crashed: in-flight subtransaction work there is aborted.
+    Crash,
+    /// A crashed component came back up.
+    Restart,
+    /// An admitted operation transiently failed; the composite transaction
+    /// retries with the engine's backoff.
+    OpFailure,
+    /// A grant stalled: extra ticks added to the operation's service time.
+    Stall,
+    /// A committing transaction's lock releases were dropped; its locks
+    /// linger until the lease expires.
+    DroppedRelease,
+    /// The lock lease of a dropped release expired; orphaned locks were
+    /// reaped and waiters woken.
+    LeaseExpiry,
+}
+
+impl FaultKind {
+    /// A stable machine-readable tag (used in trace events and NDJSON).
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Restart => "restart",
+            FaultKind::OpFailure => "op_fail",
+            FaultKind::Stall => "stall",
+            FaultKind::DroppedRelease => "drop_release",
+            FaultKind::LeaseExpiry => "lease_expiry",
+        }
+    }
+}
+
+/// One recorded fault injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// The component it hit.
+    pub comp: CompId,
+    /// The affected composite transaction, when the fault targets one.
+    pub tx: Option<u32>,
+    /// Simulated time of the injection.
+    pub time: u64,
+}
+
+impl FaultEvent {
+    /// The event as a [`compc_trace::TraceEvent`], for NDJSON sinks and
+    /// [`compc_trace::TraceStats`] aggregation.
+    pub fn to_trace(&self) -> TraceEvent {
+        TraceEvent::Fault {
+            fault: self.kind.tag(),
+            component: self.comp.index(),
+            tx: self.tx,
+            time: self.time,
+        }
+    }
+}
+
+/// Aggregate fault counters for one run (or, merged, for a sweep).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Component crashes injected.
+    pub crashes: u64,
+    /// Component restarts after an outage.
+    pub restarts: u64,
+    /// Transient operation failures injected.
+    pub op_failures: u64,
+    /// Grant stalls injected.
+    pub stalls: u64,
+    /// Commit-time lock releases dropped.
+    pub dropped_releases: u64,
+    /// Orphaned locks reaped by lease expiry.
+    pub lease_expiries: u64,
+}
+
+impl FaultStats {
+    /// Counts one injection.
+    pub fn record(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Crash => self.crashes += 1,
+            FaultKind::Restart => self.restarts += 1,
+            FaultKind::OpFailure => self.op_failures += 1,
+            FaultKind::Stall => self.stalls += 1,
+            FaultKind::DroppedRelease => self.dropped_releases += 1,
+            FaultKind::LeaseExpiry => self.lease_expiries += 1,
+        }
+    }
+
+    /// Total injections across all kinds (recovery events included).
+    pub fn total(&self) -> u64 {
+        self.crashes
+            + self.restarts
+            + self.op_failures
+            + self.stalls
+            + self.dropped_releases
+            + self.lease_expiries
+    }
+
+    /// Sums another run's counters into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
+        self.op_failures += other.op_failures;
+        self.stalls += other.stalls;
+        self.dropped_releases += other.dropped_releases;
+        self.lease_expiries += other.lease_expiries;
+    }
+}
+
+/// A scheduled component crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The component that goes down.
+    pub comp: CompId,
+    /// When it goes down (simulated ticks).
+    pub at: u64,
+    /// How long it stays down before restarting.
+    pub outage: u64,
+}
+
+/// A deterministic, seed-driven fault plan. Build fluently:
+///
+/// ```
+/// use compc_sim::{CompId, FaultPlan};
+/// let plan = FaultPlan::new(7)
+///     .crash(CompId(0), 20, 15)
+///     .op_failures(0.05)
+///     .stalls(0.1, (2, 8))
+///     .drop_releases(0.25, 12);
+/// assert!(!plan.is_disabled());
+/// ```
+///
+/// A default plan injects nothing ([`FaultPlan::is_disabled`]); the engine
+/// treats it exactly like running without a plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    crashes: Vec<CrashSpec>,
+    op_fail_prob: f64,
+    stall_prob: f64,
+    stall_ticks: (u64, u64),
+    drop_release_prob: f64,
+    lease: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0)
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan drawing its randomness from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            crashes: Vec::new(),
+            op_fail_prob: 0.0,
+            stall_prob: 0.0,
+            stall_ticks: (1, 4),
+            drop_release_prob: 0.0,
+            lease: 16,
+        }
+    }
+
+    /// Schedules a crash of `comp` at tick `at`, restarting after `outage`
+    /// ticks (clamped to at least 1).
+    pub fn crash(mut self, comp: CompId, at: u64, outage: u64) -> Self {
+        self.crashes.push(CrashSpec {
+            comp,
+            at,
+            outage: outage.max(1),
+        });
+        self
+    }
+
+    /// Probability (0..=1) that an admitted operation transiently fails.
+    pub fn op_failures(mut self, prob: f64) -> Self {
+        self.op_fail_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a grant stalls, and the inclusive range of extra
+    /// ticks added when it does.
+    pub fn stalls(mut self, prob: f64, extra: (u64, u64)) -> Self {
+        self.stall_prob = prob.clamp(0.0, 1.0);
+        self.stall_ticks = (extra.0.min(extra.1), extra.0.max(extra.1));
+        self
+    }
+
+    /// Probability that a committing transaction's lock releases are
+    /// dropped, and the lease in ticks after which orphaned locks are
+    /// reaped (clamped to at least 1).
+    pub fn drop_releases(mut self, prob: f64, lease: u64) -> Self {
+        self.drop_release_prob = prob.clamp(0.0, 1.0);
+        self.lease = lease.max(1);
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_disabled(&self) -> bool {
+        self.crashes.is_empty()
+            && self.op_fail_prob == 0.0
+            && self.stall_prob == 0.0
+            && self.drop_release_prob == 0.0
+    }
+
+    /// The scheduled crashes.
+    pub fn crashes(&self) -> &[CrashSpec] {
+        &self.crashes
+    }
+
+    /// The lock lease for dropped releases, in ticks.
+    pub fn lease(&self) -> u64 {
+        self.lease
+    }
+
+    pub(crate) fn op_fail_prob(&self) -> f64 {
+        self.op_fail_prob
+    }
+
+    pub(crate) fn stall_prob(&self) -> f64 {
+        self.stall_prob
+    }
+
+    pub(crate) fn stall_ticks(&self) -> (u64, u64) {
+        self.stall_ticks
+    }
+
+    pub(crate) fn drop_release_prob(&self) -> f64 {
+        self.drop_release_prob
+    }
+
+    /// The plan's dedicated fault RNG. Seeded apart from the simulation's
+    /// arrival/service RNG so enabling a plan (or changing it) never
+    /// perturbs the baseline randomness, and a disabled plan leaves the run
+    /// byte-identical to one with no plan at all.
+    pub(crate) fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// A randomized-but-deterministic plan for chaos sweeps: `seed` fully
+    /// determines the plan, which targets a topology of `components`
+    /// components over roughly `horizon` simulated ticks. All four fault
+    /// kinds are armed with moderate probabilities, and at least one crash
+    /// is always scheduled.
+    pub fn random(seed: u64, components: usize, horizon: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let components = components.max(1);
+        let horizon = horizon.max(8);
+        let mut plan = FaultPlan::new(seed);
+        let n_crashes = rng.gen_range(1..=2.min(components));
+        for _ in 0..n_crashes {
+            let comp = CompId(rng.gen_range(0..components as u32));
+            let at = rng.gen_range(0..horizon / 2);
+            let outage = rng.gen_range(horizon / 8..=horizon / 4);
+            plan = plan.crash(comp, at, outage);
+        }
+        plan.op_failures(rng.gen_range(0.0..0.10))
+            .stalls(rng.gen_range(0.05..0.35), (1, (horizon / 16).max(2)))
+            .drop_releases(rng.gen_range(0.1..0.6), rng.gen_range(4..=horizon / 4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_disabled() {
+        assert!(FaultPlan::default().is_disabled());
+        assert!(FaultPlan::new(99).is_disabled());
+        assert!(!FaultPlan::new(99).op_failures(0.1).is_disabled());
+        assert!(!FaultPlan::new(99).crash(CompId(0), 5, 5).is_disabled());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let a = FaultPlan::random(3, 4, 200);
+        let b = FaultPlan::random(3, 4, 200);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(4, 4, 200);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+        assert!(!a.is_disabled());
+        assert!(!a.crashes().is_empty());
+    }
+
+    #[test]
+    fn fault_events_convert_to_trace_events() {
+        let e = FaultEvent {
+            kind: FaultKind::DroppedRelease,
+            comp: CompId(2),
+            tx: Some(7),
+            time: 33,
+        };
+        match e.to_trace() {
+            TraceEvent::Fault {
+                fault,
+                component,
+                tx,
+                time,
+            } => {
+                assert_eq!(fault, "drop_release");
+                assert_eq!(component, 2);
+                assert_eq!(tx, Some(7));
+                assert_eq!(time, 33);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_record_and_merge() {
+        let mut s = FaultStats::default();
+        s.record(FaultKind::Crash);
+        s.record(FaultKind::Crash);
+        s.record(FaultKind::Stall);
+        assert_eq!(s.crashes, 2);
+        assert_eq!(s.total(), 3);
+        let mut t = FaultStats::default();
+        t.record(FaultKind::LeaseExpiry);
+        s.merge(&t);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.lease_expiries, 1);
+    }
+}

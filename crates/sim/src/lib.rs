@@ -66,6 +66,7 @@
 
 mod engine;
 mod export;
+mod faults;
 mod locks;
 mod protocol;
 mod template;
@@ -74,7 +75,8 @@ mod verify;
 
 pub use engine::{Engine, SimConfig, SimMetrics, SimReport};
 pub use export::ExportError;
+pub use faults::{CrashSpec, FaultEvent, FaultKind, FaultPlan, FaultStats};
 pub use protocol::{DeadlockPolicy, LockScope, Protocol};
 pub use template::{Program, Step, TxNode, TxTemplate};
 pub use topology::{CompId, Component, Topology};
-pub use verify::{RunVerdict, Verifier, VerifyReport};
+pub use verify::{ChaosReport, RunVerdict, Verifier, VerifyReport};

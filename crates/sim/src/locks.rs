@@ -35,9 +35,16 @@ pub enum LockOutcome {
 }
 
 /// Per-component lock table with semantic modes and FIFO waiters.
+///
+/// Fault injection can *orphan* a transaction's grants: a dropped release
+/// leaves them held under a lease. Orphaned grants block conflicting
+/// requests exactly like live ones until [`LockTable::expire_orphans`]
+/// reaps them at (or after) their lease expiry.
 #[derive(Clone, Debug, Default)]
 pub struct LockTable {
     items: BTreeMap<ItemId, ItemLocks>,
+    /// Leases of orphaned composite transactions: tx → expiry tick.
+    orphans: BTreeMap<u32, u64>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -154,6 +161,60 @@ impl LockTable {
             .values()
             .any(|l| l.granted.iter().any(|g| g.tx == tx))
     }
+
+    /// Whether `tx` holds or awaits any lock in this table (used to decide
+    /// which transactions a component crash takes down).
+    pub fn involves(&self, tx: u32) -> bool {
+        self.items
+            .values()
+            .any(|l| l.granted.iter().any(|g| g.tx == tx) || l.waiting.iter().any(|w| w.tx == tx))
+    }
+
+    /// Marks every grant of `tx` as orphaned under a lease expiring at
+    /// `expires`: the grants stay in place (still blocking conflicting
+    /// requests) but nobody will ever release them explicitly. Returns the
+    /// number of grants orphaned; when zero, the caller should fall back to
+    /// a normal release.
+    pub fn orphan_tx(&mut self, tx: u32, expires: u64) -> usize {
+        let n = self
+            .items
+            .values()
+            .map(|l| l.granted.iter().filter(|g| g.tx == tx).count())
+            .sum();
+        if n > 0 {
+            let slot = self.orphans.entry(tx).or_insert(expires);
+            *slot = (*slot).min(expires);
+        }
+        n
+    }
+
+    /// Reaps every orphaned transaction whose lease has expired by `now`,
+    /// releasing its grants and promoting waiters FIFO. Returns the expired
+    /// transaction ids and the newly grantable requests.
+    pub fn expire_orphans(
+        &mut self,
+        table: &CommutativityTable,
+        now: u64,
+    ) -> (Vec<u32>, Vec<Waiting>) {
+        let expired: Vec<u32> = self
+            .orphans
+            .iter()
+            .filter(|&(_, &exp)| exp <= now)
+            .map(|(&tx, _)| tx)
+            .collect();
+        if expired.is_empty() {
+            return (expired, Vec::new());
+        }
+        for tx in &expired {
+            self.orphans.remove(tx);
+        }
+        let woken = self.release_where(
+            table,
+            |g| expired.contains(&g.tx),
+            |w| expired.contains(&w.tx),
+        );
+        (expired, woken)
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +318,36 @@ mod tests {
         assert_eq!(woken.len(), 1);
         assert_eq!(woken[0].tx, 2);
         assert!(lt.holds_any(1)); // item(1) lock from subtx 6 remains
+    }
+
+    #[test]
+    fn orphaned_grants_block_until_lease_expiry() {
+        let mut lt = LockTable::new();
+        lt.request(&rw(), item(0), 1, 0, AccessMode::Write);
+        assert_eq!(lt.orphan_tx(1, 10), 1);
+        // An orphaned grant still blocks conflicting requests.
+        assert_eq!(
+            lt.request(&rw(), item(0), 2, 0, AccessMode::Write),
+            LockOutcome::Blocked(vec![1])
+        );
+        // Before the lease expires nothing is reaped.
+        let (expired, woken) = lt.expire_orphans(&rw(), 9);
+        assert!(expired.is_empty() && woken.is_empty());
+        // At expiry the grant is reaped and the waiter promoted FIFO.
+        let (expired, woken) = lt.expire_orphans(&rw(), 10);
+        assert_eq!(expired, vec![1]);
+        assert_eq!(woken.len(), 1);
+        assert_eq!(woken[0].tx, 2);
+        assert!(!lt.holds_any(1));
+        assert!(lt.holds_any(2));
+    }
+
+    #[test]
+    fn orphan_with_no_grants_is_a_noop() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.orphan_tx(7, 5), 0);
+        let (expired, woken) = lt.expire_orphans(&rw(), 100);
+        assert!(expired.is_empty() && woken.is_empty());
     }
 
     #[test]

@@ -10,11 +10,19 @@
 //! whose check panics is reported as a per-run [`RunVerdict::Fault`] without
 //! aborting the sweep. With [`Verifier::explain`] every non-Comp-C run also
 //! carries a rendered [`Explanation`] of its failing reduction.
+//!
+//! [`Verifier::chaos`] is the robustness harness: it sweeps a fault-injected
+//! scenario across seeds and asserts the paper's recovery invariant — every
+//! faulted run still exports a valid composite schedule of its *committed*
+//! work, and that schedule is Comp-C. Injected fault events flow into the
+//! sweep's trace aggregates so CI can assert each fault kind actually fired.
 
-use crate::engine::SimReport;
+use crate::engine::{Engine, SimMetrics, SimReport};
 use crate::export::ExportError;
+use crate::faults::FaultStats;
 use compc_core::Explanation;
 use compc_engine::{Batch, BatchFault, BatchItem, BatchMetrics, BatchStats};
+use compc_trace::TraceSink;
 
 /// The verification outcome of one simulated run.
 #[derive(Debug)]
@@ -23,7 +31,8 @@ pub enum RunVerdict {
     Checked(compc_core::Verdict),
     /// The committed execution violates the model (Definition 3/4).
     ModelViolation(ExportError),
-    /// The check itself panicked; the rest of the sweep still completed.
+    /// The check itself panicked or exceeded the [`Verifier::deadline`];
+    /// the rest of the sweep still completed.
     Fault(BatchFault),
 }
 
@@ -47,6 +56,15 @@ pub struct VerifyReport {
     pub violations: usize,
     /// Runs whose check faulted (panicked).
     pub faults: usize,
+    /// Runs whose check exceeded the [`Verifier::deadline`].
+    pub timeouts: usize,
+    /// Simulator counters summed across the input runs: commits, aborts by
+    /// reason, and — crucially for robustness audits — `failed`, the
+    /// transactions that exhausted [`crate::SimConfig::max_attempts`] and
+    /// gave up (distinct from any abort count).
+    pub sim_metrics: SimMetrics,
+    /// Injected-fault counters summed across the input runs.
+    pub fault_stats: FaultStats,
     /// Pool statistics for the checked (exported) runs.
     pub stats: BatchStats,
     /// Latency/size/depth distributions for the checked runs (and per-level
@@ -55,6 +73,64 @@ pub struct VerifyReport {
     /// `(run index, explanation)` for each non-Comp-C checked run, when
     /// [`Verifier::explain`] is on.
     pub explanations: Vec<(usize, Explanation)>,
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} runs: {} Comp-C, {} not Comp-C, {} model violations, {} faults, {} timeouts",
+            self.runs.len(),
+            self.comp_c,
+            self.not_comp_c,
+            self.violations,
+            self.faults,
+            self.timeouts,
+        )?;
+        let m = &self.sim_metrics;
+        write!(
+            f,
+            "\nsimulated: {} committed, {} gave up after max attempts, {} aborted attempts",
+            m.committed, m.failed, m.aborts
+        )?;
+        if m.aborts > 0 {
+            write!(
+                f,
+                " ({} deadlock, {} wound, {} protocol, {} fault)",
+                m.deadlock_aborts, m.wound_aborts, m.protocol_aborts, m.fault_aborts
+            )?;
+        }
+        if self.fault_stats.total() > 0 {
+            let s = &self.fault_stats;
+            write!(
+                f,
+                "\nfaults injected: {} (crash={}, restart={}, op_fail={}, stall={}, \
+                 drop_release={}, lease_expiry={})",
+                s.total(),
+                s.crashes,
+                s.restarts,
+                s.op_failures,
+                s.stalls,
+                s.dropped_releases,
+                s.lease_expiries
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a [`Verifier::chaos`] sweep: the underlying verification
+/// plus the pass/fail of the recovery invariant.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Verification of every faulted run, in seed order.
+    pub verify: VerifyReport,
+    /// The swept seeds whose runs failed the invariant (export error, a
+    /// non-Comp-C verdict, or a checker fault).
+    pub failing_seeds: Vec<u64>,
+    /// The recovery invariant: every faulted run exported a valid composite
+    /// schedule of its committed work, and every schedule checked Comp-C.
+    pub invariant_holds: bool,
 }
 
 /// A configured batch verifier for simulator sweeps.
@@ -95,6 +171,14 @@ impl Verifier {
         self
     }
 
+    /// A per-run wall-clock budget for each check (see
+    /// [`compc_engine::Batch::deadline`]): a run whose check exceeds it is
+    /// classified as a timeout, and the rest of the sweep completes.
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.batch = self.batch.deadline(budget);
+        self
+    }
+
     /// Verifies every report: export, batch-check, classify. Order and
     /// verdicts are identical to verifying each run alone, and a run whose
     /// check faults does not stop the others.
@@ -103,7 +187,13 @@ impl Verifier {
         let mut items: Vec<BatchItem> = Vec::new();
         let mut checked_slots: Vec<usize> = Vec::new();
         let mut systems: Vec<compc_model::CompositeSystem> = Vec::new();
+        let mut sim_metrics = SimMetrics::default();
+        let mut fault_stats = FaultStats::default();
+        let mut fault_trace: Vec<compc_trace::TraceEvent> = Vec::new();
         for (idx, report) in reports.into_iter().enumerate() {
+            sim_metrics.merge(&report.metrics);
+            fault_stats.merge(&report.fault_stats);
+            fault_trace.extend(report.faults.iter().map(|e| e.to_trace()));
             match report.export_system() {
                 Ok(sys) => {
                     if self.explain {
@@ -118,7 +208,13 @@ impl Verifier {
         }
         let batch_report = self.batch.check_all(items);
         let stats = batch_report.stats;
-        let metrics = batch_report.metrics;
+        let mut metrics = batch_report.metrics;
+        // Injected-fault events share the sweep's trace aggregates, so one
+        // stream answers both "what did the checker do" and "what went
+        // wrong in the execution".
+        for ev in &fault_trace {
+            metrics.trace.emit(ev);
+        }
         let mut explanations = Vec::new();
         for (slot, (outcome, &idx)) in batch_report
             .outcomes
@@ -148,19 +244,56 @@ impl Verifier {
             .iter()
             .filter(|r| matches!(r, RunVerdict::ModelViolation(_)))
             .count();
+        let timeouts = runs
+            .iter()
+            .filter(|r| matches!(r, RunVerdict::Fault(f) if f.is_timeout()))
+            .count();
         let faults = runs
             .iter()
             .filter(|r| matches!(r, RunVerdict::Fault(_)))
-            .count();
+            .count()
+            - timeouts;
         VerifyReport {
-            not_comp_c: runs.len() - comp_c - violations - faults,
+            not_comp_c: runs.len() - comp_c - violations - faults - timeouts,
             comp_c,
             violations,
             faults,
+            timeouts,
+            sim_metrics,
+            fault_stats,
             runs,
             stats,
             metrics,
             explanations,
+        }
+    }
+
+    /// Sweeps a fault-injected scenario across `seeds` and verifies the
+    /// recovery invariant on every run: the committed work still exports a
+    /// valid composite schedule, and that schedule is Comp-C. `scenario`
+    /// builds the engine for each seed — typically wiring the seed into
+    /// both [`crate::SimConfig`] and a [`crate::FaultPlan`] so the sweep is
+    /// reproducible run by run. Injected fault events land in the report's
+    /// trace aggregates ([`BatchMetrics::trace`]), so callers can assert
+    /// each fault kind actually fired.
+    pub fn chaos<F>(&self, seeds: impl IntoIterator<Item = u64>, mut scenario: F) -> ChaosReport
+    where
+        F: FnMut(u64) -> Engine,
+    {
+        let seeds: Vec<u64> = seeds.into_iter().collect();
+        let reports: Vec<SimReport> = seeds.iter().map(|&s| scenario(s).run()).collect();
+        let verify = self.verify(&reports);
+        let failing_seeds: Vec<u64> = verify
+            .runs
+            .iter()
+            .zip(&seeds)
+            .filter(|(r, _)| !r.is_comp_c())
+            .map(|(_, &s)| s)
+            .collect();
+        ChaosReport {
+            invariant_holds: failing_seeds.is_empty(),
+            failing_seeds,
+            verify,
         }
     }
 }
@@ -234,6 +367,82 @@ mod tests {
         }
         assert_eq!(seq.comp_c, par.comp_c);
         assert_eq!(seq.violations, par.violations);
+    }
+
+    #[test]
+    fn chaos_sweep_holds_recovery_invariant_under_2pl() {
+        use crate::FaultPlan;
+        let report = Verifier::new().workers(2).chaos(0..12, |seed| {
+            let mut topo = Topology::new();
+            let db = topo.add(
+                "db",
+                Protocol::TwoPhase {
+                    scope: LockScope::Composite,
+                },
+                CommutativityTable::read_write(),
+            );
+            let templates: Vec<TxTemplate> = (0..4)
+                .map(|i| TxTemplate {
+                    name: format!("w{i}"),
+                    home: db,
+                    body: vec![
+                        TxNode::data(OpSpec::read(ItemId(i))),
+                        TxNode::data(OpSpec::write(ItemId(0))),
+                    ],
+                })
+                .collect();
+            Engine::new(
+                topo,
+                templates,
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            )
+            .faults(FaultPlan::random(seed, 1, 120))
+        });
+        assert!(
+            report.invariant_holds,
+            "failing seeds: {:?}\n{}",
+            report.failing_seeds, report.verify
+        );
+        assert_eq!(report.verify.runs.len(), 12);
+        // The sweep provably injected faults, visible both in the counters
+        // and in the shared trace aggregates.
+        assert!(report.verify.fault_stats.total() > 0);
+        assert!(report.verify.metrics.trace.faults_injected > 0);
+        assert_eq!(
+            report.verify.fault_stats.total(),
+            report.verify.metrics.trace.faults_injected
+        );
+        // The summary narrates robustness counters.
+        let text = report.verify.to_string();
+        assert!(text.contains("Comp-C"), "{text}");
+        assert!(text.contains("gave up after max attempts"), "{text}");
+        assert!(text.contains("faults injected"), "{text}");
+    }
+
+    #[test]
+    fn verify_deadline_times_out_runs_without_poisoning_sweep() {
+        let reports: Vec<SimReport> = (0..4)
+            .map(|seed| {
+                run_once(
+                    Protocol::TwoPhase {
+                        scope: LockScope::Composite,
+                    },
+                    seed,
+                    4,
+                )
+            })
+            .collect();
+        let report = Verifier::new()
+            .workers(2)
+            .deadline(std::time::Duration::ZERO)
+            .verify(&reports);
+        assert_eq!(report.timeouts, 4);
+        assert_eq!(report.faults, 0);
+        assert_eq!(report.comp_c + report.not_comp_c, 0);
+        assert!(report.to_string().contains("4 timeouts"));
     }
 
     #[test]

@@ -79,6 +79,22 @@ pub enum TraceEvent {
         /// Wall-clock nanoseconds for the whole check.
         elapsed_ns: u64,
     },
+    /// A fault was injected into a simulated execution (crash, transient
+    /// operation failure, stall, dropped lock release, lease expiry,
+    /// restart). Emitted by the simulator's fault-injection layer, not by
+    /// the reduction engine, so chaos sweeps and checks share one event
+    /// stream.
+    Fault {
+        /// Stable fault-kind tag (e.g. `"crash"`, `"op_fail"`, `"stall"`,
+        /// `"drop_release"`, `"lease_expiry"`, `"restart"`).
+        fault: &'static str,
+        /// Index of the component the fault hit.
+        component: usize,
+        /// The affected composite transaction, when the fault targets one.
+        tx: Option<u32>,
+        /// Simulated time of the injection.
+        time: u64,
+    },
 }
 
 impl TraceEvent {
@@ -88,6 +104,7 @@ impl TraceEvent {
             TraceEvent::CheckStart { .. } => "check_start",
             TraceEvent::Level { .. } => "level",
             TraceEvent::CheckEnd { .. } => "check_end",
+            TraceEvent::Fault { .. } => "fault",
         }
     }
 
@@ -147,6 +164,18 @@ impl TraceEvent {
                     failed_phase.map_or(Value::Null, |p| Value::Str(p.into())),
                 ),
                 ("elapsed_ns", Value::Num(elapsed_ns as f64)),
+            ]),
+            TraceEvent::Fault {
+                fault,
+                component,
+                tx,
+                time,
+            } => object(vec![
+                ("event", Value::Str("fault".into())),
+                ("fault", Value::Str(fault.into())),
+                ("component", num(component)),
+                ("tx", tx.map_or(Value::Null, |t| Value::Num(t as f64))),
+                ("time", Value::Num(time as f64)),
             ]),
         }
     }
@@ -379,6 +408,10 @@ pub struct TraceStats {
     pub pairs_forgotten: u64,
     /// Total rule-2 serialization pairs.
     pub serialization_pairs: u64,
+    /// Simulator fault injections observed (`fault` events).
+    pub faults_injected: u64,
+    /// Fault injections per kind tag, in first-seen order.
+    pub faults_by_kind: Vec<(&'static str, u64)>,
 }
 
 impl TraceStats {
@@ -398,6 +431,17 @@ impl TraceStats {
         self.levels_completed.merge(&other.levels_completed);
         self.pairs_forgotten += other.pairs_forgotten;
         self.serialization_pairs += other.serialization_pairs;
+        self.faults_injected += other.faults_injected;
+        for &(kind, n) in &other.faults_by_kind {
+            self.record_fault_kind(kind, n);
+        }
+    }
+
+    fn record_fault_kind(&mut self, kind: &'static str, n: u64) {
+        match self.faults_by_kind.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, count)) => *count += n,
+            None => self.faults_by_kind.push((kind, n)),
+        }
     }
 }
 
@@ -430,6 +474,10 @@ impl TraceSink for TraceStats {
                 self.check_ns.record(elapsed_ns);
                 self.levels_completed.record(levels_completed as u64);
             }
+            TraceEvent::Fault { fault, .. } => {
+                self.faults_injected += 1;
+                self.record_fault_kind(fault, 1);
+            }
         }
     }
 }
@@ -452,7 +500,21 @@ impl std::fmt::Display for TraceStats {
             f,
             "commutations forgotten: {}, serialization pairs: {}",
             self.pairs_forgotten, self.serialization_pairs
-        )
+        )?;
+        if self.faults_injected > 0 {
+            let kinds: Vec<String> = self
+                .faults_by_kind
+                .iter()
+                .map(|(k, n)| format!("{k}={n}"))
+                .collect();
+            write!(
+                f,
+                "\nfaults injected: {} ({})",
+                self.faults_injected,
+                kinds.join(", ")
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -574,6 +636,46 @@ mod tests {
         assert_eq!(h.count(), 1);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn fault_events_serialize_and_aggregate() {
+        let events = vec![
+            TraceEvent::Fault {
+                fault: "crash",
+                component: 2,
+                tx: None,
+                time: 17,
+            },
+            TraceEvent::Fault {
+                fault: "op_fail",
+                component: 0,
+                tx: Some(3),
+                time: 21,
+            },
+            TraceEvent::Fault {
+                fault: "crash",
+                component: 1,
+                tx: None,
+                time: 40,
+            },
+        ];
+        let line = event_to_ndjson_line(&events[1], Some("run-0"));
+        let v = compc_json::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(|e| e.as_str()), Some("fault"));
+        assert_eq!(v.get("fault").and_then(|e| e.as_str()), Some("op_fail"));
+        assert_eq!(v.get("tx").and_then(|e| e.as_u64()), Some(3));
+        assert_eq!(v.get("label").and_then(|e| e.as_str()), Some("run-0"));
+        let mut stats = TraceStats::new();
+        replay(&events, &mut stats);
+        assert_eq!(stats.faults_injected, 3);
+        assert_eq!(stats.faults_by_kind, vec![("crash", 2), ("op_fail", 1)]);
+        let mut other = TraceStats::new();
+        other.emit(&events[0]);
+        stats.merge(&other);
+        assert_eq!(stats.faults_injected, 4);
+        assert_eq!(stats.faults_by_kind, vec![("crash", 3), ("op_fail", 1)]);
+        assert!(stats.to_string().contains("faults injected: 4 (crash=3"));
     }
 
     #[test]

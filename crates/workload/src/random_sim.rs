@@ -230,6 +230,48 @@ mod tests {
     }
 
     #[test]
+    fn faulted_2pl_random_runs_still_export_comp_c_schedules() {
+        // The recovery invariant on generated topologies: whatever a random
+        // fault plan does to a random layered workload, the committed work
+        // the engine exports must still check out as Comp-C.
+        use compc_sim::FaultPlan;
+        let mut faults_seen = 0u64;
+        for seed in 0..12 {
+            let params = SimGenParams {
+                seed: seed + 300,
+                clients: 6,
+                ..SimGenParams::default()
+            };
+            let (topo, templates) = generate_sim(
+                &params,
+                Protocol::TwoPhase {
+                    scope: LockScope::Composite,
+                },
+            );
+            let components = topo.len();
+            let report = Engine::new(
+                topo,
+                templates,
+                SimConfig {
+                    seed: params.seed,
+                    ..SimConfig::default()
+                },
+            )
+            .faults(FaultPlan::random(seed + 300, components, 200))
+            .run();
+            faults_seen += report.fault_stats.total();
+            let sys = report
+                .export_system()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                check(&sys).is_correct(),
+                "seed {seed}: faulted 2PL run exported a non-Comp-C schedule"
+            );
+        }
+        assert!(faults_seen > 0, "the sweep injected nothing");
+    }
+
+    #[test]
     fn timestamp_random_runs_are_comp_c() {
         for seed in 0..15 {
             let params = SimGenParams {

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate + lint gate + CLI smoke test. Run from the workspace root.
 #
-#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke)
+#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke, soak)
 #   scripts/ci.sh tier1    # just the build + test gate
 #   scripts/ci.sh lint     # just clippy + rustfmt
 #   scripts/ci.sh smoke    # just the compc-check observability smoke test
+#   scripts/ci.sh soak     # chaos sweep + deadline smoke (robustness gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,17 +45,43 @@ smoke() {
     echo "==> smoke: OK"
 }
 
+# Robustness soak: a fixed-seed chaos sweep of faulted simulator runs
+# (every exported schedule must be Comp-C and the sweep must actually
+# inject faults — exp_chaos asserts both and aborts otherwise), plus a
+# deadline smoke: a tiny --deadline-ms on a large random system must time
+# out with exit code 3, not hang, crash or misreport.
+soak() {
+    echo "==> soak: chaos sweep (60 faulted sims, recovery invariant)"
+    cargo build --release -q -p compc-bench --bin exp_chaos
+    cargo build --release -q -p compc --bin compc-gen --bin compc-check
+    ./target/release/exp_chaos 60 6 \
+        || { echo "soak: chaos sweep failed" >&2; exit 1; }
+    echo "==> soak: deadline smoke (large random system, --deadline-ms 0)"
+    big="$(mktemp /tmp/compc-soak-XXXXXX.json)"
+    trap 'rm -f "$big"' EXIT
+    ./target/release/compc-gen --shape general --roots 24 --density 0.3 --seed 7 > "$big"
+    set +e
+    ./target/release/compc-check "$big" --deadline-ms 0 > /dev/null
+    code=$?
+    set -e
+    [ "$code" -eq 3 ] \
+        || { echo "soak: expected exit 3 on timeout, got $code" >&2; exit 1; }
+    echo "==> soak: OK"
+}
+
 case "$stage" in
     tier1) tier1 ;;
     lint) lint ;;
     smoke) smoke ;;
+    soak) soak ;;
     all)
         tier1
         lint
         smoke
+        soak
         ;;
     *)
-        echo "usage: scripts/ci.sh [tier1|lint|smoke|all]" >&2
+        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|all]" >&2
         exit 2
         ;;
 esac

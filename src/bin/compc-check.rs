@@ -27,17 +27,28 @@
 //! compc-check a.json b.json --trace --explain
 //! ```
 //!
+//! Robustness controls: `--deadline-ms N` bounds each system's check — a
+//! check that exceeds the budget is reported as a timeout and the run exits
+//! 3 (unless something worse happened). `--checkpoint FILE` (batch mode)
+//! appends one `<status>\t<label>` line per finished item so an interrupted
+//! corpus run, restarted with the same flag, skips the items already
+//! recorded; timeouts and faults are *not* recorded and run again.
+//!
 //! Exit codes: 0 = all Comp-C, 1 = some system not Comp-C, 2 = invalid
-//! input/model or a faulted check (takes precedence).
+//! input/model or a faulted check (takes precedence over everything),
+//! 3 = some check exceeded `--deadline-ms` (takes precedence over 1).
 
-use compc::core::{Checker, Verdict};
-use compc::engine::{Batch, BatchItem};
+use compc::core::{CheckScratch, Checker, Verdict};
+use compc::engine::{Batch, BatchItem, BatchMetrics, BatchStats};
 use compc::spec::SystemSpec;
 use compc::trace::{event_to_ndjson_line, replay, MemorySink, TraceStats};
+use std::collections::HashSet;
+use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Default)]
 struct Flags {
     jobs: usize,
     trace: bool,
@@ -45,14 +56,57 @@ struct Flags {
     explain: bool,
     dot: bool,
     minimize: bool,
+    deadline_ms: Option<u64>,
+    checkpoint: Option<String>,
 }
 
+const USAGE: &str = "usage: compc-check <system.json | dir | corpus.ndjson>... \
+[--jobs N] [--trace] [--stats] [--explain] [--dot] [--minimize] \
+[--deadline-ms N] [--checkpoint FILE]";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: compc-check <system.json | dir | corpus.ndjson>... \
-         [--jobs N] [--trace] [--stats] [--explain] [--dot] [--minimize]"
-    );
+    eprintln!("{USAGE}");
+    eprintln!("run compc-check --help for details and exit codes");
     ExitCode::from(2)
+}
+
+fn help() -> ExitCode {
+    println!(
+        "compc-check {} — Comp-C checker for composite executions",
+        version()
+    );
+    println!();
+    println!("{USAGE}");
+    println!();
+    println!("options:");
+    println!("  --jobs N          parallelism: within-level checks (single mode) or");
+    println!("                    worker-pool size (batch mode); 0 = one per core");
+    println!("  --trace           print NDJSON reduction events, one per level");
+    println!("  --stats           print per-level timing/front histograms");
+    println!("  --explain         narrate a failing reduction");
+    println!("  --dot             also print the forest in DOT (single-system only)");
+    println!("  --minimize        shrink a violation to its core transaction set");
+    println!("  --deadline-ms N   per-system check budget in milliseconds; a check");
+    println!("                    that exceeds it is reported as a timeout without");
+    println!("                    poisoning the rest of the batch");
+    println!("  --checkpoint FILE batch mode: append each finished item's label to");
+    println!("                    FILE and, on restart, skip the items already");
+    println!("                    recorded so an interrupted corpus run resumes;");
+    println!("                    timeouts and faults are not recorded and re-run");
+    println!("  --version, -V     print the version and exit");
+    println!("  --help, -h        print this help and exit");
+    println!();
+    println!("exit codes:");
+    println!("  0  every checked system is Comp-C");
+    println!("  1  at least one system is not Comp-C");
+    println!("  2  invalid input/model, a faulted (panicked) check, or a usage");
+    println!("     error — takes precedence over every other code");
+    println!("  3  at least one check exceeded --deadline-ms (and none faulted)");
+    ExitCode::SUCCESS
+}
+
+fn version() -> &'static str {
+    option_env!("CARGO_PKG_VERSION").unwrap_or("dev")
 }
 
 fn main() -> ExitCode {
@@ -65,6 +119,11 @@ fn main() -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => return help(),
+            "--version" | "-V" => {
+                println!("compc-check {}", version());
+                return ExitCode::SUCCESS;
+            }
             "--trace" => flags.trace = true,
             "--stats" => flags.stats = true,
             "--explain" => flags.explain = true,
@@ -79,6 +138,29 @@ fn main() -> ExitCode {
                             "--jobs needs a non-negative number (0 = one per core), got {}",
                             args.get(i).map(String::as_str).unwrap_or("nothing")
                         );
+                        return usage();
+                    }
+                };
+            }
+            "--deadline-ms" => {
+                i += 1;
+                flags.deadline_ms = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!(
+                            "--deadline-ms needs a number of milliseconds, got {}",
+                            args.get(i).map(String::as_str).unwrap_or("nothing")
+                        );
+                        return usage();
+                    }
+                };
+            }
+            "--checkpoint" => {
+                i += 1;
+                flags.checkpoint = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--checkpoint needs a file path");
                         return usage();
                     }
                 };
@@ -100,13 +182,17 @@ fn main() -> ExitCode {
         p.is_file() && !is_ndjson(p)
     };
     if single {
-        check_single(&paths[0], flags)
+        if flags.checkpoint.is_some() {
+            eprintln!("--checkpoint records batch progress and only applies in batch mode");
+            return usage();
+        }
+        check_single(&paths[0], &flags)
     } else {
         if flags.dot {
             eprintln!("--dot renders one system's forest and only applies in single-system mode");
             return usage();
         }
-        check_batch(&paths, flags)
+        check_batch(&paths, &flags)
     }
 }
 
@@ -133,7 +219,7 @@ fn print_ndjson(label: &str, events: &[compc::trace::TraceEvent]) {
 // Single-system mode
 // ---------------------------------------------------------------------
 
-fn check_single(path: &str, flags: Flags) -> ExitCode {
+fn check_single(path: &str, flags: &Flags) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -157,10 +243,14 @@ fn check_single(path: &str, flags: Flags) -> ExitCode {
     if flags.dot {
         println!("{}", system.forest_dot());
     }
-    let checker = Checker::new().jobs(flags.jobs);
-    let verdict = if flags.trace || flags.stats {
+    let mut checker = Checker::new().jobs(flags.jobs);
+    if let Some(ms) = flags.deadline_ms {
+        checker = checker.deadline(Duration::from_millis(ms));
+    }
+    let result = if flags.trace || flags.stats {
         let mut sink = MemorySink::new();
-        let verdict = checker.check_traced(&system, &mut sink);
+        let mut scratch = CheckScratch::new();
+        let result = checker.try_check_reusing_traced(&system, &mut scratch, &mut sink);
         if flags.trace {
             print_ndjson(path, &sink.events);
         }
@@ -169,12 +259,12 @@ fn check_single(path: &str, flags: Flags) -> ExitCode {
             replay(&sink.events, &mut stats);
             println!("{stats}");
         }
-        verdict
+        result
     } else {
-        checker.check(&system)
+        checker.try_check(&system)
     };
-    match verdict {
-        Verdict::Correct(proof) => {
+    match result {
+        Ok(Verdict::Correct(proof)) => {
             println!("verdict: Comp-C (correct)");
             let witness: Vec<&str> = proof
                 .serial_witness
@@ -184,7 +274,7 @@ fn check_single(path: &str, flags: Flags) -> ExitCode {
             println!("serial witness: {}", witness.join(" ; "));
             ExitCode::SUCCESS
         }
-        Verdict::Incorrect(cex) => {
+        Ok(Verdict::Incorrect(cex)) => {
             println!("verdict: NOT Comp-C");
             println!("{cex}");
             if flags.explain {
@@ -203,6 +293,10 @@ fn check_single(path: &str, flags: Flags) -> ExitCode {
             }
             ExitCode::from(1)
         }
+        Err(interrupted) => {
+            println!("verdict: TIMEOUT — {interrupted}");
+            ExitCode::from(3)
+        }
     }
 }
 
@@ -210,7 +304,7 @@ fn check_single(path: &str, flags: Flags) -> ExitCode {
 // Batch mode
 // ---------------------------------------------------------------------
 
-fn check_batch(paths: &[String], flags: Flags) -> ExitCode {
+fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
     let mut items: Vec<BatchItem> = Vec::new();
     let mut invalid = 0usize;
     for path in paths {
@@ -224,6 +318,67 @@ fn check_batch(paths: &[String], flags: Flags) -> ExitCode {
         return ExitCode::from(2);
     }
 
+    // A checkpoint file records `<status>\t<label>` per finished item
+    // (status `ok` or `violation`). On resume, recorded items are skipped
+    // and prior violations still count toward the exit code; timeouts and
+    // faults were never recorded, so they run again.
+    let mut prior_violations = 0usize;
+    if let Some(cp) = &flags.checkpoint {
+        let mut done: HashSet<String> = HashSet::new();
+        match std::fs::read_to_string(cp) {
+            Ok(text) => {
+                for (lineno, line) in text.lines().enumerate() {
+                    let line = line.trim_end_matches('\r');
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match line.split_once('\t') {
+                        Some(("ok", label)) => {
+                            done.insert(label.to_string());
+                        }
+                        Some(("violation", label)) => {
+                            done.insert(label.to_string());
+                            prior_violations += 1;
+                        }
+                        _ => eprintln!(
+                            "{cp}:{}: unrecognized checkpoint line, ignoring",
+                            lineno + 1
+                        ),
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                eprintln!("cannot read checkpoint {cp}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if !done.is_empty() {
+            let before = items.len();
+            items.retain(|it| !done.contains(&it.label));
+            eprintln!(
+                "checkpoint: {} of {before} item(s) already recorded in {cp} \
+                 ({prior_violations} prior violation(s)), {} left",
+                before - items.len(),
+                items.len()
+            );
+        }
+    }
+    let mut checkpoint_file = match &flags.checkpoint {
+        Some(cp) => match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(cp)
+        {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("cannot open checkpoint {cp}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
     // Explaining or minimizing a violation needs the system after the pool
     // consumed the items, so keep a copy per item.
     let systems: Vec<compc::model::CompositeSystem> = if flags.explain || flags.minimize {
@@ -232,52 +387,102 @@ fn check_batch(paths: &[String], flags: Flags) -> ExitCode {
         Vec::new()
     };
 
-    let report = Batch::new()
-        .workers(flags.jobs)
-        .tracing(flags.trace || flags.stats)
-        .check_all(items);
-    for (idx, o) in report.outcomes.iter().enumerate() {
-        if flags.trace {
-            print_ndjson(&o.label, &o.events);
+    // Without a checkpoint everything goes to the pool at once. With one,
+    // items run in chunks so progress lands in the file at chunk
+    // granularity and a killed run loses at most one chunk of work.
+    let chunk_size = if checkpoint_file.is_some() {
+        (flags.jobs.max(1) * 4).max(16)
+    } else {
+        items.len().max(1)
+    };
+    let mut stats = BatchStats::default();
+    let mut metrics = BatchMetrics::default();
+    let mut remaining = items;
+    let mut offset = 0usize;
+    while !remaining.is_empty() {
+        let rest = remaining.split_off(chunk_size.min(remaining.len()));
+        let chunk = std::mem::replace(&mut remaining, rest);
+        let chunk_len = chunk.len();
+        let mut batch = Batch::new()
+            .workers(flags.jobs)
+            .tracing(flags.trace || flags.stats);
+        if let Some(ms) = flags.deadline_ms {
+            batch = batch.deadline(Duration::from_millis(ms));
         }
-        match &o.result {
-            Ok(Verdict::Correct(_)) => println!("{}: Comp-C", o.label),
-            Ok(Verdict::Incorrect(cex)) => {
-                println!("{}: NOT Comp-C — {cex}", o.label);
-                if flags.explain {
-                    for line in cex.explain(&systems[idx]).to_string().lines() {
-                        println!("  {line}");
+        let report = batch.check_all(chunk);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            let idx = offset + i;
+            if flags.trace {
+                print_ndjson(&o.label, &o.events);
+            }
+            match &o.result {
+                Ok(Verdict::Correct(_)) => println!("{}: Comp-C", o.label),
+                Ok(Verdict::Incorrect(cex)) => {
+                    println!("{}: NOT Comp-C — {cex}", o.label);
+                    if flags.explain {
+                        for line in cex.explain(&systems[idx]).to_string().lines() {
+                            println!("  {line}");
+                        }
+                    } else if flags.minimize {
+                        if let Some(min) = compc::core::minimize(&systems[idx]) {
+                            let names: Vec<&str> =
+                                min.roots.iter().map(|&n| systems[idx].name(n)).collect();
+                            println!(
+                                "  minimal violating transaction set ({} of {}): {}",
+                                min.roots.len(),
+                                systems[idx].roots().count(),
+                                names.join(", ")
+                            );
+                        }
                     }
-                } else if flags.minimize {
-                    if let Some(min) = compc::core::minimize(&systems[idx]) {
-                        let names: Vec<&str> =
-                            min.roots.iter().map(|&n| systems[idx].name(n)).collect();
-                        println!(
-                            "  minimal violating transaction set ({} of {}): {}",
-                            min.roots.len(),
-                            systems[idx].roots().count(),
-                            names.join(", ")
-                        );
+                }
+                Err(fault) if fault.is_timeout() => {
+                    println!("{}: TIMEOUT — {fault}", o.label)
+                }
+                Err(fault) => println!("{}: FAULT — {fault}", o.label),
+            }
+            if let Some(f) = checkpoint_file.as_mut() {
+                let status = match &o.result {
+                    Ok(Verdict::Correct(_)) => Some("ok"),
+                    Ok(Verdict::Incorrect(_)) => Some("violation"),
+                    Err(_) => None, // re-run on resume
+                };
+                if let Some(status) = status {
+                    if let Err(e) = writeln!(f, "{status}\t{}", o.label) {
+                        eprintln!("cannot append to checkpoint: {e}");
+                        return ExitCode::from(2);
                     }
                 }
             }
-            Err(fault) => println!("{}: FAULT — {fault}", o.label),
         }
+        if let Some(f) = checkpoint_file.as_mut() {
+            let _ = f.flush();
+        }
+        stats.merge(&report.stats);
+        metrics.merge(&report.metrics);
+        offset += chunk_len;
     }
-    println!("{}", report.stats);
-    if flags.stats {
-        println!("{}", report.metrics);
+    if stats.systems > 0 {
+        println!("{stats}");
+        if flags.stats {
+            println!("{metrics}");
+        }
+    } else {
+        println!("nothing left to check ({prior_violations} prior violation(s) on record)");
     }
 
-    if invalid > 0 || report.stats.faults > 0 {
+    if invalid > 0 || stats.faults > 0 {
         if invalid > 0 {
             eprintln!("{invalid} input(s) were invalid");
         }
-        if report.stats.faults > 0 {
-            eprintln!("{} check(s) faulted", report.stats.faults);
+        if stats.faults > 0 {
+            eprintln!("{} check(s) faulted", stats.faults);
         }
         ExitCode::from(2)
-    } else if report.stats.incorrect > 0 {
+    } else if stats.timeouts > 0 {
+        eprintln!("{} check(s) timed out", stats.timeouts);
+        ExitCode::from(3)
+    } else if stats.incorrect > 0 || prior_violations > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -224,6 +224,222 @@ fn jobs_flag_rejects_missing_and_negative_arguments() {
 }
 
 #[test]
+fn version_and_help_exit_zero_and_document_exit_codes() {
+    let out = run(&["--version"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("compc-check "), "{stdout}");
+
+    let out = run(&["--help"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "exit codes:",
+        "--deadline-ms",
+        "--checkpoint",
+        "not Comp-C",
+        "exceeded --deadline-ms",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "--help mentions {needle}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn zero_deadline_times_out_single_system_with_exit_3() {
+    // A zero budget expires at the first level boundary — deterministic
+    // timeout without depending on machine speed.
+    let out = run(&[&figure3_path(), "--deadline-ms", "0"]);
+    assert_eq!(exit_code(&out), 3);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("TIMEOUT"), "{stdout}");
+    assert!(stdout.contains("before level 1"), "{stdout}");
+}
+
+#[test]
+fn zero_deadline_times_out_batch_with_exit_3() {
+    let corpus = format!(
+        "{}\n{}\n{}\n",
+        spec_line(&correct_system("a")),
+        spec_line(&incorrect_system()),
+        spec_line(&correct_system("b")),
+    );
+    let path = tmpfile("deadline.ndjson");
+    std::fs::write(&path, corpus).unwrap();
+    let out = run(&[path.to_str().unwrap(), "--deadline-ms", "0"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(exit_code(&out), 3, "{stdout}\n{stderr}");
+    assert_eq!(stdout.matches("TIMEOUT").count(), 3, "{stdout}");
+    assert!(stdout.contains("3 timeouts"), "{stdout}");
+    assert!(stderr.contains("3 check(s) timed out"), "{stderr}");
+    // A generous budget checks everything; the violation wins over 0.
+    let out = run(&[path.to_str().unwrap(), "--deadline-ms", "60000"]);
+    assert_eq!(exit_code(&out), 1);
+}
+
+#[test]
+fn deadline_flag_rejects_missing_and_bad_arguments() {
+    for args in [
+        vec![figure3_path(), "--deadline-ms".to_string()],
+        vec![
+            figure3_path(),
+            "--deadline-ms".to_string(),
+            "soon".to_string(),
+        ],
+    ] {
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let out = run(&argv);
+        assert_eq!(exit_code(&out), 2, "args {args:?} must be a usage error");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    }
+}
+
+#[test]
+fn checkpoint_resumes_only_unfinished_items() {
+    let corpus = format!(
+        "{}\n{}\n{}\n",
+        spec_line(&correct_system("a")),
+        spec_line(&incorrect_system()),
+        spec_line(&correct_system("b")),
+    );
+    let corpus_path = tmpfile("resume.ndjson");
+    std::fs::write(&corpus_path, corpus).unwrap();
+    let cp = tmpfile("resume.checkpoint");
+    let _ = std::fs::remove_file(&cp);
+
+    // Simulate an interrupted run: the first two items finished (one was a
+    // violation), the third did not make it into the checkpoint.
+    std::fs::write(
+        &cp,
+        format!("ok\t{0}:1\nviolation\t{0}:2\n", corpus_path.display()),
+    )
+    .unwrap();
+
+    let out = run(&[
+        corpus_path.to_str().unwrap(),
+        "--checkpoint",
+        cp.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Only line 3 is rechecked; the recorded violation still drives exit 1.
+    assert_eq!(exit_code(&out), 1, "{stdout}\n{stderr}");
+    assert!(!stdout.contains(":1: "), "line 1 is skipped: {stdout}");
+    assert!(!stdout.contains(":2: "), "line 2 is skipped: {stdout}");
+    assert!(stdout.contains(":3: Comp-C"), "{stdout}");
+    assert!(
+        stdout.contains("1 systems (1 correct, 0 incorrect)"),
+        "{stdout}"
+    );
+    assert!(
+        stderr.contains("2 of 3 item(s) already recorded"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("1 prior violation(s)"), "{stderr}");
+
+    // The finished item was appended; a third run has nothing left to do
+    // but still reports the recorded violation through the exit code.
+    let recorded = std::fs::read_to_string(&cp).unwrap();
+    assert!(
+        recorded.contains(&format!("ok\t{}:3", corpus_path.display())),
+        "{recorded}"
+    );
+    let out = run(&[
+        corpus_path.to_str().unwrap(),
+        "--checkpoint",
+        cp.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("nothing left to check"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn checkpoint_records_a_fresh_run_and_skips_everything_on_rerun() {
+    let corpus = format!(
+        "{}\n{}\n",
+        spec_line(&correct_system("a")),
+        spec_line(&correct_system("b")),
+    );
+    let corpus_path = tmpfile("fresh.ndjson");
+    std::fs::write(&corpus_path, corpus).unwrap();
+    let cp = tmpfile("fresh.checkpoint");
+    let _ = std::fs::remove_file(&cp);
+
+    let out = run(&[
+        corpus_path.to_str().unwrap(),
+        "--checkpoint",
+        cp.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0);
+    let recorded = std::fs::read_to_string(&cp).unwrap();
+    assert_eq!(recorded.lines().count(), 2, "{recorded}");
+    assert!(
+        recorded.lines().all(|l| l.starts_with("ok\t")),
+        "{recorded}"
+    );
+
+    let out = run(&[
+        corpus_path.to_str().unwrap(),
+        "--checkpoint",
+        cp.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("nothing left to check"),
+        "everything was recorded"
+    );
+}
+
+#[test]
+fn timed_out_items_are_not_checkpointed_and_rerun_on_resume() {
+    let corpus = format!("{}\n", spec_line(&correct_system("a")));
+    let corpus_path = tmpfile("timeout-cp.ndjson");
+    std::fs::write(&corpus_path, corpus).unwrap();
+    let cp = tmpfile("timeout-cp.checkpoint");
+    let _ = std::fs::remove_file(&cp);
+
+    // Everything times out: the checkpoint stays empty.
+    let out = run(&[
+        corpus_path.to_str().unwrap(),
+        "--checkpoint",
+        cp.to_str().unwrap(),
+        "--deadline-ms",
+        "0",
+    ]);
+    assert_eq!(exit_code(&out), 3);
+    let recorded = std::fs::read_to_string(&cp).unwrap_or_default();
+    assert!(
+        recorded.trim().is_empty(),
+        "timeouts are not recorded: {recorded}"
+    );
+
+    // Without the deadline the item runs again and is recorded.
+    let out = run(&[
+        corpus_path.to_str().unwrap(),
+        "--checkpoint",
+        cp.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0);
+    let recorded = std::fs::read_to_string(&cp).unwrap();
+    assert!(recorded.starts_with("ok\t"), "{recorded}");
+}
+
+#[test]
+fn checkpoint_is_a_usage_error_in_single_mode() {
+    let out = run(&[&figure3_path(), "--checkpoint", "/tmp/nope.cp"]);
+    assert_eq!(exit_code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("batch mode"), "{stderr}");
+}
+
+#[test]
 fn dot_is_a_usage_error_in_batch_mode() {
     let fig = figure3_path();
     let out = run(&[&fig, &fig, "--dot"]);

@@ -1,0 +1,118 @@
+//! Chaos properties of the fault-injection subsystem: whatever a random
+//! fault plan does to a random simulated workload — crashes, transient op
+//! failures, stalls, dropped lock releases — the committed work the engine
+//! exports must still be a valid Comp-C composite schedule, and the whole
+//! faulted run must replay identically from the same seed and plan.
+//!
+//! A failing case prints its sampled inputs in the panic message; rerun it
+//! with `cargo test -q --test fault_chaos` after pinning the seed in a
+//! regular `#[test]`, and record it in `tests/fault_chaos.proptest-regressions`.
+
+use compc::core::check;
+use compc::sim::{Engine, FaultPlan, LockScope, Protocol, SimConfig, SimReport};
+use compc::workload::random_sim::{generate_sim, SimGenParams};
+use proptest::prelude::*;
+
+fn faulted_run(workload_seed: u64, plan_seed: u64, clients: usize, semantic: bool) -> SimReport {
+    let params = SimGenParams {
+        seed: workload_seed,
+        clients,
+        semantic,
+        ..SimGenParams::default()
+    };
+    let (topo, templates) = generate_sim(
+        &params,
+        Protocol::TwoPhase {
+            scope: LockScope::Composite,
+        },
+    );
+    let components = topo.len();
+    Engine::new(
+        topo,
+        templates,
+        SimConfig {
+            seed: workload_seed,
+            ..SimConfig::default()
+        },
+    )
+    .faults(FaultPlan::random(plan_seed, components, 250))
+    .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The recovery invariant: every faulted run exports a composite
+    /// schedule of its committed work that passes the Comp-C check.
+    #[test]
+    fn faulted_runs_always_export_comp_c_schedules(
+        workload_seed in 0u64..1_000,
+        plan_seed in 0u64..1_000,
+        clients in 3usize..8,
+        semantic in proptest::bool::ANY,
+    ) {
+        let report = faulted_run(workload_seed, plan_seed, clients, semantic);
+        prop_assert_eq!(
+            report.metrics.committed + report.metrics.failed,
+            clients as u64
+        );
+        let sys = report
+            .export_system()
+            .unwrap_or_else(|e| panic!("export failed: {e}"));
+        prop_assert!(
+            check(&sys).is_correct(),
+            "faulted run exported a non-Comp-C schedule"
+        );
+    }
+
+    /// Determinism: the same workload seed and the same fault plan produce
+    /// the same fault events, counters and committed work, tick for tick.
+    #[test]
+    fn faulted_runs_replay_identically_from_seed_and_plan(
+        workload_seed in 0u64..1_000,
+        plan_seed in 0u64..1_000,
+    ) {
+        let a = faulted_run(workload_seed, plan_seed, 5, false);
+        let b = faulted_run(workload_seed, plan_seed, 5, false);
+        prop_assert_eq!(a.faults.len(), b.faults.len());
+        for (x, y) in a.faults.iter().zip(&b.faults) {
+            prop_assert_eq!(x.kind, y.kind);
+            prop_assert_eq!(x.comp, y.comp);
+            prop_assert_eq!(x.tx, y.tx);
+            prop_assert_eq!(x.time, y.time);
+        }
+        prop_assert_eq!(a.fault_stats, b.fault_stats);
+        prop_assert_eq!(a.metrics.committed, b.metrics.committed);
+        prop_assert_eq!(a.metrics.aborts, b.metrics.aborts);
+        prop_assert_eq!(a.metrics.end_time, b.metrics.end_time);
+    }
+
+    /// Distinct failure accounting: when transient op failures are the only
+    /// enabled fault, every abort is a fault abort and exhausted
+    /// transactions surface as `failed`, never as deadlock victims.
+    #[test]
+    fn op_failure_aborts_never_masquerade_as_deadlocks(
+        workload_seed in 0u64..500,
+    ) {
+        let params = SimGenParams {
+            seed: workload_seed,
+            clients: 4,
+            ..SimGenParams::default()
+        };
+        let (topo, templates) = generate_sim(
+            &params,
+            Protocol::TwoPhase { scope: LockScope::Composite },
+        );
+        let report = Engine::new(
+            topo,
+            templates,
+            SimConfig { seed: workload_seed, ..SimConfig::default() },
+        )
+        .faults(FaultPlan::new(workload_seed).op_failures(1.0))
+        .run();
+        prop_assert_eq!(report.metrics.committed, 0);
+        prop_assert_eq!(report.metrics.failed, 4);
+        prop_assert_eq!(report.metrics.deadlock_aborts, 0);
+        prop_assert_eq!(report.metrics.aborts, report.metrics.fault_aborts);
+    }
+}
