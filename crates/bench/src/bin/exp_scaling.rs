@@ -1,12 +1,70 @@
 //! E10: wall-clock scaling of the Comp-C reduction with system size.
+//! E21: word-parallel bitset kernels vs the BTree baseline.
+//!
+//! ```sh
+//! exp_scaling [REPS] [--json]          # E10, optionally as NDJSON rows
+//! exp_scaling --kernels [ITERS]        # E21 kernel table
+//! exp_scaling --kernels --json-out F   # also write the BENCH_4.json document
+//! exp_scaling --verify [SAMPLES]       # dense/sparse verdict equivalence
+//! ```
 
-use compc_bench::{scaling_experiment, scaling_table};
+use compc_bench::{
+    backend_equivalence, kernel_experiment, kernel_report_json, kernel_table, scaling_experiment,
+    scaling_table,
+};
+
+/// Sizes straddling the dense crossover (64) up to the E21 target of 512.
+const KERNEL_SIZES: [usize; 7] = [16, 32, 64, 96, 128, 256, 512];
+const KERNEL_SEED: u64 = 99;
+
+fn arg_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn trailing_number(args: &[String], default: usize) -> usize {
+    args.iter()
+        .filter(|a| !a.starts_with("--"))
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
-    let reps = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--verify") {
+        let samples = trailing_number(&args, 40);
+        let mismatches = backend_equivalence(samples, KERNEL_SEED);
+        println!(
+            "E21 verify: {samples} random systems, sparse vs dense vs auto — \
+             {mismatches} verdict mismatch(es)"
+        );
+        if mismatches > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--kernels") {
+        let iters = trailing_number(&args, 200);
+        println!("E21: relation kernels, BTree baseline vs word-parallel bitsets");
+        println!("(mean over {iters} iterations per point; dense timings include");
+        println!("the sparse<->dense conversions the checker's hot path pays)\n");
+        let rows = kernel_experiment(&KERNEL_SIZES, iters, KERNEL_SEED);
+        println!("{}", kernel_table(&rows));
+        let doc = kernel_report_json(&rows, iters, KERNEL_SEED);
+        if let Some(path) = arg_after(&args, "--json-out") {
+            std::fs::write(&path, doc.to_pretty() + "\n").expect("write --json-out file");
+            println!("wrote {path}");
+        }
+        if args.iter().any(|a| a == "--json") {
+            println!("{}", doc.to_compact());
+        }
+        return;
+    }
+
+    let reps = trailing_number(&args, 20);
     println!("E10: reduction scaling (mean over {reps} random systems per point)\n");
     let points = [
         (2, 4, 2),
@@ -19,7 +77,7 @@ fn main() {
     ];
     let rows = scaling_experiment(&points, reps);
     println!("{}", scaling_table(&rows));
-    if std::env::args().any(|a| a == "--json") {
+    if args.iter().any(|a| a == "--json") {
         for r in &rows {
             println!("{}", r.to_json().to_compact());
         }

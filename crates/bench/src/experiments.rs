@@ -5,7 +5,10 @@
 use crate::table::Table;
 use compc_classic::{is_llsr_stack, is_opsr_stack};
 use compc_configs::{is_fcc, is_jcc, is_scc};
-use compc_core::{check, Reducer};
+use compc_core::{check, Checker, Reducer};
+use compc_graph::{
+    transitive_closure_with, BitGraph, BitOrderRel, DiGraph, PartialOrderRel, ReachScratch,
+};
 use compc_json::{object, Value};
 use compc_model::CompositeSystem;
 use compc_sim::{Engine, LockScope, Protocol, SimConfig, SimReport};
@@ -13,6 +16,9 @@ use compc_workload::random::{generate, GenParams, Shape};
 use compc_workload::scenarios::{
     banking_tpmonitor, enterprise_diamond, federated_travel, inventory_join, Scenario,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
 
 /// Implements `to_json` for a flat experiment-row struct by listing its
 /// fields; the exp_* binaries print these as NDJSON.
@@ -570,7 +576,6 @@ pub struct AblationRow {
 /// schedules' commutativity declarations: the same populations are checked
 /// with the faithful reduction and with forgetting disabled.
 pub fn cc_ablation_experiment(samples: usize, densities: &[f64]) -> Vec<AblationRow> {
-    use compc_core::Checker;
     densities
         .iter()
         .map(|&density| {
@@ -669,6 +674,28 @@ mod tests {
         let rows = scaling_experiment(&[(2, 3, 2), (3, 4, 2)], 3);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.mean_us > 0.0));
+    }
+
+    #[test]
+    fn kernel_rows_cover_all_kernels_and_sizes() {
+        // Includes a word-boundary size; the in-experiment assertions are
+        // the real check (backends must agree before timing).
+        let rows = kernel_experiment(&[16, 65], 2, 7);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.btree_ns > 0.0 && r.bit_ns > 0.0));
+        let doc = kernel_report_json(&rows, 2, 7);
+        assert_eq!(doc.get("bench").and_then(Value::as_str), Some("BENCH_4"));
+        assert_eq!(
+            doc.get("kernels")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn backends_agree_on_verdicts() {
+        assert_eq!(backend_equivalence(10, 42), 0);
     }
 }
 
@@ -798,6 +825,292 @@ mod more_tests {
     }
 }
 
+// ---------------------------------------------------------------------
+// E21: bitset relation kernels vs the BTree baseline
+// ---------------------------------------------------------------------
+
+/// One relation-kernel measurement at one size: the sparse BTree-backed
+/// baseline against the dense word-parallel bitset implementation. Dense
+/// timings *include* the sparse→dense conversion (and dense→sparse where
+/// the hot path converts back), so the numbers reflect what the checker
+/// actually pays when it routes a closure through [`BitGraph`].
+#[derive(Clone, Debug)]
+pub struct KernelRow {
+    /// Kernel name (`closure-dag`, `closure-cyclic`, `reach`, `order-insert`).
+    pub kernel: String,
+    /// Nodes in the input graph.
+    pub nodes: usize,
+    /// Edges in the input graph.
+    pub edges: usize,
+    /// Mean nanoseconds per operation, BTree baseline.
+    pub btree_ns: f64,
+    /// Mean nanoseconds per operation, bitset backend.
+    pub bit_ns: f64,
+    /// `btree_ns / bit_ns` (>1 means the bitset backend wins).
+    pub speedup: f64,
+}
+
+/// A random DAG (`u -> v` only for `u < v`) with expected out-degree
+/// `avg_degree` — sparse at every size, like the checker's observed orders.
+fn random_dag(n: usize, avg_degree: f64, rng: &mut StdRng) -> DiGraph {
+    let p = (avg_degree / n.max(1) as f64).min(1.0);
+    let mut g = DiGraph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A random directed graph with both edge directions allowed (almost surely
+/// cyclic at these densities) — exercises the Warshall fallback.
+fn random_cyclic(n: usize, avg_degree: f64, rng: &mut StdRng) -> DiGraph {
+    let p = (avg_degree / n.max(1) as f64).min(1.0);
+    let mut g = DiGraph::with_nodes(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Mean nanoseconds per call of `f` over `iters` calls.
+fn time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let iters = iters.max(1);
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// The full closure round-trip the checker's dense path pays:
+/// load + word-parallel close + convert back to sparse.
+fn dense_closure(g: &DiGraph, bits: &mut BitGraph) -> DiGraph {
+    bits.load_from(g);
+    bits.close_transitively();
+    bits.to_digraph()
+}
+
+/// E21: times the four relation kernels on both backends across `sizes`.
+///
+/// Before timing, every kernel's outputs are asserted pair-for-pair equal
+/// across backends — a benchmark of two implementations that disagree would
+/// be meaningless.
+pub fn kernel_experiment(sizes: &[usize], iters: usize, seed: u64) -> Vec<KernelRow> {
+    let mut rows = Vec::new();
+    let mut reach = ReachScratch::new();
+    let mut bits = BitGraph::new();
+    for &n in sizes {
+        let mut rng = StdRng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let dag = random_dag(n, 4.0, &mut rng);
+        let cyc = random_cyclic(n, 4.0, &mut rng);
+
+        // closure-dag: reverse-topological OR sweep vs per-source DFS.
+        let sparse_closed = transitive_closure_with(&dag, &mut reach);
+        assert_eq!(
+            sparse_closed,
+            dense_closure(&dag, &mut bits),
+            "closure-dag backends disagree at n={n}"
+        );
+        let btree_ns = time_ns(iters, || {
+            black_box(transitive_closure_with(black_box(&dag), &mut reach));
+        });
+        let bit_ns = time_ns(iters, || {
+            black_box(dense_closure(black_box(&dag), &mut bits));
+        });
+        rows.push(KernelRow {
+            kernel: "closure-dag".into(),
+            nodes: n,
+            edges: dag.edge_count(),
+            btree_ns,
+            bit_ns,
+            speedup: btree_ns / bit_ns,
+        });
+
+        // closure-cyclic: bitset Warshall vs per-source DFS.
+        assert_eq!(
+            transitive_closure_with(&cyc, &mut reach),
+            dense_closure(&cyc, &mut bits),
+            "closure-cyclic backends disagree at n={n}"
+        );
+        let btree_ns = time_ns(iters, || {
+            black_box(transitive_closure_with(black_box(&cyc), &mut reach));
+        });
+        let bit_ns = time_ns(iters, || {
+            black_box(dense_closure(black_box(&cyc), &mut bits));
+        });
+        rows.push(KernelRow {
+            kernel: "closure-cyclic".into(),
+            nodes: n,
+            edges: cyc.edge_count(),
+            btree_ns,
+            bit_ns,
+            speedup: btree_ns / bit_ns,
+        });
+
+        // reach: one op = reachability from every source (what the sparse
+        // closure does per source); dense loads once, then bitset BFS.
+        bits.load_from(&cyc);
+        let mut row_buf = vec![0u64; bits.words_per_row()];
+        for u in 0..n {
+            bits.reachable_into(u, &mut row_buf);
+            let dense_set: Vec<usize> = bits.reachable_from(u);
+            assert_eq!(
+                compc_graph::reachable_from_with(&cyc, u, &mut reach),
+                dense_set,
+                "reach backends disagree at n={n} source={u}"
+            );
+        }
+        let btree_ns = time_ns(iters, || {
+            for u in 0..n {
+                black_box(compc_graph::reachable_from_with(
+                    black_box(&cyc),
+                    u,
+                    &mut reach,
+                ));
+            }
+        });
+        let bit_ns = time_ns(iters, || {
+            bits.load_from(black_box(&cyc));
+            for u in 0..n {
+                bits.reachable_into(u, &mut row_buf);
+                black_box(&row_buf);
+            }
+        });
+        rows.push(KernelRow {
+            kernel: "reach".into(),
+            nodes: n,
+            edges: cyc.edge_count(),
+            btree_ns,
+            bit_ns,
+            speedup: btree_ns / bit_ns,
+        });
+
+        // order-insert: building a closed strict order pair by pair (the
+        // observed-order maintenance pattern). DAG edges are cycle-free, so
+        // every insert succeeds on both backends.
+        let edges: Vec<(usize, usize)> = dag.edges().collect();
+        let sparse_rel = PartialOrderRel::from_pairs(edges.iter().copied())
+            .expect("DAG edges form a valid strict order");
+        let dense_rel = BitOrderRel::from_pairs(edges.iter().copied())
+            .expect("DAG edges form a valid strict order");
+        assert_eq!(
+            sparse_rel.pairs().collect::<Vec<_>>(),
+            dense_rel.pairs().collect::<Vec<_>>(),
+            "order-insert backends disagree at n={n}"
+        );
+        let btree_ns = time_ns(iters, || {
+            let mut rel = PartialOrderRel::with_elements(n);
+            for &(a, b) in &edges {
+                rel.insert(a, b).unwrap();
+            }
+            black_box(&rel);
+        });
+        let bit_ns = time_ns(iters, || {
+            let mut rel = BitOrderRel::with_elements(n);
+            for &(a, b) in &edges {
+                rel.insert(a, b).unwrap();
+            }
+            black_box(&rel);
+        });
+        rows.push(KernelRow {
+            kernel: "order-insert".into(),
+            nodes: n,
+            edges: edges.len(),
+            btree_ns,
+            bit_ns,
+            speedup: btree_ns / bit_ns,
+        });
+    }
+    rows
+}
+
+/// Renders E21.
+pub fn kernel_table(rows: &[KernelRow]) -> Table {
+    let mut t = Table::new([
+        "kernel",
+        "nodes",
+        "edges",
+        "BTree ns",
+        "bitset ns",
+        "speedup",
+    ]);
+    for r in rows {
+        t.row([
+            r.kernel.clone(),
+            r.nodes.to_string(),
+            r.edges.to_string(),
+            format!("{:.0}", r.btree_ns),
+            format!("{:.0}", r.bit_ns),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    t
+}
+
+/// The machine-readable E21 document (`BENCH_4.json` schema): run metadata
+/// plus one object per kernel × size measurement.
+pub fn kernel_report_json(rows: &[KernelRow], iters: usize, seed: u64) -> Value {
+    object(vec![
+        ("bench", Value::from("BENCH_4")),
+        ("experiment", Value::from("E21")),
+        ("generated_by", Value::from("exp_scaling --kernels")),
+        ("iters", Value::from(iters as u64)),
+        ("seed", Value::from(seed)),
+        (
+            "crossover_default",
+            Value::from(compc_core::DENSE_CROSSOVER_DEFAULT as u64),
+        ),
+        (
+            "kernels",
+            Value::Array(rows.iter().map(|r| r.to_json()).collect()),
+        ),
+    ])
+}
+
+/// Backend verdict-equivalence spot check: `samples` random general systems
+/// are checked with the closure forced sparse, forced dense, and on the
+/// default crossover; returns the number of verdict disagreements (must be
+/// 0 — both backends compute the same closure, so Theorem 1's reduction
+/// cannot tell them apart).
+pub fn backend_equivalence(samples: usize, seed: u64) -> usize {
+    let mut mismatches = 0;
+    for i in 0..samples as u64 {
+        let sys = generate(&GenParams {
+            shape: Shape::General {
+                levels: 3,
+                scheds_per_level: 2,
+            },
+            roots: 4 + (i % 4) as usize,
+            ops_per_tx: (1, 3),
+            conflict_density: 0.2 + 0.1 * (i % 5) as f64,
+            sequential_tx_prob: 0.7,
+            client_input_prob: 0.0,
+            strong_input_prob: 0.0,
+            sound_abstractions: false,
+            seed: seed.wrapping_add(i.wrapping_mul(2_654_435_761)),
+        });
+        let fingerprint = |crossover: usize| -> String {
+            match Checker::new().dense_crossover(crossover).check(&sys) {
+                compc_core::Verdict::Correct(p) => format!("ok:{:?}", p.serial_witness),
+                compc_core::Verdict::Incorrect(c) => format!("cex:{c}"),
+            }
+        };
+        let sparse = fingerprint(usize::MAX);
+        if sparse != fingerprint(0) || sparse != fingerprint(compc_core::DENSE_CROSSOVER_DEFAULT) {
+            mismatches += 1;
+        }
+    }
+    mismatches
+}
+
 impl_row_json!(EquivalenceRow {
     shape,
     samples,
@@ -850,6 +1163,14 @@ impl_row_json!(ExpressivenessRow {
     multilevel,
     nested_pairwise,
     nested_centralized
+});
+impl_row_json!(KernelRow {
+    kernel,
+    nodes,
+    edges,
+    btree_ns,
+    bit_ns,
+    speedup
 });
 
 #[cfg(test)]

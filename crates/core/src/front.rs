@@ -47,6 +47,17 @@ impl Front {
     /// the closing normalization uses the parallel closure. Identical output
     /// to the sequential path for every `jobs`.
     pub fn level0_jobs(sys: &CompositeSystem, jobs: usize, scratch: &mut CheckScratch) -> Front {
+        Self::level0_opts(sys, jobs, par::DENSE_CROSSOVER_DEFAULT, scratch)
+    }
+
+    /// [`Front::level0_jobs`] with an explicit dense-backend crossover for
+    /// the closing normalization (see `Checker::dense_crossover`).
+    pub fn level0_opts(
+        sys: &CompositeSystem,
+        jobs: usize,
+        dense_crossover: usize,
+        scratch: &mut CheckScratch,
+    ) -> Front {
         let mut observed = DiGraph::with_nodes(sys.node_count());
         let leaves: BTreeSet<NodeId> = sys.leaves().collect();
         let scheds: Vec<_> = sys.schedules().collect();
@@ -72,7 +83,7 @@ impl Front {
         // intra-schedule and each schedule's output order is already closed —
         // but we normalize anyway so the invariant "observed is closed" holds
         // unconditionally.
-        let observed = par::transitive_closure_jobs(&observed, jobs, scratch);
+        let observed = par::transitive_closure_jobs(&observed, jobs, dense_crossover, scratch);
         Front {
             level: 0,
             nodes: leaves,

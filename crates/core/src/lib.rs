@@ -78,11 +78,11 @@ mod minimize;
 mod par;
 mod reduce;
 
-pub use calculation::calculations_exist_bruteforce;
+pub use calculation::{calculations_exist_bruteforce, calculations_exist_bruteforce_dense};
 pub use explain::Explanation;
 pub use front::Front;
 pub use minimize::{minimize, MinimalCounterexample};
-pub use par::{effective_jobs, CheckScratch};
+pub use par::{effective_jobs, CheckScratch, DENSE_CROSSOVER_DEFAULT};
 pub use reduce::{
     check, Checker, Counterexample, Deadline, FailurePhase, FrontSnapshot, Interrupted, Proof,
     ReduceOptions, Reducer, Verdict,

@@ -13,11 +13,20 @@
 //! directly, which keeps the engine dependency-free. Thread spawn costs
 //! ~10–50 µs, so small inputs stay on the sequential path.
 
-use compc_graph::{reachable_from_with, DiGraph, ReachScratch, SccScratch};
+use compc_graph::{reachable_from_with, BitGraph, DiGraph, ReachScratch, SccScratch};
 
 /// Below this many nodes a transitive closure is not worth spawning threads
 /// for (the closure is `O(V·E)`, the spawn overhead a few tens of µs).
 const CLOSURE_PAR_THRESHOLD: usize = 64;
+
+/// Default node-count crossover above which closures run on the dense
+/// word-parallel [`BitGraph`] backend instead of the sparse per-source DFS.
+/// Measured on this container (EXPERIMENTS.md E21): the dense kernel wins
+/// from roughly one machine word of nodes upward once the sparse↔dense
+/// conversion is amortized by the closure itself; Figure-scale fronts
+/// (< 64 nodes) stay sparse with zero overhead. Override per check with
+/// `Checker::dense_crossover`.
+pub const DENSE_CROSSOVER_DEFAULT: usize = 64;
 
 /// Below this many items a generic index map stays sequential.
 const MAP_PAR_THRESHOLD: usize = 16;
@@ -43,6 +52,12 @@ pub struct CheckScratch {
     pub(crate) reach: Vec<ReachScratch>,
     /// Exposed for callers that interleave their own SCC passes with checks.
     pub scc: SccScratch,
+    /// Reusable dense adjacency rows for the word-parallel closure backend:
+    /// one sparse→dense load per level reuses this allocation, so batch
+    /// items reallocate nothing once the buffer has grown.
+    pub(crate) dense: BitGraph,
+    dense_closures: u64,
+    sparse_closures: u64,
 }
 
 impl CheckScratch {
@@ -58,21 +73,38 @@ impl CheckScratch {
             self.reach.push(ReachScratch::new());
         }
     }
+
+    /// How many transitive closures this scratch has run on each backend
+    /// since creation, as `(dense, sparse)` — the engine snapshots these
+    /// around each item so `compc-check --stats` can report which
+    /// representation a check actually used.
+    pub fn backend_counts(&self) -> (u64, u64) {
+        (self.dense_closures, self.sparse_closures)
+    }
 }
 
 /// Transitive closure with `jobs` workers, reusing `scratch` buffers.
 ///
-/// Sources are split into contiguous chunks; each worker computes its rows
-/// with a private [`ReachScratch`], and rows are reassembled in source order.
-/// Deterministic for every `jobs` value.
+/// Graphs at or above `dense_crossover` nodes run on the dense bitset
+/// backend — one sparse→dense conversion, then 64 edges per word OR — and
+/// with multiple jobs the dense rows are partitioned into contiguous source
+/// ranges per worker. Smaller graphs keep the sparse per-source DFS.
+/// Deterministic and bit-identical across backends and every `jobs` value
+/// (pinned by `tests/bitgraph_equiv.rs` and the parallel-equivalence suite).
 pub(crate) fn transitive_closure_jobs(
     g: &DiGraph,
     jobs: usize,
+    dense_crossover: usize,
     scratch: &mut CheckScratch,
 ) -> DiGraph {
     let n = g.node_count();
     let jobs = effective_jobs(jobs).min(n.max(1));
     scratch.ensure_workers(jobs);
+    if n >= dense_crossover {
+        scratch.dense_closures += 1;
+        return dense_closure_jobs(g, jobs, scratch);
+    }
+    scratch.sparse_closures += 1;
     if jobs <= 1 || n < CLOSURE_PAR_THRESHOLD {
         return compc_graph::transitive_closure_with(g, &mut scratch.reach[0]);
     }
@@ -105,6 +137,35 @@ pub(crate) fn transitive_closure_jobs(
         }
     }
     out
+}
+
+/// The dense closure path: load the scratch [`BitGraph`] from `g`, close
+/// word-parallel, convert back once. With multiple jobs, workers compute
+/// closed rows for disjoint contiguous source ranges of the shared
+/// read-only graph (row-range partitioning instead of source-list chunks).
+fn dense_closure_jobs(g: &DiGraph, jobs: usize, scratch: &mut CheckScratch) -> DiGraph {
+    let n = g.node_count();
+    scratch.dense.load_from(g);
+    if jobs <= 1 || n < CLOSURE_PAR_THRESHOLD {
+        scratch.dense.close_transitively();
+        return scratch.dense.to_digraph();
+    }
+    let words = scratch.dense.words_per_row();
+    let bits = &scratch.dense;
+    let chunk = n.div_ceil(jobs);
+    let mut rows = vec![0u64; n * words];
+    std::thread::scope(|s| {
+        let mut rest = rows.as_mut_slice();
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            let (mine, tail) = rest.split_at_mut((hi - lo) * words);
+            rest = tail;
+            s.spawn(move || bits.closure_rows_range(lo, hi, mine));
+            lo = hi;
+        }
+    });
+    BitGraph::from_rows(n, rows).to_digraph()
 }
 
 /// Maps `0..n` through `f` across `jobs` scoped workers, preserving index
@@ -168,12 +229,25 @@ mod tests {
         }
         let seq = compc_graph::transitive_closure(&g);
         for jobs in [1, 2, 4, 8] {
-            let par = transitive_closure_jobs(&g, jobs, &mut CheckScratch::new());
-            assert_eq!(
-                seq.edges().collect::<Vec<_>>(),
-                par.edges().collect::<Vec<_>>(),
-                "closure must be identical at jobs={jobs}"
-            );
+            for crossover in [0, DENSE_CROSSOVER_DEFAULT, usize::MAX] {
+                let par = transitive_closure_jobs(&g, jobs, crossover, &mut CheckScratch::new());
+                assert_eq!(
+                    seq.edges().collect::<Vec<_>>(),
+                    par.edges().collect::<Vec<_>>(),
+                    "closure must be identical at jobs={jobs} crossover={crossover}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn backend_counters_track_routing() {
+        let mut g = DiGraph::with_nodes(10);
+        g.add_edge(0, 1);
+        let mut scratch = CheckScratch::new();
+        transitive_closure_jobs(&g, 1, usize::MAX, &mut scratch);
+        transitive_closure_jobs(&g, 1, 0, &mut scratch);
+        transitive_closure_jobs(&g, 1, 0, &mut scratch);
+        assert_eq!(scratch.backend_counts(), (2, 1));
     }
 }

@@ -201,6 +201,12 @@ pub struct ReduceOptions {
     /// default); `0` = one worker per available core. Every value yields an
     /// identical [`Verdict`] — parallelism only changes wall-clock time.
     pub jobs: usize,
+    /// Node-count crossover above which transitive closures run on the dense
+    /// word-parallel bitset backend (`0` forces dense everywhere,
+    /// `usize::MAX` forces sparse). Both backends produce bit-identical
+    /// closures; this knob only trades conversion overhead against
+    /// word-level parallelism. See [`par::DENSE_CROSSOVER_DEFAULT`].
+    pub dense_crossover: usize,
 }
 
 impl Default for ReduceOptions {
@@ -208,6 +214,7 @@ impl Default for ReduceOptions {
         ReduceOptions {
             forget_commuting: true,
             jobs: 1,
+            dense_crossover: par::DENSE_CROSSOVER_DEFAULT,
         }
     }
 }
@@ -253,6 +260,15 @@ impl Checker {
     /// `0` one per core, `n` exactly `n`.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.options.jobs = jobs;
+        self
+    }
+
+    /// Node-count crossover for the dense bitset closure backend: graphs
+    /// with at least this many nodes are closed word-parallel. `0` forces
+    /// dense, `usize::MAX` forces sparse. The default is the measured
+    /// break-even point (EXPERIMENTS.md E21).
+    pub fn dense_crossover(mut self, nodes: usize) -> Self {
+        self.options.dense_crossover = nodes;
         self
     }
 
@@ -413,7 +429,7 @@ impl<'a> Reducer<'a> {
         options: ReduceOptions,
         mut scratch: CheckScratch,
     ) -> Self {
-        let front = Front::level0_jobs(sys, options.jobs, &mut scratch);
+        let front = Front::level0_opts(sys, options.jobs, options.dense_crossover, &mut scratch);
         Reducer {
             sys,
             front,
@@ -695,8 +711,12 @@ impl<'a> Reducer<'a> {
         }
         // Rule 4: transitive closure.
         let pre_closure_edges = observed.edge_count();
-        let observed =
-            par::transitive_closure_jobs(&observed, self.options.jobs, &mut self.scratch);
+        let observed = par::transitive_closure_jobs(
+            &observed,
+            self.options.jobs,
+            self.options.dense_crossover,
+            &mut self.scratch,
+        );
         let closure_edges = observed.edge_count().saturating_sub(pre_closure_edges);
 
         // --- Step 6: add the level's input orders and check CC.

@@ -120,12 +120,29 @@ pub struct BatchOutcome {
     /// Structured reduction events, when [`Batch::tracing`] is on (empty
     /// otherwise, and after a fault).
     pub events: Vec<TraceEvent>,
+    /// Transitive closures this check ran on the dense bitset backend
+    /// (snapshot of the worker scratch's counters around the item).
+    pub dense_closures: u64,
+    /// Transitive closures this check ran on the sparse DFS backend.
+    pub sparse_closures: u64,
 }
 
 impl BatchOutcome {
     /// The verdict, if the check completed.
     pub fn verdict(&self) -> Option<&Verdict> {
         self.result.as_ref().ok()
+    }
+
+    /// Which closure backend this item's check used: `"dense"`, `"sparse"`,
+    /// `"mixed"` (fronts straddled the crossover), or `"-"` (no closure ran,
+    /// e.g. the check faulted before level 0).
+    pub fn backend(&self) -> &'static str {
+        match (self.dense_closures, self.sparse_closures) {
+            (0, 0) => "-",
+            (_, 0) => "dense",
+            (0, _) => "sparse",
+            _ => "mixed",
+        }
     }
 
     /// Whether the check completed with a Comp-C verdict.
@@ -360,6 +377,13 @@ impl Batch {
         self
     }
 
+    /// Dense-backend crossover for each check (see
+    /// [`Checker::dense_crossover`]).
+    pub fn dense_crossover(mut self, nodes: usize) -> Self {
+        self.checker = self.checker.dense_crossover(nodes);
+        self
+    }
+
     /// Use a fully configured [`Checker`] for each check.
     pub fn checker(mut self, checker: Checker) -> Self {
         self.checker = checker;
@@ -493,6 +517,8 @@ impl Batch {
                     elapsed: Duration::ZERO,
                     nodes: item.system.node_count(),
                     events: Vec::new(),
+                    dense_closures: 0,
+                    sparse_closures: 0,
                 })
             })
             .collect();
@@ -556,15 +582,21 @@ where
         + Sync,
 {
     let nodes = item.system.node_count();
+    let (dense0, sparse0) = scratch.backend_counts();
     let t0 = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| work(checker, item, scratch))) {
-        Ok((result, events)) => BatchOutcome {
-            label: item.label.clone(),
-            result,
-            elapsed: t0.elapsed(),
-            nodes,
-            events,
-        },
+        Ok((result, events)) => {
+            let (dense1, sparse1) = scratch.backend_counts();
+            BatchOutcome {
+                label: item.label.clone(),
+                result,
+                elapsed: t0.elapsed(),
+                nodes,
+                events,
+                dense_closures: dense1 - dense0,
+                sparse_closures: sparse1 - sparse0,
+            }
+        }
         Err(payload) => {
             *scratch = CheckScratch::new();
             BatchOutcome {
@@ -575,6 +607,8 @@ where
                 elapsed: t0.elapsed(),
                 nodes,
                 events: Vec::new(),
+                dense_closures: 0,
+                sparse_closures: 0,
             }
         }
     }

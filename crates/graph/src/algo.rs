@@ -225,11 +225,17 @@ pub fn transitive_closure_with(g: &DiGraph, scratch: &mut ReachScratch) -> DiGra
 /// Transitive reduction of a DAG: the unique minimal graph with the same
 /// closure. Panics if `g` is cyclic (reduction is not unique then).
 pub fn transitive_reduction(g: &DiGraph) -> DiGraph {
+    transitive_reduction_with(g, &mut ReachScratch::new())
+}
+
+/// [`transitive_reduction`] reusing traversal buffers from `scratch` for the
+/// internal closure, instead of allocating a fresh visited set per call.
+pub fn transitive_reduction_with(g: &DiGraph, scratch: &mut ReachScratch) -> DiGraph {
     assert!(
         find_cycle(g).is_none(),
         "transitive reduction requires a DAG"
     );
-    let closure = transitive_closure(g);
+    let closure = transitive_closure_with(g, scratch);
     let mut out = DiGraph::with_nodes(g.node_count());
     for (u, v) in g.edges() {
         // u -> v is redundant iff some other successor w of u reaches v.

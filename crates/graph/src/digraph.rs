@@ -28,6 +28,22 @@ impl DiGraph {
         }
     }
 
+    /// Builds a graph directly from per-node successor sets, growing the
+    /// node set to cover any successor index past the row count. This is
+    /// the bulk constructor the dense→sparse conversion uses: no per-edge
+    /// `ensure_node`/dedup work.
+    pub fn from_successor_sets(succs: Vec<BTreeSet<usize>>) -> Self {
+        let mut g = DiGraph {
+            edge_count: succs.iter().map(BTreeSet::len).sum(),
+            succs,
+        };
+        let max_succ = g.succs.iter().filter_map(|vs| vs.last().copied()).max();
+        if let Some(m) = max_succ {
+            g.ensure_node(m);
+        }
+        g
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.succs.len()
@@ -105,9 +121,27 @@ impl DiGraph {
     }
 
     /// Merges all edges of `other` into `self` (node sets are unioned).
+    /// Rows are merged directly — one node-set reservation up front, then
+    /// set-into-set inserts — instead of routing every edge through
+    /// [`DiGraph::add_edge`]'s per-edge grow-and-dedup path.
     pub fn union_with(&mut self, other: &DiGraph) {
-        for (u, v) in other.edges() {
-            self.add_edge(u, v);
+        if other.node_count() > self.node_count() {
+            self.ensure_node(other.node_count() - 1);
+        }
+        for (row, vs) in self.succs.iter_mut().zip(&other.succs) {
+            if vs.is_empty() {
+                continue;
+            }
+            if row.is_empty() {
+                *row = vs.clone();
+                self.edge_count += vs.len();
+            } else {
+                for &v in vs {
+                    if row.insert(v) {
+                        self.edge_count += 1;
+                    }
+                }
+            }
         }
     }
 
@@ -186,6 +220,28 @@ mod tests {
         assert!(u.has_edge(0, 1));
         assert!(u.has_edge(1, 2));
         assert_eq!(u.edge_count(), 2);
+    }
+
+    #[test]
+    fn union_with_counts_only_new_edges() {
+        let mut a = DiGraph::with_nodes(2);
+        a.add_edge(0, 1);
+        let mut b = DiGraph::with_nodes(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        a.union_with(&b);
+        assert_eq!(a.node_count(), 4);
+        assert_eq!(a.edge_count(), 2);
+        assert!(a.has_edge(2, 3));
+    }
+
+    #[test]
+    fn from_successor_sets_bulk_builds() {
+        let rows = vec![BTreeSet::from([1, 5]), BTreeSet::new(), BTreeSet::from([0])];
+        let g = DiGraph::from_successor_sets(rows);
+        assert_eq!(g.node_count(), 6); // grown to cover successor 5
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 5) && g.has_edge(2, 0));
     }
 
     #[test]

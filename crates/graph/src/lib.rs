@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 mod algo;
+mod bitgraph;
 mod digraph;
 mod dot;
 mod order;
@@ -21,9 +22,10 @@ mod order;
 pub use algo::{
     condense, find_cycle, has_path, longest_path_lengths, reachable_from, reachable_from_with,
     strongly_connected_components, strongly_connected_components_with, topological_sort,
-    transitive_closure, transitive_closure_with, transitive_reduction, CycleInfo, ReachScratch,
-    SccScratch, TopoError,
+    transitive_closure, transitive_closure_with, transitive_reduction, transitive_reduction_with,
+    CycleInfo, ReachScratch, SccScratch, TopoError,
 };
+pub use bitgraph::{BitGraph, BitOrderRel};
 pub use digraph::DiGraph;
 pub use dot::dot_string;
 pub use order::{OrderError, PartialOrderRel};

@@ -6,7 +6,7 @@
 //! that closure on insertion and rejects any pair that would create a cycle
 //! (i.e. a contradiction `a < b` and `b < a`) or a reflexive pair.
 
-use crate::{transitive_reduction, DiGraph};
+use crate::{transitive_reduction_with, DiGraph, ReachScratch};
 
 /// Errors from mutating a [`PartialOrderRel`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,6 +49,11 @@ impl std::error::Error for OrderError {}
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PartialOrderRel {
     closure: DiGraph,
+    /// The transpose of `closure`, kept in lockstep so an insert reads
+    /// `pred(a)` directly instead of scanning all `n` nodes with
+    /// `has_edge(x, a)` (which made every insert O(n log n) even when `a`
+    /// had no predecessors at all).
+    preds: DiGraph,
 }
 
 impl PartialOrderRel {
@@ -61,6 +66,7 @@ impl PartialOrderRel {
     pub fn with_elements(n: usize) -> Self {
         PartialOrderRel {
             closure: DiGraph::with_nodes(n),
+            preds: DiGraph::with_nodes(n),
         }
     }
 
@@ -97,8 +103,10 @@ impl PartialOrderRel {
 
     /// Inserts `a < b` and closes transitively.
     ///
-    /// Cost is O(|pred(a)| · |succ(b)|) per insertion, which is fine at front
-    /// sizes; a recompute-from-scratch strategy is benchmarked against this in
+    /// Cost is O(|pred(a)| · |succ(b)|) per insertion — predecessors come
+    /// from the maintained transpose, not a full node scan. The dense
+    /// [`crate::BitOrderRel`] splices the same closure with row-wide ORs;
+    /// a recompute-from-scratch strategy is benchmarked against both in
     /// `compc-bench` (`observed_order` bench, DESIGN.md §5.1).
     pub fn insert(&mut self, a: usize, b: usize) -> Result<(), OrderError> {
         if a == b {
@@ -111,10 +119,9 @@ impl PartialOrderRel {
             return Ok(()); // already known
         }
         self.closure.ensure_node(a.max(b));
+        self.preds.ensure_node(a.max(b));
         // preds(a) ∪ {a}  must all precede  succs(b) ∪ {b}.
-        let mut lhs: Vec<usize> = (0..self.closure.node_count())
-            .filter(|&x| self.closure.has_edge(x, a))
-            .collect();
+        let mut lhs: Vec<usize> = self.preds.successors(a).collect();
         lhs.push(a);
         let mut rhs: Vec<usize> = self.closure.successors(b).collect();
         rhs.push(b);
@@ -125,6 +132,7 @@ impl PartialOrderRel {
                     return Err(OrderError::Contradiction { attempted: (a, b) });
                 }
                 self.closure.add_edge(x, y);
+                self.preds.add_edge(y, x);
             }
         }
         Ok(())
@@ -137,7 +145,14 @@ impl PartialOrderRel {
 
     /// The covering ("Hasse") pairs: the transitive reduction of the order.
     pub fn covering_pairs(&self) -> Vec<(usize, usize)> {
-        transitive_reduction(&self.closure).edges().collect()
+        self.covering_pairs_with(&mut ReachScratch::new())
+    }
+
+    /// [`PartialOrderRel::covering_pairs`] reusing traversal buffers.
+    pub fn covering_pairs_with(&self, scratch: &mut ReachScratch) -> Vec<(usize, usize)> {
+        transitive_reduction_with(&self.closure, scratch)
+            .edges()
+            .collect()
     }
 
     /// Whether every pair of `other` is contained in `self` (i.e.
@@ -169,12 +184,18 @@ impl PartialOrderRel {
     }
 
     /// Restricts the order to the given elements (pairs with both endpoints
-    /// in `keep`).
+    /// in `keep`). Membership is a flat boolean mask — no temporary
+    /// `BTreeSet` per call.
     pub fn restricted_to(&self, keep: &[usize]) -> PartialOrderRel {
-        let set: std::collections::BTreeSet<usize> = keep.iter().copied().collect();
+        let mut mask = vec![false; self.closure.node_count()];
+        for &k in keep {
+            if let Some(slot) = mask.get_mut(k) {
+                *slot = true;
+            }
+        }
         let mut out = PartialOrderRel::new();
         for (a, b) in self.pairs() {
-            if set.contains(&a) && set.contains(&b) {
+            if mask[a] && mask[b] {
                 out.insert(a, b)
                     .expect("restriction of a valid order stays valid");
             }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Print the benchmark trajectory across every committed BENCH_*.json
+# baseline: one block per file with its per-kernel speedups at the largest
+# measured size, so regressions between PRs are visible at a glance.
+#
+#   scripts/bench_summary.sh            # all baselines in the repo root
+#   scripts/bench_summary.sh FILE...    # specific baseline files
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v jq > /dev/null || { echo "bench_summary: jq is required" >&2; exit 2; }
+
+if [ "$#" -gt 0 ]; then
+    files=("$@")
+else
+    shopt -s nullglob
+    files=(BENCH_*.json)
+    shopt -u nullglob
+fi
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "bench_summary: no BENCH_*.json baselines found" >&2
+    exit 1
+fi
+
+printf '%-14s %-10s %-16s %6s %12s %12s %9s\n' \
+    baseline experiment kernel nodes "BTree ns" "bitset ns" speedup
+printf '%-14s %-10s %-16s %6s %12s %12s %9s\n' \
+    -------- ---------- ------ ----- -------- --------- -------
+for f in "${files[@]}"; do
+    [ -f "$f" ] || { echo "bench_summary: $f not found" >&2; exit 1; }
+    base="$(basename "$f" .json)"
+    exp="$(jq -r '.experiment // "?"' "$f")"
+    # The largest measured size per kernel is the headline number.
+    jq -r '
+        .kernels
+        | group_by(.kernel)[]
+        | max_by(.nodes)
+        | [.kernel, .nodes, (.btree_ns | round), (.bit_ns | round),
+           ((.speedup * 100 | round) / 100)]
+        | @tsv
+    ' "$f" | while IFS=$'\t' read -r kernel nodes btree bit speedup; do
+        printf '%-14s %-10s %-16s %6s %12s %12s %8sx\n' \
+            "$base" "$exp" "$kernel" "$nodes" "$btree" "$bit" "$speedup"
+    done
+done

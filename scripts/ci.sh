@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate + lint gate + CLI smoke test. Run from the workspace root.
 #
-#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke, soak)
+#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke, soak, bench-smoke)
 #   scripts/ci.sh tier1    # just the build + test gate
 #   scripts/ci.sh lint     # just clippy + rustfmt
 #   scripts/ci.sh smoke    # just the compc-check observability smoke test
 #   scripts/ci.sh soak     # chaos sweep + deadline smoke (robustness gate)
+#   scripts/ci.sh bench-smoke  # E21 kernel sweep (reduced iterations) +
+#                              # dense/sparse verdict equivalence + BENCH schema
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,19 +71,59 @@ soak() {
     echo "==> soak: OK"
 }
 
+# Bitset-backend gate: the dense kernels must stay verdict-equivalent to the
+# sparse baseline on a random-system spot check, a reduced-iteration E21
+# sweep must run clean (its in-process assertions compare backends pair for
+# pair before timing), and the emitted JSON must match the BENCH_4 schema.
+bench_smoke() {
+    echo "==> bench-smoke: dense/sparse verdict equivalence (30 systems)"
+    cargo build --release -q -p compc-bench --bin exp_scaling
+    ./target/release/exp_scaling --verify 30 \
+        || { echo "bench-smoke: backend verdict equivalence failed" >&2; exit 1; }
+    echo "==> bench-smoke: reduced E21 kernel sweep"
+    json="$(mktemp /tmp/compc-bench-XXXXXX.json)"
+    ./target/release/exp_scaling --kernels 3 --json-out "$json" > /dev/null \
+        || { rm -f "$json"; echo "bench-smoke: kernel sweep failed" >&2; exit 1; }
+    echo "==> bench-smoke: validating BENCH_4 schema"
+    jq -e '
+        .bench == "BENCH_4"
+        and .experiment == "E21"
+        and (.iters | type == "number")
+        and (.seed | type == "number")
+        and (.crossover_default | type == "number")
+        and (.kernels | type == "array" and length > 0)
+        and all(.kernels[];
+            (.kernel | type == "string")
+            and (.nodes | type == "number")
+            and (.edges | type == "number")
+            and (.btree_ns | type == "number" and . > 0)
+            and (.bit_ns | type == "number" and . > 0)
+            and (.speedup | type == "number" and . > 0))
+    ' "$json" > /dev/null \
+        || { rm -f "$json"; echo "bench-smoke: emitted JSON does not match the BENCH_4 schema" >&2; exit 1; }
+    rm -f "$json"
+    if [ -f BENCH_4.json ]; then
+        jq -e '.bench == "BENCH_4" and (.kernels | length > 0)' BENCH_4.json > /dev/null \
+            || { echo "bench-smoke: committed BENCH_4.json is malformed" >&2; exit 1; }
+    fi
+    echo "==> bench-smoke: OK"
+}
+
 case "$stage" in
     tier1) tier1 ;;
     lint) lint ;;
     smoke) smoke ;;
     soak) soak ;;
+    bench-smoke) bench_smoke ;;
     all)
         tier1
         lint
         smoke
         soak
+        bench_smoke
         ;;
     *)
-        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|all]" >&2
+        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|bench-smoke|all]" >&2
         exit 2
         ;;
 esac

@@ -58,11 +58,15 @@ struct Flags {
     minimize: bool,
     deadline_ms: Option<u64>,
     checkpoint: Option<String>,
+    /// Closure-backend crossover from `--backend`: `None` = auto (the
+    /// measured default), `Some(0)` = force dense, `Some(usize::MAX)` =
+    /// force sparse.
+    backend: Option<usize>,
 }
 
 const USAGE: &str = "usage: compc-check <system.json | dir | corpus.ndjson>... \
-[--jobs N] [--trace] [--stats] [--explain] [--dot] [--minimize] \
-[--deadline-ms N] [--checkpoint FILE]";
+[--jobs N] [--backend auto|dense|sparse] [--trace] [--stats] [--explain] \
+[--dot] [--minimize] [--deadline-ms N] [--checkpoint FILE]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -81,6 +85,11 @@ fn help() -> ExitCode {
     println!("options:");
     println!("  --jobs N          parallelism: within-level checks (single mode) or");
     println!("                    worker-pool size (batch mode); 0 = one per core");
+    println!("  --backend B       transitive-closure backend: auto (size-based");
+    println!("                    crossover, the default), dense (word-parallel");
+    println!("                    bitsets everywhere), or sparse (per-source DFS");
+    println!("                    everywhere); verdicts are identical either way,");
+    println!("                    --stats reports which backend each check used");
     println!("  --trace           print NDJSON reduction events, one per level");
     println!("  --stats           print per-level timing/front histograms");
     println!("  --explain         narrate a failing reduction");
@@ -129,6 +138,21 @@ fn main() -> ExitCode {
             "--explain" => flags.explain = true,
             "--dot" => flags.dot = true,
             "--minimize" => flags.minimize = true,
+            "--backend" => {
+                i += 1;
+                flags.backend = match args.get(i).map(String::as_str) {
+                    Some("auto") => None,
+                    Some("dense") => Some(0),
+                    Some("sparse") => Some(usize::MAX),
+                    other => {
+                        eprintln!(
+                            "--backend needs auto, dense, or sparse, got {}",
+                            other.unwrap_or("nothing")
+                        );
+                        return usage();
+                    }
+                };
+            }
             "--jobs" => {
                 i += 1;
                 flags.jobs = match args.get(i).and_then(|v| v.parse().ok()) {
@@ -215,6 +239,25 @@ fn print_ndjson(label: &str, events: &[compc::trace::TraceEvent]) {
     }
 }
 
+/// Formats closure-backend counts, e.g. `dense (4 closures)` or
+/// `mixed (dense 3, sparse 2)`.
+fn backend_line(dense: u64, sparse: u64) -> String {
+    match (dense, sparse) {
+        (0, 0) => "none (no closures ran)".to_string(),
+        (d, 0) => format!("dense ({d} closure{})", plural(d)),
+        (0, s) => format!("sparse ({s} closure{})", plural(s)),
+        (d, s) => format!("mixed (dense {d}, sparse {s})"),
+    }
+}
+
+fn plural(n: u64) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
 // ---------------------------------------------------------------------
 // Single-system mode
 // ---------------------------------------------------------------------
@@ -244,6 +287,9 @@ fn check_single(path: &str, flags: &Flags) -> ExitCode {
         println!("{}", system.forest_dot());
     }
     let mut checker = Checker::new().jobs(flags.jobs);
+    if let Some(crossover) = flags.backend {
+        checker = checker.dense_crossover(crossover);
+    }
     if let Some(ms) = flags.deadline_ms {
         checker = checker.deadline(Duration::from_millis(ms));
     }
@@ -258,6 +304,8 @@ fn check_single(path: &str, flags: &Flags) -> ExitCode {
             let mut stats = TraceStats::default();
             replay(&sink.events, &mut stats);
             println!("{stats}");
+            let (dense, sparse) = scratch.backend_counts();
+            println!("closure backend: {}", backend_line(dense, sparse));
         }
         result
     } else {
@@ -397,6 +445,8 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
     };
     let mut stats = BatchStats::default();
     let mut metrics = BatchMetrics::default();
+    let mut total_dense = 0u64;
+    let mut total_sparse = 0u64;
     let mut remaining = items;
     let mut offset = 0usize;
     while !remaining.is_empty() {
@@ -406,6 +456,9 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
         let mut batch = Batch::new()
             .workers(flags.jobs)
             .tracing(flags.trace || flags.stats);
+        if let Some(crossover) = flags.backend {
+            batch = batch.dense_crossover(crossover);
+        }
         if let Some(ms) = flags.deadline_ms {
             batch = batch.deadline(Duration::from_millis(ms));
         }
@@ -415,10 +468,19 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
             if flags.trace {
                 print_ndjson(&o.label, &o.events);
             }
+            // Which closure representation the item's check actually used —
+            // only worth a column when the user asked for stats.
+            total_dense += o.dense_closures;
+            total_sparse += o.sparse_closures;
+            let backend = if flags.stats {
+                format!(" [{}]", o.backend())
+            } else {
+                String::new()
+            };
             match &o.result {
-                Ok(Verdict::Correct(_)) => println!("{}: Comp-C", o.label),
+                Ok(Verdict::Correct(_)) => println!("{}: Comp-C{backend}", o.label),
                 Ok(Verdict::Incorrect(cex)) => {
-                    println!("{}: NOT Comp-C — {cex}", o.label);
+                    println!("{}: NOT Comp-C{backend} — {cex}", o.label);
                     if flags.explain {
                         for line in cex.explain(&systems[idx]).to_string().lines() {
                             println!("  {line}");
@@ -466,6 +528,10 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
         println!("{stats}");
         if flags.stats {
             println!("{metrics}");
+            println!(
+                "closure backends: {}",
+                backend_line(total_dense, total_sparse)
+            );
         }
     } else {
         println!("nothing left to check ({prior_violations} prior violation(s) on record)");

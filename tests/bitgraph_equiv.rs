@@ -1,0 +1,251 @@
+//! Differential equivalence of the dense bitset relation kernels.
+//!
+//! `BitGraph`/`BitOrderRel` are drop-in word-parallel replacements for the
+//! BTree-backed `DiGraph` closure and `PartialOrderRel`. These tests pin the
+//! replacement down pair-for-pair on random DAGs and cyclic graphs — closure,
+//! reachability, incremental insert (including the exact `OrderError` on
+//! every failing step), and `try_union` — plus the crossover boundary sizes
+//! 63/64/65 where the row layout changes word count, and end-to-end verdict
+//! equivalence of the checker across forced-sparse, forced-dense, and auto
+//! backends on random systems and the paper's Figure 1–4 examples.
+
+use compc::core::{check, Checker, Verdict};
+use compc::graph::{
+    reachable_from, transitive_closure, BitGraph, BitOrderRel, DiGraph, PartialOrderRel,
+};
+use compc::workload::figures::{figure1, figure2, figure3_incorrect, figure4_correct};
+use compc::workload::random::{generate, GenParams, Shape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random graph over `n` nodes: forward-only edges when `dag` (acyclic by
+/// construction), any direction otherwise (almost surely cyclic when dense).
+fn random_graph(n: usize, avg_degree: f64, dag: bool, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (avg_degree / n.max(1) as f64).min(1.0);
+    let mut g = DiGraph::with_nodes(n);
+    for u in 0..n {
+        let lo = if dag { u + 1 } else { 0 };
+        for v in lo..n {
+            if u != v && rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Node counts that matter: small fronts, the 63/64/65 word-layout boundary,
+/// and a couple of multi-word sizes.
+fn arb_nodes() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        2usize..=20,
+        Just(63usize),
+        Just(64usize),
+        Just(65usize),
+        Just(100usize),
+        Just(130usize),
+    ]
+}
+
+/// Everything observable about a verdict, as comparable data.
+fn fingerprint(v: &Verdict) -> String {
+    match v {
+        Verdict::Correct(p) => format!("correct|witness={:?}", p.serial_witness),
+        Verdict::Incorrect(c) => format!(
+            "incorrect|level={}|phase={:?}|cycle={:?}",
+            c.level, c.phase, c.cycle
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Dense closure (topo sweep on DAGs, Warshall otherwise) equals the
+    /// sparse per-source DFS closure, edge for edge.
+    #[test]
+    fn closure_identical_across_backends(
+        seed in 0u64..100_000,
+        n in arb_nodes(),
+        degree in 1u8..=6,
+        dag in proptest::bool::ANY,
+    ) {
+        let g = random_graph(n, degree as f64, dag, seed);
+        let sparse = transitive_closure(&g);
+        let mut bits = BitGraph::from_digraph(&g);
+        bits.close_transitively();
+        prop_assert_eq!(&bits.to_digraph(), &sparse, "n={} dag={}", n, dag);
+        // And via the reusable-buffer load path the engine scratch uses.
+        let mut reused = BitGraph::new();
+        reused.load_from(&g);
+        reused.close_transitively();
+        prop_assert_eq!(&reused.to_digraph(), &sparse);
+    }
+
+    /// Per-source bitset BFS reaches exactly the nodes the sparse DFS does.
+    #[test]
+    fn reachability_identical_across_backends(
+        seed in 0u64..100_000,
+        n in arb_nodes(),
+        degree in 1u8..=6,
+    ) {
+        let g = random_graph(n, degree as f64, false, seed);
+        let bits = BitGraph::from_digraph(&g);
+        for u in 0..n {
+            prop_assert_eq!(
+                bits.reachable_from(u),
+                reachable_from(&g, u),
+                "source {}", u
+            );
+        }
+    }
+
+    /// Inserting the same pair sequence into both order representations
+    /// gives step-identical results: the same `Ok`/`Err` — with the *same*
+    /// error value — at every step, and identical closed pair sets at the
+    /// end. Includes reflexive and contradiction error paths (the pair
+    /// stream is unfiltered, so cycles and self-pairs occur routinely).
+    #[test]
+    fn order_insert_step_identical(
+        seed in 0u64..100_000,
+        n in 2usize..=70,
+        pairs in 1usize..=120,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sparse = PartialOrderRel::with_elements(n);
+        let mut dense = BitOrderRel::with_elements(n);
+        for step in 0..pairs {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            prop_assert_eq!(
+                dense.insert(a, b),
+                sparse.insert(a, b),
+                "step {} inserting ({}, {})", step, a, b
+            );
+        }
+        prop_assert_eq!(
+            dense.pairs().collect::<Vec<_>>(),
+            sparse.pairs().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(dense.pair_count(), sparse.pair_count());
+    }
+
+    /// `try_union`, `contains`, and `restricted_to` agree across backends,
+    /// including the exact error when the union is contradictory.
+    #[test]
+    fn union_contains_restrict_identical(
+        seed in 0u64..100_000,
+        n in 2usize..=70,
+        pairs in 1usize..=40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grow = |rng: &mut StdRng| {
+            let mut rel = PartialOrderRel::with_elements(n);
+            for _ in 0..pairs {
+                let _ = rel.insert(rng.gen_range(0..n), rng.gen_range(0..n));
+            }
+            rel
+        };
+        let s1 = grow(&mut rng);
+        let s2 = grow(&mut rng);
+        let d1 = BitOrderRel::from_partial_order(&s1);
+        let d2 = BitOrderRel::from_partial_order(&s2);
+
+        prop_assert_eq!(d1.contains(&d2), s1.contains(&s2));
+        prop_assert_eq!(d2.contains(&d1), s2.contains(&s1));
+
+        match (s1.try_union(&s2), d1.try_union(&d2)) {
+            (Ok(su), Ok(du)) => prop_assert_eq!(
+                du.pairs().collect::<Vec<_>>(),
+                su.pairs().collect::<Vec<_>>()
+            ),
+            (Err(se), Err(de)) => prop_assert_eq!(de, se, "union error must match exactly"),
+            (s, d) => prop_assert!(false, "union outcome diverged: sparse={:?} dense={:?}",
+                s.map(|u| u.pair_count()), d.map(|u| u.pair_count())),
+        }
+
+        let keep: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.5)).collect();
+        prop_assert_eq!(
+            d1.restricted_to(&keep).pairs().collect::<Vec<_>>(),
+            s1.restricted_to(&keep).pairs().collect::<Vec<_>>()
+        );
+    }
+
+    /// End to end: the checker's verdict is bit-identical whether closures
+    /// run forced-sparse, forced-dense, or on the default crossover.
+    #[test]
+    fn checker_verdict_identical_across_backends(
+        seed in 0u64..100_000,
+        roots in 2usize..=6,
+        density in 0u8..=90,
+    ) {
+        let sys = generate(&GenParams {
+            shape: Shape::General { levels: 3, scheds_per_level: 2 },
+            roots,
+            ops_per_tx: (1, 3),
+            conflict_density: density as f64 / 100.0,
+            sequential_tx_prob: 0.7,
+            client_input_prob: 0.0,
+            strong_input_prob: 0.0,
+            sound_abstractions: false,
+            seed,
+        });
+        let baseline = fingerprint(&check(&sys));
+        for crossover in [0usize, 64, usize::MAX] {
+            let v = Checker::new().dense_crossover(crossover).check(&sys);
+            prop_assert_eq!(
+                &fingerprint(&v),
+                &baseline,
+                "verdict diverged at crossover={}", crossover
+            );
+        }
+    }
+}
+
+/// The word-layout boundary, exhaustively: complete DAGs and complete
+/// digraphs (every off-diagonal edge) at 63, 64, and 65 nodes, where rows
+/// span exactly one word, exactly fill one word, and spill into a second.
+#[test]
+fn crossover_boundary_sizes_match_exactly() {
+    for n in [63usize, 64, 65] {
+        for dag in [true, false] {
+            let mut g = DiGraph::with_nodes(n);
+            for u in 0..n {
+                let lo = if dag { u + 1 } else { 0 };
+                for v in lo..n {
+                    if u != v {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let sparse = transitive_closure(&g);
+            let mut bits = BitGraph::from_digraph(&g);
+            bits.close_transitively();
+            assert_eq!(bits.to_digraph(), sparse, "n={n} dag={dag}");
+            assert_eq!(bits.edge_count(), sparse.edge_count(), "n={n} dag={dag}");
+        }
+    }
+}
+
+/// The paper's worked examples decide identically on every backend.
+#[test]
+fn figure_examples_verdicts_unchanged_by_backend() {
+    for (name, fig) in [
+        ("figure1", figure1()),
+        ("figure2", figure2()),
+        ("figure3", figure3_incorrect()),
+        ("figure4", figure4_correct()),
+    ] {
+        let baseline = fingerprint(&check(&fig.system));
+        for crossover in [0usize, 64, usize::MAX] {
+            let v = Checker::new().dense_crossover(crossover).check(&fig.system);
+            assert_eq!(
+                fingerprint(&v),
+                baseline,
+                "{name} verdict changed at crossover={crossover}"
+            );
+        }
+    }
+}
