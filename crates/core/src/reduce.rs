@@ -614,8 +614,12 @@ impl<'a> Reducer<'a> {
         }
 
         // --- Step 1: simultaneous calculations exist iff the constraint
-        // graph, contracted by transaction grouping, is acyclic. Under the
-        // no-forgetting ablation every observed pair constrains.
+        // graph, contracted by transaction grouping, is acyclic — and each
+        // group's *internal* constraints are acyclic too (a calculation is a
+        // single execution sequence, so a contradictory non-reorderable pair
+        // between two operations of one transaction also rules it out;
+        // contraction alone cannot see those, it drops self-edges). Under
+        // the no-forgetting ablation every observed pair constrains.
         let constraint = if self.options.forget_commuting {
             self.front.constraint_graph_jobs(sys, self.options.jobs)
         } else {
@@ -624,12 +628,56 @@ impl<'a> Reducer<'a> {
             g.union_with(&self.front.observed);
             g
         };
+        // Definition 14 constrains a calculation only through *pairs of
+        // front members*. Accumulated input pairs keep their original
+        // endpoints (step 6 stores them verbatim), so an endpoint reduced
+        // away at an earlier level is not a node of the serialization
+        // problem any more — it acts as a pass-through: a chain
+        // `a ≺ stale ≺ b` with `a`, `b` on the front induces the front
+        // obligation `a ≺ b` by transitivity of →, nothing else. Keeping
+        // stale nodes as distinct vertices instead would manufacture
+        // phantom group -> stale -> group cycles out of chains that live
+        // entirely inside one transaction (and break Theorem 2 on stacks).
+        let in_front = |i: usize| self.front.nodes.contains(&NodeId(i as u32));
+        let mut calc = DiGraph::with_nodes(sys.node_count());
+        for (u, v) in constraint.edges() {
+            if in_front(u) && in_front(v) {
+                calc.add_edge(u, v);
+            }
+        }
+        for &a in &self.front.nodes {
+            let mut stack: Vec<usize> = constraint
+                .successors(a.index())
+                .filter(|&s| !in_front(s))
+                .collect();
+            let mut seen: BTreeSet<usize> = stack.iter().copied().collect();
+            while let Some(s) = stack.pop() {
+                for t in constraint.successors(s) {
+                    if in_front(t) {
+                        calc.add_edge(a.index(), t);
+                    } else if seen.insert(t) {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
         let node_to_comp: Vec<usize> = (0..sys.node_count())
             .map(|i| replaced.get(&NodeId(i as u32)).map_or(i, |t| t.index()))
             .collect();
         let constraint_edges = constraint.edge_count();
-        let contracted = condense(&constraint, &node_to_comp, sys.node_count());
-        if let Some(cycle) = find_cycle(&contracted) {
+        let contracted = condense(&calc, &node_to_comp, sys.node_count());
+        let calc_cycle = find_cycle(&contracted).or_else(|| {
+            let mut internal = DiGraph::with_nodes(sys.node_count());
+            let mut nonempty = false;
+            for (u, v) in calc.edges() {
+                if u != v && node_to_comp[u] == node_to_comp[v] {
+                    internal.add_edge(u, v);
+                    nonempty = true;
+                }
+            }
+            nonempty.then(|| find_cycle(&internal)).flatten()
+        });
+        if let Some(cycle) = calc_cycle {
             let cycle: Vec<NodeId> = cycle.nodes.into_iter().map(|i| NodeId(i as u32)).collect();
             self.emit_level(
                 t0,

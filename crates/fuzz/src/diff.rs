@@ -1,0 +1,355 @@
+//! The cross-check itself: one system, every applicable decision procedure.
+
+use compc_classic::{is_csr, History};
+use compc_configs::{is_fcc, is_jcc, is_scc, stack_shape};
+use compc_core::{Checker, FailurePhase, Verdict};
+use compc_model::{CompositeSystem, NodeId};
+use compc_oracle::{decide, OracleVerdict, RejectReason};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// What to run and what to trust.
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Oracle node-count cap (the oracle is exponential).
+    pub max_oracle_nodes: usize,
+    /// Whether FCC/JCC may be trusted: the population was generated with
+    /// sound abstractions and not mutated afterwards (Theorems 3–4 fine
+    /// print). SCC has its own scope gate, [`essential_orders_only`]
+    /// (Theorem 2 fine print).
+    pub trust_abstractions: bool,
+}
+
+/// Theorem 2's scope: every schedule declares only orders with a lawful
+/// *provenance* —
+///
+/// 1. weak output pairs follow (by closure) from intra-transaction program
+///    order, conflicting pairs in the executed direction, and strong pairs;
+/// 2. a strong output pair between operations of *different* transactions
+///    comes as a complete block: Definition 3 axiom 3 derives strong
+///    operation pairs only from a strong transaction-level order `t ≪ t'`,
+///    which forces *every* pair between `t`'s and `t'`'s operations — a
+///    partial block has no axiomatic source;
+/// 3. a weak input pair between non-root transactions follows (Definition
+///    4.7) from the essential declared closure of the schedule that
+///    contains them as operations — input orders below the top are
+///    propagated, not invented. (Client input orders between roots are
+///    unrestricted; there is no grouping level above them to sandwich.)
+///
+/// Outside this scope, per-schedule conflict consistency provably diverges
+/// from Comp-C: a gratuitous pair still propagates as a binding obligation
+/// and can sandwich one transaction's operation between another
+/// transaction's operations at the level above — a rejection SCC cannot
+/// see, because each schedule's local serialization is acyclic. The fuzzer
+/// produced both flavors: an over-declared weak output pair
+/// (`tests/corpus/adv-overdeclared-stack.incorrect.json`) and a partial
+/// strong block echoed by an unforced input pair
+/// (`tests/corpus/adv-partial-strong-stack.incorrect.json`). The SCC
+/// cross-check is therefore gated on this predicate.
+pub fn essential_orders_only(sys: &CompositeSystem) -> bool {
+    // Per schedule: the closed essential pair set, used both for its own
+    // weak-output check and for the input-provenance check of the schedules
+    // its operations execute in.
+    let mut essential_closure: BTreeMap<compc_model::SchedId, BTreeSet<(NodeId, NodeId)>> =
+        BTreeMap::new();
+    for s in sys.schedules() {
+        let ops: Vec<NodeId> = s.ops().collect();
+        // A strong pair's block: every (x, y) with x in a's transaction and
+        // y in b's transaction (restricted to this schedule's operations)
+        // must also be strong.
+        let complete_strong_block = |a: NodeId, b: NodeId| -> bool {
+            ops.iter()
+                .filter(|&&x| sys.node(x).parent == sys.node(a).parent)
+                .all(|&x| {
+                    ops.iter()
+                        .filter(|&&y| sys.node(y).parent == sys.node(b).parent)
+                        .all(|&y| s.output.strong_lt(x, y))
+                })
+        };
+        let mut essential: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for &a in &ops {
+            for &b in &ops {
+                if a == b || !s.output.weak_lt(a, b) {
+                    continue;
+                }
+                let same_tx =
+                    sys.node(a).parent.is_some() && sys.node(a).parent == sys.node(b).parent;
+                if same_tx
+                    || s.conflicts.conflicts(a, b)
+                    || (s.output.strong_lt(a, b) && complete_strong_block(a, b))
+                {
+                    essential.insert((a, b));
+                }
+            }
+        }
+        // Close the essential set; every declared weak pair must follow
+        // from it.
+        loop {
+            let snapshot: Vec<_> = essential.iter().copied().collect();
+            let before = essential.len();
+            for &(a, b) in &snapshot {
+                for &(c, d) in &snapshot {
+                    if b == c && a != d {
+                        essential.insert((a, d));
+                    }
+                }
+            }
+            if essential.len() == before {
+                break;
+            }
+        }
+        for &a in &ops {
+            for &b in &ops {
+                if a != b && s.output.weak_lt(a, b) && !essential.contains(&(a, b)) {
+                    return false;
+                }
+            }
+        }
+        essential_closure.insert(s.id, essential);
+    }
+    // Input provenance: a weak input pair between non-root transactions
+    // must follow from the essential closure of the schedule that contains
+    // them as operations.
+    for s in sys.schedules() {
+        for (a, b) in s.input.weak_pairs() {
+            let (Some(ca), Some(cb)) = (sys.node(a).container, sys.node(b).container) else {
+                continue; // client order between roots: unrestricted
+            };
+            if ca != cb {
+                continue; // no single declaring schedule; out of stack shape anyway
+            }
+            if !essential_closure
+                .get(&ca)
+                .is_some_and(|ess| ess.contains(&(a, b)))
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Which checks actually ran, and the agreed verdict.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOutcome {
+    /// The agreed Comp-C verdict.
+    pub correct: bool,
+    /// The oracle ran (system within the node cap).
+    pub oracle_ran: bool,
+    /// SCC cross-checked (stack shape recognized, essential orders only).
+    pub scc_ran: bool,
+    /// FCC cross-checked (fork shape, trusted abstractions).
+    pub fcc_ran: bool,
+    /// JCC cross-checked (join shape, trusted abstractions).
+    pub jcc_ran: bool,
+}
+
+/// A cross-check disagreement.
+#[derive(Clone, Debug)]
+pub enum Mismatch {
+    /// Sparse and dense engine backends disagree.
+    Backend {
+        /// Sparse verdict.
+        sparse: bool,
+        /// Dense verdict.
+        dense: bool,
+    },
+    /// Engine and oracle disagree on acceptance.
+    Oracle {
+        /// Engine verdict.
+        engine: bool,
+        /// Oracle verdict.
+        oracle: bool,
+    },
+    /// Engine and oracle both reject, but at a different level or phase.
+    OracleDetail {
+        /// Engine failing level.
+        engine_level: usize,
+        /// Engine failing phase.
+        engine_phase: FailurePhase,
+        /// Oracle failing level.
+        oracle_level: usize,
+        /// Oracle failing reason.
+        oracle_reason: RejectReason,
+    },
+    /// SCC disagrees with the engine on a recognized stack.
+    Scc {
+        /// Engine verdict.
+        engine: bool,
+        /// SCC verdict.
+        scc: bool,
+    },
+    /// FCC disagrees on a sound unmutated fork.
+    Fcc {
+        /// Engine verdict.
+        engine: bool,
+        /// FCC verdict.
+        fcc: bool,
+    },
+    /// JCC disagrees on a sound unmutated join.
+    Jcc {
+        /// Engine verdict.
+        engine: bool,
+        /// JCC verdict.
+        jcc: bool,
+    },
+    /// CSR disagrees with the engine on a flat history embedding.
+    Csr {
+        /// Engine verdict on the embedded system.
+        engine: bool,
+        /// CSR verdict on the history.
+        csr: bool,
+    },
+}
+
+impl Mismatch {
+    /// A stable label for the mismatch family — the shrinker keeps
+    /// minimizing as long as the *same kind* of disagreement reproduces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Mismatch::Backend { .. } => "backend",
+            Mismatch::Oracle { .. } => "oracle",
+            Mismatch::OracleDetail { .. } => "oracle-detail",
+            Mismatch::Scc { .. } => "scc",
+            Mismatch::Fcc { .. } => "fcc",
+            Mismatch::Jcc { .. } => "jcc",
+            Mismatch::Csr { .. } => "csr",
+        }
+    }
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mismatch::Backend { sparse, dense } => {
+                write!(f, "sparse backend says {sparse}, dense says {dense}")
+            }
+            Mismatch::Oracle { engine, oracle } => {
+                write!(f, "engine says {engine}, oracle says {oracle}")
+            }
+            Mismatch::OracleDetail {
+                engine_level,
+                engine_phase,
+                oracle_level,
+                oracle_reason,
+            } => write!(
+                f,
+                "both reject, but engine fails at level {engine_level} ({engine_phase:?}) \
+                 while oracle fails at level {oracle_level} ({oracle_reason:?})"
+            ),
+            Mismatch::Scc { engine, scc } => {
+                write!(f, "engine says {engine} on a stack, SCC says {scc}")
+            }
+            Mismatch::Fcc { engine, fcc } => {
+                write!(f, "engine says {engine} on a sound fork, FCC says {fcc}")
+            }
+            Mismatch::Jcc { engine, jcc } => {
+                write!(f, "engine says {engine} on a sound join, JCC says {jcc}")
+            }
+            Mismatch::Csr { engine, csr } => {
+                write!(
+                    f,
+                    "engine says {engine} on a flat embedding, CSR says {csr}"
+                )
+            }
+        }
+    }
+}
+
+/// Runs every applicable decision procedure on `sys` and compares.
+pub fn differential_check(
+    sys: &CompositeSystem,
+    cfg: &DiffConfig,
+) -> Result<CheckOutcome, Mismatch> {
+    let sparse = Checker::new().dense_crossover(usize::MAX).check(sys);
+    let dense = Checker::new().dense_crossover(0).check(sys);
+    if sparse.is_correct() != dense.is_correct() {
+        return Err(Mismatch::Backend {
+            sparse: sparse.is_correct(),
+            dense: dense.is_correct(),
+        });
+    }
+    let engine = sparse.is_correct();
+
+    let oracle_ran = sys.node_count() <= cfg.max_oracle_nodes;
+    if oracle_ran {
+        let oracle = decide(sys);
+        if oracle.accepted() != engine {
+            return Err(Mismatch::Oracle {
+                engine,
+                oracle: oracle.accepted(),
+            });
+        }
+        if let (Verdict::Incorrect(cex), OracleVerdict::Reject { level, reason }) =
+            (&sparse, &oracle)
+        {
+            let phase_matches = matches!(
+                (cex.phase, reason),
+                (FailurePhase::Calculation, RejectReason::NoCalculation)
+                    | (
+                        FailurePhase::ConflictConsistency,
+                        RejectReason::ConflictInconsistent
+                    )
+            );
+            if cex.level != *level || !phase_matches {
+                return Err(Mismatch::OracleDetail {
+                    engine_level: cex.level,
+                    engine_phase: cex.phase,
+                    oracle_level: *level,
+                    oracle_reason: *reason,
+                });
+            }
+        }
+    }
+
+    let scc_ran = stack_shape(sys).is_some() && essential_orders_only(sys);
+    if scc_ran {
+        let scc = is_scc(sys);
+        if scc != engine {
+            return Err(Mismatch::Scc { engine, scc });
+        }
+    }
+    let mut fcc_ran = false;
+    let mut jcc_ran = false;
+    if cfg.trust_abstractions {
+        if let Some(fcc) = is_fcc(sys) {
+            fcc_ran = true;
+            if fcc != engine {
+                return Err(Mismatch::Fcc { engine, fcc });
+            }
+        }
+        if let Some(jcc) = is_jcc(sys) {
+            jcc_ran = true;
+            if jcc != engine {
+                return Err(Mismatch::Jcc { engine, jcc });
+            }
+        }
+    }
+
+    Ok(CheckOutcome {
+        correct: engine,
+        oracle_ran,
+        scc_ran,
+        fcc_ran,
+        jcc_ran,
+    })
+}
+
+/// CSR cross-check for a flat history embedding: the classic criterion on
+/// `h` must agree with the full stack (engine backends + oracle) on the
+/// embedded composite system.
+pub fn csr_differential(
+    h: &History,
+    sys: &CompositeSystem,
+    cfg: &DiffConfig,
+) -> Result<(), Mismatch> {
+    let out = differential_check(sys, cfg)?;
+    let csr = is_csr(h);
+    if csr != out.correct {
+        return Err(Mismatch::Csr {
+            engine: out.correct,
+            csr,
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! `compc-fuzz` — the differential Comp-C fuzzer.
+//!
+//! ```text
+//! compc-fuzz [--seed N] [--count N | --seconds N] [--corpus DIR]
+//!            [--out DIR] [--max-oracle-nodes N] [--harvest N DIR]
+//! ```
+//!
+//! * `--corpus DIR` first replays every committed corpus file
+//!   deterministically (exit 2 on any replay failure);
+//! * then fuzzes for `--count` systems or `--seconds` seconds (default:
+//!   1000 systems), cross-checking engine backends, oracle and classic
+//!   criteria; any disagreement is shrunk, written under `--out` (if given)
+//!   and makes the run exit 1;
+//! * `--harvest N DIR` instead harvests `N` shrunk adversarial systems into
+//!   `DIR` as corpus entries and exits.
+//!
+//! Exit codes: 0 all checks agreed; 1 disagreement found; 2 usage or
+//! corpus-replay failure.
+
+use compc_fuzz::{corpus, fuzz, Budget, FuzzConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: compc-fuzz [--seed N] [--count N | --seconds N] [--corpus DIR] \
+         [--out DIR] [--max-oracle-nodes N] [--harvest N DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = FuzzConfig {
+        budget: Budget::Count(1000),
+        ..FuzzConfig::default()
+    };
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut harvest: Option<(usize, PathBuf)> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--seed" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seed = v,
+                None => return usage(),
+            },
+            "--count" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.budget = Budget::Count(v),
+                None => return usage(),
+            },
+            "--seconds" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.budget = Budget::Seconds(v),
+                None => return usage(),
+            },
+            "--max-oracle-nodes" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_oracle_nodes = v,
+                None => return usage(),
+            },
+            "--corpus" => match next(&mut i) {
+                Some(v) => corpus_dir = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--out" => match next(&mut i) {
+                Some(v) => cfg.out_dir = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--harvest" => {
+                let n = next(&mut i).and_then(|v| v.parse().ok());
+                let dir = next(&mut i);
+                match (n, dir) {
+                    (Some(n), Some(dir)) => harvest = Some((n, PathBuf::from(dir))),
+                    _ => return usage(),
+                }
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    if let Some((want, dir)) = harvest {
+        let entries = corpus::harvest(cfg.seed, want);
+        for (stem, sys, correct) in &entries {
+            match corpus::write_corpus_entry(&dir, stem, sys, *correct) {
+                Ok(path) => println!(
+                    "harvested {} ({} nodes, {})",
+                    path.display(),
+                    sys.node_count(),
+                    if *correct { "correct" } else { "incorrect" }
+                ),
+                Err(e) => {
+                    eprintln!("error: cannot write corpus entry {stem}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        println!("harvested {} corpus entries", entries.len());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(dir) = &corpus_dir {
+        match corpus::replay_dir(dir, cfg.max_oracle_nodes) {
+            Ok(stats) => println!(
+                "corpus replay: {} file(s) ok ({} correct, {} incorrect, {} oracle-checked)",
+                stats.files, stats.correct, stats.incorrect, stats.oracle_checked
+            ),
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("corpus replay FAILED: {f}");
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = fuzz(&cfg);
+    let s = report.stats;
+    println!(
+        "fuzz: {} systems ({} mutants) | verdicts {} correct / {} incorrect | \
+         oracle {} (skipped {}) | scc {} fcc {} jcc {} csr {} | seed {}",
+        s.systems,
+        s.mutants,
+        s.correct,
+        s.incorrect,
+        s.oracle_checked,
+        s.oracle_skipped,
+        s.scc_checked,
+        s.fcc_checked,
+        s.jcc_checked,
+        s.csr_checked,
+        cfg.seed,
+    );
+    if report.disagreements.is_empty() {
+        println!("all checks agreed");
+        return ExitCode::SUCCESS;
+    }
+    for d in &report.disagreements {
+        eprintln!(
+            "DISAGREEMENT [{}] case {}: {} (shrunk {} -> {} nodes)",
+            d.kind, d.label, d.detail, d.nodes_before, d.nodes_after
+        );
+    }
+    eprintln!("{} disagreement(s) found", report.disagreements.len());
+    ExitCode::FAILURE
+}

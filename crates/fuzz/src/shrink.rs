@@ -1,0 +1,75 @@
+//! Delta-debugging shrinker: minimize a disagreeing system by root
+//! projection while the disagreement keeps reproducing.
+
+use compc_model::{CompositeSystem, NodeId};
+
+/// Greedily projects roots away (largest reduction first: try dropping each
+/// root in turn, keep any drop under which `still_fails` holds, repeat until
+/// no single-root drop reproduces the failure). The result is 1-minimal in
+/// the root set: dropping any one further root loses the disagreement.
+///
+/// Mirrors the strategy of `compc_core::minimize`, but with an arbitrary
+/// failure predicate instead of "still incorrect".
+pub fn shrink_system(
+    sys: &CompositeSystem,
+    still_fails: &dyn Fn(&CompositeSystem) -> bool,
+) -> CompositeSystem {
+    let mut current = sys.clone();
+    loop {
+        let roots: Vec<NodeId> = current.roots().collect();
+        if roots.len() <= 1 {
+            return current;
+        }
+        let mut shrunk = None;
+        for drop in 0..roots.len() {
+            let keep: Vec<NodeId> = roots
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != drop)
+                .map(|(_, &r)| r)
+                .collect();
+            let Ok(candidate) = current.project_roots(&keep) else {
+                continue;
+            };
+            if still_fails(&candidate) {
+                shrunk = Some(candidate);
+                break;
+            }
+        }
+        match shrunk {
+            Some(next) => current = next,
+            None => return current,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_workload::random::{generate, GenParams};
+
+    #[test]
+    fn shrinks_to_one_root_under_always_true() {
+        let sys = generate(&GenParams::default());
+        let shrunk = shrink_system(&sys, &|_| true);
+        assert_eq!(shrunk.roots().count(), 1);
+    }
+
+    #[test]
+    fn keeps_original_when_nothing_reproduces() {
+        let sys = generate(&GenParams::default());
+        let shrunk = shrink_system(&sys, &|_| false);
+        assert_eq!(shrunk.roots().count(), sys.roots().count());
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Predicate: at least two roots present (so 2 is the minimum).
+        let sys = generate(&GenParams {
+            roots: 5,
+            ..GenParams::default()
+        });
+        let shrunk = shrink_system(&sys, &|s| s.roots().count() >= 2);
+        assert_eq!(shrunk.roots().count(), 2);
+    }
+}

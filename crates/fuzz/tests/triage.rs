@@ -1,0 +1,171 @@
+//! Regression pins for triaged fuzzer findings: each committed disagreement
+//! stays explained — the gate that resolved it keeps excluding it, and the
+//! agreed verdict keeps holding.
+
+use compc::spec::SystemSpec;
+use compc_configs::{is_scc, stack_shape};
+use compc_core::check;
+use compc_fuzz::corpus::default_corpus_dir;
+use compc_fuzz::diff::{differential_check, essential_orders_only, DiffConfig};
+use compc_model::CompositeSystem;
+use compc_workload::random::{generate, GenParams, Shape};
+
+fn load_corpus(name: &str) -> CompositeSystem {
+    let path = default_corpus_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    SystemSpec::parse(&text)
+        .expect("corpus file parses")
+        .build()
+        .expect("corpus file builds")
+}
+
+/// The first disagreement the fuzzer ever found (seed 1, case 54): a mutated
+/// stack whose top schedule orders a non-conflicting pair `t1 ≺ t4`.
+/// Definition 4.7 propagates that order down, sandwiching `t4` between two
+/// subtransactions of the other root, so no level-2 calculation exists — but
+/// per-schedule conflict consistency cannot see it (serialization pairs only
+/// arise from conflicts), so SCC says correct. Theorem 2 fine print: its
+/// scope is executions declaring only required output pairs.
+#[test]
+fn overdeclared_stack_is_gated_not_disagreeing() {
+    let sys = load_corpus("adv-overdeclared-stack.incorrect.json");
+
+    // The split that was observed, pinned down:
+    assert!(stack_shape(&sys).is_some(), "the reproducer is a stack");
+    assert!(is_scc(&sys), "every schedule is conflict consistent");
+    let cex = check(&sys)
+        .counterexample()
+        .cloned()
+        .expect("the engine rejects");
+    assert_eq!(cex.level, 2, "the calculation dies at the top reduction");
+    assert!(
+        !compc::oracle::decide(&sys).accepted(),
+        "the independent oracle agrees with the engine"
+    );
+
+    // The triage: the system over-declares, so Theorem 2 does not apply...
+    assert!(
+        !essential_orders_only(&sys),
+        "the reproducer must keep violating the Theorem-2 scope gate"
+    );
+    // ...and the gated differential check no longer reports a mismatch.
+    let cfg = DiffConfig {
+        max_oracle_nodes: 40,
+        trust_abstractions: false,
+    };
+    let outcome = differential_check(&sys, &cfg).expect("gated check agrees");
+    assert!(!outcome.correct);
+    assert!(!outcome.scc_ran, "SCC must be skipped on this system");
+}
+
+/// Engine bug found at seed 1, case 33695: `o11 ∦ o8` executes as
+/// `o11 ≺ o8` while the declared order runs `t6 ≺ t10` — after pull-up both
+/// constraints order operations of the *same* transaction `T9`, in opposite
+/// directions. Contraction drops self-edges, so the contradiction was
+/// invisible until the engine also checked each group's internal constraint
+/// edges for cycles (Definition 14 demands one execution sequence respecting
+/// every non-reorderable pair, intra-group ones included).
+#[test]
+fn intragroup_constraint_contradiction_is_rejected() {
+    let sys = load_corpus("adv-intragroup-cycle.incorrect.json");
+    assert!(
+        check(&sys).counterexample().is_some(),
+        "the engine rejects the intra-group contradiction"
+    );
+    assert!(
+        !compc::oracle::decide(&sys).accepted(),
+        "the independent oracle agrees"
+    );
+    let cfg = DiffConfig {
+        max_oracle_nodes: 40,
+        trust_abstractions: false,
+    };
+    let outcome = differential_check(&sys, &cfg).expect("all checks agree");
+    assert!(!outcome.correct);
+}
+
+/// Engine bug found at seed 1, cases 28729/32685: accumulated input pairs
+/// keep their original endpoints, and an endpoint reduced away at an earlier
+/// level is not a vertex of the serialization problem (Definition 14 only
+/// constrains through pairs of *front members*). Keeping stale endpoints as
+/// contraction vertices manufactured phantom `group → stale → group` cycles;
+/// the fix treats them as pass-throughs, inducing only the front-to-front
+/// obligations their chains imply. Both systems are correct, and the engine
+/// must keep accepting them.
+#[test]
+fn stale_input_endpoints_are_pass_throughs_not_vertices() {
+    let cfg = DiffConfig {
+        max_oracle_nodes: 40,
+        trust_abstractions: false,
+    };
+    for name in [
+        "adv-stale-input-chain.correct.json",
+        "adv-stale-input-cross.correct.json",
+    ] {
+        let sys = load_corpus(name);
+        assert!(
+            check(&sys).is_correct(),
+            "{name}: the engine accepts — stale endpoints are pass-throughs"
+        );
+        let outcome = differential_check(&sys, &cfg)
+            .unwrap_or_else(|m| panic!("{name}: checks disagree: {m}"));
+        assert!(outcome.correct, "{name}");
+        assert!(outcome.oracle_ran, "{name}: the oracle confirmed it");
+    }
+}
+
+/// Found at seed 1, case 52047: a mutated stack with a *partial* strong
+/// block (`t1 ≪ t13` declared without the rest of the parent-block that
+/// Definition 3 axiom 3 would force) echoed by a cross-parent input pair
+/// `t1 ≺ t13` that no container-schedule closure propagates. At the top
+/// reduction the input pair contracts to `T0 → T9` while the conflict-backed
+/// order gives `T9 → T0`: engine and oracle both reject, but per-schedule
+/// conflict consistency is locally acyclic, so SCC says correct. The
+/// provenance conditions of [`essential_orders_only`] exclude it.
+#[test]
+fn partial_strong_block_stack_is_gated_not_disagreeing() {
+    let sys = load_corpus("adv-partial-strong-stack.incorrect.json");
+
+    assert!(stack_shape(&sys).is_some(), "the reproducer is a stack");
+    assert!(is_scc(&sys), "every schedule is conflict consistent");
+    assert!(check(&sys).counterexample().is_some(), "the engine rejects");
+    assert!(
+        !compc::oracle::decide(&sys).accepted(),
+        "the independent oracle agrees with the engine"
+    );
+
+    assert!(
+        !essential_orders_only(&sys),
+        "the reproducer must keep violating the provenance gate"
+    );
+    let cfg = DiffConfig {
+        max_oracle_nodes: 40,
+        trust_abstractions: false,
+    };
+    let outcome = differential_check(&sys, &cfg).expect("gated check agrees");
+    assert!(!outcome.correct);
+    assert!(!outcome.scc_ran, "SCC must be skipped on this system");
+}
+
+/// The generator never over-declares (its declared output pairs are exactly
+/// program order + conflict-backed pairs + strong orders), so the gate keeps
+/// SCC coverage on the whole pristine stack population.
+#[test]
+fn pristine_stacks_pass_the_essential_orders_gate() {
+    for seed in 0..30 {
+        let sys = generate(&GenParams {
+            shape: Shape::Stack { depth: 3 },
+            roots: 3,
+            conflict_density: 0.4,
+            client_input_prob: 0.3,
+            strong_input_prob: 0.5,
+            seed,
+            ..GenParams::default()
+        });
+        assert!(
+            essential_orders_only(&sys),
+            "pristine stack (seed {seed}) flagged as over-declared"
+        );
+    }
+}

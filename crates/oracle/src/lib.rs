@@ -1,0 +1,519 @@
+//! A brute-force Comp-C decision oracle, independent of the reduction engine.
+//!
+//! `compc-core` decides Comp-C with a contraction-based linear-time front
+//! reduction, routed through one of two graph backends. Every correctness
+//! claim in the workspace ultimately bottoms out there — so a bug in the
+//! engine (or in a backend) could pass every engine-derived test silently.
+//! This crate re-decides Comp-C **directly from the paper's definitions**
+//! using nothing but `compc-model` data and exhaustive search over `std`
+//! collections:
+//!
+//! * relations are plain sorted pair sets ([`Rel`]), closed by fixpoint
+//!   joining — no `compc-graph`;
+//! * step 1 of Definition 16 (simultaneous calculations, Definition 14) is
+//!   decided by enumerating candidate serialization orders: a depth-first
+//!   search over linearizations of the front that keep each reduced
+//!   transaction's operations contiguous and respect every non-reorderable
+//!   pair — not by contracting a constraint graph;
+//! * conflict consistency (Definition 13) is decided by searching for a
+//!   linear extension of `<ₒ ∪ →` (Theorem 1's "topological sorting"
+//!   argument run forward), not by cycle detection over an adjacency
+//!   structure.
+//!
+//! The oracle follows the same *interpretive* readings of the paper as the
+//! engine (DESIGN.md §5: commuting observed pairs are reorderable in
+//! calculations, Definition 13 is literal, pulled-up pairs of a common
+//! schedule are forgotten unless re-derived by rule 2) — those are semantic
+//! choices about the paper, not implementation details — but shares no
+//! algorithmic machinery with `compc-core`. Exponential by design: intended
+//! for systems of a few dozen nodes (see [`RECOMMENDED_NODE_CAP`]); the
+//! differential fuzzer keeps its populations within that budget.
+//!
+//! # Example
+//!
+//! ```
+//! use compc_model::SystemBuilder;
+//! use compc_oracle::{decide, OracleVerdict};
+//!
+//! let mut b = SystemBuilder::new();
+//! let db = b.schedule("db");
+//! let t1 = b.root("T1", db);
+//! let t2 = b.root("T2", db);
+//! let w1 = b.leaf("w1(x)", t1);
+//! let w2 = b.leaf("w2(x)", t2);
+//! b.conflict(w1, w2)?;
+//! b.output_weak(w1, w2)?;
+//! let sys = b.build()?;
+//!
+//! match decide(&sys) {
+//!     OracleVerdict::Accept { witness } => assert_eq!(witness, vec![t1, t2]),
+//!     OracleVerdict::Reject { .. } => panic!("serial execution must be Comp-C"),
+//! }
+//! # Ok::<(), compc_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use compc_model::{CompositeSystem, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A binary relation over nodes as a sorted pair set — the oracle's only
+/// relational representation.
+pub type Rel = BTreeSet<(NodeId, NodeId)>;
+
+/// Node-count budget above which [`decide`] may become impractically slow
+/// (the calculation search enumerates linearizations). Callers that feed the
+/// oracle arbitrary systems — the fuzzer, `compc-check --oracle`, the sim
+/// verifier — refuse inputs above this cap rather than hang.
+pub const RECOMMENDED_NODE_CAP: usize = 40;
+
+/// Why the oracle rejected a system at some level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Definition 16 step 1 failed: no simultaneous calculations — every
+    /// candidate linearization of the front either interleaves a reduced
+    /// transaction or violates a non-reorderable pair.
+    NoCalculation,
+    /// Definition 13 failed: `<ₒ ∪ →` admits no linear extension.
+    ConflictInconsistent,
+}
+
+/// The oracle's verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// The system is Comp-C; `witness` is a serial order of the root
+    /// transactions consistent with the final front's `<ₒ ∪ →`.
+    Accept {
+        /// A total serial order over the roots (Theorem 1's constructive
+        /// half).
+        witness: Vec<NodeId>,
+    },
+    /// The system is not Comp-C.
+    Reject {
+        /// The reduction level at which the search got stuck (0 = the leaf
+        /// front itself was inconsistent).
+        level: usize,
+        /// Which defining condition failed.
+        reason: RejectReason,
+    },
+}
+
+impl OracleVerdict {
+    /// `true` iff the system was accepted as Comp-C.
+    pub fn accepted(&self) -> bool {
+        matches!(self, OracleVerdict::Accept { .. })
+    }
+}
+
+/// Transitive closure of a pair set by fixpoint joining.
+fn closed(rel: &Rel) -> Rel {
+    let mut r = rel.clone();
+    loop {
+        let mut grew = false;
+        let pairs: Vec<(NodeId, NodeId)> = r.iter().copied().collect();
+        for &(a, b) in &pairs {
+            for &(b2, c) in &pairs {
+                if b == b2 && a != c && r.insert((a, c)) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            return r;
+        }
+    }
+}
+
+/// Searches for a linear extension of `rel` over `nodes` (edges with an
+/// endpoint outside `nodes` are ignored). Deterministic: always picks the
+/// smallest currently-unconstrained node, so the result is the unique
+/// lexicographically-least extension. `None` iff the restriction of `rel`
+/// to `nodes` is cyclic.
+fn linear_extension(nodes: &BTreeSet<NodeId>, rel: &Rel) -> Option<Vec<NodeId>> {
+    let mut remaining: BTreeSet<NodeId> = nodes.clone();
+    let mut order = Vec::with_capacity(nodes.len());
+    while !remaining.is_empty() {
+        let next = remaining.iter().copied().find(|&n| {
+            !rel.iter()
+                .any(|&(a, b)| b == n && a != n && remaining.contains(&a) && nodes.contains(&a))
+        })?;
+        remaining.remove(&next);
+        order.push(next);
+    }
+    Some(order)
+}
+
+/// All nodes mentioned by a relation.
+fn rel_nodes(rel: &Rel) -> BTreeSet<NodeId> {
+    rel.iter().flat_map(|&(a, b)| [a, b]).collect()
+}
+
+/// Decides whether a *calculation set* exists (Definitions 14 and 16 step 1):
+/// a single linearization of `members` in which each group of `group_of` is
+/// contiguous (one isolated execution sequence per reduced transaction) and
+/// every `before` pair is respected. Exhaustive depth-first search over
+/// candidate serialization orders.
+fn calculations_exist(
+    members: &[NodeId],
+    before: &Rel,
+    group_of: &BTreeMap<NodeId, NodeId>,
+) -> bool {
+    let group = |n: NodeId| group_of.get(&n).copied().unwrap_or(n);
+    let mut sizes: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for &n in members {
+        *sizes.entry(group(n)).or_insert(0) += 1;
+    }
+
+    // `open`: the group currently being emitted and how many of its members
+    // remain unplaced; while a group is open only its members are eligible.
+    fn search(
+        members: &[NodeId],
+        before: &Rel,
+        group: &dyn Fn(NodeId) -> NodeId,
+        sizes: &BTreeMap<NodeId, usize>,
+        placed: &mut BTreeSet<NodeId>,
+        open: Option<(NodeId, usize)>,
+    ) -> bool {
+        if placed.len() == members.len() {
+            return true;
+        }
+        for &n in members {
+            if placed.contains(&n) {
+                continue;
+            }
+            let g = group(n);
+            if let Some((og, _)) = open {
+                if g != og {
+                    continue;
+                }
+            }
+            // Every predecessor of `n` among the members must be placed.
+            if before
+                .iter()
+                .any(|&(a, b)| b == n && a != n && members.contains(&a) && !placed.contains(&a))
+            {
+                continue;
+            }
+            placed.insert(n);
+            let left = match open {
+                Some((_, k)) => k - 1,
+                None => sizes[&g] - 1,
+            };
+            let next_open = (left > 0).then_some((g, left));
+            if search(members, before, group, sizes, placed, next_open) {
+                return true;
+            }
+            placed.remove(&n);
+        }
+        false
+    }
+
+    let mut placed = BTreeSet::new();
+    search(members, before, &group, &sizes, &mut placed, None)
+}
+
+/// Generalized conflict (Definition 11) between two front members:
+/// operations of a common schedule conflict iff the schedule declares it;
+/// operations of no common schedule conflict iff the observed order relates
+/// them (either direction).
+fn gen_con(sys: &CompositeSystem, observed: &Rel, a: NodeId, b: NodeId) -> bool {
+    if a == b {
+        return false;
+    }
+    match sys.common_container(a, b) {
+        Some(s) => sys.schedule(s).conflicts.conflicts(a, b),
+        None => observed.contains(&(a, b)) || observed.contains(&(b, a)),
+    }
+}
+
+/// Decides Comp-C (Definition 20) for `sys` by running the level-by-level
+/// existence argument of Theorem 1 with exhaustive search at every choice
+/// point. See the crate docs for what makes this independent of
+/// `compc_core::check`; see [`RECOMMENDED_NODE_CAP`] for the size budget.
+pub fn decide(sys: &CompositeSystem) -> OracleVerdict {
+    // --- Level-0 front (Definition 15): all leaves; `<ₒ` seeded by
+    // Definition 10 rule 1 (leaf pairs of a common schedule, in that
+    // schedule's weak output order), then closed under transitivity.
+    let leaves: BTreeSet<NodeId> = sys.leaves().collect();
+    let mut observed: Rel = Rel::new();
+    for s in sys.schedules() {
+        let ops: Vec<NodeId> = s.ops().filter(|o| leaves.contains(o)).collect();
+        for &a in &ops {
+            for &b in &ops {
+                if a != b && s.output.weak_lt(a, b) {
+                    observed.insert((a, b));
+                }
+            }
+        }
+    }
+    observed = closed(&observed);
+    let mut front: BTreeSet<NodeId> = leaves;
+    let mut input: Rel = Rel::new();
+
+    // Conflict consistency of a front: `<ₒ ∪ →` (full accumulated
+    // relations, Definition 13 literal) admits a linear extension.
+    let cc_holds = |front: &BTreeSet<NodeId>, observed: &Rel, input: &Rel| -> bool {
+        let mut union: Rel = observed.clone();
+        union.extend(input.iter().copied());
+        let mut nodes = rel_nodes(&union);
+        nodes.extend(front.iter().copied());
+        linear_extension(&nodes, &union).is_some()
+    };
+
+    if !cc_holds(&front, &observed, &input) {
+        return OracleVerdict::Reject {
+            level: 0,
+            reason: RejectReason::ConflictInconsistent,
+        };
+    }
+
+    for level in 1..=sys.order() {
+        let scheds: Vec<_> = sys.schedules_at_level(level).collect();
+
+        // The transactions reduced at this level, and the op → transaction
+        // grouping for the calculation search.
+        let mut replaced: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut new_txs: Vec<NodeId> = Vec::new();
+        for s in &scheds {
+            for t in &s.transactions {
+                new_txs.push(t.id);
+                for &o in &t.ops {
+                    replaced.insert(o, t.id);
+                }
+            }
+        }
+
+        // --- Step 1: candidate serialization orders. The non-reorderable
+        // pairs are the input orders, the observed pairs that are
+        // generalized conflicts (commuting observed pairs may be swapped by
+        // a re-execution), and the schedule-declared conflicting pairs among
+        // front members of a common schedule in that schedule's executed
+        // direction.
+        let members: Vec<NodeId> = front.iter().copied().collect();
+        // Definition 14 constrains a calculation only through pairs of
+        // *front members*. Accumulated input pairs keep their original
+        // endpoints, so an endpoint reduced away at an earlier level acts
+        // as a pass-through: the closure of → induces front-to-front
+        // obligations across stale nodes, but a stale node is not itself a
+        // vertex of the serialization problem.
+        let mut constraint: Rel = closed(&input)
+            .iter()
+            .copied()
+            .filter(|&(a, b)| front.contains(&a) && front.contains(&b))
+            .collect();
+        for &(a, b) in &observed {
+            if front.contains(&a) && front.contains(&b) && gen_con(sys, &observed, a, b) {
+                constraint.insert((a, b));
+            }
+        }
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                let Some(sched) = sys.common_container(a, b) else {
+                    continue;
+                };
+                let s = sys.schedule(sched);
+                if !s.conflicts.conflicts(a, b) {
+                    continue;
+                }
+                if s.output.weak_lt(a, b) {
+                    constraint.insert((a, b));
+                }
+                if s.output.weak_lt(b, a) {
+                    constraint.insert((b, a));
+                }
+            }
+        }
+        if !calculations_exist(&members, &constraint, &replaced) {
+            return OracleVerdict::Reject {
+                level,
+                reason: RejectReason::NoCalculation,
+            };
+        }
+
+        // --- Steps 2–5: replace operations by their transactions; pull the
+        // observed order up (Definition 10). A pushed pair whose endpoints
+        // share a schedule is *forgotten* (rule 2 re-derives it below only
+        // if the schedule declares the pair conflicting); cross-schedule
+        // pairs push unconditionally (rule 3).
+        let mut new_front: BTreeSet<NodeId> = front
+            .iter()
+            .copied()
+            .filter(|n| !replaced.contains_key(n))
+            .collect();
+        new_front.extend(new_txs.iter().copied());
+
+        let map = |n: NodeId| replaced.get(&n).copied().unwrap_or(n);
+        let mut new_observed: Rel = Rel::new();
+        for &(a, b) in &observed {
+            if !front.contains(&a) || !front.contains(&b) {
+                continue;
+            }
+            let (big_a, big_b) = (map(a), map(b));
+            if big_a == big_b {
+                continue; // absorbed into one transaction
+            }
+            let pushed = big_a != a || big_b != b;
+            if !pushed || sys.common_container(a, b).is_none() {
+                new_observed.insert((big_a, big_b));
+            }
+        }
+        // Rule 2: conflicting operation pairs of a reduced schedule,
+        // executed `o ≺ o'`, serialize their transactions.
+        for s in &scheds {
+            for (i, t) in s.transactions.iter().enumerate() {
+                for t2 in &s.transactions[i + 1..] {
+                    for &o in &t.ops {
+                        for &o2 in &t2.ops {
+                            if !s.conflicts.conflicts(o, o2) {
+                                continue;
+                            }
+                            if s.output.weak_lt(o, o2) {
+                                new_observed.insert((t.id, t2.id));
+                            }
+                            if s.output.weak_lt(o2, o) {
+                                new_observed.insert((t2.id, t.id));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Rule 1 at entry: a new transaction is observed against the *leaf*
+        // members of its container schedule, in that schedule's output
+        // order.
+        for &t in &new_txs {
+            let Some(container) = sys.node(t).container else {
+                continue; // roots are operations of nothing
+            };
+            let s = sys.schedule(container);
+            for other in s.ops() {
+                if other == t || !new_front.contains(&other) {
+                    continue;
+                }
+                if sys.node(other).home.is_some() {
+                    continue; // internal: no Definition-10 rule applies
+                }
+                if s.output.weak_lt(t, other) {
+                    new_observed.insert((t, other));
+                }
+                if s.output.weak_lt(other, t) {
+                    new_observed.insert((other, t));
+                }
+            }
+        }
+        // Rule 4: transitivity.
+        observed = closed(&new_observed);
+        front = new_front;
+
+        // --- Step 6: the reduced schedules' input orders join the front;
+        // conflict consistency must survive.
+        for s in &scheds {
+            for (a, b) in s.input.weak_pairs() {
+                input.insert((a, b));
+            }
+        }
+        if !cc_holds(&front, &observed, &input) {
+            return OracleVerdict::Reject {
+                level,
+                reason: RejectReason::ConflictInconsistent,
+            };
+        }
+    }
+
+    // Every root survived to the final front; a serial witness is any
+    // linear extension of `<ₒ ∪ →` restricted to the roots.
+    let mut union: Rel = observed.clone();
+    union.extend(input.iter().copied());
+    let mut nodes = rel_nodes(&union);
+    nodes.extend(front.iter().copied());
+    let order = linear_extension(&nodes, &union)
+        .expect("a conflict-consistent final front admits a linear extension");
+    let witness: Vec<NodeId> = order.into_iter().filter(|n| front.contains(n)).collect();
+    OracleVerdict::Accept { witness }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_model::SystemBuilder;
+
+    fn flat_pair(consistent: bool) -> CompositeSystem {
+        // Two roots with two conflicting access pairs on one schedule;
+        // `consistent = false` serializes the pairs in opposite directions
+        // (the classic lost update).
+        let mut b = SystemBuilder::new();
+        let s = b.schedule("db");
+        let t1 = b.root("T1", s);
+        let t2 = b.root("T2", s);
+        let a1 = b.leaf("r1(x)", t1);
+        let b1 = b.leaf("w1(y)", t1);
+        let a2 = b.leaf("w2(x)", t2);
+        let b2 = b.leaf("r2(y)", t2);
+        b.conflict(a1, a2).unwrap();
+        b.conflict(b1, b2).unwrap();
+        b.output_weak(a1, a2).unwrap();
+        if consistent {
+            b.output_weak(b1, b2).unwrap();
+        } else {
+            b.output_weak(b2, b1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accepts_consistent_flat_pair() {
+        assert!(decide(&flat_pair(true)).accepted());
+    }
+
+    #[test]
+    fn rejects_lost_update() {
+        let v = decide(&flat_pair(false));
+        assert!(
+            !v.accepted(),
+            "opposite serializations are not Comp-C: {v:?}"
+        );
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let n = |i: u32| NodeId(i);
+        let rel: Rel = [(n(0), n(1)), (n(1), n(2)), (n(2), n(3))].into();
+        let c = closed(&rel);
+        assert!(c.contains(&(n(0), n(3))));
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn linear_extension_respects_rel_and_detects_cycles() {
+        let n = |i: u32| NodeId(i);
+        let nodes: BTreeSet<NodeId> = [n(0), n(1), n(2)].into();
+        let rel: Rel = [(n(2), n(0))].into();
+        assert_eq!(linear_extension(&nodes, &rel), Some(vec![n(1), n(2), n(0)]));
+        let cyclic: Rel = [(n(0), n(1)), (n(1), n(0))].into();
+        assert_eq!(linear_extension(&nodes, &cyclic), None);
+    }
+
+    #[test]
+    fn calculation_search_detects_forced_interleaving() {
+        let n = |i: u32| NodeId(i);
+        // Group {0, 2} with 0 < 1 < 2 forces 1 inside the group.
+        let before: Rel = [(n(0), n(1)), (n(1), n(2))].into();
+        let groups: BTreeMap<NodeId, NodeId> = [(n(0), n(9)), (n(2), n(9))].into();
+        assert!(!calculations_exist(&[n(0), n(1), n(2)], &before, &groups));
+        // Group {0, 1} is fine: [0 1] 2.
+        let groups: BTreeMap<NodeId, NodeId> = [(n(0), n(9)), (n(1), n(9))].into();
+        assert!(calculations_exist(&[n(0), n(1), n(2)], &before, &groups));
+    }
+
+    #[test]
+    fn witness_is_a_root_permutation() {
+        let sys = flat_pair(true);
+        let OracleVerdict::Accept { witness } = decide(&sys) else {
+            panic!("must accept");
+        };
+        let roots: BTreeSet<NodeId> = sys.roots().collect();
+        assert_eq!(witness.iter().copied().collect::<BTreeSet<_>>(), roots);
+        assert_eq!(witness.len(), roots.len());
+    }
+}

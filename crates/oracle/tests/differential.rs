@@ -1,0 +1,112 @@
+//! The oracle must agree with the reduction engine — on the paper's figures
+//! and on random valid-by-construction populations (both graph backends).
+//! This is the inner differential loop; the full structure-aware fuzzer
+//! lives in `crates/fuzz`.
+
+use compc_core::Checker;
+use compc_oracle::{decide, OracleVerdict, RejectReason};
+use compc_workload::figures::{figure1, figure2, figure3_incorrect, figure4_correct};
+use compc_workload::random::{generate, GenParams, Shape};
+use proptest::prelude::*;
+
+fn agree(sys: &compc_model::CompositeSystem) {
+    let sparse = Checker::new().dense_crossover(usize::MAX).check(sys);
+    let dense = Checker::new().dense_crossover(0).check(sys);
+    let oracle = decide(sys);
+    assert_eq!(
+        sparse.is_correct(),
+        oracle.accepted(),
+        "oracle {oracle:?} disagrees with sparse engine on:\n{}",
+        sys.forest_dot()
+    );
+    assert_eq!(
+        dense.is_correct(),
+        oracle.accepted(),
+        "oracle {oracle:?} disagrees with dense engine on:\n{}",
+        sys.forest_dot()
+    );
+    // On rejection the failing level and phase must line up too.
+    if let (Some(cex), OracleVerdict::Reject { level, reason }) = (sparse.counterexample(), &oracle)
+    {
+        assert_eq!(cex.level, *level, "rejection level mismatch");
+        let expected = match cex.phase {
+            compc_core::FailurePhase::Calculation => RejectReason::NoCalculation,
+            compc_core::FailurePhase::ConflictConsistency => RejectReason::ConflictInconsistent,
+        };
+        assert_eq!(*reason, expected, "rejection phase mismatch");
+    }
+    // On acceptance the witness must be a root permutation consistent with
+    // the engine's own proof obligations (both are valid serial orders; they
+    // need not be identical).
+    if let OracleVerdict::Accept { witness } = &oracle {
+        let roots: std::collections::BTreeSet<_> = sys.roots().collect();
+        assert_eq!(witness.len(), roots.len());
+        assert!(witness.iter().all(|n| roots.contains(n)));
+    }
+}
+
+#[test]
+fn figures_1_through_4_agree() {
+    agree(&figure1().system);
+    agree(&figure2().system);
+    agree(&figure3_incorrect().system);
+    agree(&figure4_correct().system);
+}
+
+#[test]
+fn figure1_accepts_and_figure3_rejects() {
+    assert!(decide(&figure1().system).accepted());
+    assert!(decide(&figure2().system).accepted());
+    assert!(!decide(&figure3_incorrect().system).accepted());
+    assert!(decide(&figure4_correct().system).accepted());
+}
+
+fn small_params(shape: Shape, roots: usize, density: f64, seed: u64) -> GenParams {
+    GenParams {
+        shape,
+        roots,
+        ops_per_tx: (1, 2),
+        conflict_density: density,
+        sequential_tx_prob: 0.7,
+        client_input_prob: 0.2,
+        strong_input_prob: 0.1,
+        sound_abstractions: false,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn oracle_agrees_on_random_general_systems(
+        seed in 0u64..10_000,
+        roots in 2usize..=4,
+        density in 0u32..=80,
+    ) {
+        let sys = generate(&small_params(
+            Shape::General { levels: 3, scheds_per_level: 2 },
+            roots,
+            density as f64 / 100.0,
+            seed,
+        ));
+        prop_assume!(sys.node_count() <= compc_oracle::RECOMMENDED_NODE_CAP);
+        agree(&sys);
+    }
+
+    #[test]
+    fn oracle_agrees_on_random_stacks_and_forks(
+        seed in 0u64..10_000,
+        density in 0u32..=80,
+        fork in proptest::bool::ANY,
+    ) {
+        let shape = if fork {
+            Shape::Fork { branches: 2 }
+        } else {
+            Shape::Stack { depth: 3 }
+        };
+        let sys = generate(&small_params(shape, 3, density as f64 / 100.0, seed));
+        prop_assume!(sys.node_count() <= compc_oracle::RECOMMENDED_NODE_CAP);
+        agree(&sys);
+    }
+}

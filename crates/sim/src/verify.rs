@@ -73,6 +73,14 @@ pub struct VerifyReport {
     /// `(run index, explanation)` for each non-Comp-C checked run, when
     /// [`Verifier::explain`] is on.
     pub explanations: Vec<(usize, Explanation)>,
+    /// Checked runs additionally cross-checked against the brute-force
+    /// oracle, when [`Verifier::oracle`] is on.
+    pub oracle_checked: usize,
+    /// Checked runs skipped by the oracle (over its node cap).
+    pub oracle_skipped: usize,
+    /// Run indices where the engine and the oracle disagreed — an engine
+    /// bug; empty on a healthy build.
+    pub oracle_disagreements: Vec<usize>,
 }
 
 impl std::fmt::Display for VerifyReport {
@@ -98,6 +106,15 @@ impl std::fmt::Display for VerifyReport {
                 f,
                 " ({} deadlock, {} wound, {} protocol, {} fault)",
                 m.deadlock_aborts, m.wound_aborts, m.protocol_aborts, m.fault_aborts
+            )?;
+        }
+        if self.oracle_checked + self.oracle_skipped > 0 {
+            write!(
+                f,
+                "\noracle: {} cross-checked, {} skipped, {} disagreement(s)",
+                self.oracle_checked,
+                self.oracle_skipped,
+                self.oracle_disagreements.len()
             )?;
         }
         if self.fault_stats.total() > 0 {
@@ -138,6 +155,7 @@ pub struct ChaosReport {
 pub struct Verifier {
     batch: Batch,
     explain: bool,
+    oracle: bool,
 }
 
 impl Verifier {
@@ -171,6 +189,17 @@ impl Verifier {
         self
     }
 
+    /// Cross-check every verdict against the brute-force definitional
+    /// oracle ([`compc_oracle::decide`]) on exports within
+    /// [`compc_oracle::RECOMMENDED_NODE_CAP`] nodes. Simulated executions
+    /// are usually small enough, so a sweep doubles as an end-to-end engine
+    /// audit; any disagreement lands in
+    /// [`VerifyReport::oracle_disagreements`].
+    pub fn oracle(mut self, on: bool) -> Self {
+        self.oracle = on;
+        self
+    }
+
     /// A per-run wall-clock budget for each check (see
     /// [`compc_engine::Batch::deadline`]): a run whose check exceeds it is
     /// classified as a timeout, and the rest of the sweep completes.
@@ -196,7 +225,7 @@ impl Verifier {
             fault_trace.extend(report.faults.iter().map(|e| e.to_trace()));
             match report.export_system() {
                 Ok(sys) => {
-                    if self.explain {
+                    if self.explain || self.oracle {
                         systems.push(sys.clone());
                     }
                     items.push(BatchItem::new(format!("run-{idx}"), sys));
@@ -216,6 +245,9 @@ impl Verifier {
             metrics.trace.emit(ev);
         }
         let mut explanations = Vec::new();
+        let mut oracle_checked = 0usize;
+        let mut oracle_skipped = 0usize;
+        let mut oracle_disagreements = Vec::new();
         for (slot, (outcome, &idx)) in batch_report
             .outcomes
             .into_iter()
@@ -227,6 +259,17 @@ impl Verifier {
                     if self.explain {
                         if let Some(cex) = v.counterexample() {
                             explanations.push((idx, cex.explain(&systems[slot])));
+                        }
+                    }
+                    if self.oracle {
+                        let sys = &systems[slot];
+                        if sys.node_count() > compc_oracle::RECOMMENDED_NODE_CAP {
+                            oracle_skipped += 1;
+                        } else {
+                            oracle_checked += 1;
+                            if compc_oracle::decide(sys).accepted() != v.is_correct() {
+                                oracle_disagreements.push(idx);
+                            }
                         }
                     }
                     RunVerdict::Checked(v)
@@ -265,6 +308,9 @@ impl Verifier {
             stats,
             metrics,
             explanations,
+            oracle_checked,
+            oracle_skipped,
+            oracle_disagreements,
         }
     }
 
@@ -420,6 +466,31 @@ mod tests {
         assert!(text.contains("Comp-C"), "{text}");
         assert!(text.contains("gave up after max attempts"), "{text}");
         assert!(text.contains("faults injected"), "{text}");
+    }
+
+    #[test]
+    fn oracle_cross_check_agrees_on_simulated_sweeps() {
+        // Unprotected runs mix Comp-C and non-Comp-C verdicts; the
+        // brute-force oracle must agree with the engine on every exported
+        // execution (they are small enough to never skip).
+        let reports: Vec<SimReport> = (0..10)
+            .map(|seed| run_once(Protocol::None, seed, 4))
+            .collect();
+        let report = Verifier::new().workers(2).oracle(true).verify(&reports);
+        let checked = report.comp_c + report.not_comp_c;
+        assert!(checked > 0);
+        assert_eq!(report.oracle_checked, checked);
+        assert_eq!(report.oracle_skipped, 0);
+        assert!(
+            report.oracle_disagreements.is_empty(),
+            "engine/oracle disagreement on runs {:?}",
+            report.oracle_disagreements
+        );
+        assert!(report.to_string().contains("oracle: "), "{report}");
+        // Off by default: no counters, no summary line.
+        let off = Verifier::new().workers(2).verify(&reports);
+        assert_eq!(off.oracle_checked + off.oracle_skipped, 0);
+        assert!(!off.to_string().contains("oracle: "));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod mutate;
 pub mod random;
 pub mod random_sim;
 pub mod scenarios;

@@ -1,0 +1,499 @@
+//! Structure-aware mutation of composite systems, for differential fuzzing.
+//!
+//! A mutant is produced by round-tripping a [`CompositeSystem`] through an
+//! editable plain-data form ([`EditableSystem`]), perturbing it, and
+//! rebuilding through [`SystemBuilder`] — so every mutant that survives is a
+//! *valid* composite system (model axioms 1–4 hold) while its execution may
+//! well have become incorrect. Mutations that produce invalid systems
+//! (order cycles, recursion, unordered conflicts, broken Definition-4.7
+//! propagation) are simply discarded by `build()`.
+//!
+//! The five mutation families follow the differential-testing plan:
+//!
+//! * [`MutationKind::SwapOutputPair`] — reverse one executed output-order
+//!   pair (the schedule "ran the ops the other way round");
+//! * [`MutationKind::FlipConflict`] — toggle a conflict declaration
+//!   (add with a fresh execution order, or retract);
+//! * [`MutationKind::RerouteInvocation`] — detach a subtransaction and
+//!   re-attach it under a different parent (its relational pairs that no
+//!   longer share a schedule are dropped);
+//! * [`MutationKind::DropRoot`] — project one root transaction away;
+//! * [`MutationKind::SpliceFigure`] — graft one of the paper's figure
+//!   systems into the victim, fusing one bottom schedule of each and wiring
+//!   a random cross-conflict through the fused store.
+
+use crate::figures;
+use compc_model::{CompositeSystem, ModelError, NodeId, SystemBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One node of the editable form; indices refer to positions in
+/// [`EditableSystem::nodes`] and [`EditableSystem::schedules`].
+#[derive(Clone, Debug)]
+pub struct EditableNode {
+    /// Display name.
+    pub name: String,
+    /// Parent node index (`None` for roots).
+    pub parent: Option<usize>,
+    /// Home schedule index (`None` for leaves).
+    pub home: Option<usize>,
+}
+
+/// A plain-data, freely editable image of a composite system. All relational
+/// pairs are node-index pairs; consistency is *not* maintained while editing
+/// — it is re-established (or the edit rejected) by [`EditableSystem::build`].
+#[derive(Clone, Debug, Default)]
+pub struct EditableSystem {
+    /// Schedule names by index.
+    pub schedules: Vec<String>,
+    /// Nodes in creation order (parents precede children).
+    pub nodes: Vec<EditableNode>,
+    /// Declared conflicts (unordered, stored as given).
+    pub conflicts: Vec<(usize, usize)>,
+    /// Weak intra-transaction orders.
+    pub tx_weak: Vec<(usize, usize)>,
+    /// Strong intra-transaction orders.
+    pub tx_strong: Vec<(usize, usize)>,
+    /// Weak output orders.
+    pub output_weak: Vec<(usize, usize)>,
+    /// Strong output orders.
+    pub output_strong: Vec<(usize, usize)>,
+    /// Weak input orders.
+    pub input_weak: Vec<(usize, usize)>,
+    /// Strong input orders.
+    pub input_strong: Vec<(usize, usize)>,
+}
+
+impl EditableSystem {
+    /// Extracts the editable image of `sys`.
+    pub fn from_system(sys: &CompositeSystem) -> EditableSystem {
+        let mut e = EditableSystem {
+            schedules: sys.schedules().map(|s| s.name.clone()).collect(),
+            ..EditableSystem::default()
+        };
+        for n in sys.nodes() {
+            e.nodes.push(EditableNode {
+                name: n.name.clone(),
+                parent: n.parent.map(|p| p.index()),
+                home: n.home.map(|h| h.index()),
+            });
+        }
+        for s in sys.schedules() {
+            for (a, b) in s.conflicts.iter() {
+                e.conflicts.push((a.index(), b.index()));
+            }
+            for (a, b) in s.output.weak_pairs() {
+                e.output_weak.push((a.index(), b.index()));
+            }
+            for (a, b) in s.output.strong_pairs() {
+                e.output_strong.push((a.index(), b.index()));
+            }
+            for (a, b) in s.input.weak_pairs() {
+                e.input_weak.push((a.index(), b.index()));
+            }
+            for (a, b) in s.input.strong_pairs() {
+                e.input_strong.push((a.index(), b.index()));
+            }
+            for t in &s.transactions {
+                for (a, b) in t.intra.weak_pairs() {
+                    e.tx_weak.push((a.index(), b.index()));
+                }
+                for (a, b) in t.intra.strong_pairs() {
+                    e.tx_strong.push((a.index(), b.index()));
+                }
+            }
+        }
+        e
+    }
+
+    /// The container schedule index of node `i` (home of its parent), if any.
+    fn container(&self, i: usize) -> Option<usize> {
+        self.nodes[i].parent.and_then(|p| self.nodes[p].home)
+    }
+
+    /// Whether two nodes share a container schedule (conflict/output pairs)
+    /// — roots have no container.
+    fn common_container(&self, a: usize, b: usize) -> bool {
+        matches!((self.container(a), self.container(b)), (Some(x), Some(y)) if x == y)
+    }
+
+    /// Whether two nodes share a home schedule (input pairs).
+    fn common_home(&self, a: usize, b: usize) -> bool {
+        matches!((self.nodes[a].home, self.nodes[b].home), (Some(x), Some(y)) if x == y)
+    }
+
+    /// Whether two nodes share a parent transaction (intra orders).
+    fn common_parent(&self, a: usize, b: usize) -> bool {
+        matches!((self.nodes[a].parent, self.nodes[b].parent), (Some(x), Some(y)) if x == y)
+    }
+
+    /// Drops relational pairs whose endpoints no longer satisfy the
+    /// structural preconditions (after a reroute). Order-level validity is
+    /// left to `build()`.
+    fn prune_invalid_pairs(&mut self) {
+        let snapshot = self.clone();
+        self.conflicts
+            .retain(|&(a, b)| snapshot.common_container(a, b));
+        self.output_weak
+            .retain(|&(a, b)| snapshot.common_container(a, b));
+        self.output_strong
+            .retain(|&(a, b)| snapshot.common_container(a, b));
+        self.input_weak.retain(|&(a, b)| snapshot.common_home(a, b));
+        self.input_strong
+            .retain(|&(a, b)| snapshot.common_home(a, b));
+        self.tx_weak.retain(|&(a, b)| snapshot.common_parent(a, b));
+        self.tx_strong
+            .retain(|&(a, b)| snapshot.common_parent(a, b));
+    }
+
+    /// Rebuilds a validated [`CompositeSystem`] from the editable form.
+    pub fn build(&self) -> Result<CompositeSystem, ModelError> {
+        let mut b = SystemBuilder::new();
+        let scheds: Vec<_> = self
+            .schedules
+            .iter()
+            .map(|name| b.schedule(name.clone()))
+            .collect();
+        // Mutations may re-parent a node onto a later-created one, so the
+        // declaration order is rebuilt parent-first (multiple passes; a
+        // leftover node means a parent cycle and the mutant is rejected).
+        let mut ids: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut pending = self.nodes.len();
+        while pending > 0 {
+            let before = pending;
+            for (i, n) in self.nodes.iter().enumerate() {
+                if ids[i].is_some() {
+                    continue;
+                }
+                let id = match (n.parent, n.home) {
+                    (None, Some(h)) => b.root(n.name.clone(), scheds[h]),
+                    (Some(p), Some(h)) => match ids[p] {
+                        Some(pid) if self.nodes[p].home.is_some() => {
+                            b.subtx(n.name.clone(), pid, scheds[h])
+                        }
+                        _ => continue,
+                    },
+                    (Some(p), None) => match ids[p] {
+                        Some(pid) if self.nodes[p].home.is_some() => b.leaf(n.name.clone(), pid),
+                        _ => continue,
+                    },
+                    (None, None) => return Err(ModelError::UnknownNode(NodeId(i as u32))),
+                };
+                ids[i] = Some(id);
+                pending -= 1;
+            }
+            if pending == before {
+                return Err(ModelError::UnknownNode(NodeId(0)));
+            }
+        }
+        let ids: Vec<NodeId> = ids.into_iter().map(|id| id.expect("all placed")).collect();
+        for &(x, y) in &self.conflicts {
+            b.conflict(ids[x], ids[y])?;
+        }
+        for &(x, y) in &self.tx_weak {
+            b.tx_weak_order(ids[x], ids[y])?;
+        }
+        for &(x, y) in &self.tx_strong {
+            b.tx_strong_order(ids[x], ids[y])?;
+        }
+        for &(x, y) in &self.output_weak {
+            b.output_weak(ids[x], ids[y])?;
+        }
+        for &(x, y) in &self.output_strong {
+            b.output_strong(ids[x], ids[y])?;
+        }
+        for &(x, y) in &self.input_weak {
+            b.input_weak(ids[x], ids[y])?;
+        }
+        for &(x, y) in &self.input_strong {
+            b.input_strong(ids[x], ids[y])?;
+        }
+        b.build()
+    }
+}
+
+/// The mutation families applied by [`Mutator::mutate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Reverse one executed (weak output) pair.
+    SwapOutputPair,
+    /// Toggle a conflict declaration.
+    FlipConflict,
+    /// Re-attach a subtransaction under a different parent.
+    RerouteInvocation,
+    /// Project one root away.
+    DropRoot,
+    /// Graft a figure fragment through a fused bottom schedule.
+    SpliceFigure,
+}
+
+const ALL_KINDS: [MutationKind; 5] = [
+    MutationKind::SwapOutputPair,
+    MutationKind::FlipConflict,
+    MutationKind::RerouteInvocation,
+    MutationKind::DropRoot,
+    MutationKind::SpliceFigure,
+];
+
+/// A seeded source of structure-aware mutants.
+pub struct Mutator {
+    rng: StdRng,
+}
+
+impl Mutator {
+    /// A mutator with a deterministic seed.
+    pub fn new(seed: u64) -> Mutator {
+        Mutator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Produces one valid mutant of `sys`, trying random mutation kinds and
+    /// sites until a rebuild validates (or `None` after a bounded number of
+    /// attempts — e.g. the system is too small to mutate).
+    pub fn mutate(&mut self, sys: &CompositeSystem) -> Option<(MutationKind, CompositeSystem)> {
+        for _ in 0..32 {
+            let kind = ALL_KINDS[self.rng.gen_range(0..ALL_KINDS.len())];
+            if let Some(mutant) = self.apply(sys, kind) {
+                return Some((kind, mutant));
+            }
+        }
+        None
+    }
+
+    /// Attempts one specific mutation kind at a random site.
+    pub fn apply(&mut self, sys: &CompositeSystem, kind: MutationKind) -> Option<CompositeSystem> {
+        match kind {
+            MutationKind::SwapOutputPair => self.swap_output_pair(sys),
+            MutationKind::FlipConflict => self.flip_conflict(sys),
+            MutationKind::RerouteInvocation => self.reroute_invocation(sys),
+            MutationKind::DropRoot => self.drop_root(sys),
+            MutationKind::SpliceFigure => self.splice_figure(sys),
+        }
+    }
+
+    fn swap_output_pair(&mut self, sys: &CompositeSystem) -> Option<CompositeSystem> {
+        let mut e = EditableSystem::from_system(sys);
+        if e.output_weak.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..e.output_weak.len());
+        let (a, b) = e.output_weak[i];
+        // Reverse the executed direction; any strong pair or transitive
+        // residue that still implies the old direction makes the rebuild
+        // fail and the mutant is discarded.
+        e.output_weak.retain(|&p| p != (a, b));
+        e.output_strong.retain(|&p| p != (a, b));
+        e.output_weak.push((b, a));
+        // Definition 4.7: if the endpoints are transactions of a common home,
+        // the input propagation must follow the new direction.
+        if e.common_home(a, b) {
+            e.input_weak.retain(|&p| p != (a, b));
+            e.input_strong.retain(|&p| p != (a, b));
+            e.input_weak.push((b, a));
+        }
+        e.build().ok()
+    }
+
+    fn flip_conflict(&mut self, sys: &CompositeSystem) -> Option<CompositeSystem> {
+        let mut e = EditableSystem::from_system(sys);
+        if !e.conflicts.is_empty() && self.rng.gen_bool(0.5) {
+            // Retract a declared conflict.
+            let i = self.rng.gen_range(0..e.conflicts.len());
+            e.conflicts.swap_remove(i);
+            return e.build().ok();
+        }
+        // Declare a new conflict between two same-container ops of distinct
+        // transactions; give the pair an executed order if it has none.
+        let candidates: Vec<(usize, usize)> = (0..e.nodes.len())
+            .flat_map(|a| ((a + 1)..e.nodes.len()).map(move |b| (a, b)))
+            .filter(|&(a, b)| {
+                e.common_container(a, b)
+                    && e.nodes[a].parent != e.nodes[b].parent
+                    && !e.conflicts.contains(&(a, b))
+                    && !e.conflicts.contains(&(b, a))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let (a, b) = candidates[self.rng.gen_range(0..candidates.len())];
+        e.conflicts.push((a, b));
+        let ordered = e.output_weak.contains(&(a, b)) || e.output_weak.contains(&(b, a));
+        if !ordered {
+            let pair = if self.rng.gen_bool(0.5) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            e.output_weak.push(pair);
+        }
+        e.build().ok()
+    }
+
+    fn reroute_invocation(&mut self, sys: &CompositeSystem) -> Option<CompositeSystem> {
+        let mut e = EditableSystem::from_system(sys);
+        // A subtransaction (has both parent and home) to re-parent.
+        let subtxs: Vec<usize> = (0..e.nodes.len())
+            .filter(|&i| e.nodes[i].parent.is_some() && e.nodes[i].home.is_some())
+            .collect();
+        if subtxs.is_empty() {
+            return None;
+        }
+        let n = subtxs[self.rng.gen_range(0..subtxs.len())];
+        let new_parents: Vec<usize> = (0..e.nodes.len())
+            .filter(|&p| p != n && e.nodes[p].home.is_some() && e.nodes[p].parent != Some(n))
+            .collect();
+        if new_parents.is_empty() {
+            return None;
+        }
+        let p = new_parents[self.rng.gen_range(0..new_parents.len())];
+        if e.nodes[n].parent == Some(p) {
+            return None;
+        }
+        // Re-parenting must not create a forest cycle: p may not descend
+        // from n. (Schedule-level recursion is caught by build().)
+        let mut cur = Some(p);
+        while let Some(c) = cur {
+            if c == n {
+                return None;
+            }
+            cur = e.nodes[c].parent;
+        }
+        e.nodes[n].parent = Some(p);
+        e.prune_invalid_pairs();
+        e.build().ok()
+    }
+
+    fn drop_root(&mut self, sys: &CompositeSystem) -> Option<CompositeSystem> {
+        let roots: Vec<NodeId> = sys.roots().collect();
+        if roots.len() < 2 {
+            return None;
+        }
+        let victim = self.rng.gen_range(0..roots.len());
+        let keep: Vec<NodeId> = roots
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != victim)
+            .map(|(_, &r)| r)
+            .collect();
+        sys.project_roots(&keep).ok()
+    }
+
+    fn splice_figure(&mut self, sys: &CompositeSystem) -> Option<CompositeSystem> {
+        let fig = match self.rng.gen_range(0..4) {
+            0 => figures::figure1(),
+            1 => figures::figure2(),
+            2 => figures::figure3_incorrect(),
+            _ => figures::figure4_correct(),
+        };
+        let mut e = EditableSystem::from_system(sys);
+        let frag = EditableSystem::from_system(&fig.system);
+        // Fuse a random base schedule with a random fragment schedule: the
+        // fragment's nodes homed there move into the base schedule.
+        let fuse_base = self.rng.gen_range(0..e.schedules.len());
+        let fuse_frag = self.rng.gen_range(0..frag.schedules.len());
+        let sched_off = e.schedules.len();
+        let node_off = e.nodes.len();
+        let map_sched = |s: usize| -> usize {
+            if s == fuse_frag {
+                fuse_base
+            } else {
+                sched_off + s
+            }
+        };
+        for (i, name) in frag.schedules.iter().enumerate() {
+            // The fused schedule keeps the base name; others are copied.
+            // The `sched_off` infix keeps names unique across repeated
+            // splices (the spec format addresses schedules by name).
+            if i != fuse_frag {
+                e.schedules.push(format!("spliced{sched_off}-{name}"));
+            } else {
+                e.schedules.push(format!("unused{sched_off}-{name}"));
+            }
+        }
+        for n in &frag.nodes {
+            e.nodes.push(EditableNode {
+                name: format!("f{node_off}.{}", n.name),
+                parent: n.parent.map(|p| node_off + p),
+                home: n.home.map(map_sched),
+            });
+        }
+        let shift = |pairs: &[(usize, usize)]| -> Vec<(usize, usize)> {
+            pairs
+                .iter()
+                .map(|&(a, b)| (node_off + a, node_off + b))
+                .collect()
+        };
+        e.conflicts.extend(shift(&frag.conflicts));
+        e.tx_weak.extend(shift(&frag.tx_weak));
+        e.tx_strong.extend(shift(&frag.tx_strong));
+        e.output_weak.extend(shift(&frag.output_weak));
+        e.output_strong.extend(shift(&frag.output_strong));
+        e.input_weak.extend(shift(&frag.input_weak));
+        e.input_strong.extend(shift(&frag.input_strong));
+        // Wire one cross-conflict through the fused store so the fragment
+        // actually interacts with the base system.
+        let in_fused = |e: &EditableSystem, i: usize| e.container(i) == Some(fuse_base);
+        let base_ops: Vec<usize> = (0..node_off).filter(|&i| in_fused(&e, i)).collect();
+        let frag_ops: Vec<usize> = (node_off..e.nodes.len())
+            .filter(|&i| in_fused(&e, i))
+            .collect();
+        if let (false, false) = (base_ops.is_empty(), frag_ops.is_empty()) {
+            let a = base_ops[self.rng.gen_range(0..base_ops.len())];
+            let b = frag_ops[self.rng.gen_range(0..frag_ops.len())];
+            e.conflicts.push((a, b));
+            let pair = if self.rng.gen_bool(0.5) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            e.output_weak.push(pair);
+        }
+        e.build().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::figure1;
+    use crate::random::{generate, GenParams};
+
+    #[test]
+    fn editable_roundtrip_preserves_verdict_inputs() {
+        let sys = figure1().system;
+        let e = EditableSystem::from_system(&sys);
+        let back = e.build().expect("roundtrip rebuilds");
+        assert_eq!(back.node_count(), sys.node_count());
+        assert_eq!(back.schedule_count(), sys.schedule_count());
+        for (a, b) in sys.schedules().zip(back.schedules()) {
+            assert_eq!(a.conflicts.len(), b.conflicts.len());
+            assert_eq!(a.output.weak_pairs().count(), b.output.weak_pairs().count());
+        }
+    }
+
+    #[test]
+    fn mutator_produces_valid_mutants() {
+        let sys = generate(&GenParams::default());
+        let mut m = Mutator::new(7);
+        let mut produced = 0;
+        for _ in 0..20 {
+            if let Some((_, mutant)) = m.mutate(&sys) {
+                mutant.validate().expect("mutants must validate");
+                produced += 1;
+            }
+        }
+        assert!(produced > 10, "mutator too lossy: {produced}/20");
+    }
+
+    #[test]
+    fn every_kind_fires_somewhere() {
+        let sys = generate(&GenParams::default());
+        let mut m = Mutator::new(11);
+        for kind in ALL_KINDS {
+            let ok = (0..50).any(|_| m.apply(&sys, kind).is_some());
+            assert!(ok, "mutation kind {kind:?} never produced a valid mutant");
+        }
+    }
+}

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 gate + lint gate + CLI smoke test. Run from the workspace root.
 #
-#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke, soak, bench-smoke)
+#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke, soak, bench-smoke, fuzz-smoke)
 #   scripts/ci.sh tier1    # just the build + test gate
 #   scripts/ci.sh lint     # just clippy + rustfmt
 #   scripts/ci.sh smoke    # just the compc-check observability smoke test
 #   scripts/ci.sh soak     # chaos sweep + deadline smoke (robustness gate)
 #   scripts/ci.sh bench-smoke  # E21 kernel sweep (reduced iterations) +
 #                              # dense/sparse verdict equivalence + BENCH schema
+#   scripts/ci.sh fuzz-smoke   # corpus replay + time-budgeted differential
+#                              # fuzz (engine vs oracle vs theorem gates)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -109,21 +111,38 @@ bench_smoke() {
     echo "==> bench-smoke: OK"
 }
 
+# Differential-oracle gate: replay the committed corpus (every entry must
+# get its filename-encoded verdict from both closure backends and the
+# brute-force oracle), then fuzz mutated systems for a fixed time budget
+# with a fixed seed — the engines, the oracle, and the structural theorem
+# gates (SCC/FCC/JCC/CSR) must agree on every system. A disagreement is a
+# checker bug: compc-fuzz exits 1 and drops a shrunk reproducer in /tmp;
+# triage per TESTING.md.
+fuzz_smoke() {
+    echo "==> fuzz-smoke: corpus replay + 30 s differential fuzz (seed 1)"
+    cargo build --release -q -p compc-fuzz
+    ./target/release/compc-fuzz --seed 1 --seconds 30 --corpus tests/corpus \
+        || { echo "fuzz-smoke: corpus replay or differential cross-check failed" >&2; exit 1; }
+    echo "==> fuzz-smoke: OK"
+}
+
 case "$stage" in
     tier1) tier1 ;;
     lint) lint ;;
     smoke) smoke ;;
     soak) soak ;;
     bench-smoke) bench_smoke ;;
+    fuzz-smoke) fuzz_smoke ;;
     all)
         tier1
         lint
         smoke
         soak
         bench_smoke
+        fuzz_smoke
         ;;
     *)
-        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|bench-smoke|all]" >&2
+        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|bench-smoke|fuzz-smoke|all]" >&2
         exit 2
         ;;
 esac

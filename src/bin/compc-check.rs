@@ -34,9 +34,14 @@
 //! corpus run, restarted with the same flag, skips the items already
 //! recorded; timeouts and faults are *not* recorded and run again.
 //!
+//! `--oracle` cross-checks every verdict against the brute-force
+//! definitional oracle (`compc::oracle`) on systems within its recommended
+//! node cap; a disagreement is an engine bug and exits 2.
+//!
 //! Exit codes: 0 = all Comp-C, 1 = some system not Comp-C, 2 = invalid
-//! input/model or a faulted check (takes precedence over everything),
-//! 3 = some check exceeded `--deadline-ms` (takes precedence over 1).
+//! input/model, a faulted check, or an engine/oracle disagreement (takes
+//! precedence over everything), 3 = some check exceeded `--deadline-ms`
+//! (takes precedence over 1).
 
 use compc::core::{CheckScratch, Checker, Verdict};
 use compc::engine::{Batch, BatchItem, BatchMetrics, BatchStats};
@@ -58,6 +63,10 @@ struct Flags {
     minimize: bool,
     deadline_ms: Option<u64>,
     checkpoint: Option<String>,
+    /// Cross-check every verdict against the brute-force oracle (systems
+    /// within `compc::oracle::RECOMMENDED_NODE_CAP` nodes; larger ones are
+    /// reported as skipped). A disagreement is an engine bug, exit 2.
+    oracle: bool,
     /// Closure-backend crossover from `--backend`: `None` = auto (the
     /// measured default), `Some(0)` = force dense, `Some(usize::MAX)` =
     /// force sparse.
@@ -66,7 +75,7 @@ struct Flags {
 
 const USAGE: &str = "usage: compc-check <system.json | dir | corpus.ndjson>... \
 [--jobs N] [--backend auto|dense|sparse] [--trace] [--stats] [--explain] \
-[--dot] [--minimize] [--deadline-ms N] [--checkpoint FILE]";
+[--dot] [--minimize] [--oracle] [--deadline-ms N] [--checkpoint FILE]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -95,6 +104,13 @@ fn help() -> ExitCode {
     println!("  --explain         narrate a failing reduction");
     println!("  --dot             also print the forest in DOT (single-system only)");
     println!("  --minimize        shrink a violation to its core transaction set");
+    println!("  --oracle          cross-check each verdict against the brute-force");
+    println!(
+        "                    definitional oracle (systems up to {} nodes —",
+        compc::oracle::RECOMMENDED_NODE_CAP
+    );
+    println!("                    larger ones are reported as skipped); an engine/");
+    println!("                    oracle disagreement is an engine bug and exits 2");
     println!("  --deadline-ms N   per-system check budget in milliseconds; a check");
     println!("                    that exceeds it is reported as a timeout without");
     println!("                    poisoning the rest of the batch");
@@ -108,8 +124,9 @@ fn help() -> ExitCode {
     println!("exit codes:");
     println!("  0  every checked system is Comp-C");
     println!("  1  at least one system is not Comp-C");
-    println!("  2  invalid input/model, a faulted (panicked) check, or a usage");
-    println!("     error — takes precedence over every other code");
+    println!("  2  invalid input/model, a faulted (panicked) check, an engine/");
+    println!("     oracle disagreement under --oracle, or a usage error — takes");
+    println!("     precedence over every other code");
     println!("  3  at least one check exceeded --deadline-ms (and none faulted)");
     ExitCode::SUCCESS
 }
@@ -138,6 +155,7 @@ fn main() -> ExitCode {
             "--explain" => flags.explain = true,
             "--dot" => flags.dot = true,
             "--minimize" => flags.minimize = true,
+            "--oracle" => flags.oracle = true,
             "--backend" => {
                 i += 1;
                 flags.backend = match args.get(i).map(String::as_str) {
@@ -258,6 +276,38 @@ fn plural(n: u64) -> &'static str {
     }
 }
 
+/// Cross-checks one verdict against the brute-force oracle. Returns `None`
+/// if the system exceeds the oracle's node cap (skipped), `Some(false)` on
+/// agreement, `Some(true)` on a disagreement — which is an engine bug.
+fn oracle_cross_check(
+    system: &compc::model::CompositeSystem,
+    engine_correct: bool,
+    indent: &str,
+) -> Option<bool> {
+    let cap = compc::oracle::RECOMMENDED_NODE_CAP;
+    if system.node_count() > cap {
+        println!(
+            "{indent}oracle: skipped ({} nodes exceed the {cap}-node cap)",
+            system.node_count()
+        );
+        return None;
+    }
+    let accepted = compc::oracle::decide(system).accepted();
+    if accepted == engine_correct {
+        println!(
+            "{indent}oracle: agrees ({})",
+            if accepted { "Comp-C" } else { "not Comp-C" }
+        );
+        Some(false)
+    } else {
+        println!(
+            "{indent}ORACLE DISAGREEMENT: engine says {engine_correct}, oracle says {accepted} \
+             — this is an engine bug; please report the input"
+        );
+        Some(true)
+    }
+}
+
 // ---------------------------------------------------------------------
 // Single-system mode
 // ---------------------------------------------------------------------
@@ -320,6 +370,9 @@ fn check_single(path: &str, flags: &Flags) -> ExitCode {
                 .map(|&n| system.name(n))
                 .collect();
             println!("serial witness: {}", witness.join(" ; "));
+            if flags.oracle && oracle_cross_check(&system, true, "") == Some(true) {
+                return ExitCode::from(2);
+            }
             ExitCode::SUCCESS
         }
         Ok(Verdict::Incorrect(cex)) => {
@@ -338,6 +391,9 @@ fn check_single(path: &str, flags: &Flags) -> ExitCode {
                         names.join(", ")
                     );
                 }
+            }
+            if flags.oracle && oracle_cross_check(&system, false, "") == Some(true) {
+                return ExitCode::from(2);
             }
             ExitCode::from(1)
         }
@@ -427,13 +483,14 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
         None => None,
     };
 
-    // Explaining or minimizing a violation needs the system after the pool
-    // consumed the items, so keep a copy per item.
-    let systems: Vec<compc::model::CompositeSystem> = if flags.explain || flags.minimize {
-        items.iter().map(|it| it.system.clone()).collect()
-    } else {
-        Vec::new()
-    };
+    // Explaining, minimizing, or oracle-checking a verdict needs the system
+    // after the pool consumed the items, so keep a copy per item.
+    let systems: Vec<compc::model::CompositeSystem> =
+        if flags.explain || flags.minimize || flags.oracle {
+            items.iter().map(|it| it.system.clone()).collect()
+        } else {
+            Vec::new()
+        };
 
     // Without a checkpoint everything goes to the pool at once. With one,
     // items run in chunks so progress lands in the file at chunk
@@ -447,6 +504,9 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
     let mut metrics = BatchMetrics::default();
     let mut total_dense = 0u64;
     let mut total_sparse = 0u64;
+    let mut oracle_checked = 0u64;
+    let mut oracle_skipped = 0u64;
+    let mut oracle_disagreements = 0u64;
     let mut remaining = items;
     let mut offset = 0usize;
     while !remaining.is_empty() {
@@ -503,6 +563,18 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
                 }
                 Err(fault) => println!("{}: FAULT — {fault}", o.label),
             }
+            if flags.oracle {
+                if let Ok(verdict) = &o.result {
+                    match oracle_cross_check(&systems[idx], verdict.is_correct(), "  ") {
+                        None => oracle_skipped += 1,
+                        Some(false) => oracle_checked += 1,
+                        Some(true) => {
+                            oracle_checked += 1;
+                            oracle_disagreements += 1;
+                        }
+                    }
+                }
+            }
             if let Some(f) = checkpoint_file.as_mut() {
                 let status = match &o.result {
                     Ok(Verdict::Correct(_)) => Some("ok"),
@@ -526,6 +598,12 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
     }
     if stats.systems > 0 {
         println!("{stats}");
+        if flags.oracle {
+            println!(
+                "oracle: {oracle_checked} cross-checked, {oracle_skipped} skipped \
+                 (over the node cap), {oracle_disagreements} disagreement(s)"
+            );
+        }
         if flags.stats {
             println!("{metrics}");
             println!(
@@ -537,12 +615,15 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
         println!("nothing left to check ({prior_violations} prior violation(s) on record)");
     }
 
-    if invalid > 0 || stats.faults > 0 {
+    if invalid > 0 || stats.faults > 0 || oracle_disagreements > 0 {
         if invalid > 0 {
             eprintln!("{invalid} input(s) were invalid");
         }
         if stats.faults > 0 {
             eprintln!("{} check(s) faulted", stats.faults);
+        }
+        if oracle_disagreements > 0 {
+            eprintln!("{oracle_disagreements} engine/oracle disagreement(s)");
         }
         ExitCode::from(2)
     } else if stats.timeouts > 0 {

@@ -13,6 +13,7 @@
 //! * [`spec`] — the versioned JSON system format consumed by `compc-check`
 //! * [`json`] — the dependency-free JSON value/parser the spec format uses
 //! * [`trace`] — structured reduction events, NDJSON sinks and histograms
+//! * [`oracle`] — the brute-force Comp-C decision oracle (differential testing)
 
 pub mod spec;
 
@@ -23,6 +24,7 @@ pub use compc_engine as engine;
 pub use compc_graph as graph;
 pub use compc_json as json;
 pub use compc_model as model;
+pub use compc_oracle as oracle;
 pub use compc_sim as sim;
 pub use compc_trace as trace;
 pub use compc_workload as workload;

@@ -432,6 +432,138 @@ fn timed_out_items_are_not_checkpointed_and_rerun_on_resume() {
 }
 
 #[test]
+fn checkpoint_survives_a_timed_out_run_and_resumes_the_rest() {
+    // An interrupted-then-timed-out corpus run: item 1 was recorded by an
+    // earlier run; the next run times out on everything left (exit 3)
+    // without touching the checkpoint; the final run, restarted with a
+    // workable budget and the same flag, checks exactly the unrecorded
+    // items and folds the recorded state into the exit code.
+    let corpus = format!(
+        "{}\n{}\n{}\n",
+        spec_line(&correct_system("a")),
+        spec_line(&incorrect_system()),
+        spec_line(&correct_system("b")),
+    );
+    let corpus_path = tmpfile("timeout-resume.ndjson");
+    std::fs::write(&corpus_path, corpus).unwrap();
+    let cp = tmpfile("timeout-resume.checkpoint");
+    let _ = std::fs::remove_file(&cp);
+    std::fs::write(&cp, format!("ok\t{}:1\n", corpus_path.display())).unwrap();
+
+    let out = run(&[
+        corpus_path.to_str().unwrap(),
+        "--checkpoint",
+        cp.to_str().unwrap(),
+        "--deadline-ms",
+        "0",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(exit_code(&out), 3, "{stdout}\n{stderr}");
+    assert!(!stdout.contains(":1: "), "line 1 stays skipped: {stdout}");
+    assert_eq!(stdout.matches("TIMEOUT").count(), 2, "{stdout}");
+    let recorded = std::fs::read_to_string(&cp).unwrap();
+    assert_eq!(
+        recorded.lines().count(),
+        1,
+        "timeouts must not be recorded: {recorded}"
+    );
+
+    let out = run(&[
+        corpus_path.to_str().unwrap(),
+        "--checkpoint",
+        cp.to_str().unwrap(),
+        "--deadline-ms",
+        "60000",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(exit_code(&out), 1, "the violation on line 2 wins: {stdout}");
+    assert!(!stdout.contains(":1: "), "{stdout}");
+    assert!(stdout.contains(":2: NOT Comp-C"), "{stdout}");
+    assert!(stdout.contains(":3: Comp-C"), "{stdout}");
+    let recorded = std::fs::read_to_string(&cp).unwrap();
+    assert!(
+        recorded.contains(&format!("violation\t{}:2", corpus_path.display())),
+        "{recorded}"
+    );
+    assert!(
+        recorded.contains(&format!("ok\t{}:3", corpus_path.display())),
+        "{recorded}"
+    );
+}
+
+#[test]
+fn dense_and_sparse_backends_agree_on_batch_verdicts() {
+    let corpus = format!(
+        "{}\n{}\n{}\n",
+        spec_line(&correct_system("a")),
+        spec_line(&incorrect_system()),
+        spec_line(&correct_system("b")),
+    );
+    let path = tmpfile("backends.ndjson");
+    std::fs::write(&path, corpus).unwrap();
+
+    let mut verdict_lines = Vec::new();
+    for backend in ["dense", "sparse"] {
+        let out = run(&[path.to_str().unwrap(), "--backend", backend, "--stats"]);
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert_eq!(exit_code(&out), 1, "[{backend}] {stdout}");
+        assert!(
+            stdout.contains(&format!("closure backends: {backend}")),
+            "[{backend}] --stats names the forced backend: {stdout}"
+        );
+        // Per-item verdicts, stripped of the per-item backend tag.
+        let mut lines: Vec<String> = stdout
+            .lines()
+            .filter(|l| l.contains(": Comp-C") || l.contains(": NOT Comp-C"))
+            .map(|l| l.replace(&format!(" [{backend}]"), ""))
+            .collect();
+        lines.sort();
+        verdict_lines.push(lines);
+    }
+    assert_eq!(
+        verdict_lines[0], verdict_lines[1],
+        "dense and sparse batch verdicts must be identical line for line"
+    );
+
+    let out = run(&[path.to_str().unwrap(), "--backend", "fast"]);
+    assert_eq!(exit_code(&out), 2, "unknown backends are usage errors");
+}
+
+#[test]
+fn oracle_flag_cross_checks_single_and_batch_verdicts() {
+    // Single mode: the oracle agrees with the engine on Figure 3.
+    let out = run(&[&figure3_path(), "--oracle"]);
+    assert_eq!(exit_code(&out), 1, "agreement keeps the verdict exit code");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("oracle: agrees (not Comp-C)"), "{stdout}");
+
+    // Batch mode: every verdict is cross-checked and summarized.
+    let corpus = format!(
+        "{}\n{}\n",
+        spec_line(&correct_system("a")),
+        spec_line(&incorrect_system()),
+    );
+    let path = tmpfile("oracle.ndjson");
+    std::fs::write(&path, corpus).unwrap();
+    let out = run(&[path.to_str().unwrap(), "--oracle"]);
+    assert_eq!(exit_code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("oracle: agrees").count(), 2, "{stdout}");
+    assert!(
+        stdout.contains("oracle: 2 cross-checked, 0 skipped"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("0 disagreement(s)"), "{stdout}");
+
+    // --help documents the flag and its exit-code semantics.
+    let out = run(&["--help"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--oracle"), "{stdout}");
+    assert!(stdout.contains("disagreement"), "{stdout}");
+}
+
+#[test]
 fn checkpoint_is_a_usage_error_in_single_mode() {
     let out = run(&[&figure3_path(), "--checkpoint", "/tmp/nope.cp"]);
     assert_eq!(exit_code(&out), 2);

@@ -1,0 +1,81 @@
+//! Replay of the committed corpus under `tests/corpus/`: every entry must
+//! parse, build, survive a spec round-trip, and get its filename-encoded
+//! verdict from the sparse engine, the dense engine, and the brute-force
+//! oracle. The corpus is the durable output of fuzzing sessions — the
+//! paper's Figures 1–4 plus shrunk adversarial systems (see TESTING.md for
+//! the triage procedure that adds entries here).
+
+use compc::spec::SystemSpec;
+use compc_fuzz::corpus::{expected_from_name, replay_dir};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus"))
+}
+
+/// Every corpus file gets its expected verdict from both closure backends
+/// and the oracle. All committed entries are small enough that the oracle
+/// runs on each one — a cap-skipped entry would silently weaken the suite,
+/// so the test insists on full oracle coverage.
+#[test]
+fn corpus_replays_on_both_backends_and_the_oracle() {
+    let stats = replay_dir(&corpus_dir(), compc::oracle::RECOMMENDED_NODE_CAP)
+        .unwrap_or_else(|failures| panic!("corpus replay failed:\n{}", failures.join("\n")));
+    assert!(stats.correct > 0, "corpus has no correct entries");
+    assert!(stats.incorrect > 0, "corpus has no incorrect entries");
+    assert_eq!(
+        stats.oracle_checked, stats.files,
+        "every committed corpus entry must be small enough for the oracle"
+    );
+}
+
+/// The corpus seeding itself is pinned: the paper's four figures are
+/// present under their canonical names, and at least six shrunk
+/// adversarial entries ride alongside them.
+#[test]
+fn corpus_contains_the_figures_and_adversarial_entries() {
+    let names: Vec<String> = fs::read_dir(corpus_dir())
+        .expect("corpus dir exists")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| expected_from_name(n).is_some())
+        .collect();
+    assert!(names.contains(&"figure1.correct.json".to_string()));
+    assert!(names.contains(&"figure2.correct.json".to_string()));
+    assert!(names.contains(&"figure3.incorrect.json".to_string()));
+    assert!(names.contains(&"figure4.correct.json".to_string()));
+    let adversarial = names.iter().filter(|n| n.starts_with("adv-")).count();
+    assert!(
+        adversarial >= 6,
+        "expected at least 6 shrunk adversarial entries, found {adversarial}"
+    );
+}
+
+/// Corpus entries survive a spec round-trip with the verdict intact — a
+/// serialization regression would quietly detach the committed JSON from
+/// the system it is meant to pin.
+#[test]
+fn corpus_entries_roundtrip_through_the_spec_format() {
+    let dir = corpus_dir();
+    let mut checked = 0;
+    for entry in fs::read_dir(&dir).expect("corpus dir exists") {
+        let path = entry.expect("readable entry").path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(expected) = expected_from_name(name) else {
+            continue;
+        };
+        let text = fs::read_to_string(&path).expect("readable corpus file");
+        let sys = SystemSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: parse failed: {e}"))
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+        let verdict =
+            compc_fuzz::corpus::roundtrip_verdict(&sys).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(verdict, expected, "{name}: round-trip verdict mismatch");
+        checked += 1;
+    }
+    assert!(checked >= 12, "corpus unexpectedly small: {checked} files");
+}

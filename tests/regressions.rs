@@ -1,0 +1,187 @@
+//! Named promotions of every recorded `*.proptest-regressions` seed.
+//!
+//! The `.proptest-regressions` files make proptest re-run historical
+//! failures, but only inside their own property and only with the proptest
+//! harness's RNG plumbing in the loop. These tests pin the shrunk inputs as
+//! plain `#[test]`s, so each historical incident has a name, runs in every
+//! tier-1 invocation, and fails with a message that points at the original
+//! finding rather than a proptest case number.
+
+use compc::configs::{is_fcc, is_jcc};
+use compc::core::{check, Reducer};
+use compc::model::{CompositeSystem, SchedId};
+use compc::sim::{Engine, FaultPlan, LockScope, Protocol, SimConfig, SimReport};
+use compc::workload::random::{generate, GenParams, Shape};
+use compc::workload::random_sim::{generate_sim, SimGenParams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// tests/confluence.proptest-regressions
+//   cc 8737514d… # shrinks to seed = 0, order_seed = 102
+// ---------------------------------------------------------------------
+
+/// A random invocation-respecting schedule order (children of the
+/// invocation DAG first) — the shape under test in `tests/confluence.rs`.
+fn reduction_order(sys: &CompositeSystem, seed: u64) -> Vec<SchedId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ig = sys.invocation_graph();
+    let mut remaining: Vec<usize> = (0..sys.schedule_count()).collect();
+    let mut done = vec![false; sys.schedule_count()];
+    let mut order = Vec::new();
+    while !remaining.is_empty() {
+        let ready: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&s| ig.successors(s).all(|t| done[t]))
+            .collect();
+        let pick = *ready.as_slice().choose(&mut rng).unwrap();
+        done[pick] = true;
+        remaining.retain(|&s| s != pick);
+        order.push(SchedId(pick as u32));
+    }
+    order
+}
+
+fn check_schedulewise(sys: &CompositeSystem, order: &[SchedId]) -> bool {
+    let mut red = Reducer::new(sys);
+    if red.front().is_cc().is_some() {
+        return false;
+    }
+    for (i, &sid) in order.iter().enumerate() {
+        if red.step_schedules(&[sid], i + 1).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Historical divergence between the canonical level-by-level reduction and
+/// a schedule-at-a-time order at `seed = 0, order_seed = 102`. Density was
+/// free in the shrunk case, so the pin sweeps the range's corners and
+/// middle.
+#[test]
+fn confluence_seed0_order102_all_densities() {
+    for density in [0u8, 45, 90] {
+        let sys = generate(&GenParams {
+            shape: Shape::General {
+                levels: 3,
+                scheds_per_level: 2,
+            },
+            roots: 4,
+            ops_per_tx: (1, 3),
+            conflict_density: density as f64 / 100.0,
+            sequential_tx_prob: 0.7,
+            client_input_prob: 0.2,
+            strong_input_prob: 0.2,
+            sound_abstractions: false,
+            seed: 0,
+        });
+        let canonical = check(&sys).is_correct();
+        let order = reduction_order(&sys, 102);
+        assert_eq!(
+            canonical,
+            check_schedulewise(&sys, &order),
+            "confluence regression (seed 0, order_seed 102, density {density}) reopened"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// tests/fault_chaos.proptest-regressions
+//   cc 3f1a6c09… # shrinks to workload_seed = 341, plan_seed = 77,
+//                  clients = 5, semantic = false
+// ---------------------------------------------------------------------
+
+fn faulted_run(workload_seed: u64, plan_seed: u64, clients: usize, semantic: bool) -> SimReport {
+    let params = SimGenParams {
+        seed: workload_seed,
+        clients,
+        semantic,
+        ..SimGenParams::default()
+    };
+    let (topo, templates) = generate_sim(
+        &params,
+        Protocol::TwoPhase {
+            scope: LockScope::Composite,
+        },
+    );
+    let components = topo.len();
+    Engine::new(
+        topo,
+        templates,
+        SimConfig {
+            seed: workload_seed,
+            ..SimConfig::default()
+        },
+    )
+    .faults(FaultPlan::random(plan_seed, components, 250))
+    .run()
+}
+
+/// A crash landing mid-commit while a dropped release was still under lease
+/// (workload 341, plan 77): the committed work must still export a valid
+/// Comp-C schedule, and the run must replay identically.
+#[test]
+fn fault_chaos_crash_mid_commit_under_lease() {
+    let report = faulted_run(341, 77, 5, false);
+    assert_eq!(report.metrics.committed + report.metrics.failed, 5);
+    let sys = report
+        .export_system()
+        .unwrap_or_else(|e| panic!("export failed: {e}"));
+    assert!(
+        check(&sys).is_correct(),
+        "fault-chaos regression (341/77/5) exported a non-Comp-C schedule"
+    );
+    let replay = faulted_run(341, 77, 5, false);
+    assert_eq!(report.metrics.committed, replay.metrics.committed);
+    assert_eq!(report.fault_stats, replay.fault_stats);
+}
+
+// ---------------------------------------------------------------------
+// tests/theorems.proptest-regressions
+//   cc 60d65aae… # shrinks to seed = 0,    branches = 4, roots = 2, density = 0
+//   cc 8c25bb91… # shrinks to seed = 104,  branches = 4, roots = 5, density = 23
+//   cc 6a09c753… # shrinks to seed = 1561, branches = 4, roots = 5, density = 3
+// ---------------------------------------------------------------------
+
+fn sound_params(shape: Shape, roots: usize, density: f64, seed: u64) -> GenParams {
+    GenParams {
+        shape,
+        roots,
+        ops_per_tx: (1, 3),
+        conflict_density: density,
+        sequential_tx_prob: 0.7,
+        client_input_prob: 0.0,
+        strong_input_prob: 0.0,
+        sound_abstractions: true,
+        seed,
+    }
+}
+
+/// The recorded theorem seeds came from the shared fork/join property
+/// sweep, so each is pinned against both bodies: FCC ⟺ Comp-C on the fork
+/// and JCC ⟺ Comp-C on the join built from the same inputs.
+#[test]
+fn theorem_seeds_hold_on_forks_and_joins() {
+    for (seed, branches, roots, density) in [(0, 4, 2, 0u8), (104, 4, 5, 23), (1561, 4, 5, 3)] {
+        let d = density as f64 / 100.0;
+        let fork = generate(&sound_params(Shape::Fork { branches }, roots, d, seed));
+        let fcc = is_fcc(&fork).expect("generator produces fork shapes");
+        assert_eq!(
+            fcc,
+            check(&fork).is_correct(),
+            "thm3 regression (seed {seed}, branches {branches}, roots {roots}, \
+             density {density}) reopened on the fork"
+        );
+        let join = generate(&sound_params(Shape::Join { branches }, roots, d, seed));
+        let jcc = is_jcc(&join).expect("generator produces join shapes");
+        assert_eq!(
+            jcc,
+            check(&join).is_correct(),
+            "thm4 regression (seed {seed}, branches {branches}, roots {roots}, \
+             density {density}) reopened on the join"
+        );
+    }
+}
