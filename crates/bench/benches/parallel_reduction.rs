@@ -10,7 +10,7 @@
 //! Run with `cargo bench --bench parallel_reduction`; each line is one
 //! worker count, so the scaling curve reads straight off the report.
 
-use compc_core::Checker;
+use compc_core::{CheckOptions, Checker};
 use compc_engine::{Batch, BatchItem};
 use compc_workload::random::{generate, GenParams, Shape};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -70,7 +70,7 @@ fn bench_jobs_sweep(c: &mut Criterion) {
     let sys = big_system();
     let mut group = c.benchmark_group("parallel_reduction");
     for jobs in 1..=sweep_max() {
-        let checker = Checker::new().jobs(jobs);
+        let checker = Checker::with_options(CheckOptions::new().jobs(jobs));
         group.bench_with_input(
             BenchmarkId::new("check-jobs", format!("{jobs}j/{}n", sys.node_count())),
             &sys,

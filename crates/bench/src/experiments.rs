@@ -5,7 +5,7 @@
 use crate::table::Table;
 use compc_classic::{is_llsr_stack, is_opsr_stack};
 use compc_configs::{is_fcc, is_jcc, is_scc};
-use compc_core::{check, Checker, Reducer};
+use compc_core::{check, Backend, CheckOptions, Checker, Reducer};
 use compc_graph::{
     transitive_closure_with, BitGraph, BitOrderRel, DiGraph, PartialOrderRel, ReachScratch,
 };
@@ -597,7 +597,9 @@ pub fn cc_ablation_experiment(samples: usize, densities: &[f64]) -> Vec<Ablation
                     seed: seed.wrapping_mul(613) + 7,
                 });
                 let faithful = check(&sys).is_correct();
-                let strict = Checker::new().forgetting(false).check(&sys).is_correct();
+                let strict = Checker::with_options(CheckOptions::new().forgetting(false))
+                    .check(&sys)
+                    .is_correct();
                 with_forgetting += faithful as usize;
                 without_forgetting += strict as usize;
                 debug_assert!(!strict || faithful, "no-forgetting must be stricter");
@@ -1098,7 +1100,9 @@ pub fn backend_equivalence(samples: usize, seed: u64) -> usize {
             seed: seed.wrapping_add(i.wrapping_mul(2_654_435_761)),
         });
         let fingerprint = |crossover: usize| -> String {
-            match Checker::new().dense_crossover(crossover).check(&sys) {
+            match Checker::with_options(CheckOptions::new().backend(Backend::Crossover(crossover)))
+                .check(&sys)
+            {
                 compc_core::Verdict::Correct(p) => format!("ok:{:?}", p.serial_witness),
                 compc_core::Verdict::Incorrect(c) => format!("cex:{c}"),
             }

@@ -63,9 +63,12 @@ impl Counterexample {
     /// options), the explanation falls back to this counterexample's own
     /// data and says so in the story.
     pub fn explain_with(&self, sys: &CompositeSystem, options: ReduceOptions) -> Explanation {
-        let checker = Checker::new()
-            .forgetting(options.forget_commuting)
-            .jobs(options.jobs);
+        let checker = Checker::with_options(
+            crate::reduce::CheckOptions::new()
+                .forgetting(options.forget_commuting)
+                .jobs(options.jobs)
+                .backend(crate::reduce::Backend::Crossover(options.dense_crossover)),
+        );
         let mut reducer = checker.reducer(sys);
         let mut story = vec![format!(
             "level 0: front of {} leaf operation(s)",

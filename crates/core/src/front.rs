@@ -21,7 +21,13 @@ use std::collections::BTreeSet;
 ///
 /// Generalized conflicts (Definition 11) are not materialized: they are a
 /// function of the system and `observed` (see [`Front::gen_con`]).
-#[derive(Clone, Debug)]
+///
+/// Equality is structural (same level, members, closed observed order and
+/// input order) and is what the incremental session uses to decide whether
+/// a cached level can be reused after an append. Note `DiGraph` equality
+/// includes the node count, so compare fronts only after growing the older
+/// one's graphs to the same node count (`ensure_node`).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Front {
     /// Which reduction step produced this front (0 = all leaves).
     pub level: usize,
@@ -58,27 +64,7 @@ impl Front {
         dense_crossover: usize,
         scratch: &mut CheckScratch,
     ) -> Front {
-        let mut observed = DiGraph::with_nodes(sys.node_count());
-        let leaves: BTreeSet<NodeId> = sys.leaves().collect();
-        let scheds: Vec<_> = sys.schedules().collect();
-        let per_sched = par::map_indices(scheds.len(), jobs, |i| {
-            let s = scheds[i];
-            let ops: Vec<NodeId> = s.ops().filter(|o| leaves.contains(o)).collect();
-            let mut edges: Vec<(usize, usize)> = Vec::new();
-            for &a in &ops {
-                for &b in &ops {
-                    if a != b && s.output.weak_lt(a, b) {
-                        edges.push((a.index(), b.index()));
-                    }
-                }
-            }
-            edges
-        });
-        for edges in per_sched {
-            for (u, v) in edges {
-                observed.add_edge(u, v);
-            }
-        }
+        let observed = level0_pre(sys, jobs);
         // Rule 4 (transitivity) is a no-op here — all pairs are
         // intra-schedule and each schedule's output order is already closed —
         // but we normalize anyway so the invariant "observed is closed" holds
@@ -86,7 +72,7 @@ impl Front {
         let observed = par::transitive_closure_jobs(&observed, jobs, dense_crossover, scratch);
         Front {
             level: 0,
-            nodes: leaves,
+            nodes: sys.leaves().collect(),
             observed,
             input: DiGraph::with_nodes(sys.node_count()),
         }
@@ -240,6 +226,35 @@ impl Front {
         });
         per_node.into_iter().flatten().collect()
     }
+}
+
+/// The level-0 observed order *before* its closing normalization: every
+/// same-schedule leaf pair in the schedule's weak output order. The
+/// incremental session delta-closes this graph against its cached closure;
+/// [`Front::level0_opts`] closes it from scratch.
+pub(crate) fn level0_pre(sys: &CompositeSystem, jobs: usize) -> DiGraph {
+    let mut observed = DiGraph::with_nodes(sys.node_count());
+    let leaves: BTreeSet<NodeId> = sys.leaves().collect();
+    let scheds: Vec<_> = sys.schedules().collect();
+    let per_sched = par::map_indices(scheds.len(), jobs, |i| {
+        let s = scheds[i];
+        let ops: Vec<NodeId> = s.ops().filter(|o| leaves.contains(o)).collect();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for &a in &ops {
+            for &b in &ops {
+                if a != b && s.output.weak_lt(a, b) {
+                    edges.push((a.index(), b.index()));
+                }
+            }
+        }
+        edges
+    });
+    for edges in per_sched {
+        for (u, v) in edges {
+            observed.add_edge(u, v);
+        }
+    }
+    observed
 }
 
 #[cfg(test)]

@@ -77,6 +77,7 @@ mod front;
 mod minimize;
 mod par;
 mod reduce;
+mod session;
 
 pub use calculation::{calculations_exist_bruteforce, calculations_exist_bruteforce_dense};
 pub use explain::Explanation;
@@ -84,6 +85,7 @@ pub use front::Front;
 pub use minimize::{minimize, MinimalCounterexample};
 pub use par::{effective_jobs, CheckScratch, DENSE_CROSSOVER_DEFAULT};
 pub use reduce::{
-    check, Checker, Counterexample, Deadline, FailurePhase, FrontSnapshot, Interrupted, Proof,
-    ReduceOptions, Reducer, Verdict,
+    check, Backend, CheckOptions, Checker, Counterexample, Deadline, FailurePhase, FrontSnapshot,
+    Interrupted, Proof, ReduceOptions, Reducer, Verdict,
 };
+pub use session::{Session, SessionError, SessionSnapshot, SessionStats};

@@ -219,17 +219,168 @@ impl Default for ReduceOptions {
     }
 }
 
-/// Fluent, reusable configuration for Comp-C checks — the single entry point
-/// for anything beyond the plain [`check`] convenience wrapper.
+/// Which transitive-closure backend a check runs on. Every choice yields a
+/// bit-identical [`Verdict`]; the knob only trades per-node DFS against
+/// word-parallel bitset sweeps (see `par::DENSE_CROSSOVER_DEFAULT` and
+/// EXPERIMENTS.md E21 for the measured break-even).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Size-based crossover at the measured default (the recommended mode).
+    #[default]
+    Auto,
+    /// Word-parallel bitset closures everywhere.
+    Dense,
+    /// Per-source DFS closures everywhere.
+    Sparse,
+    /// Explicit node-count crossover: graphs with at least this many nodes
+    /// close on the dense backend.
+    Crossover(usize),
+}
+
+impl Backend {
+    /// The dense-backend crossover this mode resolves to.
+    pub fn crossover(self) -> usize {
+        match self {
+            Backend::Auto => par::DENSE_CROSSOVER_DEFAULT,
+            Backend::Dense => 0,
+            Backend::Sparse => usize::MAX,
+            Backend::Crossover(n) => n,
+        }
+    }
+
+    /// Parses a CLI-style backend name (`auto`, `dense`, `sparse`).
+    pub fn parse(name: &str) -> Option<Backend> {
+        match name {
+            "auto" => Some(Backend::Auto),
+            "dense" => Some(Backend::Dense),
+            "sparse" => Some(Backend::Sparse),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Auto => write!(f, "auto"),
+            Backend::Dense => write!(f, "dense"),
+            Backend::Sparse => write!(f, "sparse"),
+            Backend::Crossover(n) => write!(f, "crossover({n})"),
+        }
+    }
+}
+
+/// The one options struct every entry point shares: [`Checker`], the batch
+/// engine (`compc-engine`), the incremental [`crate::Session`], the sweep
+/// verifier (`compc-sim`), and the `compc-check`/`compc-serve` CLIs all
+/// configure from a `CheckOptions`, so a setting means the same thing
+/// everywhere.
+///
+/// Build one fluently and hand it to [`Checker::with_options`]:
 ///
 /// ```
-/// use compc_core::Checker;
+/// use compc_core::{Backend, Checker, CheckOptions};
 /// # use compc_model::SystemBuilder;
 /// # let mut b = SystemBuilder::new();
 /// # let s = b.schedule("S");
 /// # let _t = b.root("T", s);
 /// # let sys = b.build().unwrap();
-/// let verdict = Checker::new().forgetting(true).jobs(4).check(&sys);
+/// let options = CheckOptions::new().jobs(4).backend(Backend::Auto);
+/// let verdict = Checker::with_options(options).check(&sys);
+/// assert!(verdict.is_correct());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Definition 10's commutativity forgetting (default `true`; `false`
+    /// is the conservative ablation). See [`ReduceOptions::forget_commuting`].
+    pub forgetting: bool,
+    /// Worker threads for within-level checks: `1` sequential (default),
+    /// `0` one per core, `n` exactly `n`. Verdict-neutral.
+    pub jobs: usize,
+    /// Transitive-closure backend (auto crossover by default).
+    /// Verdict-neutral.
+    pub backend: Backend,
+    /// Per-check wall-clock budget, polled cooperatively at level
+    /// boundaries. `None` (the default) never interrupts.
+    pub deadline: Option<std::time::Duration>,
+    /// Cross-check every verdict against the brute-force definitional
+    /// oracle (`compc-oracle`), where the consuming layer supports it: the
+    /// CLIs, the sweep verifier and the spec-level session honor this flag;
+    /// the core [`Checker`] and [`crate::Session`] cannot see the oracle
+    /// crate and document it as ignored.
+    pub oracle: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            forgetting: true,
+            jobs: 1,
+            backend: Backend::Auto,
+            deadline: None,
+            oracle: false,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Default options: forgetting on, sequential, auto backend, no
+    /// deadline, no oracle.
+    pub fn new() -> Self {
+        CheckOptions::default()
+    }
+
+    /// Enable/disable Definition 10's commutativity forgetting.
+    pub fn forgetting(mut self, on: bool) -> Self {
+        self.forgetting = on;
+        self
+    }
+
+    /// Worker threads for within-level checks.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Transitive-closure backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Per-check wall-clock budget.
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Request an oracle cross-check in layers that support it.
+    pub fn oracle(mut self, on: bool) -> Self {
+        self.oracle = on;
+        self
+    }
+
+    /// The reduction-engine view of these options.
+    pub fn reduce_options(&self) -> ReduceOptions {
+        ReduceOptions {
+            forget_commuting: self.forgetting,
+            jobs: self.jobs,
+            dense_crossover: self.backend.crossover(),
+        }
+    }
+}
+
+/// Fluent, reusable configuration for Comp-C checks — the single entry point
+/// for anything beyond the plain [`check`] convenience wrapper.
+///
+/// ```
+/// use compc_core::{Checker, CheckOptions};
+/// # use compc_model::SystemBuilder;
+/// # let mut b = SystemBuilder::new();
+/// # let s = b.schedule("S");
+/// # let _t = b.root("T", s);
+/// # let sys = b.build().unwrap();
+/// let verdict = Checker::with_options(CheckOptions::new().jobs(4)).check(&sys);
 /// assert!(verdict.is_correct());
 /// ```
 ///
@@ -239,8 +390,13 @@ impl Default for ReduceOptions {
 /// (the batch engine does this per worker).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Checker {
-    options: ReduceOptions,
-    deadline: Option<std::time::Duration>,
+    options: CheckOptions,
+}
+
+impl From<CheckOptions> for Checker {
+    fn from(options: CheckOptions) -> Self {
+        Checker::with_options(options)
+    }
 }
 
 impl Checker {
@@ -249,15 +405,23 @@ impl Checker {
         Checker::default()
     }
 
+    /// A checker running with the given [`CheckOptions`] — the primary
+    /// constructor; the per-knob setters are deprecated forwarders.
+    pub fn with_options(options: CheckOptions) -> Self {
+        Checker { options }
+    }
+
     /// Enable/disable Definition 10's commutativity forgetting (default
     /// `true`; `false` is the conservative ablation).
+    #[deprecated(note = "build a CheckOptions and use Checker::with_options")]
     pub fn forgetting(mut self, on: bool) -> Self {
-        self.options.forget_commuting = on;
+        self.options.forgetting = on;
         self
     }
 
     /// Worker threads for within-level checks: `1` sequential (default),
     /// `0` one per core, `n` exactly `n`.
+    #[deprecated(note = "build a CheckOptions and use Checker::with_options")]
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.options.jobs = jobs;
         self
@@ -267,26 +431,35 @@ impl Checker {
     /// with at least this many nodes are closed word-parallel. `0` forces
     /// dense, `usize::MAX` forces sparse. The default is the measured
     /// break-even point (EXPERIMENTS.md E21).
+    #[deprecated(note = "build a CheckOptions and use Checker::with_options")]
     pub fn dense_crossover(mut self, nodes: usize) -> Self {
-        self.options.dense_crossover = nodes;
+        self.options.backend = Backend::Crossover(nodes);
         self
     }
 
     /// A per-check wall-clock budget, checked cooperatively at level
     /// boundaries. Use the `try_check*` variants to observe the resulting
     /// [`Interrupted`]; the plain `check*` methods panic on interruption.
+    #[deprecated(note = "build a CheckOptions and use Checker::with_options")]
     pub fn deadline(mut self, budget: std::time::Duration) -> Self {
-        self.deadline = Some(budget);
+        self.options.deadline = Some(budget);
         self
     }
 
-    /// The options this checker runs with.
+    /// The reduction-engine options this checker runs with.
     pub fn options(&self) -> ReduceOptions {
+        self.options.reduce_options()
+    }
+
+    /// The full [`CheckOptions`] this checker runs with.
+    pub fn check_options(&self) -> CheckOptions {
         self.options
     }
 
     fn start_deadline(&self) -> Deadline {
-        self.deadline.map_or_else(Deadline::none, Deadline::after)
+        self.options
+            .deadline
+            .map_or_else(Deadline::none, Deadline::after)
     }
 
     /// Decides Comp-C for `sys` (Theorem 1) under this configuration.
@@ -322,8 +495,9 @@ impl Checker {
         sys: &CompositeSystem,
         scratch: &mut CheckScratch,
     ) -> Result<Verdict, Interrupted> {
-        let mut reducer = Reducer::with_scratch(sys, self.options, std::mem::take(scratch))
-            .deadline(self.start_deadline());
+        let mut reducer =
+            Reducer::with_scratch(sys, self.options.reduce_options(), std::mem::take(scratch))
+                .deadline(self.start_deadline());
         let verdict = reducer.try_run();
         *scratch = reducer.into_scratch();
         verdict
@@ -363,9 +537,10 @@ impl Checker {
         scratch: &mut CheckScratch,
         sink: &mut dyn TraceSink,
     ) -> Result<Verdict, Interrupted> {
-        let mut reducer = Reducer::with_scratch(sys, self.options, std::mem::take(scratch))
-            .deadline(self.start_deadline())
-            .traced(sink);
+        let mut reducer =
+            Reducer::with_scratch(sys, self.options.reduce_options(), std::mem::take(scratch))
+                .deadline(self.start_deadline())
+                .traced(sink);
         let verdict = reducer.try_run();
         *scratch = reducer.into_scratch();
         verdict
@@ -374,7 +549,7 @@ impl Checker {
     /// A stepwise [`Reducer`] over `sys` under this configuration, for
     /// traces and per-level inspection.
     pub fn reducer<'a>(&self, sys: &'a CompositeSystem) -> Reducer<'a> {
-        Reducer::with_scratch(sys, self.options, CheckScratch::new())
+        Reducer::with_scratch(sys, self.options.reduce_options(), CheckScratch::new())
             .deadline(self.start_deadline())
     }
 }
@@ -482,13 +657,7 @@ impl<'a> Reducer<'a> {
 
     /// A snapshot of the current front.
     pub fn snapshot(&self) -> FrontSnapshot {
-        FrontSnapshot {
-            level: self.front.level,
-            nodes: self.front.nodes.iter().copied().collect(),
-            observed: self.front.observed_pairs(),
-            conflicts: self.front.conflict_pairs_jobs(self.sys, self.options.jobs),
-            input: self.front.input_pairs(),
-        }
+        front_snapshot(self.sys, &self.front, self.options.jobs)
     }
 
     /// Runs the reduction to completion. Idempotent only from a fresh
@@ -594,202 +763,55 @@ impl<'a> Reducer<'a> {
     ) -> Result<(), Counterexample> {
         let t0 = self.sink.is_some().then(Instant::now);
         let front_before = self.front.nodes.len();
-        let sys = self.sys;
-        // The transactions to reduce. `replaced` maps each of their
-        // operations to the owning transaction.
-        let mut replaced: BTreeMap<NodeId, NodeId> = BTreeMap::new();
-        let mut new_txs: Vec<NodeId> = Vec::new();
-        for s in scheds.iter().map(|&sid| sys.schedule(sid)) {
-            for t in &s.transactions {
-                new_txs.push(t.id);
-                for &o in &t.ops {
-                    debug_assert!(
-                        self.front.nodes.contains(&o),
-                        "operation {o} of {t:?} must be in the level-{} front",
-                        level - 1
-                    );
-                    replaced.insert(o, t.id);
-                }
-            }
-        }
-
-        // --- Step 1: simultaneous calculations exist iff the constraint
-        // graph, contracted by transaction grouping, is acyclic — and each
-        // group's *internal* constraints are acyclic too (a calculation is a
-        // single execution sequence, so a contradictory non-reorderable pair
-        // between two operations of one transaction also rules it out;
-        // contraction alone cannot see those, it drops self-edges). Under
-        // the no-forgetting ablation every observed pair constrains.
-        let constraint = if self.options.forget_commuting {
-            self.front.constraint_graph_jobs(sys, self.options.jobs)
-        } else {
-            let mut g = self.front.input.clone();
-            g.ensure_node(sys.node_count().saturating_sub(1));
-            g.union_with(&self.front.observed);
-            g
-        };
-        // Definition 14 constrains a calculation only through *pairs of
-        // front members*. Accumulated input pairs keep their original
-        // endpoints (step 6 stores them verbatim), so an endpoint reduced
-        // away at an earlier level is not a node of the serialization
-        // problem any more — it acts as a pass-through: a chain
-        // `a ≺ stale ≺ b` with `a`, `b` on the front induces the front
-        // obligation `a ≺ b` by transitivity of →, nothing else. Keeping
-        // stale nodes as distinct vertices instead would manufacture
-        // phantom group -> stale -> group cycles out of chains that live
-        // entirely inside one transaction (and break Theorem 2 on stacks).
-        let in_front = |i: usize| self.front.nodes.contains(&NodeId(i as u32));
-        let mut calc = DiGraph::with_nodes(sys.node_count());
-        for (u, v) in constraint.edges() {
-            if in_front(u) && in_front(v) {
-                calc.add_edge(u, v);
-            }
-        }
-        for &a in &self.front.nodes {
-            let mut stack: Vec<usize> = constraint
-                .successors(a.index())
-                .filter(|&s| !in_front(s))
-                .collect();
-            let mut seen: BTreeSet<usize> = stack.iter().copied().collect();
-            while let Some(s) = stack.pop() {
-                for t in constraint.successors(s) {
-                    if in_front(t) {
-                        calc.add_edge(a.index(), t);
-                    } else if seen.insert(t) {
-                        stack.push(t);
-                    }
-                }
-            }
-        }
-        let node_to_comp: Vec<usize> = (0..sys.node_count())
-            .map(|i| replaced.get(&NodeId(i as u32)).map_or(i, |t| t.index()))
-            .collect();
-        let constraint_edges = constraint.edge_count();
-        let contracted = condense(&calc, &node_to_comp, sys.node_count());
-        let calc_cycle = find_cycle(&contracted).or_else(|| {
-            let mut internal = DiGraph::with_nodes(sys.node_count());
-            let mut nonempty = false;
-            for (u, v) in calc.edges() {
-                if u != v && node_to_comp[u] == node_to_comp[v] {
-                    internal.add_edge(u, v);
-                    nonempty = true;
-                }
-            }
-            nonempty.then(|| find_cycle(&internal)).flatten()
-        });
-        if let Some(cycle) = calc_cycle {
-            let cycle: Vec<NodeId> = cycle.nodes.into_iter().map(|i| NodeId(i as u32)).collect();
-            self.emit_level(
-                t0,
-                LevelCounts {
+        let pre = match step_pre_closure(self.sys, &self.front, self.options, scheds, level) {
+            Ok(pre) => pre,
+            Err(fail) => {
+                self.emit_level(
+                    t0,
+                    LevelCounts {
+                        level,
+                        schedules_reduced: scheds.len(),
+                        front_before,
+                        front_after: front_before,
+                        constraint_edges: fail.constraint_edges,
+                        closure_edges: 0,
+                        pairs_forgotten: 0,
+                        serialization_pairs: 0,
+                        ok: false,
+                    },
+                );
+                return Err(make_counterexample(
+                    self.sys,
                     level,
-                    schedules_reduced: scheds.len(),
-                    front_before,
-                    front_after: front_before,
-                    constraint_edges,
-                    closure_edges: 0,
-                    pairs_forgotten: 0,
-                    serialization_pairs: 0,
-                    ok: false,
-                },
-            );
-            return Err(self.counterexample(level, FailurePhase::Calculation, cycle));
-        }
-
-        // --- Steps 2–4: replace operations by their transactions and pull
-        // the observed order up (Definition 10 rules 2–4, Definition 11).
-        let mut new_nodes: BTreeSet<NodeId> = self
-            .front
-            .nodes
-            .iter()
-            .filter(|n| !replaced.contains_key(n))
-            .copied()
-            .collect();
-        // Step 5 (propagation): kept nodes stay; the new transactions enter.
-        new_nodes.extend(new_txs.iter().copied());
-
-        let mut observed = DiGraph::with_nodes(sys.node_count());
-        let mut pairs_forgotten = 0usize;
-        let map = |n: NodeId| replaced.get(&n).copied().unwrap_or(n);
-        for (u, v) in self.front.observed.edges() {
-            let (a, b) = (NodeId(u as u32), NodeId(v as u32));
-            if !self.front.nodes.contains(&a) || !self.front.nodes.contains(&b) {
-                continue;
+                    FailurePhase::Calculation,
+                    fail.cycle,
+                ));
             }
-            let (big_a, big_b) = (map(a), map(b));
-            if big_a == big_b {
-                continue; // absorbed into one transaction
-            }
-            let pushed = big_a != a || big_b != b;
-            if !pushed {
-                // Neither endpoint replaced: the pair simply persists.
-                observed.add_edge(big_a.index(), big_b.index());
-                continue;
-            }
-            // Definition 10: a pair whose endpoints sit in a common schedule
-            // is pushed only via rule 2 — the schedule's own order and
-            // conflict declaration (handled below from schedule data); a
-            // cross-schedule pair is pushed unconditionally (rule 3). The
-            // no-forgetting ablation pushes everything.
-            if !self.options.forget_commuting || sys.common_container(a, b).is_none() {
-                observed.add_edge(big_a.index(), big_b.index());
-            } else {
-                pairs_forgotten += 1;
-            }
-        }
-        // Rule 2 for the schedules being reduced: conflicting operation
-        // pairs executed `o ≺_S o'` serialize their parents. This also
-        // covers conflicting internal pairs whose subtrees never interacted.
-        // Each schedule's quadratic pair scan is an independent task.
-        let per_sched = par::map_indices(scheds.len(), self.options.jobs, |i| {
-            sys.schedule(scheds[i]).serialization_pairs()
-        });
-        let mut serialization_pairs = 0usize;
-        for pairs in per_sched {
-            serialization_pairs += pairs.len();
-            for (t, t2) in pairs {
-                observed.add_edge(t.index(), t2.index());
-            }
-        }
-        // Entry-time observed pairs between new transactions and other
-        // members of their *container* schedules (rule 1 when the other
-        // member is a leaf; the conflicting-output rule otherwise).
-        for &t in &new_txs {
-            self.entry_pairs(t, &new_nodes, &mut observed);
-        }
+        };
         // Rule 4: transitive closure.
-        let pre_closure_edges = observed.edge_count();
+        let pre_closure_edges = pre.pre_observed.edge_count();
         let observed = par::transitive_closure_jobs(
-            &observed,
+            &pre.pre_observed,
             self.options.jobs,
             self.options.dense_crossover,
             &mut self.scratch,
         );
         let closure_edges = observed.edge_count().saturating_sub(pre_closure_edges);
-
-        // --- Step 6: add the level's input orders and check CC.
-        let mut input = self.front.input.clone();
-        input.ensure_node(sys.node_count().saturating_sub(1));
-        for s in scheds.iter().map(|&sid| sys.schedule(sid)) {
-            for (a, b) in s.input.weak_pairs() {
-                input.add_edge(a.index(), b.index());
-            }
-        }
         self.front = Front {
             level,
-            nodes: new_nodes,
+            nodes: pre.new_nodes,
             observed,
-            input,
+            input: pre.input,
         };
         let counts = LevelCounts {
             level,
             schedules_reduced: scheds.len(),
             front_before,
             front_after: self.front.nodes.len(),
-            constraint_edges,
+            constraint_edges: pre.constraint_edges,
             closure_edges,
-            pairs_forgotten,
-            serialization_pairs,
+            pairs_forgotten: pre.pairs_forgotten,
+            serialization_pairs: pre.serialization_pairs,
             ok: true,
         };
         if let Some(cycle) = self.front.is_cc() {
@@ -800,7 +822,12 @@ impl<'a> Reducer<'a> {
                     ..counts
                 },
             );
-            return Err(self.counterexample(level, FailurePhase::ConflictConsistency, cycle));
+            return Err(make_counterexample(
+                self.sys,
+                level,
+                FailurePhase::ConflictConsistency,
+                cycle,
+            ));
         }
         self.emit_level(t0, counts);
         Ok(())
@@ -828,52 +855,12 @@ impl<'a> Reducer<'a> {
         }
     }
 
-    /// Observed pairs created when `t` enters the front, against members of
-    /// the schedule that contains `t` as an operation. Definition 10 rule 1
-    /// relates a pair as soon as *either* side is a leaf, in the schedule's
-    /// weak output order. Internal–internal pairs of a common schedule are
-    /// deliberately NOT added to `<ₒ` — no rule derives them; their
-    /// conflicting instances constrain calculations via
-    /// [`Front::constraint_graph`] instead, and their parent-level effect is
-    /// rule 2's serialization pairs.
-    fn entry_pairs(&self, t: NodeId, members: &BTreeSet<NodeId>, observed: &mut DiGraph) {
-        let sys = self.sys;
-        let Some(container) = sys.node(t).container else {
-            return; // roots are operations of nothing
-        };
-        let s: &Schedule = sys.schedule(container);
-        for other in s.ops() {
-            if other == t || !members.contains(&other) {
-                continue;
-            }
-            let other_is_leaf = sys.node(other).home.is_none();
-            if !other_is_leaf {
-                continue;
-            }
-            if s.output.weak_lt(t, other) {
-                observed.add_edge(t.index(), other.index());
-            }
-            if s.output.weak_lt(other, t) {
-                observed.add_edge(other.index(), t.index());
-            }
-        }
-    }
-
     /// A total serial order over the final front (the roots), obtained by
     /// topologically sorting `<ₒ ∪ →` — the constructive half of Theorem 1's
     /// proof ("by topological sorting, we convert (<ₒ, →) into a total
     /// order").
     fn serial_witness(&self) -> Vec<NodeId> {
-        let mut g = self.front.input.clone();
-        g.union_with(&self.front.observed);
-        g.ensure_node(self.sys.node_count().saturating_sub(1));
-        let order =
-            topological_sort(&g).expect("a conflict-consistent front's order union is acyclic");
-        order
-            .into_iter()
-            .map(|i| NodeId(i as u32))
-            .filter(|n| self.front.nodes.contains(n))
-            .collect()
+        serial_witness(self.sys, &self.front)
     }
 
     fn counterexample(
@@ -882,15 +869,291 @@ impl<'a> Reducer<'a> {
         phase: FailurePhase,
         cycle: Vec<NodeId>,
     ) -> Counterexample {
-        let cycle_names = cycle
-            .iter()
-            .map(|&n| self.sys.name(n).to_string())
+        make_counterexample(self.sys, level, phase, cycle)
+    }
+}
+
+/// A snapshot of `front` as recorded in proofs and traces.
+pub(crate) fn front_snapshot(sys: &CompositeSystem, front: &Front, jobs: usize) -> FrontSnapshot {
+    FrontSnapshot {
+        level: front.level,
+        nodes: front.nodes.iter().copied().collect(),
+        observed: front.observed_pairs(),
+        conflicts: front.conflict_pairs_jobs(sys, jobs),
+        input: front.input_pairs(),
+    }
+}
+
+/// The Theorem-1 serial witness over `front`'s members: a topological sort
+/// of `<ₒ ∪ →` restricted to the front.
+pub(crate) fn serial_witness(sys: &CompositeSystem, front: &Front) -> Vec<NodeId> {
+    let mut g = front.input.clone();
+    g.union_with(&front.observed);
+    g.ensure_node(sys.node_count().saturating_sub(1));
+    let order = topological_sort(&g).expect("a conflict-consistent front's order union is acyclic");
+    order
+        .into_iter()
+        .map(|i| NodeId(i as u32))
+        .filter(|n| front.nodes.contains(n))
+        .collect()
+}
+
+/// Resolves a failure cycle's names against the system.
+pub(crate) fn make_counterexample(
+    sys: &CompositeSystem,
+    level: usize,
+    phase: FailurePhase,
+    cycle: Vec<NodeId>,
+) -> Counterexample {
+    let cycle_names = cycle.iter().map(|&n| sys.name(n).to_string()).collect();
+    Counterexample {
+        level,
+        phase,
+        cycle,
+        cycle_names,
+    }
+}
+
+/// Everything reduction step `level` computes *before* the closing
+/// transitive closure. The batch [`Reducer`] and the incremental
+/// [`crate::Session`] both run this exact code and differ only in how the
+/// closure is then obtained (full vs delta over cached rows) — which is
+/// what keeps session verdicts bit-identical to from-scratch checks.
+pub(crate) struct StepPre {
+    /// The next front's members.
+    pub new_nodes: BTreeSet<NodeId>,
+    /// The next front's observed graph, before transitive closure.
+    pub pre_observed: DiGraph,
+    /// The next front's accumulated input orders.
+    pub input: DiGraph,
+    /// Constraint-graph edge count (trace counter).
+    pub constraint_edges: usize,
+    /// Pull-up pairs dropped by Definition 10 forgetting (trace counter).
+    pub pairs_forgotten: usize,
+    /// Rule-2 serialization pairs added (trace counter).
+    pub serialization_pairs: usize,
+}
+
+/// Why step 1 failed: the offending cycle over group representatives, plus
+/// the constraint-edge counter for the failing trace event.
+pub(crate) struct CalcFailure {
+    pub cycle: Vec<NodeId>,
+    pub constraint_edges: usize,
+}
+
+/// Runs Definition 16 steps 1–5 plus step 6's input accumulation for the
+/// given schedules against `front`; `Err` is a step-1 calculation failure.
+/// The caller finishes the step by transitively closing `pre_observed`,
+/// assembling the level-`level` [`Front`], and checking conflict
+/// consistency.
+pub(crate) fn step_pre_closure(
+    sys: &CompositeSystem,
+    front: &Front,
+    options: ReduceOptions,
+    scheds: &[compc_model::SchedId],
+    level: usize,
+) -> Result<StepPre, CalcFailure> {
+    // The transactions to reduce. `replaced` maps each of their
+    // operations to the owning transaction.
+    let mut replaced: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    let mut new_txs: Vec<NodeId> = Vec::new();
+    for s in scheds.iter().map(|&sid| sys.schedule(sid)) {
+        for t in &s.transactions {
+            new_txs.push(t.id);
+            for &o in &t.ops {
+                debug_assert!(
+                    front.nodes.contains(&o),
+                    "operation {o} of {t:?} must be in the level-{} front",
+                    level - 1
+                );
+                replaced.insert(o, t.id);
+            }
+        }
+    }
+
+    // --- Step 1: simultaneous calculations exist iff the constraint
+    // graph, contracted by transaction grouping, is acyclic — and each
+    // group's *internal* constraints are acyclic too (a calculation is a
+    // single execution sequence, so a contradictory non-reorderable pair
+    // between two operations of one transaction also rules it out;
+    // contraction alone cannot see those, it drops self-edges). Under
+    // the no-forgetting ablation every observed pair constrains.
+    let constraint = if options.forget_commuting {
+        front.constraint_graph_jobs(sys, options.jobs)
+    } else {
+        let mut g = front.input.clone();
+        g.ensure_node(sys.node_count().saturating_sub(1));
+        g.union_with(&front.observed);
+        g
+    };
+    // Definition 14 constrains a calculation only through *pairs of
+    // front members*. Accumulated input pairs keep their original
+    // endpoints (step 6 stores them verbatim), so an endpoint reduced
+    // away at an earlier level is not a node of the serialization
+    // problem any more — it acts as a pass-through: a chain
+    // `a ≺ stale ≺ b` with `a`, `b` on the front induces the front
+    // obligation `a ≺ b` by transitivity of →, nothing else. Keeping
+    // stale nodes as distinct vertices instead would manufacture
+    // phantom group -> stale -> group cycles out of chains that live
+    // entirely inside one transaction (and break Theorem 2 on stacks).
+    let in_front = |i: usize| front.nodes.contains(&NodeId(i as u32));
+    let mut calc = DiGraph::with_nodes(sys.node_count());
+    for (u, v) in constraint.edges() {
+        if in_front(u) && in_front(v) {
+            calc.add_edge(u, v);
+        }
+    }
+    for &a in &front.nodes {
+        let mut stack: Vec<usize> = constraint
+            .successors(a.index())
+            .filter(|&s| !in_front(s))
             .collect();
-        Counterexample {
-            level,
-            phase,
+        let mut seen: BTreeSet<usize> = stack.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for t in constraint.successors(s) {
+                if in_front(t) {
+                    calc.add_edge(a.index(), t);
+                } else if seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    let node_to_comp: Vec<usize> = (0..sys.node_count())
+        .map(|i| replaced.get(&NodeId(i as u32)).map_or(i, |t| t.index()))
+        .collect();
+    let constraint_edges = constraint.edge_count();
+    let contracted = condense(&calc, &node_to_comp, sys.node_count());
+    let calc_cycle = find_cycle(&contracted).or_else(|| {
+        let mut internal = DiGraph::with_nodes(sys.node_count());
+        let mut nonempty = false;
+        for (u, v) in calc.edges() {
+            if u != v && node_to_comp[u] == node_to_comp[v] {
+                internal.add_edge(u, v);
+                nonempty = true;
+            }
+        }
+        nonempty.then(|| find_cycle(&internal)).flatten()
+    });
+    if let Some(cycle) = calc_cycle {
+        let cycle: Vec<NodeId> = cycle.nodes.into_iter().map(|i| NodeId(i as u32)).collect();
+        return Err(CalcFailure {
             cycle,
-            cycle_names,
+            constraint_edges,
+        });
+    }
+
+    // --- Steps 2–4: replace operations by their transactions and pull
+    // the observed order up (Definition 10 rules 2–4, Definition 11).
+    let mut new_nodes: BTreeSet<NodeId> = front
+        .nodes
+        .iter()
+        .filter(|n| !replaced.contains_key(n))
+        .copied()
+        .collect();
+    // Step 5 (propagation): kept nodes stay; the new transactions enter.
+    new_nodes.extend(new_txs.iter().copied());
+
+    let mut observed = DiGraph::with_nodes(sys.node_count());
+    let mut pairs_forgotten = 0usize;
+    let map = |n: NodeId| replaced.get(&n).copied().unwrap_or(n);
+    for (u, v) in front.observed.edges() {
+        let (a, b) = (NodeId(u as u32), NodeId(v as u32));
+        if !front.nodes.contains(&a) || !front.nodes.contains(&b) {
+            continue;
+        }
+        let (big_a, big_b) = (map(a), map(b));
+        if big_a == big_b {
+            continue; // absorbed into one transaction
+        }
+        let pushed = big_a != a || big_b != b;
+        if !pushed {
+            // Neither endpoint replaced: the pair simply persists.
+            observed.add_edge(big_a.index(), big_b.index());
+            continue;
+        }
+        // Definition 10: a pair whose endpoints sit in a common schedule
+        // is pushed only via rule 2 — the schedule's own order and
+        // conflict declaration (handled below from schedule data); a
+        // cross-schedule pair is pushed unconditionally (rule 3). The
+        // no-forgetting ablation pushes everything.
+        if !options.forget_commuting || sys.common_container(a, b).is_none() {
+            observed.add_edge(big_a.index(), big_b.index());
+        } else {
+            pairs_forgotten += 1;
+        }
+    }
+    // Rule 2 for the schedules being reduced: conflicting operation
+    // pairs executed `o ≺_S o'` serialize their parents. This also
+    // covers conflicting internal pairs whose subtrees never interacted.
+    // Each schedule's quadratic pair scan is an independent task.
+    let per_sched = par::map_indices(scheds.len(), options.jobs, |i| {
+        sys.schedule(scheds[i]).serialization_pairs()
+    });
+    let mut serialization_pairs = 0usize;
+    for pairs in per_sched {
+        serialization_pairs += pairs.len();
+        for (t, t2) in pairs {
+            observed.add_edge(t.index(), t2.index());
+        }
+    }
+    // Entry-time observed pairs between new transactions and other
+    // members of their *container* schedules (rule 1 when the other
+    // member is a leaf; the conflicting-output rule otherwise).
+    for &t in &new_txs {
+        entry_pairs(sys, t, &new_nodes, &mut observed);
+    }
+
+    // --- Step 6's input accumulation (the CC check itself runs after the
+    // caller closes `pre_observed`).
+    let mut input = front.input.clone();
+    input.ensure_node(sys.node_count().saturating_sub(1));
+    for s in scheds.iter().map(|&sid| sys.schedule(sid)) {
+        for (a, b) in s.input.weak_pairs() {
+            input.add_edge(a.index(), b.index());
+        }
+    }
+    Ok(StepPre {
+        new_nodes,
+        pre_observed: observed,
+        input,
+        constraint_edges,
+        pairs_forgotten,
+        serialization_pairs,
+    })
+}
+
+/// Observed pairs created when `t` enters the front, against members of
+/// the schedule that contains `t` as an operation. Definition 10 rule 1
+/// relates a pair as soon as *either* side is a leaf, in the schedule's
+/// weak output order. Internal–internal pairs of a common schedule are
+/// deliberately NOT added to `<ₒ` — no rule derives them; their
+/// conflicting instances constrain calculations via
+/// [`Front::constraint_graph`] instead, and their parent-level effect is
+/// rule 2's serialization pairs.
+fn entry_pairs(
+    sys: &CompositeSystem,
+    t: NodeId,
+    members: &BTreeSet<NodeId>,
+    observed: &mut DiGraph,
+) {
+    let Some(container) = sys.node(t).container else {
+        return; // roots are operations of nothing
+    };
+    let s: &Schedule = sys.schedule(container);
+    for other in s.ops() {
+        if other == t || !members.contains(&other) {
+            continue;
+        }
+        let other_is_leaf = sys.node(other).home.is_none();
+        if !other_is_leaf {
+            continue;
+        }
+        if s.output.weak_lt(t, other) {
+            observed.add_edge(t.index(), other.index());
+        }
+        if s.output.weak_lt(other, t) {
+            observed.add_edge(other.index(), t.index());
         }
     }
 }
@@ -945,7 +1208,8 @@ mod tests {
     #[test]
     fn zero_deadline_interrupts_at_level_one() {
         let sys = flat_two_root_system();
-        let checker = Checker::new().deadline(std::time::Duration::ZERO);
+        let checker =
+            Checker::with_options(CheckOptions::new().deadline(std::time::Duration::ZERO));
         assert!(matches!(
             checker.try_check(&sys),
             Err(Interrupted { level: 1 })
@@ -958,10 +1222,11 @@ mod tests {
     #[test]
     fn generous_deadline_completes_normally() {
         let sys = flat_two_root_system();
-        let v = Checker::new()
-            .deadline(std::time::Duration::from_secs(3600))
-            .try_check(&sys)
-            .expect("an hour is plenty");
+        let v = Checker::with_options(
+            CheckOptions::new().deadline(std::time::Duration::from_secs(3600)),
+        )
+        .try_check(&sys)
+        .expect("an hour is plenty");
         assert!(v.is_correct());
     }
 
@@ -984,7 +1249,8 @@ mod tests {
         use compc_trace::MemorySink;
         let sys = flat_two_root_system();
         let mut sink = MemorySink::new();
-        let checker = Checker::new().deadline(std::time::Duration::ZERO);
+        let checker =
+            Checker::with_options(CheckOptions::new().deadline(std::time::Duration::ZERO));
         let r = checker.try_check_reusing_traced(&sys, &mut CheckScratch::new(), &mut sink);
         assert!(matches!(r, Err(Interrupted { level: 1 })));
         let kinds: Vec<&str> = sink.events.iter().map(|e| e.kind()).collect();
@@ -1220,6 +1486,47 @@ mod tests {
         assert_eq!(cex.phase, FailurePhase::Calculation);
     }
 
+    /// The deprecated per-knob setters still forward into the unified
+    /// [`CheckOptions`] (they must keep working for one release).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_forward_into_check_options() {
+        let legacy = Checker::new()
+            .forgetting(false)
+            .jobs(3)
+            .dense_crossover(7)
+            .deadline(std::time::Duration::from_millis(250));
+        let modern = CheckOptions::new()
+            .forgetting(false)
+            .jobs(3)
+            .backend(Backend::Crossover(7))
+            .deadline(std::time::Duration::from_millis(250));
+        assert_eq!(legacy.check_options(), modern);
+        assert_eq!(
+            Checker::from(modern).check_options(),
+            Checker::with_options(modern).check_options()
+        );
+        let reduce = legacy.options();
+        assert!(!reduce.forget_commuting);
+        assert_eq!(reduce.jobs, 3);
+        assert_eq!(reduce.dense_crossover, 7);
+    }
+
+    /// Backend names round-trip through the CLI parser and resolve to the
+    /// documented crossovers.
+    #[test]
+    fn backend_parse_and_crossover() {
+        assert_eq!(Backend::parse("auto"), Some(Backend::Auto));
+        assert_eq!(Backend::parse("dense"), Some(Backend::Dense));
+        assert_eq!(Backend::parse("sparse"), Some(Backend::Sparse));
+        assert_eq!(Backend::parse("gpu"), None);
+        assert_eq!(Backend::Dense.crossover(), 0);
+        assert_eq!(Backend::Sparse.crossover(), usize::MAX);
+        assert_eq!(Backend::Auto.crossover(), par::DENSE_CROSSOVER_DEFAULT);
+        assert_eq!(Backend::Crossover(9).crossover(), 9);
+        assert_eq!(Backend::Auto.to_string(), "auto");
+    }
+
     /// Transactions with no operations reduce trivially.
     #[test]
     fn empty_transaction_is_correct() {
@@ -1438,7 +1745,7 @@ mod ablation_tests {
         b.output_weak(x22, x12).unwrap();
         let sys = b.build().unwrap();
         assert!(check(&sys).is_correct());
-        let strict = Checker::new().forgetting(false).check(&sys);
+        let strict = Checker::with_options(CheckOptions::new().forgetting(false)).check(&sys);
         assert!(
             !strict.is_correct(),
             "without forgetting the opposing pulled-up orders must cycle"
@@ -1471,7 +1778,9 @@ mod ablation_tests {
             }
             let sys = b.build().unwrap();
             let default = check(&sys).is_correct();
-            let strict = Checker::new().forgetting(false).check(&sys).is_correct();
+            let strict = Checker::with_options(CheckOptions::new().forgetting(false))
+                .check(&sys)
+                .is_correct();
             if strict {
                 assert!(default, "strict acceptance must imply default acceptance");
             }

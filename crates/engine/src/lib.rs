@@ -44,7 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use compc_core::{effective_jobs, CheckScratch, Checker, Interrupted, Verdict};
+use compc_core::{effective_jobs, CheckOptions, CheckScratch, Checker, Interrupted, Verdict};
 use compc_model::CompositeSystem;
 use compc_trace::{replay, Histogram, MemorySink, TraceEvent, TraceStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -105,6 +105,8 @@ impl std::fmt::Display for BatchFault {
         }
     }
 }
+
+impl std::error::Error for BatchFault {}
 
 /// The checked result for one [`BatchItem`], in input order.
 #[derive(Clone, Debug)]
@@ -346,16 +348,31 @@ impl BatchReport {
 /// `CheckScratch` for its whole lifetime.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Batch {
-    checker: Checker,
+    options: CheckOptions,
     workers: usize,
     tracing: bool,
 }
 
 impl Batch {
-    /// A batch session with default settings (auto workers, sequential
-    /// per-check jobs, forgetting on, tracing off).
+    /// A batch session with default settings (auto workers, default
+    /// [`CheckOptions`], tracing off).
     pub fn new() -> Self {
         Batch::default()
+    }
+
+    /// A batch session whose every check runs with the given options — the
+    /// same [`CheckOptions`] accepted by [`Checker::with_options`] and
+    /// [`compc_core::Session::with_options`].
+    pub fn with_options(options: CheckOptions) -> Self {
+        Batch {
+            options,
+            ..Batch::default()
+        }
+    }
+
+    /// The per-check options this batch runs with.
+    pub fn options(&self) -> CheckOptions {
+        self.options
     }
 
     /// Worker threads for distributing systems: `0` auto (default), `1`
@@ -365,36 +382,39 @@ impl Batch {
         self
     }
 
-    /// Within-system `jobs` for each check (see [`Checker::jobs`]).
+    /// Within-system `jobs` for each check.
+    #[deprecated(note = "build a CheckOptions and use Batch::with_options")]
     pub fn jobs(mut self, jobs: usize) -> Self {
-        self.checker = self.checker.jobs(jobs);
+        self.options = self.options.jobs(jobs);
         self
     }
 
     /// Definition-10 forgetting toggle for each check.
+    #[deprecated(note = "build a CheckOptions and use Batch::with_options")]
     pub fn forgetting(mut self, on: bool) -> Self {
-        self.checker = self.checker.forgetting(on);
+        self.options = self.options.forgetting(on);
         self
     }
 
-    /// Dense-backend crossover for each check (see
-    /// [`Checker::dense_crossover`]).
+    /// Dense-backend crossover for each check.
+    #[deprecated(note = "build a CheckOptions and use Batch::with_options")]
     pub fn dense_crossover(mut self, nodes: usize) -> Self {
-        self.checker = self.checker.dense_crossover(nodes);
+        self.options = self.options.backend(compc_core::Backend::Crossover(nodes));
         self
     }
 
     /// Use a fully configured [`Checker`] for each check.
+    #[deprecated(note = "build a CheckOptions and use Batch::with_options")]
     pub fn checker(mut self, checker: Checker) -> Self {
-        self.checker = checker;
+        self.options = checker.check_options();
         self
     }
 
-    /// A per-item wall-clock budget (see [`Checker::deadline`]): an item
-    /// whose check exceeds it reports [`BatchFault::Timeout`] and the rest
-    /// of the batch completes normally.
+    /// A per-item wall-clock budget: an item whose check exceeds it reports
+    /// [`BatchFault::Timeout`] and the rest of the batch completes normally.
+    #[deprecated(note = "build a CheckOptions and use Batch::with_options")]
     pub fn deadline(mut self, budget: Duration) -> Self {
-        self.checker = self.checker.deadline(budget);
+        self.options = self.options.deadline(budget);
         self
     }
 
@@ -456,6 +476,7 @@ impl Batch {
             + Sync,
     {
         let workers = effective_jobs(self.workers).min(items.len().max(1));
+        let item_checker = Checker::with_options(self.options);
         let start = Instant::now();
         let mut slots: Vec<Option<BatchOutcome>> = Vec::new();
         slots.resize_with(items.len(), || None);
@@ -463,7 +484,7 @@ impl Batch {
         if workers <= 1 {
             let mut scratch = CheckScratch::new();
             for (item, slot) in items.iter().zip(slots.iter_mut()) {
-                *slot = Some(guarded_check(self.checker, item, &mut scratch, &work));
+                *slot = Some(guarded_check(item_checker, item, &mut scratch, &work));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -474,7 +495,7 @@ impl Batch {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
-                        let checker = self.checker;
+                        let checker = item_checker;
                         s.spawn(move || {
                             let mut scratch = CheckScratch::new();
                             let mut done: Vec<(usize, BatchOutcome)> = Vec::new();
@@ -707,7 +728,9 @@ mod tests {
 
     #[test]
     fn inner_jobs_compose_with_outer_workers() {
-        let report = Batch::new().workers(2).jobs(2).check_all(batch_items());
+        let report = Batch::with_options(CheckOptions::new().jobs(2))
+            .workers(2)
+            .check_all(batch_items());
         assert_eq!(report.stats.incorrect, 1);
         assert_eq!(report.incorrect_labels(), vec!["bad"]);
     }
@@ -716,15 +739,34 @@ mod tests {
     fn forgetting_toggle_reaches_the_checker() {
         // The ablation is stricter; on these flat systems verdicts coincide,
         // so just assert it still classifies and counts consistently.
-        let report = Batch::new()
+        let report = Batch::with_options(CheckOptions::new().forgetting(false))
             .workers(2)
-            .forgetting(false)
             .check_all(batch_items());
         assert_eq!(report.stats.systems, 18);
         assert_eq!(
             report.stats.correct + report.stats.incorrect,
             report.stats.systems
         );
+    }
+
+    /// The legacy builder setters must forward into the same
+    /// [`CheckOptions`] a direct construction produces.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_forward_into_check_options() {
+        let legacy = Batch::new()
+            .jobs(3)
+            .forgetting(false)
+            .dense_crossover(9)
+            .deadline(Duration::from_millis(125));
+        let direct = CheckOptions::new()
+            .jobs(3)
+            .forgetting(false)
+            .backend(compc_core::Backend::Crossover(9))
+            .deadline(Duration::from_millis(125));
+        assert_eq!(legacy.options(), direct);
+        let via_checker = Batch::new().checker(Checker::with_options(direct));
+        assert_eq!(via_checker.options(), direct);
     }
 
     #[test]
@@ -804,9 +846,8 @@ mod tests {
     #[test]
     fn zero_deadline_times_out_items_without_poisoning() {
         for workers in [1, 3] {
-            let report = Batch::new()
+            let report = Batch::with_options(CheckOptions::new().deadline(Duration::ZERO))
                 .workers(workers)
-                .deadline(Duration::ZERO)
                 .check_all(batch_items());
             assert_eq!(report.stats.systems, 18, "workers={workers}");
             assert_eq!(report.stats.timeouts, 18, "workers={workers}");
@@ -821,9 +862,8 @@ mod tests {
             assert!(line.contains("18 timeouts"), "{line}");
             assert!(!line.contains("faults"), "{line}");
         }
-        let generous = Batch::new()
+        let generous = Batch::with_options(CheckOptions::new().deadline(Duration::from_secs(3600)))
             .workers(2)
-            .deadline(Duration::from_secs(3600))
             .check_all(batch_items());
         assert_eq!(generous.stats.timeouts, 0);
         assert_eq!(generous.stats.correct, 17);
@@ -834,10 +874,9 @@ mod tests {
     /// `check_start` but no `check_end`.
     #[test]
     fn timed_out_items_keep_partial_traces() {
-        let report = Batch::new()
+        let report = Batch::with_options(CheckOptions::new().deadline(Duration::ZERO))
             .workers(1)
             .tracing(true)
-            .deadline(Duration::ZERO)
             .check_all(batch_items());
         for o in &report.outcomes {
             assert!(o.fault().is_some_and(BatchFault::is_timeout));

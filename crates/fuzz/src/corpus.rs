@@ -4,7 +4,7 @@
 
 use crate::shrink;
 use compc::spec::SystemSpec;
-use compc_core::{check, Checker, FailurePhase};
+use compc_core::{check, Backend, CheckOptions, Checker, FailurePhase};
 use compc_model::CompositeSystem;
 use std::fs;
 use std::io;
@@ -87,14 +87,14 @@ fn replay_file(path: &Path, expected: bool, max_oracle_nodes: usize) -> Result<b
     let text = fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let spec = SystemSpec::parse(&text).map_err(|e| format!("parse failed: {e}"))?;
     let sys = spec.build().map_err(|e| format!("build failed: {e}"))?;
-    let sparse = Checker::new().dense_crossover(usize::MAX).check(&sys);
+    let sparse = Checker::with_options(CheckOptions::new().backend(Backend::Sparse)).check(&sys);
     if sparse.is_correct() != expected {
         return Err(format!(
             "sparse engine says {}, file expects {expected}",
             sparse.is_correct()
         ));
     }
-    let dense = Checker::new().dense_crossover(0).check(&sys);
+    let dense = Checker::with_options(CheckOptions::new().backend(Backend::Dense)).check(&sys);
     if dense.is_correct() != expected {
         return Err(format!(
             "dense engine says {}, file expects {expected}",
@@ -183,12 +183,16 @@ pub fn harvest(seed: u64, want: usize) -> Vec<(String, CompositeSystem, bool)> {
             out.push((format!("adv-{sig}"), shrunk, false));
         } else if case.mutated {
             // Forgetting-sensitive: rescued by order forgetting.
-            let strict = Checker::new().forgetting(false).check(&case.system);
+            let strict =
+                Checker::with_options(CheckOptions::new().forgetting(false)).check(&case.system);
             if strict.is_correct() {
                 continue;
             }
             let shrunk = shrink::shrink_system(&case.system, &|s| {
-                check(s).is_correct() && !Checker::new().forgetting(false).check(s).is_correct()
+                check(s).is_correct()
+                    && !Checker::with_options(CheckOptions::new().forgetting(false))
+                        .check(s)
+                        .is_correct()
             });
             let sig = format!("forget-n{}", shrunk.node_count());
             if seen_signatures.contains(&sig) {

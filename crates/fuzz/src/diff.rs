@@ -1,8 +1,10 @@
 //! The cross-check itself: one system, every applicable decision procedure.
 
+use compc::session::SpecSession;
+use compc::spec::SystemSpec;
 use compc_classic::{is_csr, History};
 use compc_configs::{is_fcc, is_jcc, is_scc, stack_shape};
-use compc_core::{Checker, FailurePhase, Verdict};
+use compc_core::{check, Backend, CheckOptions, Checker, FailurePhase, Verdict};
 use compc_model::{CompositeSystem, NodeId};
 use compc_oracle::{decide, OracleVerdict, RejectReason};
 use std::collections::{BTreeMap, BTreeSet};
@@ -142,6 +144,9 @@ pub struct CheckOutcome {
     pub fcc_ran: bool,
     /// JCC cross-checked (join shape, trusted abstractions).
     pub jcc_ran: bool,
+    /// The incremental-session replay exercised a genuine append order
+    /// (more than one root-subtree fragment).
+    pub session_multi: bool,
 }
 
 /// A cross-check disagreement.
@@ -200,6 +205,15 @@ pub enum Mismatch {
         /// CSR verdict on the history.
         csr: bool,
     },
+    /// The incremental session replay diverged from the batch check: a
+    /// fragment failed to append, the final incremental verdict is not
+    /// bit-identical to a from-scratch check of the merged system, or the
+    /// replayed acceptance differs from the engine's verdict on the
+    /// original declaration order.
+    Session {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl Mismatch {
@@ -214,6 +228,7 @@ impl Mismatch {
             Mismatch::Fcc { .. } => "fcc",
             Mismatch::Jcc { .. } => "jcc",
             Mismatch::Csr { .. } => "csr",
+            Mismatch::Session { .. } => "session",
         }
     }
 }
@@ -252,6 +267,9 @@ impl fmt::Display for Mismatch {
                     "engine says {engine} on a flat embedding, CSR says {csr}"
                 )
             }
+            Mismatch::Session { detail } => {
+                write!(f, "incremental session replay diverged: {detail}")
+            }
         }
     }
 }
@@ -261,8 +279,8 @@ pub fn differential_check(
     sys: &CompositeSystem,
     cfg: &DiffConfig,
 ) -> Result<CheckOutcome, Mismatch> {
-    let sparse = Checker::new().dense_crossover(usize::MAX).check(sys);
-    let dense = Checker::new().dense_crossover(0).check(sys);
+    let sparse = Checker::with_options(CheckOptions::new().backend(Backend::Sparse)).check(sys);
+    let dense = Checker::with_options(CheckOptions::new().backend(Backend::Dense)).check(sys);
     if sparse.is_correct() != dense.is_correct() {
         return Err(Mismatch::Backend {
             sparse: sparse.is_correct(),
@@ -302,6 +320,8 @@ pub fn differential_check(
         }
     }
 
+    let session_multi = session_replay(sys, engine)?;
+
     let scc_ran = stack_shape(sys).is_some() && essential_orders_only(sys);
     if scc_ran {
         let scc = is_scc(sys);
@@ -332,7 +352,68 @@ pub fn differential_check(
         scc_ran,
         fcc_ran,
         jcc_ran,
+        session_multi,
     })
+}
+
+/// Append-order replay: splits `sys` into one spec fragment per root
+/// subtree, feeds them through an incremental [`SpecSession`] in order, and
+/// demands (a) every fragment appends cleanly — each prefix is a
+/// restriction of a valid system to complete root subtrees, so the model
+/// axioms hold for it — (b) the final incremental verdict is *bit-identical*
+/// (full `Debug` structure: fronts, witness, cycle) to a from-scratch
+/// [`check`] of the merged system, and (c) acceptance agrees with the
+/// engine's verdict on the original declaration order, which the merge may
+/// have permuted. Returns whether the replay had more than one fragment.
+fn session_replay(sys: &CompositeSystem, engine: bool) -> Result<bool, Mismatch> {
+    let fragments = SystemSpec::from_system(sys).into_appends();
+    let mut session = SpecSession::new();
+    for (i, fragment) in fragments.iter().enumerate() {
+        if let Err(e) = session.append(fragment) {
+            return Err(Mismatch::Session {
+                detail: format!("fragment {} of {} rejected: {e}", i + 1, fragments.len()),
+            });
+        }
+    }
+    let Some(merged) = session.system() else {
+        return Err(Mismatch::Session {
+            detail: "replay produced no system".to_string(),
+        });
+    };
+    let incremental = session.verdict().expect("append succeeded");
+    let batch = check(merged);
+    if format!("{incremental:?}") != format!("{batch:?}") {
+        return Err(Mismatch::Session {
+            detail: format!(
+                "incremental verdict not bit-identical to batch: {} vs {}",
+                summarize(incremental),
+                summarize(&batch)
+            ),
+        });
+    }
+    if incremental.is_correct() != engine {
+        return Err(Mismatch::Session {
+            detail: format!(
+                "replayed (merge-reordered) system says {}, original order says {engine}",
+                incremental.is_correct()
+            ),
+        });
+    }
+    Ok(fragments.len() > 1)
+}
+
+fn summarize(verdict: &Verdict) -> String {
+    match verdict {
+        Verdict::Correct(proof) => format!(
+            "Correct({} fronts, witness {:?})",
+            proof.fronts.len(),
+            proof.serial_witness
+        ),
+        Verdict::Incorrect(cex) => format!(
+            "Incorrect(level {}, {:?}, cycle {:?})",
+            cex.level, cex.phase, cex.cycle_names
+        ),
+    }
 }
 
 /// CSR cross-check for a flat history embedding: the classic criterion on

@@ -87,6 +87,9 @@ pub struct FuzzStats {
     pub jcc_checked: u64,
     /// CSR cross-checks on flat history embeddings.
     pub csr_checked: u64,
+    /// Incremental-session replays that exercised a genuine append order
+    /// (more than one root-subtree fragment); every system is replayed.
+    pub session_multi: u64,
     /// Verdicts that were Comp-C.
     pub correct: u64,
     /// Verdicts that were not Comp-C.
@@ -158,6 +161,7 @@ fn fuzz_one(cfg: &FuzzConfig, case: &gen::GeneratedCase, report: &mut FuzzReport
             report.stats.scc_checked += out.scc_ran as u64;
             report.stats.fcc_checked += out.fcc_ran as u64;
             report.stats.jcc_checked += out.jcc_ran as u64;
+            report.stats.session_multi += out.session_multi as u64;
             if out.correct {
                 report.stats.correct += 1;
             } else {

@@ -120,7 +120,8 @@ fn main() -> ExitCode {
     let s = report.stats;
     println!(
         "fuzz: {} systems ({} mutants) | verdicts {} correct / {} incorrect | \
-         oracle {} (skipped {}) | scc {} fcc {} jcc {} csr {} | seed {}",
+         oracle {} (skipped {}) | scc {} fcc {} jcc {} csr {} | \
+         session replays {} multi-fragment | seed {}",
         s.systems,
         s.mutants,
         s.correct,
@@ -131,6 +132,7 @@ fn main() -> ExitCode {
         s.fcc_checked,
         s.jcc_checked,
         s.csr_checked,
+        s.session_multi,
         cfg.seed,
     );
     if report.disagreements.is_empty() {

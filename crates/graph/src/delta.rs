@@ -1,0 +1,255 @@
+//! Incremental (delta) transitive closure.
+//!
+//! The session checker (`compc-core`) re-closes a level's observed graph
+//! after every append. Appends only ever *add* edges and nodes, so most
+//! closure rows are unchanged from the previous append; this module
+//! recomputes exactly the rows that can differ and splices the rest from
+//! the cached closure, word-parallel via [`BitGraph`] rows.
+//!
+//! A row `u` of the closure can change only if `u` reaches (in the new
+//! graph) the source of some added edge: every path that uses an added
+//! edge `a -> b` passes through `a`. Nodes that cannot reach any added
+//! source are *clean* — their reachable set in the new graph equals their
+//! cached closed row — and, symmetrically, every node inside a clean row
+//! is itself clean, so a dirty-row sweep may absorb clean rows wholesale
+//! without expanding them. The closure's edge set is uniquely determined
+//! by the input graph, which is what keeps delta-closed verdicts
+//! bit-identical to from-scratch ones (see DESIGN.md §8).
+
+use crate::bitgraph::BitGraph;
+use crate::digraph::DiGraph;
+
+/// The result of a [`delta_closure`] call.
+#[derive(Clone, Debug)]
+pub struct DeltaClosure {
+    /// The transitive closure of the new graph.
+    pub closed: DiGraph,
+    /// How many rows were actually recomputed (the rest were spliced from
+    /// the cached closure).
+    pub dirty_rows: usize,
+}
+
+/// The edges present in `new` but not in `old`, or `None` if `old` has an
+/// edge that `new` lacks — i.e. `new` is not a supergraph and the caller
+/// must fall back to a full closure. Nodes past `old`'s node count are
+/// allowed (their edges are all additions).
+pub fn added_edges(old: &DiGraph, new: &DiGraph) -> Option<Vec<(usize, usize)>> {
+    let mut added = Vec::new();
+    for (u, v) in new.edges() {
+        if !old.has_edge(u, v) {
+            added.push((u, v));
+        }
+    }
+    // Supergraph check by counting: every old edge must appear in new.
+    if old.edge_count() + added.len() != new.edge_count() {
+        return None;
+    }
+    Some(added)
+}
+
+/// Incrementally closes `g_new` given `closed_old`, the transitive closure
+/// of the previous graph, and `added`, the edges of `g_new` that the
+/// previous graph lacked (see [`added_edges`]).
+///
+/// Preconditions: `g_new` is the previous graph plus exactly the `added`
+/// edges (and possibly trailing new nodes), and `closed_old` is that
+/// previous graph's transitive closure. The result is identical to closing
+/// `g_new` from scratch; only the *dirty* rows — nodes that reach an added
+/// edge's source, plus nodes new to the graph — are recomputed.
+pub fn delta_closure(
+    closed_old: &DiGraph,
+    g_new: &DiGraph,
+    added: &[(usize, usize)],
+) -> DeltaClosure {
+    let n = g_new.node_count();
+    let old_n = closed_old.node_count();
+    if added.is_empty() && n == old_n {
+        return DeltaClosure {
+            closed: closed_old.clone(),
+            dirty_rows: 0,
+        };
+    }
+
+    // Dirty = nodes that reach an added-edge source in g_new (backward BFS
+    // on the transpose from all sources at once), plus brand-new nodes.
+    let transpose = g_new.reversed();
+    let mut dirty = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for &(a, _) in added {
+        if !dirty[a] {
+            dirty[a] = true;
+            stack.push(a);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for p in transpose.successors(v) {
+            if !dirty[p] {
+                dirty[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    for flag in dirty.iter_mut().skip(old_n) {
+        *flag = true;
+    }
+
+    // Clean rows splice straight across; dirty rows rerun reachability on
+    // g_new, absorbing any clean node's cached closed row wholesale (a
+    // clean row contains only clean nodes, so absorbed bits are final).
+    let old_bits = BitGraph::from_digraph(closed_old);
+    let words = BitGraph::with_nodes(n).words_per_row();
+    let mut rows: Vec<u64> = vec![0; n * words];
+    let mut dirty_rows = 0usize;
+    let mut visited = vec![false; n];
+    let mut frontier: Vec<usize> = Vec::new();
+    for u in 0..n {
+        let row = &mut rows[u * words..(u + 1) * words];
+        if !dirty[u] {
+            for v in closed_old.successors(u) {
+                row[v / 64] |= 1u64 << (v % 64);
+            }
+            continue;
+        }
+        dirty_rows += 1;
+        visited.iter_mut().for_each(|f| *f = false);
+        frontier.clear();
+        for v in g_new.successors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                frontier.push(v);
+            }
+        }
+        while let Some(v) = frontier.pop() {
+            row[v / 64] |= 1u64 << (v % 64);
+            if !dirty[v] {
+                // Clean: its closed row is its exact reachable set in
+                // g_new; OR it in word-parallel and do not expand.
+                for (dst, src) in row.iter_mut().zip(old_bits.row(v)) {
+                    *dst |= src;
+                }
+                continue;
+            }
+            for w in g_new.successors(v) {
+                if !visited[w] {
+                    visited[w] = true;
+                    frontier.push(w);
+                }
+            }
+        }
+    }
+    DeltaClosure {
+        closed: BitGraph::from_rows(n, rows).to_digraph(),
+        dirty_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transitive_closure;
+
+    fn closure(g: &DiGraph) -> DiGraph {
+        transitive_closure(g)
+    }
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph {
+        let mut g = DiGraph::with_nodes(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn added_edges_diffs_and_detects_removals() {
+        let old = graph(3, &[(0, 1)]);
+        let new = graph(4, &[(0, 1), (1, 2), (3, 0)]);
+        assert_eq!(added_edges(&old, &new), Some(vec![(1, 2), (3, 0)]));
+        let shrunk = graph(3, &[(1, 2)]);
+        assert_eq!(added_edges(&old, &shrunk), None);
+    }
+
+    #[test]
+    fn delta_matches_full_closure_on_chain_growth() {
+        let old = graph(4, &[(0, 1), (1, 2)]);
+        let closed_old = closure(&old);
+        let new = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let delta = delta_closure(&closed_old, &new, &[(2, 3)]);
+        assert_eq!(delta.closed, closure(&new));
+        // 0, 1, 2 all reach the added source 2.
+        assert_eq!(delta.dirty_rows, 3);
+    }
+
+    #[test]
+    fn clean_rows_are_not_recomputed() {
+        // Two disjoint chains; extending one leaves the other clean.
+        let old = graph(6, &[(0, 1), (1, 2), (3, 4)]);
+        let closed_old = closure(&old);
+        let new = graph(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let delta = delta_closure(&closed_old, &new, &[(4, 5)]);
+        assert_eq!(delta.closed, closure(&new));
+        assert_eq!(delta.dirty_rows, 2, "only 3 and 4 reach the added source");
+    }
+
+    #[test]
+    fn new_nodes_are_dirty() {
+        let old = graph(2, &[(0, 1)]);
+        let closed_old = closure(&old);
+        let new = graph(4, &[(0, 1), (2, 3)]);
+        let delta = delta_closure(&closed_old, &new, &[(2, 3)]);
+        assert_eq!(delta.closed, closure(&new));
+        assert_eq!(delta.dirty_rows, 2);
+    }
+
+    #[test]
+    fn cycles_through_added_edges_close_correctly() {
+        let old = graph(3, &[(0, 1), (1, 2)]);
+        let closed_old = closure(&old);
+        let new = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let delta = delta_closure(&closed_old, &new, &[(2, 0)]);
+        assert_eq!(delta.closed, closure(&new));
+        for u in 0..3 {
+            for v in 0..3 {
+                assert!(delta.closed.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn no_change_short_circuits() {
+        let g = graph(5, &[(0, 1), (2, 3)]);
+        let closed = closure(&g);
+        let delta = delta_closure(&closed, &g, &[]);
+        assert_eq!(delta.closed, closed);
+        assert_eq!(delta.dirty_rows, 0);
+    }
+
+    #[test]
+    fn randomized_growth_matches_full_closure() {
+        // Deterministic pseudo-random growth: start sparse, add edges one
+        // batch at a time, delta-close each step and compare to scratch.
+        let n = 40usize;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut g = DiGraph::with_nodes(n);
+        let mut closed = closure(&g);
+        for _round in 0..30 {
+            let mut added = Vec::new();
+            for _ in 0..3 {
+                let u = (next() % n as u64) as usize;
+                let v = (next() % n as u64) as usize;
+                if u != v && g.add_edge(u, v) {
+                    added.push((u, v));
+                }
+            }
+            let delta = delta_closure(&closed, &g, &added);
+            assert_eq!(delta.closed, closure(&g));
+            closed = delta.closed;
+        }
+    }
+}

@@ -15,6 +15,7 @@
 
 mod algo;
 mod bitgraph;
+mod delta;
 mod digraph;
 mod dot;
 mod order;
@@ -26,6 +27,7 @@ pub use algo::{
     CycleInfo, ReachScratch, SccScratch, TopoError,
 };
 pub use bitgraph::{BitGraph, BitOrderRel};
+pub use delta::{added_edges, delta_closure, DeltaClosure};
 pub use digraph::DiGraph;
 pub use dot::dot_string;
 pub use order::{OrderError, PartialOrderRel};

@@ -3,15 +3,15 @@
 //! This is the inner differential loop; the full structure-aware fuzzer
 //! lives in `crates/fuzz`.
 
-use compc_core::Checker;
+use compc_core::{Backend, CheckOptions, Checker};
 use compc_oracle::{decide, OracleVerdict, RejectReason};
 use compc_workload::figures::{figure1, figure2, figure3_incorrect, figure4_correct};
 use compc_workload::random::{generate, GenParams, Shape};
 use proptest::prelude::*;
 
 fn agree(sys: &compc_model::CompositeSystem) {
-    let sparse = Checker::new().dense_crossover(usize::MAX).check(sys);
-    let dense = Checker::new().dense_crossover(0).check(sys);
+    let sparse = Checker::with_options(CheckOptions::new().backend(Backend::Sparse)).check(sys);
+    let dense = Checker::with_options(CheckOptions::new().backend(Backend::Dense)).check(sys);
     let oracle = decide(sys);
     assert_eq!(
         sparse.is_correct(),

@@ -20,7 +20,7 @@
 use crate::engine::{Engine, SimMetrics, SimReport};
 use crate::export::ExportError;
 use crate::faults::FaultStats;
-use compc_core::Explanation;
+use compc_core::{CheckOptions, Explanation};
 use compc_engine::{Batch, BatchFault, BatchItem, BatchMetrics, BatchStats};
 use compc_trace::TraceSink;
 
@@ -153,33 +153,51 @@ pub struct ChaosReport {
 /// A configured batch verifier for simulator sweeps.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Verifier {
-    batch: Batch,
+    options: CheckOptions,
+    workers: usize,
+    tracing: bool,
     explain: bool,
-    oracle: bool,
 }
 
 impl Verifier {
-    /// A verifier with default settings (auto workers, sequential jobs).
+    /// A verifier with default settings (auto workers, default
+    /// [`CheckOptions`]).
     pub fn new() -> Self {
         Verifier::default()
     }
 
+    /// A verifier whose every check runs with the given options — the same
+    /// [`CheckOptions`] accepted by [`compc_engine::Batch::with_options`].
+    /// [`CheckOptions::oracle`] turns on the brute-force cross-check here.
+    pub fn with_options(options: CheckOptions) -> Self {
+        Verifier {
+            options,
+            ..Verifier::default()
+        }
+    }
+
+    /// The per-check options this verifier runs with.
+    pub fn options(&self) -> CheckOptions {
+        self.options
+    }
+
     /// Worker threads distributing runs: `0` auto, `1` sequential.
     pub fn workers(mut self, workers: usize) -> Self {
-        self.batch = self.batch.workers(workers);
+        self.workers = workers;
         self
     }
 
     /// Within-system `jobs` for each check.
+    #[deprecated(note = "build a CheckOptions and use Verifier::with_options")]
     pub fn jobs(mut self, jobs: usize) -> Self {
-        self.batch = self.batch.jobs(jobs);
+        self.options = self.options.jobs(jobs);
         self
     }
 
     /// Record structured reduction trace events for every checked run and
     /// aggregate them into [`VerifyReport::metrics`].
     pub fn tracing(mut self, on: bool) -> Self {
-        self.batch = self.batch.tracing(on);
+        self.tracing = on;
         self
     }
 
@@ -195,17 +213,25 @@ impl Verifier {
     /// are usually small enough, so a sweep doubles as an end-to-end engine
     /// audit; any disagreement lands in
     /// [`VerifyReport::oracle_disagreements`].
+    #[deprecated(note = "set CheckOptions::oracle and use Verifier::with_options")]
     pub fn oracle(mut self, on: bool) -> Self {
-        self.oracle = on;
+        self.options = self.options.oracle(on);
         self
     }
 
-    /// A per-run wall-clock budget for each check (see
-    /// [`compc_engine::Batch::deadline`]): a run whose check exceeds it is
-    /// classified as a timeout, and the rest of the sweep completes.
+    /// A per-run wall-clock budget for each check: a run whose check
+    /// exceeds it is classified as a timeout, and the rest of the sweep
+    /// completes.
+    #[deprecated(note = "build a CheckOptions and use Verifier::with_options")]
     pub fn deadline(mut self, budget: std::time::Duration) -> Self {
-        self.batch = self.batch.deadline(budget);
+        self.options = self.options.deadline(budget);
         self
+    }
+
+    fn batch(&self) -> Batch {
+        Batch::with_options(self.options)
+            .workers(self.workers)
+            .tracing(self.tracing)
     }
 
     /// Verifies every report: export, batch-check, classify. Order and
@@ -225,7 +251,7 @@ impl Verifier {
             fault_trace.extend(report.faults.iter().map(|e| e.to_trace()));
             match report.export_system() {
                 Ok(sys) => {
-                    if self.explain || self.oracle {
+                    if self.explain || self.options.oracle {
                         systems.push(sys.clone());
                     }
                     items.push(BatchItem::new(format!("run-{idx}"), sys));
@@ -235,7 +261,7 @@ impl Verifier {
                 Err(e) => runs.push(Some(RunVerdict::ModelViolation(e))),
             }
         }
-        let batch_report = self.batch.check_all(items);
+        let batch_report = self.batch().check_all(items);
         let stats = batch_report.stats;
         let mut metrics = batch_report.metrics;
         // Injected-fault events share the sweep's trace aggregates, so one
@@ -261,7 +287,7 @@ impl Verifier {
                             explanations.push((idx, cex.explain(&systems[slot])));
                         }
                     }
-                    if self.oracle {
+                    if self.options.oracle {
                         let sys = &systems[slot];
                         if sys.node_count() > compc_oracle::RECOMMENDED_NODE_CAP {
                             oracle_skipped += 1;
@@ -401,7 +427,9 @@ mod tests {
             .map(|seed| run_once(Protocol::None, seed, 5))
             .collect();
         let seq = Verifier::new().workers(1).verify(&reports);
-        let par = Verifier::new().workers(4).jobs(2).verify(&reports);
+        let par = Verifier::with_options(CheckOptions::new().jobs(2))
+            .workers(4)
+            .verify(&reports);
         assert_eq!(seq.runs.len(), par.runs.len());
         for (a, b) in seq.runs.iter().zip(par.runs.iter()) {
             assert_eq!(
@@ -476,7 +504,9 @@ mod tests {
         let reports: Vec<SimReport> = (0..10)
             .map(|seed| run_once(Protocol::None, seed, 4))
             .collect();
-        let report = Verifier::new().workers(2).oracle(true).verify(&reports);
+        let report = Verifier::with_options(CheckOptions::new().oracle(true))
+            .workers(2)
+            .verify(&reports);
         let checked = report.comp_c + report.not_comp_c;
         assert!(checked > 0);
         assert_eq!(report.oracle_checked, checked);
@@ -506,10 +536,10 @@ mod tests {
                 )
             })
             .collect();
-        let report = Verifier::new()
-            .workers(2)
-            .deadline(std::time::Duration::ZERO)
-            .verify(&reports);
+        let report =
+            Verifier::with_options(CheckOptions::new().deadline(std::time::Duration::ZERO))
+                .workers(2)
+                .verify(&reports);
         assert_eq!(report.timeouts, 4);
         assert_eq!(report.faults, 0);
         assert_eq!(report.comp_c + report.not_comp_c, 0);

@@ -10,7 +10,7 @@
 //! one consistent direction, so the composite execution is correct, and the
 //! checker produces a serial witness.
 
-use compc::core::{Checker, Verdict};
+use compc::core::{CheckOptions, Checker, Verdict};
 use compc::model::SystemBuilder;
 
 fn main() {
@@ -61,7 +61,7 @@ fn main() {
     // Definition-10 ablation and `jobs` parallelizes the within-level
     // checks (plain `compc::check(&system)` is the shorthand for the
     // defaults).
-    match Checker::new().jobs(0).check(&system) {
+    match Checker::with_options(CheckOptions::new().jobs(0)).check(&system) {
         Verdict::Correct(proof) => {
             println!("verdict: Comp-C (correct)");
             println!("reduction trace:");

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate + lint gate + CLI smoke test. Run from the workspace root.
 #
-#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke, soak, bench-smoke, fuzz-smoke)
+#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke, soak, bench-smoke, fuzz-smoke, serve-smoke)
 #   scripts/ci.sh tier1    # just the build + test gate
 #   scripts/ci.sh lint     # just clippy + rustfmt
 #   scripts/ci.sh smoke    # just the compc-check observability smoke test
@@ -10,6 +10,9 @@
 #                              # dense/sparse verdict equivalence + BENCH schema
 #   scripts/ci.sh fuzz-smoke   # corpus replay + time-budgeted differential
 #                              # fuzz (engine vs oracle vs theorem gates)
+#   scripts/ci.sh serve-smoke  # compc-serve daemon end-to-end: stream the
+#                              # Figure 3 appends, checkpoint restart
+#                              # mid-stream, grep the violation verdict
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -126,6 +129,80 @@ fuzz_smoke() {
     echo "==> fuzz-smoke: OK"
 }
 
+# Daemon gate: split the Figure 3 scenario into per-root append requests,
+# stream the first half into a checkpointing compc-serve over TCP (pure
+# bash, /dev/tcp), shut it down gracefully, restart it from the checkpoint,
+# stream the rest, and require the violation verdict on the final append.
+# The daemon must also exit with the documented code 1 (violation served).
+serve_smoke() {
+    echo "==> serve-smoke: compc-serve checkpoint restart on Figure 3"
+    cargo build --release -q --bin compc-serve
+    local dir reqs total split port cp log daemon_pid code
+    dir="$(mktemp -d /tmp/compc-serve-smoke-XXXXXX)"
+    trap 'rm -rf "$dir"' EXIT
+    ./target/release/compc-serve --split examples/figure3_incorrect.json > "$dir/requests.ndjson"
+    total="$(wc -l < "$dir/requests.ndjson")"
+    [ "$total" -ge 2 ] \
+        || { echo "serve-smoke: expected >= 2 append fragments, got $total" >&2; exit 1; }
+    split=$((total / 2))
+    cp="$dir/checkpoint.json"
+    log="$dir/daemon.log"
+
+    # One daemon run: starts on a free port, streams the given request
+    # lines, sends the shutdown op, and prints the responses. The daemon's
+    # exit code lands in $code.
+    run_phase() {
+        : > "$log"
+        ./target/release/compc-serve --listen 127.0.0.1:0 --checkpoint "$cp" 2> "$log" &
+        daemon_pid=$!
+        port=""
+        for _ in $(seq 1 100); do
+            port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")"
+            [ -n "$port" ] && break
+            sleep 0.1
+        done
+        [ -n "$port" ] || { echo "serve-smoke: daemon never announced its port" >&2; exit 1; }
+        exec 3<>"/dev/tcp/127.0.0.1/$port"
+        local line response
+        while IFS= read -r line; do
+            printf '%s\n' "$line" >&3
+            IFS= read -r response <&3
+            printf '%s\n' "$response"
+        done
+        printf '{"op": "shutdown"}\n' >&3
+        IFS= read -r response <&3
+        printf '%s\n' "$response"
+        exec 3>&- 3<&-
+        set +e
+        wait "$daemon_pid"
+        code=$?
+        set -e
+    }
+
+    echo "==> serve-smoke: phase 1 ($split of $total appends, then shutdown)"
+    head -n "$split" "$dir/requests.ndjson" > "$dir/phase1.ndjson"
+    run_phase < "$dir/phase1.ndjson" > "$dir/phase1.out"
+    grep -q '"ok":true' "$dir/phase1.out" \
+        || { echo "serve-smoke: phase 1 served no ok response" >&2; exit 1; }
+    [ -f "$cp" ] \
+        || { echo "serve-smoke: shutdown left no checkpoint" >&2; exit 1; }
+
+    echo "==> serve-smoke: phase 2 (restart from checkpoint, stream the rest)"
+    tail -n +"$((split + 1))" "$dir/requests.ndjson" > "$dir/phase2.ndjson"
+    run_phase < "$dir/phase2.ndjson" > "$dir/phase2.out"
+    grep -q "restored checkpoint" "$log" \
+        || { echo "serve-smoke: restarted daemon did not restore the checkpoint" >&2; exit 1; }
+    grep -q '"verdict":"not-comp-c"' "$dir/phase2.out" \
+        || { echo "serve-smoke: no violation verdict after the full stream" >&2; exit 1; }
+    [ "$code" -eq 1 ] \
+        || { echo "serve-smoke: expected exit 1 (violation served), got $code" >&2; exit 1; }
+    kill -0 "$daemon_pid" 2>/dev/null \
+        && { echo "serve-smoke: daemon still running after shutdown" >&2; exit 1; }
+    rm -rf "$dir"
+    trap - EXIT
+    echo "==> serve-smoke: OK"
+}
+
 case "$stage" in
     tier1) tier1 ;;
     lint) lint ;;
@@ -133,6 +210,7 @@ case "$stage" in
     soak) soak ;;
     bench-smoke) bench_smoke ;;
     fuzz-smoke) fuzz_smoke ;;
+    serve-smoke) serve_smoke ;;
     all)
         tier1
         lint
@@ -140,9 +218,10 @@ case "$stage" in
         soak
         bench_smoke
         fuzz_smoke
+        serve_smoke
         ;;
     *)
-        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|bench-smoke|fuzz-smoke|all]" >&2
+        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|bench-smoke|fuzz-smoke|serve-smoke|all]" >&2
         exit 2
         ;;
 esac

@@ -43,7 +43,7 @@
 //! precedence over everything), 3 = some check exceeded `--deadline-ms`
 //! (takes precedence over 1).
 
-use compc::core::{CheckScratch, Checker, Verdict};
+use compc::core::{Backend, CheckOptions, CheckScratch, Checker, Verdict};
 use compc::engine::{Batch, BatchItem, BatchMetrics, BatchStats};
 use compc::spec::SystemSpec;
 use compc::trace::{event_to_ndjson_line, replay, MemorySink, TraceStats};
@@ -67,10 +67,25 @@ struct Flags {
     /// within `compc::oracle::RECOMMENDED_NODE_CAP` nodes; larger ones are
     /// reported as skipped). A disagreement is an engine bug, exit 2.
     oracle: bool,
-    /// Closure-backend crossover from `--backend`: `None` = auto (the
-    /// measured default), `Some(0)` = force dense, `Some(usize::MAX)` =
-    /// force sparse.
-    backend: Option<usize>,
+    /// Transitive-closure backend from `--backend` (default auto).
+    backend: Backend,
+}
+
+impl Flags {
+    /// The one [`CheckOptions`] every mode checks with — single systems
+    /// ([`Checker::with_options`]), batches ([`Batch::with_options`]) and
+    /// anything session-shaped all read the same struct, so a flag cannot
+    /// mean different things in different modes.
+    fn check_options(&self) -> CheckOptions {
+        let mut options = CheckOptions::new()
+            .jobs(self.jobs)
+            .backend(self.backend)
+            .oracle(self.oracle);
+        if let Some(ms) = self.deadline_ms {
+            options = options.deadline(Duration::from_millis(ms));
+        }
+        options
+    }
 }
 
 const USAGE: &str = "usage: compc-check <system.json | dir | corpus.ndjson>... \
@@ -158,14 +173,12 @@ fn main() -> ExitCode {
             "--oracle" => flags.oracle = true,
             "--backend" => {
                 i += 1;
-                flags.backend = match args.get(i).map(String::as_str) {
-                    Some("auto") => None,
-                    Some("dense") => Some(0),
-                    Some("sparse") => Some(usize::MAX),
-                    other => {
+                flags.backend = match args.get(i).map(String::as_str).and_then(Backend::parse) {
+                    Some(backend) => backend,
+                    None => {
                         eprintln!(
                             "--backend needs auto, dense, or sparse, got {}",
-                            other.unwrap_or("nothing")
+                            args.get(i).map(String::as_str).unwrap_or("nothing")
                         );
                         return usage();
                     }
@@ -336,13 +349,7 @@ fn check_single(path: &str, flags: &Flags) -> ExitCode {
     if flags.dot {
         println!("{}", system.forest_dot());
     }
-    let mut checker = Checker::new().jobs(flags.jobs);
-    if let Some(crossover) = flags.backend {
-        checker = checker.dense_crossover(crossover);
-    }
-    if let Some(ms) = flags.deadline_ms {
-        checker = checker.deadline(Duration::from_millis(ms));
-    }
+    let checker = Checker::with_options(flags.check_options());
     let result = if flags.trace || flags.stats {
         let mut sink = MemorySink::new();
         let mut scratch = CheckScratch::new();
@@ -381,7 +388,7 @@ fn check_single(path: &str, flags: &Flags) -> ExitCode {
             if flags.explain {
                 println!("{}", cex.explain(&system));
             }
-            if flags.minimize && !flags.explain {
+            if flags.minimize {
                 if let Some(min) = compc::core::minimize(&system) {
                     let names: Vec<&str> = min.roots.iter().map(|&n| system.name(n)).collect();
                     println!(
@@ -513,15 +520,9 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
         let rest = remaining.split_off(chunk_size.min(remaining.len()));
         let chunk = std::mem::replace(&mut remaining, rest);
         let chunk_len = chunk.len();
-        let mut batch = Batch::new()
+        let batch = Batch::with_options(flags.check_options())
             .workers(flags.jobs)
             .tracing(flags.trace || flags.stats);
-        if let Some(crossover) = flags.backend {
-            batch = batch.dense_crossover(crossover);
-        }
-        if let Some(ms) = flags.deadline_ms {
-            batch = batch.deadline(Duration::from_millis(ms));
-        }
         let report = batch.check_all(chunk);
         for (i, o) in report.outcomes.iter().enumerate() {
             let idx = offset + i;
@@ -545,7 +546,8 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
                         for line in cex.explain(&systems[idx]).to_string().lines() {
                             println!("  {line}");
                         }
-                    } else if flags.minimize {
+                    }
+                    if flags.minimize {
                         if let Some(min) = compc::core::minimize(&systems[idx]) {
                             let names: Vec<&str> =
                                 min.roots.iter().map(|&n| systems[idx].name(n)).collect();

@@ -1,0 +1,647 @@
+//! `compc-serve` — long-lived incremental Comp-C checking daemon.
+//!
+//! Serves a [`compc::session::SpecSession`] over a Unix or TCP socket. The
+//! client streams NDJSON requests (one JSON object per line) and receives
+//! one NDJSON response line per request:
+//!
+//! ```text
+//! → {"append": {<system-spec fragment, same format compc-check reads>}}
+//! ← {"ok": true, "verdict": "comp-c", "appends": 1, "nodes": 6, ...}
+//! → {"append": {<more nodes/relations — merged into the session>}}
+//! ← {"ok": true, "verdict": "not-comp-c", "level": 1, "phase": "...", ...}
+//! → {"op": "stats"}        ← {"ok": true, "appends": 2, ...}
+//! → {"op": "checkpoint"}   ← {"ok": true, "checkpoint": "state.json"}
+//! → {"op": "shutdown"}     ← {"ok": true, "shutdown": true}   (daemon exits)
+//! ```
+//!
+//! Each `append` merges its fragment into the accumulated spec, rebuilds
+//! the system, and rechecks it *incrementally* — only the reduction levels
+//! the fragment could have changed are recomputed (see `DESIGN.md` §8).
+//! Verdicts are bit-identical to a from-scratch `compc-check` run of the
+//! merged spec. A failed append (parse, merge, model, or invalid-extension
+//! error) leaves the session unchanged: `{"ok": false, "kind": "spec" |
+//! "invalid", "error": ...}`. An append that exceeds `--deadline-ms`
+//! returns `{"ok": false, "kind": "interrupted", ...}` and keeps the
+//! completed levels — re-sending the same fragment resumes where it left
+//! off.
+//!
+//! `--checkpoint FILE` restores the session from FILE at startup (if it
+//! exists) and rewrites it after every successful append and on shutdown,
+//! so a restarted daemon resumes mid-stream. `--trace` mirrors each
+//! append as `compc-trace` NDJSON `check_start`/`check_end` events on
+//! stdout for live observability. Clients may connect, disconnect and
+//! reconnect; the session persists across connections (`--once` exits
+//! after the first connection instead).
+//!
+//! Exit codes mirror `compc-check`: 0 = clean shutdown, every verdict
+//! Comp-C; 1 = clean shutdown, at least one violation verdict served;
+//! 2 = usage/socket/checkpoint error or an engine/oracle disagreement
+//! under `--oracle` (takes precedence); 3 = at least one append was
+//! interrupted by `--deadline-ms` (takes precedence over 1).
+
+use compc::core::{Backend, CheckOptions, SessionError, Verdict};
+use compc::json::Value;
+use compc::session::{SpecSession, SpecSessionError};
+use compc::spec::SystemSpec;
+use compc::trace::{event_to_ndjson_line, TraceEvent};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Default)]
+struct Flags {
+    socket: Option<String>,
+    listen: Option<String>,
+    checkpoint: Option<String>,
+    jobs: usize,
+    backend: Backend,
+    deadline_ms: Option<u64>,
+    oracle: bool,
+    trace: bool,
+    once: bool,
+}
+
+impl Flags {
+    /// The same unified [`CheckOptions`] `compc-check` builds from its
+    /// flags — one struct, every mode.
+    fn check_options(&self) -> CheckOptions {
+        let mut options = CheckOptions::new()
+            .jobs(self.jobs)
+            .backend(self.backend)
+            .oracle(self.oracle);
+        if let Some(ms) = self.deadline_ms {
+            options = options.deadline(Duration::from_millis(ms));
+        }
+        options
+    }
+}
+
+const USAGE: &str = "usage: compc-serve (--socket PATH | --listen ADDR) \
+[--jobs N] [--backend auto|dense|sparse] [--deadline-ms N] [--oracle] \
+[--checkpoint FILE] [--trace] [--once]
+       compc-serve --split SYSTEM.json";
+
+fn usage() -> ExitCode {
+    eprintln!("{USAGE}");
+    eprintln!("run compc-serve --help for the protocol and exit codes");
+    ExitCode::from(2)
+}
+
+fn help() -> ExitCode {
+    println!(
+        "compc-serve {} — incremental Comp-C checking daemon",
+        version()
+    );
+    println!();
+    println!("{USAGE}");
+    println!();
+    println!("options:");
+    println!("  --socket PATH     listen on a Unix domain socket at PATH (removed");
+    println!("                    and re-created at startup, unlinked on shutdown)");
+    println!("  --listen ADDR     listen on a TCP address, e.g. 127.0.0.1:7878");
+    println!("                    (port 0 picks a free port; the chosen address is");
+    println!("                    printed on stderr)");
+    println!("  --jobs N          within-level parallelism per append; 0 = one per core");
+    println!("  --backend B       transitive-closure backend: auto | dense | sparse");
+    println!("  --deadline-ms N   per-append budget; an interrupted append keeps its");
+    println!("                    completed levels and resumes when re-sent");
+    println!("  --oracle          cross-check every verdict against the brute-force");
+    println!("                    oracle (small systems); a disagreement exits 2");
+    println!("  --checkpoint FILE restore the session from FILE at startup and");
+    println!("                    rewrite it after each successful append");
+    println!("  --trace           mirror each append as compc-trace NDJSON events");
+    println!("                    (check_start/check_end) on stdout");
+    println!("  --once            exit after the first client disconnects");
+    println!("  --split FILE      client helper: split a system spec into one");
+    println!("                    NDJSON append request line per root subtree");
+    println!("                    (ready to pipe into a running daemon) and exit");
+    println!("  --version, -V     print the version and exit");
+    println!("  --help, -h        print this help and exit");
+    println!();
+    println!("protocol (NDJSON over the socket, one response line per request):");
+    println!("  {{\"append\": {{<spec fragment>}}}}  merge + incremental recheck");
+    println!("  {{\"op\": \"stats\"}}                 session work counters");
+    println!("  {{\"op\": \"checkpoint\"}}            write the checkpoint file now");
+    println!("  {{\"op\": \"shutdown\"}}              save checkpoint and exit");
+    println!();
+    println!("exit codes:");
+    println!("  0  clean shutdown, every verdict Comp-C");
+    println!("  1  clean shutdown, at least one violation verdict served");
+    println!("  2  usage, socket, or checkpoint error, or an engine/oracle");
+    println!("     disagreement under --oracle — takes precedence");
+    println!("  3  at least one append hit --deadline-ms (and nothing worse)");
+    ExitCode::SUCCESS
+}
+
+fn version() -> &'static str {
+    option_env!("CARGO_PKG_VERSION").unwrap_or("dev")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flags = Flags {
+        jobs: 1,
+        ..Flags::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => return help(),
+            "--version" | "-V" => {
+                println!("compc-serve {}", version());
+                return ExitCode::SUCCESS;
+            }
+            "--oracle" => flags.oracle = true,
+            "--trace" => flags.trace = true,
+            "--once" => flags.once = true,
+            "--socket" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => flags.socket = Some(p.clone()),
+                    None => {
+                        eprintln!("--socket needs a path");
+                        return usage();
+                    }
+                }
+            }
+            "--listen" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => flags.listen = Some(a.clone()),
+                    None => {
+                        eprintln!("--listen needs an address, e.g. 127.0.0.1:7878");
+                        return usage();
+                    }
+                }
+            }
+            "--checkpoint" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => flags.checkpoint = Some(p.clone()),
+                    None => {
+                        eprintln!("--checkpoint needs a file path");
+                        return usage();
+                    }
+                }
+            }
+            "--split" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => return split(p),
+                    None => {
+                        eprintln!("--split needs a system spec file");
+                        return usage();
+                    }
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                flags.jobs = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--jobs needs a non-negative number (0 = one per core)");
+                        return usage();
+                    }
+                };
+            }
+            "--backend" => {
+                i += 1;
+                flags.backend = match args.get(i).map(String::as_str).and_then(Backend::parse) {
+                    Some(backend) => backend,
+                    None => {
+                        eprintln!(
+                            "--backend needs auto, dense, or sparse, got {}",
+                            args.get(i).map(String::as_str).unwrap_or("nothing")
+                        );
+                        return usage();
+                    }
+                };
+            }
+            "--deadline-ms" => {
+                i += 1;
+                flags.deadline_ms = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--deadline-ms needs a number of milliseconds");
+                        return usage();
+                    }
+                };
+            }
+            flag => {
+                eprintln!("unknown argument {flag}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    match (&flags.socket, &flags.listen) {
+        (Some(_), Some(_)) => {
+            eprintln!("--socket and --listen are mutually exclusive");
+            usage()
+        }
+        (None, None) => {
+            eprintln!("one of --socket or --listen is required");
+            usage()
+        }
+        _ => serve(flags),
+    }
+}
+
+/// `--split`: prints one NDJSON `{"append": ...}` request line per root
+/// subtree of the given spec, ready to pipe into a running daemon.
+fn split(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match SystemSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for fragment in spec.into_appends() {
+        let request = Value::Object(vec![("append".to_string(), fragment.to_json())]);
+        println!("{}", request.to_compact());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Daemon state shared across connections: the session itself plus the
+/// outcome counters the exit code is computed from.
+struct Daemon {
+    session: SpecSession,
+    flags: Flags,
+    violations: u64,
+    interruptions: u64,
+    disagreements: u64,
+}
+
+enum Control {
+    Continue,
+    Shutdown,
+}
+
+fn serve(flags: Flags) -> ExitCode {
+    let session = match &flags.checkpoint {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match SpecSession::from_checkpoint(&text, flags.check_options()) {
+                Ok(session) => {
+                    eprintln!(
+                        "restored checkpoint {path}: {} node(s), {} schedule(s)",
+                        session.spec().nodes.len(),
+                        session.spec().schedules.len()
+                    );
+                    session
+                }
+                Err(e) => {
+                    eprintln!("cannot restore checkpoint {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                SpecSession::with_options(flags.check_options())
+            }
+            Err(e) => {
+                eprintln!("cannot read checkpoint {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => SpecSession::with_options(flags.check_options()),
+    };
+    let mut daemon = Daemon {
+        session,
+        flags,
+        violations: 0,
+        interruptions: 0,
+        disagreements: 0,
+    };
+
+    let outcome = if let Some(path) = daemon.flags.socket.clone() {
+        serve_unix(&path, &mut daemon)
+    } else {
+        let addr = daemon.flags.listen.clone().expect("checked in main");
+        serve_tcp(&addr, &mut daemon)
+    };
+    if let Err(e) = outcome {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+    if let Err(e) = daemon.save_checkpoint() {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+    if daemon.disagreements > 0 {
+        eprintln!("{} engine/oracle disagreement(s)", daemon.disagreements);
+        ExitCode::from(2)
+    } else if daemon.interruptions > 0 {
+        ExitCode::from(3)
+    } else if daemon.violations > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn serve_unix(path: &str, daemon: &mut Daemon) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous run would make bind fail.
+    match std::fs::remove_file(path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(format!("cannot remove stale socket {path}: {e}")),
+    }
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path}: {e}"))?;
+    eprintln!("listening on {path}");
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                continue;
+            }
+        };
+        let reader = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone connection: {e}"))?;
+        match handle_client(BufReader::new(reader), stream, daemon) {
+            Control::Shutdown => break,
+            Control::Continue if daemon.flags.once => break,
+            Control::Continue => {}
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+fn serve_tcp(addr: &str, daemon: &mut Daemon) -> Result<(), String> {
+    use std::net::TcpListener;
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    match listener.local_addr() {
+        Ok(local) => eprintln!("listening on {local}"),
+        Err(_) => eprintln!("listening on {addr}"),
+    }
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                continue;
+            }
+        };
+        let reader = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone connection: {e}"))?;
+        match handle_client(BufReader::new(reader), stream, daemon) {
+            Control::Shutdown => break,
+            Control::Continue if daemon.flags.once => break,
+            Control::Continue => {}
+        }
+    }
+    Ok(())
+}
+
+/// Serves one connection: one response line per request line. Returns
+/// whether the daemon should keep accepting.
+fn handle_client<R: Read, W: Write>(
+    reader: BufReader<R>,
+    mut writer: W,
+    daemon: &mut Daemon,
+) -> Control {
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("connection read failed: {e}");
+                return Control::Continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, control) = daemon.handle_line(&line);
+        if writeln!(writer, "{}", response.to_compact()).is_err() || writer.flush().is_err() {
+            // The client is gone; any shutdown decision still stands.
+            return control;
+        }
+        if let Control::Shutdown = control {
+            return Control::Shutdown;
+        }
+    }
+    Control::Continue
+}
+
+fn ok_object(mut fields: Vec<(String, Value)>) -> Value {
+    let mut entries = vec![("ok".to_string(), Value::from(true))];
+    entries.append(&mut fields);
+    Value::Object(entries)
+}
+
+fn error_object(kind: &str, message: String) -> Value {
+    Value::Object(vec![
+        ("ok".to_string(), Value::from(false)),
+        ("kind".to_string(), Value::from(kind)),
+        ("error".to_string(), Value::from(message)),
+    ])
+}
+
+impl Daemon {
+    /// Dispatches one request line to one response value.
+    fn handle_line(&mut self, line: &str) -> (Value, Control) {
+        let request = match compc::json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return (
+                    error_object("protocol", format!("request is not JSON: {e}")),
+                    Control::Continue,
+                )
+            }
+        };
+        if let Some(fragment) = request.get("append") {
+            return (self.handle_append(fragment), Control::Continue);
+        }
+        match request.get("op").and_then(Value::as_str) {
+            Some("stats") => (self.stats_response(), Control::Continue),
+            Some("checkpoint") => match self.save_checkpoint() {
+                Ok(()) => {
+                    let target = self
+                        .flags
+                        .checkpoint
+                        .clone()
+                        .unwrap_or_else(|| "(no --checkpoint file configured)".to_string());
+                    (
+                        ok_object(vec![("checkpoint".to_string(), Value::from(target))]),
+                        Control::Continue,
+                    )
+                }
+                Err(e) => (error_object("checkpoint", e), Control::Continue),
+            },
+            Some("shutdown") => (
+                ok_object(vec![("shutdown".to_string(), Value::from(true))]),
+                Control::Shutdown,
+            ),
+            Some(other) => (
+                error_object("protocol", format!("unknown op \"{other}\"")),
+                Control::Continue,
+            ),
+            None => (
+                error_object(
+                    "protocol",
+                    "request must be {\"append\": {...}} or {\"op\": \"...\"}".to_string(),
+                ),
+                Control::Continue,
+            ),
+        }
+    }
+
+    fn handle_append(&mut self, fragment: &Value) -> Value {
+        let fragment = match SystemSpec::from_json(fragment) {
+            Ok(spec) => spec,
+            Err(e) => return error_object("spec", e.to_string()),
+        };
+        let started = Instant::now();
+        match self.session.append(&fragment) {
+            Ok(verdict) => {
+                let verdict = verdict.clone();
+                let elapsed_ns = started.elapsed().as_nanos() as u64;
+                self.emit_trace(&verdict, elapsed_ns);
+                if verdict.is_correct() {
+                    if let Err(e) = self.save_checkpoint() {
+                        return error_object("checkpoint", e);
+                    }
+                    self.verdict_response(&verdict)
+                } else {
+                    self.violations += 1;
+                    if let Err(e) = self.save_checkpoint() {
+                        return error_object("checkpoint", e);
+                    }
+                    self.verdict_response(&verdict)
+                }
+            }
+            Err(SpecSessionError::Session(SessionError::Interrupted(e))) => {
+                self.interruptions += 1;
+                let mut response = error_object("interrupted", e.to_string());
+                if let Value::Object(entries) = &mut response {
+                    entries.push(("resumable".to_string(), Value::from(true)));
+                }
+                response
+            }
+            Err(SpecSessionError::OracleDisagreement { engine_correct }) => {
+                self.disagreements += 1;
+                error_object(
+                    "oracle-disagreement",
+                    SpecSessionError::OracleDisagreement { engine_correct }.to_string(),
+                )
+            }
+            Err(SpecSessionError::Session(e)) => error_object("invalid", e.to_string()),
+            Err(e) => error_object("spec", e.to_string()),
+        }
+    }
+
+    /// The one verdict line per append: the stats ride along so a client
+    /// can watch the incremental path work (`levels_reused` growing).
+    fn verdict_response(&self, verdict: &Verdict) -> Value {
+        let stats = self.session.stats();
+        let mut fields = vec![
+            (
+                "verdict".to_string(),
+                Value::from(if verdict.is_correct() {
+                    "comp-c"
+                } else {
+                    "not-comp-c"
+                }),
+            ),
+            ("appends".to_string(), Value::from(stats.appends)),
+        ];
+        if let Some(sys) = self.session.system() {
+            fields.push(("nodes".to_string(), Value::from(sys.node_count())));
+            fields.push(("order".to_string(), Value::from(sys.order())));
+        }
+        fields.push((
+            "levels_reused".to_string(),
+            Value::from(stats.levels_reused),
+        ));
+        fields.push(("rows_spliced".to_string(), Value::from(stats.rows_spliced)));
+        if let Verdict::Incorrect(cex) = verdict {
+            fields.push(("level".to_string(), Value::from(cex.level)));
+            fields.push(("phase".to_string(), Value::from(cex.phase.tag())));
+            fields.push(("cycle".to_string(), Value::from(cex.cycle_names.clone())));
+        }
+        ok_object(fields)
+    }
+
+    fn stats_response(&self) -> Value {
+        let stats = self.session.stats();
+        ok_object(vec![
+            ("appends".to_string(), Value::from(stats.appends)),
+            (
+                "levels_computed".to_string(),
+                Value::from(stats.levels_computed),
+            ),
+            (
+                "levels_reused".to_string(),
+                Value::from(stats.levels_reused),
+            ),
+            (
+                "rows_recomputed".to_string(),
+                Value::from(stats.rows_recomputed),
+            ),
+            ("rows_spliced".to_string(), Value::from(stats.rows_spliced)),
+            ("violations".to_string(), Value::from(self.violations)),
+            ("interruptions".to_string(), Value::from(self.interruptions)),
+        ])
+    }
+
+    /// Mirrors one append as `compc-trace` `check_start`/`check_end`
+    /// events on stdout (the socket carries the responses, so stdout is a
+    /// pure event stream).
+    fn emit_trace(&self, verdict: &Verdict, elapsed_ns: u64) {
+        if !self.flags.trace {
+            return;
+        }
+        let Some(sys) = self.session.system() else {
+            return;
+        };
+        let label = format!("append-{}", self.session.stats().appends);
+        let start = TraceEvent::CheckStart {
+            nodes: sys.node_count(),
+            schedules: sys.schedule_count(),
+            order: sys.order(),
+        };
+        let end = match verdict {
+            Verdict::Correct(_) => TraceEvent::CheckEnd {
+                correct: true,
+                levels_completed: sys.order(),
+                failed_level: None,
+                failed_phase: None,
+                elapsed_ns,
+            },
+            Verdict::Incorrect(cex) => TraceEvent::CheckEnd {
+                correct: false,
+                levels_completed: cex.level.saturating_sub(1),
+                failed_level: Some(cex.level),
+                failed_phase: Some(cex.phase.tag()),
+                elapsed_ns,
+            },
+        };
+        println!("{}", event_to_ndjson_line(&start, Some(&label)));
+        println!("{}", event_to_ndjson_line(&end, Some(&label)));
+    }
+
+    /// Atomically rewrites the checkpoint file (write-temp-then-rename), a
+    /// no-op without `--checkpoint`.
+    fn save_checkpoint(&self) -> Result<(), String> {
+        let Some(path) = &self.flags.checkpoint else {
+            return Ok(());
+        };
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, self.session.checkpoint_json())
+            .map_err(|e| format!("cannot write checkpoint {tmp}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("cannot replace checkpoint {path}: {e}"))
+    }
+}

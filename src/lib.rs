@@ -11,10 +11,12 @@
 //! * [`sim`] — the composite-system simulator
 //! * [`workload`] — figures, scenarios and random system generation
 //! * [`spec`] — the versioned JSON system format consumed by `compc-check`
+//! * [`session`] — incremental spec-level checking (backs `compc-serve`)
 //! * [`json`] — the dependency-free JSON value/parser the spec format uses
 //! * [`trace`] — structured reduction events, NDJSON sinks and histograms
 //! * [`oracle`] — the brute-force Comp-C decision oracle (differential testing)
 
+pub mod session;
 pub mod spec;
 
 pub use compc_classic as classic;
@@ -29,5 +31,8 @@ pub use compc_sim as sim;
 pub use compc_trace as trace;
 pub use compc_workload as workload;
 
-pub use compc_core::{check, Checker, Verdict};
+pub use compc_core::{
+    check, Backend, CheckOptions, Checker, Session, SessionError, SessionStats, Verdict,
+};
 pub use compc_engine::{Batch, BatchItem, BatchReport};
+pub use session::{SpecSession, SpecSessionError, SpecSnapshot};

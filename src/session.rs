@@ -1,0 +1,408 @@
+//! Incremental checking over the JSON spec format.
+//!
+//! [`SpecSession`] is the data-layer face of [`compc_core::Session`]: it
+//! accumulates [`SystemSpec`] *fragments* (the same versioned JSON format
+//! `compc-check` reads — see [`SystemSpec::merge`]), builds the merged
+//! system after each append, and hands it to the core session, which
+//! recomputes only the reduction levels the append could have changed. The
+//! `compc-serve` daemon speaks exactly this layer over a socket.
+//!
+//! With [`compc_core::CheckOptions::oracle`] set, every verdict on a system
+//! within [`compc_oracle::RECOMMENDED_NODE_CAP`] nodes is additionally
+//! cross-checked against the brute-force definitional oracle; a
+//! disagreement surfaces as [`SpecSessionError::OracleDisagreement`] (an
+//! engine bug, never expected on a healthy build).
+
+use crate::spec::{SpecError, SystemSpec, SPEC_VERSION};
+use compc_core::{CheckOptions, SessionError, SessionStats, Verdict};
+use compc_json::Value;
+
+/// Why a [`SpecSession`] operation failed.
+#[derive(Debug)]
+pub enum SpecSessionError {
+    /// The fragment did not parse, merge, or build (the session spec is
+    /// unchanged).
+    Spec(SpecError),
+    /// The merged system was rejected or interrupted by the core session.
+    Session(SessionError),
+    /// The engine and the brute-force oracle disagreed on the merged
+    /// system — an engine bug; the verdict is still installed so the
+    /// disagreeing input can be extracted and reported.
+    OracleDisagreement {
+        /// What the reduction engine said.
+        engine_correct: bool,
+    },
+    /// A checkpoint document was malformed; the message names the field.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for SpecSessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecSessionError::Spec(e) => write!(f, "{e}"),
+            SpecSessionError::Session(e) => write!(f, "{e}"),
+            SpecSessionError::OracleDisagreement { engine_correct } => write!(
+                f,
+                "engine/oracle disagreement: engine says {}, oracle says {} — \
+                 this is an engine bug; please report the input",
+                engine_correct, !engine_correct
+            ),
+            SpecSessionError::Checkpoint(msg) => write!(f, "invalid checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecSessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecSessionError::Spec(e) => Some(e),
+            SpecSessionError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for SpecSessionError {
+    fn from(e: SpecError) -> Self {
+        SpecSessionError::Spec(e)
+    }
+}
+
+impl From<SessionError> for SpecSessionError {
+    fn from(e: SessionError) -> Self {
+        SpecSessionError::Session(e)
+    }
+}
+
+impl SpecSessionError {
+    /// Whether this error leaves the session resumable (a deadline or
+    /// cancellation, as opposed to a rejected input).
+    pub fn is_interrupted(&self) -> bool {
+        matches!(
+            self,
+            SpecSessionError::Session(SessionError::Interrupted(_))
+        )
+    }
+}
+
+/// A restorable copy of a [`SpecSession`]'s state.
+pub struct SpecSnapshot {
+    spec: SystemSpec,
+    appends_offset: u64,
+    inner: compc_core::SessionSnapshot,
+}
+
+/// An incremental Comp-C checker fed by JSON spec fragments.
+///
+/// ```
+/// use compc::session::SpecSession;
+/// use compc::spec::SystemSpec;
+///
+/// let spec = SystemSpec::parse(
+///     r#"{
+///         "schedules": ["S"],
+///         "nodes": [
+///             {"name": "T1", "kind": "root", "home": "S"},
+///             {"name": "o1", "kind": "leaf", "parent": "T1"}
+///         ]
+///     }"#,
+/// )
+/// .unwrap();
+/// let mut session = SpecSession::new();
+/// let verdict = session.append(&spec).unwrap();
+/// assert!(verdict.is_correct());
+/// ```
+pub struct SpecSession {
+    spec: SystemSpec,
+    /// Appends recorded by a restored checkpoint beyond what the inner
+    /// session saw (the restore replays the whole prefix as one batch
+    /// append, but the counter must keep counting from where it was).
+    appends_offset: u64,
+    inner: compc_core::Session,
+}
+
+impl Default for SpecSession {
+    fn default() -> Self {
+        SpecSession::new()
+    }
+}
+
+impl SpecSession {
+    /// An empty session with default [`CheckOptions`].
+    pub fn new() -> SpecSession {
+        SpecSession::with_options(CheckOptions::default())
+    }
+
+    /// An empty session with the given options ([`CheckOptions::oracle`]
+    /// enables the per-append brute-force cross-check).
+    pub fn with_options(options: CheckOptions) -> SpecSession {
+        SpecSession {
+            spec: SystemSpec {
+                auto_propagate: false,
+                ..SystemSpec::default()
+            },
+            appends_offset: 0,
+            inner: compc_core::Session::with_options(options),
+        }
+    }
+
+    /// The options this session checks with.
+    pub fn options(&self) -> CheckOptions {
+        self.inner.options()
+    }
+
+    /// The accumulated spec (every accepted fragment merged).
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// The current merged system, if any append was accepted.
+    pub fn system(&self) -> Option<&compc_model::CompositeSystem> {
+        self.inner.system()
+    }
+
+    /// The verdict of the last completed append.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        self.inner.verdict()
+    }
+
+    /// Work counters for the incremental path. `appends` counts across
+    /// checkpoint restores: a session rebuilt with
+    /// [`SpecSession::from_checkpoint`] resumes the recorded count.
+    pub fn stats(&self) -> SessionStats {
+        let mut stats = self.inner.stats();
+        stats.appends += self.appends_offset;
+        stats
+    }
+
+    /// The cooperative cancel token (see
+    /// [`compc_core::Session::cancel_token`]).
+    pub fn cancel_token(&self) -> std::sync::Arc<std::sync::atomic::AtomicBool> {
+        self.inner.cancel_token()
+    }
+
+    /// Merges `fragment` into the accumulated spec, builds the extended
+    /// system and checks it incrementally. On a spec-level error (parse,
+    /// merge, build, invalid extension) the session is unchanged; on an
+    /// interruption the merged spec is kept and re-appending the same
+    /// fragment resumes from the completed levels.
+    pub fn append(&mut self, fragment: &SystemSpec) -> Result<&Verdict, SpecSessionError> {
+        let mut merged = self.spec.clone();
+        merged.merge(fragment)?;
+        let sys = merged.build()?;
+        let oracle_input =
+            if self.options().oracle && sys.node_count() <= compc_oracle::RECOMMENDED_NODE_CAP {
+                Some(sys.clone())
+            } else {
+                None
+            };
+        match self.inner.append(sys) {
+            Ok(_) => {}
+            Err(e @ SessionError::Interrupted(_)) => {
+                self.spec = merged;
+                return Err(e.into());
+            }
+            Err(e) => return Err(e.into()),
+        }
+        self.spec = merged;
+        let verdict = self.inner.verdict().expect("append just completed");
+        if let Some(sys) = oracle_input {
+            let engine_correct = verdict.is_correct();
+            if compc_oracle::decide(&sys).accepted() != engine_correct {
+                return Err(SpecSessionError::OracleDisagreement { engine_correct });
+            }
+        }
+        Ok(verdict)
+    }
+
+    /// [`SpecSession::append`] from JSON text (one spec document).
+    pub fn append_json(&mut self, text: &str) -> Result<&Verdict, SpecSessionError> {
+        let fragment = SystemSpec::parse(text)?;
+        self.append(&fragment)
+    }
+
+    /// A restorable copy of the session's state.
+    pub fn snapshot(&self) -> SpecSnapshot {
+        SpecSnapshot {
+            spec: self.spec.clone(),
+            appends_offset: self.appends_offset,
+            inner: self.inner.snapshot(),
+        }
+    }
+
+    /// Restores a state previously captured with [`SpecSession::snapshot`].
+    pub fn restore(&mut self, snapshot: SpecSnapshot) {
+        self.spec = snapshot.spec;
+        self.appends_offset = snapshot.appends_offset;
+        self.inner.restore(snapshot.inner);
+    }
+
+    /// Serializes the session's accumulated spec as a versioned JSON
+    /// checkpoint document (pretty-printed, trailing newline).
+    pub fn checkpoint_json(&self) -> String {
+        let doc = Value::Object(vec![
+            ("version".into(), Value::from(SPEC_VERSION)),
+            ("appends".into(), Value::from(self.stats().appends)),
+            ("spec".into(), self.spec.to_json()),
+        ]);
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Rebuilds a session from a [`SpecSession::checkpoint_json`] document:
+    /// the checkpointed spec is re-appended as one batch, restoring the
+    /// per-level caches so subsequent appends are incremental again. The
+    /// recorded append count is resumed, so `stats().appends` keeps
+    /// counting across the restore.
+    pub fn from_checkpoint(
+        text: &str,
+        options: CheckOptions,
+    ) -> Result<SpecSession, SpecSessionError> {
+        let doc = compc_json::parse(text)
+            .map_err(|e| SpecSessionError::Checkpoint(format!("not JSON: {e}")))?;
+        let entries = doc
+            .as_object()
+            .ok_or_else(|| SpecSessionError::Checkpoint("top level must be an object".into()))?;
+        let mut spec_value = None;
+        let mut recorded_appends = 0u64;
+        for (key, val) in entries {
+            match key.as_str() {
+                "version" => {
+                    let v = val.as_u64().ok_or_else(|| {
+                        SpecSessionError::Checkpoint("version must be an integer".into())
+                    })?;
+                    if v != SPEC_VERSION {
+                        return Err(SpecSessionError::Checkpoint(format!(
+                            "unsupported checkpoint version {v}"
+                        )));
+                    }
+                }
+                "appends" => {
+                    recorded_appends = val.as_u64().ok_or_else(|| {
+                        SpecSessionError::Checkpoint("appends must be an integer".into())
+                    })?;
+                }
+                "spec" => spec_value = Some(val),
+                other => {
+                    return Err(SpecSessionError::Checkpoint(format!(
+                        "unknown field \"{other}\""
+                    )))
+                }
+            }
+        }
+        let spec_value = spec_value
+            .ok_or_else(|| SpecSessionError::Checkpoint("missing \"spec\" field".into()))?;
+        let spec = SystemSpec::from_json(spec_value)?;
+        let mut session = SpecSession::with_options(options);
+        if !spec.nodes.is_empty() {
+            session.append(&spec)?;
+        }
+        session.appends_offset = recorded_appends.saturating_sub(session.inner.stats().appends);
+        Ok(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compc_core::check;
+
+    fn two_stack_spec() -> SystemSpec {
+        SystemSpec::parse(
+            r#"{
+                "schedules": ["mw", "db"],
+                "nodes": [
+                    {"name": "T1", "kind": "root", "home": "mw"},
+                    {"name": "T2", "kind": "root", "home": "mw"},
+                    {"name": "u1", "kind": "subtx", "parent": "T1", "home": "db"},
+                    {"name": "u2", "kind": "subtx", "parent": "T2", "home": "db"},
+                    {"name": "w1", "kind": "leaf", "parent": "u1"},
+                    {"name": "w2", "kind": "leaf", "parent": "u2"}
+                ],
+                "conflicts": [["w1", "w2"]],
+                "output_weak": [["w1", "w2"]]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn into_appends_replays_to_the_same_verdict() {
+        let spec = two_stack_spec();
+        let fragments = spec.into_appends();
+        assert_eq!(fragments.len(), 2, "one fragment per root subtree");
+        let mut session = SpecSession::new();
+        let mut last = None;
+        for frag in &fragments {
+            last = Some(session.append(frag).unwrap().clone());
+        }
+        let merged_sys = session.system().unwrap().clone();
+        let batch = check(&merged_sys);
+        assert_eq!(
+            format!("{:?}", last.unwrap()),
+            format!("{batch:?}"),
+            "replayed verdict must be bit-identical to the batch check"
+        );
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_rejects_redeclaration() {
+        let spec = two_stack_spec();
+        let mut acc = SystemSpec {
+            auto_propagate: false,
+            ..SystemSpec::default()
+        };
+        acc.merge(&spec).unwrap();
+        let once = acc.clone();
+        acc.merge(&spec).unwrap();
+        assert_eq!(acc, once, "re-merging the same fragment changes nothing");
+        let mut bad = spec.clone();
+        bad.nodes[0].home = Some("db".into());
+        assert!(matches!(acc.merge(&bad), Err(SpecError::BadNode(_))));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_the_session() {
+        let mut session = SpecSession::new();
+        let fragments = two_stack_spec().into_appends();
+        for fragment in &fragments {
+            session.append(fragment).unwrap();
+        }
+        assert_eq!(session.stats().appends, fragments.len() as u64);
+        let checkpoint = session.checkpoint_json();
+        let restored = SpecSession::from_checkpoint(&checkpoint, CheckOptions::default()).unwrap();
+        assert_eq!(restored.spec(), session.spec());
+        assert_eq!(
+            format!("{:?}", restored.verdict().unwrap()),
+            format!("{:?}", session.verdict().unwrap())
+        );
+        // The append counter resumes from the recorded count even though
+        // the restore replayed the whole prefix as one batch append.
+        assert_eq!(restored.stats().appends, fragments.len() as u64);
+        let junk = SpecSession::from_checkpoint("{]", CheckOptions::default());
+        assert!(matches!(junk, Err(SpecSessionError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn oracle_cross_check_runs_under_the_cap() {
+        let mut session = SpecSession::with_options(CheckOptions::new().oracle(true));
+        let verdict = session.append(&two_stack_spec()).unwrap();
+        assert!(verdict.is_correct(), "oracle agreed, verdict installed");
+    }
+
+    #[test]
+    fn spec_level_rejection_leaves_session_untouched() {
+        let mut session = SpecSession::new();
+        session.append(&two_stack_spec()).unwrap();
+        let before = session.spec().clone();
+        let bad = SystemSpec {
+            version: 99,
+            ..SystemSpec::default()
+        };
+        let err = session.append(&bad).unwrap_err();
+        assert!(matches!(err, SpecSessionError::Spec(_)), "{err}");
+        assert_eq!(session.spec(), &before);
+        assert!(session.verdict().unwrap().is_correct());
+    }
+}

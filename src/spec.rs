@@ -483,6 +483,203 @@ impl SystemSpec {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental fragments
+// ---------------------------------------------------------------------------
+
+impl SystemSpec {
+    /// Splits this spec into an ordered sequence of *fragments* — one per
+    /// root transaction subtree — whose cumulative [`SystemSpec::merge`]
+    /// rebuilds an equivalent spec. Feeding the fragments to a
+    /// [`crate::session::SpecSession`] in order replays the system as a
+    /// stream of appends: every prefix is itself a valid composite system
+    /// (it is the restriction of the full system to complete root subtrees,
+    /// with every relation pair over declared nodes included).
+    ///
+    /// Schedules are declared in the earliest fragment any node references
+    /// them from; each relation pair lands in the first fragment where both
+    /// endpoints exist (pairs naming undeclared nodes go to the last
+    /// fragment, where building reports the same error a batch build
+    /// would). Declared order pairs are typically a transitive *reduction*
+    /// (see [`SystemSpec::from_system`]), so a pair between early-fragment
+    /// endpoints can be mediated by a later-fragment node — restricting to
+    /// a prefix would lose the order and violate the model axioms (an
+    /// unordered conflicting pair, an unhonored intra-transaction order).
+    /// Each order family is therefore emitted as its transitive closure;
+    /// closure chains never cross schedules, because every operation (and
+    /// transaction) executes in exactly one component. A spec with no nodes
+    /// yields itself as the only fragment.
+    pub fn into_appends(&self) -> Vec<SystemSpec> {
+        // Fragment index per node = its root's ordinal among roots.
+        let mut node_frag: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut roots = 0usize;
+        for n in &self.nodes {
+            let frag = match n.parent.as_deref().and_then(|p| node_frag.get(p)) {
+                Some(&f) => f,
+                None => {
+                    roots += 1;
+                    roots - 1
+                }
+            };
+            node_frag.insert(n.name.as_str(), frag);
+        }
+        if roots == 0 {
+            return vec![self.clone()];
+        }
+        let mut frags: Vec<SystemSpec> = (0..roots)
+            .map(|_| SystemSpec {
+                version: self.version,
+                auto_propagate: self.auto_propagate,
+                ..SystemSpec::default()
+            })
+            .collect();
+        // Root subtrees may interleave in declaration order, so the first
+        // *referencing* node of a schedule is not necessarily in the
+        // earliest fragment that needs it — take the minimum. Schedules no
+        // node references go to the first fragment.
+        let mut sched_frag: BTreeMap<&str, usize> = BTreeMap::new();
+        for n in &self.nodes {
+            if let Some(home) = &n.home {
+                let frag = node_frag[n.name.as_str()];
+                sched_frag
+                    .entry(home.as_str())
+                    .and_modify(|f| *f = (*f).min(frag))
+                    .or_insert(frag);
+            }
+        }
+        for s in &self.schedules {
+            let frag = sched_frag.get(s.as_str()).copied().unwrap_or(0);
+            frags[frag].schedules.push(s.clone());
+        }
+        for n in &self.nodes {
+            frags[node_frag[n.name.as_str()]].nodes.push(n.clone());
+        }
+        let place = |pair: &(String, String)| -> usize {
+            match (
+                node_frag.get(pair.0.as_str()),
+                node_frag.get(pair.1.as_str()),
+            ) {
+                (Some(&a), Some(&b)) => a.max(b),
+                _ => roots - 1,
+            }
+        };
+        // Transitive closure of an order family (a weak family closes over
+        // its strong sub-relation too, mirroring Definition 3's "strong
+        // implies weak").
+        let close = |families: &[&Vec<(String, String)>]| -> Vec<(String, String)> {
+            let mut names: Vec<&str> = Vec::new();
+            let mut idx: BTreeMap<&str, usize> = BTreeMap::new();
+            for fam in families {
+                for (a, b) in fam.iter() {
+                    for s in [a.as_str(), b.as_str()] {
+                        if !idx.contains_key(s) {
+                            idx.insert(s, names.len());
+                            names.push(s);
+                        }
+                    }
+                }
+            }
+            let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+            for fam in families {
+                for (a, b) in fam.iter() {
+                    adj[idx[a.as_str()]].push(idx[b.as_str()]);
+                }
+            }
+            let mut out = Vec::new();
+            for src in 0..names.len() {
+                let mut seen = vec![false; names.len()];
+                let mut stack = adj[src].clone();
+                while let Some(v) = stack.pop() {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.extend(adj[v].iter().copied());
+                    }
+                }
+                for (v, reached) in seen.iter().enumerate() {
+                    if *reached && v != src {
+                        out.push((names[src].to_string(), names[v].to_string()));
+                    }
+                }
+            }
+            out
+        };
+        let output_weak = close(&[&self.output_weak, &self.output_strong]);
+        let output_strong = close(&[&self.output_strong]);
+        let input_weak = close(&[&self.input_weak, &self.input_strong]);
+        let input_strong = close(&[&self.input_strong]);
+        let tx_weak = close(&[&self.tx_weak, &self.tx_strong]);
+        let tx_strong = close(&[&self.tx_strong]);
+        for (rel, pick) in [
+            (&self.conflicts, 0usize),
+            (&output_weak, 1),
+            (&output_strong, 2),
+            (&input_weak, 3),
+            (&input_strong, 4),
+            (&tx_weak, 5),
+            (&tx_strong, 6),
+        ] {
+            for pair in rel {
+                let f = &mut frags[place(pair)];
+                let target = match pick {
+                    0 => &mut f.conflicts,
+                    1 => &mut f.output_weak,
+                    2 => &mut f.output_strong,
+                    3 => &mut f.input_weak,
+                    4 => &mut f.input_strong,
+                    5 => &mut f.tx_weak,
+                    _ => &mut f.tx_strong,
+                };
+                target.push(pair.clone());
+            }
+        }
+        frags
+    }
+
+    /// Merges an append `fragment` into this spec: new schedules, nodes and
+    /// relation pairs are added, already-present entries are skipped
+    /// (re-appending a fragment is idempotent). A fragment that re-declares
+    /// an existing node differently is rejected — appends may only extend.
+    pub fn merge(&mut self, fragment: &SystemSpec) -> Result<(), SpecError> {
+        if fragment.version != SPEC_VERSION {
+            return Err(SpecError::UnsupportedVersion(fragment.version));
+        }
+        for s in &fragment.schedules {
+            if !self.schedules.contains(s) {
+                self.schedules.push(s.clone());
+            }
+        }
+        for n in &fragment.nodes {
+            match self.nodes.iter().find(|have| have.name == n.name) {
+                None => self.nodes.push(n.clone()),
+                Some(have) if have == n => {}
+                Some(_) => {
+                    return Err(SpecError::BadNode(format!(
+                        "append re-declares node \"{}\" differently",
+                        n.name
+                    )))
+                }
+            }
+        }
+        for (have, add) in [
+            (&mut self.conflicts, &fragment.conflicts),
+            (&mut self.output_weak, &fragment.output_weak),
+            (&mut self.output_strong, &fragment.output_strong),
+            (&mut self.input_weak, &fragment.input_weak),
+            (&mut self.input_strong, &fragment.input_strong),
+            (&mut self.tx_weak, &fragment.tx_weak),
+            (&mut self.tx_strong, &fragment.tx_strong),
+        ] {
+            for pair in add {
+                if !have.contains(pair) {
+                    have.push(pair.clone());
+                }
+            }
+        }
+        self.auto_propagate |= fragment.auto_propagate;
+        Ok(())
+    }
+}
+
 impl SystemSpec {
     /// Extracts a spec from an existing system — the reverse of
     /// [`SystemSpec::build`]. Output orders are emitted as covering pairs

@@ -9,7 +9,7 @@
 //! equivalence of the checker across forced-sparse, forced-dense, and auto
 //! backends on random systems and the paper's Figure 1–4 examples.
 
-use compc::core::{check, Checker, Verdict};
+use compc::core::{check, Backend, CheckOptions, Checker, Verdict};
 use compc::graph::{
     reachable_from, transitive_closure, BitGraph, BitOrderRel, DiGraph, PartialOrderRel,
 };
@@ -194,7 +194,8 @@ proptest! {
         });
         let baseline = fingerprint(&check(&sys));
         for crossover in [0usize, 64, usize::MAX] {
-            let v = Checker::new().dense_crossover(crossover).check(&sys);
+            let v = Checker::with_options(CheckOptions::new().backend(Backend::Crossover(crossover)))
+                .check(&sys);
             prop_assert_eq!(
                 &fingerprint(&v),
                 &baseline,
@@ -240,7 +241,9 @@ fn figure_examples_verdicts_unchanged_by_backend() {
     ] {
         let baseline = fingerprint(&check(&fig.system));
         for crossover in [0usize, 64, usize::MAX] {
-            let v = Checker::new().dense_crossover(crossover).check(&fig.system);
+            let v =
+                Checker::with_options(CheckOptions::new().backend(Backend::Crossover(crossover)))
+                    .check(&fig.system);
             assert_eq!(
                 fingerprint(&v),
                 baseline,

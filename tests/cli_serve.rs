@@ -1,0 +1,282 @@
+//! End-to-end tests for the `compc-serve` daemon: NDJSON append streams
+//! over Unix and TCP sockets, one verdict line per append, protocol
+//! errors, stats, graceful shutdown exit codes, and a checkpoint restart
+//! mid-stream — all through the real executable.
+
+use compc::json::{parse, Value};
+use compc::spec::SystemSpec;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Kills the daemon if a test panics before shutting it down.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let child = Command::new(env!("CARGO_BIN_EXE_compc-serve"))
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("compc-serve spawns");
+        Daemon(child)
+    }
+
+    /// Waits for a clean exit and returns the exit code.
+    fn wait_code(mut self) -> i32 {
+        let status = self.0.wait().expect("compc-serve exits");
+        // Disarm the Drop kill: the child is already gone.
+        std::mem::forget(self);
+        status.code().expect("not signal-killed")
+    }
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "compc-serve-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wait_for_socket(path: &PathBuf) -> UnixStream {
+    for _ in 0..200 {
+        if let Ok(stream) = UnixStream::connect(path) {
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            return stream;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("daemon never opened {}", path.display());
+}
+
+/// Sends one NDJSON request line, returns the parsed response line.
+fn roundtrip(reader: &mut impl BufRead, writer: &mut impl Write, request: &str) -> Value {
+    writeln!(writer, "{request}").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    parse(line.trim()).unwrap_or_else(|e| panic!("response not JSON ({e}): {line}"))
+}
+
+fn figure3_fragments() -> Vec<String> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/corpus/figure3.incorrect.json"
+    );
+    let spec = SystemSpec::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+    let fragments = spec.into_appends();
+    assert!(fragments.len() >= 2, "figure 3 has several roots");
+    fragments
+        .iter()
+        .map(|f| Value::Object(vec![("append".to_string(), f.to_json())]).to_compact())
+        .collect()
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("missing string field {key}: {}", v.to_compact()))
+}
+
+#[test]
+fn unix_stream_appends_one_verdict_line_each() {
+    let dir = tmpdir();
+    let socket = dir.join("a.sock");
+    let daemon = Daemon::spawn(&["--socket", socket.to_str().unwrap()]);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let fragments = figure3_fragments();
+    let mut last = None;
+    for (k, request) in fragments.iter().enumerate() {
+        let response = roundtrip(&mut reader, &mut writer, request);
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "append {k}: {}",
+            response.to_compact()
+        );
+        assert_eq!(
+            response.get("appends").and_then(Value::as_u64),
+            Some(k as u64 + 1)
+        );
+        last = Some(response);
+    }
+    // Figure 3 is the paper's violation example: the full stream must end
+    // on a violation verdict naming the failing level.
+    let last = last.unwrap();
+    assert_eq!(str_field(&last, "verdict"), "not-comp-c");
+    assert!(last.get("level").and_then(Value::as_u64).is_some());
+
+    // Protocol errors answer without killing the connection.
+    let bad = roundtrip(&mut reader, &mut writer, "{\"op\": \"nope\"}");
+    assert_eq!(bad.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(str_field(&bad, "kind"), "protocol");
+
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    assert_eq!(
+        stats.get("appends").and_then(Value::as_u64),
+        Some(fragments.len() as u64)
+    );
+    // The violation can already surface at an earlier prefix, so several
+    // violating appends may have been served by now.
+    assert!(stats.get("violations").and_then(Value::as_u64) >= Some(1));
+
+    let bye = roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+    // A violation verdict was served: exit code 1, mirroring compc-check.
+    assert_eq!(daemon.wait_code(), 1);
+}
+
+#[test]
+fn checkpoint_restart_resumes_mid_stream() {
+    let dir = tmpdir();
+    let socket = dir.join("b.sock");
+    let checkpoint = dir.join("b.checkpoint.json");
+    let fragments = figure3_fragments();
+    let split = fragments.len() / 2;
+
+    // First daemon: stream the first half, then shut down.
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+    ]);
+    {
+        let stream = wait_for_socket(&socket);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for request in &fragments[..split] {
+            let response = roundtrip(&mut reader, &mut writer, request);
+            assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        }
+        roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    }
+    daemon.wait_code();
+    assert!(checkpoint.exists(), "shutdown must leave a checkpoint");
+
+    // Second daemon restores the checkpoint and the stream continues as if
+    // never interrupted: append counts include the restored prefix, and
+    // the full system still lands on the figure-3 violation.
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+    ]);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut last = None;
+    for (k, request) in fragments[split..].iter().enumerate() {
+        let response = roundtrip(&mut reader, &mut writer, request);
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{}",
+            response.to_compact()
+        );
+        assert_eq!(
+            response.get("appends").and_then(Value::as_u64),
+            Some((split + k) as u64 + 1),
+            "append counter must resume from the checkpointed count"
+        );
+        last = Some(response);
+    }
+    let last = last.unwrap();
+    assert_eq!(str_field(&last, "verdict"), "not-comp-c");
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 1);
+}
+
+#[test]
+fn tcp_listener_serves_the_same_protocol() {
+    let mut daemon = Daemon::spawn(&["--listen", "127.0.0.1:0"]);
+    // The daemon prints the picked port as "listening on 127.0.0.1:PORT".
+    let stderr = daemon.0.stderr.take().unwrap();
+    let mut first_line = String::new();
+    BufReader::new(stderr).read_line(&mut first_line).unwrap();
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first_line}"))
+        .to_string();
+    let stream = std::net::TcpStream::connect(&addr).expect("daemon accepts TCP");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    for request in &figure3_fragments() {
+        let response = roundtrip(&mut reader, &mut writer, request);
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    }
+    let bye = roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(daemon.wait_code(), 1);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_compc-serve"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "no listener flag is a usage error"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_compc-serve"))
+        .args(["--socket", "/tmp/x.sock", "--backend", "bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // --help documents the protocol and the exit codes.
+    let out = Command::new(env!("CARGO_BIN_EXE_compc-serve"))
+        .arg("--help")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let help = String::from_utf8_lossy(&out.stdout);
+    for needle in ["append", "shutdown", "exit codes", "checkpoint"] {
+        assert!(help.contains(needle), "--help missing {needle}");
+    }
+}
+
+#[test]
+fn deadline_interruption_is_resumable_and_exits_3() {
+    let dir = tmpdir();
+    let socket = dir.join("c.sock");
+    let daemon = Daemon::spawn(&["--socket", socket.to_str().unwrap(), "--deadline-ms", "0"]);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let fragments = figure3_fragments();
+    let response = roundtrip(&mut reader, &mut writer, &fragments[0]);
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(str_field(&response, "kind"), "interrupted");
+    assert_eq!(
+        response.get("resumable").and_then(Value::as_bool),
+        Some(true)
+    );
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 3);
+}

@@ -8,7 +8,7 @@
 //! orders, at `jobs ∈ {1, 2, 8}`, and additionally require that minimized
 //! counterexamples classify identically under every `jobs` value.
 
-use compc::core::{check, minimize, Checker, FrontSnapshot, Verdict};
+use compc::core::{check, minimize, CheckOptions, Checker, FrontSnapshot, Verdict};
 use compc::engine::{Batch, BatchItem};
 use compc::workload::random::{generate, GenParams, Shape};
 use proptest::prelude::*;
@@ -91,7 +91,7 @@ proptest! {
         ));
         let baseline = fingerprint(&check(&sys));
         for jobs in [1usize, 2, 8] {
-            let v = Checker::new().jobs(jobs).check(&sys);
+            let v = Checker::with_options(CheckOptions::new().jobs(jobs)).check(&sys);
             prop_assert_eq!(
                 &fingerprint(&v),
                 &baseline,
@@ -122,7 +122,7 @@ proptest! {
         let base = fingerprint(&check(&min.system));
         prop_assert!(base.starts_with("incorrect"), "minimized core must stay broken");
         for jobs in [1usize, 2, 8] {
-            let mv = Checker::new().jobs(jobs).check(&min.system);
+            let mv = Checker::with_options(CheckOptions::new().jobs(jobs)).check(&min.system);
             prop_assert_eq!(
                 &fingerprint(&mv),
                 &base,
@@ -154,7 +154,9 @@ proptest! {
                 .enumerate()
                 .map(|(i, s)| BatchItem::new(format!("sys-{i}"), s.clone()))
                 .collect();
-            let report = Batch::new().workers(workers).jobs(jobs).check_all(items);
+            let report = Batch::with_options(CheckOptions::new().jobs(jobs))
+                .workers(workers)
+                .check_all(items);
             let got: Vec<String> = report
                 .outcomes
                 .iter()

@@ -1,0 +1,186 @@
+//! Differential pinning of the incremental session against batch checking.
+//!
+//! The contract under test (DESIGN.md §8): feeding a system to a
+//! [`SpecSession`] fragment-by-fragment — one fragment per root subtree,
+//! via [`SystemSpec::into_appends`] — produces, after every prefix, a
+//! verdict *bit-identical* (full `Debug` structure: every front snapshot,
+//! the serial witness, the counterexample cycle) to a from-scratch batch
+//! check of the same merged prefix system. Pinned on the committed
+//! 16-file adversarial corpus, on random generated systems under proptest,
+//! across the sparse and dense closure backends, and against the
+//! brute-force oracle on systems within its node cap.
+
+use compc::core::{Backend, CheckOptions, Checker, Verdict};
+use compc::session::SpecSession;
+use compc::spec::SystemSpec;
+use compc::workload::random::{generate, GenParams, Shape};
+use proptest::prelude::*;
+use std::path::Path;
+
+/// Everything observable about a verdict. `Debug` covers the whole proof
+/// (all front snapshots + witness) or counterexample (level, phase, cycle),
+/// so equality here is bit-identity of the structures.
+fn fingerprint(v: &Verdict) -> String {
+    format!("{v:?}")
+}
+
+/// Replays `spec` through an incremental session with `options`, asserting
+/// after every fragment that the incremental verdict equals a from-scratch
+/// check of the session's merged system. Returns the final verdict.
+fn replay_and_pin(spec: &SystemSpec, options: CheckOptions, context: &str) -> Verdict {
+    let fragments = spec.into_appends();
+    assert!(!fragments.is_empty(), "{context}: no fragments");
+    let mut session = SpecSession::with_options(options);
+    for (k, fragment) in fragments.iter().enumerate() {
+        let incremental = session
+            .append(fragment)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{context}: fragment {}/{} rejected: {e}",
+                    k + 1,
+                    fragments.len()
+                )
+            })
+            .clone();
+        let prefix = session.system().expect("append installed a system");
+        let batch = Checker::with_options(options).check(prefix);
+        assert_eq!(
+            fingerprint(&incremental),
+            fingerprint(&batch),
+            "{context}: prefix {}/{} diverged from batch",
+            k + 1,
+            fragments.len()
+        );
+    }
+    session.verdict().expect("at least one append").clone()
+}
+
+/// Every committed corpus file, prefix-by-prefix, on both forced backends.
+/// The filename encodes the expected acceptance (`.correct.json` /
+/// `.incorrect.json`), so the replay is also checked against ground truth.
+#[test]
+fn corpus_replays_bit_identically_on_both_backends() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 16, "corpus shrank: {} files", files.len());
+    for file in files {
+        let name = file.file_name().unwrap().to_string_lossy().to_string();
+        let expect_correct = name.ends_with(".correct.json");
+        let text = std::fs::read_to_string(&file).unwrap();
+        let spec = SystemSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: corpus file must parse: {e}"));
+        for backend in [Backend::Sparse, Backend::Dense] {
+            let context = format!("{name} [{backend}]");
+            let verdict = replay_and_pin(&spec, CheckOptions::new().backend(backend), &context);
+            assert_eq!(
+                verdict.is_correct(),
+                expect_correct,
+                "{context}: replayed acceptance contradicts the filename"
+            );
+        }
+    }
+}
+
+/// An interrupted replay resumes: cancelling the session interrupts the
+/// first append, and re-sending the same fragment after clearing the token
+/// completes — landing on the same verdict an uninterrupted replay reaches.
+#[test]
+fn corpus_replay_resumes_after_interruption() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/figure3.incorrect.json");
+    let spec = SystemSpec::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+    let fragments = spec.into_appends();
+
+    let mut session = SpecSession::new();
+    session
+        .cancel_token()
+        .store(true, std::sync::atomic::Ordering::Relaxed);
+    let err = session.append(&fragments[0]).unwrap_err();
+    assert!(err.is_interrupted(), "cancel must interrupt: {err}");
+    assert!(session.verdict().is_none());
+
+    session
+        .cancel_token()
+        .store(false, std::sync::atomic::Ordering::Relaxed);
+    for fragment in &fragments {
+        session.append(fragment).unwrap();
+    }
+    let batch = Checker::new().check(session.system().unwrap());
+    assert_eq!(
+        fingerprint(session.verdict().unwrap()),
+        fingerprint(&batch),
+        "resumed replay must still be bit-identical"
+    );
+    assert!(!session.verdict().unwrap().is_correct());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random layered systems: append-order replay is bit-identical to the
+    /// batch check at every prefix, on auto, forced-sparse and forced-dense
+    /// backends.
+    #[test]
+    fn random_systems_replay_bit_identically(
+        seed in 0u64..100_000,
+        roots in 2usize..=6,
+        density in 0u8..=90,
+    ) {
+        let sys = generate(&GenParams {
+            shape: Shape::General { levels: 3, scheds_per_level: 2 },
+            roots,
+            ops_per_tx: (1, 3),
+            conflict_density: density as f64 / 100.0,
+            sequential_tx_prob: 0.7,
+            client_input_prob: 0.0,
+            strong_input_prob: 0.0,
+            sound_abstractions: false,
+            seed,
+        });
+        let spec = SystemSpec::from_system(&sys);
+        for backend in [Backend::Auto, Backend::Sparse, Backend::Dense] {
+            let context = format!("seed {seed} [{backend}]");
+            replay_and_pin(&spec, CheckOptions::new().backend(backend), &context);
+        }
+    }
+
+    /// Small random systems, cross-checked against the brute-force oracle:
+    /// the replayed incremental verdict agrees with the definitional
+    /// decision on the merged system.
+    #[test]
+    fn small_replays_agree_with_the_oracle(
+        seed in 0u64..100_000,
+        roots in 2usize..=4,
+        density in 0u8..=80,
+    ) {
+        let sys = generate(&GenParams {
+            shape: Shape::General { levels: 2, scheds_per_level: 2 },
+            roots,
+            ops_per_tx: (1, 2),
+            conflict_density: density as f64 / 100.0,
+            sequential_tx_prob: 0.8,
+            client_input_prob: 0.0,
+            strong_input_prob: 0.0,
+            sound_abstractions: false,
+            seed,
+        });
+        prop_assume!(sys.node_count() <= compc::oracle::RECOMMENDED_NODE_CAP);
+        let spec = SystemSpec::from_system(&sys);
+        let mut session = SpecSession::with_options(CheckOptions::new().oracle(true));
+        for fragment in &spec.into_appends() {
+            // SpecSession's own oracle hook cross-checks every prefix; an
+            // OracleDisagreement error here would fail the test.
+            session.append(fragment).unwrap();
+        }
+        let merged = session.system().unwrap();
+        prop_assert_eq!(
+            session.verdict().unwrap().is_correct(),
+            compc::oracle::decide(merged).accepted(),
+            "seed {}: replayed verdict contradicts the oracle", seed
+        );
+    }
+}
