@@ -1,16 +1,22 @@
 //! E10: wall-clock scaling of the Comp-C reduction with system size.
-//! E21: word-parallel bitset kernels vs the BTree baseline.
+//! E21: word-parallel bitset kernels vs the BTree baseline (small sizes).
+//! E22: relation-kernel scaling sweep to 10⁶ nodes across all three
+//! backends (BTree, dense bitset, compressed chunked + SCC-condensed).
 //!
 //! ```sh
-//! exp_scaling [REPS] [--json]          # E10, optionally as NDJSON rows
-//! exp_scaling --kernels [ITERS]        # E21 kernel table
-//! exp_scaling --kernels --json-out F   # also write the BENCH_4.json document
-//! exp_scaling --verify [SAMPLES]       # dense/sparse verdict equivalence
+//! exp_scaling [REPS] [--json]            # E10, optionally as NDJSON rows
+//! exp_scaling --kernels [ITERS]          # E22 scaling sweep (4k–1M nodes)
+//! exp_scaling --kernels --max-nodes N    # cap the sweep (CI smoke)
+//! exp_scaling --kernels --json-out F     # also write the BENCH_7.json doc
+//! exp_scaling --kernels-e21 [ITERS]      # legacy E21 small-size table
+//! exp_scaling --kernels-e21 --json-out F # also write the BENCH_4.json doc
+//! exp_scaling --verify [SAMPLES]         # backend verdict equivalence
 //! ```
 
 use compc_bench::{
-    backend_equivalence, kernel_experiment, kernel_report_json, kernel_table, scaling_experiment,
-    scaling_table,
+    backend_equivalence, kernel_experiment, kernel_report_json, kernel_table, scale_crossovers,
+    scale_experiment, scale_report_json, scale_table, scaling_experiment, scaling_table,
+    SCALE_SIZES,
 };
 
 /// Sizes straddling the dense crossover (64) up to the E21 target of 512.
@@ -23,10 +29,18 @@ fn arg_after(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// First bare number that is not the value of a value-taking flag.
 fn trailing_number(args: &[String], default: usize) -> usize {
+    let flag_values: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--max-nodes" || *a == "--json-out")
+        .map(|(i, _)| i + 1)
+        .collect();
     args.iter()
-        .filter(|a| !a.starts_with("--"))
-        .find_map(|a| a.parse().ok())
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !flag_values.contains(i))
+        .find_map(|(_, a)| a.parse().ok())
         .unwrap_or(default)
 }
 
@@ -37,7 +51,7 @@ fn main() {
         let samples = trailing_number(&args, 40);
         let mismatches = backend_equivalence(samples, KERNEL_SEED);
         println!(
-            "E21 verify: {samples} random systems, sparse vs dense vs auto — \
+            "E21 verify: {samples} random systems, sparse vs dense vs compressed vs auto — \
              {mismatches} verdict mismatch(es)"
         );
         if mismatches > 0 {
@@ -46,7 +60,7 @@ fn main() {
         return;
     }
 
-    if args.iter().any(|a| a == "--kernels") {
+    if args.iter().any(|a| a == "--kernels-e21") {
         let iters = trailing_number(&args, 200);
         println!("E21: relation kernels, BTree baseline vs word-parallel bitsets");
         println!("(mean over {iters} iterations per point; dense timings include");
@@ -54,6 +68,43 @@ fn main() {
         let rows = kernel_experiment(&KERNEL_SIZES, iters, KERNEL_SEED);
         println!("{}", kernel_table(&rows));
         let doc = kernel_report_json(&rows, iters, KERNEL_SEED);
+        if let Some(path) = arg_after(&args, "--json-out") {
+            std::fs::write(&path, doc.to_pretty() + "\n").expect("write --json-out file");
+            println!("wrote {path}");
+        }
+        if args.iter().any(|a| a == "--json") {
+            println!("{}", doc.to_compact());
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--kernels") {
+        let iters = trailing_number(&args, 3);
+        let max_nodes: usize = arg_after(&args, "--max-nodes")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(usize::MAX);
+        let sizes: Vec<usize> = SCALE_SIZES
+            .iter()
+            .copied()
+            .filter(|&n| n <= max_nodes)
+            .collect();
+        assert!(!sizes.is_empty(), "--max-nodes leaves no sizes to sweep");
+        println!("E22: relation-kernel scaling, btree vs dense vs compressed");
+        println!("(mean over up to {iters} iterations per point; infeasible cells");
+        println!("are skipped with a recorded reason instead of timing out)\n");
+        let rows = scale_experiment(&sizes, iters, KERNEL_SEED);
+        println!("{}", scale_table(&rows));
+        println!("crossovers (smallest size where the faster backend wins,");
+        println!("including wins by forfeit where the slower backend cannot run):");
+        for (kernel, dense_at, compressed_at) in scale_crossovers(&rows) {
+            let fmt = |v: Option<usize>| v.map_or("-".to_string(), |n| n.to_string());
+            println!(
+                "  {kernel}: dense beats btree at {}, compressed beats dense at {}",
+                fmt(dense_at),
+                fmt(compressed_at)
+            );
+        }
+        let doc = scale_report_json(&rows, iters, KERNEL_SEED);
         if let Some(path) = arg_after(&args, "--json-out") {
             std::fs::write(&path, doc.to_pretty() + "\n").expect("write --json-out file");
             println!("wrote {path}");

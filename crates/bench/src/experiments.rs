@@ -7,7 +7,8 @@ use compc_classic::{is_llsr_stack, is_opsr_stack};
 use compc_configs::{is_fcc, is_jcc, is_scc};
 use compc_core::{check, Backend, CheckOptions, Checker, Reducer};
 use compc_graph::{
-    transitive_closure_with, BitGraph, BitOrderRel, DiGraph, PartialOrderRel, ReachScratch,
+    transitive_closure_with, BitGraph, BitOrderRel, ChunkedBitGraph, DiGraph, PartialOrderRel,
+    ReachScratch,
 };
 use compc_json::{object, Value};
 use compc_model::CompositeSystem;
@@ -1078,10 +1079,10 @@ pub fn kernel_report_json(rows: &[KernelRow], iters: usize, seed: u64) -> Value 
 }
 
 /// Backend verdict-equivalence spot check: `samples` random general systems
-/// are checked with the closure forced sparse, forced dense, and on the
-/// default crossover; returns the number of verdict disagreements (must be
-/// 0 — both backends compute the same closure, so Theorem 1's reduction
-/// cannot tell them apart).
+/// are checked with the closure forced sparse, forced dense, forced
+/// compressed, and on the default crossovers; returns the number of verdict
+/// disagreements (must be 0 — every backend computes the same closure, so
+/// Theorem 1's reduction cannot tell them apart).
 pub fn backend_equivalence(samples: usize, seed: u64) -> usize {
     let mut mismatches = 0;
     for i in 0..samples as u64 {
@@ -1099,20 +1100,482 @@ pub fn backend_equivalence(samples: usize, seed: u64) -> usize {
             sound_abstractions: false,
             seed: seed.wrapping_add(i.wrapping_mul(2_654_435_761)),
         });
-        let fingerprint = |crossover: usize| -> String {
-            match Checker::with_options(CheckOptions::new().backend(Backend::Crossover(crossover)))
-                .check(&sys)
-            {
+        let fingerprint = |backend: Backend| -> String {
+            match Checker::with_options(CheckOptions::new().backend(backend)).check(&sys) {
                 compc_core::Verdict::Correct(p) => format!("ok:{:?}", p.serial_witness),
                 compc_core::Verdict::Incorrect(c) => format!("cex:{c}"),
             }
         };
-        let sparse = fingerprint(usize::MAX);
-        if sparse != fingerprint(0) || sparse != fingerprint(compc_core::DENSE_CROSSOVER_DEFAULT) {
+        let sparse = fingerprint(Backend::Sparse);
+        if sparse != fingerprint(Backend::Dense)
+            || sparse != fingerprint(Backend::Compressed)
+            || sparse != fingerprint(Backend::Auto)
+        {
             mismatches += 1;
         }
     }
     mismatches
+}
+
+// ---------------------------------------------------------------------
+// E22: relation-kernel scaling sweep to 10⁶ nodes (BENCH_7)
+// ---------------------------------------------------------------------
+
+/// Node sizes for the E22 scaling sweep: from below the dense↔compressed
+/// crossover default (4096) up to 10⁶ nodes, where only the compressed
+/// backend is feasible at all.
+pub const SCALE_SIZES: [usize; 8] = [
+    1024, 4096, 16_384, 65_536, 131_072, 262_144, 524_288, 1_048_576,
+];
+
+/// Memory budget for one backend's working set in the sweep. A backend
+/// whose *projected* footprint exceeds this is skipped with a recorded
+/// reason instead of being allowed to OOM the host — the skip itself is the
+/// data point (dense rows are `n²/8` bytes: 34 GiB at 2¹⁹ nodes, 128 GiB
+/// at 2²⁰).
+pub const SCALE_MEM_BUDGET: u64 = 16 * (1 << 30);
+
+/// How many sampled sources the `reach16` kernel traverses per op — a
+/// fixed-size probe, so the kernel measures per-source traversal cost
+/// instead of the `Θ(n · …)` all-sources sweep that would drown 10⁶-node
+/// rows in output volume.
+pub const REACH_SAMPLE_SOURCES: usize = 16;
+
+/// One E22 measurement: one kernel × backend × size. `mean_ns` is `None`
+/// exactly when the cell was skipped, with `skipped` saying why.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Kernel name (`closure-dag`, `closure-cyclic`, `reach16`).
+    pub kernel: String,
+    /// Backend name (`btree`, `dense`, `compressed`).
+    pub backend: String,
+    /// Nodes in the input graph.
+    pub nodes: usize,
+    /// Edges in the input graph.
+    pub edges: usize,
+    /// Mean nanoseconds per op, or `None` if skipped.
+    pub mean_ns: Option<f64>,
+    /// Why the cell was skipped (`None` when measured).
+    pub skipped: Option<String>,
+}
+
+impl ScaleRow {
+    /// The row as a JSON object (`mean_ns`/`skipped` are nullable).
+    pub fn to_json(&self) -> Value {
+        object(vec![
+            ("kernel", Value::from(self.kernel.clone())),
+            ("backend", Value::from(self.backend.clone())),
+            ("nodes", Value::from(self.nodes as u64)),
+            ("edges", Value::from(self.edges as u64)),
+            (
+                "mean_ns",
+                self.mean_ns.map(Value::from).unwrap_or(Value::Null),
+            ),
+            (
+                "skipped",
+                self.skipped.clone().map(Value::from).unwrap_or(Value::Null),
+            ),
+        ])
+    }
+}
+
+/// A sparse random DAG in `O(edges)` time: `⌊avg_degree · n⌋` forward edge
+/// samples (duplicates collapse). The per-pair Bernoulli generator E21 uses
+/// is `Θ(n²)` coin flips — `10¹²` at a million nodes — so the scaling sweep
+/// needs this sampler to even construct its inputs.
+fn fast_random_dag(n: usize, avg_degree: f64, rng: &mut StdRng) -> DiGraph {
+    let mut g = DiGraph::with_nodes(n);
+    if n < 2 {
+        return g;
+    }
+    let m = (avg_degree * n as f64) as usize;
+    for _ in 0..m {
+        let u = rng.gen_range(0..n - 1);
+        let v = rng.gen_range(u + 1..n);
+        g.add_edge(u, v);
+    }
+    g
+}
+
+/// A sparse random directed graph (edges in both directions) in `O(edges)`
+/// time. At mean degree 4 the digraph almost surely has a giant strongly
+/// connected component — the shape the SCC-condensed closure exists for.
+fn fast_random_cyclic(n: usize, avg_degree: f64, rng: &mut StdRng) -> DiGraph {
+    let mut g = DiGraph::with_nodes(n);
+    if n < 2 {
+        return g;
+    }
+    let m = (avg_degree * n as f64) as usize;
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Projected bytes of the dense backend's working set at `n` nodes: the
+/// flat closure rows (`n · ⌈n/64⌉` words) plus the same again for the
+/// parallel path's output buffer — `load_from` + `close_transitively` keep
+/// one copy, so one copy is the floor.
+fn dense_projected_bytes(n: usize) -> u64 {
+    let words = n.div_ceil(64) as u64;
+    n as u64 * words * 8
+}
+
+/// Iterations actually run at size `n`: big graphs take seconds per op, so
+/// the sweep caps repetitions instead of multiplying them.
+fn scale_iters(n: usize, iters: usize) -> usize {
+    if n >= 65_536 {
+        1
+    } else if n >= 16_384 {
+        iters.min(2)
+    } else {
+        iters.max(1)
+    }
+}
+
+/// Cross-checks the compressed closure against an independent BFS oracle on
+/// `samples` evenly spaced sources: `CondensedClosure::row_into` must equal
+/// `ChunkedBitGraph::reachable_into` (a plain worklist BFS that never looks
+/// at components) bit for bit.
+fn spot_check_condensed(
+    g: &ChunkedBitGraph,
+    closed: &compc_graph::CondensedClosure,
+    samples: usize,
+    context: &str,
+) {
+    let n = g.node_count();
+    let words = g.words_per_row();
+    let mut via_closure = vec![0u64; words];
+    let mut via_bfs = vec![0u64; words];
+    let step = (n / samples.max(1)).max(1);
+    for u in (0..n).step_by(step) {
+        closed.row_into(u, &mut via_closure);
+        g.reachable_into(u, &mut via_bfs);
+        assert_eq!(
+            via_closure, via_bfs,
+            "condensed closure disagrees with BFS oracle at {context}, source {u}"
+        );
+    }
+}
+
+/// E22: times closure and reachability kernels on the BTree, dense-bitset,
+/// and compressed (chunked + SCC-condensed) backends across `sizes`, with
+/// per-cell feasibility gates.
+///
+/// Gates (each recorded as a `skipped` reason, never a silent omission):
+/// - the BTree closure materializes `Θ(n²)` `BTreeSet` pairs, so closure
+///   kernels cap it at 4096 nodes;
+/// - the dense backend's flat rows are `n²/8` bytes, so any cell whose
+///   projection exceeds [`SCALE_MEM_BUDGET`] is skipped — this is the
+///   "dense hits the memory wall" evidence, while compressed keeps going;
+/// - `closure-dag` output is itself `Θ(n²)` for *every* representation
+///   (singleton components give condensation nothing to share), so both
+///   non-BTree backends cap it at the budget projection too.
+///
+/// Correctness before speed: at sizes where the BTree baseline runs, all
+/// three closures are asserted pair-for-pair equal; above that, dense and
+/// compressed closure edge counts must match while both run, and the
+/// compressed rows are spot-checked against an independent BFS oracle.
+pub fn scale_experiment(sizes: &[usize], iters: usize, seed: u64) -> Vec<ScaleRow> {
+    let mut rows = Vec::new();
+    let mut reach = ReachScratch::new();
+    for &n in sizes {
+        let mut rng = StdRng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let it = scale_iters(n, iters);
+        let dag = fast_random_dag(n, 4.0, &mut rng);
+        let cyc = fast_random_cyclic(n, 4.0, &mut rng);
+        let dense_fits = dense_projected_bytes(n) <= SCALE_MEM_BUDGET;
+        let dense_skip = || {
+            Some(format!(
+                "projected {:.1} GiB dense rows exceed the {} GiB budget",
+                dense_projected_bytes(n) as f64 / (1u64 << 30) as f64,
+                SCALE_MEM_BUDGET >> 30
+            ))
+        };
+        let btree_closure_ok = n <= 4096;
+        let btree_skip = || Some("Θ(n²) BTreeSet closure pairs at this size".to_string());
+
+        for (kernel, g) in [("closure-dag", &dag), ("closure-cyclic", &cyc)] {
+            // The DAG closure's output is Θ(n²) on every backend; the cyclic
+            // closure condenses, so only dense pays the n² rows.
+            let compressed_fits = kernel == "closure-cyclic" || dense_fits;
+            let mut btree_ns = None;
+            let mut dense_ns = None;
+            let mut compressed_ns = None;
+
+            // Correctness first, on whichever backends will run.
+            let mut bits = BitGraph::new();
+            let chunked = ChunkedBitGraph::from_digraph(g);
+            if compressed_fits {
+                let closed = chunked.condensed_closure();
+                spot_check_condensed(&chunked, &closed, 8, &format!("{kernel} n={n}"));
+                if dense_fits {
+                    bits.load_from(g);
+                    bits.close_transitively();
+                    assert_eq!(
+                        bits.edge_count(),
+                        closed.edge_count(),
+                        "dense and condensed closure sizes disagree at {kernel} n={n}"
+                    );
+                    if btree_closure_ok {
+                        let sparse = transitive_closure_with(g, &mut reach);
+                        assert_eq!(
+                            closed.to_digraph(),
+                            sparse,
+                            "condensed closure diverges from sparse at {kernel} n={n}"
+                        );
+                        assert_eq!(
+                            bits.to_digraph(),
+                            sparse,
+                            "dense closure diverges from sparse at {kernel} n={n}"
+                        );
+                    }
+                }
+            }
+
+            if btree_closure_ok {
+                btree_ns = Some(time_ns(it, || {
+                    black_box(transitive_closure_with(black_box(g), &mut reach));
+                }));
+            }
+            if dense_fits {
+                dense_ns = Some(time_ns(it, || {
+                    bits.load_from(black_box(g));
+                    bits.close_transitively();
+                    black_box(&bits);
+                }));
+            }
+            if compressed_fits {
+                let mut cb = ChunkedBitGraph::new();
+                compressed_ns = Some(time_ns(it, || {
+                    cb.load_from(black_box(g));
+                    black_box(cb.condensed_closure());
+                }));
+            }
+            for (backend, ns, skip) in [
+                (
+                    "btree",
+                    btree_ns,
+                    if btree_closure_ok { None } else { btree_skip() },
+                ),
+                (
+                    "dense",
+                    dense_ns,
+                    if dense_fits { None } else { dense_skip() },
+                ),
+                (
+                    "compressed",
+                    compressed_ns,
+                    if compressed_fits {
+                        None
+                    } else {
+                        Some("Θ(n²) promoted rows for a DAG closure at this size".to_string())
+                    },
+                ),
+            ] {
+                rows.push(ScaleRow {
+                    kernel: kernel.into(),
+                    backend: backend.into(),
+                    nodes: n,
+                    edges: g.edge_count(),
+                    mean_ns: ns,
+                    skipped: skip,
+                });
+            }
+        }
+
+        // reach16: per-source reachability from 16 evenly spaced sources —
+        // one op = 16 traversals. The chunked backend needs only the input
+        // edges plus one row buffer, so it reaches 10⁶ nodes; dense still
+        // needs its n²/8-byte adjacency.
+        let step = (n / REACH_SAMPLE_SOURCES).max(1);
+        let sources: Vec<usize> = (0..n).step_by(step).take(REACH_SAMPLE_SOURCES).collect();
+        let chunked = ChunkedBitGraph::from_digraph(&cyc);
+        let words = chunked.words_per_row();
+        let mut row_buf = vec![0u64; words];
+        // Chunked BFS vs sparse DFS, always.
+        for &u in &sources {
+            chunked.reachable_into(u, &mut row_buf);
+            let via_chunked: Vec<usize> = (0..n)
+                .filter(|&v| row_buf[v / 64] >> (v % 64) & 1 == 1)
+                .collect();
+            assert_eq!(
+                via_chunked,
+                compc_graph::reachable_from_with(&cyc, u, &mut reach),
+                "chunked reachability diverges at n={n} source={u}"
+            );
+        }
+        let btree_ns = Some(time_ns(it, || {
+            for &u in &sources {
+                black_box(compc_graph::reachable_from_with(
+                    black_box(&cyc),
+                    u,
+                    &mut reach,
+                ));
+            }
+        }));
+        let mut dense_ns = None;
+        if dense_fits {
+            let mut bits = BitGraph::new();
+            bits.load_from(&cyc);
+            let mut dense_buf = vec![0u64; words];
+            for &u in &sources {
+                bits.reachable_into(u, &mut dense_buf);
+                chunked.reachable_into(u, &mut row_buf);
+                assert_eq!(
+                    dense_buf, row_buf,
+                    "dense and chunked reachability diverge at n={n} source={u}"
+                );
+            }
+            dense_ns = Some(time_ns(it, || {
+                for &u in &sources {
+                    bits.reachable_into(u, &mut row_buf);
+                    black_box(&row_buf);
+                }
+            }));
+        }
+        let compressed_ns = Some(time_ns(it, || {
+            for &u in &sources {
+                chunked.reachable_into(u, &mut row_buf);
+                black_box(&row_buf);
+            }
+        }));
+        for (backend, ns, skip) in [
+            ("btree", btree_ns, None),
+            (
+                "dense",
+                dense_ns,
+                if dense_fits { None } else { dense_skip() },
+            ),
+            ("compressed", compressed_ns, None),
+        ] {
+            rows.push(ScaleRow {
+                kernel: "reach16".into(),
+                backend: backend.into(),
+                nodes: n,
+                edges: cyc.edge_count(),
+                mean_ns: ns,
+                skipped: skip,
+            });
+        }
+    }
+    rows
+}
+
+/// Per-kernel backend crossover points derived from E22 rows: the smallest
+/// size where dense beats the BTree baseline, and the smallest size where
+/// compressed beats dense — including "wins by default" sizes where the
+/// slower backend could not run at all.
+pub fn scale_crossovers(rows: &[ScaleRow]) -> Vec<(String, Option<usize>, Option<usize>)> {
+    let mut kernels: Vec<String> = Vec::new();
+    for r in rows {
+        if !kernels.contains(&r.kernel) {
+            kernels.push(r.kernel.clone());
+        }
+    }
+    let cell = |kernel: &str, backend: &str, n: usize| -> Option<&ScaleRow> {
+        rows.iter()
+            .find(|r| r.kernel == kernel && r.backend == backend && r.nodes == n)
+    };
+    let mut out = Vec::new();
+    for kernel in kernels {
+        let mut sizes: Vec<usize> = rows
+            .iter()
+            .filter(|r| r.kernel == kernel)
+            .map(|r| r.nodes)
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let beats = |fast: &str, slow: &str| -> Option<usize> {
+            sizes.iter().copied().find(|&n| {
+                let f = cell(&kernel, fast, n).and_then(|r| r.mean_ns);
+                let s = cell(&kernel, slow, n).and_then(|r| r.mean_ns);
+                match (f, s) {
+                    (Some(f), Some(s)) => f < s,
+                    // The faster backend measured where the slower one
+                    // could not run at all: a win by forfeit.
+                    (Some(_), None) => true,
+                    _ => false,
+                }
+            })
+        };
+        let dense_beats_btree = beats("dense", "btree");
+        let compressed_beats_dense = beats("compressed", "dense");
+        out.push((kernel, dense_beats_btree, compressed_beats_dense));
+    }
+    out
+}
+
+/// Renders E22.
+pub fn scale_table(rows: &[ScaleRow]) -> Table {
+    let mut t = Table::new(["kernel", "backend", "nodes", "edges", "mean ns", "note"]);
+    for r in rows {
+        t.row([
+            r.kernel.clone(),
+            r.backend.clone(),
+            r.nodes.to_string(),
+            r.edges.to_string(),
+            r.mean_ns
+                .map_or_else(|| "-".into(), |ns| format!("{ns:.0}")),
+            r.skipped.clone().unwrap_or_default(),
+        ]);
+    }
+    t
+}
+
+/// The machine-readable E22 document (`BENCH_7.json` schema): run metadata,
+/// one object per kernel × backend × size cell (skipped cells carry a
+/// reason instead of a time), and the derived per-kernel crossover points.
+pub fn scale_report_json(rows: &[ScaleRow], iters: usize, seed: u64) -> Value {
+    let crossovers = scale_crossovers(rows)
+        .into_iter()
+        .map(|(kernel, dense_at, compressed_at)| {
+            object(vec![
+                ("kernel", Value::from(kernel)),
+                (
+                    "dense_beats_btree_at",
+                    dense_at
+                        .map(|n| Value::from(n as u64))
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "compressed_beats_dense_at",
+                    compressed_at
+                        .map(|n| Value::from(n as u64))
+                        .unwrap_or(Value::Null),
+                ),
+            ])
+        })
+        .collect();
+    object(vec![
+        ("bench", Value::from("BENCH_7")),
+        ("experiment", Value::from("E22")),
+        ("generated_by", Value::from("exp_scaling --kernels")),
+        ("iters", Value::from(iters as u64)),
+        ("seed", Value::from(seed)),
+        (
+            "dense_crossover_default",
+            Value::from(compc_core::DENSE_CROSSOVER_DEFAULT as u64),
+        ),
+        (
+            "compressed_crossover_default",
+            Value::from(compc_core::COMPRESSED_CROSSOVER_DEFAULT as u64),
+        ),
+        ("mem_budget_bytes", Value::from(SCALE_MEM_BUDGET)),
+        (
+            "reach_sample_sources",
+            Value::from(REACH_SAMPLE_SOURCES as u64),
+        ),
+        (
+            "kernels",
+            Value::Array(rows.iter().map(|r| r.to_json()).collect()),
+        ),
+        ("crossovers", Value::Array(crossovers)),
+    ])
 }
 
 impl_row_json!(EquivalenceRow {

@@ -67,7 +67,10 @@ impl Counterexample {
             crate::reduce::CheckOptions::new()
                 .forgetting(options.forget_commuting)
                 .jobs(options.jobs)
-                .backend(crate::reduce::Backend::Crossover(options.dense_crossover)),
+                .backend(crate::reduce::Backend::from_crossovers(
+                    options.dense_crossover,
+                    options.compressed_crossover,
+                )),
         );
         let mut reducer = checker.reducer(sys);
         let mut story = vec![format!(

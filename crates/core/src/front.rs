@@ -53,15 +53,15 @@ impl Front {
     /// the closing normalization uses the parallel closure. Identical output
     /// to the sequential path for every `jobs`.
     pub fn level0_jobs(sys: &CompositeSystem, jobs: usize, scratch: &mut CheckScratch) -> Front {
-        Self::level0_opts(sys, jobs, par::DENSE_CROSSOVER_DEFAULT, scratch)
+        Self::level0_opts(sys, jobs, par::ClosureRouting::default(), scratch)
     }
 
-    /// [`Front::level0_jobs`] with an explicit dense-backend crossover for
-    /// the closing normalization (see `Checker::dense_crossover`).
+    /// [`Front::level0_jobs`] with explicit backend crossovers for the
+    /// closing normalization (see `CheckOptions::backend`).
     pub fn level0_opts(
         sys: &CompositeSystem,
         jobs: usize,
-        dense_crossover: usize,
+        routing: par::ClosureRouting,
         scratch: &mut CheckScratch,
     ) -> Front {
         let observed = level0_pre(sys, jobs);
@@ -69,7 +69,7 @@ impl Front {
         // intra-schedule and each schedule's output order is already closed —
         // but we normalize anyway so the invariant "observed is closed" holds
         // unconditionally.
-        let observed = par::transitive_closure_jobs(&observed, jobs, dense_crossover, scratch);
+        let observed = par::transitive_closure_jobs(&observed, jobs, routing, scratch);
         Front {
             level: 0,
             nodes: sys.leaves().collect(),

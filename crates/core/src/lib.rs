@@ -83,7 +83,10 @@ pub use calculation::{calculations_exist_bruteforce, calculations_exist_brutefor
 pub use explain::Explanation;
 pub use front::Front;
 pub use minimize::{minimize, MinimalCounterexample};
-pub use par::{effective_jobs, CheckScratch, DENSE_CROSSOVER_DEFAULT};
+pub use par::{
+    effective_jobs, BackendCounts, CheckScratch, ClosureRouting, COMPRESSED_CROSSOVER_DEFAULT,
+    DENSE_CROSSOVER_DEFAULT,
+};
 pub use reduce::{
     check, Backend, CheckOptions, Checker, Counterexample, Deadline, FailurePhase, FrontSnapshot,
     Interrupted, Proof, ReduceOptions, Reducer, Verdict,

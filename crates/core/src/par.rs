@@ -13,7 +13,9 @@
 //! directly, which keeps the engine dependency-free. Thread spawn costs
 //! ~10–50 µs, so small inputs stay on the sequential path.
 
-use compc_graph::{reachable_from_with, BitGraph, DiGraph, ReachScratch, SccScratch};
+use compc_graph::{
+    reachable_from_with, BitGraph, ChunkedBitGraph, DiGraph, ReachScratch, SccScratch,
+};
 
 /// Below this many nodes a transitive closure is not worth spawning threads
 /// for (the closure is `O(V·E)`, the spawn overhead a few tens of µs).
@@ -28,8 +30,49 @@ const CLOSURE_PAR_THRESHOLD: usize = 64;
 /// `Checker::dense_crossover`.
 pub const DENSE_CROSSOVER_DEFAULT: usize = 64;
 
+/// Default node-count crossover above which closures leave the flat dense
+/// rows for the compressed backend ([`ChunkedBitGraph`] + SCC-condensed
+/// closure). Dense rows cost `n²/64` words no matter how sparse the
+/// relation; from a few thousand nodes up the hybrid rows' `O(edges)`
+/// footprint and the condensation's shared per-component rows win
+/// (EXPERIMENTS.md E22 measures the crossover on this container). Override
+/// per check with `Backend::Compressed` or `CheckOptions::backend`.
+pub const COMPRESSED_CROSSOVER_DEFAULT: usize = 4096;
+
 /// Below this many items a generic index map stays sequential.
 const MAP_PAR_THRESHOLD: usize = 16;
+
+/// Node-count thresholds that pick the closure representation: sparse DFS
+/// below `dense_crossover`, flat dense bitset rows from there up, and the
+/// compressed condensation backend at or above `compressed_crossover`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClosureRouting {
+    /// At or above this many nodes, closures use dense bitset rows.
+    pub dense_crossover: usize,
+    /// At or above this many nodes, closures use the compressed backend
+    /// (takes precedence over the dense threshold).
+    pub compressed_crossover: usize,
+}
+
+impl Default for ClosureRouting {
+    fn default() -> Self {
+        ClosureRouting {
+            dense_crossover: DENSE_CROSSOVER_DEFAULT,
+            compressed_crossover: COMPRESSED_CROSSOVER_DEFAULT,
+        }
+    }
+}
+
+/// How many transitive closures a [`CheckScratch`] has run on each backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendCounts {
+    /// Closures on the flat dense bitset rows.
+    pub dense: u64,
+    /// Closures on the sparse per-source DFS.
+    pub sparse: u64,
+    /// Closures on the compressed (chunked rows + SCC condensation) backend.
+    pub compressed: u64,
+}
 
 /// Resolves a `jobs` knob: `0` means one worker per available core.
 pub fn effective_jobs(jobs: usize) -> usize {
@@ -56,8 +99,10 @@ pub struct CheckScratch {
     /// one sparse→dense load per level reuses this allocation, so batch
     /// items reallocate nothing once the buffer has grown.
     pub(crate) dense: BitGraph,
-    dense_closures: u64,
-    sparse_closures: u64,
+    /// Reusable hybrid rows for the compressed closure backend; like
+    /// `dense`, grown once and then reused across batch items.
+    pub(crate) chunked: ChunkedBitGraph,
+    counts: BackendCounts,
 }
 
 impl CheckScratch {
@@ -75,36 +120,43 @@ impl CheckScratch {
     }
 
     /// How many transitive closures this scratch has run on each backend
-    /// since creation, as `(dense, sparse)` — the engine snapshots these
-    /// around each item so `compc-check --stats` can report which
-    /// representation a check actually used.
-    pub fn backend_counts(&self) -> (u64, u64) {
-        (self.dense_closures, self.sparse_closures)
+    /// since creation — the engine snapshots these around each item so
+    /// `compc-check --stats` can report which representation a check
+    /// actually used.
+    pub fn backend_counts(&self) -> BackendCounts {
+        self.counts
     }
 }
 
 /// Transitive closure with `jobs` workers, reusing `scratch` buffers.
 ///
-/// Graphs at or above `dense_crossover` nodes run on the dense bitset
-/// backend — one sparse→dense conversion, then 64 edges per word OR — and
-/// with multiple jobs the dense rows are partitioned into contiguous source
-/// ranges per worker. Smaller graphs keep the sparse per-source DFS.
-/// Deterministic and bit-identical across backends and every `jobs` value
-/// (pinned by `tests/bitgraph_equiv.rs` and the parallel-equivalence suite).
+/// The routing thresholds pick the representation: graphs at or above
+/// `routing.compressed_crossover` nodes run on the compressed backend
+/// (hybrid chunked rows, SCC-condensed closure); from
+/// `routing.dense_crossover` up they run on the dense bitset backend — one
+/// sparse→dense conversion, then 64 edges per word OR — and with multiple
+/// jobs the rows are partitioned into contiguous source ranges per worker.
+/// Smaller graphs keep the sparse per-source DFS. Deterministic and
+/// bit-identical across backends and every `jobs` value (pinned by
+/// `tests/bitgraph_equiv.rs` and the parallel-equivalence suite).
 pub(crate) fn transitive_closure_jobs(
     g: &DiGraph,
     jobs: usize,
-    dense_crossover: usize,
+    routing: ClosureRouting,
     scratch: &mut CheckScratch,
 ) -> DiGraph {
     let n = g.node_count();
     let jobs = effective_jobs(jobs).min(n.max(1));
     scratch.ensure_workers(jobs);
-    if n >= dense_crossover {
-        scratch.dense_closures += 1;
+    if n >= routing.compressed_crossover {
+        scratch.counts.compressed += 1;
+        return compressed_closure_jobs(g, jobs, scratch);
+    }
+    if n >= routing.dense_crossover {
+        scratch.counts.dense += 1;
         return dense_closure_jobs(g, jobs, scratch);
     }
-    scratch.sparse_closures += 1;
+    scratch.counts.sparse += 1;
     if jobs <= 1 || n < CLOSURE_PAR_THRESHOLD {
         return compc_graph::transitive_closure_with(g, &mut scratch.reach[0]);
     }
@@ -162,6 +214,38 @@ fn dense_closure_jobs(g: &DiGraph, jobs: usize, scratch: &mut CheckScratch) -> D
             let (mine, tail) = rest.split_at_mut((hi - lo) * words);
             rest = tail;
             s.spawn(move || bits.closure_rows_range(lo, hi, mine));
+            lo = hi;
+        }
+    });
+    BitGraph::from_rows(n, rows).to_digraph()
+}
+
+/// The compressed closure path: load the scratch [`ChunkedBitGraph`] from
+/// `g`, close via SCC condensation (one shared closed row per strong
+/// component), then expand. With one job the expansion reuses the
+/// component-shared rows directly (`CondensedClosure::to_digraph`); with
+/// multiple jobs workers expand disjoint contiguous source ranges through
+/// the same `rows_range` contract the dense path partitions.
+fn compressed_closure_jobs(g: &DiGraph, jobs: usize, scratch: &mut CheckScratch) -> DiGraph {
+    let n = g.node_count();
+    let CheckScratch { chunked, scc, .. } = scratch;
+    chunked.load_from(g);
+    let closed = chunked.condensed_closure_with(scc);
+    if jobs <= 1 || n < CLOSURE_PAR_THRESHOLD {
+        return closed.to_digraph();
+    }
+    let words = closed.words_per_row();
+    let chunk = n.div_ceil(jobs);
+    let mut rows = vec![0u64; n * words];
+    std::thread::scope(|s| {
+        let closed = &closed;
+        let mut rest = rows.as_mut_slice();
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            let (mine, tail) = rest.split_at_mut((hi - lo) * words);
+            rest = tail;
+            s.spawn(move || closed.rows_range(lo, hi, mine));
             lo = hi;
         }
     });
@@ -228,13 +312,29 @@ mod tests {
             }
         }
         let seq = compc_graph::transitive_closure(&g);
+        let routings = [
+            // Force each backend outright, plus the default mix.
+            ClosureRouting {
+                dense_crossover: 0,
+                compressed_crossover: usize::MAX,
+            },
+            ClosureRouting {
+                dense_crossover: usize::MAX,
+                compressed_crossover: usize::MAX,
+            },
+            ClosureRouting {
+                dense_crossover: usize::MAX,
+                compressed_crossover: 0,
+            },
+            ClosureRouting::default(),
+        ];
         for jobs in [1, 2, 4, 8] {
-            for crossover in [0, DENSE_CROSSOVER_DEFAULT, usize::MAX] {
-                let par = transitive_closure_jobs(&g, jobs, crossover, &mut CheckScratch::new());
+            for routing in routings {
+                let par = transitive_closure_jobs(&g, jobs, routing, &mut CheckScratch::new());
                 assert_eq!(
                     seq.edges().collect::<Vec<_>>(),
                     par.edges().collect::<Vec<_>>(),
-                    "closure must be identical at jobs={jobs} crossover={crossover}"
+                    "closure must be identical at jobs={jobs} routing={routing:?}"
                 );
             }
         }
@@ -245,9 +345,21 @@ mod tests {
         let mut g = DiGraph::with_nodes(10);
         g.add_edge(0, 1);
         let mut scratch = CheckScratch::new();
-        transitive_closure_jobs(&g, 1, usize::MAX, &mut scratch);
-        transitive_closure_jobs(&g, 1, 0, &mut scratch);
-        transitive_closure_jobs(&g, 1, 0, &mut scratch);
-        assert_eq!(scratch.backend_counts(), (2, 1));
+        let force = |dense_crossover, compressed_crossover| ClosureRouting {
+            dense_crossover,
+            compressed_crossover,
+        };
+        transitive_closure_jobs(&g, 1, force(usize::MAX, usize::MAX), &mut scratch);
+        transitive_closure_jobs(&g, 1, force(0, usize::MAX), &mut scratch);
+        transitive_closure_jobs(&g, 1, force(0, usize::MAX), &mut scratch);
+        transitive_closure_jobs(&g, 1, force(usize::MAX, 0), &mut scratch);
+        assert_eq!(
+            scratch.backend_counts(),
+            BackendCounts {
+                dense: 2,
+                sparse: 1,
+                compressed: 1
+            }
+        );
     }
 }

@@ -207,6 +207,13 @@ pub struct ReduceOptions {
     /// closures; this knob only trades conversion overhead against
     /// word-level parallelism. See [`par::DENSE_CROSSOVER_DEFAULT`].
     pub dense_crossover: usize,
+    /// Node-count crossover at or above which transitive closures run on
+    /// the compressed backend (hybrid chunked rows + SCC-condensed closure)
+    /// instead of flat dense rows; takes precedence over `dense_crossover`.
+    /// `0` forces compressed everywhere, `usize::MAX` disables it. All
+    /// three backends produce bit-identical closures. See
+    /// [`par::COMPRESSED_CROSSOVER_DEFAULT`].
+    pub compressed_crossover: usize,
 }
 
 impl Default for ReduceOptions {
@@ -215,45 +222,90 @@ impl Default for ReduceOptions {
             forget_commuting: true,
             jobs: 1,
             dense_crossover: par::DENSE_CROSSOVER_DEFAULT,
+            compressed_crossover: par::COMPRESSED_CROSSOVER_DEFAULT,
+        }
+    }
+}
+
+impl ReduceOptions {
+    /// The closure-routing thresholds these options resolve to.
+    pub(crate) fn routing(&self) -> par::ClosureRouting {
+        par::ClosureRouting {
+            dense_crossover: self.dense_crossover,
+            compressed_crossover: self.compressed_crossover,
         }
     }
 }
 
 /// Which transitive-closure backend a check runs on. Every choice yields a
 /// bit-identical [`Verdict`]; the knob only trades per-node DFS against
-/// word-parallel bitset sweeps (see `par::DENSE_CROSSOVER_DEFAULT` and
-/// EXPERIMENTS.md E21 for the measured break-even).
+/// word-parallel bitset sweeps against compressed condensation rows (see
+/// `par::DENSE_CROSSOVER_DEFAULT`, `par::COMPRESSED_CROSSOVER_DEFAULT`,
+/// and EXPERIMENTS.md E21/E22 for the measured break-evens).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Backend {
-    /// Size-based crossover at the measured default (the recommended mode).
+    /// Size-based crossovers at the measured defaults (the recommended
+    /// mode): sparse below 64 nodes, dense to the compressed crossover,
+    /// compressed above.
     #[default]
     Auto,
     /// Word-parallel bitset closures everywhere.
     Dense,
     /// Per-source DFS closures everywhere.
     Sparse,
+    /// Compressed closures (hybrid chunked rows + SCC condensation)
+    /// everywhere.
+    Compressed,
     /// Explicit node-count crossover: graphs with at least this many nodes
-    /// close on the dense backend.
+    /// close on the dense backend, smaller ones sparse (never compressed).
     Crossover(usize),
 }
 
 impl Backend {
-    /// The dense-backend crossover this mode resolves to.
-    pub fn crossover(self) -> usize {
+    /// The `(dense, compressed)` crossover pair this mode resolves to:
+    /// closures route compressed at or above the second threshold, dense at
+    /// or above the first, sparse below both.
+    pub fn crossovers(self) -> (usize, usize) {
         match self {
-            Backend::Auto => par::DENSE_CROSSOVER_DEFAULT,
-            Backend::Dense => 0,
-            Backend::Sparse => usize::MAX,
-            Backend::Crossover(n) => n,
+            Backend::Auto => (
+                par::DENSE_CROSSOVER_DEFAULT,
+                par::COMPRESSED_CROSSOVER_DEFAULT,
+            ),
+            Backend::Dense => (0, usize::MAX),
+            Backend::Sparse => (usize::MAX, usize::MAX),
+            Backend::Compressed => (usize::MAX, 0),
+            Backend::Crossover(n) => (n, usize::MAX),
         }
     }
 
-    /// Parses a CLI-style backend name (`auto`, `dense`, `sparse`).
+    /// The dense-backend crossover this mode resolves to.
+    pub fn crossover(self) -> usize {
+        self.crossovers().0
+    }
+
+    /// Reconstructs the mode that resolves to this `(dense, compressed)`
+    /// crossover pair — the inverse of [`Backend::crossovers`] on canonical
+    /// pairs. Non-canonical pairs fall back to `Crossover(dense)`; every
+    /// backend is verdict-neutral, so the fallback only loses the
+    /// compressed threshold, never correctness.
+    pub fn from_crossovers(dense: usize, compressed: usize) -> Backend {
+        match (dense, compressed) {
+            (par::DENSE_CROSSOVER_DEFAULT, par::COMPRESSED_CROSSOVER_DEFAULT) => Backend::Auto,
+            (0, usize::MAX) => Backend::Dense,
+            (usize::MAX, usize::MAX) => Backend::Sparse,
+            (usize::MAX, 0) => Backend::Compressed,
+            (n, _) => Backend::Crossover(n),
+        }
+    }
+
+    /// Parses a CLI-style backend name (`auto`, `dense`, `sparse`,
+    /// `compressed`).
     pub fn parse(name: &str) -> Option<Backend> {
         match name {
             "auto" => Some(Backend::Auto),
             "dense" => Some(Backend::Dense),
             "sparse" => Some(Backend::Sparse),
+            "compressed" => Some(Backend::Compressed),
             _ => None,
         }
     }
@@ -265,6 +317,7 @@ impl std::fmt::Display for Backend {
             Backend::Auto => write!(f, "auto"),
             Backend::Dense => write!(f, "dense"),
             Backend::Sparse => write!(f, "sparse"),
+            Backend::Compressed => write!(f, "compressed"),
             Backend::Crossover(n) => write!(f, "crossover({n})"),
         }
     }
@@ -362,10 +415,12 @@ impl CheckOptions {
 
     /// The reduction-engine view of these options.
     pub fn reduce_options(&self) -> ReduceOptions {
+        let (dense_crossover, compressed_crossover) = self.backend.crossovers();
         ReduceOptions {
             forget_commuting: self.forgetting,
             jobs: self.jobs,
-            dense_crossover: self.backend.crossover(),
+            dense_crossover,
+            compressed_crossover,
         }
     }
 }
@@ -604,7 +659,7 @@ impl<'a> Reducer<'a> {
         options: ReduceOptions,
         mut scratch: CheckScratch,
     ) -> Self {
-        let front = Front::level0_opts(sys, options.jobs, options.dense_crossover, &mut scratch);
+        let front = Front::level0_opts(sys, options.jobs, options.routing(), &mut scratch);
         Reducer {
             sys,
             front,
@@ -793,7 +848,7 @@ impl<'a> Reducer<'a> {
         let observed = par::transitive_closure_jobs(
             &pre.pre_observed,
             self.options.jobs,
-            self.options.dense_crossover,
+            self.options.routing(),
             &mut self.scratch,
         );
         let closure_edges = observed.edge_count().saturating_sub(pre_closure_edges);
@@ -1519,12 +1574,35 @@ mod tests {
         assert_eq!(Backend::parse("auto"), Some(Backend::Auto));
         assert_eq!(Backend::parse("dense"), Some(Backend::Dense));
         assert_eq!(Backend::parse("sparse"), Some(Backend::Sparse));
+        assert_eq!(Backend::parse("compressed"), Some(Backend::Compressed));
         assert_eq!(Backend::parse("gpu"), None);
         assert_eq!(Backend::Dense.crossover(), 0);
         assert_eq!(Backend::Sparse.crossover(), usize::MAX);
         assert_eq!(Backend::Auto.crossover(), par::DENSE_CROSSOVER_DEFAULT);
         assert_eq!(Backend::Crossover(9).crossover(), 9);
         assert_eq!(Backend::Auto.to_string(), "auto");
+        assert_eq!(Backend::Compressed.to_string(), "compressed");
+        assert_eq!(Backend::Dense.crossovers(), (0, usize::MAX));
+        assert_eq!(Backend::Compressed.crossovers(), (usize::MAX, 0));
+        assert_eq!(
+            Backend::Auto.crossovers(),
+            (
+                par::DENSE_CROSSOVER_DEFAULT,
+                par::COMPRESSED_CROSSOVER_DEFAULT
+            )
+        );
+        // Crossover(n) keeps the legacy two-way meaning: never compressed.
+        assert_eq!(Backend::Crossover(9).crossovers(), (9, usize::MAX));
+        for b in [
+            Backend::Auto,
+            Backend::Dense,
+            Backend::Sparse,
+            Backend::Compressed,
+            Backend::Crossover(9),
+        ] {
+            let (d, c) = b.crossovers();
+            assert_eq!(Backend::from_crossovers(d, c), b, "round-trip of {b}");
+        }
     }
 
     /// Transactions with no operations reduce trivially.

@@ -540,7 +540,7 @@ fn close_incremental(
         }
     }
     stats.rows_recomputed += pre.node_count() as u64;
-    par::transitive_closure_jobs(pre, options.jobs, options.dense_crossover, scratch)
+    par::transitive_closure_jobs(pre, options.jobs, options.routing(), scratch)
 }
 
 /// Structural front equality modulo trailing node-count padding: appends

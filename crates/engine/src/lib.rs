@@ -127,6 +127,9 @@ pub struct BatchOutcome {
     pub dense_closures: u64,
     /// Transitive closures this check ran on the sparse DFS backend.
     pub sparse_closures: u64,
+    /// Transitive closures this check ran on the compressed
+    /// (chunked + SCC-condensed) backend.
+    pub compressed_closures: u64,
 }
 
 impl BatchOutcome {
@@ -136,13 +139,18 @@ impl BatchOutcome {
     }
 
     /// Which closure backend this item's check used: `"dense"`, `"sparse"`,
-    /// `"mixed"` (fronts straddled the crossover), or `"-"` (no closure ran,
-    /// e.g. the check faulted before level 0).
+    /// `"compressed"`, `"mixed"` (fronts straddled a crossover), or `"-"`
+    /// (no closure ran, e.g. the check faulted before level 0).
     pub fn backend(&self) -> &'static str {
-        match (self.dense_closures, self.sparse_closures) {
-            (0, 0) => "-",
-            (_, 0) => "dense",
-            (0, _) => "sparse",
+        match (
+            self.dense_closures,
+            self.sparse_closures,
+            self.compressed_closures,
+        ) {
+            (0, 0, 0) => "-",
+            (_, 0, 0) => "dense",
+            (0, _, 0) => "sparse",
+            (0, 0, _) => "compressed",
             _ => "mixed",
         }
     }
@@ -540,6 +548,7 @@ impl Batch {
                     events: Vec::new(),
                     dense_closures: 0,
                     sparse_closures: 0,
+                    compressed_closures: 0,
                 })
             })
             .collect();
@@ -603,19 +612,20 @@ where
         + Sync,
 {
     let nodes = item.system.node_count();
-    let (dense0, sparse0) = scratch.backend_counts();
+    let counts0 = scratch.backend_counts();
     let t0 = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| work(checker, item, scratch))) {
         Ok((result, events)) => {
-            let (dense1, sparse1) = scratch.backend_counts();
+            let counts1 = scratch.backend_counts();
             BatchOutcome {
                 label: item.label.clone(),
                 result,
                 elapsed: t0.elapsed(),
                 nodes,
                 events,
-                dense_closures: dense1 - dense0,
-                sparse_closures: sparse1 - sparse0,
+                dense_closures: counts1.dense - counts0.dense,
+                sparse_closures: counts1.sparse - counts0.sparse,
+                compressed_closures: counts1.compressed - counts0.compressed,
             }
         }
         Err(payload) => {
@@ -630,6 +640,7 @@ where
                 events: Vec::new(),
                 dense_closures: 0,
                 sparse_closures: 0,
+                compressed_closures: 0,
             }
         }
     }

@@ -101,6 +101,14 @@ fn replay_file(path: &Path, expected: bool, max_oracle_nodes: usize) -> Result<b
             dense.is_correct()
         ));
     }
+    let compressed =
+        Checker::with_options(CheckOptions::new().backend(Backend::Compressed)).check(&sys);
+    if compressed.is_correct() != expected {
+        return Err(format!(
+            "compressed engine says {}, file expects {expected}",
+            compressed.is_correct()
+        ));
+    }
     let oracle_ran = sys.node_count() <= max_oracle_nodes;
     if oracle_ran {
         let oracle = compc_oracle::decide(&sys);

@@ -152,12 +152,15 @@ pub struct CheckOutcome {
 /// A cross-check disagreement.
 #[derive(Clone, Debug)]
 pub enum Mismatch {
-    /// Sparse and dense engine backends disagree.
+    /// The engine's closure backends (sparse / dense / compressed)
+    /// disagree.
     Backend {
         /// Sparse verdict.
         sparse: bool,
         /// Dense verdict.
         dense: bool,
+        /// Compressed (chunked + SCC-condensed) verdict.
+        compressed: bool,
     },
     /// Engine and oracle disagree on acceptance.
     Oracle {
@@ -236,8 +239,16 @@ impl Mismatch {
 impl fmt::Display for Mismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Mismatch::Backend { sparse, dense } => {
-                write!(f, "sparse backend says {sparse}, dense says {dense}")
+            Mismatch::Backend {
+                sparse,
+                dense,
+                compressed,
+            } => {
+                write!(
+                    f,
+                    "sparse backend says {sparse}, dense says {dense}, \
+                     compressed says {compressed}"
+                )
             }
             Mismatch::Oracle { engine, oracle } => {
                 write!(f, "engine says {engine}, oracle says {oracle}")
@@ -281,10 +292,13 @@ pub fn differential_check(
 ) -> Result<CheckOutcome, Mismatch> {
     let sparse = Checker::with_options(CheckOptions::new().backend(Backend::Sparse)).check(sys);
     let dense = Checker::with_options(CheckOptions::new().backend(Backend::Dense)).check(sys);
-    if sparse.is_correct() != dense.is_correct() {
+    let compressed =
+        Checker::with_options(CheckOptions::new().backend(Backend::Compressed)).check(sys);
+    if sparse.is_correct() != dense.is_correct() || sparse.is_correct() != compressed.is_correct() {
         return Err(Mismatch::Backend {
             sparse: sparse.is_correct(),
             dense: dense.is_correct(),
+            compressed: compressed.is_correct(),
         });
     }
     let engine = sparse.is_correct();

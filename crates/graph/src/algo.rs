@@ -281,7 +281,26 @@ pub fn strongly_connected_components_with(
     g: &DiGraph,
     scratch: &mut SccScratch,
 ) -> Vec<Vec<usize>> {
-    let n = g.node_count();
+    scc_with_successors(
+        g.node_count(),
+        |v, out| out.extend(g.successors(v)),
+        scratch,
+    )
+}
+
+/// Tarjan over any adjacency source: `succs(v, out)` pushes `v`'s successors
+/// (ascending, like [`DiGraph::successors`]) into `out`. This is the one SCC
+/// implementation shared by the sparse [`DiGraph`] path and the dense/
+/// compressed relation kernels, so component emission order — and therefore
+/// every condensation-based closure — is identical across backends.
+pub(crate) fn scc_with_successors<F>(
+    n: usize,
+    mut succs: F,
+    scratch: &mut SccScratch,
+) -> Vec<Vec<usize>>
+where
+    F: FnMut(usize, &mut Vec<usize>),
+{
     scratch.index.clear();
     scratch.index.resize(n, usize::MAX);
     scratch.low.clear();
@@ -309,7 +328,9 @@ pub fn strongly_connected_components_with(
         next_index += 1;
         stack.push(root);
         on_stack[root] = true;
-        call.push((root, g.successors(root).collect()));
+        let mut root_succ = Vec::new();
+        succs(root, &mut root_succ);
+        call.push((root, root_succ));
         while let Some((v, succ)) = call.last_mut() {
             let v = *v;
             if let Some(w) = succ.pop() {
@@ -319,7 +340,9 @@ pub fn strongly_connected_components_with(
                     next_index += 1;
                     stack.push(w);
                     on_stack[w] = true;
-                    call.push((w, g.successors(w).collect()));
+                    let mut w_succ = Vec::new();
+                    succs(w, &mut w_succ);
+                    call.push((w, w_succ));
                 } else if on_stack[w] {
                     low[v] = low[v].min(index[w]);
                 }

@@ -28,13 +28,13 @@ pub struct BitGraph {
 }
 
 #[inline]
-fn words_for(n: usize) -> usize {
+pub(crate) fn words_for(n: usize) -> usize {
     n.div_ceil(64)
 }
 
 /// Iterates the set-bit indices of a row slice in ascending order.
 #[inline]
-fn row_bits(row: &[u64]) -> impl Iterator<Item = usize> + '_ {
+pub(crate) fn row_bits(row: &[u64]) -> impl Iterator<Item = usize> + '_ {
     row.iter().enumerate().flat_map(|(w, &word)| {
         std::iter::successors((word != 0).then_some(word), |&rest| {
             let rest = rest & (rest - 1);
@@ -119,7 +119,18 @@ impl BitGraph {
 
     /// Adds edge `u -> v` (both must be `< node_count`). Returns whether
     /// the edge is new.
+    ///
+    /// Panics when either endpoint is out of range. The target check is a
+    /// real bound, not just a word-index one: `v` inside the row's trailing
+    /// word but past `n` would silently set a bit beyond the node range and
+    /// break the "bits past `n` are zero" invariant every whole-row word
+    /// operation relies on.
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.n
+        );
         let slot = &mut self.rows[u * self.words + v / 64];
         let bit = 1u64 << (v % 64);
         let fresh = *slot & bit == 0;
@@ -198,7 +209,11 @@ impl BitGraph {
     ///
     /// On a DAG this is a reverse-topological sweep — each node ORs in the
     /// already-closed rows of its direct successors, 64 edges per word op.
-    /// On a cyclic graph it falls back to bitset Floyd–Warshall.
+    /// On a cyclic graph it condenses strong components first (all members
+    /// of a component share one closed row), closes the DAG of components
+    /// with the same reverse-topological sweep at component granularity,
+    /// and expands each component row back — `O(V + E + output)` instead of
+    /// the `O(n³/64)` bitset Floyd–Warshall this path used to run.
     pub fn close_transitively(&mut self) {
         match self.topo_order() {
             Some(order) => {
@@ -211,14 +226,77 @@ impl BitGraph {
                     }
                 }
             }
-            None => {
-                for k in 0..self.n {
-                    for i in 0..self.n {
-                        if self.has_edge(i, k) {
-                            self.or_row_into(i, k);
-                        }
+            None => self.close_via_condensation(),
+        }
+    }
+
+    /// The cyclic-closure path: Tarjan (components emitted in reverse
+    /// topological order, so every successor component is already closed
+    /// when its predecessors are processed), one OR-sweep over component
+    /// rows, then a per-component expansion copied to all members.
+    fn close_via_condensation(&mut self) {
+        let comps = crate::algo::scc_with_successors(
+            self.n,
+            |v, out| out.extend(self.successors(v)),
+            &mut crate::SccScratch::new(),
+        );
+        let ncomps = comps.len();
+        let mut comp_of = vec![0u32; self.n];
+        for (c, members) in comps.iter().enumerate() {
+            for &m in members {
+                comp_of[m] = c as u32;
+            }
+        }
+        // Closed component rows, bitsets over component indices. Emission
+        // order guarantees every successor component index is < c, so one
+        // forward pass closes the condensation DAG.
+        let cw = words_for(ncomps);
+        let mut closed = vec![0u64; ncomps * cw];
+        let mut cyclic = vec![false; ncomps];
+        let mut succ_comps: Vec<usize> = Vec::new();
+        let mut seen = vec![u32::MAX; ncomps];
+        for (c, members) in comps.iter().enumerate() {
+            cyclic[c] = members.len() > 1;
+            succ_comps.clear();
+            for &m in members {
+                for v in self.successors(m) {
+                    let d = comp_of[v] as usize;
+                    if d == c {
+                        cyclic[c] = true;
+                    } else if seen[d] != c as u32 {
+                        seen[d] = c as u32;
+                        succ_comps.push(d);
                     }
                 }
+            }
+            let (head, tail) = closed.split_at_mut(c * cw);
+            let row_c = &mut tail[..cw];
+            for &d in &succ_comps {
+                row_c[d / 64] |= 1u64 << (d % 64);
+                for (rc, rd) in row_c.iter_mut().zip(&head[d * cw..(d + 1) * cw]) {
+                    *rc |= *rd;
+                }
+            }
+        }
+        // Expansion: build each component's node-level row once and copy it
+        // to every member — members of one component have identical closed
+        // rows, so total cost is O(output bits + n * words).
+        let words = self.words;
+        let mut row = vec![0u64; words];
+        for (c, members) in comps.iter().enumerate() {
+            row.fill(0);
+            for d in row_bits(&closed[c * cw..(c + 1) * cw]) {
+                for &m in &comps[d] {
+                    row[m / 64] |= 1u64 << (m % 64);
+                }
+            }
+            if cyclic[c] {
+                for &m in members {
+                    row[m / 64] |= 1u64 << (m % 64);
+                }
+            }
+            for &m in members {
+                self.rows[m * words..(m + 1) * words].copy_from_slice(&row);
             }
         }
     }
@@ -226,8 +304,17 @@ impl BitGraph {
     /// Writes the set of nodes reachable from `start` by paths of length
     /// ≥ 1 into `out` (one row's worth of words, zeroed first). Bitset BFS:
     /// each step ORs whole rows of the current frontier.
+    ///
+    /// Panics when `out` is not exactly one row wide — in release builds a
+    /// short buffer would otherwise truncate the reachable set silently (the
+    /// zip below stops at the shorter side), and a long one would leave
+    /// stale high words.
     pub fn reachable_into(&self, start: usize, out: &mut [u64]) {
-        debug_assert_eq!(out.len(), self.words);
+        assert_eq!(
+            out.len(),
+            self.words,
+            "reachable_into needs a buffer of exactly words_per_row() words"
+        );
         out.fill(0);
         let mut frontier: Vec<u64> = self.row(start).to_vec();
         let mut next: Vec<u64> = vec![0; self.words];
@@ -266,8 +353,20 @@ impl BitGraph {
     /// `(hi - lo) * words_per_row` words). This is the unit the parallel
     /// engine partitions across workers: disjoint row ranges of one shared
     /// read-only graph.
+    ///
+    /// Panics when `out` is not exactly `(hi - lo) * words_per_row()` words:
+    /// a mis-sized buffer would mis-slice rows (corrupting neighbours) or
+    /// panic mid-write after partial output.
     pub fn closure_rows_range(&self, lo: usize, hi: usize, out: &mut [u64]) {
-        debug_assert_eq!(out.len(), (hi - lo) * self.words);
+        assert!(
+            lo <= hi && hi <= self.n,
+            "row range {lo}..{hi} out of bounds"
+        );
+        assert_eq!(
+            out.len(),
+            (hi - lo) * self.words,
+            "closure_rows_range needs (hi - lo) * words_per_row() words"
+        );
         for (i, u) in (lo..hi).enumerate() {
             self.reachable_into(u, &mut out[i * self.words..(i + 1) * self.words]);
         }

@@ -15,6 +15,7 @@
 
 mod algo;
 mod bitgraph;
+mod chunked;
 mod delta;
 mod digraph;
 mod dot;
@@ -27,6 +28,7 @@ pub use algo::{
     CycleInfo, ReachScratch, SccScratch, TopoError,
 };
 pub use bitgraph::{BitGraph, BitOrderRel};
+pub use chunked::{ChunkedBitGraph, CondensedClosure};
 pub use delta::{added_edges, delta_closure, DeltaClosure};
 pub use digraph::DiGraph;
 pub use dot::dot_string;

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Print the benchmark trajectory across every committed BENCH_*.json
-# baseline: one block per file with its per-kernel speedups at the largest
-# measured size, so regressions between PRs are visible at a glance.
+# baseline: one block per file with its per-kernel headline numbers at the
+# largest measured size, so regressions between PRs are visible at a
+# glance. Handles both cell schemas: the paired btree/bitset rows
+# (BENCH_4-style `btree_ns`/`bit_ns`/`speedup`) and the per-backend rows
+# of the scaling sweep (BENCH_7-style `backend`/`mean_ns`/`skipped`).
 #
 #   scripts/bench_summary.sh            # all baselines in the repo root
 #   scripts/bench_summary.sh FILE...    # specific baseline files
@@ -22,24 +25,41 @@ if [ "${#files[@]}" -eq 0 ]; then
     exit 1
 fi
 
-printf '%-14s %-10s %-16s %6s %12s %12s %9s\n' \
-    baseline experiment kernel nodes "BTree ns" "bitset ns" speedup
-printf '%-14s %-10s %-16s %6s %12s %12s %9s\n' \
-    -------- ---------- ------ ----- -------- --------- -------
+printf '%-14s %-10s %-26s %8s %14s %9s\n' \
+    baseline experiment kernel nodes "ns/op" speedup
+printf '%-14s %-10s %-26s %8s %14s %9s\n' \
+    -------- ---------- ------ ----- ----- -------
 for f in "${files[@]}"; do
     [ -f "$f" ] || { echo "bench_summary: $f not found" >&2; exit 1; }
     base="$(basename "$f" .json)"
     exp="$(jq -r '.experiment // "?"' "$f")"
-    # The largest measured size per kernel is the headline number.
-    jq -r '
-        .kernels
-        | group_by(.kernel)[]
-        | max_by(.nodes)
-        | [.kernel, .nodes, (.btree_ns | round), (.bit_ns | round),
-           ((.speedup * 100 | round) / 100)]
-        | @tsv
-    ' "$f" | while IFS=$'\t' read -r kernel nodes btree bit speedup; do
-        printf '%-14s %-10s %-16s %6s %12s %12s %8sx\n' \
-            "$base" "$exp" "$kernel" "$nodes" "$btree" "$bit" "$speedup"
-    done
+    if jq -e '.kernels[0] | has("backend")' "$f" > /dev/null; then
+        # Per-backend scaling rows: headline is the largest *measured*
+        # size per kernel×backend (skipped cells carry no timing).
+        jq -r '
+            .kernels
+            | map(select(.mean_ns != null))
+            | group_by([.kernel, .backend])[]
+            | max_by(.nodes)
+            | [(.kernel + "/" + .backend), .nodes, (.mean_ns | round), "-"]
+            | @tsv
+        ' "$f" | while IFS=$'\t' read -r kernel nodes ns speedup; do
+            printf '%-14s %-10s %-26s %8s %14s %9s\n' \
+                "$base" "$exp" "$kernel" "$nodes" "$ns" "$speedup"
+        done
+    else
+        # Paired btree-vs-bitset rows: headline is the speedup at the
+        # largest measured size per kernel.
+        jq -r '
+            .kernels
+            | group_by(.kernel)[]
+            | max_by(.nodes)
+            | [.kernel, .nodes, (.bit_ns | round),
+               ((.speedup * 100 | round) / 100)]
+            | @tsv
+        ' "$f" | while IFS=$'\t' read -r kernel nodes ns speedup; do
+            printf '%-14s %-10s %-26s %8s %14s %8sx\n' \
+                "$base" "$exp" "$kernel" "$nodes" "$ns" "$speedup"
+        done
+    fi
 done

@@ -6,8 +6,8 @@
 #   scripts/ci.sh lint     # just clippy + rustfmt
 #   scripts/ci.sh smoke    # just the compc-check observability smoke test
 #   scripts/ci.sh soak     # chaos sweep + deadline smoke (robustness gate)
-#   scripts/ci.sh bench-smoke  # E21 kernel sweep (reduced iterations) +
-#                              # dense/sparse verdict equivalence + BENCH schema
+#   scripts/ci.sh bench-smoke  # E21 kernel table + capped E22 scaling sweep +
+#                              # tri-backend verdict equivalence + BENCH schemas
 #   scripts/ci.sh fuzz-smoke   # corpus replay + time-budgeted differential
 #                              # fuzz (engine vs oracle vs theorem gates)
 #   scripts/ci.sh serve-smoke  # compc-serve daemon end-to-end: stream the
@@ -76,19 +76,21 @@ soak() {
     echo "==> soak: OK"
 }
 
-# Bitset-backend gate: the dense kernels must stay verdict-equivalent to the
-# sparse baseline on a random-system spot check, a reduced-iteration E21
-# sweep must run clean (its in-process assertions compare backends pair for
-# pair before timing), and the emitted JSON must match the BENCH_4 schema.
+# Bitset-backend gate: every kernel backend (sparse BTree, dense bitset,
+# compressed chunked + SCC-condensed) must stay verdict-equivalent on a
+# random-system spot check, the reduced E21 table and a size-capped E22
+# scaling sweep must run clean (their in-process assertions compare the
+# backends bit for bit before timing), and the emitted JSON documents must
+# match the BENCH_4 and BENCH_7 schemas.
 bench_smoke() {
-    echo "==> bench-smoke: dense/sparse verdict equivalence (30 systems)"
+    echo "==> bench-smoke: sparse/dense/compressed verdict equivalence (30 systems)"
     cargo build --release -q -p compc-bench --bin exp_scaling
     ./target/release/exp_scaling --verify 30 \
         || { echo "bench-smoke: backend verdict equivalence failed" >&2; exit 1; }
-    echo "==> bench-smoke: reduced E21 kernel sweep"
+    echo "==> bench-smoke: reduced E21 kernel table"
     json="$(mktemp /tmp/compc-bench-XXXXXX.json)"
-    ./target/release/exp_scaling --kernels 3 --json-out "$json" > /dev/null \
-        || { rm -f "$json"; echo "bench-smoke: kernel sweep failed" >&2; exit 1; }
+    ./target/release/exp_scaling --kernels-e21 3 --json-out "$json" > /dev/null \
+        || { rm -f "$json"; echo "bench-smoke: E21 kernel sweep failed" >&2; exit 1; }
     echo "==> bench-smoke: validating BENCH_4 schema"
     jq -e '
         .bench == "BENCH_4"
@@ -106,10 +108,47 @@ bench_smoke() {
             and (.speedup | type == "number" and . > 0))
     ' "$json" > /dev/null \
         || { rm -f "$json"; echo "bench-smoke: emitted JSON does not match the BENCH_4 schema" >&2; exit 1; }
+    echo "==> bench-smoke: capped E22 scaling sweep (4k nodes, all backends)"
+    ./target/release/exp_scaling --kernels 2 --max-nodes 4096 --json-out "$json" > /dev/null \
+        || { rm -f "$json"; echo "bench-smoke: E22 scaling sweep failed" >&2; exit 1; }
+    echo "==> bench-smoke: validating BENCH_7 schema"
+    jq -e '
+        .bench == "BENCH_7"
+        and .experiment == "E22"
+        and (.iters | type == "number")
+        and (.seed | type == "number")
+        and (.dense_crossover_default | type == "number")
+        and (.compressed_crossover_default | type == "number")
+        and (.mem_budget_bytes | type == "number")
+        and (.reach_sample_sources | type == "number")
+        and (.kernels | type == "array" and length > 0)
+        and all(.kernels[];
+            (.kernel | type == "string")
+            and (.backend | IN("btree", "dense", "compressed"))
+            and (.nodes | type == "number")
+            and (.edges | type == "number")
+            and ((.mean_ns | type == "number" and . > 0) or (.skipped | type == "string")))
+        and (.crossovers | type == "array" and length > 0)
+        and all(.crossovers[]; .kernel | type == "string")
+    ' "$json" > /dev/null \
+        || { rm -f "$json"; echo "bench-smoke: emitted JSON does not match the BENCH_7 schema" >&2; exit 1; }
     rm -f "$json"
     if [ -f BENCH_4.json ]; then
         jq -e '.bench == "BENCH_4" and (.kernels | length > 0)' BENCH_4.json > /dev/null \
             || { echo "bench-smoke: committed BENCH_4.json is malformed" >&2; exit 1; }
+    fi
+    if [ -f BENCH_7.json ]; then
+        # The committed full sweep must carry the memory-wall evidence: a
+        # measured compressed closure at >= 100k nodes where plain dense
+        # rows were skipped for blowing the memory budget.
+        jq -e '
+            .bench == "BENCH_7"
+            and ([.kernels[] | select(.backend == "compressed"
+                    and .nodes >= 100000 and (.mean_ns | type == "number"))] | length > 0)
+            and ([.kernels[] | select(.backend == "dense"
+                    and .nodes >= 100000 and (.skipped | type == "string"))] | length > 0)
+        ' BENCH_7.json > /dev/null \
+            || { echo "bench-smoke: committed BENCH_7.json lacks the >=100k compressed-vs-dense evidence" >&2; exit 1; }
     fi
     echo "==> bench-smoke: OK"
 }
@@ -153,7 +192,11 @@ serve_smoke() {
     # exit code lands in $code.
     run_phase() {
         : > "$log"
-        ./target/release/compc-serve --listen 127.0.0.1:0 --checkpoint "$cp" 2> "$log" &
+        # --backend compressed drives the whole stream through the
+        # SCC-condensed chunked kernel, so the daemon gate also exercises
+        # the newest closure backend end to end.
+        ./target/release/compc-serve --listen 127.0.0.1:0 --checkpoint "$cp" \
+            --backend compressed 2> "$log" &
         daemon_pid=$!
         port=""
         for _ in $(seq 1 100); do

@@ -89,7 +89,7 @@ impl Flags {
 }
 
 const USAGE: &str = "usage: compc-check <system.json | dir | corpus.ndjson>... \
-[--jobs N] [--backend auto|dense|sparse] [--trace] [--stats] [--explain] \
+[--jobs N] [--backend auto|dense|sparse|compressed] [--trace] [--stats] [--explain] \
 [--dot] [--minimize] [--oracle] [--deadline-ms N] [--checkpoint FILE]";
 
 fn usage() -> ExitCode {
@@ -110,10 +110,12 @@ fn help() -> ExitCode {
     println!("  --jobs N          parallelism: within-level checks (single mode) or");
     println!("                    worker-pool size (batch mode); 0 = one per core");
     println!("  --backend B       transitive-closure backend: auto (size-based");
-    println!("                    crossover, the default), dense (word-parallel");
-    println!("                    bitsets everywhere), or sparse (per-source DFS");
-    println!("                    everywhere); verdicts are identical either way,");
-    println!("                    --stats reports which backend each check used");
+    println!("                    crossovers, the default), dense (word-parallel");
+    println!("                    bitsets everywhere), sparse (per-source DFS");
+    println!("                    everywhere), or compressed (chunked rows +");
+    println!("                    SCC-condensed closure everywhere); verdicts are");
+    println!("                    identical either way, --stats reports which");
+    println!("                    backend each check used");
     println!("  --trace           print NDJSON reduction events, one per level");
     println!("  --stats           print per-level timing/front histograms");
     println!("  --explain         narrate a failing reduction");
@@ -177,7 +179,7 @@ fn main() -> ExitCode {
                     Some(backend) => backend,
                     None => {
                         eprintln!(
-                            "--backend needs auto, dense, or sparse, got {}",
+                            "--backend needs auto, dense, sparse, or compressed, got {}",
                             args.get(i).map(String::as_str).unwrap_or("nothing")
                         );
                         return usage();
@@ -271,13 +273,14 @@ fn print_ndjson(label: &str, events: &[compc::trace::TraceEvent]) {
 }
 
 /// Formats closure-backend counts, e.g. `dense (4 closures)` or
-/// `mixed (dense 3, sparse 2)`.
-fn backend_line(dense: u64, sparse: u64) -> String {
-    match (dense, sparse) {
-        (0, 0) => "none (no closures ran)".to_string(),
-        (d, 0) => format!("dense ({d} closure{})", plural(d)),
-        (0, s) => format!("sparse ({s} closure{})", plural(s)),
-        (d, s) => format!("mixed (dense {d}, sparse {s})"),
+/// `mixed (dense 3, sparse 2, compressed 1)`.
+fn backend_line(dense: u64, sparse: u64, compressed: u64) -> String {
+    match (dense, sparse, compressed) {
+        (0, 0, 0) => "none (no closures ran)".to_string(),
+        (d, 0, 0) => format!("dense ({d} closure{})", plural(d)),
+        (0, s, 0) => format!("sparse ({s} closure{})", plural(s)),
+        (0, 0, c) => format!("compressed ({c} closure{})", plural(c)),
+        (d, s, c) => format!("mixed (dense {d}, sparse {s}, compressed {c})"),
     }
 }
 
@@ -361,8 +364,11 @@ fn check_single(path: &str, flags: &Flags) -> ExitCode {
             let mut stats = TraceStats::default();
             replay(&sink.events, &mut stats);
             println!("{stats}");
-            let (dense, sparse) = scratch.backend_counts();
-            println!("closure backend: {}", backend_line(dense, sparse));
+            let counts = scratch.backend_counts();
+            println!(
+                "closure backend: {}",
+                backend_line(counts.dense, counts.sparse, counts.compressed)
+            );
         }
         result
     } else {
@@ -511,6 +517,7 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
     let mut metrics = BatchMetrics::default();
     let mut total_dense = 0u64;
     let mut total_sparse = 0u64;
+    let mut total_compressed = 0u64;
     let mut oracle_checked = 0u64;
     let mut oracle_skipped = 0u64;
     let mut oracle_disagreements = 0u64;
@@ -533,6 +540,7 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
             // only worth a column when the user asked for stats.
             total_dense += o.dense_closures;
             total_sparse += o.sparse_closures;
+            total_compressed += o.compressed_closures;
             let backend = if flags.stats {
                 format!(" [{}]", o.backend())
             } else {
@@ -610,7 +618,7 @@ fn check_batch(paths: &[String], flags: &Flags) -> ExitCode {
             println!("{metrics}");
             println!(
                 "closure backends: {}",
-                backend_line(total_dense, total_sparse)
+                backend_line(total_dense, total_sparse, total_compressed)
             );
         }
     } else {

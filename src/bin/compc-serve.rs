@@ -10,8 +10,8 @@
 //! → {"append": {<more nodes/relations — merged into the session>}}
 //! ← {"ok": true, "verdict": "not-comp-c", "level": 1, "phase": "...", ...}
 //! → {"op": "stats"}        ← {"ok": true, "appends": 2, ...}
-//! → {"op": "checkpoint"}   ← {"ok": true, "checkpoint": "state.json"}
-//! → {"op": "shutdown"}     ← {"ok": true, "shutdown": true}   (daemon exits)
+//! → {"op": "checkpoint"}   ← {"ok": true, "checkpoint": "state.json", "saved": true}
+//! → {"op": "shutdown"}     ← {"ok": true, "shutdown": true, "saved": false}   (exits)
 //! ```
 //!
 //! Each `append` merges its fragment into the accumulated spec, rebuilds
@@ -77,7 +77,7 @@ impl Flags {
 }
 
 const USAGE: &str = "usage: compc-serve (--socket PATH | --listen ADDR) \
-[--jobs N] [--backend auto|dense|sparse] [--deadline-ms N] [--oracle] \
+[--jobs N] [--backend auto|dense|sparse|compressed] [--deadline-ms N] [--oracle] \
 [--checkpoint FILE] [--trace] [--once]
        compc-serve --split SYSTEM.json";
 
@@ -102,7 +102,8 @@ fn help() -> ExitCode {
     println!("                    (port 0 picks a free port; the chosen address is");
     println!("                    printed on stderr)");
     println!("  --jobs N          within-level parallelism per append; 0 = one per core");
-    println!("  --backend B       transitive-closure backend: auto | dense | sparse");
+    println!("  --backend B       transitive-closure backend: auto | dense | sparse |");
+    println!("                    compressed");
     println!("  --deadline-ms N   per-append budget; an interrupted append keeps its");
     println!("                    completed levels and resumes when re-sent");
     println!("  --oracle          cross-check every verdict against the brute-force");
@@ -122,7 +123,9 @@ fn help() -> ExitCode {
     println!("  {{\"append\": {{<spec fragment>}}}}  merge + incremental recheck");
     println!("  {{\"op\": \"stats\"}}                 session work counters");
     println!("  {{\"op\": \"checkpoint\"}}            write the checkpoint file now");
-    println!("  {{\"op\": \"shutdown\"}}              save checkpoint and exit");
+    println!("  {{\"op\": \"shutdown\"}}              save checkpoint (if --checkpoint) and exit;");
+    println!("                                  the response's \"saved\" field says whether");
+    println!("                                  a checkpoint file was actually written");
     println!();
     println!("exit codes:");
     println!("  0  clean shutdown, every verdict Comp-C");
@@ -210,7 +213,7 @@ fn main() -> ExitCode {
                     Some(backend) => backend,
                     None => {
                         eprintln!(
-                            "--backend needs auto, dense, or sparse, got {}",
+                            "--backend needs auto, dense, sparse, or compressed, got {}",
                             args.get(i).map(String::as_str).unwrap_or("nothing")
                         );
                         return usage();
@@ -468,23 +471,50 @@ impl Daemon {
         match request.get("op").and_then(Value::as_str) {
             Some("stats") => (self.stats_response(), Control::Continue),
             Some("checkpoint") => match self.save_checkpoint() {
-                Ok(()) => {
-                    let target = self
-                        .flags
-                        .checkpoint
-                        .clone()
-                        .unwrap_or_else(|| "(no --checkpoint file configured)".to_string());
+                Ok(true) => {
+                    let target = self.flags.checkpoint.clone().expect("saved implies a path");
                     (
-                        ok_object(vec![("checkpoint".to_string(), Value::from(target))]),
+                        ok_object(vec![
+                            ("checkpoint".to_string(), Value::from(target)),
+                            ("saved".to_string(), Value::from(true)),
+                        ]),
                         Control::Continue,
                     )
                 }
+                Ok(false) => (
+                    ok_object(vec![
+                        (
+                            "checkpoint".to_string(),
+                            Value::from("(no --checkpoint file configured)"),
+                        ),
+                        ("saved".to_string(), Value::from(false)),
+                    ]),
+                    Control::Continue,
+                ),
                 Err(e) => (error_object("checkpoint", e), Control::Continue),
             },
-            Some("shutdown") => (
-                ok_object(vec![("shutdown".to_string(), Value::from(true))]),
-                Control::Shutdown,
-            ),
+            // Save *here*, not just in the post-loop epilogue, so the
+            // response can report honestly whether state was persisted —
+            // without `--checkpoint` nothing is saved and the client is
+            // told so instead of the old implied-save silence.
+            Some("shutdown") => match self.save_checkpoint() {
+                Ok(saved) => (
+                    ok_object(vec![
+                        ("shutdown".to_string(), Value::from(true)),
+                        ("saved".to_string(), Value::from(saved)),
+                    ]),
+                    Control::Shutdown,
+                ),
+                // A failing disk must not make the daemon unstoppable: the
+                // client gets the error, the daemon still exits.
+                Err(e) => {
+                    let mut response = error_object("checkpoint", e);
+                    if let Value::Object(entries) = &mut response {
+                        entries.push(("shutdown".to_string(), Value::from(true)));
+                    }
+                    (response, Control::Shutdown)
+                }
+            },
             Some(other) => (
                 error_object("protocol", format!("unknown op \"{other}\"")),
                 Control::Continue,
@@ -633,15 +663,41 @@ impl Daemon {
         println!("{}", event_to_ndjson_line(&end, Some(&label)));
     }
 
-    /// Atomically rewrites the checkpoint file (write-temp-then-rename), a
-    /// no-op without `--checkpoint`.
-    fn save_checkpoint(&self) -> Result<(), String> {
+    /// Atomically rewrites the checkpoint file. Returns whether a file was
+    /// actually written (`false` without `--checkpoint`), so callers can
+    /// report a save truthfully instead of implying one happened.
+    ///
+    /// Durability order matters: the temp file is fsynced *before* the
+    /// rename (otherwise a crash can leave the rename durable but the
+    /// contents not — an empty or truncated "checkpoint"), and the parent
+    /// directory is fsynced after so the rename itself survives a crash.
+    /// A leftover `.tmp` from a kill mid-write is harmless: restore only
+    /// ever reads the real path, and the next save overwrites the temp.
+    fn save_checkpoint(&self) -> Result<bool, String> {
+        use std::io::Write as _;
         let Some(path) = &self.flags.checkpoint else {
-            return Ok(());
+            return Ok(false);
         };
         let tmp = format!("{path}.tmp");
-        std::fs::write(&tmp, self.session.checkpoint_json())
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("cannot create checkpoint {tmp}: {e}"))?;
+        file.write_all(self.session.checkpoint_json().as_bytes())
             .map_err(|e| format!("cannot write checkpoint {tmp}: {e}"))?;
-        std::fs::rename(&tmp, path).map_err(|e| format!("cannot replace checkpoint {path}: {e}"))
+        file.sync_all()
+            .map_err(|e| format!("cannot sync checkpoint {tmp}: {e}"))?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("cannot replace checkpoint {path}: {e}"))?;
+        // Make the rename durable too. Directory fsync is best-effort: some
+        // filesystems refuse to open directories for writing, and a crash
+        // here only loses the newest checkpoint, never corrupts one.
+        let dir = std::path::Path::new(path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| std::path::Path::new("."));
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(true)
     }
 }

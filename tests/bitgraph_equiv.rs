@@ -11,7 +11,8 @@
 
 use compc::core::{check, Backend, CheckOptions, Checker, Verdict};
 use compc::graph::{
-    reachable_from, transitive_closure, BitGraph, BitOrderRel, DiGraph, PartialOrderRel,
+    reachable_from, transitive_closure, BitGraph, BitOrderRel, ChunkedBitGraph, DiGraph,
+    PartialOrderRel,
 };
 use compc::workload::figures::{figure1, figure2, figure3_incorrect, figure4_correct};
 use compc::workload::random::{generate, GenParams, Shape};
@@ -174,7 +175,8 @@ proptest! {
     }
 
     /// End to end: the checker's verdict is bit-identical whether closures
-    /// run forced-sparse, forced-dense, or on the default crossover.
+    /// run forced-sparse, forced-dense, forced-compressed, or on the
+    /// default crossovers.
     #[test]
     fn checker_verdict_identical_across_backends(
         seed in 0u64..100_000,
@@ -193,15 +195,101 @@ proptest! {
             seed,
         });
         let baseline = fingerprint(&check(&sys));
-        for crossover in [0usize, 64, usize::MAX] {
-            let v = Checker::with_options(CheckOptions::new().backend(Backend::Crossover(crossover)))
-                .check(&sys);
+        for backend in [
+            Backend::Crossover(0),
+            Backend::Crossover(64),
+            Backend::Crossover(usize::MAX),
+            Backend::Compressed,
+        ] {
+            let v = Checker::with_options(CheckOptions::new().backend(backend)).check(&sys);
             prop_assert_eq!(
                 &fingerprint(&v),
                 &baseline,
-                "verdict diverged at crossover={}", crossover
+                "verdict diverged at backend={}", backend
             );
         }
+    }
+
+    /// The SCC-condensed compressed closure is bit-identical to the sparse
+    /// DFS closure and the dense bitset closure on random DAGs and cyclic
+    /// graphs — the full cross-backend triangle, per edge.
+    #[test]
+    fn condensed_closure_identical_across_backends(
+        seed in 0u64..100_000,
+        n in arb_nodes(),
+        degree in 1u8..=6,
+        dag in proptest::bool::ANY,
+    ) {
+        let g = random_graph(n, degree as f64, dag, seed);
+        let sparse = transitive_closure(&g);
+        let mut dense = BitGraph::from_digraph(&g);
+        dense.close_transitively();
+        let condensed = ChunkedBitGraph::from_digraph(&g).condensed_closure();
+        prop_assert_eq!(&condensed.to_digraph(), &sparse, "n={} dag={}", n, dag);
+        prop_assert_eq!(&dense.to_digraph(), &sparse);
+        prop_assert_eq!(condensed.edge_count(), sparse.edge_count());
+        // Row expansion through the partitionable range contract agrees too.
+        let words = condensed.words_per_row();
+        let mut rows = vec![0u64; n * words];
+        condensed.rows_range(0, n, &mut rows);
+        prop_assert_eq!(&BitGraph::from_rows(n, rows).to_digraph(), &sparse);
+        // And the chunked graph's own BFS reachability matches the closure.
+        let chunked = ChunkedBitGraph::from_digraph(&g);
+        let mut row = vec![0u64; words];
+        for u in 0..n {
+            chunked.reachable_into(u, &mut row);
+            let reached: Vec<usize> = (0..n).filter(|&v| row[v / 64] >> (v % 64) & 1 == 1).collect();
+            prop_assert_eq!(reached, sparse.successors(u).collect::<Vec<_>>(), "source {}", u);
+        }
+    }
+
+    /// Extreme component structure: one giant cycle (a single SCC whose
+    /// closure is the complete relation), all singletons (a DAG chain), and
+    /// a mixed graph gluing both — the condensed representation must agree
+    /// with the dense closure on each.
+    #[test]
+    fn condensed_closure_extreme_components(
+        n in 2usize..=130,
+        shape in 0u8..=2,
+    ) {
+        let mut g = DiGraph::with_nodes(n);
+        match shape {
+            0 => {
+                // One giant cycle: closure is all n² pairs.
+                for i in 0..n {
+                    g.add_edge(i, (i + 1) % n);
+                }
+            }
+            1 => {
+                // All singletons on a chain: closure is the strict order.
+                for i in 0..n - 1 {
+                    g.add_edge(i, i + 1);
+                }
+            }
+            _ => {
+                // Mixed: a cycle over the first half feeding a chain tail.
+                let half = (n / 2).max(1);
+                for i in 0..half {
+                    g.add_edge(i, (i + 1) % half);
+                }
+                for i in half..n - 1 {
+                    g.add_edge(i, i + 1);
+                }
+                if half < n {
+                    g.add_edge(0, half);
+                }
+            }
+        }
+        let sparse = transitive_closure(&g);
+        let condensed = ChunkedBitGraph::from_digraph(&g).condensed_closure();
+        prop_assert_eq!(&condensed.to_digraph(), &sparse, "n={} shape={}", n, shape);
+        if shape == 0 {
+            prop_assert_eq!(condensed.component_count(), 1);
+            prop_assert_eq!(condensed.edge_count(), n * n);
+        }
+        let mut dense = BitGraph::from_digraph(&g);
+        dense.close_transitively();
+        prop_assert_eq!(&dense.to_digraph(), &sparse);
     }
 }
 
@@ -240,15 +328,139 @@ fn figure_examples_verdicts_unchanged_by_backend() {
         ("figure4", figure4_correct()),
     ] {
         let baseline = fingerprint(&check(&fig.system));
-        for crossover in [0usize, 64, usize::MAX] {
-            let v =
-                Checker::with_options(CheckOptions::new().backend(Backend::Crossover(crossover)))
-                    .check(&fig.system);
+        for backend in [
+            Backend::Crossover(0),
+            Backend::Crossover(64),
+            Backend::Crossover(usize::MAX),
+            Backend::Sparse,
+            Backend::Dense,
+            Backend::Compressed,
+        ] {
+            let v = Checker::with_options(CheckOptions::new().backend(backend)).check(&fig.system);
             assert_eq!(
                 fingerprint(&v),
                 baseline,
-                "{name} verdict changed at crossover={crossover}"
+                "{name} verdict changed at backend={backend}"
             );
         }
     }
+}
+
+/// Growing an already-populated graph across a word-boundary size change
+/// (one row word → two, two → three) must re-stride the old rows: a bit at
+/// column 62 lives in word 0 of a 1-word row but still word 0 of a 2-word
+/// row *of different stride*. These pin the `load_from` reuse path — the
+/// original boundary tests only covered fresh construction.
+#[test]
+fn grow_across_word_boundary_then_query() {
+    for (small, big) in [
+        (63usize, 64usize),
+        (63, 65),
+        (64, 65),
+        (127, 128),
+        (127, 129),
+        (128, 129),
+    ] {
+        // A small graph with bits in the last word, near the boundary.
+        let mut g_small = DiGraph::with_nodes(small);
+        g_small.add_edge(0, small - 1);
+        g_small.add_edge(small - 1, small - 2);
+        let mut bits = BitGraph::from_digraph(&g_small);
+        bits.close_transitively();
+        assert!(bits.has_edge(0, small - 2), "small={small} closure");
+
+        // Reuse the same buffer for a bigger graph whose word count differs.
+        let mut g_big = DiGraph::with_nodes(big);
+        g_big.add_edge(0, big - 1);
+        g_big.add_edge(big - 1, 1);
+        g_big.add_edge(1, 0);
+        bits.load_from(&g_big);
+        assert_eq!(bits.node_count(), big);
+        assert_eq!(bits.edge_count(), 3, "{small}->{big} reload edge count");
+        assert!(!bits.has_edge(0, small - 2), "stale bit survived regrow");
+        bits.close_transitively();
+        assert_eq!(
+            bits.to_digraph(),
+            transitive_closure(&g_big),
+            "{small}->{big} closure after regrow"
+        );
+
+        // And shrinking back must not leave stale high-word bits either.
+        bits.load_from(&g_small);
+        assert_eq!(bits.node_count(), small);
+        assert_eq!(bits.edge_count(), 2, "{big}->{small} shrink edge count");
+
+        // Same boundary crossing for the order relation's `ensure_element`
+        // relayout (insert auto-grows the element universe).
+        let mut sparse_rel = PartialOrderRel::with_elements(small);
+        let mut dense_rel = BitOrderRel::with_elements(small);
+        for (a, b) in [(0, small - 1), (small - 1, small - 2)] {
+            assert_eq!(dense_rel.insert(a, b), sparse_rel.insert(a, b));
+        }
+        for (a, b) in [(small - 2, big - 1), (big - 1, big - 2)] {
+            assert_eq!(
+                dense_rel.insert(a, b),
+                sparse_rel.insert(a, b),
+                "{small}->{big} grow-insert ({a}, {b})"
+            );
+        }
+        assert_eq!(
+            dense_rel.pairs().collect::<Vec<_>>(),
+            sparse_rel.pairs().collect::<Vec<_>>(),
+            "{small}->{big} pairs after ensure_element regrow"
+        );
+        assert!(dense_rel.lt(0, big - 2), "transitivity across the regrow");
+    }
+
+    // The chunked backend's reload path crosses the same boundaries.
+    for (small, big) in [(63usize, 65usize), (127, 129)] {
+        let mut g_small = DiGraph::with_nodes(small);
+        g_small.add_edge(0, small - 1);
+        let mut chunked = ChunkedBitGraph::from_digraph(&g_small);
+        let mut g_big = DiGraph::with_nodes(big);
+        g_big.add_edge(big - 1, 0);
+        chunked.load_from(&g_big);
+        assert_eq!(chunked.edge_count(), 1);
+        assert!(!chunked.has_edge(0, small - 1), "stale chunked edge");
+        assert!(chunked.has_edge(big - 1, 0));
+    }
+}
+
+/// A release-build caller handing `reachable_into` a short buffer must get
+/// a panic, not silent truncation (the guards were `debug_assert` once).
+#[test]
+#[should_panic(expected = "words_per_row")]
+fn bitgraph_reachable_into_rejects_short_buffer() {
+    let g = BitGraph::from_digraph(&DiGraph::with_nodes(100));
+    let mut short = vec![0u64; 1];
+    g.reachable_into(0, &mut short);
+}
+
+/// Same for the row-range extraction the parallel engine partitions with.
+#[test]
+#[should_panic(expected = "words_per_row")]
+fn bitgraph_closure_rows_range_rejects_short_buffer() {
+    let g = BitGraph::from_digraph(&DiGraph::with_nodes(100));
+    let mut short = vec![0u64; 3];
+    g.closure_rows_range(0, 10, &mut short);
+}
+
+/// An out-of-bounds row range must panic before any slicing happens.
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn bitgraph_closure_rows_range_rejects_bad_range() {
+    let g = BitGraph::from_digraph(&DiGraph::with_nodes(10));
+    let mut out = vec![0u64; 20];
+    g.closure_rows_range(5, 25, &mut out);
+}
+
+/// `add_edge` with a target inside the trailing word but past `n` used to
+/// set the bit silently, corrupting the "bits past n are zero" invariant
+/// every word-parallel operation relies on. Now it panics like `u >= n`
+/// always did.
+#[test]
+#[should_panic(expected = "out of range")]
+fn bitgraph_add_edge_rejects_target_past_n_within_word() {
+    let mut g = BitGraph::with_nodes(3);
+    g.add_edge(0, 5);
 }

@@ -262,6 +262,107 @@ fn usage_errors_exit_2() {
 }
 
 #[test]
+fn shutdown_without_checkpoint_reports_saved_false() {
+    let dir = tmpdir();
+    let socket = dir.join("d.sock");
+    let daemon = Daemon::spawn(&["--socket", socket.to_str().unwrap()]);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // No --checkpoint configured: both the explicit checkpoint op and the
+    // shutdown op must say so instead of implying a save happened.
+    let cp = roundtrip(&mut reader, &mut writer, "{\"op\": \"checkpoint\"}");
+    assert_eq!(cp.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(cp.get("saved").and_then(Value::as_bool), Some(false));
+
+    let bye = roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(bye.get("shutdown").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        bye.get("saved").and_then(Value::as_bool),
+        Some(false),
+        "shutdown without --checkpoint must not claim a save: {}",
+        bye.to_compact()
+    );
+    assert_eq!(daemon.wait_code(), 0);
+}
+
+#[test]
+fn stale_tmp_from_a_kill_between_write_and_rename_is_harmless() {
+    let dir = tmpdir();
+    let socket = dir.join("e.sock");
+    let checkpoint = dir.join("e.checkpoint.json");
+    let fragments = figure3_fragments();
+    let split = fragments.len() / 2;
+
+    // First daemon writes a valid checkpoint for the first half.
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+    ]);
+    {
+        let stream = wait_for_socket(&socket);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for request in &fragments[..split] {
+            let response = roundtrip(&mut reader, &mut writer, request);
+            assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        }
+        let bye = roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+        assert_eq!(bye.get("saved").and_then(Value::as_bool), Some(true));
+    }
+    daemon.wait_code();
+    let valid = std::fs::read_to_string(&checkpoint).unwrap();
+    parse(&valid).expect("checkpoint is valid JSON");
+
+    // Simulate a kill between the temp-file write and the rename: a
+    // truncated garbage `.tmp` is left next to the real checkpoint. The
+    // save protocol (write tmp, fsync, rename) guarantees restore never
+    // reads it and the next save simply overwrites it.
+    let tmp = dir.join("e.checkpoint.json.tmp");
+    std::fs::write(&tmp, "{\"truncated").unwrap();
+
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+    ]);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut last = None;
+    for (k, request) in fragments[split..].iter().enumerate() {
+        let response = roundtrip(&mut reader, &mut writer, request);
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "garbage .tmp must not poison the restore: {}",
+            response.to_compact()
+        );
+        assert_eq!(
+            response.get("appends").and_then(Value::as_u64),
+            Some((split + k) as u64 + 1),
+            "restore must come from the real checkpoint, not the .tmp"
+        );
+        last = Some(response);
+    }
+    assert_eq!(str_field(&last.unwrap(), "verdict"), "not-comp-c");
+
+    let bye = roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(bye.get("saved").and_then(Value::as_bool), Some(true));
+    assert_eq!(daemon.wait_code(), 1);
+
+    // The rename consumed the temp file and the final checkpoint is whole.
+    assert!(!tmp.exists(), "a completed save leaves no .tmp behind");
+    let after = std::fs::read_to_string(&checkpoint).unwrap();
+    parse(&after).expect("post-restart checkpoint is valid JSON");
+}
+
+#[test]
 fn deadline_interruption_is_resumable_and_exits_3() {
     let dir = tmpdir();
     let socket = dir.join("c.sock");
