@@ -214,6 +214,18 @@ impl Session {
         self.options
     }
 
+    /// Replaces the per-append wall-clock budget (`None` disables it).
+    ///
+    /// The deadline is read afresh at the start of every append, so this
+    /// is safe mid-session — unlike the backend or forgetting options,
+    /// which shape the cached level state and are fixed at construction.
+    /// `compc-serve` uses this to replay its write-ahead journal at
+    /// startup without the replay itself being interrupted by
+    /// `--deadline-ms`.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.options.deadline = deadline;
+    }
+
     /// The session's cooperative cancel token: set it to `true` (from any
     /// thread) to interrupt the current or next append at a level boundary.
     /// The token is *not* auto-reset; clear it to resume.

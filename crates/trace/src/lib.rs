@@ -95,6 +95,24 @@ pub enum TraceEvent {
         /// Simulated time of the injection.
         time: u64,
     },
+    /// A point-in-time snapshot of the `compc-serve` daemon's serving-layer
+    /// gauges, emitted on each `stats` op and at drain start under
+    /// `--trace` so load, shedding and journal lag share the check event
+    /// stream.
+    ServeGauges {
+        /// Connections currently open.
+        connections: u64,
+        /// Highest concurrent connection count seen.
+        peak_connections: u64,
+        /// Requests queued for the dispatch thread right now.
+        queue_depth: u64,
+        /// Connections shed with an `overloaded` error (over `--max-conns`).
+        shed: u64,
+        /// Appends journaled since the last compaction (journal lag).
+        journal_lag: u64,
+        /// Requests that panicked and were isolated (`internal` errors).
+        internal_faults: u64,
+    },
 }
 
 impl TraceEvent {
@@ -105,6 +123,7 @@ impl TraceEvent {
             TraceEvent::Level { .. } => "level",
             TraceEvent::CheckEnd { .. } => "check_end",
             TraceEvent::Fault { .. } => "fault",
+            TraceEvent::ServeGauges { .. } => "serve_gauges",
         }
     }
 
@@ -176,6 +195,22 @@ impl TraceEvent {
                 ("component", num(component)),
                 ("tx", tx.map_or(Value::Null, |t| Value::Num(t as f64))),
                 ("time", Value::Num(time as f64)),
+            ]),
+            TraceEvent::ServeGauges {
+                connections,
+                peak_connections,
+                queue_depth,
+                shed,
+                journal_lag,
+                internal_faults,
+            } => object(vec![
+                ("event", Value::Str("serve_gauges".into())),
+                ("connections", Value::Num(connections as f64)),
+                ("peak_connections", Value::Num(peak_connections as f64)),
+                ("queue_depth", Value::Num(queue_depth as f64)),
+                ("shed", Value::Num(shed as f64)),
+                ("journal_lag", Value::Num(journal_lag as f64)),
+                ("internal_faults", Value::Num(internal_faults as f64)),
             ]),
         }
     }
@@ -478,6 +513,9 @@ impl TraceSink for TraceStats {
                 self.faults_injected += 1;
                 self.record_fault_kind(fault, 1);
             }
+            // Serving-layer gauges are point-in-time, not per-check work;
+            // they pass through aggregation untouched.
+            TraceEvent::ServeGauges { .. } => {}
         }
     }
 }

@@ -12,7 +12,12 @@
 #                              # fuzz (engine vs oracle vs theorem gates)
 #   scripts/ci.sh serve-smoke  # compc-serve daemon end-to-end: stream the
 #                              # Figure 3 appends, checkpoint restart
-#                              # mid-stream, grep the violation verdict
+#                              # mid-stream, grep the violation verdict,
+#                              # two concurrent clients against one daemon
+#   scripts/ci.sh serve-soak   # kill-anywhere crash-recovery soak: SIGKILL
+#                              # the journaled daemon at random points,
+#                              # assert zero acked-append loss and
+#                              # bit-identical recovered verdicts
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -241,9 +246,67 @@ serve_smoke() {
         || { echo "serve-smoke: expected exit 1 (violation served), got $code" >&2; exit 1; }
     kill -0 "$daemon_pid" 2>/dev/null \
         && { echo "serve-smoke: daemon still running after shutdown" >&2; exit 1; }
+
+    # Phase 3: two clients interleave the same append stream against one
+    # fresh daemon while a third connection sits idle — per-connection
+    # reader threads mean the idle one cannot stall the active two, and
+    # every append still lands in global order.
+    echo "==> serve-smoke: phase 3 (two concurrent clients, one daemon)"
+    : > "$log"
+    ./target/release/compc-serve --listen 127.0.0.1:0 2> "$log" &
+    daemon_pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+        port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")"
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    [ -n "$port" ] || { echo "serve-smoke: phase-3 daemon never announced its port" >&2; exit 1; }
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    exec 4<>"/dev/tcp/127.0.0.1/$port"
+    exec 5<>"/dev/tcp/127.0.0.1/$port"   # idle third: connects, never writes
+    : > "$dir/phase3.out"
+    local i=0 fd response
+    while IFS= read -r line; do
+        if [ $((i % 2)) -eq 0 ]; then fd=3; else fd=4; fi
+        printf '%s\n' "$line" >&"$fd"
+        IFS= read -r -u "$fd" response
+        printf '%s\n' "$response" >> "$dir/phase3.out"
+        i=$((i + 1))
+    done < "$dir/requests.ndjson"
+    [ "$(grep -c '"ok":true' "$dir/phase3.out")" -eq "$total" ] \
+        || { echo "serve-smoke: not every interleaved append was acked" >&2; exit 1; }
+    printf '{"op": "stats"}\n' >&3
+    IFS= read -r -u 3 response
+    printf '%s' "$response" | grep -q '"peak_connections":3' \
+        || { echo "serve-smoke: stats did not see 3 concurrent connections: $response" >&2; exit 1; }
+    printf '{"op": "shutdown"}\n' >&4
+    IFS= read -r -u 4 response
+    exec 3>&- 3<&- 4>&- 4<&- 5>&- 5<&-
+    set +e
+    wait "$daemon_pid"
+    code=$?
+    set -e
+    [ "$code" -eq 1 ] \
+        || { echo "serve-smoke: phase 3 expected exit 1, got $code" >&2; exit 1; }
     rm -rf "$dir"
     trap - EXIT
     echo "==> serve-smoke: OK"
+}
+
+# Crash-recovery gate: the kill-anywhere soak. A resilient client streams
+# a seeded random workload at a journaled daemon while the harness
+# SIGKILLs it at uniformly random points (including mid-journal-write,
+# mid-compaction, and mid-startup-replay) and restarts it, asserting zero
+# acked-append loss after every restart and a bit-identical final verdict
+# versus an uninterrupted batch check. CI runs >= 20 kills; run
+# `./target/release/serve-soak --kills 200` locally for the full dose.
+serve_soak() {
+    echo "==> serve-soak: kill-anywhere crash recovery (seeded, 20 kills)"
+    cargo build --release -q --bin compc-serve --bin serve-soak
+    ./target/release/serve-soak --kills 20 --seed 2026 --roots 16 \
+        || { echo "serve-soak: the durability contract did not hold" >&2; exit 1; }
+    echo "==> serve-soak: OK"
 }
 
 case "$stage" in
@@ -254,6 +317,7 @@ case "$stage" in
     bench-smoke) bench_smoke ;;
     fuzz-smoke) fuzz_smoke ;;
     serve-smoke) serve_smoke ;;
+    serve-soak) serve_soak ;;
     all)
         tier1
         lint
@@ -262,9 +326,10 @@ case "$stage" in
         bench_smoke
         fuzz_smoke
         serve_smoke
+        serve_soak
         ;;
     *)
-        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|bench-smoke|fuzz-smoke|serve-smoke|all]" >&2
+        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|bench-smoke|fuzz-smoke|serve-smoke|serve-soak|all]" >&2
         exit 2
         ;;
 esac

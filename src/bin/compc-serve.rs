@@ -1,85 +1,52 @@
 //! `compc-serve` — long-lived incremental Comp-C checking daemon.
 //!
-//! Serves a [`compc::session::SpecSession`] over a Unix or TCP socket. The
-//! client streams NDJSON requests (one JSON object per line) and receives
-//! one NDJSON response line per request:
+//! This binary is a thin flag parser over [`compc::serve`], which holds
+//! the actual serving core: a concurrent accept/reader/writer edge around
+//! a single state-owning dispatch thread, per-request panic isolation, a
+//! write-ahead append journal, and overload/drain control (see
+//! `DESIGN.md` §8 for the architecture and the durability contract).
+//!
+//! The protocol is NDJSON over a Unix or TCP socket, one response line per
+//! request line:
 //!
 //! ```text
 //! → {"append": {<system-spec fragment, same format compc-check reads>}}
 //! ← {"ok": true, "verdict": "comp-c", "appends": 1, "nodes": 6, ...}
 //! → {"append": {<more nodes/relations — merged into the session>}}
 //! ← {"ok": true, "verdict": "not-comp-c", "level": 1, "phase": "...", ...}
-//! → {"op": "stats"}        ← {"ok": true, "appends": 2, ...}
+//! → {"op": "stats"}        ← {"ok": true, "appends": 2, "connections": 1, ...}
 //! → {"op": "checkpoint"}   ← {"ok": true, "checkpoint": "state.json", "saved": true}
-//! → {"op": "shutdown"}     ← {"ok": true, "shutdown": true, "saved": false}   (exits)
+//! → {"op": "shutdown"}     ← {"ok": true, "shutdown": true, "saved": false}   (drains, exits)
 //! ```
 //!
 //! Each `append` merges its fragment into the accumulated spec, rebuilds
-//! the system, and rechecks it *incrementally* — only the reduction levels
-//! the fragment could have changed are recomputed (see `DESIGN.md` §8).
-//! Verdicts are bit-identical to a from-scratch `compc-check` run of the
-//! merged spec. A failed append (parse, merge, model, or invalid-extension
-//! error) leaves the session unchanged: `{"ok": false, "kind": "spec" |
-//! "invalid", "error": ...}`. An append that exceeds `--deadline-ms`
-//! returns `{"ok": false, "kind": "interrupted", ...}` and keeps the
-//! completed levels — re-sending the same fragment resumes where it left
-//! off.
-//!
-//! `--checkpoint FILE` restores the session from FILE at startup (if it
-//! exists) and rewrites it after every successful append and on shutdown,
-//! so a restarted daemon resumes mid-stream. `--trace` mirrors each
-//! append as `compc-trace` NDJSON `check_start`/`check_end` events on
-//! stdout for live observability. Clients may connect, disconnect and
-//! reconnect; the session persists across connections (`--once` exits
-//! after the first connection instead).
+//! the system, and rechecks it *incrementally* — verdicts are bit-identical
+//! to a from-scratch `compc-check` run of the merged spec. With
+//! `--journal FILE` every accepted append is fsynced to a write-ahead
+//! journal before its verdict is acked, so **an acked verdict survives any
+//! single crash**; `--checkpoint FILE` adds snapshot/restore and journal
+//! compaction on top.
 //!
 //! Exit codes mirror `compc-check`: 0 = clean shutdown, every verdict
 //! Comp-C; 1 = clean shutdown, at least one violation verdict served;
-//! 2 = usage/socket/checkpoint error or an engine/oracle disagreement
-//! under `--oracle` (takes precedence); 3 = at least one append was
-//! interrupted by `--deadline-ms` (takes precedence over 1).
+//! 2 = usage/socket/checkpoint error, an engine/oracle disagreement under
+//! `--oracle`, or an isolated internal fault (takes precedence); 3 = at
+//! least one append was interrupted by `--deadline-ms` (takes precedence
+//! over 1).
 
-use compc::core::{Backend, CheckOptions, SessionError, Verdict};
+use compc::core::Backend;
 use compc::json::Value;
-use compc::session::{SpecSession, SpecSessionError};
+use compc::serve::client::{stream_requests, BackoffPolicy, Target};
+use compc::serve::{serve, ServeConfig};
 use compc::spec::SystemSpec;
-use compc::trace::{event_to_ndjson_line, TraceEvent};
-use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
-use std::time::{Duration, Instant};
-
-#[derive(Clone, Default)]
-struct Flags {
-    socket: Option<String>,
-    listen: Option<String>,
-    checkpoint: Option<String>,
-    jobs: usize,
-    backend: Backend,
-    deadline_ms: Option<u64>,
-    oracle: bool,
-    trace: bool,
-    once: bool,
-}
-
-impl Flags {
-    /// The same unified [`CheckOptions`] `compc-check` builds from its
-    /// flags — one struct, every mode.
-    fn check_options(&self) -> CheckOptions {
-        let mut options = CheckOptions::new()
-            .jobs(self.jobs)
-            .backend(self.backend)
-            .oracle(self.oracle);
-        if let Some(ms) = self.deadline_ms {
-            options = options.deadline(Duration::from_millis(ms));
-        }
-        options
-    }
-}
 
 const USAGE: &str = "usage: compc-serve (--socket PATH | --listen ADDR) \
 [--jobs N] [--backend auto|dense|sparse|compressed] [--deadline-ms N] [--oracle] \
-[--checkpoint FILE] [--trace] [--once]
-       compc-serve --split SYSTEM.json";
+[--checkpoint FILE] [--journal FILE] [--max-conns N] [--idle-timeout-ms N] \
+[--max-line-bytes N] [--drain-timeout-ms N] [--trace] [--once]
+       compc-serve --split SYSTEM.json
+       compc-serve --send SYSTEM.json (--socket PATH | --connect ADDR)";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -96,8 +63,8 @@ fn help() -> ExitCode {
     println!("{USAGE}");
     println!();
     println!("options:");
-    println!("  --socket PATH     listen on a Unix domain socket at PATH (removed");
-    println!("                    and re-created at startup, unlinked on shutdown)");
+    println!("  --socket PATH     listen on a Unix domain socket at PATH (a stale");
+    println!("                    socket is replaced; anything else at PATH is refused)");
     println!("  --listen ADDR     listen on a TCP address, e.g. 127.0.0.1:7878");
     println!("                    (port 0 picks a free port; the chosen address is");
     println!("                    printed on stderr)");
@@ -108,30 +75,66 @@ fn help() -> ExitCode {
     println!("                    completed levels and resumes when re-sent");
     println!("  --oracle          cross-check every verdict against the brute-force");
     println!("                    oracle (small systems); a disagreement exits 2");
-    println!("  --checkpoint FILE restore the session from FILE at startup and");
-    println!("                    rewrite it after each successful append");
+    println!("  --checkpoint FILE restore the session from FILE at startup; rewritten");
+    println!("                    on compaction and shutdown (and, without --journal,");
+    println!("                    after each successful append)");
+    println!("  --journal FILE    write-ahead append journal: every accepted append is");
+    println!("                    fsynced to FILE before its verdict is acked, replayed");
+    println!("                    past the checkpoint at startup, and truncated when");
+    println!("                    the checkpoint op compacts");
+    println!("  --max-conns N     connections beyond N are shed with a structured");
+    println!("                    \"overloaded\" error (default 64)");
+    println!("  --idle-timeout-ms N  close connections idle for N ms with a");
+    println!("                    \"timeout\" error; 0 = never (default 30000)");
+    println!("  --max-line-bytes N   request lines over N bytes are answered with an");
+    println!("                    \"oversize\" error and discarded (default 1048576)");
+    println!("  --drain-timeout-ms N how long shutdown keeps serving queued requests");
+    println!("                    before abandoning them (default 5000)");
     println!("  --trace           mirror each append as compc-trace NDJSON events");
-    println!("                    (check_start/check_end) on stdout");
+    println!("                    (check_start/check_end, plus serve_gauges) on stdout");
     println!("  --once            exit after the first client disconnects");
     println!("  --split FILE      client helper: split a system spec into one");
     println!("                    NDJSON append request line per root subtree");
     println!("                    (ready to pipe into a running daemon) and exit");
+    println!("  --send FILE       resilient client: split FILE as --split does and");
+    println!("                    stream the appends to a running daemon (--socket or");
+    println!("                    --connect), with exponential-backoff reconnects and");
+    println!("                    resume-after-restart; prints each response line");
+    println!("  --connect ADDR    TCP target for --send, e.g. 127.0.0.1:7878");
+    println!("  --inject-panic TOKEN  testing aid: panic on any request line containing");
+    println!("                    TOKEN, exercising the panic-isolation path");
     println!("  --version, -V     print the version and exit");
     println!("  --help, -h        print this help and exit");
     println!();
     println!("protocol (NDJSON over the socket, one response line per request):");
-    println!("  {{\"append\": {{<spec fragment>}}}}  merge + incremental recheck");
-    println!("  {{\"op\": \"stats\"}}                 session work counters");
-    println!("  {{\"op\": \"checkpoint\"}}            write the checkpoint file now");
-    println!("  {{\"op\": \"shutdown\"}}              save checkpoint (if --checkpoint) and exit;");
-    println!("                                  the response's \"saved\" field says whether");
-    println!("                                  a checkpoint file was actually written");
+    println!("  {{\"append\": {{<spec fragment>}}}}  merge + incremental recheck; with");
+    println!("                                  --journal, fsynced before the ack");
+    println!("  {{\"op\": \"stats\"}}                 session counters and serving gauges");
+    println!("                                  (connections, shed, queue_depth, ...)");
+    println!("  {{\"op\": \"checkpoint\"}}            write the checkpoint file now and");
+    println!("                                  compact (truncate) the journal");
+    println!("  {{\"op\": \"shutdown\"}}              save checkpoint (if --checkpoint), drain,");
+    println!("                                  and exit; the response's \"saved\" field says");
+    println!("                                  whether a checkpoint file was actually written");
+    println!("  (SIGTERM/SIGINT likewise stop accepting, drain in-flight requests");
+    println!("   under --drain-timeout-ms, save, and exit)");
+    println!();
+    println!("error kinds ({{\"ok\": false, \"kind\": ..., \"error\": ...}}):");
+    println!("  spec | invalid    the fragment was rejected; session unchanged");
+    println!("  interrupted       --deadline-ms hit; resumable, re-send the fragment");
+    println!("  overloaded        shed at --max-conns capacity; retry with backoff");
+    println!("  oversize          request line over --max-line-bytes; discarded");
+    println!("  timeout           connection idle past --idle-timeout-ms; closed");
+    println!("  protocol          not JSON / not UTF-8 / unknown op");
+    println!("  journal | checkpoint  durability write failed; append not acked");
+    println!("  internal          the handler panicked; isolated, session restored");
     println!();
     println!("exit codes:");
     println!("  0  clean shutdown, every verdict Comp-C");
     println!("  1  clean shutdown, at least one violation verdict served");
-    println!("  2  usage, socket, or checkpoint error, or an engine/oracle");
-    println!("     disagreement under --oracle — takes precedence");
+    println!("  2  usage, socket, or checkpoint error, an engine/oracle");
+    println!("     disagreement under --oracle, or an isolated internal");
+    println!("     fault — takes precedence");
     println!("  3  at least one append hit --deadline-ms (and nothing worse)");
     ExitCode::SUCCESS
 }
@@ -142,10 +145,10 @@ fn version() -> &'static str {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut flags = Flags {
-        jobs: 1,
-        ..Flags::default()
-    };
+    let mut config = ServeConfig::default();
+    let mut split_file: Option<String> = None;
+    let mut send_file: Option<String> = None;
+    let mut connect: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -154,78 +157,88 @@ fn main() -> ExitCode {
                 println!("compc-serve {}", version());
                 return ExitCode::SUCCESS;
             }
-            "--oracle" => flags.oracle = true,
-            "--trace" => flags.trace = true,
-            "--once" => flags.once = true,
-            "--socket" => {
-                i += 1;
-                match args.get(i) {
-                    Some(p) => flags.socket = Some(p.clone()),
-                    None => {
-                        eprintln!("--socket needs a path");
-                        return usage();
-                    }
+            "--oracle" => config.oracle = true,
+            "--trace" => config.trace = true,
+            "--once" => config.once = true,
+            "--socket" => match take(&args, &mut i, "--socket needs a path") {
+                Some(p) => config.socket = Some(p),
+                None => return usage(),
+            },
+            "--listen" => match take(
+                &args,
+                &mut i,
+                "--listen needs an address, e.g. 127.0.0.1:7878",
+            ) {
+                Some(a) => config.listen = Some(a),
+                None => return usage(),
+            },
+            "--checkpoint" => match take(&args, &mut i, "--checkpoint needs a file path") {
+                Some(p) => config.checkpoint = Some(p),
+                None => return usage(),
+            },
+            "--journal" => match take(&args, &mut i, "--journal needs a file path") {
+                Some(p) => config.journal = Some(p),
+                None => return usage(),
+            },
+            "--split" => match take(&args, &mut i, "--split needs a system spec file") {
+                Some(p) => split_file = Some(p),
+                None => return usage(),
+            },
+            "--send" => match take(&args, &mut i, "--send needs a system spec file") {
+                Some(p) => send_file = Some(p),
+                None => return usage(),
+            },
+            "--connect" => match take(
+                &args,
+                &mut i,
+                "--connect needs an address, e.g. 127.0.0.1:7878",
+            ) {
+                Some(a) => connect = Some(a),
+                None => return usage(),
+            },
+            "--inject-panic" => match take(&args, &mut i, "--inject-panic needs a token") {
+                Some(t) => config.inject_panic = Some(t),
+                None => return usage(),
+            },
+            "--jobs" => match take_number(&args, &mut i, "--jobs") {
+                Some(n) => config.jobs = n as usize,
+                None => return usage(),
+            },
+            "--max-conns" => match take_number(&args, &mut i, "--max-conns") {
+                Some(n) if n > 0 => config.max_conns = n as usize,
+                _ => {
+                    eprintln!("--max-conns needs a positive number");
+                    return usage();
                 }
-            }
-            "--listen" => {
-                i += 1;
-                match args.get(i) {
-                    Some(a) => flags.listen = Some(a.clone()),
-                    None => {
-                        eprintln!("--listen needs an address, e.g. 127.0.0.1:7878");
-                        return usage();
-                    }
+            },
+            "--idle-timeout-ms" => match take_number(&args, &mut i, "--idle-timeout-ms") {
+                Some(n) => config.idle_timeout_ms = n,
+                None => return usage(),
+            },
+            "--max-line-bytes" => match take_number(&args, &mut i, "--max-line-bytes") {
+                Some(n) if n > 0 => config.max_line_bytes = n as usize,
+                _ => {
+                    eprintln!("--max-line-bytes needs a positive number");
+                    return usage();
                 }
-            }
-            "--checkpoint" => {
-                i += 1;
-                match args.get(i) {
-                    Some(p) => flags.checkpoint = Some(p.clone()),
-                    None => {
-                        eprintln!("--checkpoint needs a file path");
-                        return usage();
-                    }
-                }
-            }
-            "--split" => {
-                i += 1;
-                match args.get(i) {
-                    Some(p) => return split(p),
-                    None => {
-                        eprintln!("--split needs a system spec file");
-                        return usage();
-                    }
-                }
-            }
-            "--jobs" => {
-                i += 1;
-                flags.jobs = match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(n) => n,
-                    None => {
-                        eprintln!("--jobs needs a non-negative number (0 = one per core)");
-                        return usage();
-                    }
-                };
-            }
+            },
+            "--drain-timeout-ms" => match take_number(&args, &mut i, "--drain-timeout-ms") {
+                Some(n) => config.drain_timeout_ms = n,
+                None => return usage(),
+            },
+            "--deadline-ms" => match take_number(&args, &mut i, "--deadline-ms") {
+                Some(n) => config.deadline_ms = Some(n),
+                None => return usage(),
+            },
             "--backend" => {
                 i += 1;
-                flags.backend = match args.get(i).map(String::as_str).and_then(Backend::parse) {
+                config.backend = match args.get(i).map(String::as_str).and_then(Backend::parse) {
                     Some(backend) => backend,
                     None => {
                         eprintln!(
                             "--backend needs auto, dense, sparse, or compressed, got {}",
                             args.get(i).map(String::as_str).unwrap_or("nothing")
                         );
-                        return usage();
-                    }
-                };
-            }
-            "--deadline-ms" => {
-                i += 1;
-                flags.deadline_ms = match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(n) => Some(n),
-                    None => {
-                        eprintln!("--deadline-ms needs a number of milliseconds");
                         return usage();
                     }
                 };
@@ -237,7 +250,21 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
-    match (&flags.socket, &flags.listen) {
+    if let Some(path) = split_file {
+        return split(&path);
+    }
+    if let Some(path) = send_file {
+        let target = match (config.socket, connect) {
+            (Some(path), None) => Target::Unix(path),
+            (None, Some(addr)) => Target::Tcp(addr),
+            _ => {
+                eprintln!("--send needs exactly one of --socket PATH or --connect ADDR");
+                return usage();
+            }
+        };
+        return send(&path, &target);
+    }
+    match (&config.socket, &config.listen) {
         (Some(_), Some(_)) => {
             eprintln!("--socket and --listen are mutually exclusive");
             usage()
@@ -246,26 +273,44 @@ fn main() -> ExitCode {
             eprintln!("one of --socket or --listen is required");
             usage()
         }
-        _ => serve(flags),
+        _ => match serve(config) {
+            Ok(report) => ExitCode::from(report.exit_code()),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        },
+    }
+}
+
+fn take(args: &[String], i: &mut usize, complaint: &str) -> Option<String> {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => Some(v.clone()),
+        None => {
+            eprintln!("{complaint}");
+            None
+        }
+    }
+}
+
+fn take_number(args: &[String], i: &mut usize, flag: &str) -> Option<u64> {
+    *i += 1;
+    match args.get(*i).and_then(|v| v.parse().ok()) {
+        Some(n) => Some(n),
+        None => {
+            eprintln!("{flag} needs a non-negative number");
+            None
+        }
     }
 }
 
 /// `--split`: prints one NDJSON `{"append": ...}` request line per root
 /// subtree of the given spec, ready to pipe into a running daemon.
 fn split(path: &str) -> ExitCode {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let spec = match SystemSpec::parse(&text) {
+    let spec = match load_spec(path) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::from(2);
-        }
+        Err(code) => return code,
     };
     for fragment in spec.into_appends() {
         let request = Value::Object(vec![("append".to_string(), fragment.to_json())]);
@@ -274,430 +319,55 @@ fn split(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Daemon state shared across connections: the session itself plus the
-/// outcome counters the exit code is computed from.
-struct Daemon {
-    session: SpecSession,
-    flags: Flags,
-    violations: u64,
-    interruptions: u64,
-    disagreements: u64,
-}
-
-enum Control {
-    Continue,
-    Shutdown,
-}
-
-fn serve(flags: Flags) -> ExitCode {
-    let session = match &flags.checkpoint {
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(text) => match SpecSession::from_checkpoint(&text, flags.check_options()) {
-                Ok(session) => {
-                    eprintln!(
-                        "restored checkpoint {path}: {} node(s), {} schedule(s)",
-                        session.spec().nodes.len(),
-                        session.spec().schedules.len()
-                    );
-                    session
-                }
-                Err(e) => {
-                    eprintln!("cannot restore checkpoint {path}: {e}");
-                    return ExitCode::from(2);
-                }
-            },
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                SpecSession::with_options(flags.check_options())
-            }
-            Err(e) => {
-                eprintln!("cannot read checkpoint {path}: {e}");
-                return ExitCode::from(2);
-            }
-        },
-        None => SpecSession::with_options(flags.check_options()),
+/// `--send`: splits like `--split`, then streams the appends to a running
+/// daemon through the resilient client (bounded exponential backoff with
+/// jitter; after a daemon restart, unacked lines are re-sent).
+fn send(path: &str, target: &Target) -> ExitCode {
+    let spec = match load_spec(path) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
-    let mut daemon = Daemon {
-        session,
-        flags,
-        violations: 0,
-        interruptions: 0,
-        disagreements: 0,
-    };
-
-    let outcome = if let Some(path) = daemon.flags.socket.clone() {
-        serve_unix(&path, &mut daemon)
-    } else {
-        let addr = daemon.flags.listen.clone().expect("checked in main");
-        serve_tcp(&addr, &mut daemon)
-    };
-    if let Err(e) = outcome {
-        eprintln!("{e}");
+    let lines: Vec<String> = spec
+        .into_appends()
+        .into_iter()
+        .map(|fragment| {
+            Value::Object(vec![("append".to_string(), fragment.to_json())]).to_compact()
+        })
+        .collect();
+    let report = stream_requests(target, &lines, &BackoffPolicy::default(), |_, response| {
+        println!("{}", response.to_compact());
+    });
+    if report.reconnects > 0 {
+        eprintln!(
+            "reconnected {} time(s), re-sent {} line(s)",
+            report.reconnects, report.resent
+        );
+    }
+    if let Some(reason) = report.gave_up {
+        eprintln!(
+            "gave up after acking {}/{} request(s): {reason}",
+            report.acked,
+            lines.len()
+        );
         return ExitCode::from(2);
     }
-    if let Err(e) = daemon.save_checkpoint() {
-        eprintln!("{e}");
-        return ExitCode::from(2);
-    }
-    if daemon.disagreements > 0 {
-        eprintln!("{} engine/oracle disagreement(s)", daemon.disagreements);
-        ExitCode::from(2)
-    } else if daemon.interruptions > 0 {
-        ExitCode::from(3)
-    } else if daemon.violations > 0 {
+    if report.violations > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
     }
 }
 
-fn serve_unix(path: &str, daemon: &mut Daemon) -> Result<(), String> {
-    use std::os::unix::net::UnixListener;
-    // A stale socket file from a previous run would make bind fail.
-    match std::fs::remove_file(path) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-        Err(e) => return Err(format!("cannot remove stale socket {path}: {e}")),
-    }
-    let listener =
-        UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path}: {e}"))?;
-    eprintln!("listening on {path}");
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(e) => {
-                eprintln!("accept failed: {e}");
-                continue;
-            }
-        };
-        let reader = stream
-            .try_clone()
-            .map_err(|e| format!("cannot clone connection: {e}"))?;
-        match handle_client(BufReader::new(reader), stream, daemon) {
-            Control::Shutdown => break,
-            Control::Continue if daemon.flags.once => break,
-            Control::Continue => {}
+fn load_spec(path: &str) -> Result<SystemSpec, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return Err(ExitCode::from(2));
         }
-    }
-    let _ = std::fs::remove_file(path);
-    Ok(())
-}
-
-fn serve_tcp(addr: &str, daemon: &mut Daemon) -> Result<(), String> {
-    use std::net::TcpListener;
-    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    match listener.local_addr() {
-        Ok(local) => eprintln!("listening on {local}"),
-        Err(_) => eprintln!("listening on {addr}"),
-    }
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(e) => {
-                eprintln!("accept failed: {e}");
-                continue;
-            }
-        };
-        let reader = stream
-            .try_clone()
-            .map_err(|e| format!("cannot clone connection: {e}"))?;
-        match handle_client(BufReader::new(reader), stream, daemon) {
-            Control::Shutdown => break,
-            Control::Continue if daemon.flags.once => break,
-            Control::Continue => {}
-        }
-    }
-    Ok(())
-}
-
-/// Serves one connection: one response line per request line. Returns
-/// whether the daemon should keep accepting.
-fn handle_client<R: Read, W: Write>(
-    reader: BufReader<R>,
-    mut writer: W,
-    daemon: &mut Daemon,
-) -> Control {
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("connection read failed: {e}");
-                return Control::Continue;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, control) = daemon.handle_line(&line);
-        if writeln!(writer, "{}", response.to_compact()).is_err() || writer.flush().is_err() {
-            // The client is gone; any shutdown decision still stands.
-            return control;
-        }
-        if let Control::Shutdown = control {
-            return Control::Shutdown;
-        }
-    }
-    Control::Continue
-}
-
-fn ok_object(mut fields: Vec<(String, Value)>) -> Value {
-    let mut entries = vec![("ok".to_string(), Value::from(true))];
-    entries.append(&mut fields);
-    Value::Object(entries)
-}
-
-fn error_object(kind: &str, message: String) -> Value {
-    Value::Object(vec![
-        ("ok".to_string(), Value::from(false)),
-        ("kind".to_string(), Value::from(kind)),
-        ("error".to_string(), Value::from(message)),
-    ])
-}
-
-impl Daemon {
-    /// Dispatches one request line to one response value.
-    fn handle_line(&mut self, line: &str) -> (Value, Control) {
-        let request = match compc::json::parse(line) {
-            Ok(v) => v,
-            Err(e) => {
-                return (
-                    error_object("protocol", format!("request is not JSON: {e}")),
-                    Control::Continue,
-                )
-            }
-        };
-        if let Some(fragment) = request.get("append") {
-            return (self.handle_append(fragment), Control::Continue);
-        }
-        match request.get("op").and_then(Value::as_str) {
-            Some("stats") => (self.stats_response(), Control::Continue),
-            Some("checkpoint") => match self.save_checkpoint() {
-                Ok(true) => {
-                    let target = self.flags.checkpoint.clone().expect("saved implies a path");
-                    (
-                        ok_object(vec![
-                            ("checkpoint".to_string(), Value::from(target)),
-                            ("saved".to_string(), Value::from(true)),
-                        ]),
-                        Control::Continue,
-                    )
-                }
-                Ok(false) => (
-                    ok_object(vec![
-                        (
-                            "checkpoint".to_string(),
-                            Value::from("(no --checkpoint file configured)"),
-                        ),
-                        ("saved".to_string(), Value::from(false)),
-                    ]),
-                    Control::Continue,
-                ),
-                Err(e) => (error_object("checkpoint", e), Control::Continue),
-            },
-            // Save *here*, not just in the post-loop epilogue, so the
-            // response can report honestly whether state was persisted —
-            // without `--checkpoint` nothing is saved and the client is
-            // told so instead of the old implied-save silence.
-            Some("shutdown") => match self.save_checkpoint() {
-                Ok(saved) => (
-                    ok_object(vec![
-                        ("shutdown".to_string(), Value::from(true)),
-                        ("saved".to_string(), Value::from(saved)),
-                    ]),
-                    Control::Shutdown,
-                ),
-                // A failing disk must not make the daemon unstoppable: the
-                // client gets the error, the daemon still exits.
-                Err(e) => {
-                    let mut response = error_object("checkpoint", e);
-                    if let Value::Object(entries) = &mut response {
-                        entries.push(("shutdown".to_string(), Value::from(true)));
-                    }
-                    (response, Control::Shutdown)
-                }
-            },
-            Some(other) => (
-                error_object("protocol", format!("unknown op \"{other}\"")),
-                Control::Continue,
-            ),
-            None => (
-                error_object(
-                    "protocol",
-                    "request must be {\"append\": {...}} or {\"op\": \"...\"}".to_string(),
-                ),
-                Control::Continue,
-            ),
-        }
-    }
-
-    fn handle_append(&mut self, fragment: &Value) -> Value {
-        let fragment = match SystemSpec::from_json(fragment) {
-            Ok(spec) => spec,
-            Err(e) => return error_object("spec", e.to_string()),
-        };
-        let started = Instant::now();
-        match self.session.append(&fragment) {
-            Ok(verdict) => {
-                let verdict = verdict.clone();
-                let elapsed_ns = started.elapsed().as_nanos() as u64;
-                self.emit_trace(&verdict, elapsed_ns);
-                if verdict.is_correct() {
-                    if let Err(e) = self.save_checkpoint() {
-                        return error_object("checkpoint", e);
-                    }
-                    self.verdict_response(&verdict)
-                } else {
-                    self.violations += 1;
-                    if let Err(e) = self.save_checkpoint() {
-                        return error_object("checkpoint", e);
-                    }
-                    self.verdict_response(&verdict)
-                }
-            }
-            Err(SpecSessionError::Session(SessionError::Interrupted(e))) => {
-                self.interruptions += 1;
-                let mut response = error_object("interrupted", e.to_string());
-                if let Value::Object(entries) = &mut response {
-                    entries.push(("resumable".to_string(), Value::from(true)));
-                }
-                response
-            }
-            Err(SpecSessionError::OracleDisagreement { engine_correct }) => {
-                self.disagreements += 1;
-                error_object(
-                    "oracle-disagreement",
-                    SpecSessionError::OracleDisagreement { engine_correct }.to_string(),
-                )
-            }
-            Err(SpecSessionError::Session(e)) => error_object("invalid", e.to_string()),
-            Err(e) => error_object("spec", e.to_string()),
-        }
-    }
-
-    /// The one verdict line per append: the stats ride along so a client
-    /// can watch the incremental path work (`levels_reused` growing).
-    fn verdict_response(&self, verdict: &Verdict) -> Value {
-        let stats = self.session.stats();
-        let mut fields = vec![
-            (
-                "verdict".to_string(),
-                Value::from(if verdict.is_correct() {
-                    "comp-c"
-                } else {
-                    "not-comp-c"
-                }),
-            ),
-            ("appends".to_string(), Value::from(stats.appends)),
-        ];
-        if let Some(sys) = self.session.system() {
-            fields.push(("nodes".to_string(), Value::from(sys.node_count())));
-            fields.push(("order".to_string(), Value::from(sys.order())));
-        }
-        fields.push((
-            "levels_reused".to_string(),
-            Value::from(stats.levels_reused),
-        ));
-        fields.push(("rows_spliced".to_string(), Value::from(stats.rows_spliced)));
-        if let Verdict::Incorrect(cex) = verdict {
-            fields.push(("level".to_string(), Value::from(cex.level)));
-            fields.push(("phase".to_string(), Value::from(cex.phase.tag())));
-            fields.push(("cycle".to_string(), Value::from(cex.cycle_names.clone())));
-        }
-        ok_object(fields)
-    }
-
-    fn stats_response(&self) -> Value {
-        let stats = self.session.stats();
-        ok_object(vec![
-            ("appends".to_string(), Value::from(stats.appends)),
-            (
-                "levels_computed".to_string(),
-                Value::from(stats.levels_computed),
-            ),
-            (
-                "levels_reused".to_string(),
-                Value::from(stats.levels_reused),
-            ),
-            (
-                "rows_recomputed".to_string(),
-                Value::from(stats.rows_recomputed),
-            ),
-            ("rows_spliced".to_string(), Value::from(stats.rows_spliced)),
-            ("violations".to_string(), Value::from(self.violations)),
-            ("interruptions".to_string(), Value::from(self.interruptions)),
-        ])
-    }
-
-    /// Mirrors one append as `compc-trace` `check_start`/`check_end`
-    /// events on stdout (the socket carries the responses, so stdout is a
-    /// pure event stream).
-    fn emit_trace(&self, verdict: &Verdict, elapsed_ns: u64) {
-        if !self.flags.trace {
-            return;
-        }
-        let Some(sys) = self.session.system() else {
-            return;
-        };
-        let label = format!("append-{}", self.session.stats().appends);
-        let start = TraceEvent::CheckStart {
-            nodes: sys.node_count(),
-            schedules: sys.schedule_count(),
-            order: sys.order(),
-        };
-        let end = match verdict {
-            Verdict::Correct(_) => TraceEvent::CheckEnd {
-                correct: true,
-                levels_completed: sys.order(),
-                failed_level: None,
-                failed_phase: None,
-                elapsed_ns,
-            },
-            Verdict::Incorrect(cex) => TraceEvent::CheckEnd {
-                correct: false,
-                levels_completed: cex.level.saturating_sub(1),
-                failed_level: Some(cex.level),
-                failed_phase: Some(cex.phase.tag()),
-                elapsed_ns,
-            },
-        };
-        println!("{}", event_to_ndjson_line(&start, Some(&label)));
-        println!("{}", event_to_ndjson_line(&end, Some(&label)));
-    }
-
-    /// Atomically rewrites the checkpoint file. Returns whether a file was
-    /// actually written (`false` without `--checkpoint`), so callers can
-    /// report a save truthfully instead of implying one happened.
-    ///
-    /// Durability order matters: the temp file is fsynced *before* the
-    /// rename (otherwise a crash can leave the rename durable but the
-    /// contents not — an empty or truncated "checkpoint"), and the parent
-    /// directory is fsynced after so the rename itself survives a crash.
-    /// A leftover `.tmp` from a kill mid-write is harmless: restore only
-    /// ever reads the real path, and the next save overwrites the temp.
-    fn save_checkpoint(&self) -> Result<bool, String> {
-        use std::io::Write as _;
-        let Some(path) = &self.flags.checkpoint else {
-            return Ok(false);
-        };
-        let tmp = format!("{path}.tmp");
-        let mut file = std::fs::File::create(&tmp)
-            .map_err(|e| format!("cannot create checkpoint {tmp}: {e}"))?;
-        file.write_all(self.session.checkpoint_json().as_bytes())
-            .map_err(|e| format!("cannot write checkpoint {tmp}: {e}"))?;
-        file.sync_all()
-            .map_err(|e| format!("cannot sync checkpoint {tmp}: {e}"))?;
-        drop(file);
-        std::fs::rename(&tmp, path)
-            .map_err(|e| format!("cannot replace checkpoint {path}: {e}"))?;
-        // Make the rename durable too. Directory fsync is best-effort: some
-        // filesystems refuse to open directories for writing, and a crash
-        // here only loses the newest checkpoint, never corrupts one.
-        let dir = std::path::Path::new(path)
-            .parent()
-            .filter(|p| !p.as_os_str().is_empty())
-            .unwrap_or_else(|| std::path::Path::new("."));
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-        Ok(true)
-    }
+    };
+    SystemSpec::parse(&text).map_err(|e| {
+        eprintln!("{path}: {e}");
+        ExitCode::from(2)
+    })
 }

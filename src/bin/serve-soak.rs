@@ -1,0 +1,503 @@
+//! `serve-soak` — kill-anywhere crash-recovery soak for `compc-serve`.
+//!
+//! Proves the daemon's durability contract ("an acked verdict survives any
+//! single crash") by doing its best to break it: a resilient client
+//! streams a random append workload at a journaled daemon while this
+//! harness SIGKILLs the daemon at uniformly random points — including
+//! mid-journal-write, mid-compaction (the workload interleaves
+//! `checkpoint` ops), and mid-startup-replay (kills may land before the
+//! socket even appears) — then restarts it and asserts, after every
+//! single restart, that no acked append was lost. When the workload
+//! completes, the final verdict is compared field-by-field against a
+//! from-scratch batch check of the merged system: recovery must be
+//! bit-identical, not merely non-lossy.
+//!
+//! ```text
+//! serve-soak [--kills N] [--seed S] [--roots N] [--daemon PATH] [--keep]
+//! ```
+//!
+//! Exit code 0 = the contract held across all N kills; 2 = a lost acked
+//! append, a verdict mismatch, or a harness failure (the daemon's stderr
+//! log tail is printed).
+
+use compc::json::Value;
+use compc::serve::client::{stream_requests, BackoffPolicy, Target};
+use compc::spec::SystemSpec;
+use compc::workload::random::{generate, GenParams, Shape};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Args {
+    kills: u64,
+    seed: u64,
+    roots: usize,
+    daemon: Option<String>,
+    keep: bool,
+}
+
+const USAGE: &str = "usage: serve-soak [--kills N] [--seed S] [--roots N] [--daemon PATH] [--keep]";
+
+fn main() -> ExitCode {
+    let mut args = Args {
+        kills: 200,
+        seed: 42,
+        roots: 24,
+        daemon: None,
+        keep: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                println!();
+                println!("kill-anywhere crash-recovery soak for compc-serve:");
+                println!("  --kills N    SIGKILLs to inject across rounds (default 200)");
+                println!("  --seed S     workload + kill-timing seed (default 42)");
+                println!("  --roots N    root subtrees per round's system (default 24)");
+                println!("  --daemon P   compc-serve binary (default: sibling of this one)");
+                println!("  --keep       keep the scratch directories for triage");
+                return ExitCode::SUCCESS;
+            }
+            "--kills" => match take_number(&argv, &mut i) {
+                Some(n) => args.kills = n,
+                None => return usage("--kills needs a number"),
+            },
+            "--seed" => match take_number(&argv, &mut i) {
+                Some(n) => args.seed = n,
+                None => return usage("--seed needs a number"),
+            },
+            "--roots" => match take_number(&argv, &mut i) {
+                Some(n) if n > 0 => args.roots = n as usize,
+                _ => return usage("--roots needs a positive number"),
+            },
+            "--daemon" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => args.daemon = Some(p.clone()),
+                    None => return usage("--daemon needs a path"),
+                }
+            }
+            "--keep" => args.keep = true,
+            other => return usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    match soak(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve-soak FAILED: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(complaint: &str) -> ExitCode {
+    eprintln!("{complaint}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn take_number(argv: &[String], i: &mut usize) -> Option<u64> {
+    *i += 1;
+    argv.get(*i).and_then(|v| v.parse().ok())
+}
+
+/// The daemon binary under test: `--daemon`, or `compc-serve` next to this
+/// harness (both live in the same cargo target directory).
+fn daemon_binary(args: &Args) -> Result<std::path::PathBuf, String> {
+    if let Some(path) = &args.daemon {
+        return Ok(std::path::PathBuf::from(path));
+    }
+    let me = std::env::current_exe().map_err(|e| format!("cannot locate this binary: {e}"))?;
+    let sibling = me.with_file_name("compc-serve");
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!(
+            "no compc-serve next to {}; pass --daemon PATH",
+            me.display()
+        ))
+    }
+}
+
+/// Deterministic xorshift for kill timing — the whole soak replays from
+/// one seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+fn soak(args: &Args) -> Result<String, String> {
+    let daemon = daemon_binary(args)?;
+    let mut rng = Rng(args.seed | 1);
+    let mut kills_done: u64 = 0;
+    let mut rounds: u64 = 0;
+    while kills_done < args.kills {
+        rounds += 1;
+        let budget = args.kills - kills_done;
+        let round_seed = args.seed.wrapping_add(rounds.wrapping_mul(0x9e37_79b9));
+        kills_done += run_round(args, &daemon, round_seed, budget, &mut rng)
+            .map_err(|e| format!("round {rounds} (seed {round_seed}): {e}"))?;
+        eprintln!("round {rounds} complete: {kills_done}/{} kills", args.kills);
+    }
+    Ok(format!(
+        "serve-soak PASSED: {kills_done} kill(s) over {rounds} round(s), \
+         zero acked-append loss, bit-identical recovered verdicts"
+    ))
+}
+
+/// One round: a fresh scratch state, one random workload driven to
+/// completion through up to `budget` kills. Returns the kills injected.
+fn run_round(
+    args: &Args,
+    daemon: &std::path::Path,
+    round_seed: u64,
+    budget: u64,
+    rng: &mut Rng,
+) -> Result<u64, String> {
+    let dir =
+        std::env::temp_dir().join(format!("compc-soak-{}-{round_seed:x}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let result = run_round_in(args, daemon, round_seed, budget, rng, &dir);
+    if result.is_ok() && !args.keep {
+        let _ = std::fs::remove_dir_all(&dir);
+    } else if result.is_err() {
+        eprintln!("scratch state kept for triage: {}", dir.display());
+        print_log_tail(&dir.join("daemon.log"));
+    }
+    result
+}
+
+fn run_round_in(
+    args: &Args,
+    daemon: &std::path::Path,
+    round_seed: u64,
+    budget: u64,
+    rng: &mut Rng,
+    dir: &std::path::Path,
+) -> Result<u64, String> {
+    let socket = dir.join("serve.sock").display().to_string();
+    let checkpoint = dir.join("state.json").display().to_string();
+    let journal = dir.join("journal.ndjson").display().to_string();
+    let log = dir.join("daemon.log");
+
+    // The workload: one random system split into per-root-subtree append
+    // fragments, with a compaction op every few appends so kills can land
+    // mid-compaction too.
+    let params = GenParams {
+        shape: Shape::General {
+            levels: 3,
+            scheds_per_level: 2,
+        },
+        roots: args.roots,
+        conflict_density: 0.5,
+        seed: round_seed,
+        ..GenParams::default()
+    };
+    let sys = generate(&params);
+    let fragments = SystemSpec::from_system(&sys).into_appends();
+    let mut lines = Vec::new();
+    let mut last_append_line = String::new();
+    for (index, fragment) in fragments.iter().enumerate() {
+        let request = Value::Object(vec![("append".to_string(), fragment.to_json())]);
+        last_append_line = request.to_compact();
+        lines.push(last_append_line.clone());
+        if index % 5 == 4 {
+            lines.push(r#"{"op": "checkpoint"}"#.to_string());
+        }
+    }
+
+    // The ground truth recovery must reproduce: a from-scratch batch check
+    // of the merged system, exactly as the session would build it.
+    let mut merged = SystemSpec {
+        auto_propagate: false,
+        ..SystemSpec::default()
+    };
+    for fragment in &fragments {
+        merged
+            .merge(fragment)
+            .map_err(|e| format!("workload fragments do not merge: {e}"))?;
+    }
+    let expected = compc::check(
+        &merged
+            .build()
+            .map_err(|e| format!("workload does not build: {e}"))?,
+    );
+
+    // The client thread: the same resilient client `compc-serve --send`
+    // uses, recording the highest acked append counter and the last
+    // verdict response.
+    let max_acked = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let last_verdict: Arc<Mutex<Option<Value>>> = Arc::new(Mutex::new(None));
+    let client = {
+        let socket = socket.clone();
+        let lines = lines.clone();
+        let max_acked = Arc::clone(&max_acked);
+        let done = Arc::clone(&done);
+        let last_verdict = Arc::clone(&last_verdict);
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(250),
+            max_attempts: 2000,
+            io_timeout: Duration::from_secs(30),
+            seed: round_seed ^ 0xc11e,
+        };
+        std::thread::spawn(move || {
+            let report = stream_requests(&Target::Unix(socket), &lines, &policy, |_, response| {
+                if response.get("verdict").is_some() {
+                    if let Some(appends) = response.get("appends").and_then(Value::as_u64) {
+                        max_acked.fetch_max(appends, Ordering::SeqCst);
+                    }
+                    *last_verdict.lock().expect("verdict lock") = Some(response.clone());
+                }
+            });
+            done.store(true, Ordering::SeqCst);
+            report
+        })
+    };
+
+    // The kill loop: spawn, pick a uniformly random time-to-kill (which
+    // may elapse before the socket appears — killing mid-startup-replay),
+    // verify zero loss after each successful startup, kill, repeat. The
+    // window grows with each kill so the round always finishes.
+    let mut kills: u64 = 0;
+    let mut acked_at_kill: u64 = 0;
+    let mut child = spawn_daemon(daemon, &socket, &checkpoint, &journal, &log)?;
+    let outcome = loop {
+        if kills < budget && !done.load(Ordering::SeqCst) {
+            // Small windows so kills land mid-workload (and mid-replay:
+            // the window may elapse before the socket appears); growing
+            // with each kill so the round always finishes eventually.
+            let window_ms = 4 + 8 * kills.min(120) + rng.below(36);
+            let deadline = Instant::now() + Duration::from_millis(window_ms);
+            let booted = wait_for_socket_until(&socket, deadline);
+            if booted {
+                // Zero-loss assertion: everything acked before the last
+                // kill must already be recovered in this incarnation.
+                let recovered = stats_appends(&socket, deadline)?;
+                if recovered < acked_at_kill {
+                    break Err(format!(
+                        "LOST ACKED APPENDS after kill {kills}: daemon recovered \
+                         {recovered} append(s) but the client had {acked_at_kill} acked"
+                    ));
+                }
+                while Instant::now() < deadline && !done.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            if done.load(Ordering::SeqCst) {
+                continue; // fall through to the completion path below
+            }
+            let _ = child.kill();
+            let _ = child.wait();
+            kills += 1;
+            acked_at_kill = max_acked.load(Ordering::SeqCst);
+            child = spawn_daemon(daemon, &socket, &checkpoint, &journal, &log)?;
+            continue;
+        }
+        // Out of kill budget (or workload already done): let the client
+        // finish against a stable daemon.
+        if !wait_for_socket_until(&socket, Instant::now() + Duration::from_secs(20)) {
+            break Err("daemon never came up for the completion phase".to_string());
+        }
+        let join_deadline = Instant::now() + Duration::from_secs(120);
+        while !done.load(Ordering::SeqCst) {
+            if Instant::now() > join_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if !done.load(Ordering::SeqCst) {
+            break Err("client did not finish within 120s of the last kill".to_string());
+        }
+        break Ok(());
+    };
+
+    let report = client
+        .join()
+        .map_err(|_| "client thread panicked".to_string())?;
+    outcome?;
+    if let Some(reason) = report.gave_up {
+        return Err(format!(
+            "client gave up at {}/{} acked: {reason}",
+            report.acked,
+            lines.len()
+        ));
+    }
+
+    // Bit-identical recovery: one more crash, then the recovered daemon
+    // must answer a re-sent final fragment with exactly the batch verdict.
+    let _ = child.kill();
+    let _ = child.wait();
+    let mut child = spawn_daemon(daemon, &socket, &checkpoint, &journal, &log)?;
+    if !wait_for_socket_until(&socket, Instant::now() + Duration::from_secs(20)) {
+        return Err("daemon never came up for the final verdict check".to_string());
+    }
+    let final_deadline = Instant::now() + Duration::from_secs(30);
+    let response = request_until(&socket, &last_append_line, final_deadline)
+        .ok_or("no response to the final re-sent append")?;
+    verify_verdict("recovered daemon", &response, &expected)?;
+    if let Some(last) = last_verdict.lock().expect("verdict lock").as_ref() {
+        verify_verdict("last in-flight ack", last, &expected)?;
+    }
+    let _ = request_until(&socket, r#"{"op": "shutdown"}"#, final_deadline);
+    let _ = child.wait();
+    Ok(kills)
+}
+
+fn spawn_daemon(
+    daemon: &std::path::Path,
+    socket: &str,
+    checkpoint: &str,
+    journal: &str,
+    log: &std::path::Path,
+) -> Result<Child, String> {
+    let stderr = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(log)
+        .map_err(|e| format!("cannot open {}: {e}", log.display()))?;
+    Command::new(daemon)
+        .args([
+            "--socket",
+            socket,
+            "--checkpoint",
+            checkpoint,
+            "--journal",
+            journal,
+            "--drain-timeout-ms",
+            "2000",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(stderr)
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", daemon.display()))
+}
+
+fn wait_for_socket_until(socket: &str, deadline: Instant) -> bool {
+    loop {
+        if UnixStream::connect(socket).is_ok() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// One request, one response, on a throwaway connection (retried until
+/// `deadline` — the daemon may still be replaying its journal).
+fn request_until(socket: &str, line: &str, deadline: Instant) -> Option<Value> {
+    loop {
+        if let Some(value) = request_once(socket, line) {
+            return Some(value);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn request_once(socket: &str, line: &str) -> Option<Value> {
+    let mut stream = UnixStream::connect(socket).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    stream.write_all(line.as_bytes()).ok()?;
+    stream.write_all(b"\n").ok()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response).ok()?;
+    compc::json::parse(response.trim_end()).ok()
+}
+
+/// The recovered `appends` counter, for the zero-loss assertion.
+fn stats_appends(socket: &str, deadline: Instant) -> Result<u64, String> {
+    let response = request_until(socket, r#"{"op": "stats"}"#, deadline)
+        .ok_or("no stats response after restart")?;
+    response
+        .get("appends")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("stats response without appends: {}", response.to_compact()))
+}
+
+/// Field-by-field comparison of a served verdict response against the
+/// batch-check ground truth: verdict string, and for violations the
+/// failing level, phase tag, and cycle names.
+fn verify_verdict(what: &str, response: &Value, expected: &compc::Verdict) -> Result<(), String> {
+    let got = response
+        .get("verdict")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{what}: no verdict in {}", response.to_compact()))?;
+    let want = if expected.is_correct() {
+        "comp-c"
+    } else {
+        "not-comp-c"
+    };
+    if got != want {
+        return Err(format!("{what}: verdict {got}, batch check says {want}"));
+    }
+    if let compc::Verdict::Incorrect(cex) = expected {
+        let level = response.get("level").and_then(Value::as_u64);
+        if level != Some(cex.level as u64) {
+            return Err(format!(
+                "{what}: failing level {level:?}, batch check says {}",
+                cex.level
+            ));
+        }
+        let phase = response.get("phase").and_then(Value::as_str);
+        if phase != Some(cex.phase.tag()) {
+            return Err(format!(
+                "{what}: failing phase {phase:?}, batch check says {}",
+                cex.phase.tag()
+            ));
+        }
+        let cycle: Vec<&str> = response
+            .get("cycle")
+            .and_then(Value::as_array)
+            .map(|items| items.iter().filter_map(Value::as_str).collect())
+            .unwrap_or_default();
+        let want_cycle: Vec<&str> = cex.cycle_names.iter().map(String::as_str).collect();
+        if cycle != want_cycle {
+            return Err(format!(
+                "{what}: cycle {cycle:?}, batch check says {want_cycle:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn print_log_tail(log: &std::path::Path) {
+    if let Ok(text) = std::fs::read_to_string(log) {
+        let lines: Vec<&str> = text.lines().collect();
+        let tail = lines.len().saturating_sub(20);
+        eprintln!("--- daemon log tail ({}) ---", log.display());
+        for line in &lines[tail..] {
+            eprintln!("{line}");
+        }
+    }
+}

@@ -12,10 +12,13 @@
 //! * [`workload`] — figures, scenarios and random system generation
 //! * [`spec`] — the versioned JSON system format consumed by `compc-check`
 //! * [`session`] — incremental spec-level checking (backs `compc-serve`)
+//! * [`serve`] — the daemon serving core: concurrent dispatch, write-ahead
+//!   journal, overload/drain control, and the resilient NDJSON client
 //! * [`json`] — the dependency-free JSON value/parser the spec format uses
 //! * [`trace`] — structured reduction events, NDJSON sinks and histograms
 //! * [`oracle`] — the brute-force Comp-C decision oracle (differential testing)
 
+pub mod serve;
 pub mod session;
 pub mod spec;
 

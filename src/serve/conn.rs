@@ -1,0 +1,427 @@
+//! Connection edge of the daemon: the accept loop and the per-connection
+//! reader/writer threads.
+//!
+//! Every per-connection failure — a failed `try_clone`, a write error, a
+//! hostile byte stream — is scoped to that connection: the error is
+//! logged or answered, the connection is dropped, and the accept loop
+//! keeps accepting. Nothing at this layer can take the daemon down.
+
+use super::dispatch::{error_object, Msg};
+use super::Gauges;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection limits, from the `--max-conns`, `--idle-timeout-ms`,
+/// and `--max-line-bytes` flags.
+#[derive(Clone, Copy)]
+pub(crate) struct ConnLimits {
+    pub max_conns: usize,
+    pub idle_timeout: Option<Duration>,
+    pub max_line_bytes: usize,
+}
+
+pub(crate) enum Listener {
+    Unix(UnixListener, String),
+    Tcp(TcpListener, String),
+}
+
+impl Listener {
+    /// Binds a Unix socket, replacing only a *stale socket* at `path`.
+    /// Anything else living there (a regular file, a directory, a
+    /// symlink — most likely a mistyped path) is refused rather than
+    /// deleted.
+    pub fn bind_unix(path: &str) -> Result<Listener, String> {
+        use std::os::unix::fs::FileTypeExt;
+        match std::fs::symlink_metadata(path) {
+            Ok(meta) if meta.file_type().is_socket() => {
+                std::fs::remove_file(path)
+                    .map_err(|e| format!("cannot remove stale socket {path}: {e}"))?;
+            }
+            Ok(meta) => {
+                return Err(format!(
+                    "refusing to replace {path}: it exists and is {}, not a socket; \
+                     pass a fresh --socket path",
+                    file_kind(&meta.file_type())
+                ));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot stat {path}: {e}")),
+        }
+        let listener =
+            UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path}: {e}"))?;
+        Ok(Listener::Unix(listener, path.to_string()))
+    }
+
+    pub fn bind_tcp(addr: &str) -> Result<Listener, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let display = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string());
+        Ok(Listener::Tcp(listener, display))
+    }
+
+    /// What "listening on ..." should print (the resolved TCP address, so
+    /// `--listen 127.0.0.1:0` announces the picked port).
+    pub fn local_display(&self) -> &str {
+        match self {
+            Listener::Unix(_, path) => path,
+            Listener::Tcp(_, display) => display,
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l, _) => l.set_nonblocking(on),
+            Listener::Tcp(l, _) => l.set_nonblocking(on),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l, _) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+fn file_kind(kind: &std::fs::FileType) -> &'static str {
+    if kind.is_dir() {
+        "a directory"
+    } else if kind.is_symlink() {
+        "a symlink"
+    } else if kind.is_file() {
+        "a regular file"
+    } else {
+        "another kind of file"
+    }
+}
+
+pub(crate) enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(on),
+            Stream::Tcp(s) => s.set_nonblocking(on),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_write_timeout(t),
+            Stream::Tcp(s) => s.set_write_timeout(t),
+        }
+    }
+
+    fn shutdown(&self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.shutdown(Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(Shutdown::Both),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Accepts until `stop` is set: sheds over-capacity connections with an
+/// `overloaded` error, spawns a reader and a writer thread per accepted
+/// connection, and joins them all (and unlinks a Unix socket path) on the
+/// way out.
+pub(crate) fn accept_loop(
+    listener: Listener,
+    tx: SyncSender<Msg>,
+    gauges: Arc<Gauges>,
+    stop: Arc<AtomicBool>,
+    limits: ConnLimits,
+) {
+    // Nonblocking accept lets the loop poll the stop flag; if the fcntl
+    // somehow fails we still serve, just without prompt shutdown.
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("cannot make the listener pollable: {e}");
+    }
+    let mut next_conn: u64 = 0;
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(15));
+                continue;
+            }
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(15));
+                continue;
+            }
+        };
+        // The accepted socket may inherit the listener's nonblocking mode
+        // on some platforms; the reader relies on blocking reads.
+        let _ = stream.set_nonblocking(false);
+        if gauges.connections.load(Ordering::SeqCst) as usize >= limits.max_conns {
+            shed(stream, &gauges, limits.max_conns);
+            continue;
+        }
+        let conn = next_conn;
+        next_conn += 1;
+        // A failure to clone this one stream drops this one connection —
+        // never the daemon (a `?` here once killed the whole process).
+        let reader_half = match stream.try_clone() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("connection {conn}: cannot clone stream ({e}); dropping it");
+                continue;
+            }
+        };
+        let (resp_tx, resp_rx) = std::sync::mpsc::channel::<String>();
+        if tx
+            .send(Msg::Connected {
+                conn,
+                resp: resp_tx,
+            })
+            .is_err()
+        {
+            break; // dispatch is gone: shutting down
+        }
+        gauges.accepted.fetch_add(1, Ordering::SeqCst);
+        let active = gauges.connections.fetch_add(1, Ordering::SeqCst) + 1;
+        gauges.peak_connections.fetch_max(active, Ordering::SeqCst);
+        handlers.retain(|h| !h.is_finished());
+        spawn_handler(&mut handlers, format!("conn-{conn}-write"), move || {
+            writer_loop(stream, resp_rx)
+        });
+        let reader_tx = tx.clone();
+        let reader_gauges = Arc::clone(&gauges);
+        spawn_handler(&mut handlers, format!("conn-{conn}-read"), move || {
+            reader_loop(reader_half, conn, &reader_tx, &reader_gauges, limits)
+        });
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    if let Listener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn spawn_handler(
+    handlers: &mut Vec<std::thread::JoinHandle<()>>,
+    name: String,
+    f: impl FnOnce() + Send + 'static,
+) {
+    match std::thread::Builder::new().name(name.clone()).spawn(f) {
+        Ok(handle) => handlers.push(handle),
+        Err(e) => eprintln!("cannot spawn {name}: {e}; dropping the connection"),
+    }
+}
+
+/// Over `--max-conns`: answer with a structured error and close, bounding
+/// both memory and the dispatch queue under connection floods.
+fn shed(mut stream: Stream, gauges: &Gauges, max: usize) {
+    gauges.shed.fetch_add(1, Ordering::SeqCst);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut line = error_object(
+        "overloaded",
+        format!("server is at its --max-conns capacity ({max}); retry with backoff"),
+    )
+    .to_compact();
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown();
+}
+
+/// Reads request lines and feeds them (or structured complaints about
+/// them) to the dispatch thread. Owns the connection teardown
+/// notification.
+fn reader_loop(
+    mut stream: Stream,
+    conn: u64,
+    tx: &SyncSender<Msg>,
+    gauges: &Gauges,
+    limits: ConnLimits,
+) {
+    let _ = stream.set_read_timeout(limits.idle_timeout);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    // After an over-cap line is reported, discard bytes until its newline.
+    let mut skipping = false;
+    'read: loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF. An unterminated final line is still a complete
+                // request — answer it before tearing down.
+                if !buf.is_empty() && !skipping {
+                    deliver_line(&buf, conn, tx, gauges);
+                }
+                break;
+            }
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                gauges.idle_closed.fetch_add(1, Ordering::SeqCst);
+                let ms = limits.idle_timeout.map_or(0, |t| t.as_millis());
+                let _ = enqueue(
+                    tx,
+                    gauges,
+                    Msg::Malformed {
+                        conn,
+                        kind: "timeout",
+                        error: format!("idle for more than --idle-timeout-ms ({ms}); closing"),
+                    },
+                );
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break, // reset/teardown: nothing to answer
+        };
+        for &byte in &chunk[..n] {
+            if byte == b'\n' {
+                if skipping {
+                    skipping = false;
+                } else if !deliver_line(&buf, conn, tx, gauges) {
+                    break 'read;
+                }
+                buf.clear();
+            } else if !skipping {
+                buf.push(byte);
+                if buf.len() > limits.max_line_bytes {
+                    gauges.oversize_lines.fetch_add(1, Ordering::SeqCst);
+                    buf.clear();
+                    skipping = true;
+                    if !enqueue(
+                        tx,
+                        gauges,
+                        Msg::Malformed {
+                            conn,
+                            kind: "oversize",
+                            error: format!(
+                                "request line exceeds --max-line-bytes ({}); discarded",
+                                limits.max_line_bytes
+                            ),
+                        },
+                    ) {
+                        break 'read;
+                    }
+                }
+            }
+        }
+    }
+    let _ = tx.send(Msg::Disconnected { conn });
+    gauges.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// One complete request line: non-UTF-8 becomes a structured protocol
+/// error (routed through dispatch so responses stay in request order),
+/// blank lines are tolerated, everything else is dispatched verbatim.
+/// Returns false when the dispatch side is gone.
+fn deliver_line(buf: &[u8], conn: u64, tx: &SyncSender<Msg>, gauges: &Gauges) -> bool {
+    let text = match std::str::from_utf8(buf) {
+        Ok(t) => t,
+        Err(e) => {
+            return enqueue(
+                tx,
+                gauges,
+                Msg::Malformed {
+                    conn,
+                    kind: "protocol",
+                    error: format!("request line is not valid UTF-8: {e}"),
+                },
+            )
+        }
+    };
+    if text.trim().is_empty() {
+        return true;
+    }
+    enqueue(
+        tx,
+        gauges,
+        Msg::Line {
+            conn,
+            line: text.to_string(),
+        },
+    )
+}
+
+/// Sends one message to dispatch, keeping the queue-depth gauge honest.
+/// Blocks when the bounded queue is full (that is the back-pressure).
+fn enqueue(tx: &SyncSender<Msg>, gauges: &Gauges, msg: Msg) -> bool {
+    let counted = matches!(msg, Msg::Line { .. } | Msg::Malformed { .. });
+    if counted {
+        gauges.queue_depth.fetch_add(1, Ordering::SeqCst);
+    }
+    match tx.send(msg) {
+        Ok(()) => true,
+        Err(_) => {
+            if counted {
+                gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            }
+            false
+        }
+    }
+}
+
+/// Writes response lines until the dispatch side drops the channel or the
+/// client stops reading, then shuts the socket down — which also unblocks
+/// a reader parked in `read` during daemon shutdown.
+fn writer_loop(mut stream: Stream, rx: Receiver<String>) {
+    for line in rx {
+        let write = stream
+            .write_all(line.as_bytes())
+            .and_then(|_| stream.write_all(b"\n"))
+            .and_then(|_| stream.flush());
+        if write.is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown();
+}

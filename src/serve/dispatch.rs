@@ -1,0 +1,611 @@
+//! The single dispatch thread: owns the [`SpecSession`], the journal, and
+//! the outcome counters; serves every request in arrival order.
+//!
+//! Requests arrive over one bounded mpsc channel from the per-connection
+//! reader threads and responses leave through per-connection writer
+//! channels, so the checking path needs no locks and per-connection FIFO
+//! order is preserved end to end. Each request is dispatched under
+//! `catch_unwind`: a panicking handler answers that one request with a
+//! structured `internal` error, restores the pre-request session snapshot,
+//! and the daemon keeps serving everyone else.
+
+use super::journal::Journal;
+use super::{Gauges, ServeConfig};
+use crate::session::{SpecSession, SpecSessionError};
+use compc_core::{SessionError, Verdict};
+use compc_json::Value;
+use compc_trace::{event_to_ndjson_line, TraceEvent};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What the connection layer tells the dispatch thread.
+pub(crate) enum Msg {
+    /// A connection was accepted; `resp` feeds its writer thread.
+    Connected { conn: u64, resp: Sender<String> },
+    /// One complete request line from a connection.
+    Line { conn: u64, line: String },
+    /// The reader rejected input before dispatch (oversize line, invalid
+    /// UTF-8, idle timeout); routed through the queue so the structured
+    /// error still lands in request order.
+    Malformed {
+        conn: u64,
+        kind: &'static str,
+        error: String,
+    },
+    /// The connection is gone (EOF, error, or timeout close).
+    Disconnected { conn: u64 },
+}
+
+enum Control {
+    Continue,
+    Shutdown,
+}
+
+/// Outcome counters for a completed serve run; the process exit code is
+/// derived from them.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ServeReport {
+    /// Appends whose verdict was a Comp-C violation.
+    pub violations: u64,
+    /// Appends interrupted by the per-append deadline.
+    pub interruptions: u64,
+    /// Engine/oracle disagreements under `--oracle`.
+    pub disagreements: u64,
+    /// Requests whose handler panicked (isolated, answered `internal`).
+    pub internal_faults: u64,
+}
+
+impl ServeReport {
+    /// The `compc-serve` exit code: 0 = clean and all Comp-C; 1 = at least
+    /// one violation served; 2 = oracle disagreement or isolated internal
+    /// fault (takes precedence); 3 = at least one deadline interruption.
+    pub fn exit_code(&self) -> u8 {
+        if self.disagreements > 0 || self.internal_faults > 0 {
+            2
+        } else if self.interruptions > 0 {
+            3
+        } else if self.violations > 0 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+pub(crate) fn ok_object(mut fields: Vec<(String, Value)>) -> Value {
+    let mut entries = vec![("ok".to_string(), Value::from(true))];
+    entries.append(&mut fields);
+    Value::Object(entries)
+}
+
+pub(crate) fn error_object(kind: &str, message: String) -> Value {
+    Value::Object(vec![
+        ("ok".to_string(), Value::from(false)),
+        ("kind".to_string(), Value::from(kind)),
+        ("error".to_string(), Value::from(message)),
+    ])
+}
+
+/// Renders a panic payload the way the engine's worker pool does (strings
+/// pass through, anything else gets a stable placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// All daemon state, owned by the dispatch thread.
+pub(crate) struct Daemon {
+    session: SpecSession,
+    journal: Option<Journal>,
+    config: ServeConfig,
+    gauges: Arc<Gauges>,
+    /// Response channels of the live connections, by connection id.
+    conns: HashMap<u64, Sender<String>>,
+    report: ServeReport,
+}
+
+/// Runs the dispatch thread to completion: serves until a `shutdown` op, a
+/// termination signal, or (with `--once`) the first disconnect, then
+/// drains and saves.
+pub(crate) fn dispatch_loop(
+    rx: Receiver<Msg>,
+    daemon: &mut Daemon,
+    stop: &AtomicBool,
+) -> Result<(), String> {
+    loop {
+        if super::term_requested() {
+            eprintln!("termination signal received: draining");
+            return daemon.drain(&rx, stop);
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(msg) => {
+                if let Control::Shutdown = daemon.handle_msg(msg) {
+                    return daemon.drain(&rx, stop);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            // Accept side gone without a shutdown decision: save and stop.
+            Err(RecvTimeoutError::Disconnected) => return daemon.final_save(),
+        }
+    }
+}
+
+impl Daemon {
+    pub fn new(
+        session: SpecSession,
+        journal: Option<Journal>,
+        config: ServeConfig,
+        gauges: Arc<Gauges>,
+    ) -> Daemon {
+        Daemon {
+            session,
+            journal,
+            config,
+            gauges,
+            conns: HashMap::new(),
+            report: ServeReport::default(),
+        }
+    }
+
+    pub fn report(&self) -> ServeReport {
+        self.report
+    }
+
+    /// Stops accepting, keeps answering already-queued (and still-arriving)
+    /// requests until the queue is quiet or `--drain-timeout-ms` expires,
+    /// then flushes writers and persists.
+    fn drain(&mut self, rx: &Receiver<Msg>, stop: &AtomicBool) -> Result<(), String> {
+        stop.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_millis(self.config.drain_timeout_ms.max(1));
+        loop {
+            if Instant::now() >= deadline {
+                let abandoned = self.gauges.queue_depth.load(Ordering::SeqCst);
+                if abandoned > 0 {
+                    eprintln!(
+                        "drain deadline expired with {abandoned} request(s) still queued; \
+                         abandoning them (none were acked)"
+                    );
+                }
+                break;
+            }
+            match rx.try_recv() {
+                // Shutdown decisions during a drain are already in effect.
+                Ok(msg) => {
+                    let _ = self.handle_msg(msg);
+                }
+                Err(TryRecvError::Empty) => {
+                    // A reader may have bumped the gauge but not finished
+                    // its send yet; only a quiet queue ends the drain.
+                    if self.gauges.queue_depth.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        self.emit_gauges();
+        // Dropping the response senders lets each writer thread flush its
+        // buffered lines and shut its socket down, which in turn unblocks
+        // readers so the accept thread can join everything.
+        self.conns.clear();
+        self.final_save()
+    }
+
+    /// The end-of-run persist: checkpoint plus journal compaction.
+    fn final_save(&mut self) -> Result<(), String> {
+        self.save_checkpoint_and_compact().map(|_| ())
+    }
+
+    fn handle_msg(&mut self, msg: Msg) -> Control {
+        match msg {
+            Msg::Connected { conn, resp } => {
+                self.conns.insert(conn, resp);
+                Control::Continue
+            }
+            Msg::Disconnected { conn } => {
+                self.conns.remove(&conn);
+                if self.config.once {
+                    Control::Shutdown
+                } else {
+                    Control::Continue
+                }
+            }
+            Msg::Malformed { conn, kind, error } => {
+                self.gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                self.respond(conn, error_object(kind, error));
+                Control::Continue
+            }
+            Msg::Line { conn, line } => {
+                self.gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                let (response, control) = self.dispatch_line(&line);
+                self.respond(conn, response);
+                control
+            }
+        }
+    }
+
+    fn respond(&self, conn: u64, response: Value) {
+        if let Some(resp) = self.conns.get(&conn) {
+            // A dead writer just means the client is gone; its connection
+            // teardown arrives as a Disconnected message.
+            let _ = resp.send(response.to_compact());
+        }
+    }
+
+    /// Serves one request line under panic isolation. A panic anywhere in
+    /// the handler — parser, merge, engine — is confined to this request:
+    /// the session is rolled back to its pre-request snapshot and the
+    /// connection gets a structured `internal` error.
+    fn dispatch_line(&mut self, line: &str) -> (Value, Control) {
+        let request = match compc_json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return (
+                    error_object("protocol", format!("request is not JSON: {e}")),
+                    Control::Continue,
+                )
+            }
+        };
+        // Only appends mutate the session, so only they pay for a snapshot.
+        let snapshot = request.get("append").map(|_| self.session.snapshot());
+        match catch_unwind(AssertUnwindSafe(|| self.handle_request(&request, line))) {
+            Ok(answer) => answer,
+            Err(payload) => {
+                if let Some(snapshot) = snapshot {
+                    self.session.restore(snapshot);
+                }
+                self.report.internal_faults += 1;
+                let message = panic_message(payload);
+                eprintln!("request handler panicked (session restored): {message}");
+                (
+                    error_object(
+                        "internal",
+                        format!("request handler panicked: {message}; session state restored"),
+                    ),
+                    Control::Continue,
+                )
+            }
+        }
+    }
+
+    fn handle_request(&mut self, request: &Value, line: &str) -> (Value, Control) {
+        if let Some(token) = &self.config.inject_panic {
+            if !token.is_empty() && line.contains(token.as_str()) {
+                panic!("injected fault: request matched --inject-panic token");
+            }
+        }
+        if let Some(fragment) = request.get("append") {
+            return (self.handle_append(fragment), Control::Continue);
+        }
+        match request.get("op").and_then(Value::as_str) {
+            Some("stats") => {
+                self.emit_gauges();
+                (self.stats_response(), Control::Continue)
+            }
+            Some("checkpoint") => match self.save_checkpoint_and_compact() {
+                Ok(true) => {
+                    let target = self
+                        .config
+                        .checkpoint
+                        .clone()
+                        .expect("saved implies a path");
+                    (
+                        ok_object(vec![
+                            ("checkpoint".to_string(), Value::from(target)),
+                            ("saved".to_string(), Value::from(true)),
+                        ]),
+                        Control::Continue,
+                    )
+                }
+                Ok(false) => (
+                    ok_object(vec![
+                        (
+                            "checkpoint".to_string(),
+                            Value::from("(no --checkpoint file configured)"),
+                        ),
+                        ("saved".to_string(), Value::from(false)),
+                    ]),
+                    Control::Continue,
+                ),
+                Err(e) => (error_object("checkpoint", e), Control::Continue),
+            },
+            // Save *here*, not just in the drain epilogue, so the response
+            // can report honestly whether state was persisted — without
+            // `--checkpoint` nothing is saved and the client is told so.
+            Some("shutdown") => match self.save_checkpoint() {
+                Ok(saved) => (
+                    ok_object(vec![
+                        ("shutdown".to_string(), Value::from(true)),
+                        ("saved".to_string(), Value::from(saved)),
+                    ]),
+                    Control::Shutdown,
+                ),
+                // A failing disk must not make the daemon unstoppable: the
+                // client gets the error, the daemon still drains and exits.
+                Err(e) => {
+                    let mut response = error_object("checkpoint", e);
+                    if let Value::Object(entries) = &mut response {
+                        entries.push(("shutdown".to_string(), Value::from(true)));
+                    }
+                    (response, Control::Shutdown)
+                }
+            },
+            Some(other) => (
+                error_object("protocol", format!("unknown op \"{other}\"")),
+                Control::Continue,
+            ),
+            None => (
+                error_object(
+                    "protocol",
+                    "request must be {\"append\": {...}} or {\"op\": \"...\"}".to_string(),
+                ),
+                Control::Continue,
+            ),
+        }
+    }
+
+    fn handle_append(&mut self, fragment: &Value) -> Value {
+        let fragment = match crate::spec::SystemSpec::from_json(fragment) {
+            Ok(spec) => spec,
+            Err(e) => return error_object("spec", e.to_string()),
+        };
+        let started = Instant::now();
+        match self.session.append(&fragment) {
+            Ok(verdict) => {
+                let verdict = verdict.clone();
+                let elapsed_ns = started.elapsed().as_nanos() as u64;
+                self.emit_trace(&verdict, elapsed_ns);
+                if !verdict.is_correct() {
+                    self.report.violations += 1;
+                }
+                // Durability before the ack: with a journal, one fsynced
+                // record; without one, the full per-append checkpoint
+                // rewrite the pre-journal daemon did.
+                if let Some(journal) = &mut self.journal {
+                    let seq = self.session.stats().appends;
+                    if let Err(e) = journal.append(seq, &fragment) {
+                        // No ack, so no durability promise was made; the
+                        // client may retry (the merge is idempotent).
+                        return error_object("journal", e);
+                    }
+                } else if let Err(e) = self.save_checkpoint() {
+                    return error_object("checkpoint", e);
+                }
+                self.verdict_response(&verdict)
+            }
+            Err(SpecSessionError::Session(SessionError::Interrupted(e))) => {
+                self.report.interruptions += 1;
+                let mut response = error_object("interrupted", e.to_string());
+                if let Value::Object(entries) = &mut response {
+                    entries.push(("resumable".to_string(), Value::from(true)));
+                }
+                response
+            }
+            Err(SpecSessionError::OracleDisagreement { engine_correct }) => {
+                self.report.disagreements += 1;
+                error_object(
+                    "oracle-disagreement",
+                    SpecSessionError::OracleDisagreement { engine_correct }.to_string(),
+                )
+            }
+            Err(SpecSessionError::Session(e)) => error_object("invalid", e.to_string()),
+            Err(e) => error_object("spec", e.to_string()),
+        }
+    }
+
+    /// The one verdict line per append: the stats ride along so a client
+    /// can watch the incremental path work (`levels_reused` growing).
+    fn verdict_response(&self, verdict: &Verdict) -> Value {
+        let stats = self.session.stats();
+        let mut fields = vec![
+            (
+                "verdict".to_string(),
+                Value::from(if verdict.is_correct() {
+                    "comp-c"
+                } else {
+                    "not-comp-c"
+                }),
+            ),
+            ("appends".to_string(), Value::from(stats.appends)),
+        ];
+        if let Some(sys) = self.session.system() {
+            fields.push(("nodes".to_string(), Value::from(sys.node_count())));
+            fields.push(("order".to_string(), Value::from(sys.order())));
+        }
+        fields.push((
+            "levels_reused".to_string(),
+            Value::from(stats.levels_reused),
+        ));
+        fields.push(("rows_spliced".to_string(), Value::from(stats.rows_spliced)));
+        if let Verdict::Incorrect(cex) = verdict {
+            fields.push(("level".to_string(), Value::from(cex.level)));
+            fields.push(("phase".to_string(), Value::from(cex.phase.tag())));
+            fields.push(("cycle".to_string(), Value::from(cex.cycle_names.clone())));
+        }
+        ok_object(fields)
+    }
+
+    fn stats_response(&self) -> Value {
+        let stats = self.session.stats();
+        let gauges = &self.gauges;
+        ok_object(vec![
+            ("appends".to_string(), Value::from(stats.appends)),
+            (
+                "levels_computed".to_string(),
+                Value::from(stats.levels_computed),
+            ),
+            (
+                "levels_reused".to_string(),
+                Value::from(stats.levels_reused),
+            ),
+            (
+                "rows_recomputed".to_string(),
+                Value::from(stats.rows_recomputed),
+            ),
+            ("rows_spliced".to_string(), Value::from(stats.rows_spliced)),
+            (
+                "violations".to_string(),
+                Value::from(self.report.violations),
+            ),
+            (
+                "interruptions".to_string(),
+                Value::from(self.report.interruptions),
+            ),
+            (
+                "internal_faults".to_string(),
+                Value::from(self.report.internal_faults),
+            ),
+            (
+                "connections".to_string(),
+                Value::from(gauges.connections.load(Ordering::SeqCst)),
+            ),
+            (
+                "peak_connections".to_string(),
+                Value::from(gauges.peak_connections.load(Ordering::SeqCst)),
+            ),
+            (
+                "accepted".to_string(),
+                Value::from(gauges.accepted.load(Ordering::SeqCst)),
+            ),
+            (
+                "shed".to_string(),
+                Value::from(gauges.shed.load(Ordering::SeqCst)),
+            ),
+            (
+                "idle_closed".to_string(),
+                Value::from(gauges.idle_closed.load(Ordering::SeqCst)),
+            ),
+            (
+                "oversize_lines".to_string(),
+                Value::from(gauges.oversize_lines.load(Ordering::SeqCst)),
+            ),
+            (
+                "queue_depth".to_string(),
+                Value::from(gauges.queue_depth.load(Ordering::SeqCst)),
+            ),
+            (
+                "journal_records".to_string(),
+                Value::from(self.journal.as_ref().map_or(0, Journal::records)),
+            ),
+            (
+                "journal_bytes".to_string(),
+                Value::from(self.journal.as_ref().map_or(0, Journal::bytes)),
+            ),
+        ])
+    }
+
+    /// Mirrors the serving gauges as one `serve_gauges` trace event on
+    /// stdout (emitted on each `stats` op and at drain).
+    fn emit_gauges(&self) {
+        if !self.config.trace {
+            return;
+        }
+        let gauges = &self.gauges;
+        let event = TraceEvent::ServeGauges {
+            connections: gauges.connections.load(Ordering::SeqCst),
+            peak_connections: gauges.peak_connections.load(Ordering::SeqCst),
+            queue_depth: gauges.queue_depth.load(Ordering::SeqCst),
+            shed: gauges.shed.load(Ordering::SeqCst),
+            journal_lag: self.journal.as_ref().map_or(0, Journal::records),
+            internal_faults: self.report.internal_faults,
+        };
+        println!("{}", event_to_ndjson_line(&event, Some("serve")));
+    }
+
+    /// Mirrors one append as `compc-trace` `check_start`/`check_end`
+    /// events on stdout (the socket carries the responses, so stdout is a
+    /// pure event stream).
+    fn emit_trace(&self, verdict: &Verdict, elapsed_ns: u64) {
+        if !self.config.trace {
+            return;
+        }
+        let Some(sys) = self.session.system() else {
+            return;
+        };
+        let label = format!("append-{}", self.session.stats().appends);
+        let start = TraceEvent::CheckStart {
+            nodes: sys.node_count(),
+            schedules: sys.schedule_count(),
+            order: sys.order(),
+        };
+        let end = match verdict {
+            Verdict::Correct(_) => TraceEvent::CheckEnd {
+                correct: true,
+                levels_completed: sys.order(),
+                failed_level: None,
+                failed_phase: None,
+                elapsed_ns,
+            },
+            Verdict::Incorrect(cex) => TraceEvent::CheckEnd {
+                correct: false,
+                levels_completed: cex.level.saturating_sub(1),
+                failed_level: Some(cex.level),
+                failed_phase: Some(cex.phase.tag()),
+                elapsed_ns,
+            },
+        };
+        println!("{}", event_to_ndjson_line(&start, Some(&label)));
+        println!("{}", event_to_ndjson_line(&end, Some(&label)));
+    }
+
+    /// Atomically rewrites the checkpoint file. Returns whether a file was
+    /// actually written (`false` without `--checkpoint`), so callers can
+    /// report a save truthfully instead of implying one happened.
+    ///
+    /// Durability order matters: the temp file is fsynced *before* the
+    /// rename (otherwise a crash can leave the rename durable but the
+    /// contents not — an empty or truncated "checkpoint"), and the parent
+    /// directory is fsynced after so the rename itself survives a crash.
+    /// A leftover `.tmp` from a kill mid-write is harmless: restore only
+    /// ever reads the real path, and the next save overwrites the temp.
+    fn save_checkpoint(&self) -> Result<bool, String> {
+        use std::io::Write as _;
+        let Some(path) = &self.config.checkpoint else {
+            return Ok(false);
+        };
+        let tmp = format!("{path}.tmp");
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("cannot create checkpoint {tmp}: {e}"))?;
+        file.write_all(self.session.checkpoint_json().as_bytes())
+            .map_err(|e| format!("cannot write checkpoint {tmp}: {e}"))?;
+        file.sync_all()
+            .map_err(|e| format!("cannot sync checkpoint {tmp}: {e}"))?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("cannot replace checkpoint {path}: {e}"))?;
+        // Make the rename durable too. Directory fsync is best-effort: some
+        // filesystems refuse to open directories for writing, and a crash
+        // here only loses the newest checkpoint, never corrupts one.
+        let dir = std::path::Path::new(path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| std::path::Path::new("."));
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(true)
+    }
+
+    /// Compaction: checkpoint first, journal truncation second. A crash
+    /// between the two only leaves journal records whose appends the new
+    /// checkpoint already covers — replay skips them by sequence number.
+    pub fn save_checkpoint_and_compact(&mut self) -> Result<bool, String> {
+        let saved = self.save_checkpoint()?;
+        if let Some(journal) = &mut self.journal {
+            if saved {
+                journal.truncate()?;
+            }
+        }
+        Ok(saved)
+    }
+}

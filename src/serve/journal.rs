@@ -1,0 +1,181 @@
+//! The write-ahead append journal behind `--journal`.
+//!
+//! One NDJSON record per accepted append, `{"seq": N, "append": {...}}`,
+//! fsynced (`sync_data`) before the verdict is acked — that ordering is
+//! the whole durability contract. At startup [`replay`] applies the
+//! journal suffix past the restored checkpoint (records whose `seq` the
+//! checkpoint already covers are skipped); a torn trailing record from a
+//! crash mid-write is dropped, which is safe because its append was never
+//! acked. Compaction rewrites the checkpoint first and truncates the
+//! journal second, so a crash between the two only leaves records the
+//! next replay skips.
+
+use crate::session::SpecSession;
+use crate::spec::SystemSpec;
+use compc_json::Value;
+use std::io::Write;
+
+/// An open journal file in append mode, tracking its own size so the
+/// `journal_lag` gauge (records past the checkpoint) is free to read.
+pub(crate) struct Journal {
+    file: std::fs::File,
+    path: String,
+    records: u64,
+    bytes: u64,
+}
+
+impl Journal {
+    pub fn open(path: &str) -> Result<Journal, String> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal {path}: {e}"))?;
+        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(Journal {
+            file,
+            path: path.to_string(),
+            records: 0,
+            bytes,
+        })
+    }
+
+    /// Seeds the record count from a replay (the open file may already
+    /// hold records; only [`replay`] knows how many were whole).
+    pub fn assume_records(&mut self, records: u64) {
+        self.records = records;
+    }
+
+    /// Records currently in the journal (the checkpoint lag).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Appends one record and fsyncs it. Must complete before the
+    /// append's verdict is acked; an error here fails the append (the
+    /// session keeps the merged spec, and the client may retry — the
+    /// merge is idempotent).
+    pub fn append(&mut self, seq: u64, fragment: &SystemSpec) -> Result<(), String> {
+        let record = Value::Object(vec![
+            ("seq".into(), Value::from(seq)),
+            ("append".into(), fragment.to_json()),
+        ]);
+        let mut line = record.to_compact();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| format!("cannot journal append to {}: {e}", self.path))?;
+        self.records += 1;
+        self.bytes += line.len() as u64;
+        Ok(())
+    }
+
+    /// Empties the journal after a successful checkpoint rewrite
+    /// (compaction step two).
+    pub fn truncate(&mut self) -> Result<(), String> {
+        self.file
+            .set_len(0)
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| format!("cannot truncate journal {}: {e}", self.path))?;
+        self.records = 0;
+        self.bytes = 0;
+        Ok(())
+    }
+}
+
+/// What a startup replay found and did.
+pub(crate) struct ReplayReport {
+    /// Records applied (their `seq` was past the checkpoint).
+    pub applied: u64,
+    /// Whole records skipped because the checkpoint already covered them.
+    pub skipped: u64,
+    /// A torn (half-written, never-acked) trailing record was dropped.
+    pub torn: bool,
+}
+
+/// Replays the journal at `path` into `session`, skipping records the
+/// restored checkpoint already covers. Corruption anywhere but a torn
+/// tail is a hard error: it means acked state may be unrecoverable, and
+/// silently continuing would break the durability contract.
+pub(crate) fn replay(path: &str, session: &mut SpecSession) -> Result<ReplayReport, String> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(ReplayReport {
+                applied: 0,
+                skipped: 0,
+                torn: false,
+            })
+        }
+        Err(e) => return Err(format!("cannot read journal {path}: {e}")),
+    };
+    let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    // A trailing newline yields one empty tail element; no trailing
+    // newline means the last element is a torn candidate.
+    let torn_candidate = match lines.last() {
+        Some(&[]) => {
+            lines.pop();
+            None
+        }
+        Some(_) => lines.pop(),
+        None => None,
+    };
+    let mut report = ReplayReport {
+        applied: 0,
+        skipped: 0,
+        torn: false,
+    };
+    let total = lines.len();
+    for (index, line) in lines.into_iter().enumerate() {
+        let (seq, fragment) = parse_record(line)
+            .map_err(|e| format!("journal {path} record {} is corrupt: {e}", index + 1))?;
+        apply_record(session, seq, &fragment, &mut report)
+            .map_err(|e| format!("journal {path} record {} failed to replay: {e}", index + 1))?;
+    }
+    if let Some(tail) = torn_candidate {
+        match parse_record(tail) {
+            Ok((seq, fragment)) => {
+                apply_record(session, seq, &fragment, &mut report).map_err(|e| {
+                    format!("journal {path} record {} failed to replay: {e}", total + 1)
+                })?;
+            }
+            // Unparseable and unterminated: the classic torn write. The
+            // record's fsync never completed, so its append was never
+            // acked and dropping it loses nothing the contract promised.
+            Err(_) => report.torn = true,
+        }
+    }
+    Ok(report)
+}
+
+fn parse_record(line: &[u8]) -> Result<(u64, SystemSpec), String> {
+    let text = std::str::from_utf8(line).map_err(|e| format!("not UTF-8: {e}"))?;
+    let doc = compc_json::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let seq = doc
+        .get("seq")
+        .and_then(Value::as_u64)
+        .ok_or("missing integer \"seq\" field")?;
+    let append = doc.get("append").ok_or("missing \"append\" field")?;
+    let fragment = SystemSpec::from_json(append).map_err(|e| format!("bad fragment: {e}"))?;
+    Ok((seq, fragment))
+}
+
+fn apply_record(
+    session: &mut SpecSession,
+    seq: u64,
+    fragment: &SystemSpec,
+    report: &mut ReplayReport,
+) -> Result<(), String> {
+    if seq <= session.stats().appends {
+        report.skipped += 1;
+        return Ok(());
+    }
+    session.append(fragment).map_err(|e| e.to_string())?;
+    report.applied += 1;
+    Ok(())
+}

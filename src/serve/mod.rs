@@ -1,0 +1,290 @@
+//! The `compc-serve` serving core: a production-shaped concurrent daemon
+//! around [`crate::session::SpecSession`].
+//!
+//! # Architecture (DESIGN.md §8)
+//!
+//! ```text
+//!  clients ──► accept thread ──► per-connection reader threads
+//!                 │ (sheds over --max-conns          │ lines
+//!                 │  with an "overloaded" error)     ▼
+//!                 │                     bounded mpsc request queue
+//!                 │                                  │ FIFO per connection
+//!                 ▼                                  ▼
+//!   per-connection writer threads ◄─── single dispatch thread
+//!         (one response line            (owns the SpecSession; catch_unwind
+//!          per request line)             per request; journals before ack)
+//! ```
+//!
+//! One **dispatch thread** owns all checker state, so the checking path
+//! needs no locks and per-connection request order is preserved end to
+//! end (readers feed a single mpsc channel; `std::sync::mpsc` is FIFO per
+//! sender, and responses are routed back through per-connection writer
+//! channels). Concurrency lives at the edges: the accept loop and the
+//! per-connection reader/writer threads, so one idle or slow client can
+//! never head-of-line-block another.
+//!
+//! # Durability contract
+//!
+//! **An acked verdict survives any single crash.** With `--journal FILE`
+//! every accepted append is fsync-appended to the journal as one NDJSON
+//! record *before* its verdict is written to the socket; startup replays
+//! the checkpoint (if any) and then the journal suffix past it, and
+//! `checkpoint` compacts (fsync-before-rename snapshot, then journal
+//! truncation — in that order, so a crash between the two only leaves
+//! already-applied records that replay skips). A torn trailing journal
+//! record from a crash mid-write is dropped: its append was never acked.
+//!
+//! # Overload and drain
+//!
+//! Connections beyond `--max-conns` are shed immediately with a
+//! structured `overloaded` error instead of queueing unboundedly; the
+//! request queue itself is bounded, which back-pressures pipelining
+//! clients at the socket. SIGTERM/SIGINT or a `shutdown` op stops
+//! accepting, drains queued requests under `--drain-timeout-ms`, saves,
+//! and exits.
+
+pub mod client;
+mod conn;
+mod dispatch;
+mod journal;
+
+pub use dispatch::ServeReport;
+
+use crate::session::SpecSession;
+use compc_core::{Backend, CheckOptions};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Requests queued for the dispatch thread before readers block. Bounds
+/// daemon memory under a client that pipelines without reading responses.
+const REQUEST_QUEUE_CAP: usize = 1024;
+
+/// Everything the daemon's behavior is configured by (the `compc-serve`
+/// binary maps its flags onto this).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on (mutually exclusive with `listen`).
+    pub socket: Option<String>,
+    /// TCP address to listen on (mutually exclusive with `socket`).
+    pub listen: Option<String>,
+    /// Checkpoint file: restored at startup, rewritten on compaction,
+    /// drain, and (without a journal) after every successful append.
+    pub checkpoint: Option<String>,
+    /// Write-ahead append journal: fsynced before each ack, replayed past
+    /// the checkpoint at startup, truncated on compaction.
+    pub journal: Option<String>,
+    /// Within-level parallelism per append (0 = one per core).
+    pub jobs: usize,
+    /// Transitive-closure backend.
+    pub backend: Backend,
+    /// Per-append budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Cross-check verdicts against the brute-force oracle.
+    pub oracle: bool,
+    /// Mirror appends and serving gauges as `compc-trace` NDJSON on stdout.
+    pub trace: bool,
+    /// Exit after the first client disconnects.
+    pub once: bool,
+    /// Connections beyond this are shed with an `overloaded` error.
+    pub max_conns: usize,
+    /// Idle/read timeout per connection in milliseconds (0 = never).
+    pub idle_timeout_ms: u64,
+    /// Request lines longer than this are answered with an `oversize`
+    /// error and discarded.
+    pub max_line_bytes: usize,
+    /// How long a drain keeps serving queued requests before abandoning
+    /// them.
+    pub drain_timeout_ms: u64,
+    /// Testing aid: any request line containing this token panics inside
+    /// the dispatch thread, exercising the panic-isolation path.
+    pub inject_panic: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            socket: None,
+            listen: None,
+            checkpoint: None,
+            journal: None,
+            jobs: 1,
+            backend: Backend::default(),
+            deadline_ms: None,
+            oracle: false,
+            trace: false,
+            once: false,
+            max_conns: 64,
+            idle_timeout_ms: 30_000,
+            max_line_bytes: 1 << 20,
+            drain_timeout_ms: 5_000,
+            inject_panic: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The unified [`CheckOptions`] this configuration checks with.
+    pub fn check_options(&self) -> CheckOptions {
+        let mut options = CheckOptions::new()
+            .jobs(self.jobs)
+            .backend(self.backend)
+            .oracle(self.oracle);
+        if let Some(ms) = self.deadline_ms {
+            options = options.deadline(Duration::from_millis(ms));
+        }
+        options
+    }
+}
+
+/// Serving-layer gauges shared between the accept loop, the reader
+/// threads, and the dispatch thread; exported through the `stats` op and
+/// `--trace` `serve_gauges` events.
+#[derive(Default)]
+pub(crate) struct Gauges {
+    /// Connections currently open.
+    pub connections: AtomicU64,
+    /// Highest concurrent connection count seen.
+    pub peak_connections: AtomicU64,
+    /// Connections accepted (shed ones excluded).
+    pub accepted: AtomicU64,
+    /// Connections shed with an `overloaded` error.
+    pub shed: AtomicU64,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: AtomicU64,
+    /// Request lines rejected for exceeding `--max-line-bytes`.
+    pub oversize_lines: AtomicU64,
+    /// Requests currently queued for (or in flight to) the dispatch thread.
+    pub queue_depth: AtomicU64,
+}
+
+/// Set by the SIGTERM/SIGINT handlers; polled by the dispatch loop.
+static TERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term_signal(_sig: i32) {
+    TERM_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Installs graceful-drain handlers for SIGTERM and SIGINT. Only the
+/// async-signal-safe atomic store happens in the handler; the dispatch
+/// loop notices the flag at its next poll tick.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term_signal);
+        signal(SIGINT, on_term_signal);
+    }
+}
+
+/// Whether a termination signal arrived since the last call (the flag is
+/// consumed, so a drain is initiated exactly once per signal).
+pub(crate) fn term_requested() -> bool {
+    TERM_FLAG.swap(false, Ordering::SeqCst)
+}
+
+/// Runs the daemon to completion: restores state, binds, serves, drains.
+///
+/// Returns the outcome counters the exit code is computed from, or an
+/// error string for fatal startup/save failures (exit code 2 territory).
+pub fn serve(config: ServeConfig) -> Result<ServeReport, String> {
+    let deadline = config.deadline_ms.map(Duration::from_millis);
+    // Restore with the deadline stripped: replaying a checkpoint or a
+    // journal suffix is catch-up work, not a client request, and must not
+    // be interrupted by --deadline-ms.
+    let mut restore_options = config.check_options();
+    restore_options.deadline = None;
+
+    let mut session = match &config.checkpoint {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let session = SpecSession::from_checkpoint(&text, restore_options)
+                    .map_err(|e| format!("cannot restore checkpoint {path}: {e}"))?;
+                eprintln!(
+                    "restored checkpoint {path}: {} node(s), {} schedule(s)",
+                    session.spec().nodes.len(),
+                    session.spec().schedules.len()
+                );
+                session
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                SpecSession::with_options(restore_options)
+            }
+            Err(e) => return Err(format!("cannot read checkpoint {path}: {e}")),
+        },
+        None => SpecSession::with_options(restore_options),
+    };
+
+    let mut journal = None;
+    let mut replayed = 0;
+    if let Some(path) = &config.journal {
+        let report = journal::replay(path, &mut session)?;
+        if report.applied > 0 || report.torn {
+            eprintln!(
+                "replayed {} journaled append(s) past the checkpoint ({} already covered{})",
+                report.applied,
+                report.skipped,
+                if report.torn {
+                    "; dropped one torn, never-acked trailing record"
+                } else {
+                    ""
+                }
+            );
+        }
+        let mut open = journal::Journal::open(path)?;
+        open.assume_records(report.applied + report.skipped);
+        journal = Some(open);
+        replayed = report.applied;
+    }
+    session.set_deadline(deadline);
+
+    let listener = if let Some(path) = &config.socket {
+        conn::Listener::bind_unix(path)?
+    } else if let Some(addr) = &config.listen {
+        conn::Listener::bind_tcp(addr)?
+    } else {
+        return Err("one of --socket or --listen is required".to_string());
+    };
+    eprintln!("listening on {}", listener.local_display());
+
+    install_signal_handlers();
+
+    let gauges = Arc::new(Gauges::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::sync_channel(REQUEST_QUEUE_CAP);
+
+    let limits = conn::ConnLimits {
+        max_conns: config.max_conns.max(1),
+        idle_timeout: match config.idle_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+        max_line_bytes: config.max_line_bytes.max(64),
+    };
+    let mut daemon = dispatch::Daemon::new(session, journal, config, Arc::clone(&gauges));
+    if replayed > 0 {
+        // The checkpoint is stale by the replayed suffix: compact now so
+        // the journal stays short across repeated crash/restart cycles.
+        if let Err(e) = daemon.save_checkpoint_and_compact() {
+            eprintln!("startup compaction failed (journal kept): {e}");
+        }
+    }
+
+    let accept = {
+        let gauges = Arc::clone(&gauges);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("compc-serve-accept".to_string())
+            .spawn(move || conn::accept_loop(listener, tx, gauges, stop, limits))
+            .map_err(|e| format!("cannot spawn accept thread: {e}"))?
+    };
+
+    let outcome = dispatch::dispatch_loop(rx, &mut daemon, &stop);
+    stop.store(true, Ordering::SeqCst);
+    let _ = accept.join();
+    outcome?;
+    Ok(daemon.report())
+}

@@ -151,6 +151,13 @@ impl SpecSession {
         self.inner.options()
     }
 
+    /// Replaces the per-append deadline (see
+    /// [`compc_core::Session::set_deadline`]); `None` disables it. Safe
+    /// mid-session — the budget is read afresh at each append.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.inner.set_deadline(deadline);
+    }
+
     /// The accumulated spec (every accepted fragment merged).
     pub fn spec(&self) -> &SystemSpec {
         &self.spec

@@ -363,6 +363,513 @@ fn stale_tmp_from_a_kill_between_write_and_rename_is_harmless() {
 }
 
 #[test]
+fn hostile_input_answers_structured_errors_and_daemon_keeps_serving() {
+    let dir = tmpdir();
+    let socket = dir.join("h.sock");
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--max-line-bytes",
+        "512",
+    ]);
+    let fragments = figure3_fragments();
+
+    // Invalid UTF-8: a structured protocol error, connection stays usable.
+    {
+        let mut stream = wait_for_socket(&socket);
+        stream.write_all(b"\xff\xfe{\"op\": \"stats\"}\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response = parse(line.trim()).unwrap();
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(str_field(&response, "kind"), "protocol");
+        let ok = roundtrip(&mut reader, &mut stream, "{\"op\": \"stats\"}");
+        assert_eq!(ok.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    // A line over --max-line-bytes: rejected as "oversize", and the next
+    // (normal) request on the same connection is still served.
+    {
+        let stream = wait_for_socket(&socket);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let huge = format!("{{\"op\": \"{}\"}}", "x".repeat(2048));
+        let response = roundtrip(&mut reader, &mut writer, &huge);
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(str_field(&response, "kind"), "oversize");
+        let ok = roundtrip(&mut reader, &mut writer, &fragments[0]);
+        assert_eq!(
+            ok.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "the request after an oversize line must not be corrupted: {}",
+            ok.to_compact()
+        );
+    }
+
+    // An unterminated final line (EOF with no trailing newline) is still a
+    // complete request and gets its response before teardown.
+    {
+        let mut stream = wait_for_socket(&socket);
+        stream.write_all(b"{\"op\": \"stats\"}").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        let response = parse(line.trim()).unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "unterminated final request must be answered: {line}"
+        );
+    }
+
+    // After all four hostile clients the daemon still serves normally.
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    assert_eq!(stats.get("oversize_lines").and_then(Value::as_u64), Some(1));
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 0);
+}
+
+#[test]
+fn idle_client_is_timed_out_without_stalling_the_daemon() {
+    let dir = tmpdir();
+    let socket = dir.join("i.sock");
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--idle-timeout-ms",
+        "200",
+    ]);
+    // This client never sends anything: it must be told and disconnected.
+    let idle = wait_for_socket(&socket);
+    let mut line = String::new();
+    BufReader::new(idle.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let response = parse(line.trim()).unwrap_or_else(|e| panic!("not JSON ({e}): {line}"));
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(str_field(&response, "kind"), "timeout");
+
+    // The daemon itself is unaffected: a prompt client still gets served.
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    assert_eq!(stats.get("idle_closed").and_then(Value::as_u64), Some(1));
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 0);
+}
+
+#[test]
+fn two_concurrent_clients_interleave_while_a_third_idles() {
+    let dir = tmpdir();
+    let socket = dir.join("j.sock");
+    let daemon = Daemon::spawn(&["--socket", socket.to_str().unwrap()]);
+    let fragments = figure3_fragments();
+
+    // The idle third connects first and never writes; with per-connection
+    // reader threads it cannot head-of-line-block the active two.
+    let _idle = wait_for_socket(&socket);
+    let a = wait_for_socket(&socket);
+    let b = wait_for_socket(&socket);
+    let mut a_reader = BufReader::new(a.try_clone().unwrap());
+    let mut a_writer = a;
+    let mut b_reader = BufReader::new(b.try_clone().unwrap());
+    let mut b_writer = b;
+
+    // Alternate appends between the two connections: both feed the same
+    // session, so the global append counter must tick up monotonically.
+    for (k, request) in fragments.iter().enumerate() {
+        let response = if k % 2 == 0 {
+            roundtrip(&mut a_reader, &mut a_writer, request)
+        } else {
+            roundtrip(&mut b_reader, &mut b_writer, request)
+        };
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "append {k} via {}: {}",
+            if k % 2 == 0 { "A" } else { "B" },
+            response.to_compact()
+        );
+        assert_eq!(
+            response.get("appends").and_then(Value::as_u64),
+            Some(k as u64 + 1)
+        );
+    }
+    let stats = roundtrip(&mut a_reader, &mut a_writer, "{\"op\": \"stats\"}");
+    assert!(
+        stats.get("peak_connections").and_then(Value::as_u64) >= Some(3),
+        "all three connections were concurrent: {}",
+        stats.to_compact()
+    );
+    roundtrip(&mut b_reader, &mut b_writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 1);
+}
+
+#[test]
+fn injected_panic_is_isolated_to_its_request() {
+    let dir = tmpdir();
+    let socket = dir.join("k.sock");
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--inject-panic",
+        "0xDEADPANIC",
+    ]);
+    let fragments = figure3_fragments();
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // A request that panics the handler: this connection gets a structured
+    // internal error, not a dead socket.
+    let boom = roundtrip(
+        &mut reader,
+        &mut writer,
+        "{\"op\": \"stats\", \"note\": \"0xDEADPANIC\"}",
+    );
+    assert_eq!(boom.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(str_field(&boom, "kind"), "internal");
+
+    // The same connection and a second one both keep working.
+    let after = roundtrip(&mut reader, &mut writer, &fragments[0]);
+    assert_eq!(
+        after.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "the connection survives its own panic: {}",
+        after.to_compact()
+    );
+    let other = wait_for_socket(&socket);
+    let mut other_reader = BufReader::new(other.try_clone().unwrap());
+    let mut other_writer = other;
+    let second = roundtrip(&mut other_reader, &mut other_writer, &fragments[1]);
+    assert_eq!(second.get("ok").and_then(Value::as_bool), Some(true));
+
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    assert_eq!(
+        stats.get("internal_faults").and_then(Value::as_u64),
+        Some(1)
+    );
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    // An isolated internal fault is still a fault: exit code 2.
+    assert_eq!(daemon.wait_code(), 2);
+}
+
+#[test]
+fn panicking_append_rolls_the_session_back() {
+    let dir = tmpdir();
+    let socket = dir.join("l.sock");
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--inject-panic",
+        "0xDEADPANIC",
+    ]);
+    let fragments = figure3_fragments();
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let first = roundtrip(&mut reader, &mut writer, &fragments[0]);
+    assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
+
+    // An append whose handling panics must not half-apply: the session is
+    // restored to its pre-request snapshot...
+    let poisoned = fragments[1].replace("\"append\"", "\"comment\": \"0xDEADPANIC\", \"append\"");
+    let boom = roundtrip(&mut reader, &mut writer, &poisoned);
+    assert_eq!(str_field(&boom, "kind"), "internal");
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    assert_eq!(
+        stats.get("appends").and_then(Value::as_u64),
+        Some(1),
+        "the panicked append must not count: {}",
+        stats.to_compact()
+    );
+
+    // ...and the same fragment, re-sent cleanly, applies as append #2.
+    let retried = roundtrip(&mut reader, &mut writer, &fragments[1]);
+    assert_eq!(retried.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(retried.get("appends").and_then(Value::as_u64), Some(2));
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 2);
+}
+
+#[test]
+fn socket_path_guard_refuses_to_replace_a_regular_file() {
+    let dir = tmpdir();
+    let path = dir.join("precious.dat");
+    std::fs::write(&path, "user data, not a socket").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_compc-serve"))
+        .args(["--socket", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "binding over a regular file is refused"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("refusing to replace"),
+        "stderr names the refusal: {stderr}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        "user data, not a socket",
+        "the file at the mistyped path is untouched"
+    );
+}
+
+#[test]
+fn fd_exhaustion_drops_connections_but_never_the_daemon() {
+    let dir = tmpdir();
+    let socket = dir.join("m.sock");
+    // A tight fd limit makes accept/try_clone fail under connection
+    // pressure — the regression was a `?` on try_clone taking down the
+    // whole daemon.
+    let child = Command::new("sh")
+        .arg("-c")
+        .arg(format!(
+            "ulimit -n 24; exec '{}' --socket '{}' --idle-timeout-ms 1000",
+            env!("CARGO_BIN_EXE_compc-serve"),
+            socket.to_str().unwrap()
+        ))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns under a tight ulimit");
+    let daemon = Daemon(child);
+    let _first = wait_for_socket(&socket);
+
+    // Pile on connections far past what 24 fds can carry. Some get
+    // dropped, shed, or refused — all fine, as long as the daemon lives.
+    let mut pile = Vec::new();
+    for _ in 0..60 {
+        if let Ok(stream) = UnixStream::connect(&socket) {
+            pile.push(stream);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    drop(pile);
+
+    // The daemon survived. Right after the pile it may still be churning
+    // through dead backlog connections with exhausted fds and drop a few
+    // more — the contract is that it *recovers*, so retry until it serves.
+    let request = figure3_fragments()[0].clone();
+    let mut served = None;
+    for _ in 0..200 {
+        let attempt = (|| -> std::io::Result<String> {
+            let mut stream = UnixStream::connect(&socket)?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            writeln!(stream, "{request}")?;
+            let mut line = String::new();
+            BufReader::new(stream.try_clone()?).read_line(&mut line)?;
+            Ok(line)
+        })();
+        if let Ok(line) = attempt {
+            if let Ok(response) = parse(line.trim()) {
+                if response.get("ok").and_then(Value::as_bool) == Some(true) {
+                    served = Some(response);
+                    break;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let served = served.expect("daemon must recover and serve after fd pressure");
+    assert_eq!(served.get("appends").and_then(Value::as_u64), Some(1));
+
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    // Only the (correct) first fragment was served: a clean exit 0.
+    assert_eq!(daemon.wait_code(), 0);
+}
+
+#[test]
+fn journal_replays_acked_appends_after_sigkill() {
+    let dir = tmpdir();
+    let socket = dir.join("n.sock");
+    let checkpoint = dir.join("n.checkpoint.json");
+    let journal = dir.join("n.journal.ndjson");
+    let fragments = figure3_fragments();
+    let serve_args = [
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+    ];
+
+    // Stream every fragment, all acked (journaled), then SIGKILL: no
+    // shutdown, no final checkpoint write.
+    let mut daemon = Daemon::spawn(&serve_args);
+    let mut last = Value::Null;
+    {
+        let stream = wait_for_socket(&socket);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for request in &fragments {
+            last = roundtrip(&mut reader, &mut writer, request);
+            assert_eq!(last.get("ok").and_then(Value::as_bool), Some(true));
+        }
+    }
+    daemon.0.kill().unwrap();
+    daemon.0.wait().unwrap();
+    std::mem::forget(daemon);
+    assert!(journal.exists(), "acked appends are journaled");
+
+    // Simulate a torn trailing record from a crash mid-journal-write: it
+    // was never acked, so recovery must drop it and carry on.
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .unwrap();
+        file.write_all(b"{\"seq\": 99, \"append\": {\"nod").unwrap();
+    }
+
+    // The restarted daemon replays the journal: every acked append is
+    // there, and the verdict fields match the uninterrupted run exactly.
+    let daemon = Daemon::spawn(&serve_args);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    assert_eq!(
+        stats.get("appends").and_then(Value::as_u64),
+        Some(fragments.len() as u64),
+        "all acked appends must survive the SIGKILL: {}",
+        stats.to_compact()
+    );
+    let resent = roundtrip(&mut reader, &mut writer, fragments.last().unwrap());
+    for field in ["verdict", "level", "phase"] {
+        assert_eq!(
+            resent.get(field).map(Value::to_compact),
+            last.get(field).map(Value::to_compact),
+            "recovered {field} must be bit-identical"
+        );
+    }
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 1);
+}
+
+#[test]
+fn checkpoint_op_compacts_the_journal() {
+    let dir = tmpdir();
+    let socket = dir.join("o.sock");
+    let checkpoint = dir.join("o.checkpoint.json");
+    let journal = dir.join("o.journal.ndjson");
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+    ]);
+    let fragments = figure3_fragments();
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    for request in &fragments {
+        roundtrip(&mut reader, &mut writer, request);
+    }
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    assert_eq!(
+        stats.get("journal_records").and_then(Value::as_u64),
+        Some(fragments.len() as u64)
+    );
+    let compacted = roundtrip(&mut reader, &mut writer, "{\"op\": \"checkpoint\"}");
+    assert_eq!(compacted.get("saved").and_then(Value::as_bool), Some(true));
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    assert_eq!(
+        stats.get("journal_records").and_then(Value::as_u64),
+        Some(0),
+        "compaction truncates the journal: {}",
+        stats.to_compact()
+    );
+    assert_eq!(std::fs::metadata(&journal).unwrap().len(), 0);
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 1);
+}
+
+#[test]
+fn sigterm_drains_saves_and_exits_cleanly() {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+
+    let dir = tmpdir();
+    let socket = dir.join("p.sock");
+    let checkpoint = dir.join("p.checkpoint.json");
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+    ]);
+    let fragments = figure3_fragments();
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    // Only the first fragment: a correct prefix, so a clean drain exits 0.
+    let response = roundtrip(&mut reader, &mut writer, &fragments[0]);
+    assert_eq!(str_field(&response, "verdict"), "comp-c");
+
+    let pid = daemon.0.id() as i32;
+    assert_eq!(unsafe { kill(pid, SIGTERM) }, 0, "SIGTERM delivered");
+    assert_eq!(
+        daemon.wait_code(),
+        0,
+        "SIGTERM is a graceful drain, not a crash"
+    );
+    assert!(
+        checkpoint.exists(),
+        "the drain saves the checkpoint before exiting"
+    );
+    assert!(
+        !socket.exists(),
+        "the drained daemon unlinks its socket path"
+    );
+}
+
+#[test]
+fn send_mode_streams_a_spec_and_reports_verdicts() {
+    let dir = tmpdir();
+    let socket = dir.join("q.sock");
+    let daemon = Daemon::spawn(&["--socket", socket.to_str().unwrap()]);
+    let _ = wait_for_socket(&socket);
+    let spec_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/corpus/figure3.incorrect.json"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_compc-serve"))
+        .args(["--send", spec_path, "--socket", socket.to_str().unwrap()])
+        .output()
+        .unwrap();
+    // Figure 3 is a violation: the client mirrors compc-check's exit 1.
+    assert_eq!(out.status.code(), Some(1), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let last = stdout.lines().last().expect("one response per request");
+    let response = parse(last).unwrap();
+    assert_eq!(str_field(&response, "verdict"), "not-comp-c");
+
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 1);
+}
+
+#[test]
 fn deadline_interruption_is_resumable_and_exits_3() {
     let dir = tmpdir();
     let socket = dir.join("c.sock");

@@ -1,0 +1,36 @@
+//! A short, seeded run of the `serve-soak` kill-anywhere crash-recovery
+//! harness, as a regular test: the daemon is SIGKILLed at random points
+//! while a resilient client streams appends, and the harness asserts zero
+//! acked-append loss plus bit-identical post-recovery verdicts. The CI
+//! `serve-soak` stage and local runs scale the same binary up to hundreds
+//! of kills.
+
+use std::process::Command;
+
+#[test]
+fn mini_soak_survives_a_dozen_random_kills() {
+    let out = Command::new(env!("CARGO_BIN_EXE_serve-soak"))
+        .args([
+            "--kills",
+            "12",
+            "--seed",
+            "1999",
+            "--roots",
+            "12",
+            "--daemon",
+            env!("CARGO_BIN_EXE_compc-serve"),
+        ])
+        .output()
+        .expect("serve-soak runs");
+    assert!(
+        out.status.success(),
+        "soak failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("zero acked-append loss"),
+        "summary asserts the contract: {stdout}"
+    );
+}
