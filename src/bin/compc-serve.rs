@@ -81,7 +81,8 @@ fn help() -> ExitCode {
     println!("  --journal FILE    write-ahead append journal: every accepted append is");
     println!("                    fsynced to FILE before its verdict is acked, replayed");
     println!("                    past the checkpoint at startup, and truncated when");
-    println!("                    the checkpoint op compacts");
+    println!("                    the checkpoint op compacts; requires --checkpoint");
+    println!("                    (compaction only truncates checkpointed records)");
     println!("  --max-conns N     connections beyond N are shed with a structured");
     println!("                    \"overloaded\" error (default 64)");
     println!("  --idle-timeout-ms N  close connections idle for N ms with a");

@@ -232,14 +232,28 @@ pub(crate) fn accept_loop(
         let active = gauges.connections.fetch_add(1, Ordering::SeqCst) + 1;
         gauges.peak_connections.fetch_max(active, Ordering::SeqCst);
         handlers.retain(|h| !h.is_finished());
-        spawn_handler(&mut handlers, format!("conn-{conn}-write"), move || {
+        // A thread-spawn failure must undo the registration above, or the
+        // dispatch conns map leaks the entry and --max-conns capacity is
+        // permanently down one — exactly under the resource exhaustion
+        // that makes spawns fail in the first place. Disconnected makes
+        // dispatch drop the response sender, which also ends an
+        // already-running writer thread and shuts its socket down.
+        if !spawn_handler(&mut handlers, format!("conn-{conn}-write"), move || {
             writer_loop(stream, resp_rx)
-        });
+        }) {
+            gauges.connections.fetch_sub(1, Ordering::SeqCst);
+            let _ = tx.send(Msg::Disconnected { conn });
+            continue;
+        }
         let reader_tx = tx.clone();
         let reader_gauges = Arc::clone(&gauges);
-        spawn_handler(&mut handlers, format!("conn-{conn}-read"), move || {
+        if !spawn_handler(&mut handlers, format!("conn-{conn}-read"), move || {
             reader_loop(reader_half, conn, &reader_tx, &reader_gauges, limits)
-        });
+        }) {
+            gauges.connections.fetch_sub(1, Ordering::SeqCst);
+            let _ = tx.send(Msg::Disconnected { conn });
+            continue;
+        }
     }
     for h in handlers {
         let _ = h.join();
@@ -249,14 +263,23 @@ pub(crate) fn accept_loop(
     }
 }
 
+/// Spawns one connection thread; on failure the closure (and the stream
+/// half it owns) is dropped and the caller must unwind the connection's
+/// registration. Returns whether the thread is running.
 fn spawn_handler(
     handlers: &mut Vec<std::thread::JoinHandle<()>>,
     name: String,
     f: impl FnOnce() + Send + 'static,
-) {
+) -> bool {
     match std::thread::Builder::new().name(name.clone()).spawn(f) {
-        Ok(handle) => handlers.push(handle),
-        Err(e) => eprintln!("cannot spawn {name}: {e}; dropping the connection"),
+        Ok(handle) => {
+            handlers.push(handle);
+            true
+        }
+        Err(e) => {
+            eprintln!("cannot spawn {name}: {e}; dropping the connection");
+            false
+        }
     }
 }
 

@@ -11,7 +11,7 @@
 
 use super::journal::Journal;
 use super::{Gauges, ServeConfig};
-use crate::session::{SpecSession, SpecSessionError};
+use crate::session::{SpecSession, SpecSessionError, SpecSnapshot};
 use compc_core::{SessionError, Verdict};
 use compc_json::Value;
 use compc_trace::{event_to_ndjson_line, TraceEvent};
@@ -110,6 +110,11 @@ pub(crate) struct Daemon {
     gauges: Arc<Gauges>,
     /// Response channels of the live connections, by connection id.
     conns: HashMap<u64, Sender<String>>,
+    /// Pre-request session snapshot, captured for appends only. Consumed
+    /// by whichever failure path fires first — a panic, or a durability
+    /// write error — so the session never runs ahead of what the journal
+    /// and checkpoint can reconstruct.
+    pending_snapshot: Option<SpecSnapshot>,
     report: ServeReport,
 }
 
@@ -152,6 +157,7 @@ impl Daemon {
             config,
             gauges,
             conns: HashMap::new(),
+            pending_snapshot: None,
             report: ServeReport::default(),
         }
     }
@@ -257,11 +263,14 @@ impl Daemon {
             }
         };
         // Only appends mutate the session, so only they pay for a snapshot.
-        let snapshot = request.get("append").map(|_| self.session.snapshot());
+        self.pending_snapshot = request.get("append").map(|_| self.session.snapshot());
         match catch_unwind(AssertUnwindSafe(|| self.handle_request(&request, line))) {
-            Ok(answer) => answer,
+            Ok(answer) => {
+                self.pending_snapshot = None;
+                answer
+            }
             Err(payload) => {
-                if let Some(snapshot) = snapshot {
+                if let Some(snapshot) = self.pending_snapshot.take() {
                     self.session.restore(snapshot);
                 }
                 self.report.internal_faults += 1;
@@ -374,11 +383,21 @@ impl Daemon {
                 if let Some(journal) = &mut self.journal {
                     let seq = self.session.stats().appends;
                     if let Err(e) = journal.append(seq, &fragment) {
-                        // No ack, so no durability promise was made; the
-                        // client may retry (the merge is idempotent).
+                        // No ack, so no durability promise was made. Roll
+                        // the session back too: keeping the merged fragment
+                        // would let every later acked append be journaled
+                        // against in-memory state the journal cannot
+                        // reconstruct. Rolled back, the client may simply
+                        // retry.
+                        if let Some(snapshot) = self.pending_snapshot.take() {
+                            self.session.restore(snapshot);
+                        }
                         return error_object("journal", e);
                     }
                 } else if let Err(e) = self.save_checkpoint() {
+                    if let Some(snapshot) = self.pending_snapshot.take() {
+                        self.session.restore(snapshot);
+                    }
                     return error_object("checkpoint", e);
                 }
                 self.verdict_response(&verdict)

@@ -4,11 +4,14 @@
 //! fsynced (`sync_data`) before the verdict is acked — that ordering is
 //! the whole durability contract. At startup [`replay`] applies the
 //! journal suffix past the restored checkpoint (records whose `seq` the
-//! checkpoint already covers are skipped); a torn trailing record from a
-//! crash mid-write is dropped, which is safe because its append was never
-//! acked. Compaction rewrites the checkpoint first and truncates the
-//! journal second, so a crash between the two only leaves records the
-//! next replay skips.
+//! checkpoint already covers are skipped) and repairs the file tail: a
+//! torn (unparseable, never-acked) trailing record from a crash mid-write
+//! is truncated away, and a whole-but-unterminated one gets its missing
+//! newline — either way the next fsynced append starts on a fresh line
+//! and can never fuse with leftover bytes into one unparseable record.
+//! Compaction rewrites the checkpoint first and truncates the journal
+//! second, so a crash between the two only leaves records the next
+//! replay skips.
 
 use crate::session::SpecSession;
 use crate::spec::SystemSpec;
@@ -57,8 +60,8 @@ impl Journal {
 
     /// Appends one record and fsyncs it. Must complete before the
     /// append's verdict is acked; an error here fails the append (the
-    /// session keeps the merged spec, and the client may retry — the
-    /// merge is idempotent).
+    /// dispatcher rolls the session back to its pre-request snapshot, so
+    /// the client may simply retry).
     pub fn append(&mut self, seq: u64, fragment: &SystemSpec) -> Result<(), String> {
         let record = Value::Object(vec![
             ("seq".into(), Value::from(seq)),
@@ -94,14 +97,17 @@ pub(crate) struct ReplayReport {
     pub applied: u64,
     /// Whole records skipped because the checkpoint already covered them.
     pub skipped: u64,
-    /// A torn (half-written, never-acked) trailing record was dropped.
+    /// A torn (half-written, never-acked) trailing record was dropped
+    /// and truncated out of the file.
     pub torn: bool,
 }
 
 /// Replays the journal at `path` into `session`, skipping records the
-/// restored checkpoint already covers. Corruption anywhere but a torn
-/// tail is a hard error: it means acked state may be unrecoverable, and
-/// silently continuing would break the durability contract.
+/// restored checkpoint already covers, and repairs an unterminated tail
+/// in place (truncating a torn record, newline-terminating a whole one)
+/// so the next append starts on a fresh line. Corruption anywhere but a
+/// torn tail is a hard error: it means acked state may be unrecoverable,
+/// and silently continuing would break the durability contract.
 pub(crate) fn replay(path: &str, session: &mut SpecSession) -> Result<ReplayReport, String> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
@@ -143,14 +149,51 @@ pub(crate) fn replay(path: &str, session: &mut SpecSession) -> Result<ReplayRepo
                 apply_record(session, seq, &fragment, &mut report).map_err(|e| {
                     format!("journal {path} record {} failed to replay: {e}", total + 1)
                 })?;
+                // The record is whole, only its newline is missing: add
+                // it, or the next append would fuse with this record into
+                // one unparseable line the next restart hard-errors on.
+                terminate_tail(path)?;
             }
             // Unparseable and unterminated: the classic torn write. The
             // record's fsync never completed, so its append was never
-            // acked and dropping it loses nothing the contract promised.
-            Err(_) => report.torn = true,
+            // acked and dropping it loses nothing the contract promised —
+            // but its bytes must go too, or the next append would fuse
+            // with them into one poisoned line.
+            Err(_) => {
+                report.torn = true;
+                let clean_bytes = bytes
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map_or(0, |i| i as u64 + 1);
+                truncate_tail(path, clean_bytes)?;
+            }
         }
     }
     Ok(report)
+}
+
+/// Drops everything past the last whole newline-terminated record
+/// (replay tail repair, durable before any new append lands).
+fn truncate_tail(path: &str, clean_bytes: u64) -> Result<(), String> {
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("cannot open journal {path} to drop its torn tail: {e}"))?;
+    file.set_len(clean_bytes)
+        .and_then(|_| file.sync_data())
+        .map_err(|e| format!("cannot drop the torn tail of journal {path}: {e}"))
+}
+
+/// Writes the newline a whole-but-unterminated final record is missing
+/// (replay tail repair, durable before any new append lands).
+fn terminate_tail(path: &str) -> Result<(), String> {
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open journal {path} to terminate its tail: {e}"))?;
+    file.write_all(b"\n")
+        .and_then(|_| file.sync_data())
+        .map_err(|e| format!("cannot terminate the tail of journal {path}: {e}"))
 }
 
 fn parse_record(line: &[u8]) -> Result<(u64, SystemSpec), String> {

@@ -32,7 +32,11 @@
 //! `checkpoint` compacts (fsync-before-rename snapshot, then journal
 //! truncation — in that order, so a crash between the two only leaves
 //! already-applied records that replay skips). A torn trailing journal
-//! record from a crash mid-write is dropped: its append was never acked.
+//! record from a crash mid-write is truncated out of the file at replay
+//! (its append was never acked), so the next fsynced append can never
+//! fuse with leftover tail bytes. `--journal` requires `--checkpoint`:
+//! compaction may only truncate records a checkpoint covers, so without
+//! one the journal would grow without bound.
 //!
 //! # Overload and drain
 //!
@@ -191,6 +195,13 @@ pub(crate) fn term_requested() -> bool {
 /// Returns the outcome counters the exit code is computed from, or an
 /// error string for fatal startup/save failures (exit code 2 territory).
 pub fn serve(config: ServeConfig) -> Result<ServeReport, String> {
+    if config.journal.is_some() && config.checkpoint.is_none() {
+        return Err(
+            "--journal requires --checkpoint: compaction can only truncate journal \
+             records a checkpoint covers, so without one the journal grows without bound"
+                .to_string(),
+        );
+    }
     let deadline = config.deadline_ms.map(Duration::from_millis);
     // Restore with the deadline stripped: replaying a checkpoint or a
     // journal suffix is catch-up work, not a client request, and must not
@@ -219,7 +230,7 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, String> {
     };
 
     let mut journal = None;
-    let mut replayed = 0;
+    let mut compact_on_start = false;
     if let Some(path) = &config.journal {
         let report = journal::replay(path, &mut session)?;
         if report.applied > 0 || report.torn {
@@ -237,7 +248,11 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, String> {
         let mut open = journal::Journal::open(path)?;
         open.assume_records(report.applied + report.skipped);
         journal = Some(open);
-        replayed = report.applied;
+        // Applied records mean the checkpoint is stale by the replayed
+        // suffix; a torn tail means the last run died mid-write. Either
+        // way, compact so the journal stays short (and fully covered)
+        // across repeated crash/restart cycles.
+        compact_on_start = report.applied > 0 || report.torn;
     }
     session.set_deadline(deadline);
 
@@ -265,9 +280,7 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, String> {
         max_line_bytes: config.max_line_bytes.max(64),
     };
     let mut daemon = dispatch::Daemon::new(session, journal, config, Arc::clone(&gauges));
-    if replayed > 0 {
-        // The checkpoint is stale by the replayed suffix: compact now so
-        // the journal stays short across repeated crash/restart cycles.
+    if compact_on_start {
         if let Err(e) = daemon.save_checkpoint_and_compact() {
             eprintln!("startup compaction failed (journal kept): {e}");
         }

@@ -760,6 +760,123 @@ fn journal_replays_acked_appends_after_sigkill() {
     assert_eq!(daemon.wait_code(), 1);
 }
 
+/// Regression: torn tail bytes used to be left in the journal after
+/// replay, and the next fsynced append was written directly after them —
+/// fusing into one unparseable line that the *following* restart refused
+/// as mid-file corruption, losing the acked append. Replay must truncate
+/// the torn tail so later appends always start on a fresh line. The
+/// checkpoint op before the kill makes the replay see applied == 0 with
+/// only the torn tail — the exact case startup compaction never masked.
+#[test]
+fn torn_journal_tail_cannot_poison_later_acked_appends() {
+    let dir = tmpdir();
+    let socket = dir.join("p.sock");
+    let checkpoint = dir.join("p.checkpoint.json");
+    let journal = dir.join("p.journal.ndjson");
+    let fragments = figure3_fragments();
+    let serve_args = [
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+    ];
+
+    // Ack one append, compact so the checkpoint covers it, then SIGKILL.
+    let mut daemon = Daemon::spawn(&serve_args);
+    {
+        let stream = wait_for_socket(&socket);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let first = roundtrip(&mut reader, &mut writer, &fragments[0]);
+        assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
+        let compacted = roundtrip(&mut reader, &mut writer, "{\"op\": \"checkpoint\"}");
+        assert_eq!(compacted.get("saved").and_then(Value::as_bool), Some(true));
+    }
+    daemon.0.kill().unwrap();
+    daemon.0.wait().unwrap();
+    std::mem::forget(daemon);
+
+    // A crash mid-journal-write leaves torn, never-acked tail bytes.
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .unwrap();
+        file.write_all(b"{\"seq\": 99, \"append\": {\"nod").unwrap();
+    }
+
+    // Restart and ack another append: it must land on a fresh line, not
+    // fused onto the torn bytes. SIGKILL again before any compaction.
+    let mut daemon = Daemon::spawn(&serve_args);
+    {
+        let stream = wait_for_socket(&socket);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let second = roundtrip(&mut reader, &mut writer, &fragments[1]);
+        assert_eq!(
+            second.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "append after a torn-tail restart must be served: {}",
+            second.to_compact()
+        );
+        assert_eq!(second.get("appends").and_then(Value::as_u64), Some(2));
+    }
+    daemon.0.kill().unwrap();
+    daemon.0.wait().unwrap();
+    std::mem::forget(daemon);
+
+    // The decisive restart: with the torn bytes still in the file the
+    // acked second append is unparseable and the daemon refuses to start.
+    let daemon = Daemon::spawn(&serve_args);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    assert_eq!(
+        stats.get("appends").and_then(Value::as_u64),
+        Some(2),
+        "both acked appends must survive both SIGKILLs: {}",
+        stats.to_compact()
+    );
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 0);
+}
+
+/// A journal can only be compacted against a checkpoint that covers its
+/// records; without one it would grow without bound, so the combination
+/// is refused at startup.
+#[test]
+fn journal_without_checkpoint_is_refused_at_startup() {
+    use std::io::Read as _;
+    let dir = tmpdir();
+    let socket = dir.join("q.sock");
+    let journal = dir.join("q.journal.ndjson");
+    let mut daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+    ]);
+    let status = daemon.0.wait().unwrap();
+    let mut err = String::new();
+    daemon
+        .0
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut err)
+        .unwrap();
+    std::mem::forget(daemon);
+    assert_eq!(status.code(), Some(2));
+    assert!(
+        err.contains("--journal requires --checkpoint"),
+        "startup must explain the refusal: {err}"
+    );
+}
+
 #[test]
 fn checkpoint_op_compacts_the_journal() {
     let dir = tmpdir();
