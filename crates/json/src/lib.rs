@@ -106,6 +106,13 @@ impl Value {
         out
     }
 
+    /// Compact rendering appended to a caller-owned buffer, so hot paths
+    /// (the serve journal writes one record per acked append) can reuse
+    /// one scratch allocation instead of paying a fresh `String` per call.
+    pub fn write_compact_into(&self, out: &mut String) {
+        write_value(out, self, None, 0);
+    }
+
     /// Indented multi-line rendering.
     pub fn to_pretty(&self) -> String {
         let mut out = String::new();

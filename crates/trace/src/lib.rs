@@ -104,7 +104,7 @@ pub enum TraceEvent {
         connections: u64,
         /// Highest concurrent connection count seen.
         peak_connections: u64,
-        /// Requests queued for the dispatch thread right now.
+        /// Requests queued for the dispatch shards right now (all shards).
         queue_depth: u64,
         /// Connections shed with an `overloaded` error (over `--max-conns`).
         shed: u64,
@@ -112,6 +112,18 @@ pub enum TraceEvent {
         journal_lag: u64,
         /// Requests that panicked and were isolated (`internal` errors).
         internal_faults: u64,
+        /// Journal fsyncs actually issued (one per commit batch).
+        fsyncs: u64,
+        /// Fsyncs group commit amortized away (records beyond the first in
+        /// each batch would each have cost one fsync before batching).
+        fsyncs_saved: u64,
+        /// Commit-batch-size histogram, log2 buckets: `batch_buckets[i]`
+        /// counts batches of `2^i ..= 2^(i+1)-1` journaled records.
+        batch_buckets: Vec<u64>,
+        /// Largest commit batch flushed so far.
+        batch_max: u64,
+        /// Requests queued per dispatch shard (index = shard).
+        shard_depths: Vec<u64>,
     },
 }
 
@@ -203,6 +215,11 @@ impl TraceEvent {
                 shed,
                 journal_lag,
                 internal_faults,
+                fsyncs,
+                fsyncs_saved,
+                ref batch_buckets,
+                batch_max,
+                ref shard_depths,
             } => object(vec![
                 ("event", Value::Str("serve_gauges".into())),
                 ("connections", Value::Num(connections as f64)),
@@ -211,6 +228,11 @@ impl TraceEvent {
                 ("shed", Value::Num(shed as f64)),
                 ("journal_lag", Value::Num(journal_lag as f64)),
                 ("internal_faults", Value::Num(internal_faults as f64)),
+                ("fsyncs", Value::Num(fsyncs as f64)),
+                ("fsyncs_saved", Value::Num(fsyncs_saved as f64)),
+                ("batch_buckets", Value::from(batch_buckets.clone())),
+                ("batch_max", Value::Num(batch_max as f64)),
+                ("shard_depths", Value::from(shard_depths.clone())),
             ]),
         }
     }

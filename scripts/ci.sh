@@ -155,6 +155,45 @@ bench_smoke() {
         ' BENCH_7.json > /dev/null \
             || { echo "bench-smoke: committed BENCH_7.json lacks the >=100k compressed-vs-dense evidence" >&2; exit 1; }
     fi
+    echo "==> bench-smoke: seconds-scale serve-bench (group commit, 2 shards)"
+    cargo build --release -q --bin compc-serve --bin serve-bench
+    ./target/release/serve-bench --connections 2 --sessions 2 --dispatch-shards 2 \
+        --roots 2 --duration-ms 800 --warmup-ms 150 --batches 1,16 --out "$json" \
+        || { rm -f "$json"; echo "bench-smoke: serve-bench run failed" >&2; exit 1; }
+    echo "==> bench-smoke: validating BENCH_9 schema"
+    jq -e '
+        .bench == "BENCH_9"
+        and .experiment == "E23"
+        and (.seed | type == "number")
+        and (.connections | type == "number")
+        and (.sessions | type == "number")
+        and (.dispatch_shards | type == "number")
+        and (.arrival | IN("poisson", "pareto", "uniform"))
+        and .journaled == true
+        and (.runs | type == "array" and length >= 2)
+        and all(.runs[];
+            (.commit_batch | type == "number" and . > 0)
+            and (.acked_appends | type == "number" and . > 0)
+            and (.appends_per_sec | type == "number" and . > 0)
+            and (.p50_us | type == "number" and . > 0)
+            and (.p99_us | type == "number" and . > 0)
+            and (.fsyncs | type == "number" and . > 0))
+        and (.speedup_last_vs_first | type == "number" and . > 0)
+    ' "$json" > /dev/null \
+        || { rm -f "$json"; echo "bench-smoke: emitted JSON does not match the BENCH_9 schema" >&2; exit 1; }
+    rm -f "$json"
+    if [ -f BENCH_9.json ]; then
+        # The committed artifact is the group-commit headline: batch 64
+        # must carry at least 3x the acked appends/sec of batch 1 on the
+        # same journaled daemon.
+        jq -e '
+            .bench == "BENCH_9"
+            and (.runs | length >= 2)
+            and (.runs[0].commit_batch == 1)
+            and (.speedup_last_vs_first >= 3)
+        ' BENCH_9.json > /dev/null \
+            || { echo "bench-smoke: committed BENCH_9.json lacks the >=3x group-commit speedup" >&2; exit 1; }
+    fi
     echo "==> bench-smoke: OK"
 }
 
@@ -289,6 +328,69 @@ serve_smoke() {
     set -e
     [ "$code" -eq 1 ] \
         || { echo "serve-smoke: phase 3 expected exit 1, got $code" >&2; exit 1; }
+
+    # Phase 4: two named sessions routed to *distinct* dispatch shards
+    # ("left" and "right" differ under FNV-1a mod 2), journaled with group
+    # commit, through one hard restart. Session "left" gets the first half
+    # of the Figure 3 stream plus the rest after the restart (the violation
+    # must surface there); "right" gets the whole stream before the restart
+    # and its append count must survive it.
+    echo "==> serve-smoke: phase 4 (named sessions on distinct shards, one restart)"
+    sed 's/^{"append":/{"session":"left","append":/' "$dir/requests.ndjson" > "$dir/left.ndjson"
+    sed 's/^{"append":/{"session":"right","append":/' "$dir/requests.ndjson" > "$dir/right.ndjson"
+    local cp4="$dir/p4-checkpoint.json" jr4="$dir/p4-journal.ndjson"
+
+    run_phase4() {
+        : > "$log"
+        ./target/release/compc-serve --listen 127.0.0.1:0 --checkpoint "$cp4" \
+            --journal "$jr4" --commit-batch 8 --dispatch-shards 2 2> "$log" &
+        daemon_pid=$!
+        port=""
+        for _ in $(seq 1 100); do
+            port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")"
+            [ -n "$port" ] && break
+            sleep 0.1
+        done
+        [ -n "$port" ] || { echo "serve-smoke: phase-4 daemon never announced its port" >&2; exit 1; }
+        exec 3<>"/dev/tcp/127.0.0.1/$port"
+        local line response
+        while IFS= read -r line; do
+            printf '%s\n' "$line" >&3
+            IFS= read -r response <&3
+            printf '%s\n' "$response"
+        done
+        printf '{"op": "stats", "session": "right"}\n' >&3
+        IFS= read -r response <&3
+        printf '%s\n' "$response"
+        printf '{"op": "shutdown"}\n' >&3
+        IFS= read -r response <&3
+        exec 3>&- 3<&-
+        set +e
+        wait "$daemon_pid"
+        code=$?
+        set -e
+    }
+
+    head -n "$split" "$dir/left.ndjson" > "$dir/p4a.ndjson"
+    cat "$dir/right.ndjson" >> "$dir/p4a.ndjson"
+    run_phase4 < "$dir/p4a.ndjson" > "$dir/p4a.out"
+    [ "$(grep -c '"ok":true' "$dir/p4a.out")" -ge "$((split + total))" ] \
+        || { echo "serve-smoke: phase 4 did not ack both sessions' appends" >&2; exit 1; }
+    grep '"session":"right"' "$dir/p4a.out" | grep -q '"session_appends":'"$total"',' \
+        || { echo "serve-smoke: session right did not count $total appends" >&2; exit 1; }
+    grep -q '"session": "left"' "$cp4" && grep -q '"session": "right"' "$cp4" \
+        || { echo "serve-smoke: multi-session checkpoint lacks the named sessions" >&2; exit 1; }
+
+    tail -n +"$((split + 1))" "$dir/left.ndjson" > "$dir/p4b.ndjson"
+    run_phase4 < "$dir/p4b.ndjson" > "$dir/p4b.out"
+    grep -q "restored checkpoint" "$log" \
+        || { echo "serve-smoke: phase-4 restart did not restore the checkpoint" >&2; exit 1; }
+    grep '"verdict":"not-comp-c"' "$dir/p4b.out" | grep -q '"session":"left"' \
+        || { echo "serve-smoke: session left lost its violation across the restart" >&2; exit 1; }
+    grep '"session":"right"' "$dir/p4b.out" | grep -q '"session_appends":'"$total"',' \
+        || { echo "serve-smoke: session right's appends did not survive the restart" >&2; exit 1; }
+    [ "$code" -eq 1 ] \
+        || { echo "serve-smoke: phase 4 expected exit 1 (violation served), got $code" >&2; exit 1; }
     rm -rf "$dir"
     trap - EXIT
     echo "==> serve-smoke: OK"
@@ -302,9 +404,10 @@ serve_smoke() {
 # versus an uninterrupted batch check. CI runs >= 20 kills; run
 # `./target/release/serve-soak --kills 200` locally for the full dose.
 serve_soak() {
-    echo "==> serve-soak: kill-anywhere crash recovery (seeded, 20 kills)"
+    echo "==> serve-soak: kill-anywhere crash recovery (seeded, 20 kills, batch 8, 2 shards)"
     cargo build --release -q --bin compc-serve --bin serve-soak
     ./target/release/serve-soak --kills 20 --seed 2026 --roots 16 \
+        --clients 2 --commit-batch 8 --dispatch-shards 2 \
         || { echo "serve-soak: the durability contract did not hold" >&2; exit 1; }
     echo "==> serve-soak: OK"
 }

@@ -2,8 +2,9 @@
 //!
 //! This binary is a thin flag parser over [`compc::serve`], which holds
 //! the actual serving core: a concurrent accept/reader/writer edge around
-//! a single state-owning dispatch thread, per-request panic isolation, a
-//! write-ahead append journal, and overload/drain control (see
+//! state-owning dispatch shards (sessions are routed to shards by a
+//! stable hash of their name), per-request panic isolation, a write-ahead
+//! append journal with group commit, and overload/drain control (see
 //! `DESIGN.md` §8 for the architecture and the durability contract).
 //!
 //! The protocol is NDJSON over a Unix or TCP socket, one response line per
@@ -44,7 +45,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: compc-serve (--socket PATH | --listen ADDR) \
 [--jobs N] [--backend auto|dense|sparse|compressed] [--deadline-ms N] [--oracle] \
 [--checkpoint FILE] [--journal FILE] [--max-conns N] [--idle-timeout-ms N] \
-[--max-line-bytes N] [--drain-timeout-ms N] [--trace] [--once]
+[--max-line-bytes N] [--drain-timeout-ms N] [--commit-batch N] [--dispatch-shards N] \
+[--trace] [--once]
        compc-serve --split SYSTEM.json
        compc-serve --send SYSTEM.json (--socket PATH | --connect ADDR)";
 
@@ -91,6 +93,14 @@ fn help() -> ExitCode {
     println!("                    \"oversize\" error and discarded (default 1048576)");
     println!("  --drain-timeout-ms N how long shutdown keeps serving queued requests");
     println!("                    before abandoning them (default 5000)");
+    println!("  --commit-batch N  group commit: one journal fsync may cover up to N");
+    println!("                    contiguous queued appends, acked together after it");
+    println!("                    (default 64; 1 = fsync per append; never weakens the");
+    println!("                    ack-after-fsync durability contract)");
+    println!("  --dispatch-shards N  dispatch threads; each session lives on the shard");
+    println!("                    a stable hash of its name picks, so per-session order");
+    println!("                    and lock-free checking are preserved (default 1;");
+    println!("                    >1 requires --journal when a --checkpoint is set)");
     println!("  --trace           mirror each append as compc-trace NDJSON events");
     println!("                    (check_start/check_end, plus serve_gauges) on stdout");
     println!("  --once            exit after the first client disconnects");
@@ -110,6 +120,9 @@ fn help() -> ExitCode {
     println!("protocol (NDJSON over the socket, one response line per request):");
     println!("  {{\"append\": {{<spec fragment>}}}}  merge + incremental recheck; with");
     println!("                                  --journal, fsynced before the ack");
+    println!("  {{\"session\": \"name\", \"append\": ...}}  address a named session: each");
+    println!("                                  session is an independent spec/checker;");
+    println!("                                  omitting the field means \"default\"");
     println!("  {{\"op\": \"stats\"}}                 session counters and serving gauges");
     println!("                                  (connections, shed, queue_depth, ...)");
     println!("  {{\"op\": \"checkpoint\"}}            write the checkpoint file now and");
@@ -226,6 +239,20 @@ fn main() -> ExitCode {
             "--drain-timeout-ms" => match take_number(&args, &mut i, "--drain-timeout-ms") {
                 Some(n) => config.drain_timeout_ms = n,
                 None => return usage(),
+            },
+            "--commit-batch" => match take_number(&args, &mut i, "--commit-batch") {
+                Some(n) if n > 0 => config.commit_batch = n as usize,
+                _ => {
+                    eprintln!("--commit-batch needs a positive number");
+                    return usage();
+                }
+            },
+            "--dispatch-shards" => match take_number(&args, &mut i, "--dispatch-shards") {
+                Some(n) if n > 0 => config.dispatch_shards = n as usize,
+                _ => {
+                    eprintln!("--dispatch-shards needs a positive number");
+                    return usage();
+                }
             },
             "--deadline-ms" => match take_number(&args, &mut i, "--deadline-ms") {
                 Some(n) => config.deadline_ms = Some(n),

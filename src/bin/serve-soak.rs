@@ -1,19 +1,23 @@
 //! `serve-soak` — kill-anywhere crash-recovery soak for `compc-serve`.
 //!
 //! Proves the daemon's durability contract ("an acked verdict survives any
-//! single crash") by doing its best to break it: a resilient client
-//! streams a random append workload at a journaled daemon while this
-//! harness SIGKILLs the daemon at uniformly random points — including
-//! mid-journal-write, mid-compaction (the workload interleaves
+//! single crash") by doing its best to break it: resilient clients stream
+//! random append workloads — one client per session, across multiple
+//! dispatch shards, with journal group commit enabled — while this
+//! harness SIGKILLs the daemon at uniformly random points, including
+//! mid-batch-write, mid-compaction (the workload interleaves
 //! `checkpoint` ops), and mid-startup-replay (kills may land before the
 //! socket even appears) — then restarts it and asserts, after every
-//! single restart, that no acked append was lost. When the workload
-//! completes, the final verdict is compared field-by-field against a
-//! from-scratch batch check of the merged system: recovery must be
+//! single restart and for every session, that no acked append was lost
+//! *and* that nothing the clients never delivered materialized
+//! (`acked <= recovered <= delivered`). When the workload completes, each
+//! session's final verdict is compared field-by-field against a
+//! from-scratch batch check of its merged system: recovery must be
 //! bit-identical, not merely non-lossy.
 //!
 //! ```text
-//! serve-soak [--kills N] [--seed S] [--roots N] [--daemon PATH] [--keep]
+//! serve-soak [--kills N] [--seed S] [--roots N] [--clients N]
+//!            [--commit-batch N] [--dispatch-shards N] [--daemon PATH] [--keep]
 //! ```
 //!
 //! Exit code 0 = the contract held across all N kills; 2 = a lost acked
@@ -21,7 +25,7 @@
 //! log tail is printed).
 
 use compc::json::Value;
-use compc::serve::client::{stream_requests, BackoffPolicy, Target};
+use compc::serve::client::{stream_requests_observed, BackoffPolicy, Target};
 use compc::spec::SystemSpec;
 use compc::workload::random::{generate, GenParams, Shape};
 use std::io::{BufRead, BufReader, Write};
@@ -35,17 +39,24 @@ struct Args {
     kills: u64,
     seed: u64,
     roots: usize,
+    clients: usize,
+    commit_batch: u64,
+    dispatch_shards: u64,
     daemon: Option<String>,
     keep: bool,
 }
 
-const USAGE: &str = "usage: serve-soak [--kills N] [--seed S] [--roots N] [--daemon PATH] [--keep]";
+const USAGE: &str = "usage: serve-soak [--kills N] [--seed S] [--roots N] [--clients N] \
+[--commit-batch N] [--dispatch-shards N] [--daemon PATH] [--keep]";
 
 fn main() -> ExitCode {
     let mut args = Args {
         kills: 200,
         seed: 42,
         roots: 24,
+        clients: 2,
+        commit_batch: 64,
+        dispatch_shards: 2,
         daemon: None,
         keep: false,
     };
@@ -57,11 +68,17 @@ fn main() -> ExitCode {
                 println!("{USAGE}");
                 println!();
                 println!("kill-anywhere crash-recovery soak for compc-serve:");
-                println!("  --kills N    SIGKILLs to inject across rounds (default 200)");
-                println!("  --seed S     workload + kill-timing seed (default 42)");
-                println!("  --roots N    root subtrees per round's system (default 24)");
-                println!("  --daemon P   compc-serve binary (default: sibling of this one)");
-                println!("  --keep       keep the scratch directories for triage");
+                println!("  --kills N           SIGKILLs to inject across rounds (default 200)");
+                println!("  --seed S            workload + kill-timing seed (default 42)");
+                println!("  --roots N           root subtrees per round, split across clients");
+                println!("                      (default 24)");
+                println!("  --clients N         concurrent clients; client 1 drives the default");
+                println!("                      session (the legacy protocol), the rest drive");
+                println!("                      named sessions (default 2)");
+                println!("  --commit-batch N    daemon group-commit batch size (default 64)");
+                println!("  --dispatch-shards N daemon dispatch shards (default 2)");
+                println!("  --daemon P          compc-serve binary (default: sibling of this one)");
+                println!("  --keep              keep the scratch directories for triage");
                 return ExitCode::SUCCESS;
             }
             "--kills" => match take_number(&argv, &mut i) {
@@ -75,6 +92,18 @@ fn main() -> ExitCode {
             "--roots" => match take_number(&argv, &mut i) {
                 Some(n) if n > 0 => args.roots = n as usize,
                 _ => return usage("--roots needs a positive number"),
+            },
+            "--clients" => match take_number(&argv, &mut i) {
+                Some(n) if n > 0 => args.clients = n as usize,
+                _ => return usage("--clients needs a positive number"),
+            },
+            "--commit-batch" => match take_number(&argv, &mut i) {
+                Some(n) if n > 0 => args.commit_batch = n,
+                _ => return usage("--commit-batch needs a positive number"),
+            },
+            "--dispatch-shards" => match take_number(&argv, &mut i) {
+                Some(n) if n > 0 => args.dispatch_shards = n,
+                _ => return usage("--dispatch-shards needs a positive number"),
             },
             "--daemon" => {
                 i += 1;
@@ -162,13 +191,15 @@ fn soak(args: &Args) -> Result<String, String> {
         eprintln!("round {rounds} complete: {kills_done}/{} kills", args.kills);
     }
     Ok(format!(
-        "serve-soak PASSED: {kills_done} kill(s) over {rounds} round(s), \
-         zero acked-append loss, bit-identical recovered verdicts"
+        "serve-soak PASSED: {kills_done} kill(s) over {rounds} round(s), {} session(s) per \
+         round, commit batch {}, {} shard(s): zero acked-append loss, bit-identical \
+         recovered verdicts",
+        args.clients, args.commit_batch, args.dispatch_shards
     ))
 }
 
-/// One round: a fresh scratch state, one random workload driven to
-/// completion through up to `budget` kills. Returns the kills injected.
+/// One round: a fresh scratch state, one random workload per client driven
+/// to completion through up to `budget` kills. Returns the kills injected.
 fn run_round(
     args: &Args,
     daemon: &std::path::Path,
@@ -189,47 +220,69 @@ fn run_round(
     result
 }
 
-fn run_round_in(
-    args: &Args,
-    daemon: &std::path::Path,
-    round_seed: u64,
-    budget: u64,
-    rng: &mut Rng,
-    dir: &std::path::Path,
-) -> Result<u64, String> {
-    let socket = dir.join("serve.sock").display().to_string();
-    let checkpoint = dir.join("state.json").display().to_string();
-    let journal = dir.join("journal.ndjson").display().to_string();
-    let log = dir.join("daemon.log");
+/// One client's slice of a round: its session, its request lines, and the
+/// batch-check ground truth its final verdict must reproduce.
+struct Plan {
+    /// `None` = the default session, addressed with pre-multi-session
+    /// request lines (no `"session"` field at all).
+    session: Option<String>,
+    lines: Vec<String>,
+    /// Which lines are appends (`delivered` counts only these).
+    is_append: Vec<bool>,
+    last_append_line: String,
+    expected: compc::Verdict,
+}
 
-    // The workload: one random system split into per-root-subtree append
-    // fragments, with a compaction op every few appends so kills can land
-    // mid-compaction too.
+/// What the harness observes about one client while it runs.
+#[derive(Default)]
+struct Tracker {
+    /// Highest acked per-session `appends` counter.
+    max_acked: AtomicU64,
+    /// Append lines handed to a socket write (first sends and re-sends),
+    /// the upper bound on what the daemon can have durably applied.
+    delivered: AtomicU64,
+    done: AtomicBool,
+    last_verdict: Mutex<Option<Value>>,
+}
+
+fn build_plan(args: &Args, round_seed: u64, client: usize) -> Result<Plan, String> {
+    let session = if client == 0 {
+        None
+    } else {
+        Some(format!("s{client}"))
+    };
     let params = GenParams {
         shape: Shape::General {
             levels: 3,
             scheds_per_level: 2,
         },
-        roots: args.roots,
+        roots: (args.roots / args.clients.max(1)).max(4),
         conflict_density: 0.5,
-        seed: round_seed,
+        seed: round_seed ^ ((client as u64 + 1).wrapping_mul(0x9e37_79b9)),
         ..GenParams::default()
     };
     let sys = generate(&params);
     let fragments = SystemSpec::from_system(&sys).into_appends();
     let mut lines = Vec::new();
+    let mut is_append = Vec::new();
     let mut last_append_line = String::new();
     for (index, fragment) in fragments.iter().enumerate() {
-        let request = Value::Object(vec![("append".to_string(), fragment.to_json())]);
-        last_append_line = request.to_compact();
+        let mut entries = Vec::new();
+        if let Some(name) = &session {
+            entries.push(("session".to_string(), Value::from(name.as_str())));
+        }
+        entries.push(("append".to_string(), fragment.to_json()));
+        last_append_line = Value::Object(entries).to_compact();
         lines.push(last_append_line.clone());
+        is_append.push(true);
+        // A compaction op every few appends, so kills can land
+        // mid-compaction; sent with the session field so the reader's
+        // session routing is exercised on op lines too.
         if index % 5 == 4 {
-            lines.push(r#"{"op": "checkpoint"}"#.to_string());
+            lines.push(op_line(session.as_deref(), "checkpoint"));
+            is_append.push(false);
         }
     }
-
-    // The ground truth recovery must reproduce: a from-scratch batch check
-    // of the merged system, exactly as the session would build it.
     let mut merged = SystemSpec {
         auto_propagate: false,
         ..SystemSpec::default()
@@ -244,49 +297,99 @@ fn run_round_in(
             .build()
             .map_err(|e| format!("workload does not build: {e}"))?,
     );
+    Ok(Plan {
+        session,
+        lines,
+        is_append,
+        last_append_line,
+        expected,
+    })
+}
 
-    // The client thread: the same resilient client `compc-serve --send`
-    // uses, recording the highest acked append counter and the last
-    // verdict response.
-    let max_acked = Arc::new(AtomicU64::new(0));
-    let done = Arc::new(AtomicBool::new(false));
-    let last_verdict: Arc<Mutex<Option<Value>>> = Arc::new(Mutex::new(None));
-    let client = {
-        let socket = socket.clone();
-        let lines = lines.clone();
-        let max_acked = Arc::clone(&max_acked);
-        let done = Arc::clone(&done);
-        let last_verdict = Arc::clone(&last_verdict);
-        let policy = BackoffPolicy {
-            base: Duration::from_millis(10),
-            cap: Duration::from_millis(250),
-            max_attempts: 2000,
-            io_timeout: Duration::from_secs(30),
-            seed: round_seed ^ 0xc11e,
-        };
-        std::thread::spawn(move || {
-            let report = stream_requests(&Target::Unix(socket), &lines, &policy, |_, response| {
-                if response.get("verdict").is_some() {
-                    if let Some(appends) = response.get("appends").and_then(Value::as_u64) {
-                        max_acked.fetch_max(appends, Ordering::SeqCst);
-                    }
-                    *last_verdict.lock().expect("verdict lock") = Some(response.clone());
-                }
-            });
-            done.store(true, Ordering::SeqCst);
-            report
+fn op_line(session: Option<&str>, op: &str) -> String {
+    match session {
+        None => format!(r#"{{"op": "{op}"}}"#),
+        Some(name) => format!(r#"{{"session": "{name}", "op": "{op}"}}"#),
+    }
+}
+
+fn run_round_in(
+    args: &Args,
+    daemon: &std::path::Path,
+    round_seed: u64,
+    budget: u64,
+    rng: &mut Rng,
+    dir: &std::path::Path,
+) -> Result<u64, String> {
+    let socket = dir.join("serve.sock").display().to_string();
+    let checkpoint = dir.join("state.json").display().to_string();
+    let journal = dir.join("journal.ndjson").display().to_string();
+    let log = dir.join("daemon.log");
+
+    let plans: Vec<Plan> = (0..args.clients)
+        .map(|c| build_plan(args, round_seed, c))
+        .collect::<Result<_, _>>()?;
+    let trackers: Vec<Arc<Tracker>> = (0..args.clients)
+        .map(|_| Arc::new(Tracker::default()))
+        .collect();
+
+    // One client thread per session: the same resilient client
+    // `compc-serve --send` uses, recording per-session acked and
+    // delivered counters and the last verdict response.
+    let clients: Vec<_> = plans
+        .iter()
+        .zip(&trackers)
+        .enumerate()
+        .map(|(c, (plan, tracker))| {
+            let socket = socket.clone();
+            let lines = plan.lines.clone();
+            let is_append = plan.is_append.clone();
+            let tracker = Arc::clone(tracker);
+            let policy = BackoffPolicy {
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(250),
+                max_attempts: 2000,
+                io_timeout: Duration::from_secs(30),
+                seed: round_seed ^ 0xc11e ^ (c as u64),
+            };
+            std::thread::spawn(move || {
+                let report = stream_requests_observed(
+                    &Target::Unix(socket),
+                    &lines,
+                    &policy,
+                    |index| {
+                        if is_append[index] {
+                            tracker.delivered.fetch_add(1, Ordering::SeqCst);
+                        }
+                    },
+                    |_, response| {
+                        if response.get("verdict").is_some() {
+                            if let Some(appends) = response.get("appends").and_then(Value::as_u64) {
+                                tracker.max_acked.fetch_max(appends, Ordering::SeqCst);
+                            }
+                            *tracker.last_verdict.lock().expect("verdict lock") =
+                                Some(response.clone());
+                        }
+                    },
+                );
+                tracker.done.store(true, Ordering::SeqCst);
+                report
+            })
         })
-    };
+        .collect();
+    let all_done =
+        |trackers: &[Arc<Tracker>]| trackers.iter().all(|t| t.done.load(Ordering::SeqCst));
 
     // The kill loop: spawn, pick a uniformly random time-to-kill (which
     // may elapse before the socket appears — killing mid-startup-replay),
-    // verify zero loss after each successful startup, kill, repeat. The
-    // window grows with each kill so the round always finishes.
+    // verify per-session zero loss after each successful startup, kill,
+    // repeat. The window grows with each kill so the round always
+    // finishes.
     let mut kills: u64 = 0;
-    let mut acked_at_kill: u64 = 0;
-    let mut child = spawn_daemon(daemon, &socket, &checkpoint, &journal, &log)?;
+    let mut acked_at_kill: Vec<u64> = vec![0; args.clients];
+    let mut child = spawn_daemon(args, daemon, &socket, &checkpoint, &journal, &log)?;
     let outcome = loop {
-        if kills < budget && !done.load(Ordering::SeqCst) {
+        if kills < budget && !all_done(&trackers) {
             // Small windows so kills land mid-workload (and mid-replay:
             // the window may elapse before the socket appears); growing
             // with each kill so the round always finishes eventually.
@@ -294,80 +397,132 @@ fn run_round_in(
             let deadline = Instant::now() + Duration::from_millis(window_ms);
             let booted = wait_for_socket_until(&socket, deadline);
             if booted {
-                // Zero-loss assertion: everything acked before the last
-                // kill must already be recovered in this incarnation.
-                let recovered = stats_appends(&socket, deadline)?;
-                if recovered < acked_at_kill {
-                    break Err(format!(
-                        "LOST ACKED APPENDS after kill {kills}: daemon recovered \
-                         {recovered} append(s) but the client had {acked_at_kill} acked"
-                    ));
+                // The durability sandwich, per session: everything acked
+                // before the last kill must already be recovered in this
+                // incarnation, and nothing can be recovered that was
+                // never delivered (the delivered counter is read *after*
+                // the stats response, so it bounds everything the stats
+                // could have seen).
+                for (c, plan) in plans.iter().enumerate() {
+                    let recovered = session_appends(&socket, plan.session.as_deref(), deadline)?;
+                    let session = plan.session.as_deref().unwrap_or("default");
+                    if recovered < acked_at_kill[c] {
+                        break_err(&mut child);
+                        return Err(format!(
+                            "LOST ACKED APPENDS after kill {kills}: session {session} \
+                             recovered {recovered} append(s) but its client had {} acked",
+                            acked_at_kill[c]
+                        ));
+                    }
+                    let delivered = trackers[c].delivered.load(Ordering::SeqCst);
+                    if recovered > delivered {
+                        break_err(&mut child);
+                        return Err(format!(
+                            "PHANTOM APPENDS after kill {kills}: session {session} \
+                             recovered {recovered} append(s) but its client only ever \
+                             delivered {delivered}"
+                        ));
+                    }
                 }
-                while Instant::now() < deadline && !done.load(Ordering::SeqCst) {
+                while Instant::now() < deadline && !all_done(&trackers) {
                     std::thread::sleep(Duration::from_millis(2));
                 }
             }
-            if done.load(Ordering::SeqCst) {
+            if all_done(&trackers) {
                 continue; // fall through to the completion path below
             }
             let _ = child.kill();
             let _ = child.wait();
             kills += 1;
-            acked_at_kill = max_acked.load(Ordering::SeqCst);
-            child = spawn_daemon(daemon, &socket, &checkpoint, &journal, &log)?;
+            for (c, tracker) in trackers.iter().enumerate() {
+                acked_at_kill[c] = tracker.max_acked.load(Ordering::SeqCst);
+            }
+            child = spawn_daemon(args, daemon, &socket, &checkpoint, &journal, &log)?;
             continue;
         }
-        // Out of kill budget (or workload already done): let the client
+        // Out of kill budget (or workload already done): let the clients
         // finish against a stable daemon.
         if !wait_for_socket_until(&socket, Instant::now() + Duration::from_secs(20)) {
             break Err("daemon never came up for the completion phase".to_string());
         }
         let join_deadline = Instant::now() + Duration::from_secs(120);
-        while !done.load(Ordering::SeqCst) {
+        while !all_done(&trackers) {
             if Instant::now() > join_deadline {
                 break;
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        if !done.load(Ordering::SeqCst) {
-            break Err("client did not finish within 120s of the last kill".to_string());
+        if !all_done(&trackers) {
+            break Err("clients did not finish within 120s of the last kill".to_string());
         }
         break Ok(());
     };
 
-    let report = client
-        .join()
-        .map_err(|_| "client thread panicked".to_string())?;
+    let mut reports = Vec::new();
+    for client in clients {
+        reports.push(
+            client
+                .join()
+                .map_err(|_| "client thread panicked".to_string())?,
+        );
+    }
     outcome?;
-    if let Some(reason) = report.gave_up {
-        return Err(format!(
-            "client gave up at {}/{} acked: {reason}",
-            report.acked,
-            lines.len()
-        ));
+    for (c, report) in reports.iter().enumerate() {
+        if let Some(reason) = &report.gave_up {
+            return Err(format!(
+                "client {c} gave up at {}/{} acked: {reason}",
+                report.acked,
+                plans[c].lines.len()
+            ));
+        }
     }
 
     // Bit-identical recovery: one more crash, then the recovered daemon
-    // must answer a re-sent final fragment with exactly the batch verdict.
+    // must answer each session's re-sent final fragment with exactly the
+    // batch verdict of that session's merged system.
     let _ = child.kill();
     let _ = child.wait();
-    let mut child = spawn_daemon(daemon, &socket, &checkpoint, &journal, &log)?;
+    let mut child = spawn_daemon(args, daemon, &socket, &checkpoint, &journal, &log)?;
     if !wait_for_socket_until(&socket, Instant::now() + Duration::from_secs(20)) {
         return Err("daemon never came up for the final verdict check".to_string());
     }
     let final_deadline = Instant::now() + Duration::from_secs(30);
-    let response = request_until(&socket, &last_append_line, final_deadline)
-        .ok_or("no response to the final re-sent append")?;
-    verify_verdict("recovered daemon", &response, &expected)?;
-    if let Some(last) = last_verdict.lock().expect("verdict lock").as_ref() {
-        verify_verdict("last in-flight ack", last, &expected)?;
+    for (c, plan) in plans.iter().enumerate() {
+        let session = plan.session.as_deref().unwrap_or("default");
+        let response = request_until(&socket, &plan.last_append_line, final_deadline)
+            .ok_or_else(|| format!("no response to session {session}'s re-sent final append"))?;
+        verify_verdict(
+            &format!("recovered daemon, session {session}"),
+            &response,
+            &plan.expected,
+        )?;
+        if let Some(last) = trackers[c]
+            .last_verdict
+            .lock()
+            .expect("verdict lock")
+            .as_ref()
+        {
+            verify_verdict(
+                &format!("last in-flight ack, session {session}"),
+                last,
+                &plan.expected,
+            )?;
+        }
     }
-    let _ = request_until(&socket, r#"{"op": "shutdown"}"#, final_deadline);
+    let _ = request_until(&socket, &op_line(None, "shutdown"), final_deadline);
     let _ = child.wait();
     Ok(kills)
 }
 
+/// Kill the daemon before reporting a contract violation, so a failing
+/// soak never leaks a live process.
+fn break_err(child: &mut Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
 fn spawn_daemon(
+    args: &Args,
     daemon: &std::path::Path,
     socket: &str,
     checkpoint: &str,
@@ -389,6 +544,10 @@ fn spawn_daemon(
             journal,
             "--drain-timeout-ms",
             "2000",
+            "--commit-batch",
+            &args.commit_batch.to_string(),
+            "--dispatch-shards",
+            &args.dispatch_shards.to_string(),
         ])
         .stdin(Stdio::null())
         .stdout(Stdio::null())
@@ -435,14 +594,20 @@ fn request_once(socket: &str, line: &str) -> Option<Value> {
     compc::json::parse(response.trim_end()).ok()
 }
 
-/// The recovered `appends` counter, for the zero-loss assertion.
-fn stats_appends(socket: &str, deadline: Instant) -> Result<u64, String> {
-    let response = request_until(socket, r#"{"op": "stats"}"#, deadline)
+/// The recovered per-session `session_appends` counter, for the zero-loss
+/// assertion.
+fn session_appends(socket: &str, session: Option<&str>, deadline: Instant) -> Result<u64, String> {
+    let response = request_until(socket, &op_line(session, "stats"), deadline)
         .ok_or("no stats response after restart")?;
     response
-        .get("appends")
+        .get("session_appends")
         .and_then(Value::as_u64)
-        .ok_or_else(|| format!("stats response without appends: {}", response.to_compact()))
+        .ok_or_else(|| {
+            format!(
+                "stats response without session_appends: {}",
+                response.to_compact()
+            )
+        })
 }
 
 /// Field-by-field comparison of a served verdict response against the

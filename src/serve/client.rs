@@ -4,10 +4,15 @@
 //! restarts: connect failures and dropped connections are retried under
 //! bounded exponential backoff with jitter, and after a reconnect the
 //! stream resumes from the first *unacked* line — every line at or past
-//! that point is re-sent. Re-sending is safe because spec merges are
-//! idempotent (re-appending an already-merged fragment changes nothing),
-//! which is exactly what lets the crash-recovery soak use this client as
-//! its canonical workload driver.
+//! that point is re-sent. Because the stream is sequential, the global
+//! first-unacked line is also each named session's first unacked line,
+//! and the report tracks the acked counts per session so a caller can
+//! audit (or resume) every session independently. Re-sending is safe
+//! because spec merges are idempotent (re-appending an already-merged
+//! fragment changes nothing), which is exactly what lets the
+//! crash-recovery soak use this client as its canonical workload driver.
+
+use crate::session::DEFAULT_SESSION;
 
 use compc_json::Value;
 use std::io::{BufRead, BufReader, Write};
@@ -63,6 +68,9 @@ pub struct ClientReport {
     pub resent: u64,
     /// Acked verdicts that were `not-comp-c`.
     pub violations: u64,
+    /// Acked lines per session (a line's `"session"` field; absent means
+    /// `"default"`), sorted by name — the per-session view of `acked`.
+    pub acked_by_session: Vec<(String, usize)>,
     /// Why the client gave up, if it did (all lines acked when `None`).
     pub gave_up: Option<String>,
 }
@@ -154,8 +162,28 @@ pub fn stream_requests(
     target: &Target,
     lines: &[String],
     policy: &BackoffPolicy,
+    on_response: impl FnMut(usize, &Value),
+) -> ClientReport {
+    stream_requests_observed(target, lines, policy, |_| {}, on_response)
+}
+
+/// [`stream_requests`] with a delivery observer: `on_send(index)` fires
+/// immediately *before* each write of line `index` (first sends and
+/// re-sends alike), so a harness can maintain an upper bound on what the
+/// daemon can possibly have durably applied — the crash-recovery soak
+/// asserts `recovered <= delivered` with it.
+pub fn stream_requests_observed(
+    target: &Target,
+    lines: &[String],
+    policy: &BackoffPolicy,
+    mut on_send: impl FnMut(usize),
     mut on_response: impl FnMut(usize, &Value),
 ) -> ClientReport {
+    // The session each line addresses, resolved once up front so the ack
+    // path does no re-parsing.
+    let sessions: Vec<String> = lines.iter().map(|line| session_of(line)).collect();
+    let mut acked_by_session: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
     let mut report = ClientReport::default();
     let mut jitter = Jitter(policy.seed | 1);
     let mut attempts: u32 = 0;
@@ -169,7 +197,7 @@ pub fn stream_requests(
                 report.acked + 1,
                 attempts
             ));
-            return report;
+            return finish(report, acked_by_session);
         }
         let (reader, writer) = match connection.as_mut() {
             Some(pair) => (&mut pair.0, &mut pair.1),
@@ -204,6 +232,7 @@ pub fn stream_requests(
         }
         let mut line = lines[index].clone();
         line.push('\n');
+        on_send(index);
         let io = writer.write_all(line.as_bytes()).and_then(|_| {
             let mut response = String::new();
             reader.read_line(&mut response).map(|n| (n, response))
@@ -225,7 +254,7 @@ pub fn stream_requests(
                             "request {} got a non-JSON response: {e}",
                             index + 1
                         ));
-                        return report;
+                        return finish(report, acked_by_session);
                     }
                 };
                 let ok = value.get("ok").and_then(Value::as_bool).unwrap_or(false);
@@ -247,10 +276,31 @@ pub fn stream_requests(
                     report.violations += 1;
                 }
                 on_response(index, &value);
+                *acked_by_session.entry(sessions[index].clone()).or_insert(0) += 1;
                 report.acked += 1;
                 attempts = 0;
             }
         }
     }
+    finish(report, acked_by_session)
+}
+
+/// The session a request line addresses (`"default"` when the field is
+/// absent or the line is not even JSON — matching the daemon's routing of
+/// unparseable lines to a catch-all).
+fn session_of(line: &str) -> String {
+    compc_json::parse(line)
+        .ok()
+        .and_then(|v| v.get("session").and_then(Value::as_str).map(String::from))
+        .unwrap_or_else(|| DEFAULT_SESSION.to_string())
+}
+
+fn finish(
+    mut report: ClientReport,
+    acked: std::collections::HashMap<String, usize>,
+) -> ClientReport {
+    let mut by_session: Vec<(String, usize)> = acked.into_iter().collect();
+    by_session.sort();
+    report.acked_by_session = by_session;
     report
 }

@@ -6,15 +6,31 @@
 //! logged or answered, the connection is dropped, and the accept loop
 //! keeps accepting. Nothing at this layer can take the daemon down.
 
-use super::dispatch::{error_object, Msg};
-use super::Gauges;
+use super::dispatch::{
+    error_object, panic_message, Conns, CtrlMsg, Request, RequestBody, ShardMsg,
+};
+use super::{Gauges, ServeConfig};
+use crate::session::DEFAULT_SESSION;
+use crate::spec::SystemSpec;
+use compc_json::Value;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::catch_unwind;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Where a reader sends what it parsed: the per-shard request queues, the
+/// control thread, and the connection registry responses come back
+/// through.
+#[derive(Clone)]
+pub(crate) struct Routes {
+    pub shards: Vec<SyncSender<ShardMsg>>,
+    pub ctrl: Sender<CtrlMsg>,
+    pub conns: Conns,
+}
 
 /// Per-connection limits, from the `--max-conns`, `--idle-timeout-ms`,
 /// and `--max-line-bytes` flags.
@@ -175,7 +191,8 @@ impl Write for Stream {
 /// way out.
 pub(crate) fn accept_loop(
     listener: Listener,
-    tx: SyncSender<Msg>,
+    routes: Routes,
+    config: ServeConfig,
     gauges: Arc<Gauges>,
     stop: Arc<AtomicBool>,
     limits: ConnLimits,
@@ -219,39 +236,41 @@ pub(crate) fn accept_loop(
             }
         };
         let (resp_tx, resp_rx) = std::sync::mpsc::channel::<String>();
-        if tx
-            .send(Msg::Connected {
-                conn,
-                resp: resp_tx,
-            })
-            .is_err()
-        {
-            break; // dispatch is gone: shutting down
-        }
+        routes
+            .conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(conn, resp_tx);
         gauges.accepted.fetch_add(1, Ordering::SeqCst);
         let active = gauges.connections.fetch_add(1, Ordering::SeqCst) + 1;
         gauges.peak_connections.fetch_max(active, Ordering::SeqCst);
         handlers.retain(|h| !h.is_finished());
         // A thread-spawn failure must undo the registration above, or the
-        // dispatch conns map leaks the entry and --max-conns capacity is
+        // connection registry leaks the entry and --max-conns capacity is
         // permanently down one — exactly under the resource exhaustion
-        // that makes spawns fail in the first place. Disconnected makes
-        // dispatch drop the response sender, which also ends an
-        // already-running writer thread and shuts its socket down.
+        // that makes spawns fail in the first place. Unregistering drops
+        // the response sender, which also ends an already-running writer
+        // thread and shuts its socket down.
         if !spawn_handler(&mut handlers, format!("conn-{conn}-write"), move || {
             writer_loop(stream, resp_rx)
         }) {
-            gauges.connections.fetch_sub(1, Ordering::SeqCst);
-            let _ = tx.send(Msg::Disconnected { conn });
+            unregister(&routes, &gauges, conn);
             continue;
         }
-        let reader_tx = tx.clone();
+        let reader_routes = routes.clone();
         let reader_gauges = Arc::clone(&gauges);
+        let inject_panic = config.inject_panic.clone();
         if !spawn_handler(&mut handlers, format!("conn-{conn}-read"), move || {
-            reader_loop(reader_half, conn, &reader_tx, &reader_gauges, limits)
+            reader_loop(
+                reader_half,
+                conn,
+                reader_routes,
+                inject_panic,
+                &reader_gauges,
+                limits,
+            )
         }) {
-            gauges.connections.fetch_sub(1, Ordering::SeqCst);
-            let _ = tx.send(Msg::Disconnected { conn });
+            unregister(&routes, &gauges, conn);
             continue;
         }
     }
@@ -261,6 +280,19 @@ pub(crate) fn accept_loop(
     if let Listener::Unix(_, path) = &listener {
         let _ = std::fs::remove_file(path);
     }
+}
+
+/// Connection teardown: removes the registry entry (ending the writer),
+/// keeps the connection gauge honest, and nudges the control thread for
+/// `--once`.
+fn unregister(routes: &Routes, gauges: &Gauges, conn: u64) {
+    routes
+        .conns
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .remove(&conn);
+    gauges.connections.fetch_sub(1, Ordering::SeqCst);
+    let _ = routes.ctrl.send(CtrlMsg::Disconnected);
 }
 
 /// Spawns one connection thread; on failure the closure (and the stream
@@ -299,13 +331,19 @@ fn shed(mut stream: Stream, gauges: &Gauges, max: usize) {
     let _ = stream.shutdown();
 }
 
-/// Reads request lines and feeds them (or structured complaints about
-/// them) to the dispatch thread. Owns the connection teardown
-/// notification.
+/// Reads request lines, parses and classifies them *on the reader thread*
+/// (keeping JSON parsing off the serialized checking path), and routes
+/// each request to its session's dispatch shard. Owns the connection
+/// teardown notification.
+///
+/// Requests that name no session (or cannot even be parsed far enough to
+/// name one) go to the shard of the *previous* request on this
+/// connection, so a sequential client's responses stay in request order.
 fn reader_loop(
     mut stream: Stream,
     conn: u64,
-    tx: &SyncSender<Msg>,
+    routes: Routes,
+    inject_panic: Option<String>,
     gauges: &Gauges,
     limits: ConnLimits,
 ) {
@@ -314,13 +352,23 @@ fn reader_loop(
     let mut chunk = [0u8; 8192];
     // After an over-cap line is reported, discard bytes until its newline.
     let mut skipping = false;
+    // Where session-less (unparseable) requests go: the shard of this
+    // connection's previous request, seeded with the default session's.
+    let mut current_shard = super::shard_of(DEFAULT_SESSION, routes.shards.len());
     'read: loop {
         let n = match stream.read(&mut chunk) {
             Ok(0) => {
                 // EOF. An unterminated final line is still a complete
                 // request — answer it before tearing down.
                 if !buf.is_empty() && !skipping {
-                    deliver_line(&buf, conn, tx, gauges);
+                    deliver_line(
+                        &buf,
+                        conn,
+                        &routes,
+                        &inject_panic,
+                        gauges,
+                        &mut current_shard,
+                    );
                 }
                 break;
             }
@@ -333,11 +381,14 @@ fn reader_loop(
             {
                 gauges.idle_closed.fetch_add(1, Ordering::SeqCst);
                 let ms = limits.idle_timeout.map_or(0, |t| t.as_millis());
-                let _ = enqueue(
-                    tx,
+                let _ = send_request(
+                    &routes,
                     gauges,
-                    Msg::Malformed {
-                        conn,
+                    conn,
+                    current_shard,
+                    DEFAULT_SESSION.to_string(),
+                    false,
+                    RequestBody::Malformed {
                         kind: "timeout",
                         error: format!("idle for more than --idle-timeout-ms ({ms}); closing"),
                     },
@@ -351,7 +402,14 @@ fn reader_loop(
             if byte == b'\n' {
                 if skipping {
                     skipping = false;
-                } else if !deliver_line(&buf, conn, tx, gauges) {
+                } else if !deliver_line(
+                    &buf,
+                    conn,
+                    &routes,
+                    &inject_panic,
+                    gauges,
+                    &mut current_shard,
+                ) {
                     break 'read;
                 }
                 buf.clear();
@@ -361,11 +419,14 @@ fn reader_loop(
                     gauges.oversize_lines.fetch_add(1, Ordering::SeqCst);
                     buf.clear();
                     skipping = true;
-                    if !enqueue(
-                        tx,
+                    if !send_request(
+                        &routes,
                         gauges,
-                        Msg::Malformed {
-                            conn,
+                        conn,
+                        current_shard,
+                        DEFAULT_SESSION.to_string(),
+                        false,
+                        RequestBody::Malformed {
                             kind: "oversize",
                             error: format!(
                                 "request line exceeds --max-line-bytes ({}); discarded",
@@ -379,23 +440,33 @@ fn reader_loop(
             }
         }
     }
-    let _ = tx.send(Msg::Disconnected { conn });
-    gauges.connections.fetch_sub(1, Ordering::SeqCst);
+    unregister(&routes, gauges, conn);
 }
 
 /// One complete request line: non-UTF-8 becomes a structured protocol
-/// error (routed through dispatch so responses stay in request order),
-/// blank lines are tolerated, everything else is dispatched verbatim.
-/// Returns false when the dispatch side is gone.
-fn deliver_line(buf: &[u8], conn: u64, tx: &SyncSender<Msg>, gauges: &Gauges) -> bool {
+/// error (routed through the current shard so responses stay in request
+/// order), blank lines are tolerated, everything else is classified and
+/// routed to its session's shard. Returns false when the serve side is
+/// gone.
+fn deliver_line(
+    buf: &[u8],
+    conn: u64,
+    routes: &Routes,
+    inject_panic: &Option<String>,
+    gauges: &Gauges,
+    current_shard: &mut usize,
+) -> bool {
     let text = match std::str::from_utf8(buf) {
         Ok(t) => t,
         Err(e) => {
-            return enqueue(
-                tx,
+            return send_request(
+                routes,
                 gauges,
-                Msg::Malformed {
-                    conn,
+                conn,
+                *current_shard,
+                DEFAULT_SESSION.to_string(),
+                false,
+                RequestBody::Malformed {
                     kind: "protocol",
                     error: format!("request line is not valid UTF-8: {e}"),
                 },
@@ -405,29 +476,143 @@ fn deliver_line(buf: &[u8], conn: u64, tx: &SyncSender<Msg>, gauges: &Gauges) ->
     if text.trim().is_empty() {
         return true;
     }
-    enqueue(
-        tx,
+    // Classification runs real parsers on hostile bytes; a panic in them
+    // is confined to this one request, exactly like a panic in the shard's
+    // handler (which never got to touch session state here).
+    let (session, flagged, body) = match catch_unwind(|| classify(text, inject_panic)) {
+        Ok(classified) => classified,
+        Err(payload) => {
+            gauges.internal_faults.fetch_add(1, Ordering::SeqCst);
+            let message = panic_message(payload);
+            eprintln!("request handler panicked (session state untouched): {message}");
+            (
+                None,
+                false,
+                RequestBody::Malformed {
+                    kind: "internal",
+                    error: format!("request handler panicked: {message}; session state restored"),
+                },
+            )
+        }
+    };
+    let shard = match &session {
+        Some(name) => super::shard_of(name, routes.shards.len()),
+        None => *current_shard,
+    };
+    *current_shard = shard;
+    send_request(
+        routes,
         gauges,
-        Msg::Line {
-            conn,
-            line: text.to_string(),
-        },
+        conn,
+        shard,
+        session.unwrap_or_else(|| DEFAULT_SESSION.to_string()),
+        flagged,
+        body,
     )
 }
 
-/// Sends one message to dispatch, keeping the queue-depth gauge honest.
-/// Blocks when the bounded queue is full (that is the back-pressure).
-fn enqueue(tx: &SyncSender<Msg>, gauges: &Gauges, msg: Msg) -> bool {
-    let counted = matches!(msg, Msg::Line { .. } | Msg::Malformed { .. });
-    if counted {
-        gauges.queue_depth.fetch_add(1, Ordering::SeqCst);
-    }
-    match tx.send(msg) {
+/// Parses one request line into `(session, panic-flagged, body)`.
+/// `session` is `None` only when the line could not be parsed far enough
+/// to name one (route it to the connection's current shard). A request
+/// without a `"session"` field is the `"default"` session — the entire
+/// pre-multi-session protocol, unchanged.
+fn classify(line: &str, inject_panic: &Option<String>) -> (Option<String>, bool, RequestBody) {
+    let request = match compc_json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                None,
+                false,
+                RequestBody::Malformed {
+                    kind: "protocol",
+                    error: format!("request is not JSON: {e}"),
+                },
+            )
+        }
+    };
+    // The fault-injection token is checked on the parsed line so that a
+    // flagged request still panics *inside the shard's guarded handler*
+    // (where the soak can observe recovery), not here.
+    let flagged = inject_panic
+        .as_ref()
+        .is_some_and(|token| !token.is_empty() && line.contains(token.as_str()));
+    let session = match request.get("session") {
+        None => DEFAULT_SESSION.to_string(),
+        Some(value) => match value.as_str().filter(|s| !s.is_empty()) {
+            Some(name) => name.to_string(),
+            None => {
+                return (
+                    None,
+                    flagged,
+                    RequestBody::Malformed {
+                        kind: "protocol",
+                        error: "\"session\" must be a non-empty string".to_string(),
+                    },
+                )
+            }
+        },
+    };
+    let body = if let Some(fragment) = request.get("append") {
+        match SystemSpec::from_json(fragment) {
+            Ok(spec) => RequestBody::Append(Box::new(spec)),
+            Err(e) => RequestBody::Malformed {
+                kind: "spec",
+                error: e.to_string(),
+            },
+        }
+    } else {
+        match request.get("op").and_then(Value::as_str) {
+            Some("stats") => RequestBody::Stats,
+            Some("checkpoint") => RequestBody::Checkpoint,
+            Some("shutdown") => RequestBody::Shutdown,
+            Some(other) => RequestBody::Malformed {
+                kind: "protocol",
+                error: format!("unknown op {other:?}"),
+            },
+            None => RequestBody::Malformed {
+                kind: "protocol",
+                error: "request must be {\"append\": {...}} or {\"op\": \"...\"}".to_string(),
+            },
+        }
+    };
+    (Some(session), flagged, body)
+}
+
+/// Sends one classified request to its shard, keeping both queue-depth
+/// gauges honest. Blocks when the bounded shard queue is full (that is
+/// the back-pressure). Returns false when the serve side is gone — also
+/// when the connection registry no longer has this connection, which
+/// means a drain is abandoning the socket.
+fn send_request(
+    routes: &Routes,
+    gauges: &Gauges,
+    conn: u64,
+    shard: usize,
+    session: String,
+    panic_flagged: bool,
+    body: RequestBody,
+) -> bool {
+    let resp = match routes
+        .conns
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .get(&conn)
+    {
+        Some(sender) => sender.clone(),
+        None => return false,
+    };
+    gauges.queue_depth.fetch_add(1, Ordering::SeqCst);
+    gauges.shard_depths[shard].fetch_add(1, Ordering::SeqCst);
+    match routes.shards[shard].send(ShardMsg::Request(Request {
+        resp,
+        session,
+        panic_flagged,
+        body,
+    })) {
         Ok(()) => true,
         Err(_) => {
-            if counted {
-                gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
-            }
+            gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            gauges.shard_depths[shard].fetch_sub(1, Ordering::SeqCst);
             false
         }
     }

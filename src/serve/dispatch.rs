@@ -1,49 +1,132 @@
-//! The single dispatch thread: owns the [`SpecSession`], the journal, and
-//! the outcome counters; serves every request in arrival order.
+//! The dispatch shards and the control thread: shards own disjoint
+//! partitions of the named sessions and serve appends in arrival order
+//! with journal group commit; the control thread coordinates global
+//! operations (checkpoint compaction, shutdown, drain) via a
+//! freeze/resume protocol.
 //!
-//! Requests arrive over one bounded mpsc channel from the per-connection
-//! reader threads and responses leave through per-connection writer
-//! channels, so the checking path needs no locks and per-connection FIFO
-//! order is preserved end to end. Each request is dispatched under
-//! `catch_unwind`: a panicking handler answers that one request with a
-//! structured `internal` error, restores the pre-request session snapshot,
-//! and the daemon keeps serving everyone else.
+//! # Sharding
+//!
+//! Requests are routed by a stable hash of their session name
+//! ([`super::shard_of`]), so one shard is the single owner of each
+//! session's state — the checking path needs no locks — and per-session
+//! FIFO order is preserved end to end (readers assign shards in line
+//! order, `std::sync::mpsc` is FIFO per sender, batches apply and ack in
+//! queue order). The journal is the one shared resource: a `Mutex` taken
+//! once per *commit batch*, never per request.
+//!
+//! # Group commit
+//!
+//! A shard drains contiguous queued appends up to `--commit-batch`,
+//! applies each under `catch_unwind` (a panicking handler rolls back that
+//! one request and answers `internal`), then flushes: all the batch's
+//! journal records in one `write_all`, one `sync_data`, and only then the
+//! batch's responses, in order. A failed batch write rolls every touched
+//! session back to its pre-batch snapshot and converts every would-be ack
+//! into a structured `journal` error — no ack was sent, so no durability
+//! promise was broken, and the clients may simply retry.
+//!
+//! # Freeze/resume
+//!
+//! Global operations need every shard quiescent: the control thread sends
+//! `Freeze` into each shard's queue (so it lands after everything already
+//! queued), each shard flushes its batch, serializes its sessions, replies
+//! and blocks; the control thread persists (checkpoint rewrite, then
+//! journal truncation — all shards are frozen, so every journaled record
+//! is covered), then resumes them. Only the control thread ever
+//! coordinates, so the protocol cannot deadlock.
 
-use super::journal::Journal;
+use super::journal::{BatchRecord, Journal};
 use super::{Gauges, ServeConfig};
-use crate::session::{SpecSession, SpecSessionError, SpecSnapshot};
-use compc_core::{SessionError, Verdict};
+use crate::session::{
+    sessions_checkpoint_json, SpecSession, SpecSessionError, SpecSnapshot, DEFAULT_SESSION,
+};
+use crate::spec::SystemSpec;
+use compc_core::{CheckOptions, SessionError, Verdict};
 use compc_json::Value;
 use compc_trace::{event_to_ndjson_line, TraceEvent};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// What the connection layer tells the dispatch thread.
-pub(crate) enum Msg {
-    /// A connection was accepted; `resp` feeds its writer thread.
-    Connected { conn: u64, resp: Sender<String> },
-    /// One complete request line from a connection.
-    Line { conn: u64, line: String },
-    /// The reader rejected input before dispatch (oversize line, invalid
-    /// UTF-8, idle timeout); routed through the queue so the structured
-    /// error still lands in request order.
-    Malformed {
-        conn: u64,
-        kind: &'static str,
-        error: String,
-    },
-    /// The connection is gone (EOF, error, or timeout close).
-    Disconnected { conn: u64 },
+/// One parsed request, routed to its session's shard. Readers do the JSON
+/// and spec parsing, so shards only apply.
+pub(crate) struct Request {
+    /// The connection's response channel (one line per request line).
+    pub resp: Sender<String>,
+    /// Session the request addresses (`"default"` when the field is
+    /// absent).
+    pub session: String,
+    /// The line matched `--inject-panic`: the handler must panic inside
+    /// its isolation boundary.
+    pub panic_flagged: bool,
+    pub body: RequestBody,
 }
 
-enum Control {
-    Continue,
+pub(crate) enum RequestBody {
+    /// A parsed `{"append": {...}}` fragment.
+    Append(Box<SystemSpec>),
+    /// `{"op": "stats"}`.
+    Stats,
+    /// `{"op": "checkpoint"}` — forwarded to the control thread.
+    Checkpoint,
+    /// `{"op": "shutdown"}` — forwarded to the control thread.
     Shutdown,
+    /// The reader rejected the line before dispatch (not JSON, bad spec,
+    /// oversize, idle timeout, ...); routed through the queue so the
+    /// structured error still lands in request order.
+    Malformed { kind: &'static str, error: String },
 }
+
+/// What the connection layer (or the control thread) sends a shard.
+pub(crate) enum ShardMsg {
+    Request(Request),
+    /// Flush, serialize sessions, reply, then block until resumed.
+    Freeze {
+        reply: Sender<FrozenShard>,
+        resume: Receiver<ResumeAction>,
+    },
+    /// Keep serving until the shard's queue is quiet or the deadline
+    /// passes, then behave like `Freeze`.
+    Drain {
+        deadline: Instant,
+        reply: Sender<FrozenShard>,
+        resume: Receiver<ResumeAction>,
+    },
+}
+
+/// One serialized session: `(name, appends, spec JSON)`.
+pub(crate) type SessionEntry = (String, u64, Value);
+
+/// A frozen shard's serialized sessions.
+pub(crate) struct FrozenShard {
+    pub sessions: Vec<SessionEntry>,
+}
+
+pub(crate) enum ResumeAction {
+    Continue,
+    Exit,
+}
+
+/// Global operations forwarded to the control thread.
+pub(crate) enum CtrlMsg {
+    Checkpoint {
+        resp: Sender<String>,
+    },
+    Shutdown {
+        resp: Sender<String>,
+    },
+    /// A connection went away (drives `--once`).
+    Disconnected,
+}
+
+/// Response channels of the live connections, by connection id. The
+/// accept loop inserts, readers look their own entry up per request, and
+/// the control thread clears the map at drain so writers flush and shut
+/// their sockets down.
+pub(crate) type Conns = Arc<Mutex<HashMap<u64, Sender<String>>>>;
 
 /// Outcome counters for a completed serve run; the process exit code is
 /// derived from them.
@@ -74,6 +157,15 @@ impl ServeReport {
             0
         }
     }
+
+    pub(crate) fn from_gauges(gauges: &Gauges) -> ServeReport {
+        ServeReport {
+            violations: gauges.violations.load(Ordering::SeqCst),
+            interruptions: gauges.interruptions.load(Ordering::SeqCst),
+            disagreements: gauges.disagreements.load(Ordering::SeqCst),
+            internal_faults: gauges.internal_faults.load(Ordering::SeqCst),
+        }
+    }
 }
 
 pub(crate) fn ok_object(mut fields: Vec<(String, Value)>) -> Value {
@@ -92,7 +184,7 @@ pub(crate) fn error_object(kind: &str, message: String) -> Value {
 
 /// Renders a panic payload the way the engine's worker pool does (strings
 /// pass through, anything else gets a stable placeholder).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -102,96 +194,191 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// All daemon state, owned by the dispatch thread.
-pub(crate) struct Daemon {
-    session: SpecSession,
-    journal: Option<Journal>,
-    config: ServeConfig,
-    gauges: Arc<Gauges>,
-    /// Response channels of the live connections, by connection id.
-    conns: HashMap<u64, Sender<String>>,
-    /// Pre-request session snapshot, captured for appends only. Consumed
-    /// by whichever failure path fires first — a panic, or a durability
-    /// write error — so the session never runs ahead of what the journal
-    /// and checkpoint can reconstruct.
-    pending_snapshot: Option<SpecSnapshot>,
-    report: ServeReport,
+/// Locks a mutex, riding out poisoning: a panic in another thread while
+/// it held the journal already failed that batch (no acks were sent), so
+/// the journal file itself is still consistent.
+fn lock_journal(journal: &Mutex<Journal>) -> std::sync::MutexGuard<'_, Journal> {
+    journal
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Runs the dispatch thread to completion: serves until a `shutdown` op, a
-/// termination signal, or (with `--once`) the first disconnect, then
-/// drains and saves.
-pub(crate) fn dispatch_loop(
-    rx: Receiver<Msg>,
-    daemon: &mut Daemon,
-    stop: &AtomicBool,
-) -> Result<(), String> {
+/// Mirrors the serving gauges as one `serve_gauges` trace event on stdout
+/// (emitted on each `stats` op and at drain).
+pub(crate) fn emit_gauges(
+    config: &ServeConfig,
+    gauges: &Gauges,
+    journal: Option<&Arc<Mutex<Journal>>>,
+) {
+    if !config.trace {
+        return;
+    }
+    let mut batch_buckets: Vec<u64> = gauges
+        .batch_buckets
+        .iter()
+        .map(|b| b.load(Ordering::SeqCst))
+        .collect();
+    while batch_buckets.last() == Some(&0) && batch_buckets.len() > 1 {
+        batch_buckets.pop();
+    }
+    let event = TraceEvent::ServeGauges {
+        connections: gauges.connections.load(Ordering::SeqCst),
+        peak_connections: gauges.peak_connections.load(Ordering::SeqCst),
+        queue_depth: gauges.queue_depth.load(Ordering::SeqCst),
+        shed: gauges.shed.load(Ordering::SeqCst),
+        journal_lag: journal.map_or(0, |j| lock_journal(j).records()),
+        internal_faults: gauges.internal_faults.load(Ordering::SeqCst),
+        fsyncs: gauges.fsyncs.load(Ordering::SeqCst),
+        fsyncs_saved: gauges.fsyncs_saved.load(Ordering::SeqCst),
+        batch_buckets,
+        batch_max: gauges.batch_max.load(Ordering::SeqCst),
+        shard_depths: gauges
+            .shard_depths
+            .iter()
+            .map(|d| d.load(Ordering::SeqCst))
+            .collect(),
+    };
+    println!("{}", event_to_ndjson_line(&event, Some("serve")));
+}
+
+/// Records one flushed commit batch in the log2-bucket histogram.
+fn record_batch_size(gauges: &Gauges, records: u64) {
+    let bucket = (63 - records.leading_zeros() as usize).min(gauges.batch_buckets.len() - 1);
+    gauges.batch_buckets[bucket].fetch_add(1, Ordering::SeqCst);
+    gauges.batch_max.fetch_max(records, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// Shard threads
+// ---------------------------------------------------------------------------
+
+/// One applied-but-not-yet-acked batch member.
+struct BatchEntry {
+    resp: Sender<String>,
+    response: Value,
+    /// `Some` when the response acks an applied append and must wait for
+    /// the batch's durability flush: `(session, seq, fragment)`.
+    record: Option<(String, u64, SystemSpec)>,
+    violation: bool,
+}
+
+/// A forming commit batch.
+#[derive(Default)]
+struct Batch {
+    entries: Vec<BatchEntry>,
+    /// Earliest (pre-batch) snapshot per touched session, for whole-batch
+    /// rollback if the durability write fails.
+    snapshots: HashMap<String, SpecSnapshot>,
+}
+
+enum Flow {
+    Continue,
+    Exit,
+}
+
+/// One dispatch shard: the single owner of its partition of the sessions.
+pub(crate) struct Shard {
+    pub index: usize,
+    pub sessions: HashMap<String, SpecSession>,
+    pub journal: Option<Arc<Mutex<Journal>>>,
+    pub config: ServeConfig,
+    /// Options new sessions are created with (deadline included — catch-up
+    /// replay is done by the time shards run).
+    pub options: CheckOptions,
+    pub gauges: Arc<Gauges>,
+    pub ctrl: Sender<CtrlMsg>,
+}
+
+/// Runs one shard to completion: serves until the control thread resumes
+/// it with `Exit` (or every sender is gone).
+pub(crate) fn shard_loop(rx: Receiver<ShardMsg>, mut shard: Shard) {
+    let mut batch = Batch::default();
     loop {
-        if super::term_requested() {
-            eprintln!("termination signal received: draining");
-            return daemon.drain(&rx, stop);
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        if let Flow::Exit = shard.serve_msg(msg, &rx, &mut batch) {
+            return;
         }
-        match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(msg) => {
-                if let Control::Shutdown = daemon.handle_msg(msg) {
-                    return daemon.drain(&rx, stop);
+    }
+}
+
+impl Shard {
+    fn serve_msg(&mut self, msg: ShardMsg, rx: &Receiver<ShardMsg>, batch: &mut Batch) -> Flow {
+        match msg {
+            ShardMsg::Request(req) => {
+                self.admit(req, batch);
+                // Group commit: opportunistically drain more contiguous
+                // queued appends into the batch — never waiting, so an
+                // isolated request still flushes immediately. Admitting a
+                // non-append flushes the batch first, which also ends the
+                // collection loop.
+                let mut deferred = None;
+                while !batch.entries.is_empty()
+                    && batch.entries.len() < self.config.commit_batch.max(1)
+                {
+                    match rx.try_recv() {
+                        Ok(ShardMsg::Request(next)) => self.admit(next, batch),
+                        Ok(other) => {
+                            deferred = Some(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                self.flush(batch);
+                match deferred {
+                    Some(m) => self.serve_msg(m, rx, batch),
+                    None => Flow::Continue,
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            // Accept side gone without a shutdown decision: save and stop.
-            Err(RecvTimeoutError::Disconnected) => return daemon.final_save(),
+            ShardMsg::Freeze { reply, resume } => {
+                self.flush(batch);
+                let _ = reply.send(self.frozen());
+                match resume.recv() {
+                    Ok(ResumeAction::Continue) => Flow::Continue,
+                    _ => Flow::Exit,
+                }
+            }
+            ShardMsg::Drain {
+                deadline,
+                reply,
+                resume,
+            } => {
+                self.drain_queue(rx, deadline, batch);
+                let _ = reply.send(self.frozen());
+                match resume.recv() {
+                    Ok(ResumeAction::Continue) => Flow::Continue,
+                    _ => Flow::Exit,
+                }
+            }
         }
     }
-}
 
-impl Daemon {
-    pub fn new(
-        session: SpecSession,
-        journal: Option<Journal>,
-        config: ServeConfig,
-        gauges: Arc<Gauges>,
-    ) -> Daemon {
-        Daemon {
-            session,
-            journal,
-            config,
-            gauges,
-            conns: HashMap::new(),
-            pending_snapshot: None,
-            report: ServeReport::default(),
-        }
-    }
-
-    pub fn report(&self) -> ServeReport {
-        self.report
-    }
-
-    /// Stops accepting, keeps answering already-queued (and still-arriving)
-    /// requests until the queue is quiet or `--drain-timeout-ms` expires,
-    /// then flushes writers and persists.
-    fn drain(&mut self, rx: &Receiver<Msg>, stop: &AtomicBool) -> Result<(), String> {
-        stop.store(true, Ordering::SeqCst);
-        let deadline = Instant::now() + Duration::from_millis(self.config.drain_timeout_ms.max(1));
+    /// Keeps answering already-queued (and still-arriving) requests until
+    /// this shard's queue is quiet or the drain deadline expires.
+    fn drain_queue(&mut self, rx: &Receiver<ShardMsg>, deadline: Instant, batch: &mut Batch) {
         loop {
             if Instant::now() >= deadline {
-                let abandoned = self.gauges.queue_depth.load(Ordering::SeqCst);
-                if abandoned > 0 {
-                    eprintln!(
-                        "drain deadline expired with {abandoned} request(s) still queued; \
-                         abandoning them (none were acked)"
-                    );
-                }
                 break;
             }
             match rx.try_recv() {
-                // Shutdown decisions during a drain are already in effect.
-                Ok(msg) => {
-                    let _ = self.handle_msg(msg);
+                Ok(ShardMsg::Request(req)) => {
+                    self.admit(req, batch);
+                    if batch.entries.len() >= self.config.commit_batch.max(1) {
+                        self.flush(batch);
+                    }
                 }
+                // Another freeze during a drain cannot happen (only the
+                // control thread sends them, strictly one protocol at a
+                // time); drop it defensively rather than deadlock.
+                Ok(_) => {}
                 Err(TryRecvError::Empty) => {
+                    self.flush(batch);
                     // A reader may have bumped the gauge but not finished
                     // its send yet; only a quiet queue ends the drain.
-                    if self.gauges.queue_depth.load(Ordering::SeqCst) == 0 {
+                    if self.gauges.shard_depths[self.index].load(Ordering::SeqCst) == 0 {
                         break;
                     }
                     std::thread::sleep(Duration::from_millis(5));
@@ -199,432 +386,656 @@ impl Daemon {
                 Err(TryRecvError::Disconnected) => break,
             }
         }
-        self.emit_gauges();
-        // Dropping the response senders lets each writer thread flush its
-        // buffered lines and shut its socket down, which in turn unblocks
-        // readers so the accept thread can join everything.
-        self.conns.clear();
-        self.final_save()
+        self.flush(batch);
     }
 
-    /// The end-of-run persist: checkpoint plus journal compaction.
-    fn final_save(&mut self) -> Result<(), String> {
-        self.save_checkpoint_and_compact().map(|_| ())
+    /// Serializes this shard's sessions for a checkpoint document.
+    fn frozen(&self) -> FrozenShard {
+        FrozenShard {
+            sessions: self
+                .sessions
+                .iter()
+                .map(|(name, s)| (name.clone(), s.stats().appends, s.spec().to_json()))
+                .collect(),
+        }
     }
 
-    fn handle_msg(&mut self, msg: Msg) -> Control {
-        match msg {
-            Msg::Connected { conn, resp } => {
-                self.conns.insert(conn, resp);
-                Control::Continue
+    /// Dequeues one request: appends are staged into the batch, anything
+    /// else flushes the batch (responses stay in request order) and is
+    /// handled directly.
+    fn admit(&mut self, req: Request, batch: &mut Batch) {
+        self.gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        self.gauges.shard_depths[self.index].fetch_sub(1, Ordering::SeqCst);
+        let Request {
+            resp,
+            session,
+            panic_flagged,
+            body,
+        } = req;
+        match body {
+            RequestBody::Append(fragment) => {
+                self.stage_append(resp, session, panic_flagged, *fragment, batch)
             }
-            Msg::Disconnected { conn } => {
-                self.conns.remove(&conn);
-                if self.config.once {
-                    Control::Shutdown
-                } else {
-                    Control::Continue
+            other => {
+                self.flush(batch);
+                self.handle_op(resp, session, panic_flagged, other);
+            }
+        }
+    }
+
+    fn handle_op(
+        &mut self,
+        resp: Sender<String>,
+        session: String,
+        panic_flagged: bool,
+        body: RequestBody,
+    ) {
+        if panic_flagged {
+            let response = self.injected_panic_response();
+            let _ = resp.send(response.to_compact());
+            return;
+        }
+        match body {
+            RequestBody::Stats => {
+                emit_gauges(&self.config, &self.gauges, self.journal.as_ref());
+                let response = self.stats_response(&session);
+                let _ = resp.send(response.to_compact());
+            }
+            RequestBody::Checkpoint => {
+                let _ = self.ctrl.send(CtrlMsg::Checkpoint { resp });
+            }
+            RequestBody::Shutdown => {
+                let _ = self.ctrl.send(CtrlMsg::Shutdown { resp });
+            }
+            RequestBody::Malformed { kind, error } => {
+                let _ = resp.send(error_object(kind, error).to_compact());
+            }
+            RequestBody::Append(_) => unreachable!("appends are staged, not handled as ops"),
+        }
+    }
+
+    /// `--inject-panic` matched an op line: panic inside the isolation
+    /// boundary exactly like a flagged append would.
+    fn injected_panic_response(&self) -> Value {
+        let payload = catch_unwind(|| {
+            panic!("injected fault: request matched --inject-panic token");
+        })
+        .expect_err("the closure always panics");
+        self.gauges.internal_faults.fetch_add(1, Ordering::SeqCst);
+        let message = panic_message(payload);
+        eprintln!("request handler panicked (session restored): {message}");
+        error_object(
+            "internal",
+            format!("request handler panicked: {message}; session state restored"),
+        )
+    }
+
+    /// Applies one append to its session and stages the (unsent) response
+    /// in the batch. A panic anywhere in the handler is confined to this
+    /// request: the session is rolled back to its pre-request snapshot and
+    /// the entry becomes a structured `internal` error.
+    fn stage_append(
+        &mut self,
+        resp: Sender<String>,
+        session_name: String,
+        panic_flagged: bool,
+        fragment: SystemSpec,
+        batch: &mut Batch,
+    ) {
+        let fresh = !self.sessions.contains_key(&session_name);
+        if fresh {
+            self.gauges.sessions.fetch_add(1, Ordering::SeqCst);
+        }
+        let options = self.options;
+        let session = self
+            .sessions
+            .entry(session_name.clone())
+            .or_insert_with(|| SpecSession::with_options(options));
+        // One snapshot per touched session per *batch*, not per append:
+        // the snapshot clones the accumulated spec, so amortizing it is a
+        // large share of the group-commit win. Batch-failure rollback uses
+        // it directly; the per-request panic path reconstructs pre-request
+        // state from it plus the batch's staged fragments.
+        if !batch.snapshots.contains_key(&session_name) {
+            batch
+                .snapshots
+                .insert(session_name.clone(), session.snapshot());
+        }
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if panic_flagged {
+                panic!("injected fault: request matched --inject-panic token");
+            }
+            session.append(&fragment).cloned()
+        }));
+        let entry = match outcome {
+            Ok(Ok(verdict)) => {
+                let elapsed_ns = started.elapsed().as_nanos() as u64;
+                emit_trace(&self.config, &session_name, session, &verdict, elapsed_ns);
+                let seq = session.stats().appends;
+                let response = verdict_response(&session_name, session, &verdict);
+                BatchEntry {
+                    resp,
+                    response,
+                    record: Some((session_name, seq, fragment)),
+                    violation: !verdict.is_correct(),
                 }
             }
-            Msg::Malformed { conn, kind, error } => {
-                self.gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                self.respond(conn, error_object(kind, error));
-                Control::Continue
+            Ok(Err(SpecSessionError::Session(SessionError::Interrupted(e)))) => {
+                // The merged spec is kept for resume, so the session stays
+                // (even a fresh one) — re-appending the same fragment
+                // resumes from the completed levels.
+                self.gauges.interruptions.fetch_add(1, Ordering::SeqCst);
+                let mut response = error_object("interrupted", e.to_string());
+                if let Value::Object(entries) = &mut response {
+                    entries.push(("resumable".to_string(), Value::from(true)));
+                }
+                BatchEntry {
+                    resp,
+                    response,
+                    record: None,
+                    violation: false,
+                }
             }
-            Msg::Line { conn, line } => {
-                self.gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                let (response, control) = self.dispatch_line(&line);
-                self.respond(conn, response);
-                control
+            Ok(Err(SpecSessionError::OracleDisagreement { engine_correct })) => {
+                self.gauges.disagreements.fetch_add(1, Ordering::SeqCst);
+                BatchEntry {
+                    resp,
+                    response: error_object(
+                        "oracle-disagreement",
+                        SpecSessionError::OracleDisagreement { engine_correct }.to_string(),
+                    ),
+                    record: None,
+                    violation: false,
+                }
             }
-        }
-    }
-
-    fn respond(&self, conn: u64, response: Value) {
-        if let Some(resp) = self.conns.get(&conn) {
-            // A dead writer just means the client is gone; its connection
-            // teardown arrives as a Disconnected message.
-            let _ = resp.send(response.to_compact());
-        }
-    }
-
-    /// Serves one request line under panic isolation. A panic anywhere in
-    /// the handler — parser, merge, engine — is confined to this request:
-    /// the session is rolled back to its pre-request snapshot and the
-    /// connection gets a structured `internal` error.
-    fn dispatch_line(&mut self, line: &str) -> (Value, Control) {
-        let request = match compc_json::parse(line) {
-            Ok(v) => v,
-            Err(e) => {
-                return (
-                    error_object("protocol", format!("request is not JSON: {e}")),
-                    Control::Continue,
-                )
-            }
-        };
-        // Only appends mutate the session, so only they pay for a snapshot.
-        self.pending_snapshot = request.get("append").map(|_| self.session.snapshot());
-        match catch_unwind(AssertUnwindSafe(|| self.handle_request(&request, line))) {
-            Ok(answer) => {
-                self.pending_snapshot = None;
-                answer
+            Ok(Err(e)) => {
+                // Spec-level rejection leaves the session untouched; a
+                // session created only for this failed append is removed
+                // again so checkpoints don't accumulate empty entries.
+                if fresh {
+                    self.remove_fresh(&session_name);
+                }
+                let response = match e {
+                    SpecSessionError::Session(e) => error_object("invalid", e.to_string()),
+                    e => error_object("spec", e.to_string()),
+                };
+                BatchEntry {
+                    resp,
+                    response,
+                    record: None,
+                    violation: false,
+                }
             }
             Err(payload) => {
-                if let Some(snapshot) = self.pending_snapshot.take() {
-                    self.session.restore(snapshot);
+                if fresh {
+                    // A session created by the panicking append itself has
+                    // no staged records; removing it is the restore.
+                    self.remove_fresh(&session_name);
+                } else {
+                    self.repair_after_panic(&session_name, batch);
                 }
-                self.report.internal_faults += 1;
+                self.gauges.internal_faults.fetch_add(1, Ordering::SeqCst);
                 let message = panic_message(payload);
                 eprintln!("request handler panicked (session restored): {message}");
-                (
-                    error_object(
+                BatchEntry {
+                    resp,
+                    response: error_object(
                         "internal",
                         format!("request handler panicked: {message}; session state restored"),
                     ),
-                    Control::Continue,
-                )
+                    record: None,
+                    violation: false,
+                }
+            }
+        };
+        batch.entries.push(entry);
+    }
+
+    fn remove_fresh(&mut self, name: &str) {
+        if self.sessions.remove(name).is_some() {
+            self.gauges.sessions.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Rebuilds a session's pre-request state after a handler panic
+    /// without a per-request snapshot: restore the pre-batch snapshot,
+    /// re-capture it for batch-failure rollback, then replay the batch's
+    /// staged fragments for that session (each succeeded deterministically
+    /// moments ago, so the replay lands exactly at the pre-request state,
+    /// seqs included). A panic *during that replay* would desynchronize
+    /// memory from the journal, so it is fail-stop: journal recovery on
+    /// restart rebuilds the state instead.
+    fn repair_after_panic(&mut self, session_name: &str, batch: &mut Batch) {
+        let Some(snapshot) = batch.snapshots.remove(session_name) else {
+            return;
+        };
+        let Some(session) = self.sessions.get_mut(session_name) else {
+            return;
+        };
+        session.restore(snapshot);
+        batch
+            .snapshots
+            .insert(session_name.to_string(), session.snapshot());
+        let replay = catch_unwind(AssertUnwindSafe(|| {
+            for entry in &batch.entries {
+                if let Some((name, _, fragment)) = &entry.record {
+                    if name == session_name {
+                        let _ = session.append(fragment);
+                    }
+                }
+            }
+        }));
+        if replay.is_err() {
+            eprintln!(
+                "fatal: replaying staged appends for session {session_name:?} panicked \
+                 while recovering from a handler panic; aborting so journal recovery \
+                 rebuilds the state"
+            );
+            std::process::abort();
+        }
+    }
+
+    /// Flushes the forming batch: one journal write + one fsync covering
+    /// every staged record, then the responses in order. No member is
+    /// acked before the fsync that covers all of them; a failed write
+    /// rolls every touched session back and converts every would-be ack
+    /// into a structured error.
+    fn flush(&mut self, batch: &mut Batch) {
+        if batch.entries.is_empty() {
+            batch.snapshots.clear();
+            return;
+        }
+        let record_count = batch.entries.iter().filter(|e| e.record.is_some()).count() as u64;
+        let mut failure: Option<(&'static str, String)> = None;
+        if record_count > 0 {
+            if let Some(journal) = &self.journal {
+                let records: Vec<BatchRecord<'_>> = batch
+                    .entries
+                    .iter()
+                    .filter_map(|e| e.record.as_ref())
+                    .map(|(s, q, f)| (s.as_str(), *q, f))
+                    .collect();
+                match lock_journal(journal).append_batch(&records) {
+                    Ok(()) => {
+                        self.gauges.fsyncs.fetch_add(1, Ordering::SeqCst);
+                        self.gauges
+                            .fsyncs_saved
+                            .fetch_add(record_count - 1, Ordering::SeqCst);
+                    }
+                    Err(e) => failure = Some(("journal", e)),
+                }
+            } else if self.config.checkpoint.is_some() {
+                // Without a journal, durability-before-ack means a full
+                // checkpoint rewrite — once per batch, covering all of it
+                // (single-shard only; enforced at startup).
+                if let Err(e) = self.save_shard_checkpoint() {
+                    failure = Some(("checkpoint", e));
+                }
+            }
+            if failure.is_none() {
+                record_batch_size(&self.gauges, record_count);
+            }
+        }
+        match failure {
+            Some((kind, e)) => {
+                for (name, snapshot) in batch.snapshots.drain() {
+                    if let Some(session) = self.sessions.get_mut(&name) {
+                        session.restore(snapshot);
+                        if session.stats().appends == 0 && session.spec().nodes.is_empty() {
+                            self.remove_fresh(&name);
+                        }
+                    }
+                }
+                eprintln!(
+                    "commit batch of {record_count} append(s) failed ({e}); \
+                     rolled back, no acks sent"
+                );
+                for entry in batch.entries.drain(..) {
+                    let response = if entry.record.is_some() {
+                        error_object(kind, e.clone())
+                    } else {
+                        entry.response
+                    };
+                    let _ = entry.resp.send(response.to_compact());
+                }
+            }
+            None => {
+                for entry in batch.entries.drain(..) {
+                    if entry.record.is_some() {
+                        self.gauges.appends.fetch_add(1, Ordering::SeqCst);
+                        if entry.violation {
+                            self.gauges.violations.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    let _ = entry.resp.send(entry.response.to_compact());
+                }
+                batch.snapshots.clear();
             }
         }
     }
 
-    fn handle_request(&mut self, request: &Value, line: &str) -> (Value, Control) {
-        if let Some(token) = &self.config.inject_panic {
-            if !token.is_empty() && line.contains(token.as_str()) {
-                panic!("injected fault: request matched --inject-panic token");
+    /// The no-journal durability path: rewrite the checkpoint covering
+    /// this shard's sessions (which, single-shard, is all of them).
+    fn save_shard_checkpoint(&self) -> Result<(), String> {
+        let Some(path) = &self.config.checkpoint else {
+            return Ok(());
+        };
+        let entries = self
+            .sessions
+            .iter()
+            .map(|(name, s)| (name.clone(), s.stats().appends, s.spec().to_json()))
+            .collect();
+        super::journal::write_checkpoint_file(path, &sessions_checkpoint_json(entries))
+    }
+
+    fn stats_response(&self, session_name: &str) -> Value {
+        let gauges = &self.gauges;
+        let load = |g: &std::sync::atomic::AtomicU64| Value::from(g.load(Ordering::SeqCst));
+        let session_stats = self.sessions.get(session_name).map(SpecSession::stats);
+        let s = |f: fn(&compc_core::SessionStats) -> u64| {
+            Value::from(session_stats.as_ref().map_or(0, f))
+        };
+        let (journal_records, journal_bytes) = match &self.journal {
+            Some(j) => {
+                let guard = lock_journal(j);
+                (guard.records(), guard.bytes())
             }
+            None => (0, 0),
+        };
+        ok_object(vec![
+            ("appends".to_string(), load(&gauges.appends)),
+            ("session".to_string(), Value::from(session_name)),
+            ("shard".to_string(), Value::from(self.index)),
+            ("session_appends".to_string(), s(|st| st.appends)),
+            ("levels_computed".to_string(), s(|st| st.levels_computed)),
+            ("levels_reused".to_string(), s(|st| st.levels_reused)),
+            ("rows_recomputed".to_string(), s(|st| st.rows_recomputed)),
+            ("rows_spliced".to_string(), s(|st| st.rows_spliced)),
+            ("violations".to_string(), load(&gauges.violations)),
+            ("interruptions".to_string(), load(&gauges.interruptions)),
+            ("internal_faults".to_string(), load(&gauges.internal_faults)),
+            ("connections".to_string(), load(&gauges.connections)),
+            (
+                "peak_connections".to_string(),
+                load(&gauges.peak_connections),
+            ),
+            ("accepted".to_string(), load(&gauges.accepted)),
+            ("shed".to_string(), load(&gauges.shed)),
+            ("idle_closed".to_string(), load(&gauges.idle_closed)),
+            ("oversize_lines".to_string(), load(&gauges.oversize_lines)),
+            ("queue_depth".to_string(), load(&gauges.queue_depth)),
+            ("sessions".to_string(), load(&gauges.sessions)),
+            (
+                "dispatch_shards".to_string(),
+                Value::from(gauges.shard_depths.len()),
+            ),
+            (
+                "commit_batch".to_string(),
+                Value::from(self.config.commit_batch.max(1)),
+            ),
+            ("fsyncs".to_string(), load(&gauges.fsyncs)),
+            ("fsyncs_saved".to_string(), load(&gauges.fsyncs_saved)),
+            ("batch_max".to_string(), load(&gauges.batch_max)),
+            ("journal_records".to_string(), Value::from(journal_records)),
+            ("journal_bytes".to_string(), Value::from(journal_bytes)),
+        ])
+    }
+}
+
+/// The one verdict line per append: the stats ride along so a client can
+/// watch the incremental path work (`levels_reused` growing).
+fn verdict_response(session_name: &str, session: &SpecSession, verdict: &Verdict) -> Value {
+    let stats = session.stats();
+    let mut fields = vec![
+        (
+            "verdict".to_string(),
+            Value::from(if verdict.is_correct() {
+                "comp-c"
+            } else {
+                "not-comp-c"
+            }),
+        ),
+        ("session".to_string(), Value::from(session_name)),
+        ("appends".to_string(), Value::from(stats.appends)),
+    ];
+    if let Some(sys) = session.system() {
+        fields.push(("nodes".to_string(), Value::from(sys.node_count())));
+        fields.push(("order".to_string(), Value::from(sys.order())));
+    }
+    fields.push((
+        "levels_reused".to_string(),
+        Value::from(stats.levels_reused),
+    ));
+    fields.push(("rows_spliced".to_string(), Value::from(stats.rows_spliced)));
+    if let Verdict::Incorrect(cex) = verdict {
+        fields.push(("level".to_string(), Value::from(cex.level)));
+        fields.push(("phase".to_string(), Value::from(cex.phase.tag())));
+        fields.push(("cycle".to_string(), Value::from(cex.cycle_names.clone())));
+    }
+    ok_object(fields)
+}
+
+/// Mirrors one append as `compc-trace` `check_start`/`check_end` events
+/// on stdout (the socket carries the responses, so stdout is a pure event
+/// stream).
+fn emit_trace(
+    config: &ServeConfig,
+    session_name: &str,
+    session: &SpecSession,
+    verdict: &Verdict,
+    elapsed_ns: u64,
+) {
+    if !config.trace {
+        return;
+    }
+    let Some(sys) = session.system() else {
+        return;
+    };
+    let label = if session_name == DEFAULT_SESSION {
+        format!("append-{}", session.stats().appends)
+    } else {
+        format!("{session_name}:append-{}", session.stats().appends)
+    };
+    let start = TraceEvent::CheckStart {
+        nodes: sys.node_count(),
+        schedules: sys.schedule_count(),
+        order: sys.order(),
+    };
+    let end = match verdict {
+        Verdict::Correct(_) => TraceEvent::CheckEnd {
+            correct: true,
+            levels_completed: sys.order(),
+            failed_level: None,
+            failed_phase: None,
+            elapsed_ns,
+        },
+        Verdict::Incorrect(cex) => TraceEvent::CheckEnd {
+            correct: false,
+            levels_completed: cex.level.saturating_sub(1),
+            failed_level: Some(cex.level),
+            failed_phase: Some(cex.phase.tag()),
+            elapsed_ns,
+        },
+    };
+    println!("{}", event_to_ndjson_line(&start, Some(&label)));
+    println!("{}", event_to_ndjson_line(&end, Some(&label)));
+}
+
+// ---------------------------------------------------------------------------
+// Control thread
+// ---------------------------------------------------------------------------
+
+/// Everything the control thread needs to coordinate global operations.
+pub(crate) struct Control {
+    pub shard_txs: Vec<SyncSender<ShardMsg>>,
+    pub journal: Option<Arc<Mutex<Journal>>>,
+    pub config: ServeConfig,
+    pub gauges: Arc<Gauges>,
+    pub conns: Conns,
+    pub stop: Arc<std::sync::atomic::AtomicBool>,
+}
+
+/// Runs the control thread to completion: coordinates checkpoint and
+/// shutdown ops, termination signals, and (with `--once`) the first
+/// disconnect, then drains every shard and persists.
+pub(crate) fn control_loop(rx: Receiver<CtrlMsg>, control: Control) -> Result<(), String> {
+    loop {
+        if super::term_requested() {
+            eprintln!("termination signal received: draining");
+            return control.drain_and_exit();
         }
-        if let Some(fragment) = request.get("append") {
-            return (self.handle_append(fragment), Control::Continue);
-        }
-        match request.get("op").and_then(Value::as_str) {
-            Some("stats") => {
-                self.emit_gauges();
-                (self.stats_response(), Control::Continue)
-            }
-            Some("checkpoint") => match self.save_checkpoint_and_compact() {
-                Ok(true) => {
-                    let target = self
-                        .config
-                        .checkpoint
-                        .clone()
-                        .expect("saved implies a path");
-                    (
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(CtrlMsg::Checkpoint { resp }) => {
+                let response = match control.save_all(true) {
+                    Ok(true) => {
+                        let target = control
+                            .config
+                            .checkpoint
+                            .clone()
+                            .expect("saved implies a path");
                         ok_object(vec![
                             ("checkpoint".to_string(), Value::from(target)),
                             ("saved".to_string(), Value::from(true)),
-                        ]),
-                        Control::Continue,
-                    )
-                }
-                Ok(false) => (
-                    ok_object(vec![
+                        ])
+                    }
+                    Ok(false) => ok_object(vec![
                         (
                             "checkpoint".to_string(),
                             Value::from("(no --checkpoint file configured)"),
                         ),
                         ("saved".to_string(), Value::from(false)),
                     ]),
-                    Control::Continue,
-                ),
-                Err(e) => (error_object("checkpoint", e), Control::Continue),
-            },
+                    Err(e) => error_object("checkpoint", e),
+                };
+                let _ = resp.send(response.to_compact());
+            }
             // Save *here*, not just in the drain epilogue, so the response
             // can report honestly whether state was persisted — without
             // `--checkpoint` nothing is saved and the client is told so.
-            Some("shutdown") => match self.save_checkpoint() {
-                Ok(saved) => (
-                    ok_object(vec![
+            Ok(CtrlMsg::Shutdown { resp }) => {
+                let response = match control.save_all(false) {
+                    Ok(saved) => ok_object(vec![
                         ("shutdown".to_string(), Value::from(true)),
                         ("saved".to_string(), Value::from(saved)),
                     ]),
-                    Control::Shutdown,
-                ),
-                // A failing disk must not make the daemon unstoppable: the
-                // client gets the error, the daemon still drains and exits.
-                Err(e) => {
-                    let mut response = error_object("checkpoint", e);
-                    if let Value::Object(entries) = &mut response {
-                        entries.push(("shutdown".to_string(), Value::from(true)));
-                    }
-                    (response, Control::Shutdown)
-                }
-            },
-            Some(other) => (
-                error_object("protocol", format!("unknown op \"{other}\"")),
-                Control::Continue,
-            ),
-            None => (
-                error_object(
-                    "protocol",
-                    "request must be {\"append\": {...}} or {\"op\": \"...\"}".to_string(),
-                ),
-                Control::Continue,
-            ),
-        }
-    }
-
-    fn handle_append(&mut self, fragment: &Value) -> Value {
-        let fragment = match crate::spec::SystemSpec::from_json(fragment) {
-            Ok(spec) => spec,
-            Err(e) => return error_object("spec", e.to_string()),
-        };
-        let started = Instant::now();
-        match self.session.append(&fragment) {
-            Ok(verdict) => {
-                let verdict = verdict.clone();
-                let elapsed_ns = started.elapsed().as_nanos() as u64;
-                self.emit_trace(&verdict, elapsed_ns);
-                if !verdict.is_correct() {
-                    self.report.violations += 1;
-                }
-                // Durability before the ack: with a journal, one fsynced
-                // record; without one, the full per-append checkpoint
-                // rewrite the pre-journal daemon did.
-                if let Some(journal) = &mut self.journal {
-                    let seq = self.session.stats().appends;
-                    if let Err(e) = journal.append(seq, &fragment) {
-                        // No ack, so no durability promise was made. Roll
-                        // the session back too: keeping the merged fragment
-                        // would let every later acked append be journaled
-                        // against in-memory state the journal cannot
-                        // reconstruct. Rolled back, the client may simply
-                        // retry.
-                        if let Some(snapshot) = self.pending_snapshot.take() {
-                            self.session.restore(snapshot);
+                    // A failing disk must not make the daemon unstoppable:
+                    // the client gets the error, the daemon still drains
+                    // and exits.
+                    Err(e) => {
+                        let mut response = error_object("checkpoint", e);
+                        if let Value::Object(entries) = &mut response {
+                            entries.push(("shutdown".to_string(), Value::from(true)));
                         }
-                        return error_object("journal", e);
+                        response
                     }
-                } else if let Err(e) = self.save_checkpoint() {
-                    if let Some(snapshot) = self.pending_snapshot.take() {
-                        self.session.restore(snapshot);
-                    }
-                    return error_object("checkpoint", e);
+                };
+                let _ = resp.send(response.to_compact());
+                return control.drain_and_exit();
+            }
+            Ok(CtrlMsg::Disconnected) => {
+                if control.config.once {
+                    return control.drain_and_exit();
                 }
-                self.verdict_response(&verdict)
             }
-            Err(SpecSessionError::Session(SessionError::Interrupted(e))) => {
-                self.report.interruptions += 1;
-                let mut response = error_object("interrupted", e.to_string());
-                if let Value::Object(entries) = &mut response {
-                    entries.push(("resumable".to_string(), Value::from(true)));
-                }
-                response
+            Err(RecvTimeoutError::Timeout) => {}
+            // Every sender gone without a shutdown decision: save and stop.
+            Err(RecvTimeoutError::Disconnected) => return control.drain_and_exit(),
+        }
+    }
+}
+
+impl Control {
+    /// Freezes every shard (optionally letting each drain its queue until
+    /// `drain_deadline` first) and collects their serialized sessions.
+    /// Returns the resume handles — the caller must resume every shard.
+    fn freeze_all(
+        &self,
+        drain_deadline: Option<Instant>,
+    ) -> (Vec<Sender<ResumeAction>>, Vec<SessionEntry>) {
+        let mut resumes = Vec::with_capacity(self.shard_txs.len());
+        let mut replies = Vec::with_capacity(self.shard_txs.len());
+        for (index, tx) in self.shard_txs.iter().enumerate() {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            let (resume_tx, resume_rx) = std::sync::mpsc::channel();
+            let msg = match drain_deadline {
+                Some(deadline) => ShardMsg::Drain {
+                    deadline,
+                    reply: reply_tx,
+                    resume: resume_rx,
+                },
+                None => ShardMsg::Freeze {
+                    reply: reply_tx,
+                    resume: resume_rx,
+                },
+            };
+            if tx.send(msg).is_ok() {
+                replies.push(reply_rx);
+                resumes.push(resume_tx);
+            } else {
+                eprintln!("shard {index} is gone; its sessions are not in this save");
             }
-            Err(SpecSessionError::OracleDisagreement { engine_correct }) => {
-                self.report.disagreements += 1;
-                error_object(
-                    "oracle-disagreement",
-                    SpecSessionError::OracleDisagreement { engine_correct }.to_string(),
-                )
+        }
+        let mut sessions = Vec::new();
+        for reply in replies {
+            if let Ok(frozen) = reply.recv() {
+                sessions.extend(frozen.sessions);
             }
-            Err(SpecSessionError::Session(e)) => error_object("invalid", e.to_string()),
-            Err(e) => error_object("spec", e.to_string()),
         }
+        (resumes, sessions)
     }
 
-    /// The one verdict line per append: the stats ride along so a client
-    /// can watch the incremental path work (`levels_reused` growing).
-    fn verdict_response(&self, verdict: &Verdict) -> Value {
-        let stats = self.session.stats();
-        let mut fields = vec![
-            (
-                "verdict".to_string(),
-                Value::from(if verdict.is_correct() {
-                    "comp-c"
-                } else {
-                    "not-comp-c"
-                }),
-            ),
-            ("appends".to_string(), Value::from(stats.appends)),
-        ];
-        if let Some(sys) = self.session.system() {
-            fields.push(("nodes".to_string(), Value::from(sys.node_count())));
-            fields.push(("order".to_string(), Value::from(sys.order())));
+    /// Freeze-round save: checkpoint every session, optionally compacting
+    /// the journal (checkpoint first, truncation second — a crash between
+    /// the two only leaves records whose appends the new checkpoint
+    /// already covers; replay skips them by sequence number).
+    fn save_all(&self, truncate: bool) -> Result<bool, String> {
+        let (resumes, sessions) = self.freeze_all(None);
+        let result = self.persist(sessions, truncate);
+        for resume in resumes {
+            let _ = resume.send(ResumeAction::Continue);
         }
-        fields.push((
-            "levels_reused".to_string(),
-            Value::from(stats.levels_reused),
-        ));
-        fields.push(("rows_spliced".to_string(), Value::from(stats.rows_spliced)));
-        if let Verdict::Incorrect(cex) = verdict {
-            fields.push(("level".to_string(), Value::from(cex.level)));
-            fields.push(("phase".to_string(), Value::from(cex.phase.tag())));
-            fields.push(("cycle".to_string(), Value::from(cex.cycle_names.clone())));
-        }
-        ok_object(fields)
+        result
     }
 
-    fn stats_response(&self) -> Value {
-        let stats = self.session.stats();
-        let gauges = &self.gauges;
-        ok_object(vec![
-            ("appends".to_string(), Value::from(stats.appends)),
-            (
-                "levels_computed".to_string(),
-                Value::from(stats.levels_computed),
-            ),
-            (
-                "levels_reused".to_string(),
-                Value::from(stats.levels_reused),
-            ),
-            (
-                "rows_recomputed".to_string(),
-                Value::from(stats.rows_recomputed),
-            ),
-            ("rows_spliced".to_string(), Value::from(stats.rows_spliced)),
-            (
-                "violations".to_string(),
-                Value::from(self.report.violations),
-            ),
-            (
-                "interruptions".to_string(),
-                Value::from(self.report.interruptions),
-            ),
-            (
-                "internal_faults".to_string(),
-                Value::from(self.report.internal_faults),
-            ),
-            (
-                "connections".to_string(),
-                Value::from(gauges.connections.load(Ordering::SeqCst)),
-            ),
-            (
-                "peak_connections".to_string(),
-                Value::from(gauges.peak_connections.load(Ordering::SeqCst)),
-            ),
-            (
-                "accepted".to_string(),
-                Value::from(gauges.accepted.load(Ordering::SeqCst)),
-            ),
-            (
-                "shed".to_string(),
-                Value::from(gauges.shed.load(Ordering::SeqCst)),
-            ),
-            (
-                "idle_closed".to_string(),
-                Value::from(gauges.idle_closed.load(Ordering::SeqCst)),
-            ),
-            (
-                "oversize_lines".to_string(),
-                Value::from(gauges.oversize_lines.load(Ordering::SeqCst)),
-            ),
-            (
-                "queue_depth".to_string(),
-                Value::from(gauges.queue_depth.load(Ordering::SeqCst)),
-            ),
-            (
-                "journal_records".to_string(),
-                Value::from(self.journal.as_ref().map_or(0, Journal::records)),
-            ),
-            (
-                "journal_bytes".to_string(),
-                Value::from(self.journal.as_ref().map_or(0, Journal::bytes)),
-            ),
-        ])
-    }
-
-    /// Mirrors the serving gauges as one `serve_gauges` trace event on
-    /// stdout (emitted on each `stats` op and at drain).
-    fn emit_gauges(&self) {
-        if !self.config.trace {
-            return;
-        }
-        let gauges = &self.gauges;
-        let event = TraceEvent::ServeGauges {
-            connections: gauges.connections.load(Ordering::SeqCst),
-            peak_connections: gauges.peak_connections.load(Ordering::SeqCst),
-            queue_depth: gauges.queue_depth.load(Ordering::SeqCst),
-            shed: gauges.shed.load(Ordering::SeqCst),
-            journal_lag: self.journal.as_ref().map_or(0, Journal::records),
-            internal_faults: self.report.internal_faults,
-        };
-        println!("{}", event_to_ndjson_line(&event, Some("serve")));
-    }
-
-    /// Mirrors one append as `compc-trace` `check_start`/`check_end`
-    /// events on stdout (the socket carries the responses, so stdout is a
-    /// pure event stream).
-    fn emit_trace(&self, verdict: &Verdict, elapsed_ns: u64) {
-        if !self.config.trace {
-            return;
-        }
-        let Some(sys) = self.session.system() else {
-            return;
-        };
-        let label = format!("append-{}", self.session.stats().appends);
-        let start = TraceEvent::CheckStart {
-            nodes: sys.node_count(),
-            schedules: sys.schedule_count(),
-            order: sys.order(),
-        };
-        let end = match verdict {
-            Verdict::Correct(_) => TraceEvent::CheckEnd {
-                correct: true,
-                levels_completed: sys.order(),
-                failed_level: None,
-                failed_phase: None,
-                elapsed_ns,
-            },
-            Verdict::Incorrect(cex) => TraceEvent::CheckEnd {
-                correct: false,
-                levels_completed: cex.level.saturating_sub(1),
-                failed_level: Some(cex.level),
-                failed_phase: Some(cex.phase.tag()),
-                elapsed_ns,
-            },
-        };
-        println!("{}", event_to_ndjson_line(&start, Some(&label)));
-        println!("{}", event_to_ndjson_line(&end, Some(&label)));
-    }
-
-    /// Atomically rewrites the checkpoint file. Returns whether a file was
-    /// actually written (`false` without `--checkpoint`), so callers can
-    /// report a save truthfully instead of implying one happened.
-    ///
-    /// Durability order matters: the temp file is fsynced *before* the
-    /// rename (otherwise a crash can leave the rename durable but the
-    /// contents not — an empty or truncated "checkpoint"), and the parent
-    /// directory is fsynced after so the rename itself survives a crash.
-    /// A leftover `.tmp` from a kill mid-write is harmless: restore only
-    /// ever reads the real path, and the next save overwrites the temp.
-    fn save_checkpoint(&self) -> Result<bool, String> {
-        use std::io::Write as _;
+    fn persist(&self, sessions: Vec<(String, u64, Value)>, truncate: bool) -> Result<bool, String> {
         let Some(path) = &self.config.checkpoint else {
             return Ok(false);
         };
-        let tmp = format!("{path}.tmp");
-        let mut file = std::fs::File::create(&tmp)
-            .map_err(|e| format!("cannot create checkpoint {tmp}: {e}"))?;
-        file.write_all(self.session.checkpoint_json().as_bytes())
-            .map_err(|e| format!("cannot write checkpoint {tmp}: {e}"))?;
-        file.sync_all()
-            .map_err(|e| format!("cannot sync checkpoint {tmp}: {e}"))?;
-        drop(file);
-        std::fs::rename(&tmp, path)
-            .map_err(|e| format!("cannot replace checkpoint {path}: {e}"))?;
-        // Make the rename durable too. Directory fsync is best-effort: some
-        // filesystems refuse to open directories for writing, and a crash
-        // here only loses the newest checkpoint, never corrupts one.
-        let dir = std::path::Path::new(path)
-            .parent()
-            .filter(|p| !p.as_os_str().is_empty())
-            .unwrap_or_else(|| std::path::Path::new("."));
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
+        super::journal::write_checkpoint_file(path, &sessions_checkpoint_json(sessions))?;
+        if truncate {
+            if let Some(journal) = &self.journal {
+                lock_journal(journal).truncate()?;
+            }
         }
         Ok(true)
     }
 
-    /// Compaction: checkpoint first, journal truncation second. A crash
-    /// between the two only leaves journal records whose appends the new
-    /// checkpoint already covers — replay skips them by sequence number.
-    pub fn save_checkpoint_and_compact(&mut self) -> Result<bool, String> {
-        let saved = self.save_checkpoint()?;
-        if let Some(journal) = &mut self.journal {
-            if saved {
-                journal.truncate()?;
-            }
+    /// Stops accepting, lets every shard drain under `--drain-timeout-ms`,
+    /// flushes writers, persists, and releases the shards to exit.
+    fn drain_and_exit(&self) -> Result<(), String> {
+        self.stop.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_millis(self.config.drain_timeout_ms.max(1));
+        let (resumes, sessions) = self.freeze_all(Some(deadline));
+        let abandoned = self.gauges.queue_depth.load(Ordering::SeqCst);
+        if abandoned > 0 {
+            eprintln!(
+                "drain deadline expired with {abandoned} request(s) still queued; \
+                 abandoning them (none were acked)"
+            );
         }
-        Ok(saved)
+        emit_gauges(&self.config, &self.gauges, self.journal.as_ref());
+        // Dropping the response senders lets each writer thread flush its
+        // buffered lines and shut its socket down, which in turn unblocks
+        // readers so the accept thread can join everything.
+        self.conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clear();
+        let result = self.persist(sessions, true).map(|_| ());
+        for resume in resumes {
+            let _ = resume.send(ResumeAction::Exit);
+        }
+        result
     }
 }

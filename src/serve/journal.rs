@@ -1,21 +1,39 @@
 //! The write-ahead append journal behind `--journal`.
 //!
-//! One NDJSON record per accepted append, `{"seq": N, "append": {...}}`,
-//! fsynced (`sync_data`) before the verdict is acked — that ordering is
-//! the whole durability contract. At startup [`replay`] applies the
-//! journal suffix past the restored checkpoint (records whose `seq` the
-//! checkpoint already covers are skipped) and repairs the file tail: a
-//! torn (unparseable, never-acked) trailing record from a crash mid-write
-//! is truncated away, and a whole-but-unterminated one gets its missing
-//! newline — either way the next fsynced append starts on a fresh line
-//! and can never fuse with leftover bytes into one unparseable record.
-//! Compaction rewrites the checkpoint first and truncates the journal
-//! second, so a crash between the two only leaves records the next
-//! replay skips.
+//! One NDJSON record per accepted append — `{"seq": N, "append": {...}}`
+//! for the `"default"` session (byte-identical to the pre-multi-session
+//! format), `{"session": "name", "seq": N, "append": {...}}` for named
+//! sessions. Records are written in **commit batches**: a dispatch shard
+//! stages up to `--commit-batch` applied appends, serializes them into one
+//! reusable scratch buffer, writes the whole batch with a single
+//! `write_all`, and issues a single `sync_data` — only then are the
+//! batch's verdicts acked. That ordering (ack strictly after the fsync
+//! that covers the record) is the whole durability contract; batching
+//! amortizes the fsync without weakening it, because *no* member of a
+//! batch is acked before the one fsync that covers *all* of them.
+//!
+//! At startup [`replay`] applies the journal suffix past the restored
+//! checkpoint, demultiplexing records into their named sessions (records
+//! whose `seq` a session's checkpoint already covers are skipped) and
+//! repairs the file tail: a torn (unparseable, never-acked) trailing
+//! record from a crash mid-write is truncated away, and a whole-but-
+//! unterminated one gets its missing newline — either way the next
+//! fsynced batch starts on a fresh line and can never fuse with leftover
+//! bytes into one unparseable record. A crash mid-batch-write can only
+//! tear the *tail*: the batch is one contiguous `write_all`, so whatever
+//! the kernel persisted without the fsync is a prefix of whole records
+//! plus at most one torn final record — whole-but-unfsynced prefix
+//! records may replay even though their acks never left (idempotent
+//! merges make the client's re-send harmless), and the torn record is
+//! dropped. Compaction rewrites the checkpoint first and truncates the
+//! journal second, so a crash between the two only leaves records the
+//! next replay skips.
 
-use crate::session::SpecSession;
+use crate::session::{SpecSession, DEFAULT_SESSION};
 use crate::spec::SystemSpec;
+use compc_core::CheckOptions;
 use compc_json::Value;
+use std::collections::HashMap;
 use std::io::Write;
 
 /// An open journal file in append mode, tracking its own size so the
@@ -25,7 +43,14 @@ pub(crate) struct Journal {
     path: String,
     records: u64,
     bytes: u64,
+    /// Reusable serialization buffer: one allocation serves every batch
+    /// instead of one fresh `String` per record.
+    scratch: String,
 }
+
+/// One applied append staged for a commit batch:
+/// `(session, seq, fragment)`.
+pub(crate) type BatchRecord<'a> = (&'a str, u64, &'a SystemSpec);
 
 impl Journal {
     pub fn open(path: &str) -> Result<Journal, String> {
@@ -40,6 +65,7 @@ impl Journal {
             path: path.to_string(),
             records: 0,
             bytes,
+            scratch: String::new(),
         })
     }
 
@@ -58,23 +84,34 @@ impl Journal {
         self.bytes
     }
 
-    /// Appends one record and fsyncs it. Must complete before the
-    /// append's verdict is acked; an error here fails the append (the
-    /// dispatcher rolls the session back to its pre-request snapshot, so
-    /// the client may simply retry).
-    pub fn append(&mut self, seq: u64, fragment: &SystemSpec) -> Result<(), String> {
-        let record = Value::Object(vec![
-            ("seq".into(), Value::from(seq)),
-            ("append".into(), fragment.to_json()),
-        ]);
-        let mut line = record.to_compact();
-        line.push('\n');
+    /// Appends a commit batch as one contiguous write and one fsync. Must
+    /// complete before *any* member's verdict is acked; an error fails the
+    /// whole batch (the dispatcher rolls every touched session back to its
+    /// pre-batch snapshot, so the clients may simply retry).
+    pub fn append_batch(&mut self, records: &[BatchRecord<'_>]) -> Result<(), String> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        for (session, seq, fragment) in records {
+            let mut entries = Vec::with_capacity(3);
+            // The default session omits its name, so a daemon that never
+            // saw a named session writes pre-multi-session records,
+            // byte for byte.
+            if *session != DEFAULT_SESSION {
+                entries.push(("session".to_string(), Value::from(*session)));
+            }
+            entries.push(("seq".to_string(), Value::from(*seq)));
+            entries.push(("append".to_string(), fragment.to_json()));
+            Value::Object(entries).write_compact_into(&mut self.scratch);
+            self.scratch.push('\n');
+        }
         self.file
-            .write_all(line.as_bytes())
+            .write_all(self.scratch.as_bytes())
             .and_then(|_| self.file.sync_data())
-            .map_err(|e| format!("cannot journal append to {}: {e}", self.path))?;
-        self.records += 1;
-        self.bytes += line.len() as u64;
+            .map_err(|e| format!("cannot journal batch to {}: {e}", self.path))?;
+        self.records += records.len() as u64;
+        self.bytes += self.scratch.len() as u64;
         Ok(())
     }
 
@@ -93,22 +130,28 @@ impl Journal {
 
 /// What a startup replay found and did.
 pub(crate) struct ReplayReport {
-    /// Records applied (their `seq` was past the checkpoint).
+    /// Records applied (their `seq` was past their session's checkpoint).
     pub applied: u64,
-    /// Whole records skipped because the checkpoint already covered them.
+    /// Whole records skipped because a checkpoint already covered them.
     pub skipped: u64,
     /// A torn (half-written, never-acked) trailing record was dropped
     /// and truncated out of the file.
     pub torn: bool,
 }
 
-/// Replays the journal at `path` into `session`, skipping records the
-/// restored checkpoint already covers, and repairs an unterminated tail
-/// in place (truncating a torn record, newline-terminating a whole one)
-/// so the next append starts on a fresh line. Corruption anywhere but a
-/// torn tail is a hard error: it means acked state may be unrecoverable,
-/// and silently continuing would break the durability contract.
-pub(crate) fn replay(path: &str, session: &mut SpecSession) -> Result<ReplayReport, String> {
+/// Replays the journal at `path` into the named `sessions`, creating
+/// sessions (with `options`) the first time a record names them, skipping
+/// records each session's restored checkpoint already covers, and repairs
+/// an unterminated tail in place (truncating a torn record, newline-
+/// terminating a whole one) so the next batch starts on a fresh line.
+/// Corruption anywhere but a torn tail is a hard error: it means acked
+/// state may be unrecoverable, and silently continuing would break the
+/// durability contract.
+pub(crate) fn replay(
+    path: &str,
+    sessions: &mut HashMap<String, SpecSession>,
+    options: CheckOptions,
+) -> Result<ReplayReport, String> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -138,26 +181,26 @@ pub(crate) fn replay(path: &str, session: &mut SpecSession) -> Result<ReplayRepo
     };
     let total = lines.len();
     for (index, line) in lines.into_iter().enumerate() {
-        let (seq, fragment) = parse_record(line)
+        let (session, seq, fragment) = parse_record(line)
             .map_err(|e| format!("journal {path} record {} is corrupt: {e}", index + 1))?;
-        apply_record(session, seq, &fragment, &mut report)
+        apply_record(sessions, options, &session, seq, &fragment, &mut report)
             .map_err(|e| format!("journal {path} record {} failed to replay: {e}", index + 1))?;
     }
     if let Some(tail) = torn_candidate {
         match parse_record(tail) {
-            Ok((seq, fragment)) => {
-                apply_record(session, seq, &fragment, &mut report).map_err(|e| {
-                    format!("journal {path} record {} failed to replay: {e}", total + 1)
-                })?;
+            Ok((session, seq, fragment)) => {
+                apply_record(sessions, options, &session, seq, &fragment, &mut report).map_err(
+                    |e| format!("journal {path} record {} failed to replay: {e}", total + 1),
+                )?;
                 // The record is whole, only its newline is missing: add
-                // it, or the next append would fuse with this record into
+                // it, or the next batch would fuse with this record into
                 // one unparseable line the next restart hard-errors on.
                 terminate_tail(path)?;
             }
             // Unparseable and unterminated: the classic torn write. The
             // record's fsync never completed, so its append was never
             // acked and dropping it loses nothing the contract promised —
-            // but its bytes must go too, or the next append would fuse
+            // but its bytes must go too, or the next batch would fuse
             // with them into one poisoned line.
             Err(_) => {
                 report.torn = true;
@@ -196,29 +239,73 @@ fn terminate_tail(path: &str) -> Result<(), String> {
         .map_err(|e| format!("cannot terminate the tail of journal {path}: {e}"))
 }
 
-fn parse_record(line: &[u8]) -> Result<(u64, SystemSpec), String> {
+fn parse_record(line: &[u8]) -> Result<(String, u64, SystemSpec), String> {
     let text = std::str::from_utf8(line).map_err(|e| format!("not UTF-8: {e}"))?;
     let doc = compc_json::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let session = match doc.get("session") {
+        None => DEFAULT_SESSION.to_string(),
+        Some(v) => v
+            .as_str()
+            .filter(|s| !s.is_empty())
+            .ok_or("\"session\" must be a non-empty string")?
+            .to_string(),
+    };
     let seq = doc
         .get("seq")
         .and_then(Value::as_u64)
         .ok_or("missing integer \"seq\" field")?;
     let append = doc.get("append").ok_or("missing \"append\" field")?;
     let fragment = SystemSpec::from_json(append).map_err(|e| format!("bad fragment: {e}"))?;
-    Ok((seq, fragment))
+    Ok((session, seq, fragment))
 }
 
 fn apply_record(
-    session: &mut SpecSession,
+    sessions: &mut HashMap<String, SpecSession>,
+    options: CheckOptions,
+    session: &str,
     seq: u64,
     fragment: &SystemSpec,
     report: &mut ReplayReport,
 ) -> Result<(), String> {
-    if seq <= session.stats().appends {
+    let entry = sessions
+        .entry(session.to_string())
+        .or_insert_with(|| SpecSession::with_options(options));
+    if seq <= entry.stats().appends {
         report.skipped += 1;
         return Ok(());
     }
-    session.append(fragment).map_err(|e| e.to_string())?;
+    entry.append(fragment).map_err(|e| e.to_string())?;
     report.applied += 1;
+    Ok(())
+}
+
+/// Atomically rewrites the checkpoint file at `path` with `doc`.
+///
+/// Durability order matters: the temp file is fsynced *before* the rename
+/// (otherwise a crash can leave the rename durable but the contents not —
+/// an empty or truncated "checkpoint"), and the parent directory is
+/// fsynced after so the rename itself survives a crash. A leftover `.tmp`
+/// from a kill mid-write is harmless: restore only ever reads the real
+/// path, and the next save overwrites the temp.
+pub(crate) fn write_checkpoint_file(path: &str, doc: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    let mut file =
+        std::fs::File::create(&tmp).map_err(|e| format!("cannot create checkpoint {tmp}: {e}"))?;
+    file.write_all(doc.as_bytes())
+        .map_err(|e| format!("cannot write checkpoint {tmp}: {e}"))?;
+    file.sync_all()
+        .map_err(|e| format!("cannot sync checkpoint {tmp}: {e}"))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot replace checkpoint {path}: {e}"))?;
+    // Make the rename durable too. Directory fsync is best-effort: some
+    // filesystems refuse to open directories for writing, and a crash
+    // here only loses the newest checkpoint, never corrupts one.
+    let dir = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."));
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
     Ok(())
 }

@@ -300,6 +300,16 @@ impl SpecSession {
         }
         let spec_value = spec_value
             .ok_or_else(|| SpecSessionError::Checkpoint("missing \"spec\" field".into()))?;
+        SpecSession::from_parts(recorded_appends, spec_value, options)
+    }
+
+    /// Rebuilds one session from its checkpointed parts (shared by the
+    /// single-session and multi-session document formats).
+    fn from_parts(
+        recorded_appends: u64,
+        spec_value: &Value,
+        options: CheckOptions,
+    ) -> Result<SpecSession, SpecSessionError> {
         let spec = SystemSpec::from_json(spec_value)?;
         let mut session = SpecSession::with_options(options);
         if !spec.nodes.is_empty() {
@@ -308,6 +318,142 @@ impl SpecSession {
         session.appends_offset = recorded_appends.saturating_sub(session.inner.stats().appends);
         Ok(session)
     }
+}
+
+/// The session name an append without a `"session"` field lands in.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// Serializes named sessions as one checkpoint document.
+///
+/// Entries are `(name, recorded appends, spec JSON)`. A lone `"default"`
+/// session is written in the exact single-session layout
+/// [`SpecSession::checkpoint_json`] produces, so a daemon that never saw a
+/// named session stays byte-compatible with pre-multi-session checkpoints.
+/// Anything else becomes `{"version": V, "sessions": [...]}` with entries
+/// sorted by name (deterministic, diffable).
+pub fn sessions_checkpoint_json(mut entries: Vec<(String, u64, Value)>) -> String {
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    if entries.len() == 1 && entries[0].0 == DEFAULT_SESSION {
+        let (_, appends, spec) = entries.pop().expect("one entry");
+        let doc = Value::Object(vec![
+            ("version".into(), Value::from(SPEC_VERSION)),
+            ("appends".into(), Value::from(appends)),
+            ("spec".into(), spec),
+        ]);
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        return text;
+    }
+    let sessions = entries
+        .into_iter()
+        .map(|(name, appends, spec)| {
+            Value::Object(vec![
+                ("session".into(), Value::from(name)),
+                ("appends".into(), Value::from(appends)),
+                ("spec".into(), spec),
+            ])
+        })
+        .collect::<Vec<_>>();
+    let doc = Value::Object(vec![
+        ("version".into(), Value::from(SPEC_VERSION)),
+        ("sessions".into(), Value::Array(sessions)),
+    ]);
+    let mut text = doc.to_pretty();
+    text.push('\n');
+    text
+}
+
+/// Restores named sessions from either checkpoint document format: a
+/// legacy single-session document becomes the `"default"` session, and a
+/// `{"version", "sessions": [...]}` document restores every named entry.
+/// Unknown fields and duplicate session names are hard errors — a
+/// checkpoint is the durability root, so anything unexpected in one means
+/// state may be unrecoverable and must not be silently dropped.
+pub fn restore_sessions(
+    text: &str,
+    options: CheckOptions,
+) -> Result<Vec<(String, SpecSession)>, SpecSessionError> {
+    let doc = compc_json::parse(text)
+        .map_err(|e| SpecSessionError::Checkpoint(format!("not JSON: {e}")))?;
+    let entries = doc
+        .as_object()
+        .ok_or_else(|| SpecSessionError::Checkpoint("top level must be an object".into()))?;
+    if doc.get("sessions").is_none() {
+        return Ok(vec![(
+            DEFAULT_SESSION.to_string(),
+            SpecSession::from_checkpoint(text, options)?,
+        )]);
+    }
+    let mut sessions_value = None;
+    for (key, val) in entries {
+        match key.as_str() {
+            "version" => {
+                let v = val.as_u64().ok_or_else(|| {
+                    SpecSessionError::Checkpoint("version must be an integer".into())
+                })?;
+                if v != SPEC_VERSION {
+                    return Err(SpecSessionError::Checkpoint(format!(
+                        "unsupported checkpoint version {v}"
+                    )));
+                }
+            }
+            "sessions" => sessions_value = val.as_array(),
+            other => {
+                return Err(SpecSessionError::Checkpoint(format!(
+                    "unknown field \"{other}\""
+                )))
+            }
+        }
+    }
+    let sessions_value = sessions_value
+        .ok_or_else(|| SpecSessionError::Checkpoint("\"sessions\" must be an array".into()))?;
+    let mut restored: Vec<(String, SpecSession)> = Vec::with_capacity(sessions_value.len());
+    for (index, entry) in sessions_value.iter().enumerate() {
+        let fields = entry.as_object().ok_or_else(|| {
+            SpecSessionError::Checkpoint(format!("sessions[{index}] must be an object"))
+        })?;
+        let mut name = None;
+        let mut appends = 0u64;
+        let mut spec_value = None;
+        for (key, val) in fields {
+            match key.as_str() {
+                "session" => {
+                    name = val.as_str().filter(|s| !s.is_empty()).map(str::to_string);
+                    if name.is_none() {
+                        return Err(SpecSessionError::Checkpoint(format!(
+                            "sessions[{index}].session must be a non-empty string"
+                        )));
+                    }
+                }
+                "appends" => {
+                    appends = val.as_u64().ok_or_else(|| {
+                        SpecSessionError::Checkpoint(format!(
+                            "sessions[{index}].appends must be an integer"
+                        ))
+                    })?;
+                }
+                "spec" => spec_value = Some(val),
+                other => {
+                    return Err(SpecSessionError::Checkpoint(format!(
+                        "sessions[{index}] has unknown field \"{other}\""
+                    )))
+                }
+            }
+        }
+        let name = name.ok_or_else(|| {
+            SpecSessionError::Checkpoint(format!("sessions[{index}] is missing \"session\""))
+        })?;
+        if restored.iter().any(|(n, _)| *n == name) {
+            return Err(SpecSessionError::Checkpoint(format!(
+                "duplicate session \"{name}\""
+            )));
+        }
+        let spec_value = spec_value.ok_or_else(|| {
+            SpecSessionError::Checkpoint(format!("sessions[{index}] is missing \"spec\""))
+        })?;
+        restored.push((name, SpecSession::from_parts(appends, spec_value, options)?));
+    }
+    Ok(restored)
 }
 
 #[cfg(test)]
@@ -396,6 +542,58 @@ mod tests {
         let mut session = SpecSession::with_options(CheckOptions::new().oracle(true));
         let verdict = session.append(&two_stack_spec()).unwrap();
         assert!(verdict.is_correct(), "oracle agreed, verdict installed");
+    }
+
+    #[test]
+    fn multi_session_checkpoint_roundtrip_and_legacy_byte_compat() {
+        let mut session = SpecSession::new();
+        for fragment in two_stack_spec().into_appends() {
+            session.append(&fragment).unwrap();
+        }
+        // A lone "default" session serializes byte-identically to the
+        // single-session format, and that format restores as "default".
+        let legacy = session.checkpoint_json();
+        let entries = vec![(
+            DEFAULT_SESSION.to_string(),
+            session.stats().appends,
+            session.spec().to_json(),
+        )];
+        assert_eq!(sessions_checkpoint_json(entries), legacy);
+        let restored = restore_sessions(&legacy, CheckOptions::default()).unwrap();
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored[0].0, DEFAULT_SESSION);
+        assert_eq!(restored[0].1.spec(), session.spec());
+
+        // Multiple names roundtrip through the "sessions" format, sorted.
+        let doc = sessions_checkpoint_json(vec![
+            (
+                "beta".to_string(),
+                session.stats().appends,
+                session.spec().to_json(),
+            ),
+            ("alpha".to_string(), 0, SpecSession::new().spec().to_json()),
+        ]);
+        let restored = restore_sessions(&doc, CheckOptions::default()).unwrap();
+        assert_eq!(restored[0].0, "alpha");
+        assert_eq!(restored[1].0, "beta");
+        assert_eq!(restored[1].1.stats().appends, session.stats().appends);
+        assert_eq!(restored[1].1.spec(), session.spec());
+
+        // Duplicate names and unknown fields are hard errors.
+        let dup = sessions_checkpoint_json(vec![
+            ("x".to_string(), 0, SpecSession::new().spec().to_json()),
+            ("y".to_string(), 0, SpecSession::new().spec().to_json()),
+        ])
+        .replace("\"y\"", "\"x\"");
+        assert!(matches!(
+            restore_sessions(&dup, CheckOptions::default()),
+            Err(SpecSessionError::Checkpoint(_))
+        ));
+        let junk = doc.replace("\"sessions\"", "\"sesssions\"");
+        assert!(matches!(
+            restore_sessions(&junk, CheckOptions::default()),
+            Err(SpecSessionError::Checkpoint(_))
+        ));
     }
 
     #[test]

@@ -1005,3 +1005,325 @@ fn deadline_interruption_is_resumable_and_exits_3() {
     roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
     assert_eq!(daemon.wait_code(), 3);
 }
+
+/// Fragments of a corpus spec as request lines, optionally addressed to a
+/// named session.
+fn corpus_fragments(file: &str, session: Option<&str>) -> Vec<String> {
+    let path = format!("{}/tests/corpus/{file}", env!("CARGO_MANIFEST_DIR"));
+    let spec = SystemSpec::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    spec.into_appends()
+        .iter()
+        .map(|f| {
+            let mut entries = Vec::new();
+            if let Some(name) = session {
+                entries.push(("session".to_string(), Value::from(name)));
+            }
+            entries.push(("append".to_string(), f.to_json()));
+            Value::Object(entries).to_compact()
+        })
+        .collect()
+}
+
+fn u64_field(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing numeric field {key}: {}", v.to_compact()))
+}
+
+#[test]
+fn group_commit_covers_many_acks_with_one_fsync() {
+    let dir = tmpdir();
+    let socket = dir.join("gc.sock");
+    let checkpoint = dir.join("gc.json");
+    let journal = dir.join("gc.ndjson");
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+        "--commit-batch",
+        "32",
+    ]);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // Pipeline a burst without reading responses: while the first fsync is
+    // in flight the rest queue up, so the shard drains them as batches.
+    let fragments = figure3_fragments();
+    let total: usize = 64;
+    let burst: String = (0..total)
+        .map(|k| fragments[k % fragments.len()].clone() + "\n")
+        .collect();
+    writer.write_all(burst.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    for k in 0..total {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response = parse(line.trim()).unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "append {k}: {}",
+            response.to_compact()
+        );
+        assert_eq!(u64_field(&response, "appends"), k as u64 + 1);
+    }
+
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    let appends = u64_field(&stats, "appends");
+    let fsyncs = u64_field(&stats, "fsyncs");
+    let saved = u64_field(&stats, "fsyncs_saved");
+    assert_eq!(appends, total as u64);
+    assert!(fsyncs >= 1, "journaled appends imply at least one fsync");
+    assert!(
+        fsyncs < appends,
+        "a pipelined burst must form at least one multi-record batch \
+         ({fsyncs} fsyncs for {appends} appends)"
+    );
+    // Every journaled record either started a batch (one fsync) or rode
+    // along in one (one fsync saved).
+    assert_eq!(fsyncs + saved, appends);
+    assert!(u64_field(&stats, "batch_max") >= 2);
+    assert_eq!(u64_field(&stats, "commit_batch"), 32);
+    assert_eq!(u64_field(&stats, "dispatch_shards"), 1);
+
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 1);
+}
+
+#[test]
+fn named_sessions_are_independent_and_survive_a_kill() {
+    let dir = tmpdir();
+    let socket = dir.join("ns.sock");
+    let checkpoint = dir.join("ns.json");
+    let journal = dir.join("ns.ndjson");
+    let args = [
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+        "--commit-batch",
+        "8",
+        "--dispatch-shards",
+        "2",
+    ];
+    let daemon = Daemon::spawn(&args);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // Interleave two named sessions on one connection: an incorrect spec
+    // into "alpha", a correct one into "beta". Each session's append
+    // counter advances independently of the other's traffic.
+    let alpha = corpus_fragments("figure3.incorrect.json", Some("alpha"));
+    let beta = corpus_fragments("adv-forget-n11.correct.json", Some("beta"));
+    let mut alpha_seen = 0u64;
+    let mut beta_seen = 0u64;
+    let mut last_alpha = None;
+    for k in 0..alpha.len().max(beta.len()) {
+        if let Some(request) = alpha.get(k) {
+            let response = roundtrip(&mut reader, &mut writer, request);
+            alpha_seen += 1;
+            assert_eq!(str_field(&response, "session"), "alpha");
+            assert_eq!(u64_field(&response, "appends"), alpha_seen);
+            last_alpha = Some(response);
+        }
+        if let Some(request) = beta.get(k) {
+            let response = roundtrip(&mut reader, &mut writer, request);
+            beta_seen += 1;
+            assert_eq!(str_field(&response, "session"), "beta");
+            assert_eq!(u64_field(&response, "appends"), beta_seen);
+        }
+    }
+    let last_alpha = last_alpha.unwrap();
+    assert_eq!(str_field(&last_alpha, "verdict"), "not-comp-c");
+    let alpha_level = u64_field(&last_alpha, "level");
+
+    let stats = roundtrip(
+        &mut reader,
+        &mut writer,
+        "{\"op\": \"stats\", \"session\": \"alpha\"}",
+    );
+    assert_eq!(str_field(&stats, "session"), "alpha");
+    assert_eq!(u64_field(&stats, "session_appends"), alpha_seen);
+    // default (always present) + alpha + beta.
+    assert_eq!(u64_field(&stats, "sessions"), 3);
+
+    // Crash hard mid-life (Drop kills the child): acked appends of *both*
+    // sessions must replay.
+    drop(daemon);
+
+    let daemon = Daemon::spawn(&args);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let stats = roundtrip(
+        &mut reader,
+        &mut writer,
+        "{\"op\": \"stats\", \"session\": \"alpha\"}",
+    );
+    assert_eq!(u64_field(&stats, "session_appends"), alpha_seen);
+    let stats = roundtrip(
+        &mut reader,
+        &mut writer,
+        "{\"op\": \"stats\", \"session\": \"beta\"}",
+    );
+    assert_eq!(u64_field(&stats, "session_appends"), beta_seen);
+
+    // The recovered alpha session still answers the same violation.
+    let response = roundtrip(&mut reader, &mut writer, alpha.last().unwrap());
+    assert_eq!(str_field(&response, "session"), "alpha");
+    assert_eq!(str_field(&response, "verdict"), "not-comp-c");
+    assert_eq!(u64_field(&response, "level"), alpha_level);
+
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    assert_eq!(daemon.wait_code(), 1);
+
+    // The multi-session checkpoint document lists sessions by name.
+    let doc = parse(&std::fs::read_to_string(&checkpoint).unwrap()).unwrap();
+    let names: Vec<&str> = doc
+        .get("sessions")
+        .and_then(|s| s.as_array())
+        .expect("multi-session checkpoint has a sessions array")
+        .iter()
+        .map(|s| str_field(s, "session"))
+        .collect();
+    assert!(names.contains(&"alpha") && names.contains(&"beta"));
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "sessions are name-sorted: {names:?}");
+}
+
+#[test]
+fn default_only_journal_and_checkpoint_stay_legacy_shaped() {
+    let dir = tmpdir();
+    let socket = dir.join("lg.sock");
+    let checkpoint = dir.join("lg.json");
+    let journal = dir.join("lg.ndjson");
+    let daemon = Daemon::spawn(&[
+        "--socket",
+        socket.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+        "--commit-batch",
+        "4",
+    ]);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // Two session-less appends: the PR 8 protocol, byte-compatible files.
+    let fragments = figure3_fragments();
+    for request in fragments.iter().take(2) {
+        let response = roundtrip(&mut reader, &mut writer, request);
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    // Journal records for the default session carry no "session" key —
+    // exactly the single-session record shape older daemons replay.
+    let journal_text = std::fs::read_to_string(&journal).unwrap();
+    let records: Vec<Value> = journal_text
+        .lines()
+        .map(|line| parse(line).unwrap())
+        .collect();
+    assert_eq!(records.len(), 2);
+    for (k, record) in records.iter().enumerate() {
+        assert_eq!(u64_field(record, "seq"), k as u64 + 1);
+        assert!(record.get("append").is_some());
+        assert!(
+            record.get("session").is_none(),
+            "default-session records stay legacy-shaped: {}",
+            record.to_compact()
+        );
+    }
+
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    daemon.wait_code();
+
+    // And the checkpoint is the legacy single-session document, not the
+    // multi-session wrapper.
+    let doc = parse(&std::fs::read_to_string(&checkpoint).unwrap()).unwrap();
+    assert!(doc.get("sessions").is_none());
+    assert!(doc.get("spec").is_some());
+    assert_eq!(u64_field(&doc, "appends"), 2);
+}
+
+#[test]
+fn trace_stream_reports_batching_gauges() {
+    let dir = tmpdir();
+    let socket = dir.join("tg.sock");
+    let checkpoint = dir.join("tg.json");
+    let journal = dir.join("tg.ndjson");
+    let stdout_path = dir.join("tg.trace");
+    let stdout = std::fs::File::create(&stdout_path).unwrap();
+    let child = Command::new(env!("CARGO_BIN_EXE_compc-serve"))
+        .args([
+            "--socket",
+            socket.to_str().unwrap(),
+            "--checkpoint",
+            checkpoint.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+            "--commit-batch",
+            "16",
+            "--dispatch-shards",
+            "2",
+            "--trace",
+        ])
+        .stdout(Stdio::from(stdout))
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("compc-serve spawns");
+    let daemon = Daemon(child);
+    let stream = wait_for_socket(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let lines = corpus_fragments("figure3.incorrect.json", Some("t"));
+    let total = 24;
+    let burst: String = (0..total)
+        .map(|k| lines[k % lines.len()].clone() + "\n")
+        .collect();
+    writer.write_all(burst.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    for _ in 0..total {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+    }
+    // The stats op flushes a serve_gauges event into the trace stream.
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"stats\"}");
+    roundtrip(&mut reader, &mut writer, "{\"op\": \"shutdown\"}");
+    daemon.wait_code();
+
+    let trace = std::fs::read_to_string(&stdout_path).unwrap();
+    let gauges = trace
+        .lines()
+        .map(|line| parse(line).unwrap())
+        .find(|event| event.get("event").and_then(Value::as_str) == Some("serve_gauges"))
+        .expect("trace stream contains a serve_gauges event");
+    assert_eq!(str_field(&gauges, "label"), "serve");
+    assert!(u64_field(&gauges, "fsyncs") >= 1);
+    // fsyncs + fsyncs_saved accounts for every journaled record.
+    assert_eq!(
+        u64_field(&gauges, "fsyncs") + u64_field(&gauges, "fsyncs_saved"),
+        total as u64
+    );
+    let buckets = gauges
+        .get("batch_buckets")
+        .and_then(|b| b.as_array())
+        .expect("log2 batch histogram");
+    let batches: u64 = buckets.iter().filter_map(Value::as_u64).sum();
+    assert_eq!(batches, u64_field(&gauges, "fsyncs"));
+    let depths = gauges
+        .get("shard_depths")
+        .and_then(|d| d.as_array())
+        .expect("per-shard queue depths");
+    assert_eq!(depths.len(), 2);
+}

@@ -1,7 +1,10 @@
 //! A short, seeded run of the `serve-soak` kill-anywhere crash-recovery
-//! harness, as a regular test: the daemon is SIGKILLed at random points
-//! while a resilient client streams appends, and the harness asserts zero
-//! acked-append loss plus bit-identical post-recovery verdicts. The CI
+//! harness, as a regular test: the daemon — running with a write-ahead
+//! journal, group commit, and two dispatch shards — is SIGKILLed at
+//! random points (including mid-commit-batch) while concurrent clients
+//! stream appends into the legacy default session and a named one. The
+//! harness asserts zero acked-append loss, no phantom appends beyond what
+//! was delivered, and bit-identical post-recovery verdicts. The CI
 //! `serve-soak` stage and local runs scale the same binary up to hundreds
 //! of kills.
 
@@ -17,6 +20,12 @@ fn mini_soak_survives_a_dozen_random_kills() {
             "1999",
             "--roots",
             "12",
+            "--clients",
+            "2",
+            "--commit-batch",
+            "8",
+            "--dispatch-shards",
+            "2",
             "--daemon",
             env!("CARGO_BIN_EXE_compc-serve"),
         ])
@@ -32,5 +41,9 @@ fn mini_soak_survives_a_dozen_random_kills() {
     assert!(
         stdout.contains("zero acked-append loss"),
         "summary asserts the contract: {stdout}"
+    );
+    assert!(
+        stdout.contains("commit batch 8, 2 shard(s)"),
+        "summary names the batched, sharded configuration: {stdout}"
     );
 }
