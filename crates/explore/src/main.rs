@@ -1,0 +1,130 @@
+//! `compc-explore` — exhaustive small-system exploration.
+//!
+//! ```text
+//! compc-explore [--max-txns N] [--max-ops N] [--max-subtxs N]
+//!               [--max-items N] [--max-nodes N] [--shapes LIST]
+//!               [--naive] [--seconds N] [--out FILE] [--repro DIR]
+//! ```
+//!
+//! Enumerates every program skeleton within the bounds, every
+//! trace-inequivalent composite schedule of each (DPOR-style sleep-set
+//! pruning), and cross-checks each against all engine backends, the
+//! brute-force oracle and the incremental session path. `--naive`
+//! additionally enumerates **all** interleavings to cross-check the class
+//! counts and verdict constancy within each class. `--seconds 0` (the
+//! default) means no time limit. `--shapes` is a comma list drawn from
+//! `flat,stack1,stack2`. `--out FILE` writes the summary (the committed
+//! `docs/results/` artifact); `--repro DIR` writes shrunk reproducers for
+//! any finding.
+//!
+//! Exit codes mirror `compc-check`: 0 clean sweep; 1 disagreement or gate
+//! failure; 2 usage error; 3 time budget exhausted before the bounds were
+//! covered.
+
+use compc_explore::{explore, ExploreConfig, Shape};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: compc-explore [--max-txns N] [--max-ops N] [--max-subtxs N] \
+         [--max-items N] [--max-nodes N] [--shapes flat,stack1,stack2] \
+         [--naive] [--seconds N] [--out FILE] [--repro DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_shapes(list: &str) -> Option<Vec<Shape>> {
+    let mut shapes = Vec::new();
+    for name in list.split(',') {
+        shapes.push(match name.trim() {
+            "flat" => Shape::Flat,
+            "stack1" => Shape::Stack { bottoms: 1 },
+            "stack2" => Shape::Stack { bottoms: 2 },
+            _ => return None,
+        });
+    }
+    if shapes.is_empty() {
+        None
+    } else {
+        Some(shapes)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExploreConfig::default();
+    let mut out_file: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--max-txns" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.bounds.max_txns = v,
+                None => return usage(),
+            },
+            "--max-ops" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.bounds.max_ops = v,
+                None => return usage(),
+            },
+            "--max-subtxs" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.bounds.max_subtxs = v,
+                None => return usage(),
+            },
+            "--max-items" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.bounds.max_items = v,
+                None => return usage(),
+            },
+            "--max-nodes" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.bounds.max_nodes = v,
+                None => return usage(),
+            },
+            "--max-oracle-nodes" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_oracle_nodes = v,
+                None => return usage(),
+            },
+            "--shapes" => match next(&mut i).as_deref().and_then(parse_shapes) {
+                Some(v) => cfg.bounds.shapes = v,
+                None => return usage(),
+            },
+            "--seconds" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seconds = v,
+                None => return usage(),
+            },
+            "--naive" => cfg.naive = true,
+            "--out" => match next(&mut i) {
+                Some(v) => out_file = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--repro" => match next(&mut i) {
+                Some(v) => cfg.repro_dir = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let report = explore(&cfg);
+    let summary = report.render(&cfg);
+    print!("{summary}");
+    if let Some(path) = &out_file {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, &summary) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !report.completed {
+        ExitCode::from(3)
+    } else if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

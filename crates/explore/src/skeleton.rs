@@ -1,0 +1,519 @@
+//! Bounded program skeletons and their realization as composite systems.
+//!
+//! A *skeleton* fixes everything about a small program except the
+//! execution order: the component topology (one flat schedule, or a
+//! two-level middleware-over-database stack), the transaction forest, and
+//! each leaf's read/write access to a small item pool. The conflict
+//! relation is derived from the existing read/write commutativity table
+//! ([`CommutativityTable::read_write`]). [`enumerate_skeletons`] walks
+//! **every** skeleton within [`Bounds`]; [`Skeleton::programs`] exposes the
+//! per-schedule execution spaces for trace enumeration, and
+//! [`Skeleton::realize`] materializes one choice of per-schedule total
+//! orders as a buildable [`CompositeSystem`].
+//!
+//! The enumeration is exhaustive but not canonical: skeletons that differ
+//! only by renaming items or permuting roots are all visited. That
+//! redundancy is deliberate — each one is cheap to check, and symmetry
+//! reduction would be one more thing to prove sound.
+
+use crate::trace::{Linearization, ScheduleProgram};
+use compc_model::{
+    CommutativityTable, CompositeSystem, ItemId, ModelError, NodeId, OpSpec, SystemBuilder,
+};
+
+/// The component topology of a skeleton.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// One schedule; roots carry leaf operations directly.
+    Flat,
+    /// A middleware schedule over `bottoms` database schedules: every root
+    /// is a middleware transaction whose operations are subtransactions,
+    /// assigned round-robin to the bottom schedules; leaves live in the
+    /// subtransactions.
+    Stack {
+        /// Bottom schedule count (1 = classic stack, 2 = federation).
+        bottoms: usize,
+    },
+}
+
+impl Shape {
+    /// Stable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Shape::Flat => "flat".to_string(),
+            Shape::Stack { bottoms } => format!("stack{bottoms}"),
+        }
+    }
+}
+
+/// One leaf operation: which item it touches and whether it writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeafSkel {
+    /// Item index within the (per-schedule) pool.
+    pub item: u32,
+    /// Write (`true`) or read (`false`).
+    pub write: bool,
+}
+
+impl LeafSkel {
+    fn spec(&self) -> OpSpec {
+        if self.write {
+            OpSpec::write(ItemId(self.item))
+        } else {
+            OpSpec::read(ItemId(self.item))
+        }
+    }
+
+    /// Whether two leaves conflict under the existing read/write table.
+    pub fn conflicts(&self, other: &LeafSkel) -> bool {
+        CommutativityTable::read_write().conflicts(self.spec(), other.spec())
+    }
+}
+
+/// A program skeleton: shape plus, per root, its operation groups.
+///
+/// For [`Shape::Flat`] every root has exactly one group — its leaves. For
+/// [`Shape::Stack`] group `j` of root `i` is subtransaction `u{i}_{j}`,
+/// homed at bottom schedule `j % bottoms`.
+#[derive(Clone, Debug)]
+pub struct Skeleton {
+    /// Component topology.
+    pub shape: Shape,
+    /// `roots[i][j]` = leaves of group `j` of root `i`, in program order.
+    pub roots: Vec<Vec<Vec<LeafSkel>>>,
+}
+
+/// Exploration bounds. Every skeleton with at most these dimensions is
+/// enumerated; [`Bounds::max_nodes`] caps the total node count (roots +
+/// subtransactions + leaves) of any single program.
+#[derive(Clone, Debug)]
+pub struct Bounds {
+    /// Root transactions per program (≥ 1).
+    pub max_txns: usize,
+    /// Leaves per group (flat root / stack subtransaction).
+    pub max_ops: usize,
+    /// Subtransactions per root in stack shapes.
+    pub max_subtxs: usize,
+    /// Distinct data items per schedule.
+    pub max_items: usize,
+    /// Total nodes per program; skeletons over this budget are skipped
+    /// (and counted).
+    pub max_nodes: usize,
+    /// Shapes to enumerate.
+    pub shapes: Vec<Shape>,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            max_txns: 2,
+            max_ops: 2,
+            max_subtxs: 2,
+            max_items: 2,
+            max_nodes: 12,
+            shapes: vec![
+                Shape::Flat,
+                Shape::Stack { bottoms: 1 },
+                Shape::Stack { bottoms: 2 },
+            ],
+        }
+    }
+}
+
+impl Skeleton {
+    /// Total node count: roots, plus subtransactions (stack only), plus
+    /// leaves.
+    pub fn node_count(&self) -> usize {
+        let roots = self.roots.len();
+        let groups: usize = self.roots.iter().map(Vec::len).sum();
+        let leaves: usize = self.roots.iter().flat_map(|r| r.iter()).map(Vec::len).sum();
+        match self.shape {
+            Shape::Flat => roots + leaves,
+            Shape::Stack { .. } => roots + groups + leaves,
+        }
+    }
+
+    /// Which bottom schedule group `j` is homed at.
+    fn bottom_of(&self, group: usize) -> usize {
+        match self.shape {
+            Shape::Flat => 0,
+            Shape::Stack { bottoms } => group % bottoms,
+        }
+    }
+
+    /// Whether two stack groups (as middleware operations) conflict: both
+    /// homed at the same bottom schedule with at least one conflicting
+    /// leaf pair — the sound abstraction of the lower conflicts.
+    fn groups_conflict(&self, (r1, g1): (usize, usize), (r2, g2): (usize, usize)) -> bool {
+        if self.bottom_of(g1) != self.bottom_of(g2) {
+            return false;
+        }
+        self.roots[r1][g1]
+            .iter()
+            .any(|a| self.roots[r2][g2].iter().any(|b| a.conflicts(b)))
+    }
+
+    /// The per-schedule execution spaces, in the fixed schedule order that
+    /// [`Skeleton::realize`] expects: flat → `[S0]`; stack → `[middleware,
+    /// db0, …]`.
+    ///
+    /// Dependence is: same transaction, or conflicting under the
+    /// read/write table — plus, for middleware operations
+    /// (subtransactions), *any* pair homed at the same bottom schedule.
+    /// The latter is forced by Definition 4.7: the middleware's output
+    /// order over same-home subtransactions propagates into the bottom
+    /// schedule's binding input order, so commuting such a pair is
+    /// observable below even without a conflict.
+    pub fn programs(&self) -> Vec<ScheduleProgram> {
+        match self.shape {
+            Shape::Flat => {
+                // Op index space: leaves in (root, position) order.
+                let mut chains = Vec::new();
+                let mut leaves = Vec::new();
+                for root in &self.roots {
+                    let mut chain = Vec::new();
+                    for leaf in &root[0] {
+                        chain.push(leaves.len());
+                        leaves.push((*leaf, chains.len()));
+                    }
+                    chains.push(chain);
+                }
+                let n = leaves.len();
+                let mut dep = vec![vec![false; n]; n];
+                for (a, &(la, ca)) in leaves.iter().enumerate() {
+                    for (b, &(lb, cb)) in leaves.iter().enumerate() {
+                        if a != b && (ca == cb || la.conflicts(&lb)) {
+                            dep[a][b] = true;
+                        }
+                    }
+                }
+                vec![ScheduleProgram { chains, dep }]
+            }
+            Shape::Stack { bottoms } => {
+                // Middleware: ops = groups in (root, group) order.
+                let mut mw_chains = Vec::new();
+                let mut groups = Vec::new(); // (root, group) per op index
+                for (r, root) in self.roots.iter().enumerate() {
+                    let mut chain = Vec::new();
+                    for g in 0..root.len() {
+                        chain.push(groups.len());
+                        groups.push((r, g));
+                    }
+                    mw_chains.push(chain);
+                }
+                let n = groups.len();
+                let mut mw_dep = vec![vec![false; n]; n];
+                for (a, &(r1, g1)) in groups.iter().enumerate() {
+                    for (b, &(r2, g2)) in groups.iter().enumerate() {
+                        if a != b && (r1 == r2 || self.bottom_of(g1) == self.bottom_of(g2)) {
+                            mw_dep[a][b] = true;
+                        }
+                    }
+                }
+                let mut out = vec![ScheduleProgram {
+                    chains: mw_chains,
+                    dep: mw_dep,
+                }];
+                // Each bottom: ops = leaves of its groups, chained per
+                // group (a group is a transaction of the bottom schedule).
+                for k in 0..bottoms {
+                    let mut chains = Vec::new();
+                    let mut leaves = Vec::new();
+                    for root in &self.roots {
+                        for (g, group) in root.iter().enumerate() {
+                            if g % bottoms != k {
+                                continue;
+                            }
+                            let mut chain = Vec::new();
+                            for leaf in group {
+                                chain.push(leaves.len());
+                                leaves.push((*leaf, chains.len()));
+                            }
+                            chains.push(chain);
+                        }
+                    }
+                    let m = leaves.len();
+                    let mut dep = vec![vec![false; m]; m];
+                    for (a, &(la, ca)) in leaves.iter().enumerate() {
+                        for (b, &(lb, cb)) in leaves.iter().enumerate() {
+                            if a != b && (ca == cb || la.conflicts(&lb)) {
+                                dep[a][b] = true;
+                            }
+                        }
+                    }
+                    out.push(ScheduleProgram { chains, dep });
+                }
+                out
+            }
+        }
+    }
+
+    /// Materializes this skeleton with one total order per schedule
+    /// (parallel to [`Skeleton::programs`], each a linear extension of
+    /// that program's chains) as a validated composite system.
+    pub fn realize(&self, orders: &[Linearization]) -> Result<CompositeSystem, ModelError> {
+        let mut b = SystemBuilder::new();
+        let table = CommutativityTable::read_write();
+        // Per schedule, the NodeIds in the same index space programs() used.
+        let mut sched_ops: Vec<Vec<NodeId>> = Vec::new();
+        match self.shape {
+            Shape::Flat => {
+                let s0 = b.schedule("S0");
+                let mut ops = Vec::new();
+                let mut metas: Vec<LeafSkel> = Vec::new();
+                for (r, root) in self.roots.iter().enumerate() {
+                    let t = b.root(format!("T{}", r + 1), s0);
+                    let mut prev: Option<NodeId> = None;
+                    for (o, leaf) in root[0].iter().enumerate() {
+                        let name = leaf_name(r, 0, o, leaf);
+                        let id = b.leaf(name, t);
+                        if let Some(p) = prev {
+                            b.tx_weak_order(p, id)?;
+                        }
+                        prev = Some(id);
+                        ops.push(id);
+                        metas.push(*leaf);
+                    }
+                }
+                declare_leaf_conflicts(&mut b, &ops, &metas, &table)?;
+                sched_ops.push(ops);
+            }
+            Shape::Stack { bottoms } => {
+                let mw = b.schedule("mw");
+                let dbs: Vec<_> = (0..bottoms).map(|k| b.schedule(format!("db{k}"))).collect();
+                let mut mw_ops = Vec::new();
+                let mut mw_meta: Vec<(usize, usize)> = Vec::new();
+                let mut per_bottom: Vec<(Vec<NodeId>, Vec<LeafSkel>)> =
+                    vec![(Vec::new(), Vec::new()); bottoms];
+                for (r, root) in self.roots.iter().enumerate() {
+                    let t = b.root(format!("T{}", r + 1), mw);
+                    let mut prev_u: Option<NodeId> = None;
+                    for (g, group) in root.iter().enumerate() {
+                        let k = g % bottoms;
+                        let u = b.subtx(format!("u{}_{}", r + 1, g + 1), t, dbs[k]);
+                        if let Some(p) = prev_u {
+                            b.tx_weak_order(p, u)?;
+                        }
+                        prev_u = Some(u);
+                        mw_ops.push(u);
+                        mw_meta.push((r, g));
+                        let mut prev_o: Option<NodeId> = None;
+                        for (o, leaf) in group.iter().enumerate() {
+                            let name = leaf_name(r, g, o, leaf);
+                            let id = b.leaf(name, u);
+                            if let Some(p) = prev_o {
+                                b.tx_weak_order(p, id)?;
+                            }
+                            prev_o = Some(id);
+                            per_bottom[k].0.push(id);
+                            per_bottom[k].1.push(*leaf);
+                        }
+                    }
+                }
+                // Middleware conflicts: the sound abstraction of the
+                // bottom-level conflicts.
+                for a in 0..mw_ops.len() {
+                    for bb in a + 1..mw_ops.len() {
+                        if self.groups_conflict(mw_meta[a], mw_meta[bb]) {
+                            b.conflict(mw_ops[a], mw_ops[bb])?;
+                        }
+                    }
+                }
+                sched_ops.push(mw_ops);
+                for (ops, metas) in &per_bottom {
+                    declare_leaf_conflicts(&mut b, ops, metas, &table)?;
+                    sched_ops.push(ops.clone());
+                }
+            }
+        }
+        // One total output order per schedule: chain consecutive pairs of
+        // the chosen linearization; the weak relation closes transitively.
+        for (s, order) in orders.iter().enumerate() {
+            for w in order.windows(2) {
+                b.output_weak(sched_ops[s][w[0]], sched_ops[s][w[1]])?;
+            }
+        }
+        b.propagate_orders()?;
+        b.build()
+    }
+}
+
+/// Unique, self-describing leaf name: position plus access, e.g. `o2_1_1_rx0`.
+fn leaf_name(root: usize, group: usize, op: usize, leaf: &LeafSkel) -> String {
+    format!(
+        "o{}_{}_{}_{}x{}",
+        root + 1,
+        group + 1,
+        op + 1,
+        if leaf.write { "w" } else { "r" },
+        leaf.item
+    )
+}
+
+fn declare_leaf_conflicts(
+    b: &mut SystemBuilder,
+    ops: &[NodeId],
+    metas: &[LeafSkel],
+    table: &CommutativityTable,
+) -> Result<(), ModelError> {
+    for i in 0..ops.len() {
+        for j in i + 1..ops.len() {
+            if table.conflicts(metas[i].spec(), metas[j].spec()) {
+                b.conflict(ops[i], ops[j])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Every skeleton within `bounds`, including those over the node budget
+/// (the caller counts and skips them — the report distinguishes "not in
+/// the space" from "in the space but over budget").
+pub fn enumerate_skeletons(bounds: &Bounds) -> Vec<Skeleton> {
+    let mut out = Vec::new();
+    let groups = group_choices(bounds.max_ops, bounds.max_items);
+    for &shape in &bounds.shapes {
+        let root_choices: Vec<Vec<Vec<LeafSkel>>> = match shape {
+            // Flat roots have exactly one group.
+            Shape::Flat => groups.iter().map(|g| vec![g.clone()]).collect(),
+            Shape::Stack { .. } => {
+                let mut roots = Vec::new();
+                for count in 1..=bounds.max_subtxs {
+                    append_products(&groups, count, &mut roots);
+                }
+                roots
+            }
+        };
+        for txns in 1..=bounds.max_txns {
+            let mut programs: Vec<Vec<Vec<Vec<LeafSkel>>>> = Vec::new();
+            append_products(&root_choices, txns, &mut programs);
+            for roots in programs {
+                out.push(Skeleton { shape, roots });
+            }
+        }
+    }
+    out
+}
+
+/// All leaf vectors of length `1..=max_ops` over `max_items` items × {r, w}.
+fn group_choices(max_ops: usize, max_items: usize) -> Vec<Vec<LeafSkel>> {
+    let mut leaves = Vec::new();
+    for item in 0..max_items as u32 {
+        for write in [false, true] {
+            leaves.push(LeafSkel { item, write });
+        }
+    }
+    let mut out = Vec::new();
+    for len in 1..=max_ops {
+        append_products(&leaves, len, &mut out);
+    }
+    out
+}
+
+/// Appends every length-`len` sequence over `choices` to `out`.
+fn append_products<T: Clone>(choices: &[T], len: usize, out: &mut Vec<Vec<T>>) {
+    let mut counters = vec![0usize; len];
+    if choices.is_empty() || len == 0 {
+        return;
+    }
+    loop {
+        out.push(counters.iter().map(|&i| choices[i].clone()).collect());
+        let mut pos = len;
+        loop {
+            if pos == 0 {
+                return;
+            }
+            pos -= 1;
+            counters[pos] += 1;
+            if counters[pos] < choices.len() {
+                break;
+            }
+            counters[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_choice_counts_match_the_formula() {
+        // (2 items × 2 modes)^1 + (…)^2 = 4 + 16 = 20.
+        assert_eq!(group_choices(2, 2).len(), 20);
+        assert_eq!(group_choices(1, 1).len(), 2);
+    }
+
+    #[test]
+    fn flat_enumeration_count_is_exact() {
+        let bounds = Bounds {
+            max_txns: 2,
+            max_ops: 2,
+            max_items: 2,
+            shapes: vec![Shape::Flat],
+            ..Bounds::default()
+        };
+        // 1 root: 20 skeletons; 2 roots: 20² = 400.
+        assert_eq!(enumerate_skeletons(&bounds).len(), 420);
+    }
+
+    #[test]
+    fn every_tiny_skeleton_realizes_and_builds() {
+        let bounds = Bounds {
+            max_txns: 2,
+            max_ops: 1,
+            max_subtxs: 2,
+            max_items: 1,
+            max_nodes: 10,
+            shapes: vec![
+                Shape::Flat,
+                Shape::Stack { bottoms: 1 },
+                Shape::Stack { bottoms: 2 },
+            ],
+        };
+        let mut built = 0usize;
+        for sk in enumerate_skeletons(&bounds) {
+            if sk.node_count() > bounds.max_nodes {
+                continue;
+            }
+            let programs = sk.programs();
+            let orders: Vec<_> = programs
+                .iter()
+                .map(|p| p.trace_classes().into_iter().next().unwrap_or_default())
+                .collect();
+            let sys = sk.realize(&orders).expect("tiny skeletons must build");
+            assert_eq!(sys.node_count(), sk.node_count());
+            built += 1;
+        }
+        assert!(built >= 90, "expected a real population, got {built}");
+    }
+
+    #[test]
+    fn stack_dependence_marks_same_home_subtxs() {
+        // Two roots, one subtx each, one bottom: the two middleware ops
+        // share a home, so they must be dependent even without conflicts.
+        let sk = Skeleton {
+            shape: Shape::Stack { bottoms: 1 },
+            roots: vec![
+                vec![vec![LeafSkel {
+                    item: 0,
+                    write: false,
+                }]],
+                vec![vec![LeafSkel {
+                    item: 1,
+                    write: false,
+                }]],
+            ],
+        };
+        let programs = sk.programs();
+        assert_eq!(programs.len(), 2);
+        assert!(
+            programs[0].dep[0][1],
+            "same-home subtxs are order-observable"
+        );
+        // The two reads on distinct items below are independent.
+        assert!(!programs[1].dep[0][1]);
+        assert_eq!(programs[0].trace_classes().len(), 2);
+        assert_eq!(programs[1].trace_classes().len(), 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Mazurkiewicz-trace enumeration of one schedule's interleavings.
+//!
+//! A schedule's execution space is the set of linear extensions of its
+//! per-transaction program-order chains. Two interleavings are
+//! *trace-equivalent* when one can be turned into the other by repeatedly
+//! commuting adjacent **independent** operations; the *dependence* relation
+//! is fixed per program (see [`ScheduleProgram::dep`]) and contains at
+//! least every same-transaction pair and every conflicting pair, so a
+//! trace class is exactly a choice of direction for each dependent pair.
+//!
+//! [`ScheduleProgram::trace_classes`] enumerates one representative per
+//! class with a sleep-set DFS (Godefroid's algorithm with the full enabled
+//! set as the persistent set: sound — every class is visited — and here
+//! also non-redundant — complete runs are pairwise inequivalent, which
+//! [`ScheduleProgram::trace_key`] lets callers verify instead of trust).
+//! [`ScheduleProgram::linearizations`] is the naive enumeration used by the
+//! `--naive` counting cross-check.
+
+use std::collections::BTreeSet;
+
+/// One schedule's execution space: program-order chains plus a symmetric
+/// dependence relation over the operation index space `0..n`.
+#[derive(Clone, Debug)]
+pub struct ScheduleProgram {
+    /// Per transaction, its operations (global indices) in program order.
+    pub chains: Vec<Vec<usize>>,
+    /// Symmetric dependence matrix (`dep[a][b]` — commuting `a` and `b`
+    /// changes the trace). Must contain every same-chain pair; the
+    /// diagonal is ignored.
+    pub dep: Vec<Vec<bool>>,
+}
+
+/// An interleaving: operation indices in execution order.
+pub type Linearization = Vec<usize>;
+
+/// The canonical trace key of an interleaving: every dependent pair in its
+/// executed direction, sorted. Two interleavings of the same program are
+/// trace-equivalent iff their keys are equal.
+pub type TraceKey = Vec<(usize, usize)>;
+
+impl ScheduleProgram {
+    /// Total operation count.
+    pub fn op_count(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+
+    /// The canonical trace key of `lin`.
+    pub fn trace_key(&self, lin: &[usize]) -> TraceKey {
+        let mut key = Vec::new();
+        for (i, &a) in lin.iter().enumerate() {
+            for &b in &lin[i + 1..] {
+                if self.dep[a][b] {
+                    key.push((a, b));
+                }
+            }
+        }
+        key.sort_unstable();
+        key
+    }
+
+    /// One representative interleaving per trace class, via sleep-set DFS.
+    pub fn trace_classes(&self) -> Vec<Linearization> {
+        let mut out = Vec::new();
+        let mut next = vec![0usize; self.chains.len()];
+        let mut prefix = Vec::with_capacity(self.op_count());
+        self.sleep_dfs(&mut next, &mut prefix, &BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn sleep_dfs(
+        &self,
+        next: &mut [usize],
+        prefix: &mut Linearization,
+        sleep: &BTreeSet<usize>,
+        out: &mut Vec<Linearization>,
+    ) {
+        let enabled: Vec<(usize, usize)> = self
+            .chains
+            .iter()
+            .enumerate()
+            .filter_map(|(c, chain)| chain.get(next[c]).map(|&op| (c, op)))
+            .collect();
+        if enabled.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        // Explore each enabled op not in the sleep set; ops explored
+        // earlier from this state go to sleep in later branches (they
+        // stay enabled — chains only ever unlock new ops of the same
+        // chain) unless the branch op is dependent on them.
+        let mut explored: Vec<usize> = Vec::new();
+        for &(c, op) in &enabled {
+            if sleep.contains(&op) {
+                continue;
+            }
+            let child_sleep: BTreeSet<usize> = sleep
+                .iter()
+                .chain(explored.iter())
+                .copied()
+                .filter(|&z| !self.dep[z][op])
+                .collect();
+            next[c] += 1;
+            prefix.push(op);
+            self.sleep_dfs(next, prefix, &child_sleep, out);
+            prefix.pop();
+            next[c] -= 1;
+            explored.push(op);
+        }
+    }
+
+    /// Every interleaving (naive enumeration, no pruning).
+    pub fn linearizations(&self) -> Vec<Linearization> {
+        let mut out = Vec::new();
+        let mut next = vec![0usize; self.chains.len()];
+        let mut prefix = Vec::with_capacity(self.op_count());
+        self.naive_dfs(&mut next, &mut prefix, &mut out);
+        out
+    }
+
+    fn naive_dfs(
+        &self,
+        next: &mut [usize],
+        prefix: &mut Linearization,
+        out: &mut Vec<Linearization>,
+    ) {
+        let mut any = false;
+        for c in 0..self.chains.len() {
+            if let Some(&op) = self.chains[c].get(next[c]) {
+                any = true;
+                next[c] += 1;
+                prefix.push(op);
+                self.naive_dfs(next, prefix, out);
+                prefix.pop();
+                next[c] -= 1;
+            }
+        }
+        if !any {
+            out.push(prefix.clone());
+        }
+    }
+
+    /// The pruning-soundness gates for this program, run on demand:
+    ///
+    /// 1. sleep-set representatives are pairwise trace-inequivalent
+    ///    (distinct keys — no double visit);
+    /// 2. with `naive`, grouping **all** interleavings by trace key yields
+    ///    exactly the representative key set (no missed class), and the
+    ///    class sizes (commutation multiplicities) sum back to the naive
+    ///    count.
+    ///
+    /// Returns `(class count, naive count)` or a description of the first
+    /// violated gate.
+    pub fn counting_gates(&self, naive: bool) -> Result<(usize, usize), String> {
+        let classes = self.trace_classes();
+        let keys: BTreeSet<TraceKey> = classes.iter().map(|l| self.trace_key(l)).collect();
+        if keys.len() != classes.len() {
+            return Err(format!(
+                "sleep-set enumeration visited {} runs but only {} distinct trace classes",
+                classes.len(),
+                keys.len()
+            ));
+        }
+        if !naive {
+            return Ok((classes.len(), 0));
+        }
+        let lins = self.linearizations();
+        let mut sizes: std::collections::BTreeMap<TraceKey, usize> = Default::default();
+        for lin in &lins {
+            *sizes.entry(self.trace_key(lin)).or_default() += 1;
+        }
+        if sizes.keys().cloned().collect::<BTreeSet<_>>() != keys {
+            return Err(format!(
+                "naive enumeration found {} trace classes, sleep sets found {}",
+                sizes.len(),
+                keys.len()
+            ));
+        }
+        let total: usize = sizes.values().sum();
+        if total != lins.len() {
+            return Err(format!(
+                "class multiplicities sum to {total} but {} interleavings were enumerated",
+                lins.len()
+            ));
+        }
+        Ok((classes.len(), lins.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `n` single-op chains with the given dependent pairs.
+    fn singletons(n: usize, dep_pairs: &[(usize, usize)]) -> ScheduleProgram {
+        let mut dep = vec![vec![false; n]; n];
+        for &(a, b) in dep_pairs {
+            dep[a][b] = true;
+            dep[b][a] = true;
+        }
+        ScheduleProgram {
+            chains: (0..n).map(|i| vec![i]).collect(),
+            dep,
+        }
+    }
+
+    #[test]
+    fn independent_singletons_collapse_to_one_class() {
+        let p = singletons(3, &[]);
+        assert_eq!(p.trace_classes().len(), 1);
+        assert_eq!(p.linearizations().len(), 6);
+        assert_eq!(p.counting_gates(true).unwrap(), (1, 6));
+    }
+
+    #[test]
+    fn one_dependent_pair_gives_two_classes() {
+        let p = singletons(3, &[(0, 1)]);
+        assert_eq!(p.counting_gates(true).unwrap(), (2, 6));
+    }
+
+    #[test]
+    fn fully_dependent_singletons_give_all_permutations() {
+        let p = singletons(3, &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(p.counting_gates(true).unwrap(), (6, 6));
+    }
+
+    #[test]
+    fn two_chains_of_two_with_one_conflict() {
+        // Chains [0,1] and [2,3]; the only cross dependence is (1,2).
+        let mut dep = vec![vec![false; 4]; 4];
+        for (a, b) in [(0usize, 1usize), (2, 3), (1, 2)] {
+            dep[a][b] = true;
+            dep[b][a] = true;
+        }
+        let p = ScheduleProgram {
+            chains: vec![vec![0, 1], vec![2, 3]],
+            dep,
+        };
+        // 4!/(2!2!) = 6 interleavings; the trace is decided by the
+        // direction of (1,2) alone, so exactly 2 classes.
+        assert_eq!(p.counting_gates(true).unwrap(), (2, 6));
+    }
+
+    #[test]
+    fn trace_key_is_invariant_within_a_class() {
+        let p = singletons(3, &[(0, 1)]);
+        // 0 before 1, 2 anywhere: all three are the same trace.
+        assert_eq!(p.trace_key(&[2, 0, 1]), p.trace_key(&[0, 2, 1]));
+        assert_eq!(p.trace_key(&[0, 1, 2]), p.trace_key(&[0, 2, 1]));
+        assert_ne!(p.trace_key(&[1, 0, 2]), p.trace_key(&[0, 1, 2]));
+    }
+}

@@ -10,6 +10,15 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// The three closure backends with stable labels — the single table every
+/// replay loop iterates, so adding a backend cannot silently skip the
+/// corpus (per-backend copies of the loop used to drift).
+pub const BACKENDS: [(&str, Backend); 3] = [
+    ("sparse", Backend::Sparse),
+    ("dense", Backend::Dense),
+    ("compressed", Backend::Compressed),
+];
+
 /// The expected Comp-C verdict encoded in a corpus filename, if any.
 pub fn expected_from_name(name: &str) -> Option<bool> {
     if name.ends_with(".correct.json") {
@@ -87,27 +96,14 @@ fn replay_file(path: &Path, expected: bool, max_oracle_nodes: usize) -> Result<b
     let text = fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let spec = SystemSpec::parse(&text).map_err(|e| format!("parse failed: {e}"))?;
     let sys = spec.build().map_err(|e| format!("build failed: {e}"))?;
-    let sparse = Checker::with_options(CheckOptions::new().backend(Backend::Sparse)).check(&sys);
-    if sparse.is_correct() != expected {
-        return Err(format!(
-            "sparse engine says {}, file expects {expected}",
-            sparse.is_correct()
-        ));
-    }
-    let dense = Checker::with_options(CheckOptions::new().backend(Backend::Dense)).check(&sys);
-    if dense.is_correct() != expected {
-        return Err(format!(
-            "dense engine says {}, file expects {expected}",
-            dense.is_correct()
-        ));
-    }
-    let compressed =
-        Checker::with_options(CheckOptions::new().backend(Backend::Compressed)).check(&sys);
-    if compressed.is_correct() != expected {
-        return Err(format!(
-            "compressed engine says {}, file expects {expected}",
-            compressed.is_correct()
-        ));
+    for (label, backend) in BACKENDS {
+        let verdict = Checker::with_options(CheckOptions::new().backend(backend)).check(&sys);
+        if verdict.is_correct() != expected {
+            return Err(format!(
+                "{label} engine says {}, file expects {expected}",
+                verdict.is_correct()
+            ));
+        }
     }
     let oracle_ran = sys.node_count() <= max_oracle_nodes;
     if oracle_ran {

@@ -4,7 +4,7 @@ use compc::session::SpecSession;
 use compc::spec::SystemSpec;
 use compc_classic::{is_csr, History};
 use compc_configs::{is_fcc, is_jcc, is_scc, stack_shape};
-use compc_core::{check, Backend, CheckOptions, Checker, FailurePhase, Verdict};
+use compc_core::{Backend, CheckOptions, Checker, FailurePhase, Verdict};
 use compc_model::{CompositeSystem, NodeId};
 use compc_oracle::{decide, OracleVerdict, RejectReason};
 use std::collections::{BTreeMap, BTreeSet};
@@ -209,8 +209,8 @@ pub enum Mismatch {
         csr: bool,
     },
     /// The incremental session replay diverged from the batch check: a
-    /// fragment failed to append, the final incremental verdict is not
-    /// bit-identical to a from-scratch check of the merged system, or the
+    /// fragment failed to append, an intermediate prefix verdict is not
+    /// bit-identical to a from-scratch check of the merged prefix, or the
     /// replayed acceptance differs from the engine's verdict on the
     /// original declaration order.
     Session {
@@ -371,63 +371,33 @@ pub fn differential_check(
 }
 
 /// Append-order replay: splits `sys` into one spec fragment per root
-/// subtree, feeds them through an incremental [`SpecSession`] in order, and
-/// demands (a) every fragment appends cleanly — each prefix is a
+/// subtree and feeds them through [`SpecSession::replay_bit_identical`],
+/// which demands (a) every fragment appends cleanly — each prefix is a
 /// restriction of a valid system to complete root subtrees, so the model
-/// axioms hold for it — (b) the final incremental verdict is *bit-identical*
-/// (full `Debug` structure: fronts, witness, cycle) to a from-scratch
-/// [`check`] of the merged system, and (c) acceptance agrees with the
-/// engine's verdict on the original declaration order, which the merge may
-/// have permuted. Returns whether the replay had more than one fragment.
+/// axioms hold for it — and (b) the verdict after *every* append is
+/// *bit-identical* (full `Debug` structure: fronts, witness, cycle) to a
+/// from-scratch [`compc_core::check`] of the merged prefix. On top of that, the final
+/// replayed acceptance must agree with the engine's verdict on the original
+/// declaration order, which the merge may have permuted. Returns whether
+/// the replay had more than one fragment.
 fn session_replay(sys: &CompositeSystem, engine: bool) -> Result<bool, Mismatch> {
     let fragments = SystemSpec::from_system(sys).into_appends();
-    let mut session = SpecSession::new();
-    for (i, fragment) in fragments.iter().enumerate() {
-        if let Err(e) = session.append(fragment) {
-            return Err(Mismatch::Session {
-                detail: format!("fragment {} of {} rejected: {e}", i + 1, fragments.len()),
-            });
-        }
-    }
-    let Some(merged) = session.system() else {
+    let verdicts = SpecSession::replay_bit_identical(&fragments, CheckOptions::default())
+        .map_err(|detail| Mismatch::Session { detail })?;
+    let Some(last) = verdicts.last() else {
         return Err(Mismatch::Session {
             detail: "replay produced no system".to_string(),
         });
     };
-    let incremental = session.verdict().expect("append succeeded");
-    let batch = check(merged);
-    if format!("{incremental:?}") != format!("{batch:?}") {
-        return Err(Mismatch::Session {
-            detail: format!(
-                "incremental verdict not bit-identical to batch: {} vs {}",
-                summarize(incremental),
-                summarize(&batch)
-            ),
-        });
-    }
-    if incremental.is_correct() != engine {
+    if last.is_correct() != engine {
         return Err(Mismatch::Session {
             detail: format!(
                 "replayed (merge-reordered) system says {}, original order says {engine}",
-                incremental.is_correct()
+                last.is_correct()
             ),
         });
     }
     Ok(fragments.len() > 1)
-}
-
-fn summarize(verdict: &Verdict) -> String {
-    match verdict {
-        Verdict::Correct(proof) => format!(
-            "Correct({} fronts, witness {:?})",
-            proof.fronts.len(),
-            proof.serial_witness
-        ),
-        Verdict::Incorrect(cex) => format!(
-            "Incorrect(level {}, {:?}, cycle {:?})",
-            cex.level, cex.phase, cex.cycle_names
-        ),
-    }
 }
 
 /// CSR cross-check for a flat history embedding: the classic criterion on

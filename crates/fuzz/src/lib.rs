@@ -35,12 +35,34 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// How long to fuzz.
+///
+/// Both variants treat `0` as a sentinel for "no limit": `Count(0)` and
+/// `Seconds(0)` never exhaust, turning the run into a soak that only an
+/// external signal stops. The two sentinels are deliberately consistent —
+/// see [`Budget::exhausted`].
 #[derive(Clone, Copy, Debug)]
 pub enum Budget {
-    /// Check exactly this many generated systems.
+    /// Check exactly this many generated systems (`0` = unlimited).
     Count(u64),
-    /// Keep generating for this many seconds.
+    /// Keep generating for this many seconds (`0` = unlimited).
     Seconds(u64),
+}
+
+impl Budget {
+    /// Whether this budget is the `0` sentinel ("no limit").
+    pub fn is_unlimited(&self) -> bool {
+        matches!(self, Budget::Count(0) | Budget::Seconds(0))
+    }
+
+    /// The stop condition given work done so far. `Count(0)` and
+    /// `Seconds(0)` both mean "no limit" and are never exhausted.
+    pub fn exhausted(&self, systems: u64, elapsed: std::time::Duration) -> bool {
+        match *self {
+            Budget::Count(0) | Budget::Seconds(0) => false,
+            Budget::Count(n) => systems >= n,
+            Budget::Seconds(s) => elapsed.as_secs() >= s,
+        }
+    }
 }
 
 /// Fuzzer configuration.
@@ -128,10 +150,8 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let mut report = FuzzReport::default();
     let mut iter: u64 = 0;
     loop {
-        match cfg.budget {
-            Budget::Count(n) if report.stats.systems >= n => break,
-            Budget::Seconds(s) if start.elapsed().as_secs() >= s => break,
-            _ => {}
+        if cfg.budget.exhausted(report.stats.systems, start.elapsed()) {
+            break;
         }
         let case = gen::generate_case(cfg.seed, iter);
         iter += 1;
@@ -218,4 +238,33 @@ fn record_disagreement(
         let _ = corpus::write_reproducer(dir, &stem, &dis.shrunk_spec);
     }
     report.disagreements.push(dis);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Budget;
+    use std::time::Duration;
+
+    #[test]
+    fn zero_budgets_are_unlimited_sentinels() {
+        // Both `--count 0` and `--seconds 0` mean "no limit", consistently.
+        for b in [Budget::Count(0), Budget::Seconds(0)] {
+            assert!(b.is_unlimited());
+            assert!(!b.exhausted(0, Duration::ZERO));
+            assert!(!b.exhausted(u64::MAX, Duration::from_secs(u64::MAX)));
+        }
+    }
+
+    #[test]
+    fn nonzero_budgets_exhaust_at_their_bound() {
+        let count = Budget::Count(3);
+        assert!(!count.is_unlimited());
+        assert!(!count.exhausted(2, Duration::from_secs(u64::MAX)));
+        assert!(count.exhausted(3, Duration::ZERO));
+
+        let secs = Budget::Seconds(5);
+        assert!(!secs.is_unlimited());
+        assert!(!secs.exhausted(u64::MAX, Duration::from_secs(4)));
+        assert!(secs.exhausted(0, Duration::from_secs(5)));
+    }
 }

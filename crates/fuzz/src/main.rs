@@ -10,7 +10,8 @@
 //! * then fuzzes for `--count` systems or `--seconds` seconds (default:
 //!   1000 systems), cross-checking engine backends, oracle and classic
 //!   criteria; any disagreement is shrunk, written under `--out` (if given)
-//!   and makes the run exit 1;
+//!   and makes the run exit 1. `--count 0` and `--seconds 0` both mean
+//!   **no limit** — a soak that runs until killed;
 //! * `--harvest N DIR` instead harvests `N` shrunk adversarial systems into
 //!   `DIR` as corpus entries and exits.
 //!

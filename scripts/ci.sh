@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate + lint gate + CLI smoke test. Run from the workspace root.
 #
-#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke, soak, bench-smoke, fuzz-smoke, serve-smoke)
+#   scripts/ci.sh          # everything (tier-1, clippy, fmt, smoke, soak, bench-smoke, fuzz-smoke, explore-smoke, serve-smoke, serve-soak)
 #   scripts/ci.sh tier1    # just the build + test gate
 #   scripts/ci.sh lint     # just clippy + rustfmt
 #   scripts/ci.sh smoke    # just the compc-check observability smoke test
@@ -18,6 +18,11 @@
 #                              # the journaled daemon at random points,
 #                              # assert zero acked-append loss and
 #                              # bit-identical recovered verdicts
+#   scripts/ci.sh explore-smoke # exhaustive sweep at CI bounds with the
+#                              # naive counting/constancy cross-checks:
+#                              # clean verdicts on every trace-inequivalent
+#                              # composite schedule, nonzero class count,
+#                              # naive/pruned agreement
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -412,6 +417,31 @@ serve_soak() {
     echo "==> serve-soak: OK"
 }
 
+# Exhaustive-exploration gate: sweep every trace-inequivalent composite
+# schedule up to small bounds in --naive mode, so one run asserts (a) a
+# clean four-way verdict agreement on every representative (backends,
+# oracle, session replay), (b) the sleep-set pruning's counting gates
+# against the full naive enumeration, and (c) verdict constancy within
+# every trace class. The larger committed artifact lives in
+# docs/results/explore_sweep.txt; regenerate it with the flags recorded
+# in its own header.
+explore_smoke() {
+    echo "==> explore-smoke: naive-gated exhaustive sweep (ops<=2 items<=2 nodes<=8)"
+    cargo build --release -q -p compc-explore
+    out="$(./target/release/compc-explore --max-ops 2 --max-items 2 --max-nodes 8 --naive)" \
+        || { echo "explore-smoke: sweep found a disagreement or gate failure" >&2; \
+             echo "$out" >&2; exit 1; }
+    echo "$out"
+    echo "$out" | grep -q 'clean sweep' \
+        || { echo "explore-smoke: sweep did not report a clean completion" >&2; exit 1; }
+    classes="$(echo "$out" | sed -n 's/^trace classes: \([0-9]*\) per-schedule.*/\1/p')"
+    [ -n "$classes" ] && [ "$classes" -gt 0 ] \
+        || { echo "explore-smoke: zero trace classes — the enumerator explored nothing" >&2; exit 1; }
+    echo "$out" | grep -q 'counts agree with sleep-set classes' \
+        || { echo "explore-smoke: naive/pruned count agreement not reported" >&2; exit 1; }
+    echo "==> explore-smoke: OK"
+}
+
 case "$stage" in
     tier1) tier1 ;;
     lint) lint ;;
@@ -421,6 +451,7 @@ case "$stage" in
     fuzz-smoke) fuzz_smoke ;;
     serve-smoke) serve_smoke ;;
     serve-soak) serve_soak ;;
+    explore-smoke) explore_smoke ;;
     all)
         tier1
         lint
@@ -428,11 +459,12 @@ case "$stage" in
         soak
         bench_smoke
         fuzz_smoke
+        explore_smoke
         serve_smoke
         serve_soak
         ;;
     *)
-        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|bench-smoke|fuzz-smoke|serve-smoke|serve-soak|all]" >&2
+        echo "usage: scripts/ci.sh [tier1|lint|smoke|soak|bench-smoke|fuzz-smoke|serve-smoke|serve-soak|explore-smoke|all]" >&2
         exit 2
         ;;
 esac

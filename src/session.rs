@@ -14,7 +14,7 @@
 //! engine bug, never expected on a healthy build).
 
 use crate::spec::{SpecError, SystemSpec, SPEC_VERSION};
-use compc_core::{CheckOptions, SessionError, SessionStats, Verdict};
+use compc_core::{CheckOptions, Checker, SessionError, SessionStats, Verdict};
 use compc_json::Value;
 
 /// Why a [`SpecSession`] operation failed.
@@ -226,6 +226,45 @@ impl SpecSession {
     pub fn append_json(&mut self, text: &str) -> Result<&Verdict, SpecSessionError> {
         let fragment = SystemSpec::parse(text)?;
         self.append(&fragment)
+    }
+
+    /// Replays `fragments` append-by-append through a fresh session with
+    /// `options`, demanding after **every** append that the incremental
+    /// verdict is bit-identical (full `Debug` structure: fronts, witness,
+    /// cycle) to a from-scratch batch check of the merged prefix. This is
+    /// [`SystemSpec::into_appends`] prefix-validity as an executable
+    /// contract: each prefix must build and decide exactly like a batch
+    /// submission of the same fragments. Returns the per-append verdicts;
+    /// any divergence (rejected fragment, missing system, non-identical
+    /// verdict) comes back as a human-readable message.
+    pub fn replay_bit_identical(
+        fragments: &[SystemSpec],
+        options: CheckOptions,
+    ) -> Result<Vec<Verdict>, String> {
+        let mut session = SpecSession::with_options(options);
+        let mut verdicts = Vec::with_capacity(fragments.len());
+        for (i, fragment) in fragments.iter().enumerate() {
+            let incremental = session
+                .append(fragment)
+                .map_err(|e| format!("fragment {} of {} rejected: {e}", i + 1, fragments.len()))?
+                .clone();
+            let prefix = session
+                .system()
+                .ok_or_else(|| format!("no system after fragment {} appended", i + 1))?;
+            let batch = Checker::with_options(options).check(prefix);
+            if format!("{incremental:?}") != format!("{batch:?}") {
+                return Err(format!(
+                    "verdict after fragment {} of {} not bit-identical to a batch \
+                     check of the merged prefix: incremental {:?} vs batch {:?}",
+                    i + 1,
+                    fragments.len(),
+                    incremental.is_correct(),
+                    batch.is_correct(),
+                ));
+            }
+            verdicts.push(incremental);
+        }
+        Ok(verdicts)
     }
 
     /// A restorable copy of the session's state.

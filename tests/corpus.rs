@@ -1,12 +1,13 @@
 //! Replay of the committed corpus under `tests/corpus/`: every entry must
 //! parse, build, survive a spec round-trip, and get its filename-encoded
-//! verdict from the sparse engine, the dense engine, and the brute-force
-//! oracle. The corpus is the durable output of fuzzing sessions — the
+//! verdict from every closure backend (sparse, dense, compressed) and the
+//! brute-force oracle. The corpus is the durable output of fuzzing sessions — the
 //! paper's Figures 1–4 plus shrunk adversarial systems (see TESTING.md for
 //! the triage procedure that adds entries here).
 
 use compc::spec::SystemSpec;
-use compc_fuzz::corpus::{expected_from_name, replay_dir};
+use compc_core::{CheckOptions, Checker};
+use compc_fuzz::corpus::{expected_from_name, replay_dir, BACKENDS};
 use std::fs;
 use std::path::PathBuf;
 
@@ -50,6 +51,46 @@ fn corpus_contains_the_figures_and_adversarial_entries() {
         adversarial >= 6,
         "expected at least 6 shrunk adversarial entries, found {adversarial}"
     );
+}
+
+/// One table-driven loop: every corpus file's filename-encoded verdict is
+/// asserted against **all three** closure backends (sparse, dense,
+/// compressed) and the brute-force oracle, so a backend added later is
+/// covered by extending [`BACKENDS`] rather than by remembering to clone a
+/// test.
+#[test]
+fn every_corpus_file_agrees_on_all_backends_and_the_oracle() {
+    let dir = corpus_dir();
+    let mut checked = 0;
+    for entry in fs::read_dir(&dir).expect("corpus dir exists") {
+        let path = entry.expect("readable entry").path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(expected) = expected_from_name(name) else {
+            continue;
+        };
+        let text = fs::read_to_string(&path).expect("readable corpus file");
+        let sys = SystemSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: parse failed: {e}"))
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+        for (label, backend) in BACKENDS {
+            let verdict = Checker::with_options(CheckOptions::new().backend(backend)).check(&sys);
+            assert_eq!(
+                verdict.is_correct(),
+                expected,
+                "{name}: {label} backend disagrees with the filename verdict"
+            );
+        }
+        assert_eq!(
+            compc::oracle::decide(&sys).accepted(),
+            expected,
+            "{name}: oracle disagrees with the filename verdict"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 12, "corpus unexpectedly small: {checked} files");
 }
 
 /// Corpus entries survive a spec round-trip with the verdict intact — a

@@ -1,0 +1,159 @@
+//! Gates on the exhaustive explorer itself (`crates/explore`).
+//!
+//! Three properties make the committed clean-sweep artifact meaningful:
+//!
+//! 1. **Soundness of the pruning** — at CI bounds, the naive enumeration
+//!    of all interleavings groups into exactly the sleep-set classes and
+//!    the engine verdict is constant within each class (`--naive` gates).
+//! 2. **Power of the sweep** — an engine deliberately broken in the style
+//!    of real historical bugs (a dropped conflict edge; the
+//!    no-forgetting ablation) is *caught* by the same bounds the artifact
+//!    was produced at. A clean sweep that cannot catch a planted bug
+//!    proves nothing.
+//! 3. **Prefix validity of session fragments** — every enumerated
+//!    representative, cut into `SystemSpec::into_appends` fragments and
+//!    replayed through `SpecSession`, yields a bit-identical verdict to a
+//!    batch check after *every* fragment, and the final acceptance agrees
+//!    with checking the original system directly.
+
+use compc::session::SpecSession;
+use compc::spec::SystemSpec;
+use compc_core::{check, CheckOptions, Checker};
+use compc_explore::{explore, explore_with_engine, representatives, Bounds, ExploreConfig, Shape};
+use compc_model::CompositeSystem;
+
+/// Small-but-real bounds: all three shapes, a few hundred composites.
+fn gate_bounds() -> Bounds {
+    Bounds {
+        max_txns: 2,
+        max_ops: 1,
+        max_subtxs: 2,
+        max_items: 1,
+        max_nodes: 10,
+        shapes: vec![
+            Shape::Flat,
+            Shape::Stack { bottoms: 1 },
+            Shape::Stack { bottoms: 2 },
+        ],
+    }
+}
+
+#[test]
+fn sweep_at_gate_bounds_is_clean_with_naive_cross_checks() {
+    let cfg = ExploreConfig {
+        bounds: gate_bounds(),
+        naive: true,
+        ..ExploreConfig::default()
+    };
+    let report = explore(&cfg);
+    assert!(
+        report.clean(),
+        "gates: {:?}\ndisagreements: {:?}",
+        report.gate_failures,
+        report.disagreements
+    );
+    assert!(
+        report.composites > 100,
+        "population too small to mean anything"
+    );
+    assert!(
+        report.incorrect > 0,
+        "some enumerated programs must be non-Comp-C"
+    );
+    assert!(
+        report.naive_composites >= report.composites,
+        "naive product must dominate the pruned product"
+    );
+}
+
+/// Re-checks a system with one conflict edge silently dropped — the effect
+/// class of the historical self-edge bug (PR 5): a lost constraint edge
+/// manufacturing phantom acceptances.
+fn conflict_dropping_engine(sys: &CompositeSystem) -> bool {
+    let mut spec = SystemSpec::from_system(sys);
+    if spec.conflicts.is_empty() {
+        return check(sys).is_correct();
+    }
+    spec.conflicts.remove(0);
+    match spec.build() {
+        Ok(weakened) => check(&weakened).is_correct(),
+        Err(_) => check(sys).is_correct(),
+    }
+}
+
+#[test]
+fn sweep_catches_a_dropped_conflict_edge() {
+    // One-op transactions are serializable under any conflict set, so this
+    // mutant needs two-op programs to be observable; flat shapes alone
+    // already contain the lost-update family that exposes it.
+    let cfg = ExploreConfig {
+        bounds: Bounds {
+            max_ops: 2,
+            shapes: vec![Shape::Flat],
+            ..gate_bounds()
+        },
+        ..ExploreConfig::default()
+    };
+    let report = explore_with_engine(&cfg, Some(&conflict_dropping_engine));
+    assert!(
+        !report.disagreements.is_empty(),
+        "a conflict-dropping engine must disagree with the oracle somewhere \
+         within the sweep bounds — if it doesn't, the sweep has no power"
+    );
+    // The shrinker must have produced reproducers no larger than the
+    // originals.
+    for d in &report.disagreements {
+        assert!(d.nodes_after <= d.nodes_before);
+        assert_eq!(d.kind, "mutant");
+    }
+}
+
+#[test]
+fn sweep_catches_the_no_forgetting_ablation() {
+    // Without Definition 10's order forgetting, pulled-up non-conflicting
+    // same-schedule pairs keep their order and some Comp-C systems are
+    // wrongly rejected. The sweep must expose that against the oracle.
+    let ablated = |sys: &CompositeSystem| {
+        Checker::with_options(CheckOptions::new().forgetting(false))
+            .check(sys)
+            .is_correct()
+    };
+    let cfg = ExploreConfig {
+        bounds: gate_bounds(),
+        ..ExploreConfig::default()
+    };
+    let report = explore_with_engine(&cfg, Some(&ablated));
+    assert!(
+        !report.disagreements.is_empty(),
+        "the no-forgetting ablation must be caught within the sweep bounds"
+    );
+}
+
+#[test]
+fn every_representative_replays_prefix_valid_through_the_session() {
+    let bounds = gate_bounds();
+    let mut multi_fragment = 0usize;
+    let systems = representatives(&bounds);
+    assert!(systems.len() > 100);
+    for sys in &systems {
+        let fragments = SystemSpec::from_system(sys).into_appends();
+        let verdicts = SpecSession::replay_bit_identical(&fragments, CheckOptions::default())
+            .unwrap_or_else(|e| panic!("prefix replay failed: {e}"));
+        assert_eq!(verdicts.len(), fragments.len());
+        if fragments.len() > 1 {
+            multi_fragment += 1;
+        }
+        // The merged replay may reorder declarations but must agree on
+        // acceptance with a direct check of the original system.
+        let direct = check(sys).is_correct();
+        assert_eq!(
+            verdicts.last().unwrap().is_correct(),
+            direct,
+            "merge-reordered replay disagrees with the original order"
+        );
+    }
+    assert!(
+        multi_fragment > 0,
+        "some representatives must split into fragments"
+    );
+}

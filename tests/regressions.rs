@@ -6,6 +6,12 @@
 //! plain `#[test]`s, so each historical incident has a name, runs in every
 //! tier-1 invocation, and fails with a message that points at the original
 //! finding rather than a proptest case number.
+//!
+//! The `*.proptest-regressions` files themselves have been deleted: every
+//! seed they recorded is pinned below (the original `cc` lines are quoted
+//! in the section headers), so keeping the files would only let the two
+//! copies drift apart. New proptest failures should be promoted here the
+//! same way and the generated file removed.
 
 use compc::configs::{is_fcc, is_jcc};
 use compc::core::{check, Reducer};
